@@ -1,0 +1,22 @@
+# The paper's Figure 1: the basic heat-stroke kernel.
+# A long run of independent integer adds keeps the register file's
+# read/write ports saturated; prolonged execution forms a hot spot.
+# Run with:  tools/hs_run --asm attacks/figure1_hammer.s --spec gcc
+L$1:
+    addl $10, $24, $25
+    addl $11, $24, $25
+    addl $12, $24, $25
+    addl $13, $24, $25
+    addl $14, $24, $25
+    addl $15, $24, $25
+    addl $16, $24, $25
+    addl $17, $24, $25
+    addl $10, $24, $25
+    addl $11, $24, $25
+    addl $12, $24, $25
+    addl $13, $24, $25
+    addl $14, $24, $25
+    addl $15, $24, $25
+    addl $16, $24, $25
+    addl $17, $24, $25
+    br L$1

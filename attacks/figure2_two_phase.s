@@ -1,0 +1,33 @@
+# The paper's Figure 2: the moderately malicious two-phase kernel.
+# Phase 1 hammers the integer register file; phase 2 issues nine loads
+# that map to one set of the 8-way L2 (stride = numSets * lineBytes =
+# 256 KB), guaranteeing misses and keeping the average IPC low so the
+# attack cannot be blamed on ICOUNT fetch monopolisation.
+# Run with:  tools/hs_run --asm attacks/figure2_two_phase.s --spec gcc
+outer:
+    addi r9, r0, 120000      # hammer iterations (scaled for HS_SCALE=50)
+hammer:
+    addl $10, $24, $25
+    addl $11, $24, $25
+    addl $12, $24, $25
+    addl $13, $24, $25
+    addl $14, $24, $25
+    addl $15, $24, $25
+    addl $16, $24, $25
+    addl $17, $24, $25
+    addi r9, r9, -1
+    bne r9, r0, hammer
+    addi r9, r0, 160         # conflict-miss iterations
+miss:
+    ldq $10, 0($20)
+    ldq $11, 262144($20)
+    ldq $12, 524288($20)
+    ldq $13, 786432($20)
+    ldq $14, 1048576($20)
+    ldq $15, 1310720($20)
+    ldq $16, 1572864($20)
+    ldq $17, 1835008($20)
+    ldq $10, 2097152($20)
+    addi r9, r9, -1
+    bne r9, r0, miss
+    br outer

@@ -1,0 +1,29 @@
+# A "variant 3"-style evasive kernel: short hammer bursts separated by
+# long quiet phases of pointer-chasing. Heats slowly and keeps its flat
+# average access rate inside the SPEC range; selective sedation still
+# catches the burst through the weighted average when the temperature
+# trigger fires.
+# Run with:  tools/hs_run --asm attacks/stealthy_burst.s --spec gcc --dtm sedation
+outer:
+    addi r9, r0, 50000
+hammer:
+    addl $10, $24, $25
+    addl $11, $24, $25
+    addl $12, $24, $25
+    addl $13, $24, $25
+    addi r9, r9, -1
+    bne r9, r0, hammer
+    addi r9, r0, 400
+quiet:
+    ldq $10, 0($20)
+    ldq $11, 262144($20)
+    ldq $12, 524288($20)
+    ldq $13, 786432($20)
+    ldq $14, 1048576($20)
+    ldq $15, 1310720($20)
+    ldq $16, 1572864($20)
+    ldq $17, 1835008($20)
+    ldq $10, 2097152($20)
+    addi r9, r9, -1
+    bne r9, r0, quiet
+    br outer

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Ablation: DTM policy comparison under heat stroke (DESIGN.md item
+ * set; paper Sections 2, 4 argue stop-and-go is representative of
+ * global schemes and DVS adds little for this problem).
+ *
+ * Runs gcc + variant2 under every DTM mode and reports the victim's
+ * and attacker's IPC, emergencies, stall fractions and average power.
+ * The point of the paper in one table: every *global* mechanism
+ * (stop-and-go, DVFS throttling) punishes the victim for the
+ * attacker's heat; only the thread-selective mechanism isolates it.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+
+namespace {
+
+using namespace hs;
+
+struct Entry
+{
+    const char *label = "";
+    double victim = 0, attacker = 0;
+    uint64_t emergencies = 0;
+    double victimStallPct = 0;
+    double powerW = 0;
+};
+
+std::vector<Entry> g_entries;
+double g_solo = 0;
+
+void
+BM_Policy(benchmark::State &state, const char *label, DtmMode mode)
+{
+    Entry e;
+    e.label = label;
+    for (auto _ : state) {
+        ExperimentOptions opts = hsbench::baseOptions();
+        opts.dtm = mode;
+        RunResult r = runWithVariant("gcc", 2, opts);
+        e.victim = r.threads[0].ipc;
+        e.attacker = r.threads[1].ipc;
+        e.emergencies = r.emergencies;
+        e.victimStallPct = (r.coolingFraction(0) +
+                            r.sedationFraction(0)) * 100;
+        e.powerW = r.avgTotalPowerW;
+    }
+    g_entries.push_back(e);
+    state.counters["victim_ipc"] = e.victim;
+    state.counters["emergencies"] = static_cast<double>(e.emergencies);
+}
+
+void
+BM_Solo(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ExperimentOptions opts = hsbench::baseOptions();
+        opts.dtm = DtmMode::StopAndGo;
+        g_solo = runSolo("gcc", opts).threads[0].ipc;
+    }
+    state.counters["solo_ipc"] = g_solo;
+}
+
+void
+printTable()
+{
+    std::printf("\n=== DTM policy ablation (gcc + variant2; solo gcc "
+                "IPC %.2f) ===\n", g_solo);
+    std::printf("%-20s %10s %12s %12s %14s %8s\n", "policy",
+                "victim IPC", "degradation", "attacker IPC",
+                "victim stall", "power");
+    for (const Entry &e : g_entries) {
+        std::printf("%-20s %10.2f %11.1f%% %12.2f %13.1f%% %7.1fW\n",
+                    e.label, e.victim,
+                    hsbench::degradationPct(g_solo, e.victim),
+                    e.attacker, e.victimStallPct, e.powerW);
+    }
+    std::printf("\nglobal mechanisms (stop-and-go, DVFS) transfer the "
+                "attacker's thermal debt to the victim; selective "
+                "sedation bills the attacker.\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::RegisterBenchmark("dtm/solo_baseline", BM_Solo)
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("dtm/none", BM_Policy, "none (unsafe)",
+                                 DtmMode::None)
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("dtm/stop_and_go", BM_Policy,
+                                 "stop-and-go", DtmMode::StopAndGo)
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("dtm/dvfs_throttle", BM_Policy,
+                                 "dvfs-throttle",
+                                 DtmMode::DvfsThrottle)
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("dtm/fetch_gating", BM_Policy,
+                                 "fetch-gating", DtmMode::FetchGating)
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("dtm/selective_sedation", BM_Policy,
+                                 "selective-sedation",
+                                 DtmMode::SelectiveSedation)
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Figure 4: number of temperature emergencies (the 358 K threshold)
+ * within one OS quantum, for each SPEC benchmark under three
+ * configurations: solo, with variant2 under stop-and-go, and with
+ * variant2 under selective sedation.
+ *
+ * Paper shape: solo runs cause none or a few emergencies; adding
+ * variant2 raises the count to at least 8 (a >4x average increase);
+ * selective sedation restores the count to (approximately) the solo
+ * level.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+
+namespace {
+
+using namespace hs;
+
+struct Row
+{
+    uint64_t solo = 0;
+    uint64_t attacked = 0;
+    uint64_t sedated = 0;
+};
+
+std::map<std::string, Row> g_rows;
+
+void
+BM_Emergencies(benchmark::State &state, std::string name)
+{
+    Row row;
+    for (auto _ : state) {
+        ExperimentOptions opts = hsbench::baseOptions();
+        opts.dtm = DtmMode::StopAndGo;
+        row.solo = runSolo(name, opts).emergencies;
+        row.attacked = runWithVariant(name, 2, opts).emergencies;
+        opts.dtm = DtmMode::SelectiveSedation;
+        row.sedated = runWithVariant(name, 2, opts).emergencies;
+    }
+    g_rows[name] = row;
+    state.counters["solo"] = static_cast<double>(row.solo);
+    state.counters["with_v2_stopgo"] = static_cast<double>(row.attacked);
+    state.counters["with_v2_sedation"] =
+        static_cast<double>(row.sedated);
+}
+
+void
+printTable()
+{
+    std::printf("\n=== Figure 4: temperature emergencies per OS "
+                "quantum ===\n");
+    std::printf("%-12s %8s %18s %18s\n", "program", "solo",
+                "+variant2 (S&G)", "+variant2 (sedation)");
+    double solo_sum = 0, atk_sum = 0, sed_sum = 0;
+    for (const auto &[name, row] : g_rows) {
+        std::printf("%-12s %8llu %18llu %18llu\n", name.c_str(),
+                    static_cast<unsigned long long>(row.solo),
+                    static_cast<unsigned long long>(row.attacked),
+                    static_cast<unsigned long long>(row.sedated));
+        solo_sum += static_cast<double>(row.solo);
+        atk_sum += static_cast<double>(row.attacked);
+        sed_sum += static_cast<double>(row.sedated);
+    }
+    size_t n = g_rows.size();
+    if (n) {
+        std::printf("%-12s %8.1f %18.1f %18.1f\n", "average",
+                    solo_sum / n, atk_sum / n, sed_sum / n);
+        std::printf("\npaper shape: attack raises the average >4x "
+                    "(to >=8 per benchmark); sedation restores it to "
+                    "~solo levels.\n");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const std::string &name : hsbench::benchmarkSet()) {
+        benchmark::RegisterBenchmark(("fig4/" + name).c_str(),
+                                     BM_Emergencies, name)
+            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Figure 5: victim (SPEC) IPC under the full configuration matrix —
+ * the paper's headline result.
+ *
+ * Per benchmark, eleven bars:
+ *   1. solo, ideal heat sink
+ *   2. solo, realistic sink (stop-and-go)
+ *   3-5.  +variant1: ideal / realistic stop-and-go / sedation
+ *   6-8.  +variant2: ideal / realistic stop-and-go / sedation
+ *   9-11. +variant3: ideal / realistic stop-and-go / sedation
+ *
+ * Paper shape: variant1 hurts even on the ideal sink (ICOUNT
+ * monopolisation); variant2/3 are close to solo on the ideal sink but
+ * degrade the victim severely with the realistic sink (88% / 51%
+ * average in the paper); selective sedation restores performance to
+ * roughly the solo-realistic level for every variant.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+
+namespace {
+
+using namespace hs;
+
+struct Row
+{
+    double soloIdeal = 0;
+    double soloReal = 0;
+    // Indexed [variant-1]: ideal, stop-and-go, sedation.
+    std::array<std::array<double, 3>, 3> v{};
+};
+
+std::map<std::string, Row> g_rows;
+
+void
+BM_Fig5(benchmark::State &state, std::string name)
+{
+    Row row;
+    for (auto _ : state) {
+        ExperimentOptions opts = hsbench::baseOptions();
+
+        opts.sink = SinkType::Ideal;
+        row.soloIdeal = runSolo(name, opts).threads[0].ipc;
+        opts.sink = SinkType::Realistic;
+        opts.dtm = DtmMode::StopAndGo;
+        row.soloReal = runSolo(name, opts).threads[0].ipc;
+
+        for (int v = 1; v <= 3; ++v) {
+            ExperimentOptions o = hsbench::baseOptions();
+            o.sink = SinkType::Ideal;
+            row.v[v - 1][0] =
+                runWithVariant(name, v, o).threads[0].ipc;
+            o.sink = SinkType::Realistic;
+            o.dtm = DtmMode::StopAndGo;
+            row.v[v - 1][1] =
+                runWithVariant(name, v, o).threads[0].ipc;
+            o.dtm = DtmMode::SelectiveSedation;
+            row.v[v - 1][2] =
+                runWithVariant(name, v, o).threads[0].ipc;
+        }
+    }
+    g_rows[name] = row;
+    state.counters["solo_real"] = row.soloReal;
+    state.counters["v2_stopgo"] = row.v[1][1];
+    state.counters["v2_sedation"] = row.v[1][2];
+}
+
+void
+printTable()
+{
+    std::printf("\n=== Figure 5: SPEC program IPC under attack and "
+                "defense ===\n");
+    std::printf("%-10s %5s %5s | %5s %5s %5s | %5s %5s %5s | %5s %5s "
+                "%5s\n",
+                "program", "soloI", "soloR", "v1-I", "v1-SG", "v1-SD",
+                "v2-I", "v2-SG", "v2-SD", "v3-I", "v3-SG", "v3-SD");
+    double sum_solo = 0, sum_v2sg = 0, sum_v2sd = 0, sum_v3sg = 0;
+    for (const auto &[name, r] : g_rows) {
+        std::printf("%-10s %5.2f %5.2f | %5.2f %5.2f %5.2f | %5.2f "
+                    "%5.2f %5.2f | %5.2f %5.2f %5.2f\n",
+                    name.c_str(), r.soloIdeal, r.soloReal, r.v[0][0],
+                    r.v[0][1], r.v[0][2], r.v[1][0], r.v[1][1],
+                    r.v[1][2], r.v[2][0], r.v[2][1], r.v[2][2]);
+        sum_solo += r.soloReal;
+        sum_v2sg += r.v[1][1];
+        sum_v2sd += r.v[1][2];
+        sum_v3sg += r.v[2][1];
+    }
+    size_t n = g_rows.size();
+    if (!n)
+        return;
+    double avg_solo = sum_solo / n;
+    std::printf("\naverages: solo-realistic IPC %.2f | +v2 stop-and-go "
+                "%.2f (%.1f%% degradation; paper: 88.2%%) | +v2 "
+                "sedation %.2f (restored to %.0f%% of solo; paper: "
+                "~100%%) | +v3 stop-and-go %.1f%% degradation (paper: "
+                "50.8%%)\n",
+                avg_solo, sum_v2sg / n,
+                hsbench::degradationPct(avg_solo, sum_v2sg / n),
+                sum_v2sd / n, 100.0 * (sum_v2sd / n) / avg_solo,
+                hsbench::degradationPct(avg_solo, sum_v3sg / n));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const std::string &name : hsbench::benchmarkSet()) {
+        benchmark::RegisterBenchmark(("fig5/" + name).c_str(), BM_Fig5,
+                                     name)
+            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Figure 6: breakdown of execution time into normal operation,
+ * cooling-period (stop-and-go) stalls and sedation stalls.
+ *
+ * Per benchmark, four bars:
+ *   1. SPEC alone: normal vs cooling
+ *   2. SPEC with variant2 under stop-and-go: mostly cooling stalls
+ *   3. SPEC with variant2 under sedation: back to mostly normal
+ *   4. variant2 itself under sedation: largely sedated
+ *
+ * Paper shape: solo ~85% normal; under attack up to ~87% cooling
+ * stalls; with sedation SPEC back to ~83% normal while variant2
+ * spends the bulk of its time sedated.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+
+namespace {
+
+using namespace hs;
+
+struct Row
+{
+    double soloNormal = 0;
+    double attackedNormal = 0, attackedCooling = 0;
+    double defendedNormal = 0, defendedStalled = 0;
+    double attackerSedated = 0;
+};
+
+std::map<std::string, Row> g_rows;
+
+void
+BM_Breakdown(benchmark::State &state, std::string name)
+{
+    Row row;
+    for (auto _ : state) {
+        ExperimentOptions opts = hsbench::baseOptions();
+        opts.dtm = DtmMode::StopAndGo;
+        RunResult solo = runSolo(name, opts);
+        RunResult attacked = runWithVariant(name, 2, opts);
+        opts.dtm = DtmMode::SelectiveSedation;
+        RunResult defended = runWithVariant(name, 2, opts);
+
+        row.soloNormal = solo.normalFraction(0);
+        row.attackedNormal = attacked.normalFraction(0);
+        row.attackedCooling = attacked.coolingFraction(0);
+        row.defendedNormal = defended.normalFraction(0);
+        row.defendedStalled = defended.coolingFraction(0) +
+                              defended.sedationFraction(0);
+        row.attackerSedated = defended.sedationFraction(1);
+    }
+    g_rows[name] = row;
+    state.counters["attacked_cooling_pct"] = row.attackedCooling * 100;
+    state.counters["defended_normal_pct"] = row.defendedNormal * 100;
+    state.counters["attacker_sedated_pct"] = row.attackerSedated * 100;
+}
+
+void
+printTable()
+{
+    std::printf("\n=== Figure 6: execution-time breakdown (%% of the "
+                "quantum) ===\n");
+    std::printf("%-12s %10s | %10s %10s | %10s %10s | %12s\n",
+                "program", "solo-norm", "atk-norm", "atk-cool",
+                "def-norm", "def-stall", "v2-sedated");
+    double a_cool = 0, d_norm = 0, v2_sed = 0;
+    for (const auto &[name, r] : g_rows) {
+        std::printf("%-12s %9.1f%% | %9.1f%% %9.1f%% | %9.1f%% %9.1f%% "
+                    "| %11.1f%%\n",
+                    name.c_str(), r.soloNormal * 100,
+                    r.attackedNormal * 100, r.attackedCooling * 100,
+                    r.defendedNormal * 100, r.defendedStalled * 100,
+                    r.attackerSedated * 100);
+        a_cool += r.attackedCooling;
+        d_norm += r.defendedNormal;
+        v2_sed += r.attackerSedated;
+    }
+    size_t n = g_rows.size();
+    if (n) {
+        std::printf("\naverages: attacked cooling %.1f%% (paper: up to "
+                    "87%%), defended normal %.1f%% (paper: ~83%%), "
+                    "variant2 sedated %.1f%% of the quantum\n",
+                    100 * a_cool / n, 100 * d_norm / n,
+                    100 * v2_sed / n);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const std::string &name : hsbench::benchmarkSet()) {
+        benchmark::RegisterBenchmark(("fig6/" + name).c_str(),
+                                     BM_Breakdown, name)
+            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printTable();
+    return 0;
+}

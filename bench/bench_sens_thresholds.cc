@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Section 5.6: robustness of selective sedation to the choice of the
+ * upper/lower temperature thresholds.
+ *
+ * Sweeps (upper, lower) pairs around the paper's (356, 355) and runs
+ * gcc + variant2 under sedation for each; also includes the
+ * usage-threshold ablation of Section 3.2.1 (an absolute weighted-
+ * average trigger), which suffers false positives on SPEC pairs.
+ *
+ * Paper shape: effectiveness is not critically sensitive to the
+ * threshold choice.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+
+namespace {
+
+using namespace hs;
+
+struct Entry
+{
+    double upper, lower;
+    double victimIpc = 0;
+    uint64_t emergencies = 0;
+    size_t sedations = 0;
+};
+
+std::vector<Entry> g_entries;
+double g_soloIpc = 0;
+double g_attackedIpc = 0;
+double g_ablationPairImpactPct = 0;
+
+void
+BM_ThresholdPair(benchmark::State &state, double upper, double lower)
+{
+    Entry e{upper, lower};
+    for (auto _ : state) {
+        ExperimentOptions opts = hsbench::baseOptions();
+        opts.dtm = DtmMode::SelectiveSedation;
+        opts.upperThreshold = upper;
+        opts.lowerThreshold = lower;
+        RunResult r = runWithVariant("gcc", 2, opts);
+        e.victimIpc = r.threads[0].ipc;
+        e.emergencies = r.emergencies;
+        e.sedations = r.sedationEvents.size();
+    }
+    g_entries.push_back(e);
+    state.counters["victim_ipc"] = e.victimIpc;
+    state.counters["emergencies"] = static_cast<double>(e.emergencies);
+}
+
+void
+BM_Baselines(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ExperimentOptions opts = hsbench::baseOptions();
+        opts.dtm = DtmMode::StopAndGo;
+        g_soloIpc = runSolo("gcc", opts).threads[0].ipc;
+        g_attackedIpc = runWithVariant("gcc", 2, opts).threads[0].ipc;
+    }
+    state.counters["solo_ipc"] = g_soloIpc;
+    state.counters["attacked_ipc"] = g_attackedIpc;
+}
+
+void
+BM_UsageThresholdAblation(benchmark::State &state)
+{
+    // Section 3.2.1 ablation: absolute usage threshold instead of the
+    // temperature trigger. Run an innocent SPEC pair and measure the
+    // false-positive cost.
+    double impact = 0;
+    for (auto _ : state) {
+        ExperimentOptions opts = hsbench::baseOptions();
+        opts.dtm = DtmMode::StopAndGo;
+        RunResult plain = runSpecPair("crafty", "vortex", opts);
+        opts.dtm = DtmMode::SelectiveSedation;
+        opts.sedationUsageThreshold = true;
+        RunResult guarded = runSpecPair("crafty", "vortex", opts);
+        double a = plain.threads[0].ipc + plain.threads[1].ipc;
+        double b = guarded.threads[0].ipc + guarded.threads[1].ipc;
+        impact = hsbench::degradationPct(a, b);
+    }
+    g_ablationPairImpactPct = impact;
+    state.counters["innocent_pair_loss_pct"] = impact;
+}
+
+void
+printTable()
+{
+    std::printf("\n=== Section 5.6: sedation threshold sensitivity "
+                "(gcc + variant2) ===\n");
+    std::printf("solo gcc IPC %.2f, attacked (stop-and-go) %.2f\n\n",
+                g_soloIpc, g_attackedIpc);
+    std::printf("%8s %8s %12s %12s %11s\n", "upper K", "lower K",
+                "victim IPC", "emergencies", "sedations");
+    for (const Entry &e : g_entries) {
+        std::printf("%8.1f %8.1f %12.2f %12llu %11zu\n", e.upper,
+                    e.lower, e.victimIpc,
+                    static_cast<unsigned long long>(e.emergencies),
+                    e.sedations);
+    }
+    std::printf("\npaper shape: restored victim IPC is not critically "
+                "sensitive to the thresholds.\n");
+    std::printf("\nSection 3.2.1 ablation: absolute usage threshold "
+                "costs an innocent high-usage SPEC pair %.1f%% "
+                "throughput (temperature trigger: ~0%%).\n",
+                g_ablationPairImpactPct);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::RegisterBenchmark("sens_thresholds/baselines",
+                                 BM_Baselines)
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+    const double pairs[][2] = {
+        {355.5, 354.5}, {356.0, 355.0}, {356.5, 355.5},
+        {357.0, 355.5}, {357.5, 356.0},
+    };
+    for (const auto &p : pairs) {
+        benchmark::RegisterBenchmark(
+            ("sens_thresholds/upper" + std::to_string(p[0])).c_str(),
+            BM_ThresholdPair, p[0], p[1])
+            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+    benchmark::RegisterBenchmark("sens_thresholds/usage_ablation",
+                                 BM_UsageThresholdAblation)
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printTable();
+    return 0;
+}

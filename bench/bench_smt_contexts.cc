@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Extension study: heat stroke and selective sedation as the number of
+ * SMT contexts grows (the paper evaluates a 2-context machine; its
+ * attack and defense generalise to wider SMT).
+ *
+ * For 2-4 contexts: one variant2 attacker plus SPEC victims fill the
+ * machine. Reports aggregate victim IPC under stop-and-go vs selective
+ * sedation, and the attacker's sedated fraction.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+
+namespace {
+
+using namespace hs;
+
+struct Entry
+{
+    int contexts = 0;
+    double victimsStopGo = 0;
+    double victimsSedation = 0;
+    double victimsClean = 0; ///< no attacker present
+    uint64_t emergencies = 0;
+    double attackerSedatedPct = 0;
+};
+
+std::vector<Entry> g_entries;
+
+const char *victims[] = {"gcc", "mesa", "twolf"};
+
+double
+victimIpcSum(const RunResult &r, int n_victims)
+{
+    double sum = 0;
+    for (int v = 0; v < n_victims; ++v)
+        sum += r.threads[static_cast<size_t>(v)].ipc;
+    return sum;
+}
+
+void
+BM_Contexts(benchmark::State &state, int contexts)
+{
+    Entry e;
+    e.contexts = contexts;
+    for (auto _ : state) {
+        ExperimentOptions opts = hsbench::baseOptions();
+        int n_victims = contexts - 1;
+
+        auto build = [&](DtmMode mode, bool with_attacker) {
+            SimConfig cfg = makeSimConfig(opts);
+            cfg.dtm = mode;
+            cfg.smt.numThreads = with_attacker ? contexts : n_victims;
+            Simulator sim(cfg);
+            for (int v = 0; v < n_victims; ++v)
+                sim.setWorkload(v, synthesizeSpec(victims[v]));
+            if (with_attacker)
+                sim.setWorkload(n_victims,
+                                makeVariant(2,
+                                            makeMaliciousParams(opts)));
+            return sim.run();
+        };
+
+        RunResult clean = build(DtmMode::StopAndGo, false);
+        RunResult stopgo = build(DtmMode::StopAndGo, true);
+        RunResult sedated = build(DtmMode::SelectiveSedation, true);
+
+        e.victimsClean = victimIpcSum(clean, n_victims);
+        e.victimsStopGo = victimIpcSum(stopgo, n_victims);
+        e.victimsSedation = victimIpcSum(sedated, n_victims);
+        e.emergencies = stopgo.emergencies;
+        e.attackerSedatedPct =
+            sedated.sedationFraction(static_cast<size_t>(n_victims)) *
+            100;
+    }
+    g_entries.push_back(e);
+    state.counters["victims_sedation_ipc"] = e.victimsSedation;
+}
+
+void
+printTable()
+{
+    std::printf("\n=== Extension: heat stroke across SMT widths "
+                "(variant2 + N-1 SPEC victims) ===\n");
+    std::printf("%9s %12s %12s %14s %12s %14s\n", "contexts",
+                "clean IPC", "attacked IPC", "sedation IPC",
+                "emergencies", "v2 sedated");
+    for (const Entry &e : g_entries) {
+        std::printf("%9d %12.2f %12.2f %14.2f %12llu %13.1f%%\n",
+                    e.contexts, e.victimsClean, e.victimsStopGo,
+                    e.victimsSedation,
+                    static_cast<unsigned long long>(e.emergencies),
+                    e.attackerSedatedPct);
+    }
+    std::printf("\nshape: the attack hurts the whole victim set under "
+                "global DTM regardless of width; sedation recovers "
+                "most of the clean throughput.\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int contexts : {2, 3, 4}) {
+        benchmark::RegisterBenchmark(
+            ("smt_contexts/" + std::to_string(contexts)).c_str(),
+            BM_Contexts, contexts)
+            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printTable();
+    return 0;
+}

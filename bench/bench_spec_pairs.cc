@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Section 5.7: selective sedation must not hurt normal execution.
+ *
+ * Runs SPEC+SPEC pairs (no malicious thread) with plain stop-and-go
+ * and with selective sedation enabled, and compares per-thread IPC.
+ *
+ * Paper shape: no performance difference. Our hottest pairs (crafty/
+ * vortex class programs with inherent power-density pressure) may
+ * brush the upper threshold occasionally; the table reports the
+ * per-pair cost, which stays small.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+
+namespace {
+
+using namespace hs;
+
+struct Entry
+{
+    std::string a, b;
+    double plainA = 0, plainB = 0;
+    double guardedA = 0, guardedB = 0;
+    size_t sedations = 0;
+};
+
+std::vector<Entry> g_entries;
+
+void
+BM_Pair(benchmark::State &state, std::string a, std::string b)
+{
+    Entry e{a, b};
+    for (auto _ : state) {
+        ExperimentOptions opts = hsbench::baseOptions();
+        opts.dtm = DtmMode::StopAndGo;
+        RunResult plain = runSpecPair(a, b, opts);
+        opts.dtm = DtmMode::SelectiveSedation;
+        RunResult guarded = runSpecPair(a, b, opts);
+        e.plainA = plain.threads[0].ipc;
+        e.plainB = plain.threads[1].ipc;
+        e.guardedA = guarded.threads[0].ipc;
+        e.guardedB = guarded.threads[1].ipc;
+        e.sedations = guarded.sedationEvents.size();
+    }
+    g_entries.push_back(e);
+    double total_plain = e.plainA + e.plainB;
+    double total_guarded = e.guardedA + e.guardedB;
+    state.counters["throughput_loss_pct"] =
+        hsbench::degradationPct(total_plain, total_guarded);
+}
+
+void
+printTable()
+{
+    std::printf("\n=== Section 5.7: SPEC pairs, sedation off vs on "
+                "===\n");
+    std::printf("%-18s %14s %14s %10s %10s\n", "pair",
+                "plain IPC a+b", "guarded IPC a+b", "loss %",
+                "sedations");
+    double worst = 0;
+    for (const Entry &e : g_entries) {
+        double plain = e.plainA + e.plainB;
+        double guarded = e.guardedA + e.guardedB;
+        double loss = hsbench::degradationPct(plain, guarded);
+        worst = std::max(worst, loss);
+        std::printf("%-18s %6.2f + %5.2f %7.2f + %5.2f %9.1f%% %10zu\n",
+                    (e.a + "+" + e.b).c_str(), e.plainA, e.plainB,
+                    e.guardedA, e.guardedB, loss, e.sedations);
+    }
+    std::printf("\nworst-case pair throughput loss: %.1f%% "
+                "(paper: ~0%%)\n", worst);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::pair<const char *, const char *> pairs[] = {
+        {"gcc", "twolf"},   {"gzip", "mesa"},  {"eon", "gap"},
+        {"applu", "mcf"},   {"apsi", "lucas"}, {"crafty", "vortex"},
+        {"parser", "vpr"},  {"ammp", "bzip2"},
+    };
+    for (const auto &[a, b] : pairs) {
+        benchmark::RegisterBenchmark(
+            (std::string("spec_pairs/") + a + "_" + b).c_str(),
+            BM_Pair, std::string(a), std::string(b))
+            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared plumbing for the bench harnesses.
+ *
+ * Each bench binary regenerates one table/figure of the paper's
+ * evaluation (Section 5). They register google-benchmark entries (one
+ * iteration each — a benchmark here is a full simulated OS quantum)
+ * and print the paper-style table to stdout.
+ *
+ * Environment knobs:
+ *  - HS_SCALE: thermal/quantum time scale (default 50; 1 = paper scale)
+ *  - HS_BENCH_SET: "quick" (4 benchmarks), "paper" (the 10 shown in
+ *    the paper's figures, default), or "full" (all 18 profiles)
+ */
+
+#ifndef HS_BENCH_BENCH_UTIL_HH
+#define HS_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace hsbench {
+
+/** Benchmark subset selected by HS_BENCH_SET. */
+inline std::vector<std::string>
+benchmarkSet()
+{
+    const char *env = std::getenv("HS_BENCH_SET");
+    std::string which = env ? env : "paper";
+    if (which == "quick")
+        return {"gcc", "crafty", "mcf", "applu"};
+    if (which == "full") {
+        std::vector<std::string> names;
+        for (const hs::SpecProfile &p : hs::specSuite())
+            names.push_back(p.name);
+        return names;
+    }
+    return hs::paperFigureBenchmarks();
+}
+
+/** Experiment options with the HS_SCALE override applied. */
+inline hs::ExperimentOptions
+baseOptions()
+{
+    hs::ExperimentOptions opts;
+    opts.timeScale = hs::envTimeScale(50.0);
+    return opts;
+}
+
+/** Degradation of @p attacked relative to @p solo, in percent. */
+inline double
+degradationPct(double solo_ipc, double attacked_ipc)
+{
+    if (solo_ipc <= 0)
+        return 0.0;
+    return (1.0 - attacked_ipc / solo_ipc) * 100.0;
+}
+
+} // namespace hsbench
+
+#endif // HS_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Quickstart: run two SPEC-like workloads on the 2-way SMT with the
+ * realistic package and stop-and-go DTM, and print per-thread results.
+ *
+ * Usage: quickstart [specA] [specB] [scale]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/experiment.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string a = argc > 1 ? argv[1] : "gcc";
+    std::string b = argc > 2 ? argv[2] : "mesa";
+    double scale = argc > 3 ? std::atof(argv[3])
+                            : hs::envTimeScale(50.0);
+
+    hs::ExperimentOptions opts;
+    opts.timeScale = scale;
+    opts.dtm = hs::DtmMode::StopAndGo;
+
+    std::cout << "heatstroke quickstart: " << a << " + " << b
+              << " on a 2-way SMT (time scale 1/" << scale << ")\n";
+
+    hs::RunResult res = hs::runSpecPair(a, b, opts);
+
+    std::cout << "cycles simulated : " << res.cycles << "\n";
+    std::cout << "avg chip power   : " << res.avgTotalPowerW << " W\n";
+    std::cout << "peak temperature : " << res.peakTempOverall << " K ("
+              << hs::blockName(res.hottestBlock) << ")\n";
+    std::cout << "emergencies      : " << res.emergencies << "\n\n";
+
+    hs::TablePrinter table(std::cout);
+    table.header({"thread", "program", "IPC", "IntReg acc/cyc",
+                  "normal%", "cooling%"});
+    for (size_t t = 0; t < res.threads.size(); ++t) {
+        const hs::ThreadResult &tr = res.threads[t];
+        table.row({std::to_string(t), tr.program,
+                   hs::TablePrinter::num(tr.ipc),
+                   hs::TablePrinter::num(tr.intRegAccessRate),
+                   hs::TablePrinter::num(res.normalFraction(t) * 100, 1),
+                   hs::TablePrinter::num(res.coolingFraction(t) * 100,
+                                         1)});
+    }
+    return 0;
+}

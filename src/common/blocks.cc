@@ -1,0 +1,33 @@
+#include "common/blocks.hh"
+
+#include "common/log.hh"
+
+namespace hs {
+
+const char *
+blockName(Block b)
+{
+    switch (b) {
+      case Block::L2: return "L2";
+      case Block::L2Left: return "L2Left";
+      case Block::L2Right: return "L2Right";
+      case Block::Icache: return "Icache";
+      case Block::Dcache: return "Dcache";
+      case Block::Bpred: return "Bpred";
+      case Block::Dtb: return "Dtb";
+      case Block::FpAdd: return "FpAdd";
+      case Block::FpReg: return "FpReg";
+      case Block::FpMul: return "FpMul";
+      case Block::FpMap: return "FpMap";
+      case Block::IntMap: return "IntMap";
+      case Block::IntQ: return "IntQ";
+      case Block::IntReg: return "IntReg";
+      case Block::IntExec: return "IntExec";
+      case Block::LdStQ: return "LdStQ";
+      case Block::Itb: return "Itb";
+      default:
+        panic("blockName: bad block %d", static_cast<int>(b));
+    }
+}
+
+} // namespace hs

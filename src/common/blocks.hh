@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Floorplan block identifiers shared by the activity/power model, the
+ * thermal model and the DTM policies.
+ *
+ * The set mirrors the Alpha EV6-style floorplan shipped with HotSpot
+ * (which the paper uses, Section 4): split L2 periphery, front-end
+ * blocks, integer and FP execution clusters. The integer register file
+ * (IntReg) is the hot-spot target of the heat-stroke attack.
+ */
+
+#ifndef HS_COMMON_BLOCKS_HH
+#define HS_COMMON_BLOCKS_HH
+
+#include <cstdint>
+
+namespace hs {
+
+/** One unit (thermal block) of the processor floorplan. */
+enum class Block : uint8_t {
+    L2,      ///< L2 cache, bottom band
+    L2Left,  ///< L2 cache, left band
+    L2Right, ///< L2 cache, right band
+    Icache,
+    Dcache,
+    Bpred,
+    Dtb,
+    FpAdd,
+    FpReg,
+    FpMul,
+    FpMap,   ///< FP rename map
+    IntMap,  ///< integer rename map
+    IntQ,    ///< issue window / RUU
+    IntReg,  ///< integer register file (hot-spot target)
+    IntExec, ///< integer ALUs / multiplier
+    LdStQ,
+    Itb,
+
+    NumBlocks
+};
+
+/** Number of floorplan blocks. */
+constexpr int numBlocks = static_cast<int>(Block::NumBlocks);
+
+/** @return a short stable name for @p b (e.g. "IntReg"). */
+const char *blockName(Block b);
+
+/** Iteration helper: the block with index @p i. */
+inline Block
+blockFromIndex(int i)
+{
+    return static_cast<Block>(i);
+}
+
+/** Iteration helper: index of @p b. */
+inline int
+blockIndex(Block b)
+{
+    return static_cast<int>(b);
+}
+
+} // namespace hs
+
+#endif // HS_COMMON_BLOCKS_HH

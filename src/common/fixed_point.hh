@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shift-based fixed-point exponentially weighted moving average.
+ *
+ * Selective sedation's usage monitor computes, at every sampling instant,
+ *
+ *     wavg = (1 - x) * wavg + x * sample
+ *
+ * with x a power of two (the paper uses x = 1/128) so that the hardware
+ * needs only shifts and adds (Section 3.2.1 of the paper). This class
+ * mirrors that hardware exactly: the average is held in a 32.SHIFT-bit
+ * fixed-point register and each update costs two shifts and two adds.
+ */
+
+#ifndef HS_COMMON_FIXED_POINT_HH
+#define HS_COMMON_FIXED_POINT_HH
+
+#include <cstdint>
+
+#include "common/log.hh"
+
+namespace hs {
+
+/**
+ * Fixed-point EWMA with power-of-two weight x = 2^-shift.
+ *
+ * The internal accumulator keeps `fracBits` fractional bits so repeated
+ * right-shifts do not immediately truncate small averages to zero.
+ */
+class FixedEwma
+{
+  public:
+    static constexpr int fracBits = 16;
+
+    /** @param shift log2(1/x); the paper's x = 1/128 is shift = 7. */
+    explicit FixedEwma(int shift = 7) : shift_(shift)
+    {
+        if (shift < 1 || shift > 30)
+            fatal("FixedEwma shift %d out of range [1,30]", shift);
+    }
+
+    /**
+     * Fold one sample (an integer event count for the sampling window)
+     * into the average: wavg += (sample - wavg) * 2^-shift, all in
+     * fixed point.
+     */
+    void
+    update(uint64_t sample)
+    {
+        int64_t sample_fp = static_cast<int64_t>(sample) << fracBits;
+        acc_ += (sample_fp - acc_) >> shift_;
+    }
+
+    /** Reset the average to zero (thread swapped out / context reset). */
+    void reset() { acc_ = 0; }
+
+    /** @return the current average as a double (in sample units). */
+    double
+    value() const
+    {
+        return static_cast<double>(acc_) /
+               static_cast<double>(int64_t{1} << fracBits);
+    }
+
+    /** @return the raw fixed-point accumulator (for exact comparisons). */
+    int64_t raw() const { return acc_; }
+
+    /** @return the configured shift (log2 of 1/x). */
+    int shift() const { return shift_; }
+
+    /**
+     * Effective memory of the average in samples: the number of updates
+     * after which an impulse has decayed to 1/e, approximately 2^shift.
+     */
+    double memorySamples() const { return double(int64_t{1} << shift_); }
+
+  private:
+    int shift_;
+    int64_t acc_ = 0;
+};
+
+} // namespace hs
+
+#endif // HS_COMMON_FIXED_POINT_HH

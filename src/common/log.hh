@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Logging and error-reporting primitives for the heatstroke library.
+ *
+ * Follows the gem5 convention: panic() marks simulator bugs (aborts),
+ * fatal() marks user errors (clean exit), warn()/inform() are advisory.
+ */
+
+#ifndef HS_COMMON_LOG_HH
+#define HS_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace hs {
+
+/** Verbosity levels for advisory messages. */
+enum class LogLevel {
+    Quiet,   ///< suppress inform() output
+    Normal,  ///< inform() and warn() printed
+    Verbose  ///< additionally print debug() output
+};
+
+/** Set the global log verbosity. Thread-compatible (call before running). */
+void setLogLevel(LogLevel level);
+
+/** @return the current global log verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an internal invariant violation and abort.
+ * Use only for conditions that indicate a bug in the library itself.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error (bad configuration, bad input) and
+ * exit with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report detail visible only at LogLevel::Verbose. */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace hs
+
+#endif // HS_COMMON_LOG_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * A self-contained xoshiro256** implementation so that generated programs
+ * are bit-identical across platforms and standard-library versions
+ * (std::mt19937 distributions are not portable across implementations).
+ */
+
+#ifndef HS_COMMON_RNG_HH
+#define HS_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace hs {
+
+/** Deterministic, portable PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Seed with splitmix64 expansion of @p seed. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** @return a uniform 64-bit value. */
+    uint64_t next();
+
+    /** @return a uniform integer in [0, bound). @p bound must be > 0. */
+    uint64_t nextBounded(uint64_t bound);
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** @return a uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return true with probability @p p (clamped to [0,1]). */
+    bool chance(double p);
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace hs
+
+#endif // HS_COMMON_RNG_HH

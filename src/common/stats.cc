@@ -1,0 +1,35 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace hs {
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    os << "== " << name_ << " ==\n";
+    for (const StatScalar *s : scalars_) {
+        os << std::left << std::setw(40) << (name_ + "." + s->name())
+           << std::setw(16) << std::setprecision(12) << s->value()
+           << "# " << s->desc() << "\n";
+    }
+    for (const StatDistribution *d : dists_) {
+        os << std::left << std::setw(40) << (name_ + "." + d->name())
+           << "mean=" << d->mean()
+           << " min=" << d->min()
+           << " max=" << d->max()
+           << " n=" << d->count()
+           << " # " << d->desc() << "\n";
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (StatScalar *s : scalars_)
+        s->reset();
+    for (StatDistribution *d : dists_)
+        d->reset();
+}
+
+} // namespace hs

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * Components own Scalar / Distribution / Formula-style statistics and
+ * register them with a StatGroup so that the simulator can dump a uniform
+ * report at end of run without each component hand-rolling printing code.
+ */
+
+#ifndef HS_COMMON_STATS_HH
+#define HS_COMMON_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hs {
+
+/** A single monotonically accumulated counter with a name and description. */
+class StatScalar
+{
+  public:
+    StatScalar() = default;
+    StatScalar(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc)) {}
+
+    void inc(double v = 1.0) { value_ += v; }
+    void set(double v) { value_ = v; }
+    void reset() { value_ = 0.0; }
+    double value() const { return value_; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    double value_ = 0.0;
+};
+
+/** Running mean / min / max / count over a stream of samples. */
+class StatDistribution
+{
+  public:
+    StatDistribution() = default;
+    StatDistribution(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc)) {}
+
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        sumSq_ += v * v;
+        if (v < min_) min_ = v;
+        if (v > max_) max_ = v;
+    }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = sumSq_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    /** Population variance of the recorded samples. */
+    double
+    variance() const
+    {
+        if (count_ == 0)
+            return 0.0;
+        double m = mean();
+        return sumSq_ / count_ - m * m;
+    }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A registry of statistics owned by one component.
+ *
+ * The group stores non-owning pointers; the registered stats must outlive
+ * the group (the usual pattern is members of the same object).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void add(StatScalar *s) { scalars_.push_back(s); }
+    void add(StatDistribution *d) { dists_.push_back(d); }
+
+    /** Write a human-readable report of all registered stats. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered statistic to its initial state. */
+    void resetAll();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<StatScalar *> scalars_;
+    std::vector<StatDistribution *> dists_;
+};
+
+} // namespace hs
+
+#endif // HS_COMMON_STATS_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the heatstroke library.
+ */
+
+#ifndef HS_COMMON_TYPES_HH
+#define HS_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace hs {
+
+/** Simulated clock cycle count. */
+using Cycles = uint64_t;
+
+/** Byte address in the simulated (per-thread) address space. */
+using Addr = uint64_t;
+
+/** Hardware thread (SMT context) identifier. */
+using ThreadId = int;
+
+/** Global dynamic-instruction sequence number (monotonic per run). */
+using InstSeqNum = uint64_t;
+
+/** Absolute temperature in kelvin. */
+using Kelvin = double;
+
+/** Power in watts. */
+using Watts = double;
+
+/** Energy in joules. */
+using Joules = double;
+
+/** Marker for an unassigned thread slot. */
+constexpr ThreadId invalidThreadId = -1;
+
+} // namespace hs
+
+#endif // HS_COMMON_TYPES_HH

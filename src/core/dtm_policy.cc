@@ -1,0 +1,8 @@
+#include "core/dtm_policy.hh"
+
+// The framework is header-only today; this translation unit anchors the
+// vtables of DtmControl and DtmPolicy.
+
+namespace hs {
+
+} // namespace hs

@@ -1,0 +1,27 @@
+#include "core/dvfs.hh"
+
+#include <algorithm>
+
+namespace hs {
+
+void
+DvfsThrottle::atSensorSample(Cycles now, const std::vector<Kelvin> &temps,
+                             DtmControl &control)
+{
+    (void)now;
+    Kelvin hottest = *std::max_element(temps.begin(), temps.end());
+    if (!engaged_) {
+        if (hottest >= params_.triggerTemp) {
+            engaged_ = true;
+            ++triggers_;
+            control.throttlePipeline(params_.slowdownFactor);
+        }
+    } else {
+        if (hottest <= params_.resumeTemp) {
+            engaged_ = false;
+            control.throttlePipeline(1);
+        }
+    }
+}
+
+} // namespace hs

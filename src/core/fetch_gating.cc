@@ -1,0 +1,55 @@
+#include "core/fetch_gating.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace hs {
+
+FetchGating::FetchGating(int num_threads,
+                         const FetchGatingParams &params)
+    : numThreads_(num_threads), params_(params)
+{
+    if (num_threads < 1)
+        fatal("FetchGating needs at least one thread");
+    if (params.resumeTemp >= params.triggerTemp)
+        fatal("FetchGating: resume must be below trigger");
+}
+
+void
+FetchGating::releaseAll(DtmControl &control)
+{
+    for (ThreadId t = 0; t < numThreads_; ++t)
+        control.sedateThread(t, false);
+}
+
+void
+FetchGating::atSensorSample(Cycles now,
+                            const std::vector<Kelvin> &temps,
+                            DtmControl &control)
+{
+    (void)now;
+    Kelvin hottest = *std::max_element(temps.begin(), temps.end());
+    if (!engaged_) {
+        if (hottest >= params_.triggerTemp) {
+            engaged_ = true;
+            ++triggers_;
+        } else {
+            return;
+        }
+    } else if (hottest <= params_.resumeTemp) {
+        engaged_ = false;
+        releaseAll(control);
+        return;
+    }
+
+    // While engaged: one thread fetches per sensor interval, the
+    // others are gated; rotate for fairness.
+    ++rotor_;
+    ThreadId allowed = static_cast<ThreadId>(
+        rotor_ % static_cast<uint64_t>(numThreads_));
+    for (ThreadId t = 0; t < numThreads_; ++t)
+        control.sedateThread(t, t != allowed);
+}
+
+} // namespace hs

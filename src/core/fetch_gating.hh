@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fetch-gating DTM policy (extension baseline).
+ *
+ * A thread-granular but *indiscriminate* cousin of selective sedation:
+ * when a hot spot nears the emergency threshold, the policy gates
+ * fetch for the threads in a rotating pattern (each sensor sample, a
+ * different thread is allowed to fetch), halving the front-end duty of
+ * everyone until the resource cools. Like stop-and-go and DVFS it
+ * cannot tell the attacker from the victim, so the victim pays for
+ * the attacker's heat — the contrast that motivates the paper's
+ * usage-based culprit identification.
+ */
+
+#ifndef HS_CORE_FETCH_GATING_HH
+#define HS_CORE_FETCH_GATING_HH
+
+#include <vector>
+
+#include "core/dtm_policy.hh"
+
+namespace hs {
+
+/** Fetch-gating thresholds. */
+struct FetchGatingParams
+{
+    Kelvin triggerTemp = 357.0;
+    Kelvin resumeTemp = 355.0;
+};
+
+/** Rotating fetch-gate policy. */
+class FetchGating : public DtmPolicy
+{
+  public:
+    FetchGating(int num_threads, const FetchGatingParams &params = {});
+
+    const char *name() const override { return "fetch-gating"; }
+
+    void atSensorSample(Cycles now, const std::vector<Kelvin> &temps,
+                        DtmControl &control) override;
+
+    uint64_t triggers() const { return triggers_; }
+    bool engaged() const { return engaged_; }
+
+  private:
+    void releaseAll(DtmControl &control);
+
+    int numThreads_;
+    FetchGatingParams params_;
+    bool engaged_ = false;
+    uint64_t rotor_ = 0;
+    uint64_t triggers_ = 0;
+};
+
+} // namespace hs
+
+#endif // HS_CORE_FETCH_GATING_HH

@@ -1,0 +1,48 @@
+#include "core/offender_tracker.hh"
+
+#include "common/log.hh"
+
+namespace hs {
+
+OffenderTracker::OffenderTracker(int num_threads,
+                                 const OffenderPolicy &policy)
+    : policy_(policy),
+      reports_(static_cast<size_t>(num_threads), 0),
+      flagged_(static_cast<size_t>(num_threads), false)
+{
+    if (num_threads < 1)
+        fatal("OffenderTracker needs at least one thread");
+    if (policy.reportsBeforeDeschedule < 1)
+        fatal("OffenderTracker: threshold must be >= 1");
+}
+
+void
+OffenderTracker::onReport(const SedationEvent &event)
+{
+    size_t t = static_cast<size_t>(event.thread);
+    if (t >= reports_.size())
+        panic("OffenderTracker: report for unknown thread %d",
+              event.thread);
+    ++reports_[t];
+    if (!flagged_[t] &&
+        reports_[t] >= policy_.reportsBeforeDeschedule) {
+        flagged_[t] = true;
+        offenders_.push_back(event.thread);
+        if (onDeschedule_)
+            onDeschedule_(event.thread);
+    }
+}
+
+int
+OffenderTracker::reports(ThreadId tid) const
+{
+    return reports_[static_cast<size_t>(tid)];
+}
+
+bool
+OffenderTracker::descheduled(ThreadId tid) const
+{
+    return flagged_[static_cast<size_t>(tid)];
+}
+
+} // namespace hs

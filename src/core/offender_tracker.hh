@@ -1,0 +1,71 @@
+/**
+ * @file
+ * OS-side repeat-offender tracking (the paper's suggested response).
+ *
+ * Selective sedation "reports the offending threads to the operating
+ * system ... so that the scheduler may mark such threads ineligible
+ * for execution" (Sections 3.2.2, 3.3). This component models that OS
+ * policy: it consumes sedation reports and, once a thread has been
+ * sedated for the same resource a configurable number of times within
+ * one quantum, recommends descheduling it. The simulator can act on
+ * the recommendation by permanently sedating the thread (the hardware
+ * analogue of the OS pulling it from the run queue).
+ */
+
+#ifndef HS_CORE_OFFENDER_TRACKER_HH
+#define HS_CORE_OFFENDER_TRACKER_HH
+
+#include <functional>
+#include <vector>
+
+#include "core/sedation.hh"
+
+namespace hs {
+
+/** OS policy knobs. */
+struct OffenderPolicy
+{
+    /** Sedation reports before a thread is declared a repeat
+     *  offender. */
+    int reportsBeforeDeschedule = 3;
+};
+
+/** Tracks sedation reports per thread and flags repeat offenders. */
+class OffenderTracker
+{
+  public:
+    using DescheduleFn = std::function<void(ThreadId)>;
+
+    OffenderTracker(int num_threads,
+                    const OffenderPolicy &policy = {});
+
+    /** Feed one sedation report (wire via
+     *  SelectiveSedation::setOsReport). */
+    void onReport(const SedationEvent &event);
+
+    /** Install the deschedule callback, invoked once per offender the
+     *  first time it crosses the threshold. */
+    void setOnDeschedule(DescheduleFn fn) { onDeschedule_ = std::move(fn); }
+
+    /** Total reports attributed to @p tid. */
+    int reports(ThreadId tid) const;
+
+    /** @return true once @p tid crossed the repeat-offender bar. */
+    bool descheduled(ThreadId tid) const;
+
+    /** Threads flagged so far, in flagging order. */
+    const std::vector<ThreadId> &offenders() const { return offenders_; }
+
+    const OffenderPolicy &policy() const { return policy_; }
+
+  private:
+    OffenderPolicy policy_;
+    std::vector<int> reports_;
+    std::vector<bool> flagged_;
+    std::vector<ThreadId> offenders_;
+    DescheduleFn onDeschedule_;
+};
+
+} // namespace hs
+
+#endif // HS_CORE_OFFENDER_TRACKER_HH

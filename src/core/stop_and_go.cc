@@ -1,0 +1,28 @@
+#include "core/stop_and_go.hh"
+
+#include <algorithm>
+
+namespace hs {
+
+void
+StopAndGo::atSensorSample(Cycles now, const std::vector<Kelvin> &temps,
+                          DtmControl &control)
+{
+    Kelvin hottest = *std::max_element(temps.begin(), temps.end());
+    if (!engaged_) {
+        if (hottest >= params_.triggerTemp) {
+            engaged_ = true;
+            engagedAt_ = now;
+            ++triggers_;
+            control.stallPipeline(true);
+        }
+    } else {
+        if (hottest <= params_.resumeTemp) {
+            engaged_ = false;
+            stallCycles_ += now - engagedAt_;
+            control.stallPipeline(false);
+        }
+    }
+}
+
+} // namespace hs

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Stop-and-go (global clock gating) DTM policy.
+ *
+ * The paper's base case (Section 4): when any block reaches the trigger
+ * temperature, the whole pipeline stalls until the hottest block cools
+ * to the resume temperature. It also serves as the safety net under
+ * selective sedation (Section 3.2.2).
+ */
+
+#ifndef HS_CORE_STOP_AND_GO_HH
+#define HS_CORE_STOP_AND_GO_HH
+
+#include "core/dtm_policy.hh"
+
+namespace hs {
+
+/** Trigger/resume thresholds for stop-and-go. */
+struct StopAndGoParams
+{
+    Kelvin triggerTemp = 358.0; ///< highest allowable temp (Table 1)
+    Kelvin resumeTemp = 348.5;  ///< well into the normal-operation range
+};
+
+/** Global stall-until-cool policy. */
+class StopAndGo : public DtmPolicy
+{
+  public:
+    explicit StopAndGo(const StopAndGoParams &params = {})
+        : params_(params)
+    {
+    }
+
+    const char *name() const override { return "stop-and-go"; }
+
+    void atSensorSample(Cycles now, const std::vector<Kelvin> &temps,
+                        DtmControl &control) override;
+
+    /** Number of times the pipeline was stopped. */
+    uint64_t triggers() const { return triggers_; }
+
+    /** Cycles spent stalled (updated at release). */
+    Cycles stallCycles() const { return stallCycles_; }
+
+    bool engaged() const { return engaged_; }
+
+    const StopAndGoParams &params() const { return params_; }
+
+  private:
+    StopAndGoParams params_;
+    bool engaged_ = false;
+    Cycles engagedAt_ = 0;
+    uint64_t triggers_ = 0;
+    Cycles stallCycles_ = 0;
+};
+
+} // namespace hs
+
+#endif // HS_CORE_STOP_AND_GO_HH

@@ -1,0 +1,349 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace hs {
+
+AsmError::AsmError(int line, const std::string &msg)
+    : std::runtime_error(strprintf("asm line %d: %s", line, msg.c_str())),
+      line_(line)
+{
+}
+
+namespace {
+
+/** Operand formats an instruction's text form can take. */
+enum class Format {
+    RRR,    ///< op rd, rs1, rs2
+    RRI,    ///< op rd, rs1, imm
+    RI,     ///< op rd, imm          (lui)
+    FFF,    ///< op fd, fs1, fs2
+    FF,     ///< op fd, fs1          (fmov)
+    FR,     ///< op fd, rs1          (fcvt)
+    Mem,    ///< op reg, imm(rbase)
+    BrCond, ///< op rs1, rs2, label
+    BrUncond, ///< op label
+    None    ///< op                  (nop, halt)
+};
+
+struct OpSpec
+{
+    Opcode op;
+    Format fmt;
+};
+
+const std::map<std::string, OpSpec> &
+opTable()
+{
+    static const std::map<std::string, OpSpec> table = {
+        {"add", {Opcode::Add, Format::RRR}},
+        {"addl", {Opcode::Add, Format::RRR}},   // Alpha alias
+        {"addq", {Opcode::Add, Format::RRR}},   // Alpha alias
+        {"sub", {Opcode::Sub, Format::RRR}},
+        {"subl", {Opcode::Sub, Format::RRR}},
+        {"subq", {Opcode::Sub, Format::RRR}},
+        {"mul", {Opcode::Mul, Format::RRR}},
+        {"mull", {Opcode::Mul, Format::RRR}},
+        {"div", {Opcode::Div, Format::RRR}},
+        {"and", {Opcode::And, Format::RRR}},
+        {"or", {Opcode::Or, Format::RRR}},
+        {"bis", {Opcode::Or, Format::RRR}},     // Alpha alias
+        {"xor", {Opcode::Xor, Format::RRR}},
+        {"sll", {Opcode::Sll, Format::RRR}},
+        {"srl", {Opcode::Srl, Format::RRR}},
+        {"sra", {Opcode::Sra, Format::RRR}},
+        {"slt", {Opcode::Slt, Format::RRR}},
+        {"addi", {Opcode::Addi, Format::RRI}},
+        {"andi", {Opcode::Andi, Format::RRI}},
+        {"ori", {Opcode::Ori, Format::RRI}},
+        {"xori", {Opcode::Xori, Format::RRI}},
+        {"slti", {Opcode::Slti, Format::RRI}},
+        {"slli", {Opcode::Slli, Format::RRI}},
+        {"srli", {Opcode::Srli, Format::RRI}},
+        {"lui", {Opcode::Lui, Format::RI}},
+        {"fadd", {Opcode::Fadd, Format::FFF}},
+        {"fsub", {Opcode::Fsub, Format::FFF}},
+        {"fmul", {Opcode::Fmul, Format::FFF}},
+        {"fdiv", {Opcode::Fdiv, Format::FFF}},
+        {"fcvt", {Opcode::Fcvt, Format::FR}},
+        {"fmov", {Opcode::Fmov, Format::FF}},
+        {"ld", {Opcode::Ld, Format::Mem}},
+        {"ldq", {Opcode::Ld, Format::Mem}},     // Alpha alias
+        {"st", {Opcode::St, Format::Mem}},
+        {"stq", {Opcode::St, Format::Mem}},     // Alpha alias
+        {"fld", {Opcode::Fld, Format::Mem}},
+        {"fst", {Opcode::Fst, Format::Mem}},
+        {"beq", {Opcode::Beq, Format::BrCond}},
+        {"bne", {Opcode::Bne, Format::BrCond}},
+        {"blt", {Opcode::Blt, Format::BrCond}},
+        {"bge", {Opcode::Bge, Format::BrCond}},
+        {"jmp", {Opcode::Jmp, Format::BrUncond}},
+        {"br", {Opcode::Jmp, Format::BrUncond}}, // Alpha alias
+        {"nop", {Opcode::Nop, Format::None}},
+        {"halt", {Opcode::Halt, Format::None}},
+    };
+    return table;
+}
+
+std::string
+stripComment(const std::string &line)
+{
+    size_t pos = line.find_first_of("#;");
+    return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string>
+splitOperands(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == ',') {
+            out.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    std::string last = trim(cur);
+    if (!last.empty())
+        out.push_back(last);
+    return out;
+}
+
+/** Parse "rN", "$N" or "fN" depending on @p fp; throws AsmError. */
+int
+parseReg(const std::string &tok, bool fp, int line)
+{
+    if (tok.size() < 2)
+        throw AsmError(line, "bad register '" + tok + "'");
+    char prefix = tok[0];
+    bool ok = fp ? (prefix == 'f')
+                 : (prefix == 'r' || prefix == '$');
+    if (!ok)
+        throw AsmError(line, strprintf("expected %s register, got '%s'",
+                                       fp ? "fp" : "int", tok.c_str()));
+    char *end = nullptr;
+    long n = std::strtol(tok.c_str() + 1, &end, 10);
+    if (*end != '\0' || n < 0 || n >= (fp ? numFpRegs : numIntRegs))
+        throw AsmError(line, "bad register '" + tok + "'");
+    return static_cast<int>(n);
+}
+
+int64_t
+parseImm(const std::string &tok, int line)
+{
+    if (tok.empty())
+        throw AsmError(line, "missing immediate");
+    char *end = nullptr;
+    long long v = std::strtoll(tok.c_str(), &end, 0);
+    if (*end != '\0')
+        throw AsmError(line, "bad immediate '" + tok + "'");
+    return v;
+}
+
+/** Parse "imm(rN)"; @return {imm, base-reg}. */
+std::pair<int64_t, int>
+parseMemOperand(const std::string &tok, int line)
+{
+    size_t open = tok.find('(');
+    size_t close = tok.find(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open || close != tok.size() - 1) {
+        throw AsmError(line, "bad memory operand '" + tok + "'");
+    }
+    std::string imm_str = trim(tok.substr(0, open));
+    std::string reg_str = trim(tok.substr(open + 1, close - open - 1));
+    int64_t imm = imm_str.empty() ? 0 : parseImm(imm_str, line);
+    int base = parseReg(reg_str, false, line);
+    return {imm, base};
+}
+
+bool
+isLabelChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '$' || c == '.';
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source, const std::string &name)
+{
+    struct Pending
+    {
+        uint64_t index;
+        std::string label;
+        int line;
+    };
+
+    Program prog(name);
+    std::map<std::string, uint64_t> labels;
+    std::vector<Pending> fixups;
+
+    std::istringstream in(source);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string line = trim(stripComment(raw));
+        if (line.empty())
+            continue;
+
+        // Leading label(s): "name:" possibly followed by an instruction.
+        for (;;) {
+            size_t colon = line.find(':');
+            if (colon == std::string::npos)
+                break;
+            std::string maybe_label = trim(line.substr(0, colon));
+            bool valid = !maybe_label.empty();
+            for (char c : maybe_label)
+                valid = valid && isLabelChar(c);
+            if (!valid)
+                break;
+            if (labels.count(maybe_label)) {
+                throw AsmError(line_no,
+                               "duplicate label '" + maybe_label + "'");
+            }
+            labels[maybe_label] = prog.size();
+            line = trim(line.substr(colon + 1));
+            if (line.empty())
+                break;
+        }
+        if (line.empty())
+            continue;
+
+        // Split mnemonic from operand list.
+        size_t sp = line.find_first_of(" \t");
+        std::string mnem = sp == std::string::npos ? line
+                                                   : line.substr(0, sp);
+        std::string rest = sp == std::string::npos
+                               ? ""
+                               : trim(line.substr(sp + 1));
+        for (auto &c : mnem)
+            c = static_cast<char>(std::tolower(
+                static_cast<unsigned char>(c)));
+
+        auto it = opTable().find(mnem);
+        if (it == opTable().end())
+            throw AsmError(line_no, "unknown mnemonic '" + mnem + "'");
+        const OpSpec &spec = it->second;
+        std::vector<std::string> ops = splitOperands(rest);
+
+        auto need = [&](size_t n) {
+            if (ops.size() != n) {
+                throw AsmError(line_no,
+                               strprintf("'%s' expects %zu operands, got "
+                                         "%zu", mnem.c_str(), n,
+                                         ops.size()));
+            }
+        };
+
+        Instruction inst;
+        inst.op = spec.op;
+        switch (spec.fmt) {
+          case Format::RRR:
+            need(3);
+            inst.rd = static_cast<uint8_t>(parseReg(ops[0], false,
+                                                    line_no));
+            inst.rs1 = static_cast<uint8_t>(parseReg(ops[1], false,
+                                                     line_no));
+            inst.rs2 = static_cast<uint8_t>(parseReg(ops[2], false,
+                                                     line_no));
+            break;
+          case Format::RRI:
+            need(3);
+            inst.rd = static_cast<uint8_t>(parseReg(ops[0], false,
+                                                    line_no));
+            inst.rs1 = static_cast<uint8_t>(parseReg(ops[1], false,
+                                                     line_no));
+            inst.imm = parseImm(ops[2], line_no);
+            break;
+          case Format::RI:
+            need(2);
+            inst.rd = static_cast<uint8_t>(parseReg(ops[0], false,
+                                                    line_no));
+            inst.imm = parseImm(ops[1], line_no);
+            break;
+          case Format::FFF:
+            need(3);
+            inst.rd = static_cast<uint8_t>(parseReg(ops[0], true,
+                                                    line_no));
+            inst.rs1 = static_cast<uint8_t>(parseReg(ops[1], true,
+                                                     line_no));
+            inst.rs2 = static_cast<uint8_t>(parseReg(ops[2], true,
+                                                     line_no));
+            break;
+          case Format::FF:
+            need(2);
+            inst.rd = static_cast<uint8_t>(parseReg(ops[0], true,
+                                                    line_no));
+            inst.rs1 = static_cast<uint8_t>(parseReg(ops[1], true,
+                                                     line_no));
+            break;
+          case Format::FR:
+            need(2);
+            inst.rd = static_cast<uint8_t>(parseReg(ops[0], true,
+                                                    line_no));
+            inst.rs1 = static_cast<uint8_t>(parseReg(ops[1], false,
+                                                     line_no));
+            break;
+          case Format::Mem: {
+            need(2);
+            bool fp = inst.op == Opcode::Fld || inst.op == Opcode::Fst;
+            int data_reg = parseReg(ops[0], fp, line_no);
+            auto [imm, base] = parseMemOperand(ops[1], line_no);
+            inst.imm = imm;
+            inst.rs1 = static_cast<uint8_t>(base);
+            if (inst.op == Opcode::St || inst.op == Opcode::Fst)
+                inst.rs2 = static_cast<uint8_t>(data_reg);
+            else
+                inst.rd = static_cast<uint8_t>(data_reg);
+            break;
+          }
+          case Format::BrCond:
+            need(3);
+            inst.rs1 = static_cast<uint8_t>(parseReg(ops[0], false,
+                                                     line_no));
+            inst.rs2 = static_cast<uint8_t>(parseReg(ops[1], false,
+                                                     line_no));
+            fixups.push_back({prog.size(), ops[2], line_no});
+            break;
+          case Format::BrUncond:
+            need(1);
+            fixups.push_back({prog.size(), ops[0], line_no});
+            break;
+          case Format::None:
+            need(0);
+            break;
+        }
+        prog.append(inst);
+    }
+
+    for (const Pending &fix : fixups) {
+        auto it = labels.find(fix.label);
+        if (it == labels.end())
+            throw AsmError(fix.line, "undefined label '" + fix.label + "'");
+        prog.at(fix.index).target = it->second;
+    }
+    return prog;
+}
+
+} // namespace hs

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Two-pass text assembler for the simulated ISA.
+ *
+ * Accepts both the native syntax (r1/f1 registers) and Alpha-flavoured
+ * aliases ($1 registers, addl/ldq/stq/br mnemonics) so the malicious
+ * kernels of Figures 1-2 in the paper assemble verbatim:
+ *
+ *     L$1:
+ *         addl $1, $2, $3
+ *         ...
+ *         br L$1
+ *
+ * Syntax:
+ *  - one instruction or label per line; labels end with ':'
+ *  - comments start with '#' or ';'
+ *  - memory operands are imm(rN), e.g.  ld r4, 16(r2)
+ *  - branch/jump targets are labels
+ */
+
+#ifndef HS_ISA_ASSEMBLER_HH
+#define HS_ISA_ASSEMBLER_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace hs {
+
+/** Error thrown on malformed assembly input; what() names the line. */
+class AsmError : public std::runtime_error
+{
+  public:
+    AsmError(int line, const std::string &msg);
+
+    /** @return the 1-based source line of the error. */
+    int line() const { return line_; }
+
+  private:
+    int line_;
+};
+
+/**
+ * Assemble @p source into a Program named @p name.
+ * @throws AsmError on any syntax error or undefined label.
+ */
+Program assemble(const std::string &source,
+                 const std::string &name = "asm");
+
+} // namespace hs
+
+#endif // HS_ISA_ASSEMBLER_HH

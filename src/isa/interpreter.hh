@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reference interpreter: a direct functional executor for the ISA.
+ *
+ * Executes a Program sequentially with no microarchitecture at all.
+ * Its purpose is differential testing — the out-of-order SMT pipeline
+ * must produce exactly this architectural state for any program — and
+ * quick functional experiments. Semantics match the pipeline:
+ * r0 is hard-wired zero, integer divide by zero yields 0, and memory
+ * accesses are 8-byte aligned 64-bit words within a 4 GB data segment.
+ */
+
+#ifndef HS_ISA_INTERPRETER_HH
+#define HS_ISA_INTERPRETER_HH
+
+#include <array>
+
+#include "isa/program.hh"
+#include "mem/memory.hh"
+
+namespace hs {
+
+/** Final architectural state of an interpreted run. */
+struct InterpResult
+{
+    bool halted = false;     ///< reached a Halt (vs. step budget)
+    uint64_t steps = 0;      ///< instructions executed
+    std::array<int64_t, numIntRegs> intRegs{};
+    std::array<double, numFpRegs> fpRegs{};
+};
+
+/**
+ * Execute @p program from pc 0 until Halt or @p max_steps.
+ *
+ * @param memory optional data memory; when null an internal memory
+ *        initialised from the program's data image is used (and
+ *        discarded).
+ */
+InterpResult interpret(const Program &program, uint64_t max_steps,
+                       SparseMemory *memory = nullptr);
+
+} // namespace hs
+
+#endif // HS_ISA_INTERPRETER_HH

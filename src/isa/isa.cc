@@ -1,0 +1,290 @@
+#include "isa/isa.hh"
+
+#include "common/log.hh"
+
+namespace hs {
+
+InstClass
+Instruction::opcodeClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Sra:
+      case Opcode::Slt:
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Slti:
+      case Opcode::Slli:
+      case Opcode::Srli:
+      case Opcode::Lui:
+        return InstClass::IntAlu;
+      case Opcode::Mul:
+        return InstClass::IntMult;
+      case Opcode::Div:
+        return InstClass::IntDiv;
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+      case Opcode::Fcvt:
+      case Opcode::Fmov:
+        return InstClass::FpAdd;
+      case Opcode::Fmul:
+        return InstClass::FpMul;
+      case Opcode::Fdiv:
+        return InstClass::FpDiv;
+      case Opcode::Ld:
+      case Opcode::Fld:
+        return InstClass::Load;
+      case Opcode::St:
+      case Opcode::Fst:
+        return InstClass::Store;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        return InstClass::Branch;
+      case Opcode::Jmp:
+        return InstClass::Jump;
+      case Opcode::Nop:
+        return InstClass::Nop;
+      case Opcode::Halt:
+        return InstClass::Halt;
+      default:
+        panic("opcodeClass: bad opcode %d", static_cast<int>(op));
+    }
+}
+
+bool
+Instruction::writesIntReg() const
+{
+    switch (instClass()) {
+      case InstClass::IntAlu:
+      case InstClass::IntMult:
+      case InstClass::IntDiv:
+        return rd != 0;
+      case InstClass::Load:
+        return op == Opcode::Ld && rd != 0;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::writesFpReg() const
+{
+    switch (instClass()) {
+      case InstClass::FpAdd:
+      case InstClass::FpMul:
+      case InstClass::FpDiv:
+        return true;
+      case InstClass::Load:
+        return op == Opcode::Fld;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::readsIntRs1() const
+{
+    switch (instClass()) {
+      case InstClass::IntAlu:
+        return op != Opcode::Lui;
+      case InstClass::IntMult:
+      case InstClass::IntDiv:
+      case InstClass::Load:
+      case InstClass::Store:
+      case InstClass::Branch:
+        return true;
+      case InstClass::FpAdd:
+        return op == Opcode::Fcvt;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::readsIntRs2() const
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Sra:
+      case Opcode::Slt:
+      case Opcode::St:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::readsFpRs1() const
+{
+    switch (op) {
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+      case Opcode::Fmul:
+      case Opcode::Fdiv:
+      case Opcode::Fmov:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::readsFpRs2() const
+{
+    switch (op) {
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+      case Opcode::Fmul:
+      case Opcode::Fdiv:
+        return true;
+      case Opcode::Fst:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Sll: return "sll";
+      case Opcode::Srl: return "srl";
+      case Opcode::Sra: return "sra";
+      case Opcode::Slt: return "slt";
+      case Opcode::Addi: return "addi";
+      case Opcode::Andi: return "andi";
+      case Opcode::Ori: return "ori";
+      case Opcode::Xori: return "xori";
+      case Opcode::Slti: return "slti";
+      case Opcode::Slli: return "slli";
+      case Opcode::Srli: return "srli";
+      case Opcode::Lui: return "lui";
+      case Opcode::Fadd: return "fadd";
+      case Opcode::Fsub: return "fsub";
+      case Opcode::Fmul: return "fmul";
+      case Opcode::Fdiv: return "fdiv";
+      case Opcode::Fcvt: return "fcvt";
+      case Opcode::Fmov: return "fmov";
+      case Opcode::Ld: return "ld";
+      case Opcode::St: return "st";
+      case Opcode::Fld: return "fld";
+      case Opcode::Fst: return "fst";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Nop: return "nop";
+      case Opcode::Halt: return "halt";
+      default:
+        panic("opcodeName: bad opcode %d", static_cast<int>(op));
+    }
+}
+
+int
+instClassLatency(InstClass c)
+{
+    switch (c) {
+      case InstClass::IntAlu: return 1;
+      case InstClass::IntMult: return 3;
+      case InstClass::IntDiv: return 20;
+      case InstClass::FpAdd: return 2;
+      case InstClass::FpMul: return 4;
+      case InstClass::FpDiv: return 12;
+      case InstClass::Load: return 1;  // address generation
+      case InstClass::Store: return 1; // address generation
+      case InstClass::Branch: return 1;
+      case InstClass::Jump: return 1;
+      case InstClass::Nop: return 1;
+      case InstClass::Halt: return 1;
+      default:
+        panic("instClassLatency: bad class %d", static_cast<int>(c));
+    }
+}
+
+std::string
+Instruction::disassemble() const
+{
+    const char *name = opcodeName(op);
+    switch (instClass()) {
+      case InstClass::IntAlu:
+      case InstClass::IntMult:
+      case InstClass::IntDiv:
+        switch (op) {
+          case Opcode::Addi:
+          case Opcode::Andi:
+          case Opcode::Ori:
+          case Opcode::Xori:
+          case Opcode::Slti:
+          case Opcode::Slli:
+          case Opcode::Srli:
+            return strprintf("%s r%d, r%d, %lld", name, rd, rs1,
+                             static_cast<long long>(imm));
+          case Opcode::Lui:
+            return strprintf("%s r%d, %lld", name, rd,
+                             static_cast<long long>(imm));
+          default:
+            return strprintf("%s r%d, r%d, r%d", name, rd, rs1, rs2);
+        }
+      case InstClass::FpAdd:
+      case InstClass::FpMul:
+      case InstClass::FpDiv:
+        if (op == Opcode::Fcvt)
+            return strprintf("%s f%d, r%d", name, rd, rs1);
+        if (op == Opcode::Fmov)
+            return strprintf("%s f%d, f%d", name, rd, rs1);
+        return strprintf("%s f%d, f%d, f%d", name, rd, rs1, rs2);
+      case InstClass::Load:
+        return strprintf("%s %c%d, %lld(r%d)", name,
+                         op == Opcode::Fld ? 'f' : 'r', rd,
+                         static_cast<long long>(imm), rs1);
+      case InstClass::Store:
+        return strprintf("%s %c%d, %lld(r%d)", name,
+                         op == Opcode::Fst ? 'f' : 'r', rs2,
+                         static_cast<long long>(imm), rs1);
+      case InstClass::Branch:
+        return strprintf("%s r%d, r%d, @%llu", name, rs1, rs2,
+                         static_cast<unsigned long long>(target));
+      case InstClass::Jump:
+        return strprintf("%s @%llu", name,
+                         static_cast<unsigned long long>(target));
+      case InstClass::Nop:
+      case InstClass::Halt:
+        return name;
+      default:
+        panic("disassemble: bad class");
+    }
+}
+
+} // namespace hs

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The simulated RISC instruction set.
+ *
+ * A small Alpha-flavoured load/store ISA: 32 integer registers (r0 wired
+ * to zero), 32 floating-point registers, and the operation classes the
+ * SMT pipeline models distinctly (int ALU / multiply / divide, FP add /
+ * multiply / divide, loads, stores, branches, jumps).
+ *
+ * Instructions are held decoded (no binary encoding) since the pipeline
+ * is a performance model; the assembler in assembler.hh produces them
+ * from text so malicious kernels can be written exactly as the listings
+ * in Figures 1-2 of the paper.
+ */
+
+#ifndef HS_ISA_ISA_HH
+#define HS_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace hs {
+
+/** Number of architectural integer registers (r0 is hard-wired zero). */
+constexpr int numIntRegs = 32;
+/** Number of architectural floating-point registers. */
+constexpr int numFpRegs = 32;
+
+/** All operations in the simulated ISA. */
+enum class Opcode : uint8_t {
+    // Integer register-register.
+    Add, Sub, Mul, Div, And, Or, Xor, Sll, Srl, Sra, Slt,
+    // Integer register-immediate.
+    Addi, Andi, Ori, Xori, Slti, Slli, Srli, Lui,
+    // Floating point.
+    Fadd, Fsub, Fmul, Fdiv, Fcvt, Fmov,
+    // Memory.
+    Ld, St, Fld, Fst,
+    // Control.
+    Beq, Bne, Blt, Bge, Jmp,
+    // Misc.
+    Nop, Halt,
+
+    NumOpcodes
+};
+
+/** Functional-unit / scheduling class of an operation. */
+enum class InstClass : uint8_t {
+    IntAlu,
+    IntMult,
+    IntDiv,
+    FpAdd,
+    FpMul,
+    FpDiv,
+    Load,
+    Store,
+    Branch, ///< conditional branch
+    Jump,   ///< unconditional jump
+    Nop,
+    Halt
+};
+
+/**
+ * One decoded instruction.
+ *
+ * Field usage by format:
+ *  - reg-reg ALU/FP: rd <- rs1 op rs2
+ *  - reg-imm ALU:    rd <- rs1 op imm
+ *  - Ld/Fld:         rd <- MEM[rs1 + imm]
+ *  - St/Fst:         MEM[rs1 + imm] <- rs2
+ *  - Beq/Bne/...:    if (rs1 cmp rs2) goto target
+ *  - Jmp:            goto target
+ *
+ * Register indices address the integer file for integer ops and the FP
+ * file for FP ops; Fcvt reads rs1 from the integer file and writes rd in
+ * the FP file.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int64_t imm = 0;
+    /** Branch/jump target as an instruction index within the program. */
+    uint64_t target = 0;
+
+    /** @return the scheduling class of this instruction. */
+    InstClass instClass() const { return opcodeClass(op); }
+
+    /** @return the scheduling class of @p op. */
+    static InstClass opcodeClass(Opcode op);
+
+    /** @return true if the operation writes an integer destination. */
+    bool writesIntReg() const;
+    /** @return true if the operation writes an FP destination. */
+    bool writesFpReg() const;
+    /** @return true if rs1 names an integer source register. */
+    bool readsIntRs1() const;
+    /** @return true if rs2 names an integer source register. */
+    bool readsIntRs2() const;
+    /** @return true if rs1 names an FP source register. */
+    bool readsFpRs1() const;
+    /** @return true if rs2 names an FP source register. */
+    bool readsFpRs2() const;
+
+    /** @return true for loads and stores. */
+    bool
+    isMemRef() const
+    {
+        InstClass c = instClass();
+        return c == InstClass::Load || c == InstClass::Store;
+    }
+
+    /** @return true for conditional branches and jumps. */
+    bool
+    isControl() const
+    {
+        InstClass c = instClass();
+        return c == InstClass::Branch || c == InstClass::Jump;
+    }
+
+    /** @return a human-readable disassembly string. */
+    std::string disassemble() const;
+};
+
+/** @return the mnemonic for @p op (e.g. "add"). */
+const char *opcodeName(Opcode op);
+
+/** @return the execution latency in cycles of class @p c (hit latency
+ *  for memory ops is owned by the cache model, so Load/Store return the
+ *  address-generation latency here). */
+int instClassLatency(InstClass c);
+
+} // namespace hs
+
+#endif // HS_ISA_ISA_HH

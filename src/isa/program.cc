@@ -1,0 +1,46 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace hs {
+
+const Instruction &
+Program::fetch(uint64_t pc) const
+{
+    if (pc >= instrs_.size())
+        panic("Program '%s': fetch pc %llu out of range (size %zu)",
+              name_.c_str(), static_cast<unsigned long long>(pc),
+              instrs_.size());
+    return instrs_[pc];
+}
+
+Instruction &
+Program::at(uint64_t pc)
+{
+    if (pc >= instrs_.size())
+        panic("Program '%s': at() pc %llu out of range (size %zu)",
+              name_.c_str(), static_cast<unsigned long long>(pc),
+              instrs_.size());
+    return instrs_[pc];
+}
+
+void
+Program::setInitReg(int reg, int64_t value)
+{
+    if (reg <= 0 || reg >= numIntRegs)
+        fatal("setInitReg: register r%d not writable", reg);
+    initRegs_[reg] = value;
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream os;
+    for (uint64_t i = 0; i < instrs_.size(); ++i)
+        os << i << ":\t" << instrs_[i].disassemble() << "\n";
+    return os.str();
+}
+
+} // namespace hs

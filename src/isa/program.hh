@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Program container: a named sequence of decoded instructions plus the
+ * initial data image for the thread that runs it.
+ */
+
+#ifndef HS_ISA_PROGRAM_HH
+#define HS_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace hs {
+
+/**
+ * A complete simulated program.
+ *
+ * The program counter is an index into instrs; the fetch stage converts
+ * it into a byte address (codeBase + pc * instBytes) for I-cache access.
+ * Programs are expected to loop forever (workloads) or end in Halt
+ * (directed tests).
+ */
+class Program
+{
+  public:
+    /** Architectural size of one instruction in memory, for I-cache
+     *  addressing purposes. */
+    static constexpr Addr instBytes = 8;
+
+    Program() = default;
+    explicit Program(std::string name) : name_(std::move(name)) {}
+
+    /** Append an instruction; @return its index. */
+    uint64_t
+    append(const Instruction &inst)
+    {
+        instrs_.push_back(inst);
+        return instrs_.size() - 1;
+    }
+
+    /** Access the instruction at @p pc; panics if out of range. */
+    const Instruction &fetch(uint64_t pc) const;
+
+    /** Mutable access (used by assemblers to patch branch targets). */
+    Instruction &at(uint64_t pc);
+
+    uint64_t size() const { return instrs_.size(); }
+    bool empty() const { return instrs_.empty(); }
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /** Set an initial 64-bit value at data address @p addr. */
+    void poke64(Addr addr, uint64_t value) { dataImage_[addr] = value; }
+
+    /** @return the initial data image (address -> 64-bit value). */
+    const std::unordered_map<Addr, uint64_t> &
+    dataImage() const
+    {
+        return dataImage_;
+    }
+
+    /** Set the initial value of integer register @p reg. */
+    void setInitReg(int reg, int64_t value);
+
+    /** @return initial register values (reg index -> value). */
+    const std::unordered_map<int, int64_t> &
+    initRegs() const
+    {
+        return initRegs_;
+    }
+
+    /** @return full disassembly, one instruction per line. */
+    std::string disassemble() const;
+
+  private:
+    std::string name_;
+    std::vector<Instruction> instrs_;
+    std::unordered_map<Addr, uint64_t> dataImage_;
+    std::unordered_map<int, int64_t> initRegs_;
+};
+
+} // namespace hs
+
+#endif // HS_ISA_PROGRAM_HH

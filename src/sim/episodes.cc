@@ -1,0 +1,68 @@
+#include "sim/episodes.hh"
+
+#include "common/log.hh"
+
+namespace hs {
+
+std::vector<Episode>
+extractEpisodes(const std::vector<TempSample> &trace,
+                Kelvin trigger_temp, Kelvin resume_temp)
+{
+    if (resume_temp >= trigger_temp)
+        fatal("extractEpisodes: resume must be below trigger");
+
+    std::vector<Episode> episodes;
+    enum class Phase { Low, Rising, Cooling };
+    Phase phase = Phase::Low;
+    Episode current;
+
+    for (const TempSample &s : trace) {
+        Kelvin t = s.intRegTemp;
+        switch (phase) {
+          case Phase::Low:
+            if (t > resume_temp) {
+                current = Episode{};
+                current.riseStart = s.cycle;
+                phase = Phase::Rising;
+            }
+            break;
+          case Phase::Rising:
+            if (t >= trigger_temp) {
+                current.peakAt = s.cycle;
+                phase = Phase::Cooling;
+            } else if (t <= resume_temp) {
+                phase = Phase::Low; // aborted rise: not an episode
+            }
+            break;
+          case Phase::Cooling:
+            if (t <= resume_temp) {
+                current.fallEnd = s.cycle;
+                episodes.push_back(current);
+                phase = Phase::Low;
+            }
+            break;
+        }
+    }
+    return episodes;
+}
+
+EpisodeStats
+summarizeEpisodes(const std::vector<Episode> &episodes)
+{
+    EpisodeStats stats;
+    stats.count = episodes.size();
+    if (episodes.empty())
+        return stats;
+    double heat = 0, cool = 0, duty = 0;
+    for (const Episode &e : episodes) {
+        heat += static_cast<double>(e.heatCycles());
+        cool += static_cast<double>(e.coolCycles());
+        duty += e.dutyCycle();
+    }
+    stats.meanHeatCycles = heat / static_cast<double>(stats.count);
+    stats.meanCoolCycles = cool / static_cast<double>(stats.count);
+    stats.meanDutyCycle = duty / static_cast<double>(stats.count);
+    return stats;
+}
+
+} // namespace hs

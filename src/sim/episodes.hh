@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Heat/cool episode analysis over temperature traces.
+ *
+ * Section 3.1 of the paper characterises heat stroke by its episode
+ * structure: the hot spot heats from normal operation to the emergency
+ * threshold, the pipeline stalls, the resource cools, and the cycle
+ * repeats. This module extracts those episodes from a recorded
+ * TempSample trace so examples, benches and tests can measure heat-up
+ * times, cool-down times and duty cycles of *actual runs* rather than
+ * idealised thermal-model step responses.
+ */
+
+#ifndef HS_SIM_EPISODES_HH
+#define HS_SIM_EPISODES_HH
+
+#include <vector>
+
+#include "sim/results.hh"
+
+namespace hs {
+
+/** One heating-cooling episode of the traced hot spot. */
+struct Episode
+{
+    Cycles riseStart = 0;  ///< trace point where the rise began
+    Cycles peakAt = 0;     ///< crossing of the trigger temperature
+    Cycles fallEnd = 0;    ///< recovery below the resume temperature
+
+    Cycles heatCycles() const { return peakAt - riseStart; }
+    Cycles coolCycles() const { return fallEnd - peakAt; }
+    /** Active fraction of this episode (the paper's duty cycle). */
+    double
+    dutyCycle() const
+    {
+        Cycles total = fallEnd - riseStart;
+        return total ? static_cast<double>(heatCycles()) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/** Aggregate episode statistics. */
+struct EpisodeStats
+{
+    size_t count = 0;
+    double meanHeatCycles = 0;
+    double meanCoolCycles = 0;
+    double meanDutyCycle = 0;
+};
+
+/**
+ * Extract completed heat/cool episodes from a trace.
+ *
+ * An episode starts when the traced hot-spot temperature last crossed
+ * @p resume_temp on its way up, peaks when it reaches @p trigger_temp,
+ * and ends when it falls back below @p resume_temp. Episodes that
+ * never reach the trigger, or are still open at the end of the trace,
+ * are discarded.
+ */
+std::vector<Episode> extractEpisodes(const std::vector<TempSample> &trace,
+                                     Kelvin trigger_temp,
+                                     Kelvin resume_temp);
+
+/** Aggregate a set of episodes. */
+EpisodeStats summarizeEpisodes(const std::vector<Episode> &episodes);
+
+} // namespace hs
+
+#endif // HS_SIM_EPISODES_HH

@@ -1,0 +1,114 @@
+#include "sim/experiment.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace hs {
+
+double
+envTimeScale(double default_scale)
+{
+    const char *env = std::getenv("HS_SCALE");
+    if (!env || !*env)
+        return default_scale;
+    char *end = nullptr;
+    double v = std::strtod(env, &end);
+    if (end == env || v <= 0) {
+        warn("ignoring bad HS_SCALE value '%s'", env);
+        return default_scale;
+    }
+    return v;
+}
+
+ExperimentOptions
+ExperimentOptions::fromEnv()
+{
+    ExperimentOptions opts;
+    opts.timeScale = envTimeScale(opts.timeScale);
+    return opts;
+}
+
+SimConfig
+makeSimConfig(const ExperimentOptions &opts)
+{
+    SimConfig cfg;
+    double s = opts.timeScale;
+    if (s <= 0)
+        fatal("experiment: time scale must be positive");
+
+    cfg.quantumCycles = static_cast<Cycles>(
+        std::llround(500e6 / s)); // Section 4: one OS quantum
+    cfg.thermal.timeScale = s;
+    cfg.thermal.idealSink = opts.sink == SinkType::Ideal;
+    cfg.thermal.convectionR = opts.convectionR;
+    cfg.dtm = opts.sink == SinkType::Ideal ? DtmMode::None : opts.dtm;
+
+    cfg.sedation.upperThreshold = opts.upperThreshold;
+    cfg.sedation.lowerThreshold = opts.lowerThreshold;
+    cfg.sedation.useUsageThreshold = opts.sedationUsageThreshold;
+    // Twice the ~12.5 ms cooling time (Section 3.2.2), in cycles,
+    // matched to the thermal scale.
+    cfg.sedation.recheckCycles = static_cast<Cycles>(
+        std::llround(2.0 * 0.0125 * cfg.energy.frequencyHz / s));
+    // Keep the EWMA window matched to the (scaled) hot-spot formation
+    // time: ~0.5 M cycles at paper scale (Section 4, x = 1/512),
+    // shorter for scaled runs.
+    cfg.sedation.ewmaShift = s >= 4.0 ? 7 : 9;
+
+    cfg.recordTempTrace = opts.recordTempTrace;
+    return cfg;
+}
+
+MaliciousParams
+makeMaliciousParams(const ExperimentOptions &opts)
+{
+    return MaliciousParams{}.scaled(opts.timeScale);
+}
+
+namespace {
+
+RunResult
+runTwo(Program a, Program b, const ExperimentOptions &opts)
+{
+    Simulator sim(makeSimConfig(opts));
+    sim.setWorkload(0, std::move(a));
+    sim.setWorkload(1, std::move(b));
+    return sim.run();
+}
+
+} // namespace
+
+RunResult
+runSolo(const std::string &spec, const ExperimentOptions &opts)
+{
+    Simulator sim(makeSimConfig(opts));
+    sim.setWorkload(0, synthesizeSpec(spec));
+    return sim.run();
+}
+
+RunResult
+runMaliciousSolo(int variant, const ExperimentOptions &opts)
+{
+    Simulator sim(makeSimConfig(opts));
+    sim.setWorkload(0, makeVariant(variant, makeMaliciousParams(opts)));
+    return sim.run();
+}
+
+RunResult
+runWithVariant(const std::string &spec, int variant,
+               const ExperimentOptions &opts)
+{
+    return runTwo(synthesizeSpec(spec),
+                  makeVariant(variant, makeMaliciousParams(opts)), opts);
+}
+
+RunResult
+runSpecPair(const std::string &a, const std::string &b,
+            const ExperimentOptions &opts)
+{
+    return runTwo(synthesizeSpec(a), synthesizeSpec(b), opts);
+}
+
+} // namespace hs

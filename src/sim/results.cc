@@ -1,0 +1,74 @@
+#include "sim/results.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace hs {
+
+namespace {
+
+double
+fraction(uint64_t part, uint64_t whole)
+{
+    return whole ? static_cast<double>(part) / static_cast<double>(whole)
+                 : 0.0;
+}
+
+} // namespace
+
+double
+RunResult::normalFraction(size_t thread) const
+{
+    const ThreadResult &t = threads.at(thread);
+    return fraction(t.normalCycles, cycles);
+}
+
+double
+RunResult::coolingFraction(size_t thread) const
+{
+    const ThreadResult &t = threads.at(thread);
+    return fraction(t.coolingCycles, cycles);
+}
+
+double
+RunResult::sedationFraction(size_t thread) const
+{
+    const ThreadResult &t = threads.at(thread);
+    return fraction(t.sedationCycles, cycles);
+}
+
+void
+TablePrinter::header(const std::vector<std::string> &columns)
+{
+    widths_.clear();
+    for (const std::string &c : columns)
+        widths_.push_back(c.size() + 2);
+    row(columns);
+    std::string rule;
+    for (size_t w : widths_)
+        rule += std::string(w, '-') + " ";
+    os_ << rule << "\n";
+}
+
+void
+TablePrinter::row(const std::vector<std::string> &cells)
+{
+    for (size_t i = 0; i < cells.size(); ++i) {
+        size_t w = i < widths_.size() ? widths_[i] : cells[i].size() + 2;
+        os_ << std::left << std::setw(static_cast<int>(w)) << cells[i]
+            << " ";
+    }
+    os_ << "\n";
+}
+
+std::string
+TablePrinter::num(double v, int digits)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << v;
+    return os.str();
+}
+
+} // namespace hs

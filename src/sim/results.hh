@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Result records for one simulated OS quantum, plus small table
+ * formatting helpers shared by the bench harnesses.
+ */
+
+#ifndef HS_SIM_RESULTS_HH
+#define HS_SIM_RESULTS_HH
+
+#include <array>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/blocks.hh"
+#include "common/types.hh"
+#include "core/sedation.hh"
+
+namespace hs {
+
+/** Per-thread outcome of a run. */
+struct ThreadResult
+{
+    std::string program;
+    uint64_t committed = 0;
+    double ipc = 0.0;
+    uint64_t normalCycles = 0;
+    uint64_t coolingCycles = 0;   ///< global stop-and-go stalls
+    uint64_t sedationCycles = 0;  ///< thread-selective stalls
+    double intRegAccessRate = 0.0; ///< accesses/cycle, whole quantum
+    double l1dMissRate = 0.0;      ///< (shared cache; whole-run rate)
+};
+
+/** One downsampled temperature trace point. */
+struct TempSample
+{
+    Cycles cycle = 0;
+    Kelvin intRegTemp = 0;
+    Kelvin hottestTemp = 0;
+    Kelvin sinkTemp = 0;
+};
+
+/** Outcome of one simulated quantum. */
+struct RunResult
+{
+    Cycles cycles = 0;
+    Cycles activeCycles = 0;
+    std::vector<ThreadResult> threads;
+
+    uint64_t emergencies = 0; ///< upward crossings of the emergency temp
+    std::array<uint64_t, numBlocks> emergenciesPerBlock{};
+    std::array<Kelvin, numBlocks> peakTemp{};
+    Kelvin peakTempOverall = 0;
+    Block hottestBlock = Block::IntReg;
+
+    uint64_t stopAndGoTriggers = 0;
+    Cycles coolingStallCycles = 0;
+    std::vector<SedationEvent> sedationEvents;
+    /** Threads the OS descheduled as repeat offenders (extension). */
+    std::vector<ThreadId> descheduledThreads;
+
+    double avgTotalPowerW = 0.0;
+    std::vector<TempSample> tempTrace;
+
+    /** Fraction helpers for the Figure 6 breakdown. */
+    double normalFraction(size_t thread) const;
+    double coolingFraction(size_t thread) const;
+    double sedationFraction(size_t thread) const;
+};
+
+/** Minimal fixed-width table printer for bench output. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::ostream &os) : os_(os) {}
+
+    /** Set column headers; widths derive from header length + 2. */
+    void header(const std::vector<std::string> &columns);
+
+    /** Print one row (converted with to_string-style formatting). */
+    void row(const std::vector<std::string> &cells);
+
+    /** Format a double with @p digits decimals. */
+    static std::string num(double v, int digits = 2);
+
+  private:
+    std::ostream &os_;
+    std::vector<size_t> widths_;
+};
+
+} // namespace hs
+
+#endif // HS_SIM_RESULTS_HH

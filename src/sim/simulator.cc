@@ -1,0 +1,525 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "thermal/floorplan.hh"
+
+namespace hs {
+
+const char *
+dtmModeName(DtmMode mode)
+{
+    switch (mode) {
+      case DtmMode::None: return "none";
+      case DtmMode::StopAndGo: return "stop-and-go";
+      case DtmMode::SelectiveSedation: return "selective-sedation";
+      case DtmMode::DvfsThrottle: return "dvfs-throttle";
+      case DtmMode::FetchGating: return "fetch-gating";
+      default:
+        panic("dtmModeName: bad mode %d", static_cast<int>(mode));
+    }
+}
+
+std::array<double, numBlocks>
+SimConfig::defaultNominalRates()
+{
+    // A typical two-thread SPEC mix (combined IPC ~2.2, ~30% memory
+    // ops, ~20% FP). Sets the "normal operating temperature" of
+    // Section 3.2.2 (the integer register file sits near 354 K).
+    std::array<double, numBlocks> rates{};
+    auto set = [&](Block b, double v) {
+        rates[static_cast<size_t>(blockIndex(b))] = v;
+    };
+    set(Block::Icache, 1.8);
+    set(Block::Itb, 1.8);
+    set(Block::Bpred, 0.5);
+    set(Block::IntMap, 3.0);
+    set(Block::FpMap, 0.5);
+    set(Block::IntQ, 13.5);
+    set(Block::IntReg, 11.5);
+    set(Block::FpReg, 1.2);
+    set(Block::IntExec, 2.3);
+    set(Block::FpAdd, 0.3);
+    set(Block::FpMul, 0.2);
+    set(Block::LdStQ, 1.1);
+    set(Block::Dcache, 1.1);
+    set(Block::Dtb, 1.1);
+    set(Block::L2, 0.05);
+    return rates;
+}
+
+Simulator::Simulator(const SimConfig &config)
+    : config_(config),
+      programs_(static_cast<size_t>(config.smt.numThreads)),
+      pipeline_(std::make_unique<Pipeline>(config.smt)),
+      energy_(std::make_unique<EnergyModel>(config.energy)),
+      thermal_(std::make_unique<ThermalModel>(Floorplan::ev6(),
+                                              config.thermal))
+{
+    if (config_.sensorInterval == 0 || config_.monitorInterval == 0)
+        fatal("Simulator: sampling intervals must be positive");
+    if (config_.sensorInterval % config_.monitorInterval != 0)
+        fatal("Simulator: sensor interval must be a multiple of the "
+              "monitor interval");
+
+    powerSnapshot_ = std::make_unique<ActivityCounters::Snapshot>(
+        pipeline_->activity());
+
+    switch (config_.dtm) {
+      case DtmMode::None:
+        break;
+      case DtmMode::StopAndGo: {
+        auto sg = std::make_unique<StopAndGo>(config_.stopAndGo);
+        stopAndGo_ = sg.get();
+        policies_.push_back(std::move(sg));
+        break;
+      }
+      case DtmMode::SelectiveSedation: {
+        auto sed = std::make_unique<SelectiveSedation>(
+            config_.smt.numThreads, config_.sedation,
+            config_.monitorInterval);
+        sedation_ = sed.get();
+        policies_.push_back(std::move(sed));
+        if (config_.descheduleRepeatOffenders) {
+            offenderTracker_ = std::make_unique<OffenderTracker>(
+                config_.smt.numThreads, config_.offenderPolicy);
+            offenderTracker_->setOnDeschedule([this](ThreadId tid) {
+                descheduled_.push_back(tid);
+                pipeline_->setSedated(tid, true);
+            });
+        }
+        sedation_->setOsReport([this](const SedationEvent &event) {
+            if (offenderTracker_)
+                offenderTracker_->onReport(event);
+            if (userOsReport_)
+                userOsReport_(event);
+        });
+        // Stop-and-go remains underneath as the safety net
+        // (Section 3.2.2).
+        auto sg = std::make_unique<StopAndGo>(config_.stopAndGo);
+        stopAndGo_ = sg.get();
+        policies_.push_back(std::move(sg));
+        break;
+      }
+      case DtmMode::DvfsThrottle: {
+        auto dvfs = std::make_unique<DvfsThrottle>(config_.dvfs);
+        policies_.push_back(std::move(dvfs));
+        auto sg = std::make_unique<StopAndGo>(config_.stopAndGo);
+        stopAndGo_ = sg.get();
+        policies_.push_back(std::move(sg));
+        break;
+      }
+      case DtmMode::FetchGating: {
+        auto gate = std::make_unique<FetchGating>(
+            config_.smt.numThreads, config_.fetchGating);
+        policies_.push_back(std::move(gate));
+        auto sg = std::make_unique<StopAndGo>(config_.stopAndGo);
+        stopAndGo_ = sg.get();
+        policies_.push_back(std::move(sg));
+        break;
+      }
+    }
+
+    peakTemp_.fill(0.0);
+}
+
+Simulator::~Simulator() = default;
+
+void
+Simulator::setWorkload(ThreadId tid, Program program)
+{
+    if (tid < 0 || tid >= config_.smt.numThreads)
+        fatal("setWorkload: thread %d out of range", tid);
+    programs_[static_cast<size_t>(tid)] =
+        std::make_unique<Program>(std::move(program));
+    pipeline_->setThreadProgram(tid,
+                                programs_[static_cast<size_t>(tid)].get());
+}
+
+// --- DtmControl ----------------------------------------------------------
+
+void
+Simulator::stallPipeline(bool stalled)
+{
+    pipeline_->setGlobalStall(stalled);
+}
+
+bool
+Simulator::pipelineStalled() const
+{
+    return pipeline_->globalStalled();
+}
+
+void
+Simulator::setOsReport(SelectiveSedation::OsReportFn fn)
+{
+    userOsReport_ = std::move(fn);
+    if (!sedation_ && userOsReport_)
+        warn("setOsReport: no sedation policy; callback will not fire");
+}
+
+void
+Simulator::sedateThread(ThreadId tid, bool sedated)
+{
+    // Threads the OS descheduled stay sedated no matter what the
+    // hardware policy decides afterwards.
+    if (!sedated) {
+        for (ThreadId d : descheduled_) {
+            if (d == tid)
+                return;
+        }
+    }
+    pipeline_->setSedated(tid, sedated);
+}
+
+void
+Simulator::throttleThread(ThreadId tid, int every_k)
+{
+    // OS-descheduled threads stay fully sedated.
+    if (every_k <= 1) {
+        for (ThreadId d : descheduled_) {
+            if (d == tid)
+                return;
+        }
+    }
+    pipeline_->setThreadThrottle(tid, every_k);
+}
+
+void
+Simulator::throttlePipeline(int every_k)
+{
+    pipeline_->setThrottle(every_k);
+}
+
+int
+Simulator::numThreads() const
+{
+    return config_.smt.numThreads;
+}
+
+bool
+Simulator::threadActive(ThreadId tid) const
+{
+    return pipeline_->thread(tid).state == ThreadState::Active;
+}
+
+// --- run loop ------------------------------------------------------------
+
+void
+Simulator::countEmergencies(const std::vector<Kelvin> &temps)
+{
+    for (int b = 0; b < numBlocks; ++b) {
+        size_t i = static_cast<size_t>(b);
+        Kelvin t = temps[i];
+        peakTemp_[i] = std::max(peakTemp_[i], t);
+        if (!aboveEmergency_[i] && t >= config_.emergencyTemp) {
+            aboveEmergency_[i] = true;
+            ++emergencies_;
+            ++emergenciesPerBlock_[i];
+        } else if (aboveEmergency_[i] &&
+                   t < config_.emergencyTemp - 0.5) {
+            aboveEmergency_[i] = false;
+        }
+    }
+}
+
+void
+Simulator::sampleSensors()
+{
+    Cycles now = pipeline_->cycle();
+    Cycles active = pipeline_->activeCycles();
+    Cycles active_delta = active - lastActiveCycles_;
+    lastActiveCycles_ = active;
+
+    std::vector<Watts> power = energy_->windowPower(
+        pipeline_->activity(), *powerSnapshot_, config_.sensorInterval,
+        active_delta);
+    double dt = static_cast<double>(config_.sensorInterval) /
+                config_.energy.frequencyHz;
+    thermal_->step(power, dt);
+    energyAccumJ_ += EnergyModel::total(power) * dt;
+
+    std::vector<Kelvin> temps(static_cast<size_t>(numBlocks));
+    for (int b = 0; b < numBlocks; ++b)
+        temps[static_cast<size_t>(b)] =
+            thermal_->blockTemp(blockFromIndex(b));
+
+    // Emergencies are physical: counted on the true temperatures.
+    countEmergencies(temps);
+
+    if (config_.sensorNoiseK > 0.0) {
+        // Policies observe imperfect sensors (deterministic stream).
+        for (Kelvin &t : temps)
+            t += (sensorNoise_.nextDouble() * 2.0 - 1.0) *
+                 config_.sensorNoiseK;
+    }
+
+    for (auto &policy : policies_)
+        policy->atSensorSample(now, temps, *this);
+
+    if (config_.recordTempTrace &&
+        now - lastTraceAt_ >= config_.tempTraceInterval) {
+        lastTraceAt_ = now;
+        auto [block, hottest] = thermal_->hottest();
+        (void)block;
+        tempTrace_.push_back(TempSample{
+            now, thermal_->blockTemp(Block::IntReg), hottest,
+            thermal_->sinkTemp()});
+    }
+}
+
+RunResult
+Simulator::run()
+{
+    // Establish normal-operation temperatures (HotSpot warm start).
+    thermal_->initSteadyState(
+        energy_->steadyPower(config_.nominalAccessRates));
+
+    const Cycles quantum = config_.quantumCycles;
+    const Cycles sensor = config_.sensorInterval;
+    const Cycles monitor = config_.monitorInterval;
+
+    while (pipeline_->cycle() < quantum) {
+        if (pipeline_->globalStalled()) {
+            // Nothing can change until a policy releases the pipeline
+            // at a sensor boundary: fast-forward to it.
+            Cycles now = pipeline_->cycle();
+            Cycles next = ((now / sensor) + 1) * sensor;
+            pipeline_->advanceStalled(std::min(next, quantum) - now);
+        } else {
+            pipeline_->tick();
+        }
+        Cycles c = pipeline_->cycle();
+        if (c % monitor == 0 && !pipeline_->globalStalled()) {
+            for (auto &policy : policies_)
+                policy->atMonitorSample(c, pipeline_->activity());
+        }
+        if (c % sensor == 0)
+            sampleSensors();
+        if (pipeline_->allHalted())
+            break;
+    }
+    return collectResults();
+}
+
+RunResult
+Simulator::collectResults() const
+{
+    RunResult result;
+    result.cycles = pipeline_->cycle();
+    result.activeCycles = pipeline_->activeCycles();
+
+    const Cache &l1d = pipeline_->mem().l1d();
+    double l1d_missrate = l1d.missRate();
+
+    for (ThreadId t = 0; t < config_.smt.numThreads; ++t) {
+        const ThreadContext &tc = pipeline_->thread(t);
+        if (tc.state == ThreadState::Idle)
+            continue;
+        ThreadResult tr;
+        tr.program = tc.program ? tc.program->name() : "";
+        tr.committed = tc.committedInsts;
+        tr.ipc = result.cycles
+                     ? static_cast<double>(tc.committedInsts) /
+                           static_cast<double>(result.cycles)
+                     : 0.0;
+        tr.normalCycles = tc.normalCycles;
+        tr.coolingCycles = tc.coolingCycles;
+        tr.sedationCycles = tc.sedationCycles;
+        tr.intRegAccessRate =
+            result.cycles
+                ? static_cast<double>(
+                      pipeline_->activity().count(t, Block::IntReg)) /
+                      static_cast<double>(result.cycles)
+                : 0.0;
+        tr.l1dMissRate = l1d_missrate;
+        result.threads.push_back(std::move(tr));
+    }
+
+    result.emergencies = emergencies_;
+    result.emergenciesPerBlock = emergenciesPerBlock_;
+    result.peakTemp = peakTemp_;
+    result.peakTempOverall = 0;
+    for (int b = 0; b < numBlocks; ++b) {
+        if (peakTemp_[static_cast<size_t>(b)] > result.peakTempOverall) {
+            result.peakTempOverall = peakTemp_[static_cast<size_t>(b)];
+            result.hottestBlock = blockFromIndex(b);
+        }
+    }
+
+    if (stopAndGo_) {
+        result.stopAndGoTriggers = stopAndGo_->triggers();
+        result.coolingStallCycles = stopAndGo_->stallCycles();
+    }
+    if (sedation_)
+        result.sedationEvents = sedation_->events();
+    result.descheduledThreads = descheduled_;
+
+    double seconds = static_cast<double>(result.cycles) /
+                     config_.energy.frequencyHz;
+    result.avgTotalPowerW = seconds > 0 ? energyAccumJ_ / seconds : 0.0;
+    result.tempTrace = tempTrace_;
+    return result;
+}
+
+namespace {
+
+/** Helper owning the scalars a dump section registers. */
+class StatSection
+{
+  public:
+    explicit StatSection(std::string name) : group_(std::move(name)) {}
+
+    void
+    add(const std::string &name, double value, const std::string &desc)
+    {
+        scalars_.push_back(
+            std::make_unique<StatScalar>(name, desc));
+        scalars_.back()->set(value);
+        group_.add(scalars_.back().get());
+    }
+
+    void dump(std::ostream &os) const { group_.dump(os); }
+
+  private:
+    StatGroup group_;
+    std::vector<std::unique_ptr<StatScalar>> scalars_;
+};
+
+} // namespace
+
+void
+Simulator::dumpStats(std::ostream &os) const
+{
+    const Pipeline &pipe = *pipeline_;
+    {
+        StatSection s("sim");
+        s.add("cycles", static_cast<double>(pipe.cycle()),
+              "simulated cycles");
+        s.add("active_cycles", static_cast<double>(pipe.activeCycles()),
+              "cycles the pipeline clock ran");
+        s.add("avg_power_w",
+              energyAccumJ_ /
+                  std::max(1e-12,
+                           static_cast<double>(pipe.cycle()) /
+                               config_.energy.frequencyHz),
+              "average chip power");
+        s.add("emergencies", static_cast<double>(emergencies_),
+              "358 K crossings");
+        s.dump(os);
+    }
+    for (ThreadId t = 0; t < config_.smt.numThreads; ++t) {
+        const ThreadContext &tc = pipe.thread(t);
+        if (tc.state == ThreadState::Idle)
+            continue;
+        StatSection s(strprintf("thread%d", t));
+        s.add("program", 0.0, tc.program ? tc.program->name() : "-");
+        s.add("committed", static_cast<double>(tc.committedInsts),
+              "committed instructions");
+        s.add("ipc",
+              pipe.cycle() ? static_cast<double>(tc.committedInsts) /
+                                 static_cast<double>(pipe.cycle())
+                           : 0.0,
+              "instructions per cycle");
+        s.add("loads", static_cast<double>(tc.committedLoads),
+              "committed loads");
+        s.add("stores", static_cast<double>(tc.committedStores),
+              "committed stores");
+        s.add("branches", static_cast<double>(tc.committedBranches),
+              "committed control instructions");
+        s.add("squashed", static_cast<double>(tc.squashedInsts),
+              "squashed instructions");
+        s.add("normal_cycles", static_cast<double>(tc.normalCycles),
+              "cycles in normal operation");
+        s.add("cooling_cycles", static_cast<double>(tc.coolingCycles),
+              "cycles stalled by stop-and-go");
+        s.add("sedation_cycles",
+              static_cast<double>(tc.sedationCycles),
+              "cycles sedated");
+        s.add("intreg_rate",
+              pipe.cycle()
+                  ? static_cast<double>(
+                        pipe.activity().count(t, Block::IntReg)) /
+                        static_cast<double>(pipe.cycle())
+                  : 0.0,
+              "integer register file accesses per cycle");
+        s.dump(os);
+    }
+    {
+        const MemoryHierarchy &mem = pipe.mem();
+        StatSection s("mem");
+        auto cache = [&](const char *name, const Cache &c) {
+            s.add(strprintf("%s.hits", name),
+                  static_cast<double>(c.hits()), "cache hits");
+            s.add(strprintf("%s.misses", name),
+                  static_cast<double>(c.misses()), "cache misses");
+            s.add(strprintf("%s.miss_rate", name), c.missRate(),
+                  "miss rate");
+            s.add(strprintf("%s.writebacks", name),
+                  static_cast<double>(c.writebacks()),
+                  "dirty evictions");
+        };
+        cache("l1i", mem.l1i());
+        cache("l1d", mem.l1d());
+        cache("l2", mem.l2());
+        s.add("mem_writebacks",
+              static_cast<double>(mem.memWritebacks()),
+              "L2 victims written to memory");
+        s.dump(os);
+    }
+    {
+        const BranchPredictor &bp = pipe.bpred();
+        StatSection s("bpred");
+        s.add("lookups", static_cast<double>(bp.lookups()),
+              "direction predictions");
+        s.add("mispredicts", static_cast<double>(bp.mispredicts()),
+              "resolved mispredictions");
+        s.add("accuracy",
+              bp.lookups()
+                  ? 1.0 - static_cast<double>(bp.mispredicts()) /
+                              static_cast<double>(bp.lookups())
+                  : 0.0,
+              "prediction accuracy");
+        s.dump(os);
+    }
+    {
+        StatSection s("thermal");
+        for (int b = 0; b < numBlocks; ++b) {
+            Block block = blockFromIndex(b);
+            s.add(strprintf("%s.temp_k", blockName(block)),
+                  thermal_->blockTemp(block), "current temperature");
+            s.add(strprintf("%s.peak_k", blockName(block)),
+                  peakTemp_[static_cast<size_t>(b)],
+                  "peak temperature this run");
+        }
+        s.add("sink_k", thermal_->sinkTemp(), "heat-sink temperature");
+        s.dump(os);
+    }
+    {
+        StatSection s("dtm");
+        s.add("mode", 0.0, dtmModeName(config_.dtm));
+        if (stopAndGo_) {
+            s.add("stop_and_go.triggers",
+                  static_cast<double>(stopAndGo_->triggers()),
+                  "global stalls");
+            s.add("stop_and_go.stall_cycles",
+                  static_cast<double>(stopAndGo_->stallCycles()),
+                  "cycles stalled globally");
+        }
+        if (sedation_) {
+            s.add("sedation.events",
+                  static_cast<double>(sedation_->events().size()),
+                  "sedation actions");
+        }
+        s.add("descheduled",
+              static_cast<double>(descheduled_.size()),
+              "threads removed by the OS extension");
+        s.dump(os);
+    }
+}
+
+} // namespace hs

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Top-level simulator: SMT pipeline + Wattch-style energy model +
+ * HotSpot-style thermal model + DTM policies, run for one OS quantum.
+ *
+ * The drive loop follows Section 4 of the paper: the pipeline runs
+ * cycle by cycle; every monitorInterval (1 K) cycles the sedation usage
+ * monitor samples the activity counters; every sensorInterval (20 K)
+ * cycles the block powers for the window are computed, the thermal
+ * network is stepped, temperature emergencies are counted, and the DTM
+ * policies observe the sensors and act.
+ */
+
+#ifndef HS_SIM_SIMULATOR_HH
+#define HS_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/dtm_policy.hh"
+#include "core/dvfs.hh"
+#include "core/fetch_gating.hh"
+#include "core/offender_tracker.hh"
+#include "core/sedation.hh"
+#include "core/stop_and_go.hh"
+#include "common/rng.hh"
+#include "power/energy_model.hh"
+#include "sim/results.hh"
+#include "smt/pipeline.hh"
+#include "thermal/thermal_model.hh"
+
+namespace hs {
+
+/** Which DTM configuration supervises the run. */
+enum class DtmMode {
+    None,              ///< sensors observed, never acts (ideal sink)
+    StopAndGo,         ///< the paper's base case
+    SelectiveSedation, ///< the contribution + stop-and-go safety net
+    DvfsThrottle,      ///< extension: duty-cycle frequency scaling
+    FetchGating        ///< extension: rotating indiscriminate fetch gate
+};
+
+/** @return a stable display name for @p mode. */
+const char *dtmModeName(DtmMode mode);
+
+/** Full configuration of one run. */
+struct SimConfig
+{
+    SmtParams smt{};
+    EnergyParams energy = EnergyParams::defaults();
+    ThermalParams thermal{};
+    Cycles quantumCycles = 500'000'000; ///< Section 4: one OS quantum
+    Cycles sensorInterval = 20'000;     ///< Section 4
+    Cycles monitorInterval = 1'000;     ///< Section 3.2.1
+    Kelvin emergencyTemp = 358.0;       ///< Section 5
+    DtmMode dtm = DtmMode::StopAndGo;
+    StopAndGoParams stopAndGo{};
+    SedationParams sedation{};
+    DvfsParams dvfs{};
+    FetchGatingParams fetchGating{};
+    /** OS extension (Section 3.3): deschedule repeat offenders after
+     *  offenderPolicy.reportsBeforeDeschedule sedation reports. */
+    bool descheduleRepeatOffenders = false;
+    OffenderPolicy offenderPolicy{};
+    /** Gaussian-free uniform sensor error: policies observe
+     *  temperature +- up to this many kelvin (Section 5.6 robustness;
+     *  emergencies are counted on the true temperatures). */
+    double sensorNoiseK = 0.0;
+    bool recordTempTrace = false;
+    Cycles tempTraceInterval = 100'000;
+
+    /**
+     * Nominal per-block access rates (accesses/cycle) used to
+     * initialise the thermal network at its normal-operation steady
+     * state before the quantum starts (a typical two-thread SPEC mix).
+     */
+    std::array<double, numBlocks> nominalAccessRates =
+        defaultNominalRates();
+
+    /** @return the calibrated typical-activity vector. */
+    static std::array<double, numBlocks> defaultNominalRates();
+};
+
+/** The heat-stroke simulator. */
+class Simulator : public DtmControl
+{
+  public:
+    explicit Simulator(const SimConfig &config = {});
+    ~Simulator() override;
+
+    /** Bind a copy of @p program to hardware context @p tid. */
+    void setWorkload(ThreadId tid, Program program);
+
+    /** Run one OS quantum and return the results. */
+    RunResult run();
+
+    // Component access (examples / tests).
+    Pipeline &pipeline() { return *pipeline_; }
+    ThermalModel &thermal() { return *thermal_; }
+    EnergyModel &energy() { return *energy_; }
+    const SimConfig &config() const { return config_; }
+    /** The sedation policy if DtmMode::SelectiveSedation, else null. */
+    SelectiveSedation *sedationPolicy() { return sedation_; }
+    /** The stop-and-go policy (base case or safety net), else null. */
+    StopAndGo *stopAndGoPolicy() { return stopAndGo_; }
+    /** The OS offender tracker when descheduleRepeatOffenders is set,
+     *  else null. */
+    OffenderTracker *offenderTracker() { return offenderTracker_.get(); }
+
+    /** Install a user OS-report callback (chained after the internal
+     *  offender tracker, if any). */
+    void setOsReport(SelectiveSedation::OsReportFn fn);
+
+    /** Write a full statistics report (pipeline, caches, predictor,
+     *  thermal, DTM) in the gem5-style `group.stat value # desc`
+     *  format. Call after run(). */
+    void dumpStats(std::ostream &os) const;
+
+    // DtmControl interface (used by the policies).
+    void stallPipeline(bool stalled) override;
+    bool pipelineStalled() const override;
+    void sedateThread(ThreadId tid, bool sedated) override;
+    void throttleThread(ThreadId tid, int every_k) override;
+    void throttlePipeline(int every_k) override;
+    int numThreads() const override;
+    bool threadActive(ThreadId tid) const override;
+
+  private:
+    void sampleSensors();
+    void countEmergencies(const std::vector<Kelvin> &temps);
+    RunResult collectResults() const;
+
+    SimConfig config_;
+    std::vector<std::unique_ptr<Program>> programs_;
+    std::unique_ptr<Pipeline> pipeline_;
+    std::unique_ptr<EnergyModel> energy_;
+    std::unique_ptr<ThermalModel> thermal_;
+    std::unique_ptr<ActivityCounters::Snapshot> powerSnapshot_;
+    std::vector<std::unique_ptr<DtmPolicy>> policies_;
+    SelectiveSedation *sedation_ = nullptr;
+    StopAndGo *stopAndGo_ = nullptr;
+    std::unique_ptr<OffenderTracker> offenderTracker_;
+    SelectiveSedation::OsReportFn userOsReport_;
+    std::vector<ThreadId> descheduled_;
+
+    Cycles lastActiveCycles_ = 0;
+    uint64_t emergencies_ = 0;
+    std::array<uint64_t, numBlocks> emergenciesPerBlock_{};
+    std::array<bool, numBlocks> aboveEmergency_{};
+    std::array<Kelvin, numBlocks> peakTemp_{};
+    double energyAccumJ_ = 0.0;
+    Rng sensorNoise_{0xbadcafe5};
+    std::vector<TempSample> tempTrace_;
+    Cycles lastTraceAt_ = 0;
+};
+
+} // namespace hs
+
+#endif // HS_SIM_SIMULATOR_HH

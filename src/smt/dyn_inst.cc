@@ -1,0 +1,42 @@
+#include "smt/dyn_inst.hh"
+
+namespace hs {
+
+void
+DynInst::reset()
+{
+    live = false;
+    seq = 0;
+    tid = invalidThreadId;
+    pc = 0;
+    si = nullptr;
+    stage = InstStage::Waiting;
+    completeCycle = 0;
+    srcPending = 0;
+    for (int i = 0; i < 2; ++i) {
+        srcProducer[i] = InstHandle{};
+        srcWaiting[i] = false;
+        srcInt[i] = 0;
+        srcFp[i] = 0.0;
+    }
+    intResult = 0;
+    fpResult = 0.0;
+    hasDest = false;
+    destIsFp = false;
+    destReg = 0;
+    hadPrevProducer = false;
+    prevProducer = InstHandle{};
+    addrValid = false;
+    effAddr = 0;
+    forwarded = false;
+    predTaken = false;
+    predTargetKnown = false;
+    predTarget = 0;
+    historyAtPredict = 0;
+    actualTaken = false;
+    actualTarget = 0;
+    mispredicted = false;
+    dependents.clear();
+}
+
+} // namespace hs

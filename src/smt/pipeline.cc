@@ -1,0 +1,901 @@
+#include "smt/pipeline.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/log.hh"
+
+namespace hs {
+
+namespace {
+
+/** Raw (thread-local) data addresses are confined to a 4 GB segment. */
+constexpr Addr dataSegMask = 0xFFFFFFFFull;
+
+} // namespace
+
+Pipeline::Pipeline(const SmtParams &params)
+    : params_(params),
+      threads_(static_cast<size_t>(params.numThreads)),
+      mem_(std::make_unique<MemoryHierarchy>(params.mem)),
+      bpred_(std::make_unique<BranchPredictor>(params.bpred)),
+      activity_(std::make_unique<ActivityCounters>(params.numThreads))
+{
+    if (params.numThreads < 1 || params.numThreads > params.bpred.maxThreads)
+        fatal("Pipeline: numThreads %d out of range", params.numThreads);
+    int pool = params.ruuEntries + 8;
+    if (pool > 0xFFFF)
+        fatal("Pipeline: RUU too large for 16-bit slot handles");
+    slots_.resize(static_cast<size_t>(pool));
+    freeSlots_.reserve(static_cast<size_t>(pool));
+    for (int i = pool - 1; i >= 0; --i)
+        freeSlots_.push_back(static_cast<uint16_t>(i));
+}
+
+void
+Pipeline::setThreadProgram(ThreadId tid, const Program *program)
+{
+    thread(tid).bind(program, tid);
+}
+
+ThreadContext &
+Pipeline::thread(ThreadId tid)
+{
+    if (tid < 0 || tid >= params_.numThreads)
+        panic("Pipeline: bad thread id %d", tid);
+    return threads_[static_cast<size_t>(tid)];
+}
+
+const ThreadContext &
+Pipeline::thread(ThreadId tid) const
+{
+    if (tid < 0 || tid >= params_.numThreads)
+        panic("Pipeline: bad thread id %d", tid);
+    return threads_[static_cast<size_t>(tid)];
+}
+
+void
+Pipeline::setSedated(ThreadId tid, bool sedated)
+{
+    thread(tid).sedated = sedated;
+}
+
+bool
+Pipeline::sedated(ThreadId tid) const
+{
+    return thread(tid).sedated;
+}
+
+void
+Pipeline::setThreadThrottle(ThreadId tid, int k)
+{
+    thread(tid).fetchEvery = k < 1 ? 1 : k;
+}
+
+uint64_t
+Pipeline::committed(ThreadId tid) const
+{
+    return thread(tid).committedInsts;
+}
+
+double
+Pipeline::ipc(ThreadId tid) const
+{
+    return cycle_ ? static_cast<double>(committed(tid)) /
+                        static_cast<double>(cycle_)
+                  : 0.0;
+}
+
+bool
+Pipeline::allHalted() const
+{
+    bool any_bound = false;
+    for (const ThreadContext &tc : threads_) {
+        if (tc.state == ThreadState::Idle)
+            continue;
+        any_bound = true;
+        if (tc.state != ThreadState::Halted)
+            return false;
+    }
+    return any_bound;
+}
+
+// --- slot pool ----------------------------------------------------------
+
+DynInst &
+Pipeline::get(const InstHandle &h)
+{
+    DynInst &inst = slots_[h.slot];
+    if (!inst.live || inst.gen != h.gen)
+        panic("Pipeline: stale instruction handle dereference");
+    return inst;
+}
+
+const DynInst &
+Pipeline::get(const InstHandle &h) const
+{
+    const DynInst &inst = slots_[h.slot];
+    if (!inst.live || inst.gen != h.gen)
+        panic("Pipeline: stale instruction handle dereference");
+    return inst;
+}
+
+bool
+Pipeline::valid(const InstHandle &h) const
+{
+    const DynInst &inst = slots_[h.slot];
+    return inst.live && inst.gen == h.gen;
+}
+
+InstHandle
+Pipeline::allocSlot()
+{
+    if (freeSlots_.empty())
+        panic("Pipeline: slot pool exhausted (RUU accounting bug)");
+    uint16_t slot = freeSlots_.back();
+    freeSlots_.pop_back();
+    DynInst &inst = slots_[slot];
+    uint32_t gen = inst.gen;
+    inst.reset();
+    inst.gen = gen;
+    inst.live = true;
+    return InstHandle{slot, gen};
+}
+
+void
+Pipeline::freeSlot(const InstHandle &h)
+{
+    DynInst &inst = get(h);
+    inst.live = false;
+    ++inst.gen;
+    freeSlots_.push_back(h.slot);
+}
+
+// --- main loop ----------------------------------------------------------
+
+void
+Pipeline::recordStallAccounting()
+{
+    for (ThreadContext &tc : threads_) {
+        if (tc.state != ThreadState::Active)
+            continue;
+        if (globalStall_) {
+            ++tc.coolingCycles;
+        } else if (tc.sedated ||
+                   (tc.fetchEvery > 1 &&
+                    cycle_ % static_cast<Cycles>(tc.fetchEvery) != 0)) {
+            ++tc.sedationCycles;
+        } else {
+            ++tc.normalCycles;
+        }
+    }
+}
+
+void
+Pipeline::advanceStalled(Cycles n)
+{
+    if (!globalStall_)
+        panic("advanceStalled called while the pipeline is running");
+    cycle_ += n;
+    for (ThreadContext &tc : threads_) {
+        if (tc.state == ThreadState::Active)
+            tc.coolingCycles += n;
+    }
+}
+
+void
+Pipeline::tick()
+{
+    ++cycle_;
+    recordStallAccounting();
+    if (globalStall_)
+        return;
+    if (throttle_ > 1 && (cycle_ % static_cast<Cycles>(throttle_)) != 0)
+        return;
+    ++activeCycles_;
+    commitStage();
+    writebackStage();
+    issueStage();
+    fetchStage();
+}
+
+// --- commit -------------------------------------------------------------
+
+void
+Pipeline::commitStage()
+{
+    int budget = params_.commitWidth;
+    for (int t = 0; t < params_.numThreads && budget > 0; ++t) {
+        ThreadContext &tc = threads_[static_cast<size_t>(
+            (static_cast<uint64_t>(t) + icountRotor_) %
+            static_cast<uint64_t>(params_.numThreads))];
+        while (budget > 0 && !tc.rob.empty()) {
+            InstHandle h = tc.rob.front();
+            DynInst &inst = get(h);
+            if (inst.stage != InstStage::Completed)
+                break;
+            commitInst(inst, tc);
+            tc.rob.pop_front();
+            --ruuUsed_;
+            freeSlot(h);
+            --budget;
+        }
+    }
+}
+
+void
+Pipeline::commitInst(DynInst &inst, ThreadContext &tc)
+{
+    const Instruction &si = *inst.si;
+
+    // Release the rename-map entry if this instruction still owns it.
+    if (inst.hasDest) {
+        auto &map = inst.destIsFp ? tc.fpRename : tc.intRename;
+        auto &entry = map[inst.destReg];
+        InstHandle self{static_cast<uint16_t>(&inst - slots_.data()),
+                        inst.gen};
+        if (entry.valid && entry.handle == self)
+            entry.valid = false;
+        if (inst.destIsFp)
+            tc.fpRegs[inst.destReg] = inst.fpResult;
+        else
+            tc.intRegs[inst.destReg] = inst.intResult;
+    }
+
+    if (si.isMemRef()) {
+        if (tc.lsq.empty())
+            panic("commit: LSQ empty for a memory op");
+        InstHandle self{static_cast<uint16_t>(&inst - slots_.data()),
+                        inst.gen};
+        if (!(tc.lsq.front() == self))
+            panic("commit: LSQ head mismatch");
+        tc.lsq.pop_front();
+        --lsqUsed_;
+        if (si.instClass() == InstClass::Store) {
+            // Architectural memory update happens at commit.
+            uint64_t bits = si.op == Opcode::Fst
+                                ? std::bit_cast<uint64_t>(inst.srcFp[1])
+                                : static_cast<uint64_t>(inst.srcInt[1]);
+            tc.memory.write64(inst.effAddr, bits);
+            ++tc.committedStores;
+        } else {
+            ++tc.committedLoads;
+        }
+    }
+
+    if (si.isControl())
+        ++tc.committedBranches;
+    if (si.instClass() == InstClass::Halt) {
+        tc.state = ThreadState::Halted;
+        // Drop anything fetched past the halt on a wrong path.
+        squashFrom(tc, inst.seq);
+    }
+
+    ++tc.committedInsts;
+}
+
+// --- writeback ----------------------------------------------------------
+
+void
+Pipeline::writebackStage()
+{
+    // Collect instructions whose FU latency expires this cycle, oldest
+    // first so an old mispredict squashes younger completions properly.
+    std::vector<InstHandle> &done = scratch_;
+    done.clear();
+    size_t keep = 0;
+    for (size_t i = 0; i < issued_.size(); ++i) {
+        const InstHandle &h = issued_[i];
+        const DynInst &inst = slots_[h.slot];
+        if (!inst.live || inst.gen != h.gen)
+            continue; // squashed: drop from the issued list
+        if (inst.stage == InstStage::Issued &&
+            inst.completeCycle <= cycle_) {
+            done.push_back(h);
+        } else {
+            issued_[keep++] = h;
+        }
+    }
+    issued_.resize(keep);
+    std::sort(done.begin(), done.end(),
+              [this](const InstHandle &a, const InstHandle &b) {
+                  return slots_[a.slot].seq < slots_[b.slot].seq;
+              });
+
+    for (const InstHandle &h : done) {
+        if (!valid(h))
+            continue; // squashed by an older mispredict this cycle
+        DynInst &inst = get(h);
+        ThreadContext &tc = thread(inst.tid);
+        inst.stage = InstStage::Completed;
+
+        // Result write + wakeup broadcast power.
+        if (inst.hasDest) {
+            activity_->record(inst.tid,
+                              inst.destIsFp ? Block::FpReg : Block::IntReg);
+        }
+        activity_->record(inst.tid, Block::IntQ);
+        wakeDependents(inst);
+
+        // Branch resolution.
+        const Instruction &si = *inst.si;
+        if (si.instClass() == InstClass::Branch) {
+            bpred_->update(inst.tid, inst.pc, inst.actualTaken,
+                           inst.actualTarget, inst.historyAtPredict);
+            if (inst.actualTaken != inst.predTaken) {
+                inst.mispredicted = true;
+                bpred_->notifyMispredict();
+                bpred_->restoreHistory(inst.tid, inst.historyAtPredict,
+                                       inst.actualTaken);
+                squashFrom(tc, inst.seq);
+                tc.pc = inst.actualTaken ? inst.actualTarget
+                                         : inst.pc + 1;
+                Cycles redirect =
+                    cycle_ + static_cast<Cycles>(params_.mispredictPenalty);
+                tc.fetchStallUntil = std::max(tc.fetchStallUntil, redirect);
+            }
+        }
+    }
+}
+
+void
+Pipeline::wakeDependents(DynInst &inst)
+{
+    InstHandle self{static_cast<uint16_t>(&inst - slots_.data()),
+                    inst.gen};
+    for (const InstHandle &dh : inst.dependents) {
+        if (!valid(dh))
+            continue; // consumer was squashed
+        DynInst &consumer = slots_[dh.slot];
+        for (int s = 0; s < 2; ++s) {
+            if (!consumer.srcWaiting[s] ||
+                !(consumer.srcProducer[s] == self)) {
+                continue;
+            }
+            if (inst.destIsFp)
+                consumer.srcFp[s] = inst.fpResult;
+            else
+                consumer.srcInt[s] = inst.intResult;
+            consumer.srcWaiting[s] = false;
+            --consumer.srcPending;
+        }
+        if (consumer.srcPending == 0 &&
+            consumer.stage == InstStage::Waiting) {
+            consumer.stage = InstStage::Ready;
+            readyQueue_.push_back(dh);
+        }
+    }
+    inst.dependents.clear();
+}
+
+// --- issue --------------------------------------------------------------
+
+void
+Pipeline::issueStage()
+{
+    // Compact + order the ready queue (oldest first).
+    std::vector<InstHandle> &candidates = scratch_;
+    candidates.clear();
+    for (const InstHandle &h : readyQueue_) {
+        if (valid(h) && slots_[h.slot].stage == InstStage::Ready)
+            candidates.push_back(h);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [this](const InstHandle &a, const InstHandle &b) {
+                  return slots_[a.slot].seq < slots_[b.slot].seq;
+              });
+
+    int issue_left = params_.issueWidth;
+    int alu_left = params_.intAlus;
+    int mult_left = params_.intMults;
+    int fpadd_left = params_.fpAdds;
+    int fpmul_left = params_.fpMuls;
+    int ports_left = params_.memPorts;
+
+    std::vector<InstHandle> &leftover = scratch2_;
+    leftover.clear();
+
+    for (const InstHandle &h : candidates) {
+        if (!valid(h) || slots_[h.slot].stage != InstStage::Ready)
+            continue; // squashed by an L2-miss squash earlier this cycle
+        DynInst &inst = slots_[h.slot];
+        if (issue_left == 0) {
+            leftover.push_back(h);
+            continue;
+        }
+        InstClass cls = inst.si->instClass();
+        int *fu = nullptr;
+        switch (cls) {
+          case InstClass::IntAlu:
+          case InstClass::Branch:
+          case InstClass::Jump:
+          case InstClass::Nop:
+          case InstClass::Halt:
+            fu = &alu_left;
+            break;
+          case InstClass::IntMult:
+          case InstClass::IntDiv:
+            fu = &mult_left;
+            break;
+          case InstClass::FpAdd:
+            fu = &fpadd_left;
+            break;
+          case InstClass::FpMul:
+          case InstClass::FpDiv:
+            fu = &fpmul_left;
+            break;
+          case InstClass::Load:
+          case InstClass::Store:
+            fu = &ports_left;
+            break;
+        }
+        if (fu == nullptr || *fu == 0) {
+            leftover.push_back(h);
+            continue;
+        }
+
+        ThreadContext &tc = thread(inst.tid);
+        if (cls == InstClass::Load || cls == InstClass::Store) {
+            if (!tryIssueMemOp(inst, tc)) {
+                leftover.push_back(h); // deferred; no port consumed
+                continue;
+            }
+        } else {
+            executeFunctional(inst, tc);
+            inst.completeCycle =
+                cycle_ + static_cast<Cycles>(instClassLatency(cls));
+        }
+        inst.stage = InstStage::Issued;
+        issued_.push_back(h);
+        --*fu;
+        --issue_left;
+
+        // Issue power: window read, register reads, FU activity.
+        activity_->record(inst.tid, Block::IntQ);
+        const Instruction &si = *inst.si;
+        int int_reads = (si.readsIntRs1() ? 1 : 0) +
+                        (si.readsIntRs2() ? 1 : 0);
+        int fp_reads = (si.readsFpRs1() ? 1 : 0) +
+                       (si.readsFpRs2() ? 1 : 0);
+        if (int_reads)
+            activity_->record(inst.tid, Block::IntReg,
+                              static_cast<uint64_t>(int_reads));
+        if (fp_reads)
+            activity_->record(inst.tid, Block::FpReg,
+                              static_cast<uint64_t>(fp_reads));
+        switch (cls) {
+          case InstClass::IntAlu:
+          case InstClass::IntMult:
+          case InstClass::IntDiv:
+          case InstClass::Branch:
+          case InstClass::Jump:
+            activity_->record(inst.tid, Block::IntExec);
+            break;
+          case InstClass::FpAdd:
+            activity_->record(inst.tid, Block::FpAdd);
+            break;
+          case InstClass::FpMul:
+          case InstClass::FpDiv:
+            activity_->record(inst.tid, Block::FpMul);
+            break;
+          default:
+            break;
+        }
+    }
+    readyQueue_.swap(leftover);
+}
+
+void
+Pipeline::executeFunctional(DynInst &inst, ThreadContext &tc)
+{
+    (void)tc;
+    const Instruction &si = *inst.si;
+    int64_t a = inst.srcInt[0];
+    int64_t b = inst.srcInt[1];
+    double fa = inst.srcFp[0];
+    double fb = inst.srcFp[1];
+
+    switch (si.op) {
+      case Opcode::Add: inst.intResult = a + b; break;
+      case Opcode::Sub: inst.intResult = a - b; break;
+      case Opcode::Mul: inst.intResult = a * b; break;
+      case Opcode::Div:
+        inst.intResult = (b == 0) ? 0 : a / b;
+        break;
+      case Opcode::And: inst.intResult = a & b; break;
+      case Opcode::Or: inst.intResult = a | b; break;
+      case Opcode::Xor: inst.intResult = a ^ b; break;
+      case Opcode::Sll:
+        inst.intResult = a << (b & 63);
+        break;
+      case Opcode::Srl:
+        inst.intResult = static_cast<int64_t>(
+            static_cast<uint64_t>(a) >> (b & 63));
+        break;
+      case Opcode::Sra: inst.intResult = a >> (b & 63); break;
+      case Opcode::Slt: inst.intResult = a < b ? 1 : 0; break;
+      case Opcode::Addi: inst.intResult = a + si.imm; break;
+      case Opcode::Andi: inst.intResult = a & si.imm; break;
+      case Opcode::Ori: inst.intResult = a | si.imm; break;
+      case Opcode::Xori: inst.intResult = a ^ si.imm; break;
+      case Opcode::Slti: inst.intResult = a < si.imm ? 1 : 0; break;
+      case Opcode::Slli: inst.intResult = a << (si.imm & 63); break;
+      case Opcode::Srli:
+        inst.intResult = static_cast<int64_t>(
+            static_cast<uint64_t>(a) >> (si.imm & 63));
+        break;
+      case Opcode::Lui: inst.intResult = si.imm << 16; break;
+      case Opcode::Fadd: inst.fpResult = fa + fb; break;
+      case Opcode::Fsub: inst.fpResult = fa - fb; break;
+      case Opcode::Fmul: inst.fpResult = fa * fb; break;
+      case Opcode::Fdiv: inst.fpResult = fa / fb; break;
+      case Opcode::Fcvt:
+        inst.fpResult = static_cast<double>(a);
+        break;
+      case Opcode::Fmov: inst.fpResult = fa; break;
+      case Opcode::Beq:
+        inst.actualTaken = a == b;
+        inst.actualTarget = si.target;
+        break;
+      case Opcode::Bne:
+        inst.actualTaken = a != b;
+        inst.actualTarget = si.target;
+        break;
+      case Opcode::Blt:
+        inst.actualTaken = a < b;
+        inst.actualTarget = si.target;
+        break;
+      case Opcode::Bge:
+        inst.actualTaken = a >= b;
+        inst.actualTarget = si.target;
+        break;
+      case Opcode::Jmp:
+        inst.actualTaken = true;
+        inst.actualTarget = si.target;
+        break;
+      case Opcode::Nop:
+      case Opcode::Halt:
+        break;
+      default:
+        panic("executeFunctional: unhandled opcode %s",
+              opcodeName(si.op));
+    }
+}
+
+bool
+Pipeline::tryIssueMemOp(DynInst &inst, ThreadContext &tc)
+{
+    const Instruction &si = *inst.si;
+    bool is_load = si.instClass() == InstClass::Load;
+
+    if (!inst.addrValid) {
+        Addr raw = static_cast<Addr>(inst.srcInt[0] + si.imm) &
+                   dataSegMask;
+        inst.effAddr = tc.dataBase() + (raw & ~Addr{7});
+        inst.addrValid = true;
+    }
+
+    if (is_load) {
+        // Search older stores in program order, newest first.
+        InstHandle self{static_cast<uint16_t>(&inst - slots_.data()),
+                        inst.gen};
+        const DynInst *fwd = nullptr;
+        for (auto it = tc.lsq.rbegin(); it != tc.lsq.rend(); ++it) {
+            if (*it == self || get(*it).seq > inst.seq)
+                continue;
+            const DynInst &older = get(*it);
+            if (older.si->instClass() != InstClass::Store)
+                continue;
+            if (!older.addrValid)
+                return false; // conservative: unknown older address
+            if (older.effAddr == inst.effAddr) {
+                fwd = &older;
+                break;
+            }
+        }
+        if (fwd) {
+            uint64_t bits = fwd->si->op == Opcode::Fst
+                                ? std::bit_cast<uint64_t>(fwd->srcFp[1])
+                                : static_cast<uint64_t>(fwd->srcInt[1]);
+            if (si.op == Opcode::Fld)
+                inst.fpResult = std::bit_cast<double>(bits);
+            else
+                inst.intResult = static_cast<int64_t>(bits);
+            inst.forwarded = true;
+            inst.completeCycle = cycle_ + 1;
+            activity_->record(inst.tid, Block::LdStQ);
+            return true;
+        }
+
+        uint64_t bits = tc.memory.read64(inst.effAddr);
+        if (si.op == Opcode::Fld)
+            inst.fpResult = std::bit_cast<double>(bits);
+        else
+            inst.intResult = static_cast<int64_t>(bits);
+
+        MemAccessResult res = mem_->accessData(inst.effAddr, false);
+        inst.completeCycle = cycle_ + static_cast<Cycles>(res.latency);
+        activity_->record(inst.tid, Block::LdStQ);
+        activity_->record(inst.tid, Block::Dcache);
+        activity_->record(inst.tid, Block::Dtb);
+        if (res.l2Access)
+            activity_->record(inst.tid, Block::L2);
+
+        if (res.l2Miss() && params_.squashOnL2Miss) {
+            // Squash younger instructions of this thread and hold its
+            // fetch until the data returns (standard SMT optimisation,
+            // Section 4).
+            squashFrom(tc, inst.seq);
+            tc.fetchStallUntil =
+                std::max(tc.fetchStallUntil, inst.completeCycle);
+        }
+        return true;
+    }
+
+    // Store: address + data move to the store buffer; architectural
+    // memory is written at commit.
+    MemAccessResult res = mem_->accessData(inst.effAddr, true);
+    inst.completeCycle = cycle_ + 1;
+    activity_->record(inst.tid, Block::LdStQ);
+    activity_->record(inst.tid, Block::Dcache);
+    activity_->record(inst.tid, Block::Dtb);
+    if (res.l2Access)
+        activity_->record(inst.tid, Block::L2);
+    return true;
+}
+
+// --- squash -------------------------------------------------------------
+
+void
+Pipeline::squashFrom(ThreadContext &tc, InstSeqNum younger_than)
+{
+    bool squashed_any = false;
+    uint64_t oldest_pc = 0;
+    while (!tc.rob.empty()) {
+        InstHandle h = tc.rob.back();
+        DynInst &inst = get(h);
+        if (inst.seq <= younger_than)
+            break;
+        // The walk is youngest-to-oldest, so the last values recorded
+        // here belong to the oldest squashed instruction.
+        squashed_any = true;
+        oldest_pc = inst.pc;
+        // Roll speculative branch history back to the oldest squashed
+        // branch's pre-prediction checkpoint.
+        if (inst.si->instClass() == InstClass::Branch)
+            bpred_->setHistory(tc.id, inst.historyAtPredict);
+        if (inst.hasDest) {
+            auto &map = inst.destIsFp ? tc.fpRename : tc.intRename;
+            auto &entry = map[inst.destReg];
+            if (inst.hadPrevProducer && valid(inst.prevProducer)) {
+                entry.valid = true;
+                entry.handle = inst.prevProducer;
+            } else {
+                entry.valid = false;
+            }
+        }
+        if (inst.si->isMemRef()) {
+            if (tc.lsq.empty() || !(tc.lsq.back() == h))
+                panic("squash: LSQ tail mismatch");
+            tc.lsq.pop_back();
+            --lsqUsed_;
+        }
+        tc.rob.pop_back();
+        --ruuUsed_;
+        ++tc.squashedInsts;
+        freeSlot(h);
+    }
+    // Redirect fetch to the oldest squashed instruction so the
+    // squashed work is refetched (a branch-mispredict caller overrides
+    // this with the resolved target afterwards).
+    if (squashed_any)
+        tc.pc = oldest_pc;
+    // A speculatively fetched Halt may have stopped this thread's
+    // fetch; if it was squashed, fetching must resume. If a Halt is
+    // still in flight it re-asserts the stop when it commits.
+    tc.stoppedFetchingAfterHalt = false;
+}
+
+// --- fetch / dispatch ---------------------------------------------------
+
+void
+Pipeline::fetchStage()
+{
+    // ICOUNT: order runnable threads by instructions in flight.
+    std::vector<ThreadId> order;
+    order.reserve(static_cast<size_t>(params_.numThreads));
+    for (int t = 0; t < params_.numThreads; ++t) {
+        ThreadId tid = static_cast<ThreadId>(
+            (static_cast<uint64_t>(t) + icountRotor_) %
+            static_cast<uint64_t>(params_.numThreads));
+        ThreadContext &tc = threads_[static_cast<size_t>(tid)];
+        if (tc.state != ThreadState::Active || tc.sedated ||
+            tc.stoppedFetchingAfterHalt || tc.fetchStallUntil > cycle_) {
+            continue;
+        }
+        if (tc.fetchEvery > 1 &&
+            cycle_ % static_cast<Cycles>(tc.fetchEvery) != 0) {
+            continue; // selective throttling gates this cycle
+        }
+        order.push_back(tid);
+    }
+    if (params_.fetchPolicy == FetchPolicy::Icount) {
+        std::stable_sort(
+            order.begin(), order.end(),
+            [this](ThreadId a, ThreadId b) {
+                return threads_[static_cast<size_t>(a)].rob.size() <
+                       threads_[static_cast<size_t>(b)].rob.size();
+            });
+    }
+    // RoundRobin: keep the rotor order built above.
+    ++icountRotor_;
+
+    int budget = params_.fetchWidth;
+    int threads_left = params_.fetchThreadsPerCycle;
+    for (ThreadId tid : order) {
+        if (budget == 0 || threads_left == 0)
+            break;
+        int lines_left = 1; // one I-cache line per thread per cycle
+        fetchFromThread(threads_[static_cast<size_t>(tid)], budget,
+                        lines_left);
+        --threads_left;
+    }
+}
+
+void
+Pipeline::fetchFromThread(ThreadContext &tc, int &budget, int &lines_left)
+{
+    Addr cur_line = ~Addr{0};
+    const int line_bytes = params_.mem.l1i.lineBytes;
+
+    while (budget > 0) {
+        if (ruuUsed_ >= params_.ruuEntries)
+            break;
+        const Instruction &si = tc.program->fetch(tc.pc);
+        if (si.isMemRef() && lsqUsed_ >= params_.lsqEntries)
+            break;
+
+        Addr iaddr = tc.instAddr(tc.pc);
+        Addr line = iaddr / static_cast<Addr>(line_bytes);
+        if (line != cur_line) {
+            if (lines_left == 0)
+                break;
+            --lines_left;
+            MemAccessResult res = mem_->accessInst(iaddr);
+            activity_->record(tc.id, Block::Icache);
+            activity_->record(tc.id, Block::Itb);
+            if (res.l2Access)
+                activity_->record(tc.id, Block::L2);
+            if (res.level != MemLevel::L1) {
+                // I-miss: the line arrives later; nothing fetched from
+                // it this cycle.
+                tc.fetchStallUntil =
+                    cycle_ + static_cast<Cycles>(res.latency);
+                break;
+            }
+            cur_line = line;
+        }
+
+        if (!dispatchInst(tc, si, tc.pc))
+            break;
+        --budget;
+
+        InstClass cls = si.instClass();
+        if (cls == InstClass::Jump) {
+            tc.pc = si.target;
+            break; // taken control flow ends the fetch group
+        } else if (cls == InstClass::Branch) {
+            // Prediction happened inside dispatchInst; follow it.
+            const DynInst &inst = get(tc.rob.back());
+            if (inst.predTaken) {
+                tc.pc = si.target;
+                break;
+            }
+            tc.pc += 1;
+        } else if (cls == InstClass::Halt) {
+            tc.stoppedFetchingAfterHalt = true;
+            break;
+        } else {
+            tc.pc += 1;
+        }
+    }
+}
+
+bool
+Pipeline::dispatchInst(ThreadContext &tc, const Instruction &si,
+                       uint64_t pc)
+{
+    InstHandle h = allocSlot();
+    DynInst &inst = slots_[h.slot];
+    inst.seq = nextSeq_++;
+    inst.tid = tc.id;
+    inst.pc = pc;
+    inst.si = &si;
+
+    // Source capture / dependency registration.
+    if (si.readsIntRs1())
+        captureSource(inst, h, 0, false, si.rs1, tc);
+    else if (si.readsFpRs1())
+        captureSource(inst, h, 0, true, si.rs1, tc);
+    if (si.readsIntRs2())
+        captureSource(inst, h, 1, false, si.rs2, tc);
+    else if (si.readsFpRs2())
+        captureSource(inst, h, 1, true, si.rs2, tc);
+
+    // Destination rename.
+    if (si.writesIntReg() || si.writesFpReg()) {
+        inst.hasDest = true;
+        inst.destIsFp = si.writesFpReg();
+        inst.destReg = si.rd;
+        auto &map = inst.destIsFp ? tc.fpRename : tc.intRename;
+        auto &entry = map[inst.destReg];
+        inst.hadPrevProducer = entry.valid;
+        inst.prevProducer = entry.handle;
+        entry.valid = true;
+        entry.handle = h;
+    }
+
+    // Branch prediction.
+    if (si.instClass() == InstClass::Branch) {
+        inst.historyAtPredict = bpred_->history(tc.id);
+        BranchPrediction pred = bpred_->predict(tc.id, pc);
+        inst.predTaken = pred.taken;
+        inst.predTargetKnown = true; // decoded target is available
+        inst.predTarget = si.target;
+        activity_->record(tc.id, Block::Bpred);
+    }
+
+    // Dispatch power: rename map + window write.
+    bool is_fp = si.instClass() == InstClass::FpAdd ||
+                 si.instClass() == InstClass::FpMul ||
+                 si.instClass() == InstClass::FpDiv ||
+                 si.op == Opcode::Fld || si.op == Opcode::Fst;
+    activity_->record(tc.id, is_fp ? Block::FpMap : Block::IntMap);
+    activity_->record(tc.id, Block::IntQ);
+
+    tc.rob.push_back(h);
+    ++ruuUsed_;
+    if (si.isMemRef()) {
+        tc.lsq.push_back(h);
+        ++lsqUsed_;
+    }
+
+    if (inst.srcPending == 0) {
+        inst.stage = InstStage::Ready;
+        readyQueue_.push_back(h);
+    }
+    return true;
+}
+
+void
+Pipeline::captureSource(DynInst &inst, const InstHandle &self, int slot,
+                        bool is_fp, int reg, ThreadContext &tc)
+{
+    if (!is_fp && reg == 0) {
+        inst.srcInt[slot] = 0; // r0 is hard-wired zero
+        return;
+    }
+    auto &map = is_fp ? tc.fpRename : tc.intRename;
+    auto &entry = map[reg];
+    if (entry.valid) {
+        DynInst &producer = get(entry.handle);
+        if (producer.stage == InstStage::Completed) {
+            if (is_fp)
+                inst.srcFp[slot] = producer.fpResult;
+            else
+                inst.srcInt[slot] = producer.intResult;
+        } else {
+            inst.srcProducer[slot] = entry.handle;
+            inst.srcWaiting[slot] = true;
+            ++inst.srcPending;
+            producer.dependents.push_back(self);
+        }
+    } else {
+        if (is_fp)
+            inst.srcFp[slot] = tc.fpRegs[static_cast<size_t>(reg)];
+        else
+            inst.srcInt[slot] = tc.intRegs[static_cast<size_t>(reg)];
+    }
+}
+
+} // namespace hs

@@ -1,0 +1,41 @@
+#include "smt/thread_context.hh"
+
+#include "common/log.hh"
+
+namespace hs {
+
+void
+ThreadContext::bind(const Program *prog, ThreadId tid)
+{
+    if (!prog || prog->empty())
+        fatal("ThreadContext::bind: empty program");
+    id = tid;
+    program = prog;
+    state = ThreadState::Active;
+    pc = 0;
+    intRegs.fill(0);
+    fpRegs.fill(0.0);
+    memory.clear();
+    for (const auto &[addr, value] : prog->dataImage())
+        memory.write64(dataBase() + addr, value);
+    for (const auto &[reg, value] : prog->initRegs())
+        intRegs[static_cast<size_t>(reg)] = value;
+    intRename.fill(RenameEntry{});
+    fpRename.fill(RenameEntry{});
+    rob.clear();
+    lsq.clear();
+    fetchStallUntil = 0;
+    sedated = false;
+    fetchEvery = 1;
+    stoppedFetchingAfterHalt = false;
+    committedInsts = 0;
+    committedLoads = 0;
+    committedStores = 0;
+    committedBranches = 0;
+    squashedInsts = 0;
+    normalCycles = 0;
+    coolingCycles = 0;
+    sedationCycles = 0;
+}
+
+} // namespace hs

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Architectural state of one SMT hardware context.
+ */
+
+#ifndef HS_SMT_THREAD_CONTEXT_HH
+#define HS_SMT_THREAD_CONTEXT_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "common/types.hh"
+#include "isa/program.hh"
+#include "mem/memory.hh"
+#include "smt/dyn_inst.hh"
+
+namespace hs {
+
+/** Run state of a context. */
+enum class ThreadState : uint8_t {
+    Idle,    ///< no program bound
+    Active,
+    Halted   ///< committed a Halt
+};
+
+/**
+ * One hardware thread: architectural registers, private functional
+ * memory (threads are separate processes), program binding and the
+ * per-thread front-end/ROB bookkeeping the pipeline needs.
+ */
+class ThreadContext
+{
+  public:
+    ThreadContext() { intRegs.fill(0); fpRegs.fill(0.0); }
+
+    /** Bind @p program and reset architectural state. */
+    void bind(const Program *program, ThreadId tid);
+
+    /** Per-thread stagger so different contexts' segments start in
+     *  different cache sets (distinct processes are physically
+     *  scattered; without this every thread's hot region would
+     *  collide in set 0 of every cache). */
+    Addr
+    setStagger() const
+    {
+        return static_cast<Addr>(id) * 37 * 64;
+    }
+    /** Address-space base for this thread's data segment. */
+    Addr
+    dataBase() const
+    {
+        return ((static_cast<Addr>(id) + 1) << 33) + setStagger();
+    }
+    /** Address-space base for this thread's code segment. */
+    Addr
+    codeBase() const
+    {
+        return (((static_cast<Addr>(id) + 1) << 33) |
+                (Addr{1} << 32)) + setStagger();
+    }
+    /** Global byte address of the instruction at @p pc_index. */
+    Addr
+    instAddr(uint64_t pc_index) const
+    {
+        return codeBase() + pc_index * Program::instBytes;
+    }
+
+    /** Rename-map entry: the latest in-flight producer of a register. */
+    struct RenameEntry
+    {
+        bool valid = false;
+        InstHandle handle;
+    };
+
+    ThreadId id = invalidThreadId;
+    const Program *program = nullptr;
+    ThreadState state = ThreadState::Idle;
+
+    std::array<RenameEntry, numIntRegs> intRename{};
+    std::array<RenameEntry, numFpRegs> fpRename{};
+
+    uint64_t pc = 0;
+    std::array<int64_t, numIntRegs> intRegs{};
+    std::array<double, numFpRegs> fpRegs{};
+    SparseMemory memory;
+
+    // Pipeline bookkeeping.
+    std::deque<InstHandle> rob;  ///< program order, oldest at front
+    std::deque<InstHandle> lsq;  ///< memory ops in program order
+    Cycles fetchStallUntil = 0;  ///< I-miss / redirect / L2-squash hold
+    bool sedated = false;        ///< DTM stopped fetch for this thread
+    int fetchEvery = 1;          ///< DTM throttle: fetch every k-th cycle
+    bool stoppedFetchingAfterHalt = false;
+
+    // Statistics.
+    uint64_t committedInsts = 0;
+    uint64_t committedLoads = 0;
+    uint64_t committedStores = 0;
+    uint64_t committedBranches = 0;
+    uint64_t squashedInsts = 0;
+    uint64_t normalCycles = 0;    ///< not stalled by any DTM action
+    uint64_t coolingCycles = 0;   ///< global stop-and-go stall
+    uint64_t sedationCycles = 0;  ///< this thread sedated
+};
+
+} // namespace hs
+
+#endif // HS_SMT_THREAD_CONTEXT_HH

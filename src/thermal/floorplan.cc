@@ -1,0 +1,133 @@
+#include "thermal/floorplan.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace hs {
+
+namespace {
+
+constexpr double mm = 1e-3;
+constexpr double minSharedEdge = 1e-6; // ignore sub-micron contacts
+
+double
+overlap(double a0, double a1, double b0, double b1)
+{
+    return std::max(0.0, std::min(a1, b1) - std::max(a0, b0));
+}
+
+} // namespace
+
+Floorplan::Floorplan(const std::vector<Rect> &rects) : rects_(rects)
+{
+    if (rects_.size() != static_cast<size_t>(numBlocks))
+        fatal("Floorplan: expected %d rects, got %zu", numBlocks,
+              rects_.size());
+    for (int i = 0; i < numBlocks; ++i) {
+        if (rects_[static_cast<size_t>(i)].area() <= 0)
+            fatal("Floorplan: block %s has non-positive area",
+                  blockName(blockFromIndex(i)));
+    }
+    computeAdjacency();
+}
+
+Floorplan
+Floorplan::ev6()
+{
+    std::vector<Rect> r(static_cast<size_t>(numBlocks));
+    auto put = [&](Block b, double x, double y, double w, double h) {
+        r[static_cast<size_t>(blockIndex(b))] =
+            Rect{x * mm, y * mm, w * mm, h * mm};
+    };
+
+    // Adapted from HotSpot's ev6.flp (dimensions in mm). The die is
+    // 16 x 16 mm with the L2 wrapping the bottom and sides of the core.
+    put(Block::L2, 0.0, 0.0, 16.0, 9.8);
+    put(Block::L2Left, 0.0, 9.8, 4.9, 6.2);
+    put(Block::L2Right, 11.1, 9.8, 4.9, 6.2);
+    put(Block::Icache, 4.9, 9.8, 3.1, 2.6);
+    put(Block::Dcache, 8.0, 9.8, 3.1, 2.6);
+    put(Block::Bpred, 4.9, 12.4, 3.1, 0.7);
+    put(Block::Dtb, 8.0, 12.4, 3.1, 0.7);
+    put(Block::FpAdd, 4.9, 13.1, 1.1, 0.9);
+    put(Block::FpReg, 6.0, 13.1, 0.6, 0.9);
+    put(Block::FpMul, 6.6, 13.1, 1.1, 0.9);
+    put(Block::FpMap, 7.7, 13.1, 0.8, 0.9);
+    put(Block::IntMap, 8.5, 13.1, 0.9, 0.9);
+    put(Block::IntQ, 9.4, 13.1, 1.7, 0.9);
+    put(Block::IntReg, 4.9, 14.0, 1.4, 2.0);
+    put(Block::IntExec, 6.3, 14.0, 2.3, 2.0);
+    put(Block::LdStQ, 8.6, 14.0, 1.4, 2.0);
+    put(Block::Itb, 10.0, 14.0, 1.1, 2.0);
+
+    return Floorplan(r);
+}
+
+Floorplan
+Floorplan::scaled(double linear_factor) const
+{
+    if (linear_factor <= 0)
+        fatal("Floorplan::scaled: factor must be positive");
+    std::vector<Rect> rects = rects_;
+    for (Rect &r : rects) {
+        r.x *= linear_factor;
+        r.y *= linear_factor;
+        r.w *= linear_factor;
+        r.h *= linear_factor;
+    }
+    return Floorplan(rects);
+}
+
+const Rect &
+Floorplan::rect(Block b) const
+{
+    return rects_[static_cast<size_t>(blockIndex(b))];
+}
+
+double
+Floorplan::dieArea() const
+{
+    double total = 0;
+    for (const Rect &r : rects_)
+        total += r.area();
+    return total;
+}
+
+void
+Floorplan::computeAdjacency()
+{
+    adj_.clear();
+    for (int i = 0; i < numBlocks; ++i) {
+        for (int j = i + 1; j < numBlocks; ++j) {
+            const Rect &a = rects_[static_cast<size_t>(i)];
+            const Rect &b = rects_[static_cast<size_t>(j)];
+
+            // Vertical neighbours: a's top touches b's bottom or vice
+            // versa, with x-ranges overlapping.
+            bool touch_y = std::abs((a.y + a.h) - b.y) < minSharedEdge ||
+                           std::abs((b.y + b.h) - a.y) < minSharedEdge;
+            if (touch_y) {
+                double shared = overlap(a.x, a.x + a.w, b.x, b.x + b.w);
+                if (shared > minSharedEdge) {
+                    adj_.push_back({blockFromIndex(i), blockFromIndex(j),
+                                    shared, true});
+                    continue;
+                }
+            }
+            // Horizontal neighbours.
+            bool touch_x = std::abs((a.x + a.w) - b.x) < minSharedEdge ||
+                           std::abs((b.x + b.w) - a.x) < minSharedEdge;
+            if (touch_x) {
+                double shared = overlap(a.y, a.y + a.h, b.y, b.y + b.h);
+                if (shared > minSharedEdge) {
+                    adj_.push_back({blockFromIndex(i), blockFromIndex(j),
+                                    shared, false});
+                }
+            }
+        }
+    }
+}
+
+} // namespace hs

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Processor floorplan: block rectangles and lateral adjacency.
+ *
+ * The default floorplan is an Alpha EV6-style layout adapted from the
+ * one distributed with HotSpot (which the paper uses for the core,
+ * Section 4): an L2 periphery around a core with front-end, FP cluster
+ * and integer cluster. Geometry feeds the RC network builder: block
+ * areas set vertical resistance and capacitance, shared edges set
+ * lateral resistances.
+ */
+
+#ifndef HS_THERMAL_FLOORPLAN_HH
+#define HS_THERMAL_FLOORPLAN_HH
+
+#include <vector>
+
+#include "common/blocks.hh"
+
+namespace hs {
+
+/** Axis-aligned rectangle in metres. */
+struct Rect
+{
+    double x = 0;
+    double y = 0;
+    double w = 0;
+    double h = 0;
+
+    double area() const { return w * h; }
+};
+
+/** Lateral adjacency between two blocks. */
+struct Adjacency
+{
+    Block a;
+    Block b;
+    double sharedEdge;  ///< length of the common edge, metres
+    bool vertical;      ///< true if the shared edge is horizontal
+                        ///< (heat flows in y); false for x
+};
+
+/** The die floorplan. */
+class Floorplan
+{
+  public:
+    /** Construct from explicit rectangles (one per Block). */
+    explicit Floorplan(const std::vector<Rect> &rects);
+
+    /** @return the default EV6-style floorplan. */
+    static Floorplan ev6();
+
+    /**
+     * @return a copy with every linear dimension multiplied by
+     * @p linear_factor (areas scale by its square) — a technology
+     * shrink without voltage scaling, the power-density trend that
+     * motivates the paper (Section 1).
+     */
+    Floorplan scaled(double linear_factor) const;
+
+    const Rect &rect(Block b) const;
+    double area(Block b) const { return rect(b).area(); }
+
+    /** Total die area, m^2. */
+    double dieArea() const;
+
+    /** All block pairs that share an edge longer than ~1 um. */
+    const std::vector<Adjacency> &adjacencies() const { return adj_; }
+
+  private:
+    void computeAdjacency();
+
+    std::vector<Rect> rects_;
+    std::vector<Adjacency> adj_;
+};
+
+} // namespace hs
+
+#endif // HS_THERMAL_FLOORPLAN_HH

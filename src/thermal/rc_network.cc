@@ -1,0 +1,254 @@
+#include "thermal/rc_network.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace hs {
+
+RcNetwork::RcNetwork(int num_nodes)
+    : numNodes_(num_nodes),
+      g_(static_cast<size_t>(num_nodes) * static_cast<size_t>(num_nodes),
+         0.0),
+      bathG_(static_cast<size_t>(num_nodes), 0.0),
+      bathT_(static_cast<size_t>(num_nodes), 0.0),
+      cap_(static_cast<size_t>(num_nodes), 1.0),
+      diagG_(static_cast<size_t>(num_nodes), 0.0),
+      temps_(static_cast<size_t>(num_nodes), 300.0)
+{
+    if (num_nodes < 1)
+        fatal("RcNetwork needs at least one node");
+}
+
+void
+RcNetwork::checkNode(int node) const
+{
+    if (node < 0 || node >= numNodes_)
+        panic("RcNetwork: node %d out of range [0,%d)", node, numNodes_);
+}
+
+void
+RcNetwork::addConductance(int a, int b, double g)
+{
+    checkNode(a);
+    checkNode(b);
+    if (a == b)
+        panic("RcNetwork: self-conductance on node %d", a);
+    if (g < 0)
+        fatal("RcNetwork: negative conductance");
+    gAt(a, b) += g;
+    gAt(b, a) += g;
+    refreshDiag();
+}
+
+void
+RcNetwork::addBathConductance(int node, double g, Kelvin bath_temp)
+{
+    checkNode(node);
+    if (g < 0)
+        fatal("RcNetwork: negative bath conductance");
+    bathG_[static_cast<size_t>(node)] += g;
+    bathT_[static_cast<size_t>(node)] = bath_temp;
+    refreshDiag();
+}
+
+void
+RcNetwork::setCapacitance(int node, double c)
+{
+    checkNode(node);
+    if (c <= 0)
+        fatal("RcNetwork: capacitance must be positive");
+    cap_[static_cast<size_t>(node)] = c;
+}
+
+void
+RcNetwork::scaleCapacitances(double factor)
+{
+    if (factor <= 0)
+        fatal("RcNetwork: capacitance scale must be positive");
+    for (double &c : cap_)
+        c *= factor;
+}
+
+Kelvin
+RcNetwork::temp(int node) const
+{
+    checkNode(node);
+    return temps_[static_cast<size_t>(node)];
+}
+
+void
+RcNetwork::setTemp(int node, Kelvin t)
+{
+    checkNode(node);
+    temps_[static_cast<size_t>(node)] = t;
+}
+
+void
+RcNetwork::setAllTemps(Kelvin t)
+{
+    std::fill(temps_.begin(), temps_.end(), t);
+}
+
+void
+RcNetwork::setTemps(const std::vector<Kelvin> &t)
+{
+    if (t.size() != temps_.size())
+        fatal("RcNetwork::setTemps: size mismatch");
+    temps_ = t;
+}
+
+void
+RcNetwork::refreshDiag()
+{
+    for (int i = 0; i < numNodes_; ++i) {
+        double sum = bathG_[static_cast<size_t>(i)];
+        for (int j = 0; j < numNodes_; ++j)
+            sum += gAt(i, j);
+        diagG_[static_cast<size_t>(i)] = sum;
+    }
+}
+
+double
+RcNetwork::minTimeConstant() const
+{
+    double tau = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < numNodes_; ++i) {
+        double g = diagG_[static_cast<size_t>(i)];
+        if (g > 0)
+            tau = std::min(tau, cap_[static_cast<size_t>(i)] / g);
+    }
+    return tau;
+}
+
+void
+RcNetwork::step(const std::vector<Watts> &power, double dt)
+{
+    if (power.size() != static_cast<size_t>(numNodes_))
+        fatal("RcNetwork::step: power vector size mismatch");
+    if (dt <= 0)
+        return;
+
+    // Explicit integration is stable for dt < C_i/G_ii; sub-step with
+    // a 0.1 safety factor (RK2 keeps the discretisation error ~h^2).
+    double tau = minTimeConstant();
+    int substeps = 1;
+    if (std::isfinite(tau) && tau > 0)
+        substeps = std::max(1, static_cast<int>(std::ceil(dt /
+                                                          (0.1 * tau))));
+    double h = dt / substeps;
+
+    // Midpoint (RK2) integration: evaluate the derivative at a half
+    // step to cancel the first-order error of plain forward Euler.
+    auto derivative = [&](const std::vector<Kelvin> &t,
+                          std::vector<double> &d) {
+        for (int i = 0; i < numNodes_; ++i) {
+            size_t si = static_cast<size_t>(i);
+            double flow = power[si] + bathG_[si] * (bathT_[si] - t[si]);
+            for (int j = 0; j < numNodes_; ++j) {
+                double g = gAt(i, j);
+                if (g != 0.0)
+                    flow += g * (t[static_cast<size_t>(j)] - t[si]);
+            }
+            d[si] = flow / cap_[si];
+        }
+    };
+
+    std::vector<double> k1(static_cast<size_t>(numNodes_));
+    std::vector<double> k2(static_cast<size_t>(numNodes_));
+    std::vector<Kelvin> mid(static_cast<size_t>(numNodes_));
+    for (int s = 0; s < substeps; ++s) {
+        derivative(temps_, k1);
+        for (int i = 0; i < numNodes_; ++i) {
+            size_t si = static_cast<size_t>(i);
+            mid[si] = temps_[si] + 0.5 * h * k1[si];
+        }
+        derivative(mid, k2);
+        for (int i = 0; i < numNodes_; ++i) {
+            size_t si = static_cast<size_t>(i);
+            temps_[si] += h * k2[si];
+        }
+    }
+}
+
+std::vector<Kelvin>
+RcNetwork::solveSteadyState(const std::vector<Watts> &power) const
+{
+    if (power.size() != static_cast<size_t>(numNodes_))
+        fatal("RcNetwork::solveSteadyState: power vector size mismatch");
+
+    // Build A*T = b with A = diag(G_ii) - offdiag(g_ij),
+    // b = P + bathG * bathT.
+    int n = numNodes_;
+    std::vector<double> a(static_cast<size_t>(n) * static_cast<size_t>(n));
+    std::vector<double> b(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        size_t si = static_cast<size_t>(i);
+        for (int j = 0; j < n; ++j)
+            a[si * static_cast<size_t>(n) + static_cast<size_t>(j)] =
+                (i == j) ? diagG_[si] : -gAt(i, j);
+        b[si] = power[si] + bathG_[si] * bathT_[si];
+    }
+
+    // Gaussian elimination with partial pivoting.
+    for (int col = 0; col < n; ++col) {
+        int pivot = col;
+        double best = std::abs(a[static_cast<size_t>(col) *
+                                 static_cast<size_t>(n) +
+                                 static_cast<size_t>(col)]);
+        for (int row = col + 1; row < n; ++row) {
+            double v = std::abs(a[static_cast<size_t>(row) *
+                                  static_cast<size_t>(n) +
+                                  static_cast<size_t>(col)]);
+            if (v > best) {
+                best = v;
+                pivot = row;
+            }
+        }
+        if (best < 1e-15)
+            fatal("RcNetwork: singular network (is any node connected "
+                  "to the ambient bath?)");
+        if (pivot != col) {
+            for (int j = 0; j < n; ++j)
+                std::swap(a[static_cast<size_t>(col) *
+                            static_cast<size_t>(n) +
+                            static_cast<size_t>(j)],
+                          a[static_cast<size_t>(pivot) *
+                            static_cast<size_t>(n) +
+                            static_cast<size_t>(j)]);
+            std::swap(b[static_cast<size_t>(col)],
+                      b[static_cast<size_t>(pivot)]);
+        }
+        double diag = a[static_cast<size_t>(col) *
+                        static_cast<size_t>(n) + static_cast<size_t>(col)];
+        for (int row = col + 1; row < n; ++row) {
+            double factor = a[static_cast<size_t>(row) *
+                              static_cast<size_t>(n) +
+                              static_cast<size_t>(col)] / diag;
+            if (factor == 0.0)
+                continue;
+            for (int j = col; j < n; ++j)
+                a[static_cast<size_t>(row) * static_cast<size_t>(n) +
+                  static_cast<size_t>(j)] -=
+                    factor * a[static_cast<size_t>(col) *
+                               static_cast<size_t>(n) +
+                               static_cast<size_t>(j)];
+            b[static_cast<size_t>(row)] -=
+                factor * b[static_cast<size_t>(col)];
+        }
+    }
+    std::vector<Kelvin> t(static_cast<size_t>(n));
+    for (int row = n - 1; row >= 0; --row) {
+        double sum = b[static_cast<size_t>(row)];
+        for (int j = row + 1; j < n; ++j)
+            sum -= a[static_cast<size_t>(row) * static_cast<size_t>(n) +
+                     static_cast<size_t>(j)] * t[static_cast<size_t>(j)];
+        t[static_cast<size_t>(row)] =
+            sum / a[static_cast<size_t>(row) * static_cast<size_t>(n) +
+                    static_cast<size_t>(row)];
+    }
+    return t;
+}
+
+} // namespace hs

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Generic dense thermal RC network solver.
+ *
+ * Nodes carry a thermal capacitance and pairwise conductances; any node
+ * may also be tied to a fixed-temperature bath (the ambient) through a
+ * conductance. Supports transient integration (forward Euler with
+ * automatic sub-stepping for stability) and direct steady-state solves
+ * (Gaussian elimination — the networks here have ~20 nodes).
+ */
+
+#ifndef HS_THERMAL_RC_NETWORK_HH
+#define HS_THERMAL_RC_NETWORK_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hs {
+
+/** Dense RC thermal network. */
+class RcNetwork
+{
+  public:
+    explicit RcNetwork(int num_nodes);
+
+    /** Add conductance @p g (W/K) between nodes @p a and @p b. */
+    void addConductance(int a, int b, double g);
+
+    /** Tie @p node to a fixed bath at @p bath_temp through @p g. */
+    void addBathConductance(int node, double g, Kelvin bath_temp);
+
+    /** Set the capacitance (J/K) of @p node. */
+    void setCapacitance(int node, double c);
+
+    /** Scale all capacitances by @p factor (time-scaling support). */
+    void scaleCapacitances(double factor);
+
+    int numNodes() const { return numNodes_; }
+    Kelvin temp(int node) const;
+    void setTemp(int node, Kelvin t);
+    void setAllTemps(Kelvin t);
+    const std::vector<Kelvin> &temps() const { return temps_; }
+    void setTemps(const std::vector<Kelvin> &t);
+
+    /**
+     * Advance the network by @p dt seconds with @p power watts injected
+     * per node. Internally sub-steps to keep forward Euler stable.
+     */
+    void step(const std::vector<Watts> &power, double dt);
+
+    /**
+     * Directly solve for the steady-state temperatures under @p power.
+     * @throws via fatal() if the network is singular (no bath anywhere).
+     */
+    std::vector<Kelvin>
+    solveSteadyState(const std::vector<Watts> &power) const;
+
+    /** Smallest C_i / G_ii over nodes — the stiffest time constant. */
+    double minTimeConstant() const;
+
+  private:
+    int numNodes_;
+    std::vector<double> g_;       ///< dense symmetric conductance matrix
+    std::vector<double> bathG_;   ///< per-node conductance to its bath
+    std::vector<Kelvin> bathT_;   ///< per-node bath temperature
+    std::vector<double> cap_;     ///< per-node capacitance
+    std::vector<double> diagG_;   ///< cached row sums incl. bath
+    std::vector<Kelvin> temps_;
+
+    double &gAt(int a, int b) { return g_[static_cast<size_t>(a) *
+                                          static_cast<size_t>(numNodes_) +
+                                          static_cast<size_t>(b)]; }
+    double gAt(int a, int b) const
+    {
+        return g_[static_cast<size_t>(a) *
+                  static_cast<size_t>(numNodes_) + static_cast<size_t>(b)];
+    }
+    void refreshDiag();
+    void checkNode(int node) const;
+};
+
+} // namespace hs
+
+#endif // HS_THERMAL_RC_NETWORK_HH

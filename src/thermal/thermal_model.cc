@@ -1,0 +1,137 @@
+#include "thermal/thermal_model.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace hs {
+
+ThermalModel::ThermalModel(const Floorplan &floorplan,
+                           const ThermalParams &params)
+    : floorplan_(params.dieShrink == 1.0
+                     ? floorplan
+                     : floorplan.scaled(params.dieShrink)),
+      params_(params)
+{
+    int n = numBlocks + 2;
+    spreaderNode_ = numBlocks;
+    sinkNode_ = numBlocks + 1;
+    net_ = std::make_unique<RcNetwork>(n);
+
+    // Block nodes: capacitance and vertical path to the spreader.
+    for (int i = 0; i < numBlocks; ++i) {
+        double area = floorplan_.area(blockFromIndex(i));
+        double cap = params_.cvSilicon * params_.siliconThickness * area;
+        net_->setCapacitance(i, cap);
+        double r_vert =
+            params_.siliconThickness / (params_.kSilicon * area) +
+            params_.timThickness / (params_.kTim * area);
+        net_->addConductance(i, spreaderNode_, 1.0 / r_vert);
+    }
+
+    // Lateral coupling between adjacent blocks.
+    double sheet_k = params_.kSilicon * params_.siliconThickness;
+    for (const Adjacency &adj : floorplan_.adjacencies()) {
+        const Rect &ra = floorplan_.rect(adj.a);
+        const Rect &rb = floorplan_.rect(adj.b);
+        // Distance from each block centre to the shared edge, in the
+        // direction perpendicular to the edge.
+        double da = adj.vertical ? ra.h / 2 : ra.w / 2;
+        double db = adj.vertical ? rb.h / 2 : rb.w / 2;
+        double r_lat = params_.lateralScale * (da + db) /
+                       (sheet_k * adj.sharedEdge);
+        net_->addConductance(blockIndex(adj.a), blockIndex(adj.b),
+                             1.0 / r_lat);
+    }
+
+    // Package: spreader -> sink -> ambient.
+    net_->setCapacitance(spreaderNode_, params_.spreaderC);
+    net_->setCapacitance(sinkNode_, params_.sinkC);
+    net_->addConductance(spreaderNode_, sinkNode_,
+                         1.0 / params_.spreaderToSinkR);
+    double conv_r = params_.idealSink ? 1e-9 : params_.convectionR;
+    net_->addBathConductance(sinkNode_, 1.0 / conv_r, params_.ambient);
+
+    if (params_.timeScale != 1.0)
+        net_->scaleCapacitances(1.0 / params_.timeScale);
+
+    net_->setAllTemps(params_.ambient);
+}
+
+std::vector<Watts>
+ThermalModel::padPower(const std::vector<Watts> &block_power) const
+{
+    if (block_power.size() != static_cast<size_t>(numBlocks))
+        fatal("ThermalModel: expected %d block powers, got %zu",
+              numBlocks, block_power.size());
+    std::vector<Watts> padded(block_power);
+    padded.push_back(0.0); // spreader
+    padded.push_back(0.0); // sink
+    return padded;
+}
+
+void
+ThermalModel::initSteadyState(const std::vector<Watts> &block_power)
+{
+    net_->setTemps(net_->solveSteadyState(padPower(block_power)));
+}
+
+void
+ThermalModel::step(const std::vector<Watts> &block_power, double dt)
+{
+    if (params_.idealSink) {
+        // Infinite heat removal: hold every node at its initial
+        // (steady) temperature.
+        return;
+    }
+    net_->step(padPower(block_power), dt);
+}
+
+std::vector<Kelvin>
+ThermalModel::steadyTemps(const std::vector<Watts> &block_power) const
+{
+    std::vector<Kelvin> all = net_->solveSteadyState(padPower(block_power));
+    all.resize(static_cast<size_t>(numBlocks));
+    return all;
+}
+
+Kelvin
+ThermalModel::blockTemp(Block b) const
+{
+    return net_->temp(blockIndex(b));
+}
+
+Kelvin
+ThermalModel::spreaderTemp() const
+{
+    return net_->temp(spreaderNode_);
+}
+
+Kelvin
+ThermalModel::sinkTemp() const
+{
+    return net_->temp(sinkNode_);
+}
+
+std::pair<Block, Kelvin>
+ThermalModel::hottest() const
+{
+    Block best = Block::L2;
+    Kelvin best_t = -1;
+    for (int i = 0; i < numBlocks; ++i) {
+        Kelvin t = net_->temp(i);
+        if (t > best_t) {
+            best_t = t;
+            best = blockFromIndex(i);
+        }
+    }
+    return {best, best_t};
+}
+
+double
+ThermalModel::minTimeConstant() const
+{
+    return net_->minTimeConstant();
+}
+
+} // namespace hs

@@ -1,0 +1,346 @@
+#include "workload/generator.hh"
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace hs {
+
+namespace {
+
+// Fixed register roles for generated programs.
+constexpr int regLcg = 1;        // in-program LCG state
+constexpr int regHotIdx = 2;     // hot-window strided index
+constexpr int regColdMask = 3;   // full-footprint mask
+constexpr int regAddr = 4;       // scratch address
+constexpr int regCounter = 5;    // pattern-branch counter
+constexpr int regPatBit = 6;     // extracted pattern bits
+constexpr int regHardBit = 7;    // extracted LCG bit
+constexpr int firstTemp = 8;     // r8..r22: integer temporaries
+constexpr int numTemps = 15;
+constexpr int regAcc = 23;       // serial-dependence accumulator
+constexpr int regHotMask = 24;   // hot-window mask constant
+constexpr int regWarmMask = 25;  // warm-window mask constant
+constexpr int regStrideVal = 26; // stride constant
+constexpr int regWarmIdx = 27;   // warm-window strided index
+constexpr int regLcgMul = 28;    // LCG multiplier constant
+constexpr int regLcgAdd = 29;    // LCG increment constant
+constexpr int numFpTemps = 15;   // f1..f15
+constexpr int fpAcc = 16;        // FP serial-dependence accumulator
+
+constexpr int64_t lcgMul = 6364136223846793005ll;
+constexpr int64_t lcgAdd = 1442695040888963407ll;
+
+uint64_t
+nameSeed(const std::string &name)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Builds the loop body instruction by instruction. */
+class BodyBuilder
+{
+  public:
+    /**
+     * Each decision class draws from its own RNG stream so tuning one
+     * profile parameter does not reshuffle the others.
+     */
+    BodyBuilder(Program &prog, const SpecProfile &profile, uint64_t seed)
+        : prog_(prog), profile_(profile),
+          rngMix_(seed ^ 0x6d69780a), rngMem_(seed ^ 0x6d656d00),
+          rngBranch_(seed ^ 0x62720000), rngDep_(seed ^ 0x64657000),
+          rngOp_(seed ^ 0x6f700000)
+    {
+    }
+
+    /** Mix-selection RNG, used by the top-level emission loop. */
+    Rng &mixRng() { return rngMix_; }
+
+    void
+    emitIntOp()
+    {
+        Instruction inst;
+        if (rngDep_.chance(profile_.depProbability)) {
+            // Serial dependence: extend the accumulator chain with
+            // 3-cycle multiplies, so depProbability directly bounds
+            // the attainable ILP (the chain is the critical path).
+            inst.op = Opcode::Mul;
+            inst.rd = regAcc;
+            inst.rs1 = regAcc;
+            inst.rs2 = static_cast<uint8_t>(
+                firstTemp + static_cast<int>(rngOp_.nextBounded(numTemps)));
+        } else {
+            static const Opcode choices[] = {
+                Opcode::Add, Opcode::Sub, Opcode::And, Opcode::Or,
+                Opcode::Xor, Opcode::Sll, Opcode::Add, Opcode::Add,
+                Opcode::Mul,
+            };
+            inst.op = choices[rngOp_.nextBounded(sizeof(choices) /
+                                                 sizeof(choices[0]))];
+            inst.rd = static_cast<uint8_t>(nextTemp());
+            inst.rs1 = static_cast<uint8_t>(pickIntSource());
+            inst.rs2 = static_cast<uint8_t>(pickIntSource());
+            if (inst.op == Opcode::Sll)
+                inst.rs2 = static_cast<uint8_t>(regPatBit);
+        }
+        prog_.append(inst);
+        noteWritten(inst.rd);
+    }
+
+    void
+    emitFpOp()
+    {
+        Instruction inst;
+        if (rngDep_.chance(profile_.depProbability)) {
+            inst.op = Opcode::Fadd; // 2-cycle chained op
+            inst.rd = fpAcc;
+            inst.rs1 = fpAcc;
+            inst.rs2 = static_cast<uint8_t>(
+                1 + static_cast<int>(rngOp_.nextBounded(numFpTemps)));
+        } else {
+            static const Opcode choices[] = {
+                Opcode::Fadd, Opcode::Fmul, Opcode::Fadd, Opcode::Fsub,
+                Opcode::Fmul, Opcode::Fdiv,
+            };
+            inst.op = choices[rngOp_.nextBounded(sizeof(choices) /
+                                                 sizeof(choices[0]))];
+            inst.rd = static_cast<uint8_t>(nextFpTemp());
+            inst.rs1 = static_cast<uint8_t>(pickFpSource());
+            inst.rs2 = static_cast<uint8_t>(pickFpSource());
+        }
+        prog_.append(inst);
+        noteFpWritten(inst.rd);
+    }
+
+    /** Emit the address computation and the load/store itself. */
+    void
+    emitMemOp(bool is_store)
+    {
+        // Locality class of this site: cold roams the full footprint
+        // (these are the L2-miss drivers), warm walks an L2-resident
+        // window, hot walks an L1-resident window.
+        double roll = rngMem_.nextDouble();
+        uint8_t base;
+        if (roll < profile_.coldFraction) {
+            emitLcgStep();
+            // r4 = lcg & full-footprint mask
+            append(Opcode::And, regAddr, regLcg, regColdMask);
+            base = regAddr;
+        } else if (roll < profile_.coldFraction + profile_.warmFraction) {
+            // r27 = (r27 + stride) & warm mask
+            append(Opcode::Add, regWarmIdx, regWarmIdx, regStrideVal);
+            append(Opcode::And, regWarmIdx, regWarmIdx, regWarmMask);
+            base = regWarmIdx;
+        } else {
+            // r2 = (r2 + stride) & hot mask
+            append(Opcode::Add, regHotIdx, regHotIdx, regStrideVal);
+            append(Opcode::And, regHotIdx, regHotIdx, regHotMask);
+            base = regHotIdx;
+        }
+        Instruction inst;
+        bool fp = profile_.fpFraction > 0 &&
+                  rngMem_.chance(profile_.fpFraction);
+        if (is_store) {
+            inst.op = fp ? Opcode::Fst : Opcode::St;
+            inst.rs1 = base;
+            inst.rs2 = static_cast<uint8_t>(fp ? pickFpSource()
+                                               : pickIntSource());
+        } else {
+            inst.op = fp ? Opcode::Fld : Opcode::Ld;
+            inst.rs1 = base;
+            inst.rd = static_cast<uint8_t>(fp ? nextFpTemp()
+                                              : nextTemp());
+        }
+        inst.imm = 0;
+        prog_.append(inst);
+        if (!is_store) {
+            if (fp)
+                noteFpWritten(inst.rd);
+            else
+                noteWritten(inst.rd);
+        }
+    }
+
+    /** Branch to the immediately following instruction: the direction
+     *  is observable (and mispredictable) but control re-converges. */
+    void
+    emitBranch()
+    {
+        bool hard = rngBranch_.chance(profile_.hardBranchFraction);
+        if (hard) {
+            emitLcgStep();
+            // r7 = lcg >> 7 & 1 (bit 7 avoids low-bit LCG regularity)
+            Instruction extract;
+            extract.op = Opcode::Srli;
+            extract.rd = regHardBit;
+            extract.rs1 = regLcg;
+            extract.imm = 7;
+            prog_.append(extract);
+            Instruction mask;
+            mask.op = Opcode::Andi;
+            mask.rd = regHardBit;
+            mask.rs1 = regHardBit;
+            mask.imm = 1;
+            prog_.append(mask);
+            Instruction br;
+            br.op = Opcode::Bne;
+            br.rs1 = regHardBit;
+            br.rs2 = 0;
+            br.target = prog_.size() + 1;
+            prog_.append(br);
+        } else {
+            // Patterned: taken one iteration in four.
+            Instruction inc;
+            inc.op = Opcode::Addi;
+            inc.rd = regCounter;
+            inc.rs1 = regCounter;
+            inc.imm = 1;
+            prog_.append(inc);
+            Instruction mask;
+            mask.op = Opcode::Andi;
+            mask.rd = regPatBit;
+            mask.rs1 = regCounter;
+            mask.imm = 3;
+            prog_.append(mask);
+            Instruction br;
+            br.op = Opcode::Beq;
+            br.rs1 = regPatBit;
+            br.rs2 = 0;
+            br.target = prog_.size() + 1;
+            prog_.append(br);
+        }
+    }
+
+  private:
+    void
+    append(Opcode op, int rd, int rs1, int rs2)
+    {
+        Instruction inst;
+        inst.op = op;
+        inst.rd = static_cast<uint8_t>(rd);
+        inst.rs1 = static_cast<uint8_t>(rs1);
+        inst.rs2 = static_cast<uint8_t>(rs2);
+        prog_.append(inst);
+    }
+
+    void
+    emitLcgStep()
+    {
+        append(Opcode::Mul, regLcg, regLcg, regLcgMul);
+        append(Opcode::Add, regLcg, regLcg, regLcgAdd);
+    }
+
+    int
+    nextTemp()
+    {
+        tempRotor_ = (tempRotor_ + 1) % numTemps;
+        return firstTemp + tempRotor_;
+    }
+
+    int
+    nextFpTemp()
+    {
+        fpRotor_ = (fpRotor_ + 1) % numFpTemps;
+        return 1 + fpRotor_;
+    }
+
+    int
+    pickIntSource()
+    {
+        if (lastWritten_ >= 0 && rngDep_.chance(0.3))
+            return lastWritten_;
+        return firstTemp + static_cast<int>(rngOp_.nextBounded(numTemps));
+    }
+
+    int
+    pickFpSource()
+    {
+        if (lastFpWritten_ >= 0 && rngDep_.chance(0.3))
+            return lastFpWritten_;
+        return 1 + static_cast<int>(rngOp_.nextBounded(numFpTemps));
+    }
+
+    void noteWritten(int reg) { lastWritten_ = reg; }
+    void noteFpWritten(int reg) { lastFpWritten_ = reg; }
+
+    Program &prog_;
+    const SpecProfile &profile_;
+    Rng rngMix_;
+    Rng rngMem_;
+    Rng rngBranch_;
+    Rng rngDep_;
+    Rng rngOp_;
+    int tempRotor_ = 0;
+    int fpRotor_ = 0;
+    int lastWritten_ = -1;
+    int lastFpWritten_ = -1;
+};
+
+} // namespace
+
+Program
+synthesizeSpec(const SpecProfile &profile, uint64_t seed)
+{
+    if (profile.bodySize < 8)
+        fatal("profile '%s': body too small", profile.name.c_str());
+    if (profile.footprintLog2 < 12 || profile.footprintLog2 > 32)
+        fatal("profile '%s': footprint out of range",
+              profile.name.c_str());
+
+    Rng rng(seed ? seed : nameSeed(profile.name));
+    Program prog(profile.name);
+
+    prog.setInitReg(regLcg,
+                    static_cast<int64_t>(rng.next() | 1));
+    prog.setInitReg(regColdMask,
+                    (int64_t{1} << profile.footprintLog2) - 8);
+    prog.setInitReg(regHotMask,
+                    (int64_t{1} << profile.hotWindowLog2) - 8);
+    prog.setInitReg(regWarmMask,
+                    (int64_t{1} << profile.warmWindowLog2) - 8);
+    prog.setInitReg(regStrideVal, profile.strideBytes);
+    prog.setInitReg(regLcgMul, lcgMul);
+    prog.setInitReg(regLcgAdd, lcgAdd);
+
+    BodyBuilder builder(prog, profile, rng.next());
+
+    double mem_fraction = profile.loadFraction + profile.storeFraction;
+    int emitted = 0;
+    int since_branch = 0;
+    while (emitted < profile.bodySize) {
+        double roll = builder.mixRng().nextDouble();
+        if (since_branch >= static_cast<int>(profile.branchEvery)) {
+            builder.emitBranch();
+            since_branch = 0;
+        } else if (roll < profile.loadFraction) {
+            builder.emitMemOp(false);
+        } else if (roll < mem_fraction) {
+            builder.emitMemOp(true);
+        } else if (roll < mem_fraction + profile.fpFraction) {
+            builder.emitFpOp();
+        } else {
+            builder.emitIntOp();
+        }
+        ++emitted;
+        ++since_branch;
+    }
+
+    // Close the infinite loop.
+    Instruction jmp;
+    jmp.op = Opcode::Jmp;
+    jmp.target = 0;
+    prog.append(jmp);
+    return prog;
+}
+
+Program
+synthesizeSpec(const std::string &name, uint64_t seed)
+{
+    return synthesizeSpec(specProfile(name), seed);
+}
+
+} // namespace hs

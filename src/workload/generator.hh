@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Synthetic program generator: turns a SpecProfile into a real program
+ * in the simulated ISA.
+ *
+ * The generated program is an infinite loop whose body is sampled from
+ * the profile's instruction mix. All behaviour is produced by real
+ * instructions:
+ *  - "hard" branches test a bit of an in-program LCG (data-dependent,
+ *    unpredictable); patterned branches test a loop-counter bit field
+ *    (learnable by the predictor);
+ *  - strided and LCG-random address streams over the profile's
+ *    footprint produce the cache behaviour;
+ *  - dependence density is controlled by sourcing operands from
+ *    recently written registers.
+ */
+
+#ifndef HS_WORKLOAD_GENERATOR_HH
+#define HS_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+
+#include "isa/program.hh"
+#include "workload/spec_profiles.hh"
+
+namespace hs {
+
+/**
+ * Synthesise the program for @p profile.
+ * @param seed generator seed; the default derives it from the profile
+ *        name so every "gcc" is the same program.
+ */
+Program synthesizeSpec(const SpecProfile &profile, uint64_t seed = 0);
+
+/** Convenience: synthesise by benchmark name. */
+Program synthesizeSpec(const std::string &name, uint64_t seed = 0);
+
+} // namespace hs
+
+#endif // HS_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,180 @@
+#include "workload/malicious.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/log.hh"
+#include "isa/assembler.hh"
+
+namespace hs {
+
+MaliciousParams
+MaliciousParams::scaled(double s) const
+{
+    if (s <= 0)
+        fatal("MaliciousParams::scaled: scale must be positive");
+    MaliciousParams p = *this;
+    p.hammerIters = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::llround(
+               static_cast<double>(hammerIters) / s)));
+    p.missIters = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::llround(
+               static_cast<double>(missIters) / s)));
+    return p;
+}
+
+namespace {
+
+/** Emit @p unroll independent Alpha-style adds hammering the integer
+ *  register file (the Figure 1 loop body). */
+void
+emitHammerBody(std::ostringstream &os, int unroll)
+{
+    for (int i = 0; i < unroll; ++i) {
+        // Rotate destinations r10..r17; sources are never written, so
+        // every add is independent and issues without stalls.
+        os << "    addl $" << (10 + i % 8) << ", $24, $25\n";
+    }
+}
+
+/** Emit the Figure 2 conflict-load block: @p lines loads that all map
+ *  to the same set of an (lines-1)-way L2. Each load's base register
+ *  carries a (value-neutral) dependence on the previous load so the
+ *  misses serialise and wrong-path replays cannot warm the set. */
+void
+emitConflictLoads(std::ostringstream &os, const MaliciousParams &p)
+{
+    for (int i = 0; i < p.conflictLines; ++i) {
+        int data_reg = 10 + i % 8;
+        os << "    ldq $" << data_reg << ", "
+           << static_cast<int64_t>(i) * p.l2SetStride << "($20)\n";
+        // $4 = load & $31(=0) = 0; $20 += 0: pure serialisation.
+        os << "    and $4, $" << data_reg << ", $31\n";
+        os << "    add $20, $20, $4\n";
+    }
+}
+
+std::string
+twoPhaseAsm(const MaliciousParams &p, const char *name)
+{
+    std::ostringstream os;
+    os << "# " << name << ": two-phase heat-stroke kernel (Figure 2)\n";
+    os << "outer:\n";
+    os << "    addi r9, r0, " << p.hammerIters << "\n";
+    os << "hammer:\n";
+    emitHammerBody(os, p.unroll);
+    os << "    addi r9, r9, -1\n";
+    os << "    bne r9, r0, hammer\n";
+    os << "    addi r9, r0, " << p.missIters << "\n";
+    os << "miss:\n";
+    emitConflictLoads(os, p);
+    os << "    addi r9, r9, -1\n";
+    os << "    bne r9, r0, miss\n";
+    os << "    br outer\n";
+    return os.str();
+}
+
+MaliciousParams
+variant3Params(const MaliciousParams &p)
+{
+    // Lower the hammer duty cycle to evade detection (Section 5.1):
+    // shorter hammer bursts (near the hot-spot formation time) and
+    // twice the conflict-miss cool-off.
+    MaliciousParams v3 = p;
+    v3.hammerIters = std::max<uint64_t>(1, p.hammerIters * 2 / 5);
+    v3.missIters = std::max<uint64_t>(1, p.missIters * 2);
+    return v3;
+}
+
+} // namespace
+
+std::string
+variant1Asm(const MaliciousParams &params)
+{
+    std::ostringstream os;
+    os << "# variant1: register-file hammer (Figure 1)\n";
+    os << "L$1:\n";
+    emitHammerBody(os, params.unroll);
+    os << "    br L$1\n";
+    return os.str();
+}
+
+std::string
+variant2Asm(const MaliciousParams &params)
+{
+    return twoPhaseAsm(params, "variant2");
+}
+
+std::string
+variant4Asm(const MaliciousParams &params)
+{
+    // Figure 1 transposed to the FP register file: independent FP adds
+    // at the maximum rate. The FP cluster's power density is too low
+    // to reach the emergency threshold, making this a false-positive
+    // probe for the defense.
+    std::ostringstream os;
+    os << "# variant4: FP register-file hammer\n";
+    os << "L$1:\n";
+    for (int i = 0; i < params.unroll; ++i)
+        os << "    fadd f" << (1 + i % 8) << ", f14, f15\n";
+    os << "    br L$1\n";
+    return os.str();
+}
+
+std::string
+variant3Asm(const MaliciousParams &params)
+{
+    return twoPhaseAsm(variant3Params(params), "variant3");
+}
+
+Program
+makeVariant1(const MaliciousParams &params)
+{
+    Program prog = assemble(variant1Asm(params), "variant1");
+    prog.setInitReg(24, 7);
+    prog.setInitReg(25, 13);
+    return prog;
+}
+
+Program
+makeVariant2(const MaliciousParams &params)
+{
+    Program prog = assemble(variant2Asm(params), "variant2");
+    prog.setInitReg(24, 7);
+    prog.setInitReg(25, 13);
+    return prog;
+}
+
+Program
+makeVariant3(const MaliciousParams &params)
+{
+    Program prog = assemble(variant3Asm(params), "variant3");
+    prog.setInitReg(24, 7);
+    prog.setInitReg(25, 13);
+    return prog;
+}
+
+Program
+makeVariant4(const MaliciousParams &params)
+{
+    Program prog = assemble(variant4Asm(params), "variant4");
+    // Seed the FP sources through the integer side.
+    prog.setInitReg(24, 3);
+    return prog;
+}
+
+Program
+makeVariant(int which, const MaliciousParams &params)
+{
+    switch (which) {
+      case 1: return makeVariant1(params);
+      case 2: return makeVariant2(params);
+      case 3: return makeVariant3(params);
+      case 4: return makeVariant4(params);
+      default:
+        fatal("makeVariant: variant %d does not exist", which);
+    }
+}
+
+} // namespace hs

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The malicious heat-stroke kernels of the paper (Section 3.1, 5).
+ *
+ * - Variant 1 (Figure 1): a tight loop of independent integer adds —
+ *   maximum register-file access rate AND high IPC (it also monopolises
+ *   fetch under ICOUNT, which the paper uses as a contrast case).
+ * - Variant 2 (Figure 2): alternates a register-file hammer phase with
+ *   a phase of loads that all map to the same L2 set (9 lines in an
+ *   8-way cache, guaranteed misses), tuning its IPC down so the attack
+ *   is purely a power-density one.
+ * - Variant 3: a variant 2 with the hammer duty cycle lowered to evade
+ *   detection; it trades attack strength for stealth (Section 5.1).
+ *
+ * The kernels are generated as assembly text (see the *Asm functions)
+ * and run through the project assembler, so the attack programs are
+ * literally the paper's listings.
+ */
+
+#ifndef HS_WORKLOAD_MALICIOUS_HH
+#define HS_WORKLOAD_MALICIOUS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace hs {
+
+/** Tunable knobs of the malicious kernels. */
+struct MaliciousParams
+{
+    /** Independent adds per hammer-loop iteration. */
+    int unroll = 24;
+
+    /** Hammer-loop iterations per phase (variant 2/3). Sized so one
+     *  hammer phase comfortably exceeds the hot-spot formation time
+     *  (~5 M cycles at paper scale, Section 3.2.1): the default is
+     *  ~20 M cycles of hammering per phase. */
+    uint64_t hammerIters = 6'000'000;
+
+    /** Conflict-miss loop iterations per phase (variant 2/3). */
+    uint64_t missIters = 8'000;
+
+    /** Number of conflicting lines (one more than the L2 ways). */
+    int conflictLines = 9;
+
+    /** Byte distance between addresses that share an L2 set:
+     *  numSets * lineBytes = 4096 * 64 for the Table 1 L2. */
+    int64_t l2SetStride = 4096 * 64;
+
+    /**
+     * Scale every phase length by 1/s (thermal time-scaling support:
+     * when thermal capacitances shrink by s, phases must shrink
+     * equally for the heat/cool episode count per quantum to match).
+     */
+    MaliciousParams scaled(double s) const;
+};
+
+/** Assembly text of variant 1 (Figure 1 style). */
+std::string variant1Asm(const MaliciousParams &params = {});
+/** Assembly text of variant 2 (Figure 2 style). */
+std::string variant2Asm(const MaliciousParams &params = {});
+/** Assembly text of variant 3 (evasive variant 2). */
+std::string variant3Asm(const MaliciousParams &params = {});
+/** Assembly text of variant 4: an FP-register-file hammer. With this
+ *  calibration the FP cluster's power density is too low to form a
+ *  hot spot, so variant 4 serves as a *false-positive probe*: an
+ *  aggressive but thermally harmless thread that selective sedation
+ *  must leave alone. */
+std::string variant4Asm(const MaliciousParams &params = {});
+
+/** Assembled variant 1. */
+Program makeVariant1(const MaliciousParams &params = {});
+/** Assembled variant 2. */
+Program makeVariant2(const MaliciousParams &params = {});
+/** Assembled variant 3. */
+Program makeVariant3(const MaliciousParams &params = {});
+/** Assembled variant 4 (FP hammer). */
+Program makeVariant4(const MaliciousParams &params = {});
+
+/** Variant by index 1..4 (bench convenience). */
+Program makeVariant(int which, const MaliciousParams &params = {});
+
+} // namespace hs
+
+#endif // HS_WORKLOAD_MALICIOUS_HH

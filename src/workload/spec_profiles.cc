@@ -1,0 +1,103 @@
+#include "workload/spec_profiles.hh"
+
+#include "common/log.hh"
+
+namespace hs {
+
+namespace {
+
+std::vector<SpecProfile>
+buildSuite()
+{
+    // name, fp, load, store, brEvery, hardBr, footLog2, cold, stride,
+    // dep, body
+    auto mk = [](const char *name, double fp, double ld, double st,
+                 double br_every, double hard, int foot, double cold,
+                 int stride, double dep, int body) {
+        SpecProfile p;
+        p.name = name;
+        p.fpFraction = fp;
+        p.loadFraction = ld;
+        p.storeFraction = st;
+        p.branchEvery = br_every;
+        p.hardBranchFraction = hard;
+        p.footprintLog2 = foot;
+        p.coldFraction = cold;
+        p.strideBytes = stride;
+        p.depProbability = dep;
+        p.bodySize = body;
+        return p;
+    };
+
+    std::vector<SpecProfile> suite;
+    // FP suite members.
+    suite.push_back(mk("ammp", 0.50, 0.28, 0.10, 12, 0.08, 23, 0.015,
+                       64, 0.60, 180));
+    suite.push_back(mk("applu", 0.55, 0.30, 0.12, 18, 0.03, 24, 0.003,
+                       64, 0.30, 220));
+    suite.push_back(mk("apsi", 0.50, 0.28, 0.12, 14, 0.05, 23, 0.004,
+                       64, 0.35, 200));
+    suite.push_back(mk("art", 0.40, 0.32, 0.08, 10, 0.05, 24, 0.020,
+                       64, 0.25, 220));
+    suite.push_back(mk("equake", 0.45, 0.30, 0.10, 12, 0.10, 23, 0.015,
+                       64, 0.55, 180));
+    suite.push_back(mk("lucas", 0.60, 0.28, 0.12, 20, 0.02, 24, 0.003,
+                       128, 0.35, 240));
+    suite.push_back(mk("mesa", 0.40, 0.24, 0.12, 10, 0.08, 20, 0.002,
+                       64, 0.45, 200));
+    // Integer suite members.
+    suite.push_back(mk("bzip2", 0.00, 0.26, 0.12, 6, 0.18, 22, 0.008,
+                       32, 0.60, 140));
+    suite.push_back(mk("crafty", 0.00, 0.22, 0.08, 7, 0.10, 20, 0.001,
+                       32, 0.35, 200));
+    suite.push_back(mk("eon", 0.30, 0.24, 0.10, 8, 0.08, 18, 0.001,
+                       32, 0.40, 180));
+    suite.push_back(mk("gap", 0.00, 0.30, 0.12, 7, 0.15, 21, 0.008,
+                       32, 0.60, 150));
+    suite.push_back(mk("gcc", 0.00, 0.28, 0.14, 5, 0.20, 22, 0.010,
+                       32, 0.70, 120));
+    suite.push_back(mk("gzip", 0.00, 0.25, 0.12, 6, 0.15, 19, 0.006,
+                       16, 0.60, 140));
+    suite.push_back(mk("mcf", 0.00, 0.35, 0.08, 7, 0.25, 26, 0.200,
+                       64, 0.60, 120));
+    suite.push_back(mk("parser", 0.00, 0.28, 0.12, 5, 0.22, 21, 0.012,
+                       32, 0.68, 130));
+    suite.push_back(mk("twolf", 0.00, 0.26, 0.10, 6, 0.25, 19, 0.010,
+                       32, 0.65, 140));
+    suite.push_back(mk("vortex", 0.00, 0.30, 0.18, 7, 0.08, 22, 0.005,
+                       64, 0.35, 190));
+    suite.push_back(mk("vpr", 0.00, 0.26, 0.10, 6, 0.22, 20, 0.010,
+                       32, 0.65, 150));
+    return suite;
+}
+
+} // namespace
+
+const std::vector<SpecProfile> &
+specSuite()
+{
+    static const std::vector<SpecProfile> suite = buildSuite();
+    return suite;
+}
+
+const SpecProfile &
+specProfile(const std::string &name)
+{
+    for (const SpecProfile &p : specSuite()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown SPEC profile '%s'", name.c_str());
+}
+
+const std::vector<std::string> &
+paperFigureBenchmarks()
+{
+    static const std::vector<std::string> names = {
+        "applu", "apsi", "art", "crafty", "eon",
+        "gap", "gcc", "lucas", "mcf", "vortex",
+    };
+    return names;
+}
+
+} // namespace hs

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Synthetic SPEC2K-like workload profiles.
+ *
+ * The paper evaluates against the SPEC2K suite; SPEC binaries and
+ * reference inputs are licensed material, so this reproduction
+ * substitutes per-benchmark *profiles* — instruction mix, dependence
+ * density, data footprint, access randomness and branch entropy tuned
+ * to the published characteristics of each benchmark — from which the
+ * generator synthesises real programs in the simulated ISA. What the
+ * heat-stroke experiments need from SPEC is the diversity of IPC,
+ * register-file pressure and cache behaviour visible in Figures 3-6,
+ * which these profiles reproduce (see DESIGN.md, substitutions).
+ */
+
+#ifndef HS_WORKLOAD_SPEC_PROFILES_HH
+#define HS_WORKLOAD_SPEC_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+namespace hs {
+
+/** Statistical description of one synthetic benchmark. */
+struct SpecProfile
+{
+    std::string name;
+
+    // Instruction mix (fractions of non-control instructions; the
+    // remainder is integer ALU work).
+    double fpFraction = 0.0;    ///< FP arithmetic share
+    double loadFraction = 0.2;  ///< loads
+    double storeFraction = 0.1; ///< stores
+
+    // Control behaviour.
+    double branchEvery = 8.0;   ///< ~1 branch per this many insts
+    double hardBranchFraction = 0.2; ///< data-dependent (unpredictable)
+
+    // Memory behaviour. Accesses fall into three locality classes:
+    // hot (strided walk of a small L1-resident window), warm (strided
+    // walk of an L2-resident window) and cold (LCG-random over the
+    // full footprint — these are the capacity/L2 misses).
+    int footprintLog2 = 20;     ///< bytes of touched data (2^n)
+    double coldFraction = 0.02; ///< share of mem ops that roam the
+                                ///< full footprint (L2-miss drivers)
+    double warmFraction = 0.15; ///< share walking the warm window
+    int hotWindowLog2 = 14;     ///< 16 KB: L1-resident
+    int warmWindowLog2 = 18;    ///< 256 KB: L2-resident
+    int strideBytes = 64;       ///< stride of the hot/warm walks
+
+    // ILP: probability a source comes from a recently produced value
+    // (long dependence chains lower IPC).
+    double depProbability = 0.4;
+
+    // Loop body size in instructions (pre-branch).
+    int bodySize = 160;
+};
+
+/** @return the full suite of synthetic SPEC2K profiles (18 entries). */
+const std::vector<SpecProfile> &specSuite();
+
+/** @return the profile named @p name; fatal() if unknown. */
+const SpecProfile &specProfile(const std::string &name);
+
+/** @return the subset of benchmark names shown in the paper's figures. */
+const std::vector<std::string> &paperFigureBenchmarks();
+
+} // namespace hs
+
+#endif // HS_WORKLOAD_SPEC_PROFILES_HH

@@ -1,0 +1,182 @@
+/** @file Ablation tests for microarchitectural knobs the paper's
+ *  argument touches: fetch policy (the attack is not an ICOUNT
+ *  artefact), cache replacement (the Figure 2 conflict trick assumes
+ *  LRU), and the FP false-positive probe. */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "mem/cache.hh"
+#include "sim/experiment.hh"
+#include "smt/pipeline.hh"
+
+namespace hs {
+namespace {
+
+TEST(FetchPolicyAblation, RoundRobinSharesEvenly)
+{
+    // A high-IPC hammer paired with a stall-prone thread: ICOUNT lets
+    // the hammer take over; round-robin keeps fetch opportunities
+    // even.
+    Program fast = makeVariant1();
+    std::string slow_src = "addi r2, r0, 0\ntop:\n";
+    for (int i = 0; i < 9; ++i)
+        slow_src += "ld r3, " + std::to_string(i * 262144) + "(r2)\n";
+    slow_src += "jmp top\n";
+
+    auto run = [&](FetchPolicy policy) {
+        Program slow = assemble(slow_src);
+        SmtParams params;
+        params.numThreads = 2;
+        params.fetchPolicy = policy;
+        Pipeline pipe(params);
+        pipe.setThreadProgram(0, &fast);
+        pipe.setThreadProgram(1, &slow);
+        for (int i = 0; i < 100000; ++i)
+            pipe.tick();
+        return std::make_pair(pipe.committed(0), pipe.committed(1));
+    };
+
+    auto [ic_fast, ic_slow] = run(FetchPolicy::Icount);
+    auto [rr_fast, rr_slow] = run(FetchPolicy::RoundRobin);
+    // The slow thread does at least as well without ICOUNT favouring
+    // the hammer.
+    EXPECT_GE(rr_slow, ic_slow);
+    // And the hammer still dominates under ICOUNT.
+    EXPECT_GT(ic_fast, 20 * ic_slow);
+}
+
+TEST(FetchPolicyAblation, HeatStrokeWorksWithoutIcount)
+{
+    // The paper's central claim (Section 3.1): heat stroke is a
+    // power-density attack, not a fetch-policy exploit. Replacing
+    // ICOUNT with round-robin must not defuse it.
+    ExperimentOptions opts;
+    opts.timeScale = 100.0;
+    opts.dtm = DtmMode::StopAndGo;
+
+    SimConfig cfg = makeSimConfig(opts);
+    cfg.smt.fetchPolicy = FetchPolicy::RoundRobin;
+    Simulator sim(cfg);
+    sim.setWorkload(0, synthesizeSpec("gcc"));
+    sim.setWorkload(1, makeVariant(2, makeMaliciousParams(opts)));
+    RunResult r = sim.run();
+    EXPECT_GE(r.emergencies, 2u)
+        << "the hot spot must form under round-robin fetch too";
+    EXPECT_GT(r.coolingFraction(0), 0.05);
+}
+
+TEST(ReplacementAblation, FifoStillThrashesOnConflictSet)
+{
+    // Cycling assoc+1 lines through one set defeats FIFO exactly like
+    // LRU (the fill order matches the access order).
+    CacheParams params{"fifo", 64 * 1024, 8, 64, 2,
+                       ReplacementPolicy::Fifo};
+    Cache c(params);
+    int period = c.numSets() * 64;
+    for (int round = 0; round < 4; ++round) {
+        for (int i = 0; i < 9; ++i)
+            c.access(static_cast<Addr>(i) * static_cast<Addr>(period),
+                     false);
+    }
+    EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(ReplacementAblation, RandomPartiallyDefeatsConflictSet)
+{
+    // Under random replacement some of the nine conflicting lines
+    // survive between rounds: the variant2 miss loop loses its
+    // guarantee. (A defense-relevant observation the paper does not
+    // explore.)
+    CacheParams params{"rand", 64 * 1024, 8, 64, 2,
+                       ReplacementPolicy::Random};
+    Cache c(params);
+    int period = c.numSets() * 64;
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 9; ++i)
+            c.access(static_cast<Addr>(i) * static_cast<Addr>(period),
+                     false);
+    }
+    EXPECT_GT(c.hits(), 50u)
+        << "random replacement should break the deterministic thrash";
+}
+
+TEST(ReplacementAblation, RandomIsDeterministicAcrossRuns)
+{
+    auto run = [] {
+        CacheParams params{"rand", 1024, 4, 64, 2,
+                           ReplacementPolicy::Random};
+        Cache c(params);
+        for (Addr a = 0; a < 64 * 64; a += 64)
+            c.access(a, false);
+        return c.hits();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(ReplacementAblation, LruBeatsRandomOnLoopingWorkingSet)
+{
+    // Sanity on the policies themselves: a working set slightly larger
+    // than one way benefits from LRU's recency tracking... but a
+    // cyclic scan is LRU's worst case, where random wins. Check the
+    // cyclic-scan ordering.
+    auto hits = [](ReplacementPolicy policy) {
+        CacheParams params{"c", 1024, 4, 64, 2, policy}; // 16 lines
+        Cache c(params);
+        // Cyclic scan of 20 lines mapping across 4 sets (5 per set).
+        for (int round = 0; round < 40; ++round) {
+            for (Addr a = 0; a < 20 * 64; a += 64)
+                c.access(a, false);
+        }
+        return c.hits();
+    };
+    EXPECT_EQ(hits(ReplacementPolicy::Lru), 0u)
+        << "cyclic scan over >assoc lines never hits under LRU";
+    EXPECT_GT(hits(ReplacementPolicy::Random), 100u);
+}
+
+TEST(ReplacementAblation, RandomL2WeakensVariant2EndToEnd)
+{
+    // Pipeline-level confirmation: with a random-replacement L2 the
+    // Figure 2 conflict loop stops missing deterministically, so the
+    // miss phase runs faster (higher IPC) than under LRU.
+    auto miss_loop_ipc = [](ReplacementPolicy policy) {
+        MaliciousParams mp;
+        mp.hammerIters = 1;   // miss phase only
+        mp.missIters = 100000;
+        Program v2 = makeVariant2(mp);
+        SmtParams params;
+        params.numThreads = 1;
+        params.mem.l2.replacement = policy;
+        Pipeline pipe(params);
+        pipe.setThreadProgram(0, &v2);
+        for (int i = 0; i < 400000; ++i)
+            pipe.tick();
+        return pipe.ipc(0);
+    };
+    double lru = miss_loop_ipc(ReplacementPolicy::Lru);
+    double rnd = miss_loop_ipc(ReplacementPolicy::Random);
+    EXPECT_GT(rnd, 1.3 * lru)
+        << "random replacement should blunt the conflict trick";
+}
+
+TEST(FalsePositiveProbe, FpHammerIsNotSedated)
+{
+    // Variant 4 hammers the FP register file aggressively, but the FP
+    // cluster's power density cannot form a hot spot: the defense must
+    // leave the thread alone (no false positive on raw aggression).
+    ExperimentOptions opts;
+    opts.timeScale = 100.0;
+    opts.dtm = DtmMode::SelectiveSedation;
+    SimConfig cfg = makeSimConfig(opts);
+    Simulator sim(cfg);
+    sim.setWorkload(0, synthesizeSpec("gcc"));
+    sim.setWorkload(1, makeVariant(4, makeMaliciousParams(opts)));
+    RunResult r = sim.run();
+    EXPECT_TRUE(r.sedationEvents.empty());
+    EXPECT_EQ(r.emergencies, 0u);
+    EXPECT_GT(r.threads[1].ipc, 0.5) << "the FP thread runs freely";
+}
+
+} // namespace
+} // namespace hs

@@ -1,0 +1,63 @@
+/** @file Unit tests for the activity counters and snapshots. */
+
+#include <gtest/gtest.h>
+
+#include "power/activity.hh"
+
+namespace hs {
+namespace {
+
+TEST(Activity, RecordsPerThreadPerBlock)
+{
+    ActivityCounters ac(2);
+    ac.record(0, Block::IntReg, 3);
+    ac.record(1, Block::IntReg, 5);
+    ac.record(0, Block::Dcache);
+    EXPECT_EQ(ac.count(0, Block::IntReg), 3u);
+    EXPECT_EQ(ac.count(1, Block::IntReg), 5u);
+    EXPECT_EQ(ac.count(0, Block::Dcache), 1u);
+    EXPECT_EQ(ac.count(1, Block::Dcache), 0u);
+    EXPECT_EQ(ac.totalCount(Block::IntReg), 8u);
+}
+
+TEST(Activity, ResetZeroes)
+{
+    ActivityCounters ac(1);
+    ac.record(0, Block::L2, 10);
+    ac.reset();
+    EXPECT_EQ(ac.count(0, Block::L2), 0u);
+}
+
+TEST(Activity, SnapshotDeltas)
+{
+    ActivityCounters ac(2);
+    ActivityCounters::Snapshot snap(ac);
+    ac.record(0, Block::IntReg, 4);
+    EXPECT_EQ(snap.delta(0, Block::IntReg), 4u);
+    snap.take();
+    EXPECT_EQ(snap.delta(0, Block::IntReg), 0u);
+    ac.record(0, Block::IntReg, 2);
+    EXPECT_EQ(snap.delta(0, Block::IntReg), 2u);
+}
+
+TEST(Activity, IndependentSnapshots)
+{
+    // Two consumers at different cadences (energy model vs usage
+    // monitor) must not interfere.
+    ActivityCounters ac(1);
+    ActivityCounters::Snapshot fast(ac), slow(ac);
+    ac.record(0, Block::IntReg, 10);
+    EXPECT_EQ(fast.delta(0, Block::IntReg), 10u);
+    fast.take();
+    ac.record(0, Block::IntReg, 5);
+    EXPECT_EQ(fast.delta(0, Block::IntReg), 5u);
+    EXPECT_EQ(slow.delta(0, Block::IntReg), 15u);
+}
+
+TEST(Activity, RejectsZeroThreads)
+{
+    EXPECT_DEATH(ActivityCounters ac(0), "thread");
+}
+
+} // namespace
+} // namespace hs

@@ -1,0 +1,146 @@
+/** @file Unit tests for the assembler, including the Alpha-style
+ *  aliases used by the paper's Figure 1-2 listings. */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+
+namespace hs {
+namespace {
+
+TEST(Assembler, EmptySourceGivesEmptyProgram)
+{
+    Program p = assemble("");
+    EXPECT_TRUE(p.empty());
+}
+
+TEST(Assembler, CommentsAndBlankLinesIgnored)
+{
+    Program p = assemble("# a comment\n\n  ; another\nnop\n");
+    ASSERT_EQ(p.size(), 1u);
+    EXPECT_EQ(p.fetch(0).op, Opcode::Nop);
+}
+
+TEST(Assembler, ParsesThreeOperandAlu)
+{
+    Program p = assemble("add r3, r1, r2\n");
+    const Instruction &i = p.fetch(0);
+    EXPECT_EQ(i.op, Opcode::Add);
+    EXPECT_EQ(i.rd, 3);
+    EXPECT_EQ(i.rs1, 1);
+    EXPECT_EQ(i.rs2, 2);
+}
+
+TEST(Assembler, AlphaAliasesMatchFigure1)
+{
+    // The paper's Figure 1 body assembles verbatim.
+    Program p = assemble("L$1:\n"
+                         "    addl $1, $2, $3\n"
+                         "    br L$1\n");
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p.fetch(0).op, Opcode::Add);
+    EXPECT_EQ(p.fetch(0).rd, 1);
+    EXPECT_EQ(p.fetch(1).op, Opcode::Jmp);
+    EXPECT_EQ(p.fetch(1).target, 0u);
+}
+
+TEST(Assembler, LdqStqAliases)
+{
+    Program p = assemble("ldq $4, 16($2)\nstq $5, -8($3)\n");
+    const Instruction &ld = p.fetch(0);
+    EXPECT_EQ(ld.op, Opcode::Ld);
+    EXPECT_EQ(ld.rd, 4);
+    EXPECT_EQ(ld.rs1, 2);
+    EXPECT_EQ(ld.imm, 16);
+    const Instruction &st = p.fetch(1);
+    EXPECT_EQ(st.op, Opcode::St);
+    EXPECT_EQ(st.rs2, 5);
+    EXPECT_EQ(st.rs1, 3);
+    EXPECT_EQ(st.imm, -8);
+}
+
+TEST(Assembler, ImmediateFormats)
+{
+    Program p = assemble("addi r1, r0, 0x10\naddi r2, r0, -42\n");
+    EXPECT_EQ(p.fetch(0).imm, 16);
+    EXPECT_EQ(p.fetch(1).imm, -42);
+}
+
+TEST(Assembler, ForwardAndBackwardBranches)
+{
+    Program p = assemble("top:\n"
+                         "  beq r1, r2, done\n"
+                         "  jmp top\n"
+                         "done:\n"
+                         "  halt\n");
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.fetch(0).target, 2u);
+    EXPECT_EQ(p.fetch(1).target, 0u);
+}
+
+TEST(Assembler, LabelOnSameLineAsInstruction)
+{
+    Program p = assemble("loop: addi r1, r1, 1\n jmp loop\n");
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p.fetch(1).target, 0u);
+}
+
+TEST(Assembler, FpFormats)
+{
+    Program p = assemble("fadd f1, f2, f3\n"
+                         "fcvt f4, r5\n"
+                         "fmov f6, f7\n"
+                         "fld f1, 8(r2)\n"
+                         "fst f3, 0(r4)\n");
+    EXPECT_EQ(p.fetch(0).op, Opcode::Fadd);
+    EXPECT_EQ(p.fetch(1).op, Opcode::Fcvt);
+    EXPECT_EQ(p.fetch(1).rs1, 5);
+    EXPECT_EQ(p.fetch(2).op, Opcode::Fmov);
+    EXPECT_EQ(p.fetch(3).op, Opcode::Fld);
+    EXPECT_EQ(p.fetch(4).op, Opcode::Fst);
+    EXPECT_EQ(p.fetch(4).rs2, 3);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    try {
+        assemble("nop\nbogus r1\n");
+        FAIL() << "expected AsmError";
+    } catch (const AsmError &e) {
+        EXPECT_EQ(e.line(), 2);
+    }
+}
+
+TEST(Assembler, UndefinedLabelThrows)
+{
+    EXPECT_THROW(assemble("jmp nowhere\n"), AsmError);
+}
+
+TEST(Assembler, DuplicateLabelThrows)
+{
+    EXPECT_THROW(assemble("a:\nnop\na:\nnop\n"), AsmError);
+}
+
+TEST(Assembler, WrongOperandCountThrows)
+{
+    EXPECT_THROW(assemble("add r1, r2\n"), AsmError);
+    EXPECT_THROW(assemble("nop r1\n"), AsmError);
+}
+
+TEST(Assembler, BadRegisterThrows)
+{
+    EXPECT_THROW(assemble("add r1, r2, r99\n"), AsmError);
+    EXPECT_THROW(assemble("add r1, r2, f3\n"), AsmError);
+}
+
+TEST(Assembler, DisassemblyRoundTripsStructure)
+{
+    Program p = assemble("add r3, r1, r2\nld r4, 8(r2)\nhalt\n");
+    std::string d = p.disassemble();
+    EXPECT_NE(d.find("add r3, r1, r2"), std::string::npos);
+    EXPECT_NE(d.find("ld r4, 8(r2)"), std::string::npos);
+    EXPECT_NE(d.find("halt"), std::string::npos);
+}
+
+} // namespace
+} // namespace hs

@@ -1,0 +1,179 @@
+/** @file Unit tests for the set-associative cache model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace hs {
+namespace {
+
+CacheParams
+smallCache(int size_kb = 1, int assoc = 2, int line = 64)
+{
+    CacheParams p;
+    p.name = "test";
+    p.sizeBytes = static_cast<uint64_t>(size_kb) * 1024;
+    p.assoc = assoc;
+    p.lineBytes = line;
+    p.hitLatency = 2;
+    return p;
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1004, false).hit); // same line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, GeometryDerived)
+{
+    Cache c(smallCache(1, 2, 64)); // 1 KB / 64 B / 2-way = 8 sets
+    EXPECT_EQ(c.numSets(), 8);
+}
+
+TEST(Cache, SetIndexWrapsByNumSets)
+{
+    Cache c(smallCache(1, 2, 64)); // 8 sets, set period = 512 B
+    EXPECT_EQ(c.setIndex(0), c.setIndex(8 * 64));
+    EXPECT_NE(c.setIndex(0), c.setIndex(64));
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c(smallCache(1, 2, 64)); // 2 ways per set, period 512
+    // Three lines in the same set: A, B, C.
+    Addr a = 0, b = 512, d = 1024;
+    c.access(a, false);
+    c.access(b, false);
+    c.access(a, false); // A is now MRU
+    c.access(d, false); // evicts B (LRU)
+    EXPECT_TRUE(c.probe(a));
+    EXPECT_FALSE(c.probe(b));
+    EXPECT_TRUE(c.probe(d));
+}
+
+TEST(Cache, ConflictSetAlwaysMisses)
+{
+    // The paper's Figure 2 trick: assoc+1 lines in one set cycled in
+    // order never hit under LRU.
+    Cache c(smallCache(64, 8, 64)); // 128 sets, period 8 KB
+    int period = 128 * 64;
+    for (int round = 0; round < 4; ++round) {
+        for (int i = 0; i < 9; ++i) {
+            auto out = c.access(static_cast<Addr>(i) *
+                                static_cast<Addr>(period), false);
+            if (round > 0) {
+                EXPECT_FALSE(out.hit)
+                    << "round " << round << " i " << i;
+            }
+        }
+    }
+    EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(Cache, WritebackOnDirtyEviction)
+{
+    Cache c(smallCache(1, 1, 64)); // direct-mapped, 16 sets, period 1K
+    c.access(0x0000, true);               // dirty
+    auto out = c.access(0x0000 + 1024, false); // evicts dirty line
+    EXPECT_TRUE(out.writeback);
+    EXPECT_EQ(out.victimAddr, 0x0000u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback)
+{
+    Cache c(smallCache(1, 1, 64));
+    c.access(0x0000, false);
+    auto out = c.access(0x0000 + 1024, false);
+    EXPECT_FALSE(out.writeback);
+    EXPECT_EQ(c.writebacks(), 0u);
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    Cache c(smallCache(1, 1, 64));
+    c.access(0x40, false);       // clean fill
+    c.access(0x40, true);        // dirtied by write hit
+    auto out = c.access(0x40 + 1024, false);
+    EXPECT_TRUE(out.writeback);
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache c(smallCache());
+    c.access(0x80, false);
+    EXPECT_TRUE(c.probe(0x80));
+    EXPECT_TRUE(c.invalidate(0x80));
+    EXPECT_FALSE(c.probe(0x80));
+    EXPECT_FALSE(c.invalidate(0x80)); // already gone
+}
+
+TEST(Cache, FlushClearsEverything)
+{
+    Cache c(smallCache());
+    for (Addr a = 0; a < 1024; a += 64)
+        c.access(a, false);
+    c.flush();
+    for (Addr a = 0; a < 1024; a += 64)
+        EXPECT_FALSE(c.probe(a));
+}
+
+TEST(Cache, ProbeDoesNotAffectState)
+{
+    Cache c(smallCache());
+    c.access(0x100, false);
+    uint64_t h = c.hits(), m = c.misses();
+    c.probe(0x100);
+    c.probe(0x9999);
+    EXPECT_EQ(c.hits(), h);
+    EXPECT_EQ(c.misses(), m);
+}
+
+TEST(Cache, MissRate)
+{
+    Cache c(smallCache());
+    c.access(0x0, false);  // miss
+    c.access(0x0, false);  // hit
+    c.access(0x0, false);  // hit
+    c.access(0x40, false); // miss
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.5);
+    c.resetStats();
+    EXPECT_EQ(c.missRate(), 0.0);
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    CacheParams p = smallCache();
+    p.sizeBytes = 1000; // not a power of two
+    EXPECT_DEATH(Cache c(p), "power");
+}
+
+class CacheGeometrySweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(CacheGeometrySweep, FillsExactlyCapacityWithoutEviction)
+{
+    auto [size_kb, assoc] = GetParam();
+    Cache c(smallCache(size_kb, assoc));
+    uint64_t lines = static_cast<uint64_t>(size_kb) * 1024 / 64;
+    for (uint64_t i = 0; i < lines; ++i)
+        c.access(i * 64, false);
+    // Everything fits: second pass must be all hits.
+    for (uint64_t i = 0; i < lines; ++i)
+        EXPECT_TRUE(c.access(i * 64, false).hit) << "line " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometrySweep,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(1, 2),
+                      std::make_tuple(4, 4), std::make_tuple(8, 8),
+                      std::make_tuple(64, 4), std::make_tuple(16, 16)));
+
+} // namespace
+} // namespace hs

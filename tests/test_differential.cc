@@ -1,0 +1,203 @@
+/** @file Differential testing: randomly generated terminating programs
+ *  must produce identical architectural state on the out-of-order SMT
+ *  pipeline and the sequential reference interpreter. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/interpreter.hh"
+#include "smt/pipeline.hh"
+
+namespace hs {
+namespace {
+
+/**
+ * Generate a random program that provably terminates: a top-level
+ * counted loop (fixed iteration count) whose body is a random mix of
+ * ALU, FP, memory and forward-branch instructions.
+ *
+ * Register roles: r1 loop counter, r2..r5 pointers/masks seeds,
+ * r8..r23 general, f1..f12 FP. Memory confined to an 8 KB window.
+ */
+Program
+randomProgram(uint64_t seed)
+{
+    Rng rng(seed);
+    Program prog(strprintf("fuzz-%llu",
+                           static_cast<unsigned long long>(seed)));
+
+    int iters = static_cast<int>(rng.range(3, 12));
+    int body = static_cast<int>(rng.range(10, 50));
+
+    auto ins = [&](Opcode op, int rd, int rs1, int rs2, int64_t imm = 0,
+                   uint64_t target = 0) {
+        Instruction i;
+        i.op = op;
+        i.rd = static_cast<uint8_t>(rd);
+        i.rs1 = static_cast<uint8_t>(rs1);
+        i.rs2 = static_cast<uint8_t>(rs2);
+        i.imm = imm;
+        i.target = target;
+        return prog.append(i);
+    };
+    auto temp = [&] { return static_cast<int>(rng.range(8, 23)); };
+    auto ftemp = [&] { return static_cast<int>(rng.range(1, 12)); };
+
+    // Seed state.
+    for (int reg = 8; reg <= 23; ++reg)
+        prog.setInitReg(reg, rng.range(-1000, 1000));
+    prog.setInitReg(2, rng.range(0, 4096) & ~7);
+
+    ins(Opcode::Addi, 1, 0, 0, iters);    // r1 = iters
+    uint64_t loop_top = prog.size();
+
+    for (int k = 0; k < body; ++k) {
+        double roll = rng.nextDouble();
+        if (roll < 0.45) {
+            static const Opcode alu[] = {
+                Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::And,
+                Opcode::Or, Opcode::Xor, Opcode::Slt, Opcode::Div,
+            };
+            ins(alu[rng.nextBounded(8)], temp(), temp(), temp());
+        } else if (roll < 0.55) {
+            static const Opcode imm_ops[] = {
+                Opcode::Addi, Opcode::Andi, Opcode::Ori, Opcode::Xori,
+                Opcode::Slti,
+            };
+            ins(imm_ops[rng.nextBounded(5)], temp(), temp(), 0,
+                rng.range(-64, 64));
+        } else if (roll < 0.63) {
+            // Shift with a bounded immediate.
+            ins(rng.chance(0.5) ? Opcode::Slli : Opcode::Srli, temp(),
+                temp(), 0, rng.range(0, 12));
+        } else if (roll < 0.75) {
+            // Memory op in the 8 KB window: mask an arbitrary temp.
+            int addr_reg = temp();
+            ins(Opcode::Andi, 4, addr_reg, 0, 8184);
+            if (rng.chance(0.5))
+                ins(Opcode::Ld, temp(), 4, 0, 0);
+            else
+                ins(Opcode::St, 0, 4, temp(), 0);
+        } else if (roll < 0.85) {
+            static const Opcode fp[] = {Opcode::Fadd, Opcode::Fsub,
+                                        Opcode::Fmul};
+            if (rng.chance(0.3))
+                ins(Opcode::Fcvt, ftemp(), temp(), 0);
+            else
+                ins(fp[rng.nextBounded(3)], ftemp(), ftemp(), ftemp());
+        } else {
+            // Forward branch over one instruction: both paths valid.
+            static const Opcode br[] = {Opcode::Beq, Opcode::Bne,
+                                        Opcode::Blt, Opcode::Bge};
+            uint64_t at = ins(br[rng.nextBounded(4)], 0, temp(), temp());
+            ins(Opcode::Addi, temp(), temp(), 0, rng.range(-8, 8));
+            prog.at(at).target = prog.size();
+        }
+    }
+
+    // Loop control.
+    ins(Opcode::Addi, 1, 1, 0, -1);
+    uint64_t bne = ins(Opcode::Bne, 0, 1, 0);
+    prog.at(bne).target = loop_top;
+    ins(Opcode::Halt, 0, 0, 0);
+    return prog;
+}
+
+class DifferentialFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(DifferentialFuzz, PipelineMatchesInterpreter)
+{
+    Program prog = randomProgram(GetParam());
+
+    InterpResult ref = interpret(prog, 2'000'000);
+    ASSERT_TRUE(ref.halted) << "generated program must terminate";
+
+    SmtParams params;
+    params.numThreads = 1;
+    Pipeline pipe(params);
+    pipe.setThreadProgram(0, &prog);
+    Cycles guard = 5'000'000;
+    while (!pipe.allHalted() && pipe.cycle() < guard)
+        pipe.tick();
+    ASSERT_TRUE(pipe.allHalted()) << "pipeline did not halt";
+
+    const ThreadContext &tc = pipe.thread(0);
+    EXPECT_EQ(tc.committedInsts, ref.steps)
+        << "committed count must equal interpreted steps";
+    for (int reg = 0; reg < numIntRegs; ++reg)
+        EXPECT_EQ(tc.intRegs[static_cast<size_t>(reg)],
+                  ref.intRegs[static_cast<size_t>(reg)])
+            << "r" << reg << " mismatch (seed " << GetParam() << ")";
+    for (int reg = 0; reg < numFpRegs; ++reg)
+        EXPECT_DOUBLE_EQ(tc.fpRegs[static_cast<size_t>(reg)],
+                         ref.fpRegs[static_cast<size_t>(reg)])
+            << "f" << reg << " mismatch (seed " << GetParam() << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
+                         ::testing::Range<uint64_t>(1, 25));
+
+TEST(Interpreter, HonorsDataImageAndInitRegs)
+{
+    Program p("t");
+    p.setInitReg(1, 5);
+    p.poke64(64, 37);
+    Instruction addi;
+    addi.op = Opcode::Addi;
+    addi.rd = 2;
+    addi.rs1 = 0;
+    addi.imm = 64;
+    p.append(addi);
+    Instruction ld;
+    ld.op = Opcode::Ld;
+    ld.rd = 3;
+    ld.rs1 = 2;
+    p.append(ld);
+    Instruction add;
+    add.op = Opcode::Add;
+    add.rd = 4;
+    add.rs1 = 1;
+    add.rs2 = 3;
+    p.append(add);
+    Instruction halt;
+    halt.op = Opcode::Halt;
+    p.append(halt);
+
+    InterpResult r = interpret(p, 100);
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.intRegs[4], 42);
+}
+
+TEST(Interpreter, StepBudgetStopsInfiniteLoops)
+{
+    Program p("loop");
+    Instruction jmp;
+    jmp.op = Opcode::Jmp;
+    jmp.target = 0;
+    p.append(jmp);
+    InterpResult r = interpret(p, 1000);
+    EXPECT_FALSE(r.halted);
+    EXPECT_EQ(r.steps, 1000u);
+}
+
+TEST(Interpreter, R0StaysZero)
+{
+    Program p("r0");
+    Instruction addi;
+    addi.op = Opcode::Addi;
+    addi.rd = 0;
+    addi.rs1 = 0;
+    addi.imm = 99;
+    p.append(addi);
+    Instruction halt;
+    halt.op = Opcode::Halt;
+    p.append(halt);
+    InterpResult r = interpret(p, 10);
+    EXPECT_EQ(r.intRegs[0], 0);
+}
+
+} // namespace
+} // namespace hs

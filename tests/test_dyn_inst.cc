@@ -1,0 +1,56 @@
+/** @file Unit tests for DynInst slot state and handles. */
+
+#include <gtest/gtest.h>
+
+#include "smt/dyn_inst.hh"
+
+namespace hs {
+namespace {
+
+TEST(DynInst, ResetClearsTransients)
+{
+    DynInst inst;
+    inst.live = true;
+    inst.seq = 42;
+    inst.tid = 1;
+    inst.srcPending = 2;
+    inst.srcWaiting[0] = true;
+    inst.intResult = 99;
+    inst.hasDest = true;
+    inst.mispredicted = true;
+    inst.dependents.push_back(InstHandle{3, 4});
+    uint32_t gen = inst.gen = 7;
+
+    inst.reset();
+    EXPECT_FALSE(inst.live);
+    EXPECT_EQ(inst.seq, 0u);
+    EXPECT_EQ(inst.tid, invalidThreadId);
+    EXPECT_EQ(inst.srcPending, 0);
+    EXPECT_FALSE(inst.srcWaiting[0]);
+    EXPECT_EQ(inst.intResult, 0);
+    EXPECT_FALSE(inst.hasDest);
+    EXPECT_FALSE(inst.mispredicted);
+    EXPECT_TRUE(inst.dependents.empty());
+    // Generation survives reset (it tracks the slot, not the inst).
+    EXPECT_EQ(inst.gen, gen);
+}
+
+TEST(InstHandle, EqualityNeedsSlotAndGeneration)
+{
+    InstHandle a{5, 10};
+    InstHandle b{5, 10};
+    InstHandle stale{5, 11};
+    InstHandle other{6, 10};
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == stale);
+    EXPECT_FALSE(a == other);
+}
+
+TEST(DynInst, DefaultStageIsWaiting)
+{
+    DynInst inst;
+    EXPECT_EQ(inst.stage, InstStage::Waiting);
+}
+
+} // namespace
+} // namespace hs

@@ -1,0 +1,121 @@
+/** @file Unit tests for heat/cool episode extraction. */
+
+#include <gtest/gtest.h>
+
+#include "sim/episodes.hh"
+#include "sim/experiment.hh"
+
+namespace hs {
+namespace {
+
+TempSample
+at(Cycles cycle, Kelvin t)
+{
+    TempSample s;
+    s.cycle = cycle;
+    s.intRegTemp = t;
+    s.hottestTemp = t;
+    s.sinkTemp = 340;
+    return s;
+}
+
+TEST(Episodes, ExtractsOneCompleteEpisode)
+{
+    std::vector<TempSample> trace = {
+        at(0, 350), at(100, 352), at(200, 355), at(300, 358.2),
+        at(400, 356), at(500, 353), at(600, 350.5),
+    };
+    auto eps = extractEpisodes(trace, 358.0, 351.0);
+    ASSERT_EQ(eps.size(), 1u);
+    EXPECT_EQ(eps[0].riseStart, 100u); // first sample above resume
+    EXPECT_EQ(eps[0].peakAt, 300u);
+    EXPECT_EQ(eps[0].fallEnd, 600u);
+    EXPECT_EQ(eps[0].heatCycles(), 200u);
+    EXPECT_EQ(eps[0].coolCycles(), 300u);
+    EXPECT_NEAR(eps[0].dutyCycle(), 0.4, 1e-12);
+}
+
+TEST(Episodes, AbortedRiseIsNotAnEpisode)
+{
+    std::vector<TempSample> trace = {
+        at(0, 350), at(100, 354), at(200, 356), at(300, 350.0),
+        at(400, 350),
+    };
+    EXPECT_TRUE(extractEpisodes(trace, 358.0, 351.0).empty());
+}
+
+TEST(Episodes, OpenEpisodeAtTraceEndDiscarded)
+{
+    std::vector<TempSample> trace = {
+        at(0, 350), at(100, 355), at(200, 358.5), at(300, 356),
+    };
+    EXPECT_TRUE(extractEpisodes(trace, 358.0, 351.0).empty());
+}
+
+TEST(Episodes, BackToBackEpisodesCounted)
+{
+    std::vector<TempSample> trace;
+    Cycles c = 0;
+    for (int i = 0; i < 5; ++i) {
+        trace.push_back(at(c += 100, 350));
+        trace.push_back(at(c += 100, 355));
+        trace.push_back(at(c += 100, 358.5));
+        trace.push_back(at(c += 100, 354));
+        trace.push_back(at(c += 100, 350.5));
+    }
+    auto eps = extractEpisodes(trace, 358.0, 351.0);
+    EXPECT_EQ(eps.size(), 5u);
+}
+
+TEST(Episodes, SummaryAverages)
+{
+    std::vector<Episode> eps(2);
+    eps[0].riseStart = 0;
+    eps[0].peakAt = 100;
+    eps[0].fallEnd = 300;   // heat 100, cool 200, duty 1/3
+    eps[1].riseStart = 1000;
+    eps[1].peakAt = 1300;
+    eps[1].fallEnd = 1400;  // heat 300, cool 100, duty 3/4
+    EpisodeStats stats = summarizeEpisodes(eps);
+    EXPECT_EQ(stats.count, 2u);
+    EXPECT_DOUBLE_EQ(stats.meanHeatCycles, 200.0);
+    EXPECT_DOUBLE_EQ(stats.meanCoolCycles, 150.0);
+    EXPECT_NEAR(stats.meanDutyCycle, (1.0 / 3 + 0.75) / 2, 1e-12);
+}
+
+TEST(Episodes, EmptySummarySafe)
+{
+    EpisodeStats stats = summarizeEpisodes({});
+    EXPECT_EQ(stats.count, 0u);
+    EXPECT_EQ(stats.meanDutyCycle, 0.0);
+}
+
+TEST(Episodes, RejectsInvertedThresholds)
+{
+    EXPECT_DEATH(extractEpisodes({}, 350.0, 358.0), "resume");
+}
+
+TEST(Episodes, EndToEndAttackProducesEpisodes)
+{
+    // An attacked run recorded at fine trace granularity shows the
+    // Section 3.1 episode structure.
+    ExperimentOptions opts;
+    opts.timeScale = 100.0;
+    opts.dtm = DtmMode::StopAndGo;
+    opts.recordTempTrace = true;
+    SimConfig cfg = makeSimConfig(opts);
+    cfg.tempTraceInterval = 20000;
+    Simulator sim(cfg);
+    sim.setWorkload(0, synthesizeSpec("gcc"));
+    sim.setWorkload(1, makeVariant(2, makeMaliciousParams(opts)));
+    RunResult r = sim.run();
+    auto eps = extractEpisodes(r.tempTrace, 358.0, 352.0);
+    EXPECT_GE(eps.size(), 2u);
+    EpisodeStats stats = summarizeEpisodes(eps);
+    EXPECT_GT(stats.meanHeatCycles, 0.0);
+    EXPECT_GT(stats.meanCoolCycles, 0.0);
+    EXPECT_LT(stats.meanDutyCycle, 0.9);
+}
+
+} // namespace
+} // namespace hs

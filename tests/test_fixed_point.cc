@@ -1,0 +1,127 @@
+/** @file Unit tests for the shift-based fixed-point EWMA
+ *  (Section 3.2.1 of the paper). */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/fixed_point.hh"
+
+namespace hs {
+namespace {
+
+TEST(FixedEwma, StartsAtZero)
+{
+    FixedEwma e(7);
+    EXPECT_EQ(e.value(), 0.0);
+}
+
+TEST(FixedEwma, ConvergesToConstantInput)
+{
+    FixedEwma e(7);
+    for (int i = 0; i < 4000; ++i)
+        e.update(100);
+    EXPECT_NEAR(e.value(), 100.0, 0.5);
+}
+
+TEST(FixedEwma, TracksDoubleEwmaClosely)
+{
+    // The hardware (shift/add) implementation must match the textbook
+    // floating-point EWMA to within fixed-point truncation error.
+    FixedEwma e(7);
+    double ref = 0.0;
+    const double x = 1.0 / 128.0;
+    uint64_t lcg = 12345;
+    for (int i = 0; i < 5000; ++i) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        uint64_t sample = (lcg >> 33) % 1000;
+        e.update(sample);
+        ref = (1 - x) * ref + x * static_cast<double>(sample);
+        EXPECT_NEAR(e.value(), ref, 2.5)
+            << "diverged at sample " << i;
+    }
+}
+
+TEST(FixedEwma, ImpulseDecaysWithExpectedTimeConstant)
+{
+    FixedEwma e(7);
+    for (int i = 0; i < 4000; ++i)
+        e.update(128);
+    // Feed zeros for one memory length (2^7 samples): the average
+    // should decay to roughly 1/e of its initial value.
+    for (int i = 0; i < 128; ++i)
+        e.update(0);
+    EXPECT_NEAR(e.value(), 128.0 * std::exp(-1.0), 6.0);
+}
+
+TEST(FixedEwma, BurstVersusTrickleSeparation)
+{
+    // The paper's key argument for the EWMA over a flat average: a
+    // recent aggressive burst must dominate an old steady trickle.
+    FixedEwma burst(7), trickle(7);
+    // Trickle: rate 3 for 10000 windows. Total = 30000.
+    for (int i = 0; i < 10000; ++i)
+        trickle.update(3);
+    // Burst: nothing for 9900 windows, then rate 12 for 100 windows.
+    // Total = 1200, far below the trickle's total count.
+    for (int i = 0; i < 9900; ++i)
+        burst.update(0);
+    for (int i = 0; i < 100; ++i)
+        burst.update(12);
+    EXPECT_GT(burst.value(), trickle.value())
+        << "weighted average failed to expose the bursty thread";
+}
+
+TEST(FixedEwma, ResetClears)
+{
+    FixedEwma e(5);
+    for (int i = 0; i < 100; ++i)
+        e.update(50);
+    e.reset();
+    EXPECT_EQ(e.value(), 0.0);
+    EXPECT_EQ(e.raw(), 0);
+}
+
+TEST(FixedEwma, RejectsBadShift)
+{
+    EXPECT_DEATH(FixedEwma(0), "shift");
+    EXPECT_DEATH(FixedEwma(31), "shift");
+}
+
+TEST(FixedEwma, MemoryMatchesShift)
+{
+    EXPECT_EQ(FixedEwma(7).memorySamples(), 128.0);
+    EXPECT_EQ(FixedEwma(9).memorySamples(), 512.0);
+}
+
+class FixedEwmaShiftSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FixedEwmaShiftSweep, ConvergesForAllShifts)
+{
+    int shift = GetParam();
+    FixedEwma e(shift);
+    int updates = 40 << shift; // many time constants
+    for (int i = 0; i < updates; ++i)
+        e.update(77);
+    EXPECT_NEAR(e.value(), 77.0, 1.0) << "shift " << shift;
+}
+
+TEST_P(FixedEwmaShiftSweep, MonotoneRiseUnderConstantInput)
+{
+    int shift = GetParam();
+    FixedEwma e(shift);
+    double prev = -1.0;
+    for (int i = 0; i < (4 << shift); ++i) {
+        e.update(1000);
+        EXPECT_GE(e.value(), prev);
+        prev = e.value();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, FixedEwmaShiftSweep,
+                         ::testing::Values(1, 3, 5, 7, 9, 11, 13));
+
+} // namespace
+} // namespace hs

@@ -1,0 +1,140 @@
+/** @file Unit tests for the floorplan geometry and adjacency. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "thermal/floorplan.hh"
+#include "thermal/thermal_model.hh"
+
+namespace hs {
+namespace {
+
+bool
+adjacent(const Floorplan &fp, Block a, Block b)
+{
+    for (const Adjacency &adj : fp.adjacencies()) {
+        if ((adj.a == a && adj.b == b) || (adj.a == b && adj.b == a))
+            return true;
+    }
+    return false;
+}
+
+TEST(Floorplan, Ev6TilesTheDie)
+{
+    Floorplan fp = Floorplan::ev6();
+    // 16 x 16 mm die, fully tiled by the blocks.
+    EXPECT_NEAR(fp.dieArea(), 256e-6, 1e-9);
+}
+
+TEST(Floorplan, AllAreasPositive)
+{
+    Floorplan fp = Floorplan::ev6();
+    for (int b = 0; b < numBlocks; ++b)
+        EXPECT_GT(fp.area(blockFromIndex(b)), 0.0);
+}
+
+TEST(Floorplan, IntRegIsASmallBlock)
+{
+    // The attack target must be a high-power-density (small) block:
+    // well under 2% of the die.
+    Floorplan fp = Floorplan::ev6();
+    EXPECT_LT(fp.area(Block::IntReg), 0.02 * fp.dieArea());
+}
+
+TEST(Floorplan, ExpectedNeighbours)
+{
+    Floorplan fp = Floorplan::ev6();
+    // Icache and Dcache sit side by side; Bpred is above Icache.
+    EXPECT_TRUE(adjacent(fp, Block::Icache, Block::Dcache));
+    EXPECT_TRUE(adjacent(fp, Block::Icache, Block::Bpred));
+    // IntReg touches IntExec in the integer cluster.
+    EXPECT_TRUE(adjacent(fp, Block::IntReg, Block::IntExec));
+    // The L2 bottom band touches the left band.
+    EXPECT_TRUE(adjacent(fp, Block::L2, Block::L2Left));
+}
+
+TEST(Floorplan, NonNeighboursExcluded)
+{
+    Floorplan fp = Floorplan::ev6();
+    // Diagonal or distant blocks must not be adjacent.
+    EXPECT_FALSE(adjacent(fp, Block::IntReg, Block::L2));
+    EXPECT_FALSE(adjacent(fp, Block::Bpred, Block::LdStQ));
+}
+
+TEST(Floorplan, SharedEdgesPositiveAndBounded)
+{
+    Floorplan fp = Floorplan::ev6();
+    EXPECT_FALSE(fp.adjacencies().empty());
+    for (const Adjacency &adj : fp.adjacencies()) {
+        EXPECT_GT(adj.sharedEdge, 0.0);
+        const Rect &ra = fp.rect(adj.a);
+        const Rect &rb = fp.rect(adj.b);
+        double max_edge = std::min(std::max(ra.w, ra.h),
+                                   std::max(rb.w, rb.h));
+        EXPECT_LE(adj.sharedEdge, max_edge + 1e-9);
+    }
+}
+
+TEST(Floorplan, NoSelfOrDuplicateAdjacency)
+{
+    Floorplan fp = Floorplan::ev6();
+    const auto &adj = fp.adjacencies();
+    for (size_t i = 0; i < adj.size(); ++i) {
+        EXPECT_NE(adj[i].a, adj[i].b);
+        for (size_t j = i + 1; j < adj.size(); ++j) {
+            bool same = (adj[i].a == adj[j].a && adj[i].b == adj[j].b) ||
+                        (adj[i].a == adj[j].b && adj[i].b == adj[j].a);
+            EXPECT_FALSE(same);
+        }
+    }
+}
+
+TEST(Floorplan, ScaledShrinksAreasQuadratically)
+{
+    Floorplan fp = Floorplan::ev6();
+    Floorplan half = fp.scaled(0.5);
+    EXPECT_NEAR(half.dieArea(), fp.dieArea() / 4, 1e-12);
+    EXPECT_NEAR(half.area(Block::IntReg), fp.area(Block::IntReg) / 4,
+                1e-12);
+    // Adjacency structure is preserved.
+    EXPECT_EQ(half.adjacencies().size(), fp.adjacencies().size());
+}
+
+TEST(Floorplan, ScaledRejectsNonPositive)
+{
+    Floorplan fp = Floorplan::ev6();
+    EXPECT_DEATH(fp.scaled(0.0), "positive");
+}
+
+TEST(Floorplan, ShrunkDieRunsHotterAtSamePower)
+{
+    // The Section 1 motivation: same power, smaller area, higher
+    // temperature.
+    ThermalParams shrunk;
+    shrunk.dieShrink = 0.8;
+    ThermalModel small(Floorplan::ev6(), shrunk);
+    ThermalModel big(Floorplan::ev6(), {});
+    std::vector<Watts> p(static_cast<size_t>(numBlocks), 2.0);
+    small.initSteadyState(p);
+    big.initSteadyState(p);
+    EXPECT_GT(small.blockTemp(Block::IntReg),
+              big.blockTemp(Block::IntReg) + 2.0);
+}
+
+TEST(Floorplan, RejectsWrongBlockCount)
+{
+    std::vector<Rect> rects(3, Rect{0, 0, 1e-3, 1e-3});
+    EXPECT_DEATH(Floorplan fp(rects), "expected");
+}
+
+TEST(Floorplan, RejectsZeroArea)
+{
+    std::vector<Rect> rects(static_cast<size_t>(numBlocks),
+                            Rect{0, 0, 1e-3, 1e-3});
+    rects[3] = Rect{0, 0, 0, 1e-3};
+    EXPECT_DEATH(Floorplan fp(rects), "area");
+}
+
+} // namespace
+} // namespace hs

@@ -1,0 +1,117 @@
+/** @file Unit tests for the two-level memory hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+
+namespace hs {
+namespace {
+
+TEST(Hierarchy, ColdAccessGoesToMemory)
+{
+    MemoryHierarchy mem;
+    MemAccessResult r = mem.accessData(0x1000, false);
+    EXPECT_EQ(r.level, MemLevel::Memory);
+    EXPECT_TRUE(r.l2Miss());
+    // 2 (L1) + 12 (L2) + 300 (memory) from Table 1.
+    EXPECT_EQ(r.latency, 2 + 12 + 300);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1)
+{
+    MemoryHierarchy mem;
+    mem.accessData(0x1000, false);
+    MemAccessResult r = mem.accessData(0x1000, false);
+    EXPECT_EQ(r.level, MemLevel::L1);
+    EXPECT_EQ(r.latency, 2);
+    EXPECT_FALSE(r.l2Access);
+}
+
+TEST(Hierarchy, L1EvictionLeavesL2Copy)
+{
+    MemoryHierarchy mem;
+    // Fill one L1 set (4-way, 256 sets, period 16 KB) with 5 lines.
+    const Addr period = 64 * 1024 / 4; // 16 KB
+    for (int i = 0; i < 5; ++i)
+        mem.accessData(static_cast<Addr>(i) * period, false);
+    // Line 0 fell out of L1 but is still in L2.
+    MemAccessResult r = mem.accessData(0, false);
+    EXPECT_EQ(r.level, MemLevel::L2);
+    EXPECT_EQ(r.latency, 2 + 12);
+}
+
+TEST(Hierarchy, InstSideUsesL1I)
+{
+    MemoryHierarchy mem;
+    mem.accessInst(0x40);
+    EXPECT_EQ(mem.l1i().misses(), 1u);
+    EXPECT_EQ(mem.l1d().misses(), 0u);
+    MemAccessResult r = mem.accessInst(0x40);
+    EXPECT_EQ(r.level, MemLevel::L1);
+}
+
+TEST(Hierarchy, InstAndDataShareL2)
+{
+    MemoryHierarchy mem;
+    mem.accessInst(0x8000);           // fills L2 with the line
+    MemAccessResult r = mem.accessData(0x8000, false);
+    EXPECT_EQ(r.level, MemLevel::L2); // data side finds the I-line
+}
+
+TEST(Hierarchy, DirtyL1VictimWrittenBackToL2)
+{
+    MemoryHierarchy mem;
+    const Addr period = 64 * 1024 / 4;
+    mem.accessData(0, true); // dirty in L1
+    uint64_t l2_before = mem.l2().hits() + mem.l2().misses();
+    for (int i = 1; i <= 4; ++i)
+        mem.accessData(static_cast<Addr>(i) * period, false);
+    // The writeback touched the L2 beyond the 4 demand fills.
+    uint64_t l2_after = mem.l2().hits() + mem.l2().misses();
+    EXPECT_GE(l2_after - l2_before, 5u);
+}
+
+TEST(Hierarchy, TableOneGeometryDefaults)
+{
+    MemoryHierarchy mem;
+    EXPECT_EQ(mem.params().l1d.sizeBytes, 64u * 1024);
+    EXPECT_EQ(mem.params().l1d.assoc, 4);
+    EXPECT_EQ(mem.params().l2.sizeBytes, 2u * 1024 * 1024);
+    EXPECT_EQ(mem.params().l2.assoc, 8);
+    EXPECT_EQ(mem.params().memLatency, 300);
+    EXPECT_EQ(mem.l2().numSets(), 4096);
+}
+
+TEST(Hierarchy, NineWayConflictAlwaysMissesL2)
+{
+    // Variant 2's conflict set: stride = numSets * lineBytes.
+    MemoryHierarchy mem;
+    const Addr stride = 4096 * 64;
+    // Warm up one full round.
+    for (int i = 0; i < 9; ++i)
+        mem.accessData(static_cast<Addr>(i) * stride, false);
+    // Every subsequent round keeps missing the L2.
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 9; ++i) {
+            MemAccessResult r =
+                mem.accessData(static_cast<Addr>(i) * stride, false);
+            EXPECT_EQ(r.level, MemLevel::Memory)
+                << "round " << round << " line " << i;
+        }
+    }
+}
+
+TEST(Hierarchy, ResetStatsClearsCounters)
+{
+    MemoryHierarchy mem;
+    mem.accessData(0, true);
+    mem.accessInst(0x100);
+    mem.resetStats();
+    EXPECT_EQ(mem.l1d().misses(), 0u);
+    EXPECT_EQ(mem.l1i().misses(), 0u);
+    EXPECT_EQ(mem.l2().misses(), 0u);
+    EXPECT_EQ(mem.memWritebacks(), 0u);
+}
+
+} // namespace
+} // namespace hs

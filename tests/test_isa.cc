@@ -1,0 +1,154 @@
+/** @file Unit tests for instruction classification and metadata. */
+
+#include <gtest/gtest.h>
+
+#include "isa/isa.hh"
+
+namespace hs {
+namespace {
+
+TEST(Isa, OpcodeClasses)
+{
+    EXPECT_EQ(Instruction::opcodeClass(Opcode::Add), InstClass::IntAlu);
+    EXPECT_EQ(Instruction::opcodeClass(Opcode::Mul), InstClass::IntMult);
+    EXPECT_EQ(Instruction::opcodeClass(Opcode::Div), InstClass::IntDiv);
+    EXPECT_EQ(Instruction::opcodeClass(Opcode::Fadd), InstClass::FpAdd);
+    EXPECT_EQ(Instruction::opcodeClass(Opcode::Fmul), InstClass::FpMul);
+    EXPECT_EQ(Instruction::opcodeClass(Opcode::Fdiv), InstClass::FpDiv);
+    EXPECT_EQ(Instruction::opcodeClass(Opcode::Ld), InstClass::Load);
+    EXPECT_EQ(Instruction::opcodeClass(Opcode::Fst), InstClass::Store);
+    EXPECT_EQ(Instruction::opcodeClass(Opcode::Beq), InstClass::Branch);
+    EXPECT_EQ(Instruction::opcodeClass(Opcode::Jmp), InstClass::Jump);
+    EXPECT_EQ(Instruction::opcodeClass(Opcode::Halt), InstClass::Halt);
+}
+
+TEST(Isa, WritesIntRegRespectsR0)
+{
+    Instruction add;
+    add.op = Opcode::Add;
+    add.rd = 0;
+    EXPECT_FALSE(add.writesIntReg()); // r0 is not writable
+    add.rd = 5;
+    EXPECT_TRUE(add.writesIntReg());
+}
+
+TEST(Isa, LoadDestinations)
+{
+    Instruction ld;
+    ld.op = Opcode::Ld;
+    ld.rd = 3;
+    EXPECT_TRUE(ld.writesIntReg());
+    EXPECT_FALSE(ld.writesFpReg());
+
+    Instruction fld;
+    fld.op = Opcode::Fld;
+    fld.rd = 3;
+    EXPECT_FALSE(fld.writesIntReg());
+    EXPECT_TRUE(fld.writesFpReg());
+}
+
+TEST(Isa, StoreSources)
+{
+    Instruction st;
+    st.op = Opcode::St;
+    EXPECT_TRUE(st.readsIntRs1()); // base
+    EXPECT_TRUE(st.readsIntRs2()); // data
+    EXPECT_FALSE(st.readsFpRs2());
+
+    Instruction fst;
+    fst.op = Opcode::Fst;
+    EXPECT_TRUE(fst.readsIntRs1()); // base is an integer register
+    EXPECT_FALSE(fst.readsIntRs2());
+    EXPECT_TRUE(fst.readsFpRs2()); // data is FP
+}
+
+TEST(Isa, FcvtCrossesFiles)
+{
+    Instruction cvt;
+    cvt.op = Opcode::Fcvt;
+    EXPECT_TRUE(cvt.readsIntRs1());
+    EXPECT_FALSE(cvt.readsFpRs1());
+    EXPECT_TRUE(cvt.writesFpReg());
+    EXPECT_FALSE(cvt.writesIntReg());
+}
+
+TEST(Isa, ImmediateOpsDoNotReadRs2)
+{
+    Instruction addi;
+    addi.op = Opcode::Addi;
+    EXPECT_TRUE(addi.readsIntRs1());
+    EXPECT_FALSE(addi.readsIntRs2());
+
+    Instruction lui;
+    lui.op = Opcode::Lui;
+    EXPECT_FALSE(lui.readsIntRs1());
+    EXPECT_FALSE(lui.readsIntRs2());
+}
+
+TEST(Isa, MemRefAndControlPredicates)
+{
+    Instruction ld;
+    ld.op = Opcode::Ld;
+    EXPECT_TRUE(ld.isMemRef());
+    EXPECT_FALSE(ld.isControl());
+
+    Instruction beq;
+    beq.op = Opcode::Beq;
+    EXPECT_FALSE(beq.isMemRef());
+    EXPECT_TRUE(beq.isControl());
+
+    Instruction jmp;
+    jmp.op = Opcode::Jmp;
+    EXPECT_TRUE(jmp.isControl());
+}
+
+TEST(Isa, LatenciesAreOrdered)
+{
+    // Sanity: multiplies cost more than adds, divides more than
+    // multiplies, FP more than int adds.
+    EXPECT_LT(instClassLatency(InstClass::IntAlu),
+              instClassLatency(InstClass::IntMult));
+    EXPECT_LT(instClassLatency(InstClass::IntMult),
+              instClassLatency(InstClass::IntDiv));
+    EXPECT_LT(instClassLatency(InstClass::IntAlu),
+              instClassLatency(InstClass::FpAdd));
+    EXPECT_LT(instClassLatency(InstClass::FpMul),
+              instClassLatency(InstClass::FpDiv));
+}
+
+TEST(Isa, EveryOpcodeHasNameAndClass)
+{
+    for (int i = 0; i < static_cast<int>(Opcode::NumOpcodes); ++i) {
+        Opcode op = static_cast<Opcode>(i);
+        EXPECT_NE(opcodeName(op), nullptr);
+        // Must not panic.
+        (void)Instruction::opcodeClass(op);
+    }
+}
+
+TEST(Isa, DisassembleFormats)
+{
+    Instruction add;
+    add.op = Opcode::Add;
+    add.rd = 1;
+    add.rs1 = 2;
+    add.rs2 = 3;
+    EXPECT_EQ(add.disassemble(), "add r1, r2, r3");
+
+    Instruction ld;
+    ld.op = Opcode::Ld;
+    ld.rd = 4;
+    ld.rs1 = 2;
+    ld.imm = 16;
+    EXPECT_EQ(ld.disassemble(), "ld r4, 16(r2)");
+
+    Instruction beq;
+    beq.op = Opcode::Beq;
+    beq.rs1 = 1;
+    beq.rs2 = 2;
+    beq.target = 7;
+    EXPECT_EQ(beq.disassemble(), "beq r1, r2, @7");
+}
+
+} // namespace
+} // namespace hs

@@ -1,0 +1,47 @@
+/** @file Unit tests for the logging/error primitives. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+namespace hs {
+namespace {
+
+TEST(Log, StrprintfFormats)
+{
+    EXPECT_EQ(strprintf("x=%d y=%s", 42, "ok"), "x=42 y=ok");
+    EXPECT_EQ(strprintf("%.2f", 1.5), "1.50");
+    EXPECT_EQ(strprintf("plain"), "plain");
+}
+
+TEST(Log, StrprintfLongStrings)
+{
+    std::string big(5000, 'a');
+    std::string out = strprintf("%s!", big.c_str());
+    EXPECT_EQ(out.size(), 5001u);
+    EXPECT_EQ(out.back(), '!');
+}
+
+TEST(Log, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 7), "boom 7");
+}
+
+TEST(Log, FatalExitsWithError)
+{
+    EXPECT_EXIT(fatal("bad config"), ::testing::ExitedWithCode(1),
+                "bad config");
+}
+
+TEST(Log, LevelRoundTrips)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(LogLevel::Verbose);
+    EXPECT_EQ(logLevel(), LogLevel::Verbose);
+    setLogLevel(before);
+}
+
+} // namespace
+} // namespace hs

@@ -1,0 +1,170 @@
+/** @file Tests for the malicious heat-stroke kernels (Figures 1-2). */
+
+#include <gtest/gtest.h>
+
+#include "smt/pipeline.hh"
+#include "workload/malicious.hh"
+
+namespace hs {
+namespace {
+
+double
+regfileRate(const Program &prog, Cycles cycles = 300000)
+{
+    SmtParams params;
+    params.numThreads = 1;
+    Pipeline pipe(params);
+    pipe.setThreadProgram(0, &prog);
+    for (Cycles i = 0; i < cycles; ++i)
+        pipe.tick();
+    return static_cast<double>(
+               pipe.activity().count(0, Block::IntReg)) /
+           static_cast<double>(pipe.cycle());
+}
+
+TEST(Malicious, Variant1AssemblesAndLoops)
+{
+    Program v1 = makeVariant1();
+    EXPECT_GT(v1.size(), 10u);
+    const Instruction &last = v1.fetch(v1.size() - 1);
+    EXPECT_EQ(last.op, Opcode::Jmp);
+    EXPECT_EQ(last.target, 0u);
+}
+
+TEST(Malicious, Variant1HammerIsAllIndependentAdds)
+{
+    MaliciousParams params;
+    Program v1 = makeVariant1(params);
+    for (int i = 0; i < params.unroll; ++i) {
+        const Instruction &inst = v1.fetch(static_cast<uint64_t>(i));
+        EXPECT_EQ(inst.op, Opcode::Add);
+        EXPECT_EQ(inst.rs1, 24);
+        EXPECT_EQ(inst.rs2, 25);
+    }
+}
+
+TEST(Malicious, Variant1RegfileRateFarAboveSpec)
+{
+    // Figure 3: variant1's access rate is widely separated from SPEC
+    // programs (which stay below ~6 accesses/cycle).
+    double rate = regfileRate(makeVariant1());
+    EXPECT_GT(rate, 9.0);
+}
+
+TEST(Malicious, Variant2HasTwoPhases)
+{
+    MaliciousParams params = MaliciousParams{}.scaled(100);
+    Program v2 = makeVariant2(params);
+    uint64_t loads = 0, adds = 0;
+    for (uint64_t i = 0; i < v2.size(); ++i) {
+        InstClass c = v2.fetch(i).instClass();
+        loads += c == InstClass::Load;
+        adds += c == InstClass::IntAlu;
+    }
+    EXPECT_EQ(loads, 9u) << "nine conflicting loads (Figure 2)";
+    EXPECT_GT(adds, 20u);
+}
+
+TEST(Malicious, Variant2ConflictAddressesShareAnL2Set)
+{
+    MaliciousParams params;
+    Program v2 = makeVariant2(params);
+    Cache l2(CacheParams{"l2", 2 * 1024 * 1024, 8, 64, 12});
+    int set = -1;
+    int found = 0;
+    for (uint64_t i = 0; i < v2.size(); ++i) {
+        const Instruction &inst = v2.fetch(i);
+        if (inst.op != Opcode::Ld)
+            continue;
+        int s = l2.setIndex(static_cast<Addr>(inst.imm));
+        if (set < 0)
+            set = s;
+        EXPECT_EQ(s, set) << "load " << found;
+        ++found;
+    }
+    EXPECT_EQ(found, params.conflictLines);
+}
+
+TEST(Malicious, Variant2LowerRateAndIpcThanVariant1)
+{
+    // Section 5.1 / Figure 3: variant2 moderates both its IPC and its
+    // flat access rate to isolate the power-density effect.
+    MaliciousParams params = MaliciousParams{}.scaled(200);
+    double r1 = regfileRate(makeVariant1(params), 400000);
+    double r2 = regfileRate(makeVariant2(params), 400000);
+    EXPECT_LT(r2, 0.75 * r1);
+}
+
+TEST(Malicious, Variant3MoreEvasiveThanVariant2)
+{
+    MaliciousParams params = MaliciousParams{}.scaled(200);
+    double r2 = regfileRate(makeVariant2(params), 400000);
+    double r3 = regfileRate(makeVariant3(params), 400000);
+    EXPECT_LT(r3, r2);
+}
+
+TEST(Malicious, ScaledParamsShrinkPhases)
+{
+    MaliciousParams base;
+    MaliciousParams scaled = base.scaled(50);
+    EXPECT_EQ(scaled.hammerIters, base.hammerIters / 50);
+    EXPECT_EQ(scaled.missIters, base.missIters / 50);
+    // Never zero.
+    MaliciousParams tiny = base.scaled(1e12);
+    EXPECT_GE(tiny.hammerIters, 1u);
+    EXPECT_GE(tiny.missIters, 1u);
+}
+
+TEST(Malicious, AsmListingsMatchPaperStyle)
+{
+    std::string v1 = variant1Asm();
+    EXPECT_NE(v1.find("addl $"), std::string::npos);
+    EXPECT_NE(v1.find("br L$1"), std::string::npos);
+    std::string v2 = variant2Asm();
+    EXPECT_NE(v2.find("ldq $"), std::string::npos);
+    EXPECT_NE(v2.find("hammer"), std::string::npos);
+    EXPECT_NE(v2.find("miss"), std::string::npos);
+}
+
+TEST(Malicious, MakeVariantDispatch)
+{
+    EXPECT_EQ(makeVariant(1).name(), "variant1");
+    EXPECT_EQ(makeVariant(2).name(), "variant2");
+    EXPECT_EQ(makeVariant(3).name(), "variant3");
+    EXPECT_EQ(makeVariant(4).name(), "variant4");
+    EXPECT_DEATH(makeVariant(5), "variant");
+}
+
+TEST(Malicious, Variant4IsAllFpWork)
+{
+    MaliciousParams params;
+    Program v4 = makeVariant4(params);
+    uint64_t fp = 0;
+    for (uint64_t i = 0; i < v4.size(); ++i)
+        fp += v4.fetch(i).instClass() == InstClass::FpAdd;
+    EXPECT_EQ(fp, static_cast<uint64_t>(params.unroll));
+}
+
+TEST(Malicious, Variant2MissPhaseActuallyMissesL2)
+{
+    // Run variant2 (tiny phases) and verify L2 misses keep occurring
+    // well past warm-up.
+    MaliciousParams params;
+    params.hammerIters = 50;
+    params.missIters = 2000;
+    Program v2 = makeVariant2(params);
+    SmtParams sp;
+    sp.numThreads = 1;
+    Pipeline pipe(sp);
+    pipe.setThreadProgram(0, &v2);
+    for (int i = 0; i < 100000; ++i)
+        pipe.tick();
+    uint64_t misses_mid = pipe.mem().l2().misses();
+    for (int i = 0; i < 100000; ++i)
+        pipe.tick();
+    EXPECT_GT(pipe.mem().l2().misses(), misses_mid + 100)
+        << "conflict loads must keep missing in steady state";
+}
+
+} // namespace
+} // namespace hs

@@ -1,0 +1,84 @@
+/** @file Unit tests for the sparse functional memory. */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory.hh"
+
+namespace hs {
+namespace {
+
+TEST(SparseMemory, ReadsZeroWhenUntouched)
+{
+    SparseMemory mem;
+    EXPECT_EQ(mem.read64(0), 0u);
+    EXPECT_EQ(mem.read64(0xDEADBEEF00ull), 0u);
+    EXPECT_EQ(mem.allocatedPages(), 0u);
+}
+
+TEST(SparseMemory, Write64ReadBack)
+{
+    SparseMemory mem;
+    mem.write64(0x1000, 0x0123456789ABCDEFull);
+    EXPECT_EQ(mem.read64(0x1000), 0x0123456789ABCDEFull);
+}
+
+TEST(SparseMemory, AlignmentMasking)
+{
+    SparseMemory mem;
+    mem.write64(0x1003, 42); // low 3 bits ignored
+    EXPECT_EQ(mem.read64(0x1000), 42u);
+    EXPECT_EQ(mem.read64(0x1007), 42u);
+}
+
+TEST(SparseMemory, ByteAccess)
+{
+    SparseMemory mem;
+    mem.write8(0x2000, 0xAB);
+    EXPECT_EQ(mem.read8(0x2000), 0xAB);
+    EXPECT_EQ(mem.read8(0x2001), 0x00);
+    // The byte lands in the right position of the 64-bit word.
+    EXPECT_EQ(mem.read64(0x2000) & 0xFF, 0xABu);
+}
+
+TEST(SparseMemory, PagesAllocateLazily)
+{
+    SparseMemory mem;
+    mem.write64(0, 1);
+    EXPECT_EQ(mem.allocatedPages(), 1u);
+    mem.write64(SparseMemory::pageBytes, 2);
+    EXPECT_EQ(mem.allocatedPages(), 2u);
+    mem.write64(8, 3); // same page as the first write
+    EXPECT_EQ(mem.allocatedPages(), 2u);
+}
+
+TEST(SparseMemory, DistantAddressesIndependent)
+{
+    SparseMemory mem;
+    mem.write64(0x0000000010ull, 1);
+    mem.write64(0x4000000010ull, 2);
+    EXPECT_EQ(mem.read64(0x0000000010ull), 1u);
+    EXPECT_EQ(mem.read64(0x4000000010ull), 2u);
+}
+
+TEST(SparseMemory, ClearDropsEverything)
+{
+    SparseMemory mem;
+    mem.write64(128, 7);
+    mem.clear();
+    EXPECT_EQ(mem.read64(128), 0u);
+    EXPECT_EQ(mem.allocatedPages(), 0u);
+}
+
+TEST(SparseMemory, PageBoundaryWords)
+{
+    SparseMemory mem;
+    // Last word of page 0 and first word of page 1.
+    Addr last = SparseMemory::pageBytes - 8;
+    mem.write64(last, 0x1111);
+    mem.write64(SparseMemory::pageBytes, 0x2222);
+    EXPECT_EQ(mem.read64(last), 0x1111u);
+    EXPECT_EQ(mem.read64(SparseMemory::pageBytes), 0x2222u);
+}
+
+} // namespace
+} // namespace hs

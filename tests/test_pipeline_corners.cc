@@ -1,0 +1,201 @@
+/** @file Corner-case tests for the SMT pipeline: store-queue
+ *  forwarding, structural-hazard back-pressure, squash interactions
+ *  and speculative-state repair. */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "smt/pipeline.hh"
+
+namespace hs {
+namespace {
+
+Pipeline
+runToHalt(const Program &prog, const SmtParams &params,
+          Cycles max_cycles = 2000000)
+{
+    Pipeline pipe(params);
+    pipe.setThreadProgram(0, &prog);
+    while (!pipe.allHalted() && pipe.cycle() < max_cycles)
+        pipe.tick();
+    EXPECT_TRUE(pipe.allHalted()) << "program did not halt";
+    return pipe;
+}
+
+SmtParams
+solo()
+{
+    SmtParams p;
+    p.numThreads = 1;
+    return p;
+}
+
+TEST(PipelineCorners, StoreOverwritesForwardTheLatest)
+{
+    // Two stores to the same address in flight: the load must see the
+    // YOUNGER store's value.
+    Program p = assemble("addi r2, r0, 64\n"
+                         "addi r1, r0, 1\n"
+                         "st r1, 0(r2)\n"
+                         "addi r1, r0, 2\n"
+                         "st r1, 0(r2)\n"
+                         "ld r3, 0(r2)\n"
+                         "halt\n");
+    Pipeline pipe = runToHalt(p, solo());
+    EXPECT_EQ(pipe.thread(0).intRegs[3], 2);
+}
+
+TEST(PipelineCorners, LoadBetweenStoresSeesOlderOnly)
+{
+    Program p = assemble("addi r2, r0, 64\n"
+                         "addi r1, r0, 5\n"
+                         "st r1, 0(r2)\n"
+                         "ld r3, 0(r2)\n"  // must see 5
+                         "addi r1, r0, 9\n"
+                         "st r1, 0(r2)\n"
+                         "ld r4, 0(r2)\n"  // must see 9
+                         "halt\n");
+    Pipeline pipe = runToHalt(p, solo());
+    EXPECT_EQ(pipe.thread(0).intRegs[3], 5);
+    EXPECT_EQ(pipe.thread(0).intRegs[4], 9);
+}
+
+TEST(PipelineCorners, StoreWithSlowAddressBlocksYoungerLoad)
+{
+    // The store's address depends on a long-latency chain; the younger
+    // load to (what turns out to be) the same address must wait and
+    // still read the right value.
+    Program p = assemble("addi r1, r0, 8\n"
+                         "addi r5, r0, 77\n"
+                         "mul r2, r1, r1\n"  // 64
+                         "mul r2, r2, r1\n"  // 512 (slow chain)
+                         "div r2, r2, r1\n"  // 64 again, 20-cycle div
+                         "st r5, 0(r2)\n"
+                         "ld r3, 64(r0)\n"   // same address, fast AGEN
+                         "halt\n");
+    Pipeline pipe = runToHalt(p, solo());
+    EXPECT_EQ(pipe.thread(0).intRegs[3], 77);
+}
+
+TEST(PipelineCorners, MispredictInsideL2MissShadow)
+{
+    // A branch after an L2-missing load: squashes from both sources
+    // must compose without corrupting state.
+    std::string src = "addi r9, r0, 4\n"
+                      "addi r6, r0, 0\n"
+                      "loop:\n";
+    // Conflict loads guarantee L2 misses.
+    for (int i = 0; i < 9; ++i)
+        src += "ld r3, " + std::to_string(i * 262144) + "(r0)\n";
+    src += "andi r4, r9, 1\n"
+           "beq r4, r0, even\n"
+           "addi r6, r6, 10\n"
+           "jmp next\n"
+           "even:\n"
+           "addi r6, r6, 1\n"
+           "next:\n"
+           "addi r9, r9, -1\n"
+           "bne r9, r0, loop\n"
+           "halt\n";
+    Program p = assemble(src);
+    Pipeline pipe = runToHalt(p, solo());
+    EXPECT_EQ(pipe.thread(0).intRegs[6], 22); // 1+10+1+10
+}
+
+TEST(PipelineCorners, TinyLsqStillCorrect)
+{
+    SmtParams params = solo();
+    params.lsqEntries = 2;
+    Program p = assemble("addi r2, r0, 128\n"
+                         "addi r1, r0, 3\n"
+                         "st r1, 0(r2)\n"
+                         "st r1, 8(r2)\n"
+                         "st r1, 16(r2)\n"
+                         "ld r3, 0(r2)\n"
+                         "ld r4, 8(r2)\n"
+                         "ld r5, 16(r2)\n"
+                         "add r6, r3, r4\n"
+                         "add r6, r6, r5\n"
+                         "halt\n");
+    Pipeline pipe = runToHalt(p, params);
+    EXPECT_EQ(pipe.thread(0).intRegs[6], 9);
+}
+
+TEST(PipelineCorners, BackToBackDependentBranches)
+{
+    Program p = assemble("addi r1, r0, 1\n"
+                         "addi r2, r0, 2\n"
+                         "blt r1, r2, a\n"
+                         "addi r5, r0, 100\n"
+                         "a:\n"
+                         "bge r2, r1, b\n"
+                         "addi r5, r5, 200\n"
+                         "b:\n"
+                         "addi r6, r5, 1\n"
+                         "halt\n");
+    Pipeline pipe = runToHalt(p, solo());
+    EXPECT_EQ(pipe.thread(0).intRegs[5], 0);
+    EXPECT_EQ(pipe.thread(0).intRegs[6], 1);
+}
+
+TEST(PipelineCorners, WawThroughRenameMap)
+{
+    // Rapid same-register overwrites: the final value must be the
+    // program-order-last one even when all are in flight together.
+    Program p = assemble("addi r1, r0, 1\n"
+                         "addi r1, r0, 2\n"
+                         "addi r1, r0, 3\n"
+                         "addi r1, r0, 4\n"
+                         "add r2, r1, r1\n"
+                         "halt\n");
+    Pipeline pipe = runToHalt(p, solo());
+    EXPECT_EQ(pipe.thread(0).intRegs[1], 4);
+    EXPECT_EQ(pipe.thread(0).intRegs[2], 8);
+}
+
+TEST(PipelineCorners, NegativeDisplacementAddressing)
+{
+    Program p = assemble("addi r2, r0, 128\n"
+                         "addi r1, r0, 42\n"
+                         "st r1, -8(r2)\n"
+                         "ld r3, 120(r0)\n"
+                         "halt\n");
+    Pipeline pipe = runToHalt(p, solo());
+    EXPECT_EQ(pipe.thread(0).intRegs[3], 42);
+}
+
+TEST(PipelineCorners, FpAndIntNamespacesDistinct)
+{
+    // f5 and r5 are different registers; renaming must not conflate.
+    Program p = assemble("addi r5, r0, 11\n"
+                         "fcvt f5, r5\n"
+                         "addi r5, r0, 22\n"
+                         "fadd f6, f5, f5\n"
+                         "halt\n");
+    Pipeline pipe = runToHalt(p, solo());
+    EXPECT_EQ(pipe.thread(0).intRegs[5], 22);
+    EXPECT_DOUBLE_EQ(pipe.thread(0).fpRegs[6], 22.0);
+}
+
+TEST(PipelineCorners, SedatedAtStartNeverFetches)
+{
+    Program p = assemble("top:\naddi r1, r1, 1\njmp top\n");
+    SmtParams params = solo();
+    Pipeline pipe(params);
+    pipe.setThreadProgram(0, &p);
+    pipe.setSedated(0, true);
+    for (int i = 0; i < 10000; ++i)
+        pipe.tick();
+    EXPECT_EQ(pipe.committed(0), 0u);
+    EXPECT_EQ(pipe.thread(0).sedationCycles, 10000u);
+}
+
+TEST(PipelineCorners, HaltOnFirstInstruction)
+{
+    Program p = assemble("halt\n");
+    Pipeline pipe = runToHalt(p, solo(), 1000);
+    EXPECT_EQ(pipe.committed(0), 1u);
+}
+
+} // namespace
+} // namespace hs

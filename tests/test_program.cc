@@ -1,0 +1,80 @@
+/** @file Unit tests for the Program container. */
+
+#include <gtest/gtest.h>
+
+#include "isa/program.hh"
+
+namespace hs {
+namespace {
+
+Instruction
+makeAdd(int rd, int rs1, int rs2)
+{
+    Instruction i;
+    i.op = Opcode::Add;
+    i.rd = static_cast<uint8_t>(rd);
+    i.rs1 = static_cast<uint8_t>(rs1);
+    i.rs2 = static_cast<uint8_t>(rs2);
+    return i;
+}
+
+TEST(Program, AppendAndFetch)
+{
+    Program p("t");
+    EXPECT_TRUE(p.empty());
+    uint64_t idx = p.append(makeAdd(1, 2, 3));
+    EXPECT_EQ(idx, 0u);
+    EXPECT_EQ(p.size(), 1u);
+    EXPECT_EQ(p.fetch(0).rd, 1);
+}
+
+TEST(Program, FetchOutOfRangePanics)
+{
+    Program p("t");
+    p.append(makeAdd(1, 2, 3));
+    EXPECT_DEATH(p.fetch(1), "out of range");
+}
+
+TEST(Program, AtAllowsTargetPatching)
+{
+    Program p("t");
+    Instruction j;
+    j.op = Opcode::Jmp;
+    p.append(j);
+    p.at(0).target = 42;
+    EXPECT_EQ(p.fetch(0).target, 42u);
+}
+
+TEST(Program, DataImageStored)
+{
+    Program p("t");
+    p.poke64(0x100, 777);
+    p.poke64(0x108, 888);
+    EXPECT_EQ(p.dataImage().size(), 2u);
+    EXPECT_EQ(p.dataImage().at(0x100), 777u);
+}
+
+TEST(Program, InitRegsValidated)
+{
+    Program p("t");
+    p.setInitReg(5, -3);
+    EXPECT_EQ(p.initRegs().at(5), -3);
+    EXPECT_DEATH(p.setInitReg(0, 1), "not writable");
+    EXPECT_DEATH(p.setInitReg(32, 1), "not writable");
+}
+
+TEST(Program, NameMutators)
+{
+    Program p;
+    p.setName("renamed");
+    EXPECT_EQ(p.name(), "renamed");
+}
+
+TEST(Program, InstBytesConstant)
+{
+    // The fetch stage computes I-cache addresses from this.
+    EXPECT_EQ(Program::instBytes, 8u);
+}
+
+} // namespace
+} // namespace hs

@@ -1,0 +1,198 @@
+/** @file Unit tests for the RC thermal network solver, validated
+ *  against closed-form solutions of small circuits. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "thermal/rc_network.hh"
+
+namespace hs {
+namespace {
+
+TEST(RcNetwork, SingleNodeSteadyState)
+{
+    // One node to a 300 K bath through 2 K/W with 5 W: T = 310 K.
+    RcNetwork net(1);
+    net.setCapacitance(0, 1.0);
+    net.addBathConductance(0, 0.5, 300.0);
+    std::vector<Kelvin> t = net.solveSteadyState({5.0});
+    EXPECT_NEAR(t[0], 310.0, 1e-9);
+}
+
+TEST(RcNetwork, SingleNodeExponentialRise)
+{
+    // Closed form: T(t) = T_ss - (T_ss - T0) exp(-t / RC).
+    RcNetwork net(1);
+    double r = 2.0, c = 0.5; // tau = 1 s
+    net.setCapacitance(0, c);
+    net.addBathConductance(0, 1.0 / r, 300.0);
+    net.setTemp(0, 300.0);
+    double p = 10.0; // T_ss = 320
+    net.step({p}, 1.0); // one time constant
+    double expected = 320.0 - 20.0 * std::exp(-1.0);
+    EXPECT_NEAR(net.temp(0), expected, 0.05);
+}
+
+TEST(RcNetwork, SingleNodeExponentialDecay)
+{
+    RcNetwork net(1);
+    net.setCapacitance(0, 0.5);
+    net.addBathConductance(0, 0.5, 300.0); // tau = 1
+    net.setTemp(0, 340.0);
+    net.step({0.0}, 2.0); // two time constants
+    double expected = 300.0 + 40.0 * std::exp(-2.0);
+    EXPECT_NEAR(net.temp(0), expected, 0.1);
+}
+
+TEST(RcNetwork, TwoNodeSteadyStateDivider)
+{
+    // node0 -(1 K/W)- node1 -(1 K/W)- bath 300 K; 2 W into node0.
+    // T1 = 302, T0 = 304.
+    RcNetwork net(2);
+    net.setCapacitance(0, 1.0);
+    net.setCapacitance(1, 1.0);
+    net.addConductance(0, 1, 1.0);
+    net.addBathConductance(1, 1.0, 300.0);
+    std::vector<Kelvin> t = net.solveSteadyState({2.0, 0.0});
+    EXPECT_NEAR(t[0], 304.0, 1e-9);
+    EXPECT_NEAR(t[1], 302.0, 1e-9);
+}
+
+TEST(RcNetwork, TransientConvergesToSteadyState)
+{
+    RcNetwork net(3);
+    for (int i = 0; i < 3; ++i)
+        net.setCapacitance(i, 0.1);
+    net.addConductance(0, 1, 2.0);
+    net.addConductance(1, 2, 3.0);
+    net.addConductance(0, 2, 0.5);
+    net.addBathConductance(2, 1.0, 310.0);
+    std::vector<Watts> p{4.0, 1.0, 0.0};
+    std::vector<Kelvin> ss = net.solveSteadyState(p);
+    net.setAllTemps(310.0);
+    for (int i = 0; i < 200; ++i)
+        net.step(p, 0.1);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_NEAR(net.temp(i), ss[static_cast<size_t>(i)], 0.01);
+}
+
+TEST(RcNetwork, EnergyConservationAtEquilibrium)
+{
+    // At steady state the heat into the bath equals injected power.
+    RcNetwork net(2);
+    net.setCapacitance(0, 1.0);
+    net.setCapacitance(1, 1.0);
+    net.addConductance(0, 1, 0.7);
+    net.addBathConductance(1, 0.4, 300.0);
+    std::vector<Watts> p{3.0, 2.0};
+    std::vector<Kelvin> t = net.solveSteadyState(p);
+    double into_bath = 0.4 * (t[1] - 300.0);
+    EXPECT_NEAR(into_bath, 5.0, 1e-9);
+}
+
+TEST(RcNetwork, LargeStepMatchesManySmallSteps)
+{
+    // The automatic sub-stepping must make one big step equivalent to
+    // many explicit small ones.
+    auto build = [] {
+        RcNetwork net(2);
+        net.setCapacitance(0, 0.01);
+        net.setCapacitance(1, 1.0);
+        net.addConductance(0, 1, 1.0);
+        net.addBathConductance(1, 0.5, 300.0);
+        net.setAllTemps(300.0);
+        return net;
+    };
+    RcNetwork big = build();
+    RcNetwork small = build();
+    std::vector<Watts> p{2.0, 0.0};
+    big.step(p, 1.0);
+    for (int i = 0; i < 1000; ++i)
+        small.step(p, 0.001);
+    EXPECT_NEAR(big.temp(0), small.temp(0), 0.05);
+    EXPECT_NEAR(big.temp(1), small.temp(1), 0.05);
+}
+
+TEST(RcNetwork, StabilityUnderStiffness)
+{
+    // A very small capacitance makes the system stiff; the solver must
+    // not oscillate or blow up.
+    RcNetwork net(2);
+    net.setCapacitance(0, 1e-6);
+    net.setCapacitance(1, 10.0);
+    net.addConductance(0, 1, 5.0);
+    net.addBathConductance(1, 1.0, 300.0);
+    net.setAllTemps(300.0);
+    for (int i = 0; i < 100; ++i) {
+        net.step({1.0, 0.0}, 0.01);
+        EXPECT_GE(net.temp(0), 299.0);
+        EXPECT_LE(net.temp(0), 400.0);
+    }
+}
+
+TEST(RcNetwork, ScaleCapacitancesScalesTime)
+{
+    // Dividing C by S makes the same dt advance S times further.
+    auto build = [](double scale) {
+        RcNetwork net(1);
+        net.setCapacitance(0, 1.0);
+        net.addBathConductance(0, 1.0, 300.0);
+        net.scaleCapacitances(1.0 / scale);
+        net.setTemp(0, 300.0);
+        return net;
+    };
+    RcNetwork scaled = build(10.0);
+    RcNetwork plain = build(1.0);
+    scaled.step({5.0}, 0.1);  // 0.1 s at 10x speed
+    plain.step({5.0}, 1.0);   // 1.0 s at 1x
+    EXPECT_NEAR(scaled.temp(0), plain.temp(0), 0.05);
+}
+
+TEST(RcNetwork, SingularNetworkIsFatal)
+{
+    RcNetwork net(2);
+    net.setCapacitance(0, 1.0);
+    net.setCapacitance(1, 1.0);
+    net.addConductance(0, 1, 1.0);
+    // No bath anywhere: steady state undefined.
+    EXPECT_DEATH(net.solveSteadyState({1.0, 0.0}), "singular");
+}
+
+TEST(RcNetwork, MinTimeConstant)
+{
+    RcNetwork net(2);
+    net.setCapacitance(0, 1.0);
+    net.setCapacitance(1, 4.0);
+    net.addConductance(0, 1, 2.0);   // node0: C/G = 0.5
+    net.addBathConductance(1, 2.0, 300.0); // node1: 4/4 = 1.0
+    EXPECT_NEAR(net.minTimeConstant(), 0.5, 1e-12);
+}
+
+class RcStepSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RcStepSweep, StepSizeInvariance)
+{
+    // Property: the trajectory endpoint is (approximately) independent
+    // of how the interval is chopped.
+    double dt = GetParam();
+    RcNetwork net(1);
+    net.setCapacitance(0, 0.2);
+    net.addBathConductance(0, 1.0, 300.0);
+    net.setTemp(0, 300.0);
+    double total = 1.0;
+    int steps = static_cast<int>(total / dt);
+    for (int i = 0; i < steps; ++i)
+        net.step({1.0}, dt);
+    double expected = 301.0 - 1.0 * std::exp(-total / 0.2);
+    EXPECT_NEAR(net.temp(0), expected, 0.02) << "dt=" << dt;
+}
+
+INSTANTIATE_TEST_SUITE_P(StepSizes, RcStepSweep,
+                         ::testing::Values(0.001, 0.01, 0.05, 0.1, 0.5,
+                                           1.0));
+
+} // namespace
+} // namespace hs

@@ -1,0 +1,76 @@
+/** @file Unit tests for result records and table formatting. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/results.hh"
+
+namespace hs {
+namespace {
+
+RunResult
+sampleResult()
+{
+    RunResult r;
+    r.cycles = 1000;
+    ThreadResult t0;
+    t0.program = "a";
+    t0.normalCycles = 700;
+    t0.coolingCycles = 200;
+    t0.sedationCycles = 100;
+    ThreadResult t1;
+    t1.program = "b";
+    t1.normalCycles = 400;
+    t1.coolingCycles = 200;
+    t1.sedationCycles = 400;
+    r.threads = {t0, t1};
+    return r;
+}
+
+TEST(Results, FractionsSumToOne)
+{
+    RunResult r = sampleResult();
+    for (size_t t = 0; t < 2; ++t) {
+        EXPECT_NEAR(r.normalFraction(t) + r.coolingFraction(t) +
+                        r.sedationFraction(t),
+                    1.0, 1e-12);
+    }
+    EXPECT_DOUBLE_EQ(r.normalFraction(0), 0.7);
+    EXPECT_DOUBLE_EQ(r.sedationFraction(1), 0.4);
+}
+
+TEST(Results, ZeroCyclesSafe)
+{
+    RunResult r = sampleResult();
+    r.cycles = 0;
+    EXPECT_EQ(r.normalFraction(0), 0.0);
+}
+
+TEST(Results, OutOfRangeThreadThrows)
+{
+    RunResult r = sampleResult();
+    EXPECT_THROW(r.normalFraction(5), std::out_of_range);
+}
+
+TEST(TablePrinterTest, AlignsColumns)
+{
+    std::ostringstream os;
+    TablePrinter t(os);
+    t.header({"name", "value"});
+    t.row({"x", "1.00"});
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_NE(out.find("x"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision)
+{
+    EXPECT_EQ(TablePrinter::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TablePrinter::num(1.0, 0), "1");
+    EXPECT_EQ(TablePrinter::num(-0.5, 1), "-0.5");
+}
+
+} // namespace
+} // namespace hs

@@ -1,0 +1,103 @@
+/** @file Property tests for the time-scaling machinery: scaled runs
+ *  must preserve the thermal trajectory shape and the experiment
+ *  configuration must scale every knob together (DESIGN.md item 5). */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hh"
+#include "sim/experiment.hh"
+#include "thermal/thermal_model.hh"
+
+namespace hs {
+namespace {
+
+std::array<double, numBlocks>
+hammerRates()
+{
+    auto rates = SimConfig::defaultNominalRates();
+    rates[static_cast<size_t>(blockIndex(Block::IntReg))] = 16.5;
+    return rates;
+}
+
+class ScaleSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ScaleSweep, HeatUpTimeScalesLinearly)
+{
+    double scale = GetParam();
+    EnergyModel em;
+
+    auto heat_time = [&](double s) {
+        ThermalParams tp;
+        tp.timeScale = s;
+        ThermalModel tm(Floorplan::ev6(), tp);
+        tm.initSteadyState(
+            em.steadyPower(SimConfig::defaultNominalRates()));
+        std::vector<Watts> attack = em.steadyPower(hammerRates());
+        double t = 0;
+        const double dt = 5e-6 / s; // scaled sensor interval
+        while (tm.blockTemp(Block::IntReg) < 358.0 && t < 1.0) {
+            tm.step(attack, dt);
+            t += dt;
+        }
+        return t;
+    };
+
+    double scaled = heat_time(scale);
+    double plain = heat_time(1.0);
+    EXPECT_NEAR(scaled * scale, plain, 0.15 * plain)
+        << "scale " << scale;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ScaleSweep,
+                         ::testing::Values(2.0, 10.0, 50.0, 200.0));
+
+TEST(Scaling, SteadyStateUnaffectedByScale)
+{
+    // Scaling touches capacitances only: equilibria are identical.
+    EnergyModel em;
+    ThermalParams fast;
+    fast.timeScale = 100.0;
+    ThermalModel scaled(Floorplan::ev6(), fast);
+    ThermalModel plain(Floorplan::ev6(), {});
+    auto p = em.steadyPower(SimConfig::defaultNominalRates());
+    scaled.initSteadyState(p);
+    plain.initSteadyState(p);
+    for (int b = 0; b < numBlocks; ++b)
+        EXPECT_NEAR(scaled.blockTemp(blockFromIndex(b)),
+                    plain.blockTemp(blockFromIndex(b)), 1e-6);
+}
+
+TEST(Scaling, ExperimentScalesQuantumRecheckAndPhasesTogether)
+{
+    ExperimentOptions a, b;
+    a.timeScale = 10.0;
+    b.timeScale = 100.0;
+    SimConfig ca = makeSimConfig(a);
+    SimConfig cb = makeSimConfig(b);
+    EXPECT_NEAR(static_cast<double>(ca.quantumCycles) /
+                    static_cast<double>(cb.quantumCycles),
+                10.0, 0.01);
+    EXPECT_NEAR(static_cast<double>(ca.sedation.recheckCycles) /
+                    static_cast<double>(cb.sedation.recheckCycles),
+                10.0, 0.01);
+    MaliciousParams ma = makeMaliciousParams(a);
+    MaliciousParams mb = makeMaliciousParams(b);
+    EXPECT_NEAR(static_cast<double>(ma.hammerIters) /
+                    static_cast<double>(mb.hammerIters),
+                10.0, 0.05);
+}
+
+TEST(Scaling, SensorAndMonitorCadenceUnscaled)
+{
+    // Hardware sampling intervals are cycle counts; they do not scale.
+    ExperimentOptions a;
+    a.timeScale = 100.0;
+    SimConfig cfg = makeSimConfig(a);
+    EXPECT_EQ(cfg.sensorInterval, 20000u);
+    EXPECT_EQ(cfg.monitorInterval, 1000u);
+}
+
+} // namespace
+} // namespace hs

@@ -1,0 +1,151 @@
+/** @file Tests for the top-level simulator plumbing. */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "sim/simulator.hh"
+#include "workload/generator.hh"
+
+namespace hs {
+namespace {
+
+SimConfig
+tinyConfig(DtmMode dtm = DtmMode::StopAndGo)
+{
+    SimConfig cfg;
+    cfg.quantumCycles = 400000;
+    cfg.thermal.timeScale = 1000.0;
+    cfg.dtm = dtm;
+    cfg.sedation.recheckCycles = 100000;
+    cfg.sedation.ewmaShift = 6;
+    return cfg;
+}
+
+TEST(Simulator, RunsOneQuantum)
+{
+    Simulator sim(tinyConfig());
+    sim.setWorkload(0, synthesizeSpec("gzip"));
+    RunResult r = sim.run();
+    EXPECT_EQ(r.cycles, 400000u);
+    ASSERT_EQ(r.threads.size(), 1u);
+    EXPECT_EQ(r.threads[0].program, "gzip");
+    EXPECT_GT(r.threads[0].committed, 1000u);
+    EXPECT_GT(r.threads[0].ipc, 0.0);
+}
+
+TEST(Simulator, HaltedProgramEndsRunEarly)
+{
+    Simulator sim(tinyConfig());
+    Program p = assemble("addi r1, r0, 1\nhalt\n");
+    sim.setWorkload(0, std::move(p));
+    RunResult r = sim.run();
+    EXPECT_LT(r.cycles, 100000u);
+    EXPECT_EQ(r.threads[0].committed, 2u);
+}
+
+TEST(Simulator, TwoThreadResultsReported)
+{
+    Simulator sim(tinyConfig());
+    sim.setWorkload(0, synthesizeSpec("gzip"));
+    sim.setWorkload(1, synthesizeSpec("mesa"));
+    RunResult r = sim.run();
+    ASSERT_EQ(r.threads.size(), 2u);
+    EXPECT_EQ(r.threads[0].program, "gzip");
+    EXPECT_EQ(r.threads[1].program, "mesa");
+    EXPECT_GT(r.threads[0].committed, 0u);
+    EXPECT_GT(r.threads[1].committed, 0u);
+}
+
+TEST(Simulator, NormalRunHasNormalTemps)
+{
+    Simulator sim(tinyConfig());
+    sim.setWorkload(0, synthesizeSpec("gzip"));
+    RunResult r = sim.run();
+    EXPECT_EQ(r.emergencies, 0u);
+    EXPECT_GT(r.peakTempOverall, 330.0);
+    EXPECT_LT(r.peakTempOverall, 358.0);
+    EXPECT_GT(r.avgTotalPowerW, 10.0);
+    EXPECT_LT(r.avgTotalPowerW, 60.0);
+}
+
+TEST(Simulator, StallAccountingConsistent)
+{
+    Simulator sim(tinyConfig());
+    sim.setWorkload(0, synthesizeSpec("gzip"));
+    RunResult r = sim.run();
+    const ThreadResult &t = r.threads[0];
+    EXPECT_EQ(t.normalCycles + t.coolingCycles + t.sedationCycles,
+              r.cycles);
+}
+
+TEST(Simulator, TempTraceRecordsWhenEnabled)
+{
+    SimConfig cfg = tinyConfig();
+    cfg.recordTempTrace = true;
+    cfg.tempTraceInterval = 40000;
+    Simulator sim(cfg);
+    sim.setWorkload(0, synthesizeSpec("gzip"));
+    RunResult r = sim.run();
+    EXPECT_GE(r.tempTrace.size(), 8u);
+    for (const TempSample &s : r.tempTrace) {
+        EXPECT_GT(s.intRegTemp, 300.0);
+        EXPECT_GE(s.hottestTemp, s.intRegTemp - 1e-9);
+    }
+}
+
+TEST(Simulator, TraceDisabledByDefault)
+{
+    Simulator sim(tinyConfig());
+    sim.setWorkload(0, synthesizeSpec("gzip"));
+    RunResult r = sim.run();
+    EXPECT_TRUE(r.tempTrace.empty());
+}
+
+TEST(Simulator, DtmModeNoneNeverStalls)
+{
+    Simulator sim(tinyConfig(DtmMode::None));
+    sim.setWorkload(0, synthesizeSpec("gzip"));
+    RunResult r = sim.run();
+    EXPECT_EQ(r.threads[0].coolingCycles, 0u);
+    EXPECT_EQ(r.stopAndGoTriggers, 0u);
+}
+
+TEST(Simulator, SedationModeBuildsBothPolicies)
+{
+    Simulator sim(tinyConfig(DtmMode::SelectiveSedation));
+    EXPECT_NE(sim.sedationPolicy(), nullptr);
+    EXPECT_NE(sim.stopAndGoPolicy(), nullptr);
+}
+
+TEST(Simulator, StopAndGoModeHasNoSedation)
+{
+    Simulator sim(tinyConfig(DtmMode::StopAndGo));
+    EXPECT_EQ(sim.sedationPolicy(), nullptr);
+    EXPECT_NE(sim.stopAndGoPolicy(), nullptr);
+}
+
+TEST(Simulator, RejectsBadIntervals)
+{
+    SimConfig cfg = tinyConfig();
+    cfg.sensorInterval = 1500; // not a multiple of monitorInterval
+    EXPECT_DEATH(Simulator sim(cfg), "multiple");
+}
+
+TEST(Simulator, RejectsBadWorkloadThread)
+{
+    Simulator sim(tinyConfig());
+    EXPECT_DEATH(sim.setWorkload(5, synthesizeSpec("gzip")),
+                 "out of range");
+}
+
+TEST(Simulator, DtmModeNames)
+{
+    EXPECT_STREQ(dtmModeName(DtmMode::None), "none");
+    EXPECT_STREQ(dtmModeName(DtmMode::StopAndGo), "stop-and-go");
+    EXPECT_STREQ(dtmModeName(DtmMode::SelectiveSedation),
+                 "selective-sedation");
+    EXPECT_STREQ(dtmModeName(DtmMode::DvfsThrottle), "dvfs-throttle");
+}
+
+} // namespace
+} // namespace hs

@@ -1,0 +1,80 @@
+/** @file Unit tests for the statistics registry. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace hs {
+namespace {
+
+TEST(StatScalar, IncrementsAndResets)
+{
+    StatScalar s("count", "a counter");
+    EXPECT_EQ(s.value(), 0.0);
+    s.inc();
+    s.inc(2.5);
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(StatDistribution, TracksMoments)
+{
+    StatDistribution d("lat", "latency");
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 4.0);
+    EXPECT_NEAR(d.variance(), 1.25, 1e-12);
+}
+
+TEST(StatDistribution, EmptyIsSafe)
+{
+    StatDistribution d("x", "");
+    EXPECT_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.min(), 0.0);
+    EXPECT_EQ(d.max(), 0.0);
+    EXPECT_EQ(d.variance(), 0.0);
+}
+
+TEST(StatGroup, DumpContainsNamesAndValues)
+{
+    StatScalar s("ipc", "instructions per cycle");
+    s.set(1.5);
+    StatDistribution d("temp", "block temperature");
+    d.sample(300);
+    d.sample(310);
+
+    StatGroup group("core0");
+    group.add(&s);
+    group.add(&d);
+
+    std::ostringstream os;
+    group.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("core0.ipc"), std::string::npos);
+    EXPECT_NE(out.find("1.5"), std::string::npos);
+    EXPECT_NE(out.find("core0.temp"), std::string::npos);
+    EXPECT_NE(out.find("mean=305"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllClearsEverything)
+{
+    StatScalar s("a", "");
+    s.inc(5);
+    StatDistribution d("b", "");
+    d.sample(1);
+    StatGroup group("g");
+    group.add(&s);
+    group.add(&d);
+    group.resetAll();
+    EXPECT_EQ(s.value(), 0.0);
+    EXPECT_EQ(d.count(), 0u);
+}
+
+} // namespace
+} // namespace hs

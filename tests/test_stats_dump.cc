@@ -1,0 +1,71 @@
+/** @file Tests for the simulator's full statistics dump. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace hs {
+namespace {
+
+TEST(StatsDump, ContainsAllSections)
+{
+    ExperimentOptions opts;
+    opts.timeScale = 500.0;
+    opts.dtm = DtmMode::SelectiveSedation;
+    Simulator sim(makeSimConfig(opts));
+    sim.setWorkload(0, synthesizeSpec("gzip"));
+    sim.setWorkload(1, synthesizeSpec("mesa"));
+    sim.run();
+
+    std::ostringstream os;
+    sim.dumpStats(os);
+    std::string out = os.str();
+
+    for (const char *needle :
+         {"sim.cycles", "sim.avg_power_w", "thread0.committed",
+          "thread0.ipc", "thread1.committed", "mem.l1d.miss_rate",
+          "mem.l2.misses", "bpred.accuracy", "thermal.IntReg.peak_k",
+          "dtm.stop_and_go.triggers", "dtm.sedation.events"}) {
+        EXPECT_NE(out.find(needle), std::string::npos)
+            << "missing stat " << needle;
+    }
+    // Program names appear as descriptions.
+    EXPECT_NE(out.find("gzip"), std::string::npos);
+    EXPECT_NE(out.find("mesa"), std::string::npos);
+}
+
+TEST(StatsDump, ValuesConsistentWithRunResult)
+{
+    ExperimentOptions opts;
+    opts.timeScale = 500.0;
+    Simulator sim(makeSimConfig(opts));
+    sim.setWorkload(0, synthesizeSpec("gzip"));
+    RunResult r = sim.run();
+
+    std::ostringstream os;
+    sim.dumpStats(os);
+    std::string out = os.str();
+
+    // The cycle count printed must match the result record.
+    std::string cycles = std::to_string(r.cycles);
+    EXPECT_NE(out.find(cycles), std::string::npos);
+    std::string committed = std::to_string(r.threads[0].committed);
+    EXPECT_NE(out.find(committed), std::string::npos);
+}
+
+TEST(StatsDump, IdleThreadsOmitted)
+{
+    ExperimentOptions opts;
+    opts.timeScale = 500.0;
+    Simulator sim(makeSimConfig(opts));
+    sim.setWorkload(0, synthesizeSpec("gzip")); // thread 1 unbound
+    sim.run();
+    std::ostringstream os;
+    sim.dumpStats(os);
+    EXPECT_EQ(os.str().find("thread1."), std::string::npos);
+}
+
+} // namespace
+} // namespace hs

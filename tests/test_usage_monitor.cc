@@ -1,0 +1,151 @@
+/** @file Unit tests for the per-thread usage monitor (Section 3.2.1). */
+
+#include <gtest/gtest.h>
+
+#include "core/usage_monitor.hh"
+
+namespace hs {
+namespace {
+
+TEST(UsageMonitor, FirstSampleBindsWithoutCounting)
+{
+    ActivityCounters ac(2);
+    UsageMonitor mon(2, 7);
+    ac.record(0, Block::IntReg, 999); // pre-existing counts
+    mon.sample(ac, {false, false});   // binding sample
+    EXPECT_EQ(mon.weightedAvg(0, Block::IntReg), 0.0);
+}
+
+TEST(UsageMonitor, TracksSteadyRate)
+{
+    ActivityCounters ac(1);
+    UsageMonitor mon(1, 7);
+    mon.sample(ac, {false});
+    for (int i = 0; i < 2000; ++i) {
+        ac.record(0, Block::IntReg, 1000); // 1000 accesses / window
+        mon.sample(ac, {false});
+    }
+    EXPECT_NEAR(mon.weightedAvg(0, Block::IntReg), 1000.0, 10.0);
+    EXPECT_NEAR(mon.flatAvg(0, Block::IntReg), 1000.0, 1.0);
+}
+
+TEST(UsageMonitor, SeparatesAttackerFromVictim)
+{
+    // The core claim of Section 3.2: after a hammer burst, the
+    // attacker's weighted average is distinctly above the victim's.
+    ActivityCounters ac(2);
+    UsageMonitor mon(2, 7);
+    mon.sample(ac, {false, false});
+    for (int i = 0; i < 600; ++i) {
+        ac.record(0, Block::IntReg, 4000);  // victim: 4/cycle
+        ac.record(1, Block::IntReg, 12000); // attacker: 12/cycle
+        mon.sample(ac, {false, false});
+    }
+    std::vector<bool> eligible{true, true};
+    EXPECT_EQ(mon.highestUsage(Block::IntReg, eligible), 1);
+    EXPECT_GT(mon.weightedAvg(1, Block::IntReg),
+              2.0 * mon.weightedAvg(0, Block::IntReg));
+}
+
+TEST(UsageMonitor, FlatAverageHidesBurstsButEwmaDoesNot)
+{
+    // Section 3.2.1's argument: a victim with a steady rate can have a
+    // HIGHER flat average than a bursty attacker, yet the weighted
+    // average must still finger the attacker right after its burst.
+    ActivityCounters ac(2);
+    UsageMonitor mon(2, 7);
+    mon.sample(ac, {false, false});
+    // 5000 quiet windows for the attacker, steady victim.
+    for (int i = 0; i < 5000; ++i) {
+        ac.record(0, Block::IntReg, 5000);
+        mon.sample(ac, {false, false});
+    }
+    // Burst: 300 windows of hammering.
+    for (int i = 0; i < 300; ++i) {
+        ac.record(0, Block::IntReg, 5000);
+        ac.record(1, Block::IntReg, 12000);
+        mon.sample(ac, {false, false});
+    }
+    EXPECT_GT(mon.flatAvg(0, Block::IntReg),
+              mon.flatAvg(1, Block::IntReg))
+        << "flat average should (wrongly) rank the victim higher";
+    std::vector<bool> eligible{true, true};
+    EXPECT_EQ(mon.highestUsage(Block::IntReg, eligible), 1)
+        << "weighted average must identify the attacker";
+}
+
+TEST(UsageMonitor, FrozenThreadKeepsItsAverage)
+{
+    // Section 3.2.2: sedation must not wash out the culprit's average.
+    ActivityCounters ac(2);
+    UsageMonitor mon(2, 7);
+    mon.sample(ac, {false, false});
+    for (int i = 0; i < 600; ++i) {
+        ac.record(1, Block::IntReg, 12000);
+        mon.sample(ac, {false, false});
+    }
+    double before = mon.weightedAvg(1, Block::IntReg);
+    // Thread 1 sedated: its (zero) activity must not be folded in.
+    for (int i = 0; i < 600; ++i)
+        mon.sample(ac, {false, true});
+    EXPECT_DOUBLE_EQ(mon.weightedAvg(1, Block::IntReg), before);
+}
+
+TEST(UsageMonitor, UnfrozenZeroActivityDecays)
+{
+    ActivityCounters ac(1);
+    UsageMonitor mon(1, 7);
+    mon.sample(ac, {false});
+    for (int i = 0; i < 600; ++i) {
+        ac.record(0, Block::IntReg, 8000);
+        mon.sample(ac, {false});
+    }
+    double before = mon.weightedAvg(0, Block::IntReg);
+    for (int i = 0; i < 600; ++i)
+        mon.sample(ac, {false});
+    EXPECT_LT(mon.weightedAvg(0, Block::IntReg), before / 10);
+}
+
+TEST(UsageMonitor, HighestUsageRespectsEligibility)
+{
+    ActivityCounters ac(2);
+    UsageMonitor mon(2, 7);
+    mon.sample(ac, {false, false});
+    for (int i = 0; i < 300; ++i) {
+        ac.record(0, Block::IntReg, 2000);
+        ac.record(1, Block::IntReg, 9000);
+        mon.sample(ac, {false, false});
+    }
+    EXPECT_EQ(mon.highestUsage(Block::IntReg, {true, false}), 0);
+    EXPECT_EQ(mon.highestUsage(Block::IntReg, {false, false}),
+              invalidThreadId);
+}
+
+TEST(UsageMonitor, PerResourceIndependence)
+{
+    ActivityCounters ac(1);
+    UsageMonitor mon(1, 7);
+    mon.sample(ac, {false});
+    for (int i = 0; i < 300; ++i) {
+        ac.record(0, Block::IntReg, 5000);
+        mon.sample(ac, {false});
+    }
+    EXPECT_GT(mon.weightedAvg(0, Block::IntReg), 1000.0);
+    EXPECT_EQ(mon.weightedAvg(0, Block::Dcache), 0.0);
+}
+
+TEST(UsageMonitor, ResetClearsState)
+{
+    ActivityCounters ac(1);
+    UsageMonitor mon(1, 7);
+    mon.sample(ac, {false});
+    ac.record(0, Block::IntReg, 5000);
+    mon.sample(ac, {false});
+    mon.reset();
+    EXPECT_EQ(mon.weightedAvg(0, Block::IntReg), 0.0);
+    EXPECT_EQ(mon.flatAvg(0, Block::IntReg), 0.0);
+    EXPECT_EQ(mon.samplesTaken(), 0u);
+}
+
+} // namespace
+} // namespace hs

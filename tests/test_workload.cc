@@ -1,0 +1,181 @@
+/** @file Tests for the synthetic SPEC-like workload generator. */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "smt/pipeline.hh"
+#include "workload/generator.hh"
+
+namespace hs {
+namespace {
+
+TEST(Workload, SuiteHasEighteenProfiles)
+{
+    EXPECT_EQ(specSuite().size(), 18u);
+    std::set<std::string> names;
+    for (const SpecProfile &p : specSuite())
+        names.insert(p.name);
+    EXPECT_EQ(names.size(), specSuite().size()) << "duplicate names";
+}
+
+TEST(Workload, PaperFigureSubsetExists)
+{
+    for (const std::string &name : paperFigureBenchmarks()) {
+        const SpecProfile &p = specProfile(name);
+        EXPECT_EQ(p.name, name);
+    }
+}
+
+TEST(Workload, UnknownProfileIsFatal)
+{
+    EXPECT_DEATH(specProfile("not-a-benchmark"), "unknown");
+}
+
+TEST(Workload, GenerationIsDeterministic)
+{
+    Program a = synthesizeSpec("gcc");
+    Program b = synthesizeSpec("gcc");
+    ASSERT_EQ(a.size(), b.size());
+    for (uint64_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.fetch(i).op, b.fetch(i).op) << "at " << i;
+        EXPECT_EQ(a.fetch(i).rd, b.fetch(i).rd) << "at " << i;
+        EXPECT_EQ(a.fetch(i).imm, b.fetch(i).imm) << "at " << i;
+    }
+}
+
+TEST(Workload, DifferentBenchmarksDiffer)
+{
+    Program a = synthesizeSpec("gcc");
+    Program b = synthesizeSpec("mcf");
+    bool differ = a.size() != b.size();
+    for (uint64_t i = 0; !differ && i < a.size(); ++i)
+        differ = a.fetch(i).op != b.fetch(i).op;
+    EXPECT_TRUE(differ);
+}
+
+TEST(Workload, ProgramsLoopForever)
+{
+    // The last instruction must be a jump back to the top.
+    for (const SpecProfile &p : specSuite()) {
+        Program prog = synthesizeSpec(p);
+        const Instruction &last = prog.fetch(prog.size() - 1);
+        EXPECT_EQ(last.op, Opcode::Jmp) << p.name;
+        EXPECT_EQ(last.target, 0u) << p.name;
+    }
+}
+
+TEST(Workload, BranchTargetsInRange)
+{
+    for (const SpecProfile &p : specSuite()) {
+        Program prog = synthesizeSpec(p);
+        for (uint64_t i = 0; i < prog.size(); ++i) {
+            const Instruction &inst = prog.fetch(i);
+            if (inst.isControl()) {
+                EXPECT_LT(inst.target, prog.size())
+                    << p.name << " @" << i;
+            }
+        }
+    }
+}
+
+TEST(Workload, MixRoughlyMatchesProfile)
+{
+    const SpecProfile &p = specProfile("gcc");
+    Program prog = synthesizeSpec(p);
+    uint64_t loads = 0, stores = 0;
+    for (uint64_t i = 0; i < prog.size(); ++i) {
+        InstClass c = prog.fetch(i).instClass();
+        loads += c == InstClass::Load;
+        stores += c == InstClass::Store;
+    }
+    // One emission slot expands to >1 instruction and every
+    // branchEvery-th slot is a branch, so compare against the
+    // branch-adjusted slot budget with sampling tolerance.
+    double mix_slots = p.bodySize * (1.0 - 1.0 / p.branchEvery);
+    double load_share = static_cast<double>(loads) / mix_slots;
+    EXPECT_NEAR(load_share, p.loadFraction,
+                0.5 * p.loadFraction + 0.03);
+    double store_share = static_cast<double>(stores) / mix_slots;
+    EXPECT_NEAR(store_share, p.storeFraction,
+                0.5 * p.storeFraction + 0.03);
+}
+
+TEST(Workload, FpProfilesEmitFpWork)
+{
+    Program fp = synthesizeSpec("applu");
+    Program intp = synthesizeSpec("gcc");
+    auto count_fp = [](const Program &prog) {
+        uint64_t n = 0;
+        for (uint64_t i = 0; i < prog.size(); ++i) {
+            InstClass c = prog.fetch(i).instClass();
+            n += c == InstClass::FpAdd || c == InstClass::FpMul ||
+                 c == InstClass::FpDiv;
+        }
+        return n;
+    };
+    EXPECT_GT(count_fp(fp), 20u);
+    EXPECT_EQ(count_fp(intp), 0u);
+}
+
+TEST(Workload, AllProfilesRunOnThePipeline)
+{
+    // Every generated program must execute without panics and make
+    // steady progress.
+    for (const SpecProfile &p : specSuite()) {
+        Program prog = synthesizeSpec(p);
+        SmtParams params;
+        params.numThreads = 1;
+        Pipeline pipe(params);
+        pipe.setThreadProgram(0, &prog);
+        for (int i = 0; i < 30000; ++i)
+            pipe.tick();
+        EXPECT_GT(pipe.committed(0), 300u) << p.name;
+    }
+}
+
+TEST(Workload, IpcDiversityAcrossSuite)
+{
+    // The suite must span low-IPC (mcf-like) to high-IPC programs —
+    // the diversity Figures 3 and 5 rely on.
+    double lo = 1e9, hi = 0;
+    for (const char *name : {"mcf", "gcc", "crafty", "applu"}) {
+        Program prog = synthesizeSpec(name);
+        SmtParams params;
+        params.numThreads = 1;
+        Pipeline pipe(params);
+        pipe.setThreadProgram(0, &prog);
+        for (int i = 0; i < 2000000; ++i)
+            pipe.tick();
+        double ipc = pipe.ipc(0);
+        lo = std::min(lo, ipc);
+        hi = std::max(hi, ipc);
+    }
+    EXPECT_LT(lo, 0.4) << "need a memory-bound benchmark";
+    EXPECT_GT(hi, 1.5) << "need a high-ILP benchmark";
+    EXPECT_GT(hi / lo, 4.0);
+}
+
+TEST(Workload, CustomSeedChangesProgram)
+{
+    Program a = synthesizeSpec(specProfile("gzip"), 1);
+    Program b = synthesizeSpec(specProfile("gzip"), 2);
+    bool differ = a.size() != b.size();
+    for (uint64_t i = 0; !differ && i < a.size(); ++i)
+        differ = a.fetch(i).op != b.fetch(i).op ||
+                 a.fetch(i).rd != b.fetch(i).rd;
+    EXPECT_TRUE(differ);
+}
+
+TEST(Workload, RejectsDegenerateProfiles)
+{
+    SpecProfile p = specProfile("gcc");
+    p.bodySize = 2;
+    EXPECT_DEATH(synthesizeSpec(p), "body");
+    p = specProfile("gcc");
+    p.footprintLog2 = 40;
+    EXPECT_DEATH(synthesizeSpec(p), "footprint");
+}
+
+} // namespace
+} // namespace hs

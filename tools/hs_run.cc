@@ -1,0 +1,239 @@
+/**
+ * @file
+ * hs_run — command-line driver for the heat-stroke simulator.
+ *
+ * Runs an arbitrary workload mix for one OS quantum and prints the
+ * per-thread results plus (optionally) the full statistics dump or a
+ * temperature-trace CSV.
+ *
+ * Usage:
+ *   hs_run [options]
+ * Options:
+ *   --spec NAME          add a synthetic SPEC thread (repeatable)
+ *   --variant N          add malicious variant N in {1..4} (repeatable)
+ *   --asm FILE           add a thread assembled from FILE (repeatable)
+ *   --dtm MODE           none|stopgo|sedation|dvfs|fetchgate
+ *                        (default stopgo)
+ *   --sink ideal|real    heat sink model (default real)
+ *   --scale S            time scale (default 50; 1 = paper scale)
+ *   --conv R             convection resistance K/W (default 0.8)
+ *   --upper K --lower K  sedation thresholds (default 356 / 355)
+ *   --noise K            sensor noise amplitude (default 0)
+ *   --deschedule N       OS extension: deschedule after N reports
+ *   --trace FILE         write temperature trace CSV
+ *   --stats              dump full statistics after the run
+ *   --list               list available SPEC profiles and exit
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hh"
+#include "sim/experiment.hh"
+
+namespace {
+
+using namespace hs;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--spec NAME]... [--variant N]... "
+                 "[--asm FILE]...\n"
+                 "       [--dtm none|stopgo|sedation|dvfs|fetchgate] "
+                 "[--sink ideal|real]\n"
+                 "       [--scale S] [--conv R] [--upper K] "
+                 "[--lower K] [--noise K]\n"
+                 "       [--deschedule N] [--trace FILE] [--stats] "
+                 "[--list]\n",
+                 argv0);
+    std::exit(2);
+}
+
+DtmMode
+parseDtm(const std::string &s)
+{
+    if (s == "none")
+        return DtmMode::None;
+    if (s == "stopgo" || s == "stop-and-go")
+        return DtmMode::StopAndGo;
+    if (s == "sedation")
+        return DtmMode::SelectiveSedation;
+    if (s == "dvfs")
+        return DtmMode::DvfsThrottle;
+    if (s == "fetchgate" || s == "fetch-gating")
+        return DtmMode::FetchGating;
+    fatal("unknown DTM mode '%s'", s.c_str());
+}
+
+Program
+loadAsm(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open assembly file '%s'", path.c_str());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    Program p = assemble(buf.str(), path);
+    p.setInitReg(24, 7);
+    p.setInitReg(25, 13);
+    return p;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    struct WorkSpec
+    {
+        enum class Kind { Spec, Variant, Asm } kind;
+        std::string name;
+        int variant = 0;
+    };
+    std::vector<WorkSpec> specs;
+    ExperimentOptions opts;
+    opts.timeScale = envTimeScale(50.0);
+    opts.dtm = DtmMode::StopAndGo;
+    double noise = 0.0;
+    int deschedule = 0;
+    std::string trace_path;
+    bool dump_stats = false;
+
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--spec") {
+            specs.push_back({WorkSpec::Kind::Spec, need(i), 0});
+        } else if (arg == "--variant") {
+            specs.push_back(
+                {WorkSpec::Kind::Variant, "", std::atoi(need(i))});
+        } else if (arg == "--asm") {
+            specs.push_back({WorkSpec::Kind::Asm, need(i), 0});
+        } else if (arg == "--dtm") {
+            opts.dtm = parseDtm(need(i));
+        } else if (arg == "--sink") {
+            std::string s = need(i);
+            opts.sink = s == "ideal" ? SinkType::Ideal
+                                     : SinkType::Realistic;
+        } else if (arg == "--scale") {
+            opts.timeScale = std::atof(need(i));
+        } else if (arg == "--conv") {
+            opts.convectionR = std::atof(need(i));
+        } else if (arg == "--upper") {
+            opts.upperThreshold = std::atof(need(i));
+        } else if (arg == "--lower") {
+            opts.lowerThreshold = std::atof(need(i));
+        } else if (arg == "--noise") {
+            noise = std::atof(need(i));
+        } else if (arg == "--deschedule") {
+            deschedule = std::atoi(need(i));
+        } else if (arg == "--trace") {
+            trace_path = need(i);
+            opts.recordTempTrace = true;
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--list") {
+            for (const SpecProfile &p : specSuite())
+                std::printf("%s\n", p.name.c_str());
+            return 0;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (specs.empty()) {
+        std::fprintf(stderr, "no workloads given; try --spec gcc "
+                             "--variant 2\n");
+        usage(argv[0]);
+    }
+
+    // Build workloads only after every option (notably --scale) is
+    // parsed, so malicious phase lengths scale correctly.
+    std::vector<Program> workloads;
+    for (const WorkSpec &w : specs) {
+        switch (w.kind) {
+          case WorkSpec::Kind::Spec:
+            workloads.push_back(synthesizeSpec(w.name));
+            break;
+          case WorkSpec::Kind::Variant:
+            workloads.push_back(makeVariant(
+                w.variant, MaliciousParams{}.scaled(opts.timeScale)));
+            break;
+          case WorkSpec::Kind::Asm:
+            workloads.push_back(loadAsm(w.name));
+            break;
+        }
+    }
+
+    SimConfig cfg = makeSimConfig(opts);
+    cfg.sensorNoiseK = noise;
+    if (deschedule > 0) {
+        cfg.descheduleRepeatOffenders = true;
+        cfg.offenderPolicy.reportsBeforeDeschedule = deschedule;
+    }
+    if (static_cast<int>(workloads.size()) > cfg.smt.numThreads)
+        cfg.smt.numThreads = static_cast<int>(workloads.size());
+
+    Simulator sim(cfg);
+    for (size_t t = 0; t < workloads.size(); ++t)
+        sim.setWorkload(static_cast<ThreadId>(t),
+                        std::move(workloads[t]));
+
+    RunResult r = sim.run();
+
+    std::printf("quantum: %llu cycles (scale 1/%g), dtm=%s, "
+                "power=%.1fW, peak=%.2fK (%s), emergencies=%llu\n",
+                static_cast<unsigned long long>(r.cycles),
+                opts.timeScale, dtmModeName(cfg.dtm),
+                r.avgTotalPowerW, r.peakTempOverall,
+                blockName(r.hottestBlock),
+                static_cast<unsigned long long>(r.emergencies));
+    TablePrinter table(std::cout);
+    table.header({"thread", "program", "IPC", "IntReg/cyc", "normal%",
+                  "cooling%", "sedated%"});
+    for (size_t t = 0; t < r.threads.size(); ++t) {
+        const ThreadResult &tr = r.threads[t];
+        table.row({std::to_string(t), tr.program,
+                   TablePrinter::num(tr.ipc),
+                   TablePrinter::num(tr.intRegAccessRate),
+                   TablePrinter::num(r.normalFraction(t) * 100, 1),
+                   TablePrinter::num(r.coolingFraction(t) * 100, 1),
+                   TablePrinter::num(r.sedationFraction(t) * 100, 1)});
+    }
+    if (!r.sedationEvents.empty()) {
+        std::printf("%zu sedation action(s); first at cycle %llu "
+                    "(thread %d, %s)\n",
+                    r.sedationEvents.size(),
+                    static_cast<unsigned long long>(
+                        r.sedationEvents[0].cycle),
+                    r.sedationEvents[0].thread,
+                    blockName(r.sedationEvents[0].resource));
+    }
+    for (ThreadId t : r.descheduledThreads)
+        std::printf("OS descheduled repeat offender: thread %d\n", t);
+
+    if (!trace_path.empty()) {
+        std::ofstream csv(trace_path);
+        csv << "cycle,intreg_K,hottest_K,sink_K\n";
+        for (const TempSample &s : r.tempTrace)
+            csv << s.cycle << "," << s.intRegTemp << ","
+                << s.hottestTemp << "," << s.sinkTemp << "\n";
+        std::printf("wrote %zu trace samples to %s\n",
+                    r.tempTrace.size(), trace_path.c_str());
+    }
+    if (dump_stats)
+        sim.dumpStats(std::cout);
+    return 0;
+}
