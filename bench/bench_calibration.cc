@@ -7,16 +7,15 @@
  * The paper reports ~1.2 ms to heat the register file to emergency,
  * ~12.5 ms to cool, and a duty cycle of 1.2/(1.2+12) ~= 0.088.
  * These are pure thermal-model measurements at paper scale (no
- * pipeline), so this bench is fast regardless of HS_SCALE.
+ * pipeline), so this bench is fast regardless of HS_SCALE and needs no
+ * simulation matrix.
  */
-
-#include <benchmark/benchmark.h>
 
 #include <cstdio>
 
-#include "bench_util.hh"
 #include "core/stop_and_go.hh"
 #include "power/energy_model.hh"
+#include "sim/experiment.hh"
 #include "thermal/thermal_model.hh"
 
 namespace {
@@ -79,21 +78,6 @@ measure()
 }
 
 void
-BM_HeatStrokeThermalCycle(benchmark::State &state)
-{
-    CalibResult r;
-    for (auto _ : state)
-        r = measure();
-    state.counters["heat_up_ms"] = r.heatUpMs;
-    state.counters["cool_down_ms"] = r.coolDownMs;
-    state.counters["duty_cycle"] = r.dutyCycle;
-    state.counters["normal_K"] = r.normalTemp;
-    state.counters["attack_ss_K"] = r.attackSteady;
-}
-BENCHMARK(BM_HeatStrokeThermalCycle)->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
-
-void
 printTables()
 {
     std::printf("\n=== Table 1: system parameters (as configured) ===\n");
@@ -142,10 +126,8 @@ printTables()
 } // namespace
 
 int
-main(int argc, char **argv)
+main()
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
     printTables();
     return 0;
 }

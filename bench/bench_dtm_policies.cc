@@ -9,14 +9,15 @@
  * The point of the paper in one table: every *global* mechanism
  * (stop-and-go, DVFS throttling) punishes the victim for the
  * attacker's heat; only the thread-selective mechanism isolates it.
+ *
+ * The matrix is declared as RunSpecs and dispatched to the parallel
+ * engine (HS_JOBS workers).
  */
-
-#include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <vector>
 
-#include "bench_util.hh"
+#include "sim/runner.hh"
 
 namespace {
 
@@ -31,53 +32,17 @@ struct Entry
     double powerW = 0;
 };
 
-std::vector<Entry> g_entries;
-double g_solo = 0;
-
 void
-BM_Policy(benchmark::State &state, const char *label, DtmMode mode)
-{
-    Entry e;
-    e.label = label;
-    for (auto _ : state) {
-        ExperimentOptions opts = hsbench::baseOptions();
-        opts.dtm = mode;
-        RunResult r = runWithVariant("gcc", 2, opts);
-        e.victim = r.threads[0].ipc;
-        e.attacker = r.threads[1].ipc;
-        e.emergencies = r.emergencies;
-        e.victimStallPct = (r.coolingFraction(0) +
-                            r.sedationFraction(0)) * 100;
-        e.powerW = r.avgTotalPowerW;
-    }
-    g_entries.push_back(e);
-    state.counters["victim_ipc"] = e.victim;
-    state.counters["emergencies"] = static_cast<double>(e.emergencies);
-}
-
-void
-BM_Solo(benchmark::State &state)
-{
-    for (auto _ : state) {
-        ExperimentOptions opts = hsbench::baseOptions();
-        opts.dtm = DtmMode::StopAndGo;
-        g_solo = runSolo("gcc", opts).threads[0].ipc;
-    }
-    state.counters["solo_ipc"] = g_solo;
-}
-
-void
-printTable()
+printTable(const std::vector<Entry> &entries, double solo)
 {
     std::printf("\n=== DTM policy ablation (gcc + variant2; solo gcc "
-                "IPC %.2f) ===\n", g_solo);
+                "IPC %.2f) ===\n", solo);
     std::printf("%-20s %10s %12s %12s %14s %8s\n", "policy",
                 "victim IPC", "degradation", "attacker IPC",
                 "victim stall", "power");
-    for (const Entry &e : g_entries) {
+    for (const Entry &e : entries) {
         std::printf("%-20s %10.2f %11.1f%% %12.2f %13.1f%% %7.1fW\n",
-                    e.label, e.victim,
-                    hsbench::degradationPct(g_solo, e.victim),
+                    e.label, e.victim, degradationPct(solo, e.victim),
                     e.attacker, e.victimStallPct, e.powerW);
     }
     std::printf("\nglobal mechanisms (stop-and-go, DVFS) transfer the "
@@ -88,29 +53,41 @@ printTable()
 } // namespace
 
 int
-main(int argc, char **argv)
+main()
 {
-    benchmark::RegisterBenchmark("dtm/solo_baseline", BM_Solo)
-        ->Iterations(1)->Unit(benchmark::kMillisecond);
-    benchmark::RegisterBenchmark("dtm/none", BM_Policy, "none (unsafe)",
-                                 DtmMode::None)
-        ->Iterations(1)->Unit(benchmark::kMillisecond);
-    benchmark::RegisterBenchmark("dtm/stop_and_go", BM_Policy,
-                                 "stop-and-go", DtmMode::StopAndGo)
-        ->Iterations(1)->Unit(benchmark::kMillisecond);
-    benchmark::RegisterBenchmark("dtm/dvfs_throttle", BM_Policy,
-                                 "dvfs-throttle",
-                                 DtmMode::DvfsThrottle)
-        ->Iterations(1)->Unit(benchmark::kMillisecond);
-    benchmark::RegisterBenchmark("dtm/fetch_gating", BM_Policy,
-                                 "fetch-gating", DtmMode::FetchGating)
-        ->Iterations(1)->Unit(benchmark::kMillisecond);
-    benchmark::RegisterBenchmark("dtm/selective_sedation", BM_Policy,
-                                 "selective-sedation",
-                                 DtmMode::SelectiveSedation)
-        ->Iterations(1)->Unit(benchmark::kMillisecond);
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printTable();
+    const std::pair<const char *, DtmMode> policies[] = {
+        {"none (unsafe)", DtmMode::None},
+        {"stop-and-go", DtmMode::StopAndGo},
+        {"dvfs-throttle", DtmMode::DvfsThrottle},
+        {"fetch-gating", DtmMode::FetchGating},
+        {"selective-sedation", DtmMode::SelectiveSedation},
+    };
+
+    ExperimentOptions base = ExperimentOptions::fromEnv();
+    base.dtm = DtmMode::StopAndGo;
+
+    std::vector<RunSpec> specs;
+    specs.push_back(soloSpec("gcc", base));
+    for (const auto &[label, mode] : policies)
+        specs.push_back(withVariantSpec("gcc", 2, base).withDtm(mode));
+
+    std::vector<RunResult> results = runMatrix(specs);
+
+    double solo = results[0].threads[0].ipc;
+    std::vector<Entry> entries;
+    size_t k = 1;
+    for (const auto &[label, mode] : policies) {
+        const RunResult &r = results[k++];
+        Entry e;
+        e.label = label;
+        e.victim = r.threads[0].ipc;
+        e.attacker = r.threads[1].ipc;
+        e.emergencies = r.emergencies;
+        e.victimStallPct =
+            (r.coolingFraction(0) + r.sedationFraction(0)) * 100;
+        e.powerW = r.avgTotalPowerW;
+        entries.push_back(e);
+    }
+    printTable(entries, solo);
     return 0;
 }

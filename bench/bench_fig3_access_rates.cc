@@ -11,14 +11,17 @@
  * average — the motivation for the weighted-average monitor
  * (Section 5.1). The table also prints each program's weighted-average
  * ranking signal right after its hottest burst for contrast.
+ *
+ * The matrix is declared as RunSpecs and dispatched to the parallel
+ * engine (HS_JOBS workers).
  */
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
 #include <cstdio>
 #include <map>
+#include <vector>
 
-#include "bench_util.hh"
+#include "sim/runner.hh"
 
 namespace {
 
@@ -30,42 +33,15 @@ struct Row
     double ipc = 0;
 };
 
-std::map<std::string, Row> g_rows;
-
-Row
-soloRate(const std::string &label, int variant)
-{
-    ExperimentOptions opts = hsbench::baseOptions();
-    opts.dtm = DtmMode::StopAndGo;
-    RunResult r = variant == 0
-                      ? runSolo(label, opts)
-                      : runMaliciousSolo(variant, opts);
-    Row row;
-    row.flatRate = r.threads[0].intRegAccessRate;
-    row.ipc = r.threads[0].ipc;
-    return row;
-}
-
 void
-BM_AccessRate(benchmark::State &state, std::string label, int variant)
-{
-    Row row;
-    for (auto _ : state)
-        row = soloRate(label, variant);
-    g_rows[label] = row;
-    state.counters["intreg_per_cycle"] = row.flatRate;
-    state.counters["ipc"] = row.ipc;
-}
-
-void
-printTable()
+printTable(const std::map<std::string, Row> &rows)
 {
     std::printf("\n=== Figure 3: avg integer register-file accesses "
                 "per cycle (solo, one OS quantum) ===\n");
     std::printf("%-12s %18s %8s\n", "program", "IntReg acc/cycle",
                 "IPC");
     double spec_max = 0;
-    for (const auto &[name, row] : g_rows) {
+    for (const auto &[name, row] : rows) {
         std::printf("%-12s %18.2f %8.2f\n", name.c_str(), row.flatRate,
                     row.ipc);
         if (name.rfind("variant", 0) != 0)
@@ -74,29 +50,33 @@ printTable()
     std::printf("\nSPEC max = %.2f; paper shape: SPEC < ~6, variant1 "
                 "widely above, variant2/variant3 inside the SPEC "
                 "range.\n", spec_max);
-    if (g_rows.count("variant1"))
+    auto v1 = rows.find("variant1");
+    if (v1 != rows.end())
         std::printf("variant1 / SPEC-max separation: %.2fx\n",
-                    g_rows["variant1"].flatRate / spec_max);
+                    v1->second.flatRate / spec_max);
 }
 
 } // namespace
 
 int
-main(int argc, char **argv)
+main()
 {
-    for (const std::string &name : hsbench::benchmarkSet()) {
-        benchmark::RegisterBenchmark(("fig3/" + name).c_str(),
-                                     BM_AccessRate, name, 0)
-            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    ExperimentOptions opts = ExperimentOptions::fromEnv();
+    opts.dtm = DtmMode::StopAndGo;
+
+    std::vector<RunSpec> specs;
+    for (const std::string &name : benchmarkSet())
+        specs.push_back(soloSpec(name, opts));
+    for (int v = 1; v <= 3; ++v)
+        specs.push_back(maliciousSoloSpec(v, opts));
+
+    std::vector<RunResult> results = runMatrix(specs);
+
+    std::map<std::string, Row> rows;
+    for (size_t i = 0; i < specs.size(); ++i) {
+        rows[specs[i].label] = {results[i].threads[0].intRegAccessRate,
+                                results[i].threads[0].ipc};
     }
-    for (int v = 1; v <= 3; ++v) {
-        benchmark::RegisterBenchmark(
-            ("fig3/variant" + std::to_string(v)).c_str(),
-            BM_AccessRate, "variant" + std::to_string(v), v)
-            ->Iterations(1)->Unit(benchmark::kMillisecond);
-    }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printTable();
+    printTable(rows);
     return 0;
 }

@@ -9,14 +9,16 @@
  * variant2 raises the count to at least 8 (a >4x average increase);
  * selective sedation restores the count to (approximately) the solo
  * level.
+ *
+ * The matrix is declared as RunSpecs and dispatched to the parallel
+ * engine (HS_JOBS workers).
  */
-
-#include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <map>
+#include <vector>
 
-#include "bench_util.hh"
+#include "sim/runner.hh"
 
 namespace {
 
@@ -29,36 +31,15 @@ struct Row
     uint64_t sedated = 0;
 };
 
-std::map<std::string, Row> g_rows;
-
 void
-BM_Emergencies(benchmark::State &state, std::string name)
-{
-    Row row;
-    for (auto _ : state) {
-        ExperimentOptions opts = hsbench::baseOptions();
-        opts.dtm = DtmMode::StopAndGo;
-        row.solo = runSolo(name, opts).emergencies;
-        row.attacked = runWithVariant(name, 2, opts).emergencies;
-        opts.dtm = DtmMode::SelectiveSedation;
-        row.sedated = runWithVariant(name, 2, opts).emergencies;
-    }
-    g_rows[name] = row;
-    state.counters["solo"] = static_cast<double>(row.solo);
-    state.counters["with_v2_stopgo"] = static_cast<double>(row.attacked);
-    state.counters["with_v2_sedation"] =
-        static_cast<double>(row.sedated);
-}
-
-void
-printTable()
+printTable(const std::map<std::string, Row> &rows)
 {
     std::printf("\n=== Figure 4: temperature emergencies per OS "
                 "quantum ===\n");
     std::printf("%-12s %8s %18s %18s\n", "program", "solo",
                 "+variant2 (S&G)", "+variant2 (sedation)");
     double solo_sum = 0, atk_sum = 0, sed_sum = 0;
-    for (const auto &[name, row] : g_rows) {
+    for (const auto &[name, row] : rows) {
         std::printf("%-12s %8llu %18llu %18llu\n", name.c_str(),
                     static_cast<unsigned long long>(row.solo),
                     static_cast<unsigned long long>(row.attacked),
@@ -67,7 +48,7 @@ printTable()
         atk_sum += static_cast<double>(row.attacked);
         sed_sum += static_cast<double>(row.sedated);
     }
-    size_t n = g_rows.size();
+    size_t n = rows.size();
     if (n) {
         std::printf("%-12s %8.1f %18.1f %18.1f\n", "average",
                     solo_sum / n, atk_sum / n, sed_sum / n);
@@ -80,15 +61,31 @@ printTable()
 } // namespace
 
 int
-main(int argc, char **argv)
+main()
 {
-    for (const std::string &name : hsbench::benchmarkSet()) {
-        benchmark::RegisterBenchmark(("fig4/" + name).c_str(),
-                                     BM_Emergencies, name)
-            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    ExperimentOptions opts = ExperimentOptions::fromEnv();
+    opts.dtm = DtmMode::StopAndGo;
+    const std::vector<std::string> names = benchmarkSet();
+
+    std::vector<RunSpec> specs;
+    for (const std::string &name : names) {
+        specs.push_back(soloSpec(name, opts));
+        specs.push_back(withVariantSpec(name, 2, opts));
+        specs.push_back(withVariantSpec(name, 2, opts)
+                            .withDtm(DtmMode::SelectiveSedation));
     }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printTable();
+
+    std::vector<RunResult> results = runMatrix(specs);
+
+    std::map<std::string, Row> rows;
+    size_t k = 0;
+    for (const std::string &name : names) {
+        Row row;
+        row.solo = results[k++].emergencies;
+        row.attacked = results[k++].emergencies;
+        row.sedated = results[k++].emergencies;
+        rows[name] = row;
+    }
+    printTable(rows);
     return 0;
 }

@@ -15,15 +15,17 @@
  * degrade the victim severely with the realistic sink (88% / 51%
  * average in the paper); selective sedation restores performance to
  * roughly the solo-realistic level for every variant.
+ *
+ * The whole 11 x N matrix is declared as RunSpecs and dispatched to
+ * the parallel engine (HS_JOBS workers).
  */
-
-#include <benchmark/benchmark.h>
 
 #include <array>
 #include <cstdio>
 #include <map>
+#include <vector>
 
-#include "bench_util.hh"
+#include "sim/runner.hh"
 
 namespace {
 
@@ -37,43 +39,8 @@ struct Row
     std::array<std::array<double, 3>, 3> v{};
 };
 
-std::map<std::string, Row> g_rows;
-
 void
-BM_Fig5(benchmark::State &state, std::string name)
-{
-    Row row;
-    for (auto _ : state) {
-        ExperimentOptions opts = hsbench::baseOptions();
-
-        opts.sink = SinkType::Ideal;
-        row.soloIdeal = runSolo(name, opts).threads[0].ipc;
-        opts.sink = SinkType::Realistic;
-        opts.dtm = DtmMode::StopAndGo;
-        row.soloReal = runSolo(name, opts).threads[0].ipc;
-
-        for (int v = 1; v <= 3; ++v) {
-            ExperimentOptions o = hsbench::baseOptions();
-            o.sink = SinkType::Ideal;
-            row.v[v - 1][0] =
-                runWithVariant(name, v, o).threads[0].ipc;
-            o.sink = SinkType::Realistic;
-            o.dtm = DtmMode::StopAndGo;
-            row.v[v - 1][1] =
-                runWithVariant(name, v, o).threads[0].ipc;
-            o.dtm = DtmMode::SelectiveSedation;
-            row.v[v - 1][2] =
-                runWithVariant(name, v, o).threads[0].ipc;
-        }
-    }
-    g_rows[name] = row;
-    state.counters["solo_real"] = row.soloReal;
-    state.counters["v2_stopgo"] = row.v[1][1];
-    state.counters["v2_sedation"] = row.v[1][2];
-}
-
-void
-printTable()
+printTable(const std::map<std::string, Row> &rows)
 {
     std::printf("\n=== Figure 5: SPEC program IPC under attack and "
                 "defense ===\n");
@@ -82,7 +49,7 @@ printTable()
                 "program", "soloI", "soloR", "v1-I", "v1-SG", "v1-SD",
                 "v2-I", "v2-SG", "v2-SD", "v3-I", "v3-SG", "v3-SD");
     double sum_solo = 0, sum_v2sg = 0, sum_v2sd = 0, sum_v3sg = 0;
-    for (const auto &[name, r] : g_rows) {
+    for (const auto &[name, r] : rows) {
         std::printf("%-10s %5.2f %5.2f | %5.2f %5.2f %5.2f | %5.2f "
                     "%5.2f %5.2f | %5.2f %5.2f %5.2f\n",
                     name.c_str(), r.soloIdeal, r.soloReal, r.v[0][0],
@@ -93,7 +60,7 @@ printTable()
         sum_v2sd += r.v[1][2];
         sum_v3sg += r.v[2][1];
     }
-    size_t n = g_rows.size();
+    size_t n = rows.size();
     if (!n)
         return;
     double avg_solo = sum_solo / n;
@@ -103,23 +70,52 @@ printTable()
                 "~100%%) | +v3 stop-and-go %.1f%% degradation (paper: "
                 "50.8%%)\n",
                 avg_solo, sum_v2sg / n,
-                hsbench::degradationPct(avg_solo, sum_v2sg / n),
+                degradationPct(avg_solo, sum_v2sg / n),
                 sum_v2sd / n, 100.0 * (sum_v2sd / n) / avg_solo,
-                hsbench::degradationPct(avg_solo, sum_v3sg / n));
+                degradationPct(avg_solo, sum_v3sg / n));
 }
 
 } // namespace
 
 int
-main(int argc, char **argv)
+main()
 {
-    for (const std::string &name : hsbench::benchmarkSet()) {
-        benchmark::RegisterBenchmark(("fig5/" + name).c_str(), BM_Fig5,
-                                     name)
-            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    const ExperimentOptions base = ExperimentOptions::fromEnv();
+    const std::vector<std::string> names = benchmarkSet();
+
+    std::vector<RunSpec> specs;
+    for (const std::string &name : names) {
+        RunSpec solo = soloSpec(name, base);
+        specs.push_back(solo.withSink(SinkType::Ideal)
+                            .withLabel(name + "/soloI"));
+        specs.push_back(solo.withDtm(DtmMode::StopAndGo)
+                            .withLabel(name + "/soloR"));
+        for (int v = 1; v <= 3; ++v) {
+            RunSpec atk = withVariantSpec(name, v, base);
+            std::string tag = name + "/v" + std::to_string(v);
+            specs.push_back(atk.withSink(SinkType::Ideal)
+                                .withLabel(tag + "-I"));
+            specs.push_back(atk.withDtm(DtmMode::StopAndGo)
+                                .withLabel(tag + "-SG"));
+            specs.push_back(atk.withDtm(DtmMode::SelectiveSedation)
+                                .withLabel(tag + "-SD"));
+        }
     }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printTable();
+
+    std::vector<RunResult> results = runMatrix(specs);
+
+    std::map<std::string, Row> rows;
+    size_t k = 0;
+    for (const std::string &name : names) {
+        Row row;
+        row.soloIdeal = results[k++].threads[0].ipc;
+        row.soloReal = results[k++].threads[0].ipc;
+        for (int v = 1; v <= 3; ++v)
+            for (int c = 0; c < 3; ++c)
+                row.v[v - 1][static_cast<size_t>(c)] =
+                    results[k++].threads[0].ipc;
+        rows[name] = row;
+    }
+    printTable(rows);
     return 0;
 }

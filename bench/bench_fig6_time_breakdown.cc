@@ -12,14 +12,16 @@
  * Paper shape: solo ~85% normal; under attack up to ~87% cooling
  * stalls; with sedation SPEC back to ~83% normal while variant2
  * spends the bulk of its time sedated.
+ *
+ * The matrix is declared as RunSpecs and dispatched to the parallel
+ * engine (HS_JOBS workers).
  */
-
-#include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <map>
+#include <vector>
 
-#include "bench_util.hh"
+#include "sim/runner.hh"
 
 namespace {
 
@@ -33,36 +35,8 @@ struct Row
     double attackerSedated = 0;
 };
 
-std::map<std::string, Row> g_rows;
-
 void
-BM_Breakdown(benchmark::State &state, std::string name)
-{
-    Row row;
-    for (auto _ : state) {
-        ExperimentOptions opts = hsbench::baseOptions();
-        opts.dtm = DtmMode::StopAndGo;
-        RunResult solo = runSolo(name, opts);
-        RunResult attacked = runWithVariant(name, 2, opts);
-        opts.dtm = DtmMode::SelectiveSedation;
-        RunResult defended = runWithVariant(name, 2, opts);
-
-        row.soloNormal = solo.normalFraction(0);
-        row.attackedNormal = attacked.normalFraction(0);
-        row.attackedCooling = attacked.coolingFraction(0);
-        row.defendedNormal = defended.normalFraction(0);
-        row.defendedStalled = defended.coolingFraction(0) +
-                              defended.sedationFraction(0);
-        row.attackerSedated = defended.sedationFraction(1);
-    }
-    g_rows[name] = row;
-    state.counters["attacked_cooling_pct"] = row.attackedCooling * 100;
-    state.counters["defended_normal_pct"] = row.defendedNormal * 100;
-    state.counters["attacker_sedated_pct"] = row.attackerSedated * 100;
-}
-
-void
-printTable()
+printTable(const std::map<std::string, Row> &rows)
 {
     std::printf("\n=== Figure 6: execution-time breakdown (%% of the "
                 "quantum) ===\n");
@@ -70,7 +44,7 @@ printTable()
                 "program", "solo-norm", "atk-norm", "atk-cool",
                 "def-norm", "def-stall", "v2-sedated");
     double a_cool = 0, d_norm = 0, v2_sed = 0;
-    for (const auto &[name, r] : g_rows) {
+    for (const auto &[name, r] : rows) {
         std::printf("%-12s %9.1f%% | %9.1f%% %9.1f%% | %9.1f%% %9.1f%% "
                     "| %11.1f%%\n",
                     name.c_str(), r.soloNormal * 100,
@@ -81,7 +55,7 @@ printTable()
         d_norm += r.defendedNormal;
         v2_sed += r.attackerSedated;
     }
-    size_t n = g_rows.size();
+    size_t n = rows.size();
     if (n) {
         std::printf("\naverages: attacked cooling %.1f%% (paper: up to "
                     "87%%), defended normal %.1f%% (paper: ~83%%), "
@@ -94,15 +68,38 @@ printTable()
 } // namespace
 
 int
-main(int argc, char **argv)
+main()
 {
-    for (const std::string &name : hsbench::benchmarkSet()) {
-        benchmark::RegisterBenchmark(("fig6/" + name).c_str(),
-                                     BM_Breakdown, name)
-            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    ExperimentOptions opts = ExperimentOptions::fromEnv();
+    opts.dtm = DtmMode::StopAndGo;
+    const std::vector<std::string> names = benchmarkSet();
+
+    std::vector<RunSpec> specs;
+    for (const std::string &name : names) {
+        specs.push_back(soloSpec(name, opts));
+        specs.push_back(withVariantSpec(name, 2, opts));
+        specs.push_back(withVariantSpec(name, 2, opts)
+                            .withDtm(DtmMode::SelectiveSedation));
     }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printTable();
+
+    std::vector<RunResult> results = runMatrix(specs);
+
+    std::map<std::string, Row> rows;
+    size_t k = 0;
+    for (const std::string &name : names) {
+        const RunResult &solo = results[k++];
+        const RunResult &attacked = results[k++];
+        const RunResult &defended = results[k++];
+        Row row;
+        row.soloNormal = solo.normalFraction(0);
+        row.attackedNormal = attacked.normalFraction(0);
+        row.attackedCooling = attacked.coolingFraction(0);
+        row.defendedNormal = defended.normalFraction(0);
+        row.defendedStalled = defended.coolingFraction(0) +
+                              defended.sedationFraction(0);
+        row.attackerSedated = defended.sedationFraction(1);
+        rows[name] = row;
+    }
+    printTable(rows);
     return 0;
 }

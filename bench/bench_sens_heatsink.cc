@@ -12,14 +12,15 @@
  * also exposes the crossover: once the package removes enough of the
  * total heat, the attack can no longer reach the emergency threshold
  * at all (printed below).
+ *
+ * The sweep is declared as RunSpecs and dispatched to the parallel
+ * engine (HS_JOBS workers).
  */
-
-#include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <vector>
 
-#include "bench_util.hh"
+#include "sim/runner.hh"
 
 namespace {
 
@@ -32,42 +33,18 @@ struct Entry
     uint64_t emergencies = 0;
 };
 
-std::vector<Entry> g_entries;
-
 void
-BM_Sink(benchmark::State &state, double conv_r)
-{
-    Entry e;
-    e.convR = conv_r;
-    for (auto _ : state) {
-        ExperimentOptions opts = hsbench::baseOptions();
-        opts.convectionR = conv_r;
-        opts.dtm = DtmMode::StopAndGo;
-        e.solo = runSolo("gcc", opts).threads[0].ipc;
-        RunResult atk = runWithVariant("gcc", 2, opts);
-        e.attacked = atk.threads[0].ipc;
-        e.emergencies = atk.emergencies;
-        opts.dtm = DtmMode::SelectiveSedation;
-        e.defended = runWithVariant("gcc", 2, opts).threads[0].ipc;
-    }
-    g_entries.push_back(e);
-    state.counters["attacked_ipc"] = e.attacked;
-    state.counters["emergencies"] = static_cast<double>(e.emergencies);
-}
-
-void
-printTable()
+printTable(const std::vector<Entry> &entries)
 {
     std::printf("\n=== Section 5.5: heat-sink sensitivity "
                 "(gcc + variant2) ===\n");
     std::printf("%10s %10s %12s %12s %13s %12s\n", "conv K/W",
                 "solo IPC", "attacked IPC", "degradation",
                 "sedation IPC", "emergencies");
-    for (const Entry &e : g_entries) {
+    for (const Entry &e : entries) {
         std::printf("%10.2f %10.2f %12.2f %11.1f%% %13.2f %12llu\n",
                     e.convR, e.solo, e.attacked,
-                    hsbench::degradationPct(e.solo, e.attacked),
-                    e.defended,
+                    degradationPct(e.solo, e.attacked), e.defended,
                     static_cast<unsigned long long>(e.emergencies));
     }
     std::printf("\npaper shape: attack and defense persist as the "
@@ -79,16 +56,39 @@ printTable()
 } // namespace
 
 int
-main(int argc, char **argv)
+main()
 {
-    for (double r : {0.8, 0.7, 0.6, 0.5}) {
-        benchmark::RegisterBenchmark(
-            ("sens_heatsink/convR" + std::to_string(r)).c_str(),
-            BM_Sink, r)
-            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    const double convs[] = {0.8, 0.7, 0.6, 0.5};
+
+    std::vector<RunSpec> specs;
+    for (double r : convs) {
+        ExperimentOptions opts = ExperimentOptions::fromEnv();
+        opts.convectionR = r;
+        opts.dtm = DtmMode::StopAndGo;
+        std::string tag = "convR" + std::to_string(r);
+        specs.push_back(soloSpec("gcc", opts)
+                            .withLabel(tag + "/solo"));
+        specs.push_back(withVariantSpec("gcc", 2, opts)
+                            .withLabel(tag + "/attacked"));
+        specs.push_back(withVariantSpec("gcc", 2, opts)
+                            .withDtm(DtmMode::SelectiveSedation)
+                            .withLabel(tag + "/defended"));
     }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printTable();
+
+    std::vector<RunResult> results = runMatrix(specs);
+
+    std::vector<Entry> entries;
+    size_t k = 0;
+    for (double r : convs) {
+        Entry e;
+        e.convR = r;
+        e.solo = results[k++].threads[0].ipc;
+        const RunResult &atk = results[k++];
+        e.attacked = atk.threads[0].ipc;
+        e.emergencies = atk.emergencies;
+        e.defended = results[k++].threads[0].ipc;
+        entries.push_back(e);
+    }
+    printTable(entries);
     return 0;
 }

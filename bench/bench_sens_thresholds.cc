@@ -10,14 +10,17 @@
  *
  * Paper shape: effectiveness is not critically sensitive to the
  * threshold choice.
+ *
+ * The sweep is declared as RunSpecs and dispatched to the parallel
+ * engine (HS_JOBS workers); the solo/attacked baselines are shared
+ * matrix cells served by the ResultStore when other tables in the
+ * same process already computed them.
  */
-
-#include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <vector>
 
-#include "bench_util.hh"
+#include "sim/runner.hh"
 
 namespace {
 
@@ -31,75 +34,22 @@ struct Entry
     size_t sedations = 0;
 };
 
-std::vector<Entry> g_entries;
-double g_soloIpc = 0;
-double g_attackedIpc = 0;
-double g_ablationPairImpactPct = 0;
+constexpr double kPairs[][2] = {
+    {355.5, 354.5}, {356.0, 355.0}, {356.5, 355.5},
+    {357.0, 355.5}, {357.5, 356.0},
+};
 
 void
-BM_ThresholdPair(benchmark::State &state, double upper, double lower)
-{
-    Entry e{upper, lower};
-    for (auto _ : state) {
-        ExperimentOptions opts = hsbench::baseOptions();
-        opts.dtm = DtmMode::SelectiveSedation;
-        opts.upperThreshold = upper;
-        opts.lowerThreshold = lower;
-        RunResult r = runWithVariant("gcc", 2, opts);
-        e.victimIpc = r.threads[0].ipc;
-        e.emergencies = r.emergencies;
-        e.sedations = r.sedationEvents.size();
-    }
-    g_entries.push_back(e);
-    state.counters["victim_ipc"] = e.victimIpc;
-    state.counters["emergencies"] = static_cast<double>(e.emergencies);
-}
-
-void
-BM_Baselines(benchmark::State &state)
-{
-    for (auto _ : state) {
-        ExperimentOptions opts = hsbench::baseOptions();
-        opts.dtm = DtmMode::StopAndGo;
-        g_soloIpc = runSolo("gcc", opts).threads[0].ipc;
-        g_attackedIpc = runWithVariant("gcc", 2, opts).threads[0].ipc;
-    }
-    state.counters["solo_ipc"] = g_soloIpc;
-    state.counters["attacked_ipc"] = g_attackedIpc;
-}
-
-void
-BM_UsageThresholdAblation(benchmark::State &state)
-{
-    // Section 3.2.1 ablation: absolute usage threshold instead of the
-    // temperature trigger. Run an innocent SPEC pair and measure the
-    // false-positive cost.
-    double impact = 0;
-    for (auto _ : state) {
-        ExperimentOptions opts = hsbench::baseOptions();
-        opts.dtm = DtmMode::StopAndGo;
-        RunResult plain = runSpecPair("crafty", "vortex", opts);
-        opts.dtm = DtmMode::SelectiveSedation;
-        opts.sedationUsageThreshold = true;
-        RunResult guarded = runSpecPair("crafty", "vortex", opts);
-        double a = plain.threads[0].ipc + plain.threads[1].ipc;
-        double b = guarded.threads[0].ipc + guarded.threads[1].ipc;
-        impact = hsbench::degradationPct(a, b);
-    }
-    g_ablationPairImpactPct = impact;
-    state.counters["innocent_pair_loss_pct"] = impact;
-}
-
-void
-printTable()
+printTable(const std::vector<Entry> &entries, double solo_ipc,
+           double attacked_ipc, double ablation_pair_impact_pct)
 {
     std::printf("\n=== Section 5.6: sedation threshold sensitivity "
                 "(gcc + variant2) ===\n");
     std::printf("solo gcc IPC %.2f, attacked (stop-and-go) %.2f\n\n",
-                g_soloIpc, g_attackedIpc);
+                solo_ipc, attacked_ipc);
     std::printf("%8s %8s %12s %12s %11s\n", "upper K", "lower K",
                 "victim IPC", "emergencies", "sedations");
-    for (const Entry &e : g_entries) {
+    for (const Entry &e : entries) {
         std::printf("%8.1f %8.1f %12.2f %12llu %11zu\n", e.upper,
                     e.lower, e.victimIpc,
                     static_cast<unsigned long long>(e.emergencies),
@@ -110,32 +60,63 @@ printTable()
     std::printf("\nSection 3.2.1 ablation: absolute usage threshold "
                 "costs an innocent high-usage SPEC pair %.1f%% "
                 "throughput (temperature trigger: ~0%%).\n",
-                g_ablationPairImpactPct);
+                ablation_pair_impact_pct);
 }
 
 } // namespace
 
 int
-main(int argc, char **argv)
+main()
 {
-    benchmark::RegisterBenchmark("sens_thresholds/baselines",
-                                 BM_Baselines)
-        ->Iterations(1)->Unit(benchmark::kMillisecond);
-    const double pairs[][2] = {
-        {355.5, 354.5}, {356.0, 355.0}, {356.5, 355.5},
-        {357.0, 355.5}, {357.5, 356.0},
-    };
-    for (const auto &p : pairs) {
-        benchmark::RegisterBenchmark(
-            ("sens_thresholds/upper" + std::to_string(p[0])).c_str(),
-            BM_ThresholdPair, p[0], p[1])
-            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    ExperimentOptions base = ExperimentOptions::fromEnv();
+    base.dtm = DtmMode::StopAndGo;
+
+    std::vector<RunSpec> specs;
+    // Baselines.
+    specs.push_back(soloSpec("gcc", base));
+    specs.push_back(withVariantSpec("gcc", 2, base));
+    // Threshold sweep under sedation.
+    for (const auto &p : kPairs) {
+        ExperimentOptions opts = base;
+        opts.dtm = DtmMode::SelectiveSedation;
+        opts.upperThreshold = p[0];
+        opts.lowerThreshold = p[1];
+        specs.push_back(withVariantSpec("gcc", 2, opts)
+                            .withLabel("gcc+v2/upper" +
+                                       std::to_string(p[0])));
     }
-    benchmark::RegisterBenchmark("sens_thresholds/usage_ablation",
-                                 BM_UsageThresholdAblation)
-        ->Iterations(1)->Unit(benchmark::kMillisecond);
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printTable();
+    // Section 3.2.1 ablation: absolute usage threshold on an innocent
+    // SPEC pair (false-positive cost).
+    specs.push_back(specPairSpec("crafty", "vortex", base));
+    {
+        ExperimentOptions opts = base;
+        opts.dtm = DtmMode::SelectiveSedation;
+        opts.sedationUsageThreshold = true;
+        specs.push_back(specPairSpec("crafty", "vortex", opts)
+                            .withLabel("crafty+vortex/usage_guard"));
+    }
+
+    std::vector<RunResult> results = runMatrix(specs);
+
+    double solo_ipc = results[0].threads[0].ipc;
+    double attacked_ipc = results[1].threads[0].ipc;
+
+    std::vector<Entry> entries;
+    size_t k = 2;
+    for (const auto &p : kPairs) {
+        const RunResult &r = results[k++];
+        Entry e{p[0], p[1]};
+        e.victimIpc = r.threads[0].ipc;
+        e.emergencies = r.emergencies;
+        e.sedations = r.sedationEvents.size();
+        entries.push_back(e);
+    }
+
+    const RunResult &plain = results[k++];
+    const RunResult &guarded = results[k++];
+    double a = plain.threads[0].ipc + plain.threads[1].ipc;
+    double b = guarded.threads[0].ipc + guarded.threads[1].ipc;
+
+    printTable(entries, solo_ipc, attacked_ipc, degradationPct(a, b));
     return 0;
 }

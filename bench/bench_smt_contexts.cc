@@ -7,14 +7,15 @@
  * For 2-4 contexts: one variant2 attacker plus SPEC victims fill the
  * machine. Reports aggregate victim IPC under stop-and-go vs selective
  * sedation, and the attacker's sedated fraction.
+ *
+ * The matrix is declared as RunSpecs (using the numThreads override)
+ * and dispatched to the parallel engine (HS_JOBS workers).
  */
-
-#include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <vector>
 
-#include "bench_util.hh"
+#include "sim/runner.hh"
 
 namespace {
 
@@ -30,8 +31,6 @@ struct Entry
     double attackerSedatedPct = 0;
 };
 
-std::vector<Entry> g_entries;
-
 const char *victims[] = {"gcc", "mesa", "twolf"};
 
 double
@@ -43,54 +42,33 @@ victimIpcSum(const RunResult &r, int n_victims)
     return sum;
 }
 
-void
-BM_Contexts(benchmark::State &state, int contexts)
+RunSpec
+contextsSpec(int contexts, DtmMode mode, bool with_attacker,
+             const ExperimentOptions &opts)
 {
-    Entry e;
-    e.contexts = contexts;
-    for (auto _ : state) {
-        ExperimentOptions opts = hsbench::baseOptions();
-        int n_victims = contexts - 1;
-
-        auto build = [&](DtmMode mode, bool with_attacker) {
-            SimConfig cfg = makeSimConfig(opts);
-            cfg.dtm = mode;
-            cfg.smt.numThreads = with_attacker ? contexts : n_victims;
-            Simulator sim(cfg);
-            for (int v = 0; v < n_victims; ++v)
-                sim.setWorkload(v, synthesizeSpec(victims[v]));
-            if (with_attacker)
-                sim.setWorkload(n_victims,
-                                makeVariant(2,
-                                            makeMaliciousParams(opts)));
-            return sim.run();
-        };
-
-        RunResult clean = build(DtmMode::StopAndGo, false);
-        RunResult stopgo = build(DtmMode::StopAndGo, true);
-        RunResult sedated = build(DtmMode::SelectiveSedation, true);
-
-        e.victimsClean = victimIpcSum(clean, n_victims);
-        e.victimsStopGo = victimIpcSum(stopgo, n_victims);
-        e.victimsSedation = victimIpcSum(sedated, n_victims);
-        e.emergencies = stopgo.emergencies;
-        e.attackerSedatedPct =
-            sedated.sedationFraction(static_cast<size_t>(n_victims)) *
-            100;
-    }
-    g_entries.push_back(e);
-    state.counters["victims_sedation_ipc"] = e.victimsSedation;
+    RunSpec s;
+    int n_victims = contexts - 1;
+    for (int v = 0; v < n_victims; ++v)
+        s.workloads.push_back(WorkloadSpec::spec(victims[v]));
+    if (with_attacker)
+        s.workloads.push_back(WorkloadSpec::maliciousVariant(2));
+    s.opts = opts;
+    s.opts.dtm = mode;
+    s.numThreads = with_attacker ? contexts : n_victims;
+    s.label = std::to_string(contexts) + "ctx/" +
+              (with_attacker ? dtmModeName(mode) : "clean");
+    return s;
 }
 
 void
-printTable()
+printTable(const std::vector<Entry> &entries)
 {
     std::printf("\n=== Extension: heat stroke across SMT widths "
                 "(variant2 + N-1 SPEC victims) ===\n");
     std::printf("%9s %12s %12s %14s %12s %14s\n", "contexts",
                 "clean IPC", "attacked IPC", "sedation IPC",
                 "emergencies", "v2 sedated");
-    for (const Entry &e : g_entries) {
+    for (const Entry &e : entries) {
         std::printf("%9d %12.2f %12.2f %14.2f %12llu %13.1f%%\n",
                     e.contexts, e.victimsClean, e.victimsStopGo,
                     e.victimsSedation,
@@ -105,16 +83,42 @@ printTable()
 } // namespace
 
 int
-main(int argc, char **argv)
+main()
 {
-    for (int contexts : {2, 3, 4}) {
-        benchmark::RegisterBenchmark(
-            ("smt_contexts/" + std::to_string(contexts)).c_str(),
-            BM_Contexts, contexts)
-            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    const int widths[] = {2, 3, 4};
+    const ExperimentOptions opts = ExperimentOptions::fromEnv();
+
+    std::vector<RunSpec> specs;
+    for (int contexts : widths) {
+        specs.push_back(
+            contextsSpec(contexts, DtmMode::StopAndGo, false, opts));
+        specs.push_back(
+            contextsSpec(contexts, DtmMode::StopAndGo, true, opts));
+        specs.push_back(contextsSpec(contexts,
+                                     DtmMode::SelectiveSedation, true,
+                                     opts));
     }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printTable();
+
+    std::vector<RunResult> results = runMatrix(specs);
+
+    std::vector<Entry> entries;
+    size_t k = 0;
+    for (int contexts : widths) {
+        int n_victims = contexts - 1;
+        const RunResult &clean = results[k++];
+        const RunResult &stopgo = results[k++];
+        const RunResult &sedated = results[k++];
+        Entry e;
+        e.contexts = contexts;
+        e.victimsClean = victimIpcSum(clean, n_victims);
+        e.victimsStopGo = victimIpcSum(stopgo, n_victims);
+        e.victimsSedation = victimIpcSum(sedated, n_victims);
+        e.emergencies = stopgo.emergencies;
+        e.attackerSedatedPct =
+            sedated.sedationFraction(static_cast<size_t>(n_victims)) *
+            100;
+        entries.push_back(e);
+    }
+    printTable(entries);
     return 0;
 }

@@ -9,14 +9,17 @@
  * vortex class programs with inherent power-density pressure) may
  * brush the upper threshold occasionally; the table reports the
  * per-pair cost, which stays small.
+ *
+ * The matrix is declared as RunSpecs and dispatched to the parallel
+ * engine (HS_JOBS workers).
  */
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "bench_util.hh"
+#include "sim/runner.hh"
 
 namespace {
 
@@ -30,33 +33,8 @@ struct Entry
     size_t sedations = 0;
 };
 
-std::vector<Entry> g_entries;
-
 void
-BM_Pair(benchmark::State &state, std::string a, std::string b)
-{
-    Entry e{a, b};
-    for (auto _ : state) {
-        ExperimentOptions opts = hsbench::baseOptions();
-        opts.dtm = DtmMode::StopAndGo;
-        RunResult plain = runSpecPair(a, b, opts);
-        opts.dtm = DtmMode::SelectiveSedation;
-        RunResult guarded = runSpecPair(a, b, opts);
-        e.plainA = plain.threads[0].ipc;
-        e.plainB = plain.threads[1].ipc;
-        e.guardedA = guarded.threads[0].ipc;
-        e.guardedB = guarded.threads[1].ipc;
-        e.sedations = guarded.sedationEvents.size();
-    }
-    g_entries.push_back(e);
-    double total_plain = e.plainA + e.plainB;
-    double total_guarded = e.guardedA + e.guardedB;
-    state.counters["throughput_loss_pct"] =
-        hsbench::degradationPct(total_plain, total_guarded);
-}
-
-void
-printTable()
+printTable(const std::vector<Entry> &entries)
 {
     std::printf("\n=== Section 5.7: SPEC pairs, sedation off vs on "
                 "===\n");
@@ -64,10 +42,10 @@ printTable()
                 "plain IPC a+b", "guarded IPC a+b", "loss %",
                 "sedations");
     double worst = 0;
-    for (const Entry &e : g_entries) {
+    for (const Entry &e : entries) {
         double plain = e.plainA + e.plainB;
         double guarded = e.guardedA + e.guardedB;
-        double loss = hsbench::degradationPct(plain, guarded);
+        double loss = degradationPct(plain, guarded);
         worst = std::max(worst, loss);
         std::printf("%-18s %6.2f + %5.2f %7.2f + %5.2f %9.1f%% %10zu\n",
                     (e.a + "+" + e.b).c_str(), e.plainA, e.plainB,
@@ -80,21 +58,39 @@ printTable()
 } // namespace
 
 int
-main(int argc, char **argv)
+main()
 {
     const std::pair<const char *, const char *> pairs[] = {
         {"gcc", "twolf"},   {"gzip", "mesa"},  {"eon", "gap"},
         {"applu", "mcf"},   {"apsi", "lucas"}, {"crafty", "vortex"},
         {"parser", "vpr"},  {"ammp", "bzip2"},
     };
+
+    ExperimentOptions base = ExperimentOptions::fromEnv();
+    base.dtm = DtmMode::StopAndGo;
+
+    std::vector<RunSpec> specs;
     for (const auto &[a, b] : pairs) {
-        benchmark::RegisterBenchmark(
-            (std::string("spec_pairs/") + a + "_" + b).c_str(),
-            BM_Pair, std::string(a), std::string(b))
-            ->Iterations(1)->Unit(benchmark::kMillisecond);
+        specs.push_back(specPairSpec(a, b, base));
+        specs.push_back(specPairSpec(a, b, base)
+                            .withDtm(DtmMode::SelectiveSedation));
     }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printTable();
+
+    std::vector<RunResult> results = runMatrix(specs);
+
+    std::vector<Entry> entries;
+    size_t k = 0;
+    for (const auto &[a, b] : pairs) {
+        const RunResult &plain = results[k++];
+        const RunResult &guarded = results[k++];
+        Entry e{a, b};
+        e.plainA = plain.threads[0].ipc;
+        e.plainB = plain.threads[1].ipc;
+        e.guardedA = guarded.threads[0].ipc;
+        e.guardedB = guarded.threads[1].ipc;
+        e.sedations = guarded.sedationEvents.size();
+        entries.push_back(e);
+    }
+    printTable(entries);
     return 0;
 }

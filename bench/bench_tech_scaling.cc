@@ -9,15 +9,17 @@
  * normal-operation IntReg temperature, the attack's steady-state
  * temperature, the hot-spot formation time, and the emergencies an
  * attacked quantum produces.
+ *
+ * The static thermal characterisation is a direct model evaluation;
+ * the attacked quanta are declared as RunSpecs (using the dieShrink
+ * override) and dispatched to the parallel engine (HS_JOBS workers).
  */
-
-#include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <vector>
 
-#include "bench_util.hh"
 #include "power/energy_model.hh"
+#include "sim/runner.hh"
 #include "thermal/thermal_model.hh"
 
 namespace {
@@ -33,60 +35,43 @@ struct Entry
     uint64_t emergencies = 0;
 };
 
-std::vector<Entry> g_entries;
-
-void
-BM_Shrink(benchmark::State &state, double shrink)
+/** Static thermal characterisation at paper scale. */
+Entry
+characterizeShrink(double shrink)
 {
     Entry e;
     e.shrink = shrink;
-    for (auto _ : state) {
-        // Static thermal characterisation at paper scale.
-        EnergyModel em;
-        ThermalParams tp;
-        tp.dieShrink = shrink;
-        ThermalModel tm(Floorplan::ev6(), tp);
-        auto nominal = SimConfig::defaultNominalRates();
-        auto attack = nominal;
-        attack[static_cast<size_t>(blockIndex(Block::IntReg))] = 16.5;
-        tm.initSteadyState(em.steadyPower(nominal));
-        e.normalK = tm.blockTemp(Block::IntReg);
-        e.attackSsK = tm.steadyTemps(em.steadyPower(attack))
-            [static_cast<size_t>(blockIndex(Block::IntReg))];
-        std::vector<Watts> p = em.steadyPower(attack);
-        double t = 0;
-        const double dt = 5e-6;
-        while (tm.blockTemp(Block::IntReg) < 358.0 && t < 0.5) {
-            tm.step(p, dt);
-            t += dt;
-        }
-        e.heatUpMs = tm.blockTemp(Block::IntReg) >= 358.0 ? t * 1e3
-                                                          : -1.0;
-
-        // Dynamic: one attacked quantum.
-        ExperimentOptions opts = hsbench::baseOptions();
-        opts.dtm = DtmMode::StopAndGo;
-        SimConfig cfg = makeSimConfig(opts);
-        cfg.thermal.dieShrink = shrink;
-        Simulator sim(cfg);
-        sim.setWorkload(0, synthesizeSpec("gcc"));
-        sim.setWorkload(1, makeVariant(2, makeMaliciousParams(opts)));
-        e.emergencies = sim.run().emergencies;
+    EnergyModel em;
+    ThermalParams tp;
+    tp.dieShrink = shrink;
+    ThermalModel tm(Floorplan::ev6(), tp);
+    auto nominal = SimConfig::defaultNominalRates();
+    auto attack = nominal;
+    attack[static_cast<size_t>(blockIndex(Block::IntReg))] = 16.5;
+    tm.initSteadyState(em.steadyPower(nominal));
+    e.normalK = tm.blockTemp(Block::IntReg);
+    e.attackSsK = tm.steadyTemps(em.steadyPower(attack))
+        [static_cast<size_t>(blockIndex(Block::IntReg))];
+    std::vector<Watts> p = em.steadyPower(attack);
+    double t = 0;
+    const double dt = 5e-6;
+    while (tm.blockTemp(Block::IntReg) < 358.0 && t < 0.5) {
+        tm.step(p, dt);
+        t += dt;
     }
-    g_entries.push_back(e);
-    state.counters["normal_K"] = e.normalK;
-    state.counters["emergencies"] = static_cast<double>(e.emergencies);
+    e.heatUpMs = tm.blockTemp(Block::IntReg) >= 358.0 ? t * 1e3 : -1.0;
+    return e;
 }
 
 void
-printTable()
+printTable(const std::vector<Entry> &entries)
 {
     std::printf("\n=== Section 1 motivation: heat stroke vs technology "
                 "scaling (die shrink, constant power) ===\n");
     std::printf("%8s %10s %12s %12s %14s %12s\n", "shrink",
                 "die area", "normal K", "attack ss K", "heat-up (ms)",
                 "emergencies");
-    for (const Entry &e : g_entries) {
+    for (const Entry &e : entries) {
         char heat[32];
         if (e.heatUpMs < 0)
             std::snprintf(heat, sizeof(heat), "never");
@@ -106,16 +91,30 @@ printTable()
 } // namespace
 
 int
-main(int argc, char **argv)
+main()
 {
-    for (double s : {1.0, 0.95, 0.9, 0.85}) {
-        benchmark::RegisterBenchmark(
-            ("tech_scaling/shrink" + std::to_string(s)).c_str(),
-            BM_Shrink, s)
-            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    const double shrinks[] = {1.0, 0.95, 0.9, 0.85};
+
+    // Dynamic part: one attacked quantum per node.
+    ExperimentOptions opts = ExperimentOptions::fromEnv();
+    opts.dtm = DtmMode::StopAndGo;
+
+    std::vector<RunSpec> specs;
+    for (double s : shrinks) {
+        RunSpec spec = withVariantSpec("gcc", 2, opts);
+        spec.dieShrink = s;
+        specs.push_back(
+            spec.withLabel("shrink" + std::to_string(s)));
     }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printTable();
+
+    std::vector<RunResult> results = runMatrix(specs);
+
+    std::vector<Entry> entries;
+    for (size_t i = 0; i < specs.size(); ++i) {
+        Entry e = characterizeShrink(shrinks[i]);
+        e.emergencies = results[i].emergencies;
+        entries.push_back(e);
+    }
+    printTable(entries);
     return 0;
 }

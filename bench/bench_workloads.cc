@@ -5,89 +5,37 @@
  * SPEC2K substitutes (the Section 4 "benchmarks" description, made
  * measurable). Useful for judging how well the substitutes span the
  * behaviour space the paper's figures rely on.
+ *
+ * Each profile is characterised by a 3 M-cycle single-context run with
+ * the ideal sink (DTM never engages, so the pipeline runs exactly as
+ * it would bare), declared as RunSpecs and dispatched to the parallel
+ * engine (HS_JOBS workers).
  */
-
-#include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <map>
+#include <vector>
 
-#include "bench_util.hh"
-#include "smt/pipeline.hh"
+#include "sim/runner.hh"
 
 namespace {
 
 using namespace hs;
 
-struct Row
-{
-    double ipc = 0;
-    double l1dMiss = 0;
-    double l2Miss = 0;
-    double bpredAcc = 0;
-    double rfRate = 0;
-    double fpShare = 0;
-};
-
-std::map<std::string, Row> g_rows;
-
-Row
-characterize(const std::string &name)
-{
-    Program prog = synthesizeSpec(name);
-    SmtParams params;
-    params.numThreads = 1;
-    Pipeline pipe(params);
-    pipe.setThreadProgram(0, &prog);
-    const Cycles cycles = 3'000'000;
-    for (Cycles i = 0; i < cycles; ++i)
-        pipe.tick();
-
-    Row row;
-    row.ipc = pipe.ipc(0);
-    row.l1dMiss = pipe.mem().l1d().missRate();
-    row.l2Miss = pipe.mem().l2().missRate();
-    uint64_t lookups = pipe.bpred().lookups();
-    row.bpredAcc =
-        lookups ? 1.0 - static_cast<double>(pipe.bpred().mispredicts()) /
-                            static_cast<double>(lookups)
-                : 1.0;
-    row.rfRate = static_cast<double>(
-                     pipe.activity().count(0, Block::IntReg)) /
-                 static_cast<double>(pipe.cycle());
-    uint64_t fp = pipe.activity().count(0, Block::FpAdd) +
-                  pipe.activity().count(0, Block::FpMul);
-    row.fpShare = static_cast<double>(fp) /
-                  static_cast<double>(std::max<uint64_t>(
-                      1, pipe.committed(0)));
-    return row;
-}
-
 void
-BM_Characterize(benchmark::State &state, std::string name)
-{
-    Row row;
-    for (auto _ : state)
-        row = characterize(name);
-    g_rows[name] = row;
-    state.counters["ipc"] = row.ipc;
-    state.counters["l2_missrate"] = row.l2Miss;
-}
-
-void
-printTable()
+printTable(const std::map<std::string, ThreadResult> &rows)
 {
     std::printf("\n=== Synthetic SPEC2K workload characteristics "
                 "(solo, 3 M cycles) ===\n");
     std::printf("%-10s %6s %9s %9s %10s %10s %8s\n", "program", "IPC",
                 "L1D miss", "L2 miss", "bpred acc", "IntReg/cyc",
                 "FP/inst");
-    for (const auto &[name, r] : g_rows) {
+    for (const auto &[name, r] : rows) {
         std::printf("%-10s %6.2f %8.1f%% %8.1f%% %9.1f%% %10.2f "
                     "%7.2f\n",
-                    name.c_str(), r.ipc, r.l1dMiss * 100,
-                    r.l2Miss * 100, r.bpredAcc * 100, r.rfRate,
-                    r.fpShare);
+                    name.c_str(), r.ipc, r.l1dMissRate * 100,
+                    r.l2MissRate * 100, r.bpredAccuracy * 100,
+                    r.intRegAccessRate, r.fpPerInst);
     }
     std::printf("\npaper context: solo IPC averaged ~1.28 across the "
                 "real SPEC2K suite; the substitutes span memory-bound "
@@ -98,15 +46,26 @@ printTable()
 } // namespace
 
 int
-main(int argc, char **argv)
+main()
 {
+    // 500 M / (500/3) = exactly 3 M cycles, matching the historic
+    // pipeline-only characterisation length regardless of HS_SCALE.
+    ExperimentOptions opts;
+    opts.timeScale = 500.0 / 3.0;
+    opts.sink = SinkType::Ideal;
+
+    std::vector<RunSpec> specs;
     for (const SpecProfile &p : specSuite()) {
-        benchmark::RegisterBenchmark(("workload/" + p.name).c_str(),
-                                     BM_Characterize, p.name)
-            ->Iterations(1)->Unit(benchmark::kMillisecond);
+        RunSpec s = soloSpec(p.name, opts);
+        s.numThreads = 1;
+        specs.push_back(s);
     }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printTable();
+
+    std::vector<RunResult> results = runMatrix(specs);
+
+    std::map<std::string, ThreadResult> rows;
+    for (size_t i = 0; i < specs.size(); ++i)
+        rows[specs[i].label] = results[i].threads[0];
+    printTable(rows);
     return 0;
 }

@@ -1,15 +1,17 @@
 /**
  * @file
- * Quickstart: run two SPEC-like workloads on the 2-way SMT with the
- * realistic package and stop-and-go DTM, and print per-thread results.
+ * Quickstart: declare a small experiment matrix — two SPEC-like
+ * workloads sharing the 2-way SMT, with and without an attacker — and
+ * run it through the parallel experiment engine.
  *
  * Usage: quickstart [specA] [specB] [scale]
  */
 
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 int
 main(int argc, char **argv)
@@ -26,25 +28,38 @@ main(int argc, char **argv)
     std::cout << "heatstroke quickstart: " << a << " + " << b
               << " on a 2-way SMT (time scale 1/" << scale << ")\n";
 
-    hs::RunResult res = hs::runSpecPair(a, b, opts);
+    // Declare the matrix: the pair alone, then the victim co-scheduled
+    // with malicious variant 2. The engine (HS_JOBS workers) returns
+    // results in submission order, bit-identical to a serial loop.
+    std::vector<hs::RunSpec> specs = {
+        hs::specPairSpec(a, b, opts),
+        hs::withVariantSpec(a, 2, opts),
+    };
+    std::vector<hs::RunResult> results = hs::runMatrix(specs);
 
-    std::cout << "cycles simulated : " << res.cycles << "\n";
-    std::cout << "avg chip power   : " << res.avgTotalPowerW << " W\n";
-    std::cout << "peak temperature : " << res.peakTempOverall << " K ("
-              << hs::blockName(res.hottestBlock) << ")\n";
-    std::cout << "emergencies      : " << res.emergencies << "\n\n";
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const hs::RunResult &res = results[i];
+        std::cout << "\n--- " << specs[i].label << " ---\n";
+        std::cout << "cycles simulated : " << res.cycles << "\n";
+        std::cout << "avg chip power   : " << res.avgTotalPowerW
+                  << " W\n";
+        std::cout << "peak temperature : " << res.peakTempOverall
+                  << " K (" << hs::blockName(res.hottestBlock) << ")\n";
+        std::cout << "emergencies      : " << res.emergencies << "\n\n";
 
-    hs::TablePrinter table(std::cout);
-    table.header({"thread", "program", "IPC", "IntReg acc/cyc",
-                  "normal%", "cooling%"});
-    for (size_t t = 0; t < res.threads.size(); ++t) {
-        const hs::ThreadResult &tr = res.threads[t];
-        table.row({std::to_string(t), tr.program,
-                   hs::TablePrinter::num(tr.ipc),
-                   hs::TablePrinter::num(tr.intRegAccessRate),
-                   hs::TablePrinter::num(res.normalFraction(t) * 100, 1),
-                   hs::TablePrinter::num(res.coolingFraction(t) * 100,
-                                         1)});
+        hs::TablePrinter table(std::cout);
+        table.header({"thread", "program", "IPC", "IntReg acc/cyc",
+                      "normal%", "cooling%"});
+        for (size_t t = 0; t < res.threads.size(); ++t) {
+            const hs::ThreadResult &tr = res.threads[t];
+            table.row(
+                {std::to_string(t), tr.program,
+                 hs::TablePrinter::num(tr.ipc),
+                 hs::TablePrinter::num(tr.intRegAccessRate),
+                 hs::TablePrinter::num(res.normalFraction(t) * 100, 1),
+                 hs::TablePrinter::num(res.coolingFraction(t) * 100,
+                                       1)});
+        }
     }
     return 0;
 }

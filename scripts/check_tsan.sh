@@ -1,0 +1,16 @@
+#!/bin/sh
+# Build the tree under ThreadSanitizer and run the parallel-engine
+# tests. Guards the ParallelRunner / ResultStore concurrency against
+# data races; a clean pass prints TSAN_CLEAN.
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -e
+cd "$(dirname "$0")/.."
+BUILD="${1:-build-tsan}"
+
+cmake -B "$BUILD" -S . -DHS_SANITIZE=thread >/dev/null
+cmake --build "$BUILD" -j"$(nproc)" --target hs_tests
+TSAN_OPTIONS="halt_on_error=1" \
+    "./$BUILD/tests/hs_tests" \
+    --gtest_filter='Runner*:RunSpec*:RunnerDeathTest*'
+echo TSAN_CLEAN

@@ -69,6 +69,8 @@ struct SedationEvent
     Block resource = Block::IntReg;
     ThreadId thread = invalidThreadId;
     double weightedAvg = 0.0;
+
+    bool operator==(const SedationEvent &) const = default;
 };
 
 /** The selective-sedation DTM policy. */

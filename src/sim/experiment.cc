@@ -15,11 +15,29 @@ envTimeScale(double default_scale)
         return default_scale;
     char *end = nullptr;
     double v = std::strtod(env, &end);
-    if (end == env || v <= 0) {
-        warn("ignoring bad HS_SCALE value '%s'", env);
-        return default_scale;
-    }
+    if (end == env || *end != '\0' || v <= 0)
+        fatal("HS_SCALE must be a positive number (1 = paper scale), "
+              "got '%s'", env);
     return v;
+}
+
+std::vector<std::string>
+benchmarkSet()
+{
+    const char *env = std::getenv("HS_BENCH_SET");
+    std::string which = env ? env : "paper";
+    if (which == "quick")
+        return {"gcc", "crafty", "mcf", "applu"};
+    if (which == "full") {
+        std::vector<std::string> names;
+        for (const SpecProfile &p : specSuite())
+            names.push_back(p.name);
+        return names;
+    }
+    if (which == "paper")
+        return paperFigureBenchmarks();
+    fatal("HS_BENCH_SET must be one of quick, paper, full; got '%s'",
+          which.c_str());
 }
 
 ExperimentOptions

@@ -16,6 +16,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sim/simulator.hh"
 #include "workload/generator.hh"
@@ -43,10 +44,23 @@ struct ExperimentOptions
 
     /** @return options with the HS_SCALE env override applied. */
     static ExperimentOptions fromEnv();
+
+    bool operator==(const ExperimentOptions &) const = default;
 };
 
-/** @return the effective time scale (HS_SCALE env or the default). */
+/**
+ * @return the effective time scale (HS_SCALE env or the default).
+ * fatal() if HS_SCALE is set to anything but a positive number.
+ */
 double envTimeScale(double default_scale = 25.0);
+
+/**
+ * Benchmark subset selected by the HS_BENCH_SET environment variable:
+ * "quick" (4 benchmarks), "paper" (the 10 shown in the paper's
+ * figures; the default), or "full" (all 18 profiles). fatal() on any
+ * other value.
+ */
+std::vector<std::string> benchmarkSet();
 
 /** Build the full SimConfig for @p opts. */
 SimConfig makeSimConfig(const ExperimentOptions &opts);

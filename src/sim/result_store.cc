@@ -1,0 +1,75 @@
+#include "sim/result_store.hh"
+
+namespace hs {
+
+ResultStore &
+ResultStore::global()
+{
+    static ResultStore store;
+    return store;
+}
+
+RunResult
+ResultStore::getOrCompute(const RunSpec &spec,
+                          const std::function<RunResult()> &compute)
+{
+    const std::string key = spec.canonicalKey();
+
+    std::promise<RunResult> promise;
+    std::shared_future<RunResult> fut;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            hits_.fetch_add(1);
+            fut = it->second;
+        } else {
+            misses_.fetch_add(1);
+            fut = promise.get_future().share();
+            cache_.emplace(key, fut);
+            owner = true;
+        }
+    }
+    if (!owner) {
+        // Blocks only while another worker's identical run is still
+        // in flight; completed cells return immediately.
+        return fut.get();
+    }
+
+    try {
+        RunResult r = compute();
+        promise.set_value(r);
+        return r;
+    } catch (...) {
+        promise.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(mu_);
+        cache_.erase(key);
+        throw;
+    }
+}
+
+bool
+ResultStore::contains(const RunSpec &spec) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.count(spec.canonicalKey()) > 0;
+}
+
+void
+ResultStore::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.clear();
+    hits_.store(0);
+    misses_.store(0);
+}
+
+size_t
+ResultStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+}
+
+} // namespace hs

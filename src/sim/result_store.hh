@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Process-wide memoising store for experiment results.
+ *
+ * Many of the paper's figures share matrix cells (every harness needs
+ * the solo baselines, the default-threshold sedation run appears in
+ * three sweeps, ...). The store keys finished RunResults by the
+ * RunSpec's canonical key so each distinct cell is simulated exactly
+ * once per process, no matter how many tables ask for it.
+ *
+ * The store is safe for concurrent use by the ParallelRunner's workers
+ * and deduplicates *in-flight* computations: if two workers ask for the
+ * same key simultaneously, one simulates and the other blocks on the
+ * shared future instead of duplicating the work.
+ */
+
+#ifndef HS_SIM_RESULT_STORE_HH
+#define HS_SIM_RESULT_STORE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sim/results.hh"
+#include "sim/run_spec.hh"
+
+namespace hs {
+
+class ResultStore
+{
+  public:
+    ResultStore() = default;
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    /** The process-wide store shared by the bench harnesses. */
+    static ResultStore &global();
+
+    /**
+     * Return the cached result for @p spec, computing it with
+     * @p compute on a miss. Concurrent callers with the same key share
+     * one computation.
+     */
+    RunResult getOrCompute(const RunSpec &spec,
+                           const std::function<RunResult()> &compute);
+
+    /** @return true if @p spec 's result is already cached. */
+    bool contains(const RunSpec &spec) const;
+
+    /** Drop every cached result (tests). */
+    void clear();
+
+    /** Number of lookups served from the cache. */
+    uint64_t hits() const { return hits_.load(); }
+    /** Number of lookups that had to simulate. */
+    uint64_t misses() const { return misses_.load(); }
+    /** Number of distinct cells stored. */
+    size_t size() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, std::shared_future<RunResult>> cache_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace hs
+
+#endif // HS_SIM_RESULT_STORE_HH

@@ -1,5 +1,6 @@
 #include "sim/results.hh"
 
+#include <cstdio>
 #include <iomanip>
 #include <sstream>
 
@@ -69,6 +70,147 @@ TablePrinter::num(double v, int digits)
     std::ostringstream os;
     os << std::fixed << std::setprecision(digits) << v;
     return os.str();
+}
+
+double
+degradationPct(double base, double measured)
+{
+    if (base <= 0)
+        return 0.0;
+    return (1.0 - measured / base) * 100.0;
+}
+
+namespace {
+
+/** %.17g: doubles survive a text round trip bit-identically. */
+std::string
+jnum(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+jstr(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+writeResultJson(std::ostream &os, const RunResult &r, int indent)
+{
+    const std::string in0(static_cast<size_t>(indent) * 2, ' ');
+    const std::string in1 = in0 + "  ";
+    const std::string in2 = in1 + "  ";
+
+    os << in0 << "{\n";
+    os << in1 << "\"cycles\": " << r.cycles << ",\n";
+    os << in1 << "\"active_cycles\": " << r.activeCycles << ",\n";
+    os << in1 << "\"emergencies\": " << r.emergencies << ",\n";
+    os << in1 << "\"peak_temp_K\": " << jnum(r.peakTempOverall) << ",\n";
+    os << in1 << "\"hottest_block\": " << jstr(blockName(r.hottestBlock))
+       << ",\n";
+    os << in1 << "\"stop_and_go_triggers\": " << r.stopAndGoTriggers
+       << ",\n";
+    os << in1 << "\"cooling_stall_cycles\": " << r.coolingStallCycles
+       << ",\n";
+    os << in1 << "\"avg_power_W\": " << jnum(r.avgTotalPowerW) << ",\n";
+
+    os << in1 << "\"threads\": [\n";
+    for (size_t t = 0; t < r.threads.size(); ++t) {
+        const ThreadResult &tr = r.threads[t];
+        os << in2 << "{\"thread\": " << t << ", \"program\": "
+           << jstr(tr.program) << ", \"committed\": " << tr.committed
+           << ", \"ipc\": " << jnum(tr.ipc)
+           << ", \"normal_cycles\": " << tr.normalCycles
+           << ", \"cooling_cycles\": " << tr.coolingCycles
+           << ", \"sedation_cycles\": " << tr.sedationCycles
+           << ", \"intreg_per_cycle\": " << jnum(tr.intRegAccessRate)
+           << ", \"l1d_miss_rate\": " << jnum(tr.l1dMissRate)
+           << ", \"l2_miss_rate\": " << jnum(tr.l2MissRate)
+           << ", \"bpred_accuracy\": " << jnum(tr.bpredAccuracy)
+           << ", \"fp_per_inst\": " << jnum(tr.fpPerInst) << "}"
+           << (t + 1 < r.threads.size() ? "," : "") << "\n";
+    }
+    os << in1 << "],\n";
+
+    os << in1 << "\"sedation_events\": [\n";
+    for (size_t i = 0; i < r.sedationEvents.size(); ++i) {
+        const SedationEvent &e = r.sedationEvents[i];
+        os << in2 << "{\"cycle\": " << e.cycle << ", \"resource\": "
+           << jstr(blockName(e.resource)) << ", \"thread\": "
+           << e.thread << ", \"weighted_avg\": " << jnum(e.weightedAvg)
+           << "}" << (i + 1 < r.sedationEvents.size() ? "," : "")
+           << "\n";
+    }
+    os << in1 << "],\n";
+
+    os << in1 << "\"descheduled_threads\": [";
+    for (size_t i = 0; i < r.descheduledThreads.size(); ++i)
+        os << (i ? ", " : "") << r.descheduledThreads[i];
+    os << "]";
+
+    if (!r.tempTrace.empty()) {
+        os << ",\n" << in1 << "\"temp_trace\": [\n";
+        for (size_t i = 0; i < r.tempTrace.size(); ++i) {
+            const TempSample &s = r.tempTrace[i];
+            os << in2 << "{\"cycle\": " << s.cycle << ", \"intreg_K\": "
+               << jnum(s.intRegTemp) << ", \"hottest_K\": "
+               << jnum(s.hottestTemp) << ", \"sink_K\": "
+               << jnum(s.sinkTemp) << "}"
+               << (i + 1 < r.tempTrace.size() ? "," : "") << "\n";
+        }
+        os << in1 << "]";
+    }
+    os << "\n" << in0 << "}";
+}
+
+std::string
+resultCsvHeader()
+{
+    return "thread,program,committed,ipc,normal_cycles,cooling_cycles,"
+           "sedation_cycles,intreg_per_cycle,l1d_miss_rate,"
+           "l2_miss_rate,bpred_accuracy,fp_per_inst,cycles,"
+           "emergencies,peak_temp_K,hottest_block,avg_power_W";
+}
+
+void
+writeResultCsv(std::ostream &os, const RunResult &r,
+               const std::string &prefix)
+{
+    for (size_t t = 0; t < r.threads.size(); ++t) {
+        const ThreadResult &tr = r.threads[t];
+        os << prefix << t << "," << tr.program << "," << tr.committed
+           << "," << jnum(tr.ipc) << "," << tr.normalCycles << ","
+           << tr.coolingCycles << "," << tr.sedationCycles << ","
+           << jnum(tr.intRegAccessRate) << "," << jnum(tr.l1dMissRate)
+           << "," << jnum(tr.l2MissRate) << ","
+           << jnum(tr.bpredAccuracy) << "," << jnum(tr.fpPerInst) << ","
+           << r.cycles << "," << r.emergencies << ","
+           << jnum(r.peakTempOverall) << "," << blockName(r.hottestBlock)
+           << "," << jnum(r.avgTotalPowerW) << "\n";
+    }
 }
 
 } // namespace hs

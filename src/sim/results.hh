@@ -29,6 +29,11 @@ struct ThreadResult
     uint64_t sedationCycles = 0;  ///< thread-selective stalls
     double intRegAccessRate = 0.0; ///< accesses/cycle, whole quantum
     double l1dMissRate = 0.0;      ///< (shared cache; whole-run rate)
+    double l2MissRate = 0.0;       ///< (shared cache; whole-run rate)
+    double bpredAccuracy = 1.0;    ///< (shared predictor; whole-run)
+    double fpPerInst = 0.0;        ///< FP-unit accesses per committed
+
+    bool operator==(const ThreadResult &) const = default;
 };
 
 /** One downsampled temperature trace point. */
@@ -38,6 +43,8 @@ struct TempSample
     Kelvin intRegTemp = 0;
     Kelvin hottestTemp = 0;
     Kelvin sinkTemp = 0;
+
+    bool operator==(const TempSample &) const = default;
 };
 
 /** Outcome of one simulated quantum. */
@@ -66,7 +73,28 @@ struct RunResult
     double normalFraction(size_t thread) const;
     double coolingFraction(size_t thread) const;
     double sedationFraction(size_t thread) const;
+
+    /** Field-for-field (bit-identical doubles) comparison. */
+    bool operator==(const RunResult &) const = default;
 };
+
+/** Degradation of @p measured relative to @p base, in percent. */
+double degradationPct(double base, double measured);
+
+/**
+ * Emit @p r as a JSON object (17-significant-digit doubles, so values
+ * round-trip bit-identically). @p indent is the opening indentation
+ * level in two-space steps; the temperature trace is included only
+ * when non-empty.
+ */
+void writeResultJson(std::ostream &os, const RunResult &r, int indent = 0);
+
+/** Column names of the per-thread CSV emission (no trailing comma). */
+std::string resultCsvHeader();
+
+/** One CSV row per thread of @p r, each line prefixed by @p prefix. */
+void writeResultCsv(std::ostream &os, const RunResult &r,
+                    const std::string &prefix = "");
 
 /** Minimal fixed-width table printer for bench output. */
 class TablePrinter

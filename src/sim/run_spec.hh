@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Declarative experiment specification.
+ *
+ * A RunSpec names everything that determines the outcome of one
+ * simulated OS quantum: the workload mix plus the experiment options
+ * (and the handful of direct SimConfig extras the harnesses use). Specs
+ * are plain data — they can be built in bulk to describe a whole
+ * figure's matrix, hashed into a canonical cache key, executed by the
+ * ParallelRunner, and serialised alongside their results.
+ *
+ * The canonical key covers every field that influences the simulation,
+ * so two specs with equal keys are guaranteed to produce bit-identical
+ * RunResults (the simulator is deterministic: fixed-seed RNGs, no
+ * wall-clock).
+ */
+
+#ifndef HS_SIM_RUN_SPEC_HH
+#define HS_SIM_RUN_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace hs {
+
+/** One thread of a RunSpec's workload mix. */
+struct WorkloadSpec
+{
+    enum class Kind {
+        Spec,    ///< synthetic SPEC program by profile name
+        Variant, ///< malicious kernel 1..4 (phase lengths track the
+                 ///< spec's time scale)
+        Asm      ///< assembly text carried in the spec itself
+    };
+
+    Kind kind = Kind::Spec;
+    std::string name;    ///< profile name (Spec) or display label (Asm)
+    int variant = 0;     ///< 1..4 for Kind::Variant
+    std::string asmText; ///< program source for Kind::Asm
+
+    /** A SPEC thread by profile name. */
+    static WorkloadSpec spec(std::string name);
+    /** A malicious-variant thread (1..4). */
+    static WorkloadSpec maliciousVariant(int which);
+    /** A thread assembled from @p text (hashed by content). */
+    static WorkloadSpec assembly(std::string label, std::string text);
+
+    bool operator==(const WorkloadSpec &) const = default;
+};
+
+/** Full declarative description of one run. */
+struct RunSpec
+{
+    std::vector<WorkloadSpec> workloads;
+    ExperimentOptions opts;
+
+    // Direct SimConfig extras used by the harnesses and hs_run.
+    int numThreads = 0;      ///< SMT contexts; 0 = config default,
+                             ///< widened to fit the workload list
+    double dieShrink = 1.0;  ///< technology-scaling study knob
+    double sensorNoiseK = 0.0;
+    int descheduleAfter = 0; ///< OS extension: deschedule after N
+                             ///< sedation reports (0 = off)
+
+    /** Display label for tables/JSON; NOT part of the canonical key. */
+    std::string label;
+
+    /**
+     * Canonical text form of every outcome-determining field.
+     * Equal keys <=> bit-identical results.
+     */
+    std::string canonicalKey() const;
+
+    /** FNV-1a 64-bit hash of canonicalKey(). */
+    uint64_t hash() const;
+
+    bool operator==(const RunSpec &) const = default;
+
+    // --- fluent builders (each returns a modified copy) -------------
+    RunSpec withLabel(std::string l) const;
+    RunSpec withDtm(DtmMode mode) const;
+    RunSpec withSink(SinkType sink) const;
+};
+
+/** Spec for @p name running alone. */
+RunSpec soloSpec(const std::string &name, const ExperimentOptions &opts);
+/** Spec for malicious variant @p variant running alone. */
+RunSpec maliciousSoloSpec(int variant, const ExperimentOptions &opts);
+/** Spec for @p name co-scheduled with malicious variant @p variant. */
+RunSpec withVariantSpec(const std::string &name, int variant,
+                        const ExperimentOptions &opts);
+/** Spec for two SPEC programs sharing the machine. */
+RunSpec specPairSpec(const std::string &a, const std::string &b,
+                     const ExperimentOptions &opts);
+
+} // namespace hs
+
+#endif // HS_SIM_RUN_SPEC_HH

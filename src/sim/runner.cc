@@ -1,0 +1,208 @@
+#include "sim/runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+#include "common/log.hh"
+#include "isa/assembler.hh"
+#include "sim/result_store.hh"
+#include "sim/simulator.hh"
+
+namespace hs {
+
+namespace {
+
+Program
+buildWorkload(const WorkloadSpec &w, const ExperimentOptions &opts)
+{
+    switch (w.kind) {
+      case WorkloadSpec::Kind::Spec:
+        return synthesizeSpec(w.name);
+      case WorkloadSpec::Kind::Variant:
+        return makeVariant(w.variant, makeMaliciousParams(opts));
+      case WorkloadSpec::Kind::Asm: {
+        Program p = assemble(w.asmText, w.name);
+        // The hs_run convention: seed r24/r25 so hand-written kernels
+        // have non-trivial operands.
+        p.setInitReg(24, 7);
+        p.setInitReg(25, 13);
+        return p;
+      }
+    }
+    panic("buildWorkload: bad WorkloadSpec kind");
+}
+
+} // namespace
+
+std::unique_ptr<Simulator>
+makeSimulator(const RunSpec &spec)
+{
+    if (spec.workloads.empty())
+        fatal("RunSpec '%s' has no workloads", spec.label.c_str());
+
+    SimConfig cfg = makeSimConfig(spec.opts);
+    cfg.thermal.dieShrink = spec.dieShrink;
+    cfg.sensorNoiseK = spec.sensorNoiseK;
+    if (spec.descheduleAfter > 0) {
+        cfg.descheduleRepeatOffenders = true;
+        cfg.offenderPolicy.reportsBeforeDeschedule = spec.descheduleAfter;
+    }
+    if (spec.numThreads > 0)
+        cfg.smt.numThreads = spec.numThreads;
+    if (static_cast<int>(spec.workloads.size()) > cfg.smt.numThreads)
+        cfg.smt.numThreads = static_cast<int>(spec.workloads.size());
+
+    auto sim = std::make_unique<Simulator>(cfg);
+    for (size_t t = 0; t < spec.workloads.size(); ++t)
+        sim->setWorkload(static_cast<ThreadId>(t),
+                         buildWorkload(spec.workloads[t], spec.opts));
+    return sim;
+}
+
+RunResult
+executeRunSpec(const RunSpec &spec)
+{
+    return makeSimulator(spec)->run();
+}
+
+ParallelRunner::ParallelRunner(int jobs, ResultStore *store)
+    : jobs_(jobs), store_(store)
+{
+    if (jobs_ <= 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        jobs_ = hw ? static_cast<int>(hw) : 1;
+    }
+}
+
+std::vector<RunResult>
+ParallelRunner::run(const std::vector<RunSpec> &specs)
+{
+    std::vector<RunResult> results(specs.size());
+    if (specs.empty())
+        return results;
+
+    auto runOne = [&](size_t i) {
+        const RunSpec &spec = specs[i];
+        results[i] = store_
+                         ? store_->getOrCompute(
+                               spec, [&spec] { return executeRunSpec(spec); })
+                         : executeRunSpec(spec);
+    };
+
+    int workers = std::min<int>(jobs_, static_cast<int>(specs.size()));
+    if (workers <= 1) {
+        for (size_t i = 0; i < specs.size(); ++i)
+            runOne(i);
+        return results;
+    }
+
+    std::atomic<size_t> next{0};
+    std::exception_ptr error;
+    std::mutex errorMu;
+    auto worker = [&] {
+        for (;;) {
+            size_t i = next.fetch_add(1);
+            if (i >= specs.size())
+                return;
+            try {
+                runOne(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMu);
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    if (error)
+        std::rethrow_exception(error);
+    return results;
+}
+
+int
+envJobs(int default_jobs)
+{
+    const char *env = std::getenv("HS_JOBS");
+    if (!env || !*env)
+        return default_jobs;
+    char *end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v <= 0)
+        fatal("HS_JOBS must be a positive integer, got '%s'", env);
+    return static_cast<int>(v);
+}
+
+std::vector<RunResult>
+runMatrix(const std::vector<RunSpec> &specs)
+{
+    ResultStore &store = ResultStore::global();
+    uint64_t hits0 = store.hits();
+    ParallelRunner runner(envJobs(0), &store);
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<RunResult> results = runner.run(specs);
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+    std::fprintf(stderr,
+                 "[engine] %zu runs (%llu cached) on %d workers in "
+                 "%.1f s\n",
+                 specs.size(),
+                 static_cast<unsigned long long>(store.hits() - hits0),
+                 runner.jobs(), secs);
+    return results;
+}
+
+void
+writeMatrixJson(std::ostream &os, const std::vector<RunSpec> &specs,
+                const std::vector<RunResult> &results)
+{
+    if (specs.size() != results.size())
+        panic("writeMatrixJson: %zu specs vs %zu results", specs.size(),
+              results.size());
+    os << "{\n  \"runs\": [\n";
+    for (size_t i = 0; i < specs.size(); ++i) {
+        char hash[24];
+        std::snprintf(hash, sizeof(hash), "%016llx",
+                      static_cast<unsigned long long>(specs[i].hash()));
+        os << "    {\n      \"label\": \"" << specs[i].label
+           << "\",\n      \"spec_hash\": \"" << hash
+           << "\",\n      \"result\":\n";
+        writeResultJson(os, results[i], 3);
+        os << "\n    }" << (i + 1 < specs.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+void
+writeMatrixCsv(std::ostream &os, const std::vector<RunSpec> &specs,
+               const std::vector<RunResult> &results)
+{
+    if (specs.size() != results.size())
+        panic("writeMatrixCsv: %zu specs vs %zu results", specs.size(),
+              results.size());
+    os << "run,label," << resultCsvHeader() << "\n";
+    for (size_t i = 0; i < specs.size(); ++i) {
+        std::string label = specs[i].label;
+        for (char &c : label)
+            if (c == ',')
+                c = ';';
+        writeResultCsv(os, results[i],
+                       std::to_string(i) + "," + label + ",");
+    }
+}
+
+} // namespace hs

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Parallel experiment engine.
+ *
+ * Executes a matrix of RunSpecs across a pool of std::thread workers.
+ * Each simulation owns all of its state (fixed-seed RNGs, no globals),
+ * so runs are embarrassingly parallel and the engine guarantees
+ * bit-identical results to serial execution, returned in submission
+ * order regardless of the worker count.
+ *
+ * Environment knobs:
+ *  - HS_JOBS: worker count for runMatrix() (default: all hardware
+ *    threads; must be a positive integer).
+ */
+
+#ifndef HS_SIM_RUNNER_HH
+#define HS_SIM_RUNNER_HH
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "sim/run_spec.hh"
+
+namespace hs {
+
+class ResultStore;
+class Simulator;
+
+/** Build a configured simulator with @p spec 's workloads bound. */
+std::unique_ptr<Simulator> makeSimulator(const RunSpec &spec);
+
+/** Execute one spec serially (no cache). */
+RunResult executeRunSpec(const RunSpec &spec);
+
+/** Thread-pool executor for RunSpec matrices. */
+class ParallelRunner
+{
+  public:
+    /**
+     * @param jobs worker threads; 0 = hardware concurrency.
+     * @param store memoisation store, or nullptr to always simulate.
+     */
+    explicit ParallelRunner(int jobs = 0, ResultStore *store = nullptr);
+
+    /**
+     * Run every spec and return results in submission order.
+     * Bit-identical to calling executeRunSpec() on each spec in turn.
+     */
+    std::vector<RunResult> run(const std::vector<RunSpec> &specs);
+
+    int jobs() const { return jobs_; }
+
+  private:
+    int jobs_;
+    ResultStore *store_;
+};
+
+/** @return the HS_JOBS override, or @p default_jobs (0 = all cores). */
+int envJobs(int default_jobs = 0);
+
+/**
+ * Bench-harness convenience: run @p specs with HS_JOBS workers and the
+ * process-wide ResultStore, and print a one-line engine summary
+ * (worker count, cache hits, wall time) to stderr.
+ */
+std::vector<RunResult> runMatrix(const std::vector<RunSpec> &specs);
+
+/**
+ * Structured emission of a whole matrix: one JSON object with a
+ * "runs" array pairing each spec (label, canonical key, hash) with its
+ * result.
+ */
+void writeMatrixJson(std::ostream &os, const std::vector<RunSpec> &specs,
+                     const std::vector<RunResult> &results);
+
+/** One CSV row per (run, thread), prefixed by run index and label. */
+void writeMatrixCsv(std::ostream &os, const std::vector<RunSpec> &specs,
+                    const std::vector<RunResult> &results);
+
+} // namespace hs
+
+#endif // HS_SIM_RUNNER_HH

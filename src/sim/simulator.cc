@@ -315,6 +315,13 @@ Simulator::collectResults() const
 
     const Cache &l1d = pipeline_->mem().l1d();
     double l1d_missrate = l1d.missRate();
+    double l2_missrate = pipeline_->mem().l2().missRate();
+    uint64_t bp_lookups = pipeline_->bpred().lookups();
+    double bp_accuracy =
+        bp_lookups ? 1.0 - static_cast<double>(
+                               pipeline_->bpred().mispredicts()) /
+                               static_cast<double>(bp_lookups)
+                   : 1.0;
 
     for (ThreadId t = 0; t < config_.smt.numThreads; ++t) {
         const ThreadContext &tc = pipeline_->thread(t);
@@ -337,6 +344,14 @@ Simulator::collectResults() const
                       static_cast<double>(result.cycles)
                 : 0.0;
         tr.l1dMissRate = l1d_missrate;
+        tr.l2MissRate = l2_missrate;
+        tr.bpredAccuracy = bp_accuracy;
+        uint64_t fp = pipeline_->activity().count(t, Block::FpAdd) +
+                      pipeline_->activity().count(t, Block::FpMul);
+        tr.fpPerInst = tc.committedInsts
+                           ? static_cast<double>(fp) /
+                                 static_cast<double>(tc.committedInsts)
+                           : 0.0;
         result.threads.push_back(std::move(tr));
     }
 

@@ -3,8 +3,10 @@
  * hs_run — command-line driver for the heat-stroke simulator.
  *
  * Runs an arbitrary workload mix for one OS quantum and prints the
- * per-thread results plus (optionally) the full statistics dump or a
- * temperature-trace CSV.
+ * per-thread results plus (optionally) the full statistics dump, a
+ * temperature-trace CSV, or a structured JSON/CSV result file. With
+ * --each the workloads become independent solo runs executed by the
+ * parallel experiment engine.
  *
  * Usage:
  *   hs_run [options]
@@ -12,6 +14,12 @@
  *   --spec NAME          add a synthetic SPEC thread (repeatable)
  *   --variant N          add malicious variant N in {1..4} (repeatable)
  *   --asm FILE           add a thread assembled from FILE (repeatable)
+ *   --each               run each workload as its own solo quantum
+ *                        (a RunSpec matrix) instead of co-scheduled
+ *   --jobs N             engine worker threads (default: HS_JOBS or
+ *                        all hardware threads)
+ *   --json FILE          write specs + results as JSON ("-" = stdout)
+ *   --csv FILE           write per-thread results as CSV ("-" = stdout)
  *   --dtm MODE           none|stopgo|sedation|dvfs|fetchgate
  *                        (default stopgo)
  *   --sink ideal|real    heat sink model (default real)
@@ -20,8 +28,8 @@
  *   --upper K --lower K  sedation thresholds (default 356 / 355)
  *   --noise K            sensor noise amplitude (default 0)
  *   --deschedule N       OS extension: deschedule after N reports
- *   --trace FILE         write temperature trace CSV
- *   --stats              dump full statistics after the run
+ *   --trace FILE         write temperature trace CSV (single run only)
+ *   --stats              dump full statistics (single run only)
  *   --list               list available SPEC profiles and exit
  */
 
@@ -29,13 +37,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "isa/assembler.hh"
-#include "sim/experiment.hh"
+#include "sim/result_store.hh"
+#include "sim/runner.hh"
+#include "sim/simulator.hh"
 
 namespace {
 
@@ -47,6 +57,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--spec NAME]... [--variant N]... "
                  "[--asm FILE]...\n"
+                 "       [--each] [--jobs N] [--json FILE] "
+                 "[--csv FILE]\n"
                  "       [--dtm none|stopgo|sedation|dvfs|fetchgate] "
                  "[--sink ideal|real]\n"
                  "       [--scale S] [--conv R] [--upper K] "
@@ -73,7 +85,7 @@ parseDtm(const std::string &s)
     fatal("unknown DTM mode '%s'", s.c_str());
 }
 
-Program
+WorkloadSpec
 loadAsm(const std::string &path)
 {
     std::ifstream in(path);
@@ -81,10 +93,61 @@ loadAsm(const std::string &path)
         fatal("cannot open assembly file '%s'", path.c_str());
     std::stringstream buf;
     buf << in.rdbuf();
-    Program p = assemble(buf.str(), path);
-    p.setInitReg(24, 7);
-    p.setInitReg(25, 13);
-    return p;
+    return WorkloadSpec::assembly(path, buf.str());
+}
+
+void
+printRun(const RunSpec &spec, const RunResult &r)
+{
+    std::printf("quantum: %llu cycles (scale 1/%g), dtm=%s, "
+                "power=%.1fW, peak=%.2fK (%s), emergencies=%llu\n",
+                static_cast<unsigned long long>(r.cycles),
+                spec.opts.timeScale,
+                dtmModeName(spec.opts.sink == SinkType::Ideal
+                                ? DtmMode::None
+                                : spec.opts.dtm),
+                r.avgTotalPowerW, r.peakTempOverall,
+                blockName(r.hottestBlock),
+                static_cast<unsigned long long>(r.emergencies));
+    TablePrinter table(std::cout);
+    table.header({"thread", "program", "IPC", "IntReg/cyc", "normal%",
+                  "cooling%", "sedated%"});
+    for (size_t t = 0; t < r.threads.size(); ++t) {
+        const ThreadResult &tr = r.threads[t];
+        table.row({std::to_string(t), tr.program,
+                   TablePrinter::num(tr.ipc),
+                   TablePrinter::num(tr.intRegAccessRate),
+                   TablePrinter::num(r.normalFraction(t) * 100, 1),
+                   TablePrinter::num(r.coolingFraction(t) * 100, 1),
+                   TablePrinter::num(r.sedationFraction(t) * 100, 1)});
+    }
+    if (!r.sedationEvents.empty()) {
+        std::printf("%zu sedation action(s); first at cycle %llu "
+                    "(thread %d, %s)\n",
+                    r.sedationEvents.size(),
+                    static_cast<unsigned long long>(
+                        r.sedationEvents[0].cycle),
+                    r.sedationEvents[0].thread,
+                    blockName(r.sedationEvents[0].resource));
+    }
+    for (ThreadId t : r.descheduledThreads)
+        std::printf("OS descheduled repeat offender: thread %d\n", t);
+}
+
+/** Open @p path for writing, with "-" meaning stdout. */
+void
+withOutput(const std::string &path,
+           const std::function<void(std::ostream &)> &fn)
+{
+    if (path == "-") {
+        fn(std::cout);
+        return;
+    }
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write '%s'", path.c_str());
+    fn(out);
+    std::printf("wrote %s\n", path.c_str());
 }
 
 } // namespace
@@ -92,19 +155,15 @@ loadAsm(const std::string &path)
 int
 main(int argc, char **argv)
 {
-    struct WorkSpec
-    {
-        enum class Kind { Spec, Variant, Asm } kind;
-        std::string name;
-        int variant = 0;
-    };
-    std::vector<WorkSpec> specs;
+    std::vector<WorkloadSpec> workloads;
     ExperimentOptions opts;
     opts.timeScale = envTimeScale(50.0);
     opts.dtm = DtmMode::StopAndGo;
     double noise = 0.0;
     int deschedule = 0;
-    std::string trace_path;
+    int jobs = 0;
+    bool each = false;
+    std::string trace_path, json_path, csv_path;
     bool dump_stats = false;
 
     auto need = [&](int &i) -> const char * {
@@ -116,12 +175,22 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--spec") {
-            specs.push_back({WorkSpec::Kind::Spec, need(i), 0});
+            workloads.push_back(WorkloadSpec::spec(need(i)));
         } else if (arg == "--variant") {
-            specs.push_back(
-                {WorkSpec::Kind::Variant, "", std::atoi(need(i))});
+            workloads.push_back(
+                WorkloadSpec::maliciousVariant(std::atoi(need(i))));
         } else if (arg == "--asm") {
-            specs.push_back({WorkSpec::Kind::Asm, need(i), 0});
+            workloads.push_back(loadAsm(need(i)));
+        } else if (arg == "--each") {
+            each = true;
+        } else if (arg == "--jobs") {
+            jobs = std::atoi(need(i));
+            if (jobs <= 0)
+                fatal("--jobs must be a positive integer");
+        } else if (arg == "--json") {
+            json_path = need(i);
+        } else if (arg == "--csv") {
+            csv_path = need(i);
         } else if (arg == "--dtm") {
             opts.dtm = parseDtm(need(i));
         } else if (arg == "--sink") {
@@ -153,78 +222,58 @@ main(int argc, char **argv)
             usage(argv[0]);
         }
     }
-    if (specs.empty()) {
+    if (workloads.empty()) {
         std::fprintf(stderr, "no workloads given; try --spec gcc "
                              "--variant 2\n");
         usage(argv[0]);
     }
 
-    // Build workloads only after every option (notably --scale) is
-    // parsed, so malicious phase lengths scale correctly.
-    std::vector<Program> workloads;
-    for (const WorkSpec &w : specs) {
-        switch (w.kind) {
-          case WorkSpec::Kind::Spec:
-            workloads.push_back(synthesizeSpec(w.name));
-            break;
-          case WorkSpec::Kind::Variant:
-            workloads.push_back(makeVariant(
-                w.variant, MaliciousParams{}.scaled(opts.timeScale)));
-            break;
-          case WorkSpec::Kind::Asm:
-            workloads.push_back(loadAsm(w.name));
-            break;
+    // Declare the run matrix: one co-scheduled mix, or (--each) one
+    // solo run per workload.
+    std::vector<RunSpec> specs;
+    if (each) {
+        if (dump_stats || !trace_path.empty())
+            fatal("--stats/--trace apply to a single run; drop --each");
+        for (const WorkloadSpec &w : workloads) {
+            RunSpec s;
+            s.workloads.push_back(w);
+            s.opts = opts;
+            s.sensorNoiseK = noise;
+            s.descheduleAfter = deschedule;
+            s.label = w.name;
+            specs.push_back(s);
+        }
+    } else {
+        RunSpec s;
+        s.workloads = workloads;
+        s.opts = opts;
+        s.sensorNoiseK = noise;
+        s.descheduleAfter = deschedule;
+        s.label = "mix";
+        specs.push_back(s);
+    }
+
+    std::vector<RunResult> results;
+    if (dump_stats) {
+        // The statistics dump needs the live simulator, so this path
+        // runs serially outside the engine.
+        std::unique_ptr<Simulator> sim = makeSimulator(specs[0]);
+        results.push_back(sim->run());
+        printRun(specs[0], results[0]);
+        sim->dumpStats(std::cout);
+    } else {
+        ParallelRunner runner(jobs > 0 ? jobs : envJobs(0),
+                              &ResultStore::global());
+        results = runner.run(specs);
+        for (size_t i = 0; i < specs.size(); ++i) {
+            if (i)
+                std::printf("\n");
+            printRun(specs[i], results[i]);
         }
     }
 
-    SimConfig cfg = makeSimConfig(opts);
-    cfg.sensorNoiseK = noise;
-    if (deschedule > 0) {
-        cfg.descheduleRepeatOffenders = true;
-        cfg.offenderPolicy.reportsBeforeDeschedule = deschedule;
-    }
-    if (static_cast<int>(workloads.size()) > cfg.smt.numThreads)
-        cfg.smt.numThreads = static_cast<int>(workloads.size());
-
-    Simulator sim(cfg);
-    for (size_t t = 0; t < workloads.size(); ++t)
-        sim.setWorkload(static_cast<ThreadId>(t),
-                        std::move(workloads[t]));
-
-    RunResult r = sim.run();
-
-    std::printf("quantum: %llu cycles (scale 1/%g), dtm=%s, "
-                "power=%.1fW, peak=%.2fK (%s), emergencies=%llu\n",
-                static_cast<unsigned long long>(r.cycles),
-                opts.timeScale, dtmModeName(cfg.dtm),
-                r.avgTotalPowerW, r.peakTempOverall,
-                blockName(r.hottestBlock),
-                static_cast<unsigned long long>(r.emergencies));
-    TablePrinter table(std::cout);
-    table.header({"thread", "program", "IPC", "IntReg/cyc", "normal%",
-                  "cooling%", "sedated%"});
-    for (size_t t = 0; t < r.threads.size(); ++t) {
-        const ThreadResult &tr = r.threads[t];
-        table.row({std::to_string(t), tr.program,
-                   TablePrinter::num(tr.ipc),
-                   TablePrinter::num(tr.intRegAccessRate),
-                   TablePrinter::num(r.normalFraction(t) * 100, 1),
-                   TablePrinter::num(r.coolingFraction(t) * 100, 1),
-                   TablePrinter::num(r.sedationFraction(t) * 100, 1)});
-    }
-    if (!r.sedationEvents.empty()) {
-        std::printf("%zu sedation action(s); first at cycle %llu "
-                    "(thread %d, %s)\n",
-                    r.sedationEvents.size(),
-                    static_cast<unsigned long long>(
-                        r.sedationEvents[0].cycle),
-                    r.sedationEvents[0].thread,
-                    blockName(r.sedationEvents[0].resource));
-    }
-    for (ThreadId t : r.descheduledThreads)
-        std::printf("OS descheduled repeat offender: thread %d\n", t);
-
     if (!trace_path.empty()) {
+        const RunResult &r = results[0];
         std::ofstream csv(trace_path);
         csv << "cycle,intreg_K,hottest_K,sink_K\n";
         for (const TempSample &s : r.tempTrace)
@@ -233,7 +282,13 @@ main(int argc, char **argv)
         std::printf("wrote %zu trace samples to %s\n",
                     r.tempTrace.size(), trace_path.c_str());
     }
-    if (dump_stats)
-        sim.dumpStats(std::cout);
+    if (!json_path.empty())
+        withOutput(json_path, [&](std::ostream &os) {
+            writeMatrixJson(os, specs, results);
+        });
+    if (!csv_path.empty())
+        withOutput(csv_path, [&](std::ostream &os) {
+            writeMatrixCsv(os, specs, results);
+        });
     return 0;
 }
