@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Hot-path microbenchmark: simulation throughput of the three cost
+ * centres of a run, isolated so a regression can be attributed.
+ *
+ *  - tick:    gcc solo, ideal sink, no DTM. The thermal step
+ *             early-returns, no policy ever acts — this is the pure
+ *             Pipeline::tick() cost.
+ *  - thermal: gcc solo, realistic sink, no DTM. Adds the RC network
+ *             step and sensor sampling every 20 K cycles on top of the
+ *             tick cost.
+ *  - stalled: malicious variant 1 under stop-and-go. The pipeline
+ *             spends most of the quantum globally stalled, so this
+ *             measures the advanceStalled() fast-forward path.
+ *
+ * Output ends with one machine-parsable line per row:
+ *
+ *     [hotpath] label=<row> cycles=<N> host_s=<s> mcps=<Mcycles/s>
+ *
+ * scripts/check_perf.sh greps these lines and compares mcps against
+ * scripts/perf_baseline.json (20% regression gate). Not part of
+ * run_benches.sh: wall-clock output is machine-dependent by design and
+ * must not enter the byte-compared results/ tables.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "sim/runner.hh"
+
+int
+main()
+{
+    using namespace hs;
+
+    ExperimentOptions base = ExperimentOptions::fromEnv();
+
+    ExperimentOptions tick = base;
+    tick.sink = SinkType::Ideal;
+    tick.dtm = DtmMode::None;
+
+    ExperimentOptions thermal = base;
+    thermal.sink = SinkType::Realistic;
+    thermal.dtm = DtmMode::None;
+
+    ExperimentOptions stalled = base;
+    stalled.sink = SinkType::Realistic;
+    stalled.dtm = DtmMode::StopAndGo;
+
+    std::vector<RunSpec> specs;
+    specs.push_back(soloSpec("gcc", tick).withLabel("tick"));
+    specs.push_back(soloSpec("gcc", thermal).withLabel("thermal"));
+    specs.push_back(maliciousSoloSpec(1, stalled).withLabel("stalled"));
+
+    std::vector<RunResult> results = runMatrix(specs);
+
+    std::printf("\n=== hot-path throughput (time scale from HS_SCALE) "
+                "===\n");
+    std::printf("%-8s %14s %12s %14s\n", "row", "sim cycles",
+                "host sec", "Mcycles/sec");
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const RunResult &r = results[i];
+        double mcps = r.hostSeconds > 0.0
+                          ? static_cast<double>(r.cycles) /
+                                r.hostSeconds / 1e6
+                          : 0.0;
+        std::printf("%-8s %14llu %12.3f %14.2f\n",
+                    specs[i].label.c_str(),
+                    static_cast<unsigned long long>(r.cycles),
+                    r.hostSeconds, mcps);
+    }
+    std::printf("\nrows: tick = pipeline only (ideal sink), thermal = "
+                "+RC step each sensor sample, stalled = "
+                "advanceStalled fast-forward under stop-and-go.\n\n");
+
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const RunResult &r = results[i];
+        double mcps = r.hostSeconds > 0.0
+                          ? static_cast<double>(r.cycles) /
+                                r.hostSeconds / 1e6
+                          : 0.0;
+        std::printf("[hotpath] label=%s cycles=%llu host_s=%.4f "
+                    "mcps=%.3f\n",
+                    specs[i].label.c_str(),
+                    static_cast<unsigned long long>(r.cycles),
+                    r.hostSeconds, mcps);
+    }
+    return 0;
+}

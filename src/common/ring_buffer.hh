@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fixed-capacity double-ended ring buffer.
+ *
+ * A drop-in replacement for the std::deque fronting the per-thread ROB
+ * and LSQ: those queues are bounded by the (shared) RUU/LSQ sizes, so a
+ * preallocated ring removes the deque's chunk allocation/deallocation
+ * churn from Pipeline::tick() — the last heap traffic on the per-cycle
+ * path. Indexing is a mask instead of the deque's segmented map walk.
+ *
+ * Capacity is rounded up to a power of two and fixed after reserve();
+ * pushing past it panics (the pipeline already accounts occupancy
+ * against the architectural limits, so an overflow is a bug, not a
+ * resize request).
+ */
+
+#ifndef HS_COMMON_RING_BUFFER_HH
+#define HS_COMMON_RING_BUFFER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace hs {
+
+/** Bounded deque over a preallocated power-of-two ring. */
+template <typename T>
+class RingBuffer
+{
+  public:
+    RingBuffer() = default;
+
+    /** Allocate space for at least @p capacity elements and clear. */
+    void
+    reserve(size_t capacity)
+    {
+        size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        buf_.assign(cap, T{});
+        mask_ = cap - 1;
+        head_ = size_ = 0;
+    }
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    size_t capacity() const { return buf_.size(); }
+
+    /** Element @p i counted from the front (0 = oldest). */
+    T &
+    operator[](size_t i)
+    {
+        return buf_[(head_ + i) & mask_];
+    }
+    const T &
+    operator[](size_t i) const
+    {
+        return buf_[(head_ + i) & mask_];
+    }
+
+    T &front() { return buf_[head_]; }
+    const T &front() const { return buf_[head_]; }
+    T &back() { return buf_[(head_ + size_ - 1) & mask_]; }
+    const T &back() const { return buf_[(head_ + size_ - 1) & mask_]; }
+
+    void
+    push_back(const T &v)
+    {
+        if (size_ == buf_.size())
+            panic("RingBuffer: overflow (capacity %zu)", buf_.size());
+        buf_[(head_ + size_) & mask_] = v;
+        ++size_;
+    }
+
+    void
+    pop_front()
+    {
+        if (size_ == 0)
+            panic("RingBuffer: pop_front on empty buffer");
+        head_ = (head_ + 1) & mask_;
+        --size_;
+    }
+
+    void
+    pop_back()
+    {
+        if (size_ == 0)
+            panic("RingBuffer: pop_back on empty buffer");
+        --size_;
+    }
+
+    void clear() { head_ = size_ = 0; }
+
+  private:
+    std::vector<T> buf_;
+    size_t mask_ = 0;
+    size_t head_ = 0;
+    size_t size_ = 0;
+};
+
+} // namespace hs
+
+#endif // HS_COMMON_RING_BUFFER_HH

@@ -4,168 +4,57 @@
 
 namespace hs {
 
-InstClass
-Instruction::opcodeClass(Opcode op)
+namespace {
+
+// Pin the table-driven properties in isa.hh to the reference semantics
+// the out-of-line switches used to encode, entry by entry for the cases
+// that do not follow their group's pattern.
+constexpr bool
+checkOpcodeTable()
 {
-    switch (op) {
-      case Opcode::Add:
-      case Opcode::Sub:
-      case Opcode::And:
-      case Opcode::Or:
-      case Opcode::Xor:
-      case Opcode::Sll:
-      case Opcode::Srl:
-      case Opcode::Sra:
-      case Opcode::Slt:
-      case Opcode::Addi:
-      case Opcode::Andi:
-      case Opcode::Ori:
-      case Opcode::Xori:
-      case Opcode::Slti:
-      case Opcode::Slli:
-      case Opcode::Srli:
-      case Opcode::Lui:
-        return InstClass::IntAlu;
-      case Opcode::Mul:
-        return InstClass::IntMult;
-      case Opcode::Div:
-        return InstClass::IntDiv;
-      case Opcode::Fadd:
-      case Opcode::Fsub:
-      case Opcode::Fcvt:
-      case Opcode::Fmov:
-        return InstClass::FpAdd;
-      case Opcode::Fmul:
-        return InstClass::FpMul;
-      case Opcode::Fdiv:
-        return InstClass::FpDiv;
-      case Opcode::Ld:
-      case Opcode::Fld:
-        return InstClass::Load;
-      case Opcode::St:
-      case Opcode::Fst:
-        return InstClass::Store;
-      case Opcode::Beq:
-      case Opcode::Bne:
-      case Opcode::Blt:
-      case Opcode::Bge:
-        return InstClass::Branch;
-      case Opcode::Jmp:
-        return InstClass::Jump;
-      case Opcode::Nop:
-        return InstClass::Nop;
-      case Opcode::Halt:
-        return InstClass::Halt;
-      default:
-        panic("opcodeClass: bad opcode %d", static_cast<int>(op));
-    }
+    using I = Instruction;
+    return I::opcodeClass(Opcode::Add) == InstClass::IntAlu &&
+           I::opcodeClass(Opcode::Mul) == InstClass::IntMult &&
+           I::opcodeClass(Opcode::Div) == InstClass::IntDiv &&
+           I::opcodeClass(Opcode::Lui) == InstClass::IntAlu &&
+           I::opcodeClass(Opcode::Fcvt) == InstClass::FpAdd &&
+           I::opcodeClass(Opcode::Fmov) == InstClass::FpAdd &&
+           I::opcodeClass(Opcode::Fmul) == InstClass::FpMul &&
+           I::opcodeClass(Opcode::Fdiv) == InstClass::FpDiv &&
+           I::opcodeClass(Opcode::Fld) == InstClass::Load &&
+           I::opcodeClass(Opcode::Fst) == InstClass::Store &&
+           I::opcodeClass(Opcode::Bge) == InstClass::Branch &&
+           I::opcodeClass(Opcode::Jmp) == InstClass::Jump &&
+           I::opcodeClass(Opcode::Halt) == InstClass::Halt;
 }
 
-bool
-Instruction::writesIntReg() const
+constexpr bool
+checkFlagsTable()
 {
-    switch (instClass()) {
-      case InstClass::IntAlu:
-      case InstClass::IntMult:
-      case InstClass::IntDiv:
-        return rd != 0;
-      case InstClass::Load:
-        return op == Opcode::Ld && rd != 0;
-      default:
-        return false;
-    }
+    // The irregular entries: Lui writes but reads no register, Fcvt
+    // crosses from the int file to the FP file, Fld/Fst address via an
+    // int register while moving FP data.
+    constexpr Instruction lui{Opcode::Lui, 1};
+    constexpr Instruction fcvt{Opcode::Fcvt, 1};
+    constexpr Instruction fld{Opcode::Fld, 1};
+    constexpr Instruction fst{Opcode::Fst};
+    constexpr Instruction st{Opcode::St};
+    return lui.writesIntReg() && !lui.readsIntRs1() &&
+           fcvt.writesFpReg() && fcvt.readsIntRs1() &&
+           !fcvt.readsFpRs1() && fld.writesFpReg() &&
+           !fld.writesIntReg() && fld.readsIntRs1() &&
+           fst.readsIntRs1() && fst.readsFpRs2() &&
+           !fst.readsIntRs2() && st.readsIntRs2() && !st.readsFpRs2();
 }
 
-bool
-Instruction::writesFpReg() const
-{
-    switch (instClass()) {
-      case InstClass::FpAdd:
-      case InstClass::FpMul:
-      case InstClass::FpDiv:
-        return true;
-      case InstClass::Load:
-        return op == Opcode::Fld;
-      default:
-        return false;
-    }
-}
+static_assert(checkOpcodeTable(), "kOpcodeInfo class column is wrong");
+static_assert(checkFlagsTable(), "kOpcodeInfo flags column is wrong");
+static_assert(instClassLatency(InstClass::IntDiv) == 20 &&
+                  instClassLatency(InstClass::FpMul) == 4 &&
+                  instClassLatency(InstClass::Halt) == 1,
+              "kClassLatency is out of order");
 
-bool
-Instruction::readsIntRs1() const
-{
-    switch (instClass()) {
-      case InstClass::IntAlu:
-        return op != Opcode::Lui;
-      case InstClass::IntMult:
-      case InstClass::IntDiv:
-      case InstClass::Load:
-      case InstClass::Store:
-      case InstClass::Branch:
-        return true;
-      case InstClass::FpAdd:
-        return op == Opcode::Fcvt;
-      default:
-        return false;
-    }
-}
-
-bool
-Instruction::readsIntRs2() const
-{
-    switch (op) {
-      case Opcode::Add:
-      case Opcode::Sub:
-      case Opcode::Mul:
-      case Opcode::Div:
-      case Opcode::And:
-      case Opcode::Or:
-      case Opcode::Xor:
-      case Opcode::Sll:
-      case Opcode::Srl:
-      case Opcode::Sra:
-      case Opcode::Slt:
-      case Opcode::St:
-      case Opcode::Beq:
-      case Opcode::Bne:
-      case Opcode::Blt:
-      case Opcode::Bge:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-Instruction::readsFpRs1() const
-{
-    switch (op) {
-      case Opcode::Fadd:
-      case Opcode::Fsub:
-      case Opcode::Fmul:
-      case Opcode::Fdiv:
-      case Opcode::Fmov:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-Instruction::readsFpRs2() const
-{
-    switch (op) {
-      case Opcode::Fadd:
-      case Opcode::Fsub:
-      case Opcode::Fmul:
-      case Opcode::Fdiv:
-        return true;
-      case Opcode::Fst:
-        return true;
-      default:
-        return false;
-    }
-}
+} // namespace
 
 const char *
 opcodeName(Opcode op)
@@ -209,27 +98,6 @@ opcodeName(Opcode op)
       case Opcode::Halt: return "halt";
       default:
         panic("opcodeName: bad opcode %d", static_cast<int>(op));
-    }
-}
-
-int
-instClassLatency(InstClass c)
-{
-    switch (c) {
-      case InstClass::IntAlu: return 1;
-      case InstClass::IntMult: return 3;
-      case InstClass::IntDiv: return 20;
-      case InstClass::FpAdd: return 2;
-      case InstClass::FpMul: return 4;
-      case InstClass::FpDiv: return 12;
-      case InstClass::Load: return 1;  // address generation
-      case InstClass::Store: return 1; // address generation
-      case InstClass::Branch: return 1;
-      case InstClass::Jump: return 1;
-      case InstClass::Nop: return 1;
-      case InstClass::Halt: return 1;
-      default:
-        panic("instClassLatency: bad class %d", static_cast<int>(c));
     }
 }
 

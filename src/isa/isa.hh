@@ -62,6 +62,77 @@ enum class InstClass : uint8_t {
     Halt
 };
 
+namespace detail {
+
+/** Operand-use flag bits for the per-opcode property table. */
+constexpr uint8_t kWritesInt = 1U << 0;   ///< rd names an int register
+constexpr uint8_t kWritesFp = 1U << 1;    ///< rd names an FP register
+constexpr uint8_t kReadsIntRs1 = 1U << 2; ///< rs1 read from the int file
+constexpr uint8_t kReadsIntRs2 = 1U << 3; ///< rs2 read from the int file
+constexpr uint8_t kReadsFpRs1 = 1U << 4;  ///< rs1 read from the FP file
+constexpr uint8_t kReadsFpRs2 = 1U << 5;  ///< rs2 read from the FP file
+
+/** Scheduling class and operand flags for one opcode. */
+struct OpcodeInfo
+{
+    InstClass cls;
+    uint8_t flags;
+};
+
+/**
+ * Per-opcode property table, indexed by opcode value and kept in exact
+ * Opcode declaration order. The pipeline queries instruction properties
+ * hundreds of millions of times per run, so they must be a single
+ * indexed load, not an out-of-line switch.
+ */
+constexpr OpcodeInfo
+    kOpcodeInfo[static_cast<size_t>(Opcode::NumOpcodes)] = {
+        // Integer register-register.
+        {InstClass::IntAlu, kWritesInt | kReadsIntRs1 | kReadsIntRs2},
+        {InstClass::IntAlu, kWritesInt | kReadsIntRs1 | kReadsIntRs2},
+        {InstClass::IntMult, kWritesInt | kReadsIntRs1 | kReadsIntRs2},
+        {InstClass::IntDiv, kWritesInt | kReadsIntRs1 | kReadsIntRs2},
+        {InstClass::IntAlu, kWritesInt | kReadsIntRs1 | kReadsIntRs2},
+        {InstClass::IntAlu, kWritesInt | kReadsIntRs1 | kReadsIntRs2},
+        {InstClass::IntAlu, kWritesInt | kReadsIntRs1 | kReadsIntRs2},
+        {InstClass::IntAlu, kWritesInt | kReadsIntRs1 | kReadsIntRs2},
+        {InstClass::IntAlu, kWritesInt | kReadsIntRs1 | kReadsIntRs2},
+        {InstClass::IntAlu, kWritesInt | kReadsIntRs1 | kReadsIntRs2},
+        {InstClass::IntAlu, kWritesInt | kReadsIntRs1 | kReadsIntRs2},
+        // Integer register-immediate.
+        {InstClass::IntAlu, kWritesInt | kReadsIntRs1}, // Addi
+        {InstClass::IntAlu, kWritesInt | kReadsIntRs1}, // Andi
+        {InstClass::IntAlu, kWritesInt | kReadsIntRs1}, // Ori
+        {InstClass::IntAlu, kWritesInt | kReadsIntRs1}, // Xori
+        {InstClass::IntAlu, kWritesInt | kReadsIntRs1}, // Slti
+        {InstClass::IntAlu, kWritesInt | kReadsIntRs1}, // Slli
+        {InstClass::IntAlu, kWritesInt | kReadsIntRs1}, // Srli
+        {InstClass::IntAlu, kWritesInt},                // Lui
+        // Floating point.
+        {InstClass::FpAdd, kWritesFp | kReadsFpRs1 | kReadsFpRs2},
+        {InstClass::FpAdd, kWritesFp | kReadsFpRs1 | kReadsFpRs2},
+        {InstClass::FpMul, kWritesFp | kReadsFpRs1 | kReadsFpRs2},
+        {InstClass::FpDiv, kWritesFp | kReadsFpRs1 | kReadsFpRs2},
+        {InstClass::FpAdd, kWritesFp | kReadsIntRs1}, // Fcvt
+        {InstClass::FpAdd, kWritesFp | kReadsFpRs1},  // Fmov
+        // Memory.
+        {InstClass::Load, kWritesInt | kReadsIntRs1},  // Ld
+        {InstClass::Store, kReadsIntRs1 | kReadsIntRs2}, // St
+        {InstClass::Load, kWritesFp | kReadsIntRs1},   // Fld
+        {InstClass::Store, kReadsIntRs1 | kReadsFpRs2}, // Fst
+        // Control.
+        {InstClass::Branch, kReadsIntRs1 | kReadsIntRs2},
+        {InstClass::Branch, kReadsIntRs1 | kReadsIntRs2},
+        {InstClass::Branch, kReadsIntRs1 | kReadsIntRs2},
+        {InstClass::Branch, kReadsIntRs1 | kReadsIntRs2},
+        {InstClass::Jump, 0},
+        // Misc.
+        {InstClass::Nop, 0},
+        {InstClass::Halt, 0},
+};
+
+} // namespace detail
+
 /**
  * One decoded instruction.
  *
@@ -88,23 +159,51 @@ struct Instruction
     uint64_t target = 0;
 
     /** @return the scheduling class of this instruction. */
-    InstClass instClass() const { return opcodeClass(op); }
+    constexpr InstClass instClass() const { return opcodeClass(op); }
 
     /** @return the scheduling class of @p op. */
-    static InstClass opcodeClass(Opcode op);
+    static constexpr InstClass
+    opcodeClass(Opcode op)
+    {
+        return detail::kOpcodeInfo[static_cast<size_t>(op)].cls;
+    }
 
     /** @return true if the operation writes an integer destination. */
-    bool writesIntReg() const;
+    constexpr bool
+    writesIntReg() const
+    {
+        return (flags() & detail::kWritesInt) != 0 && rd != 0;
+    }
     /** @return true if the operation writes an FP destination. */
-    bool writesFpReg() const;
+    constexpr bool
+    writesFpReg() const
+    {
+        return (flags() & detail::kWritesFp) != 0;
+    }
     /** @return true if rs1 names an integer source register. */
-    bool readsIntRs1() const;
+    constexpr bool
+    readsIntRs1() const
+    {
+        return (flags() & detail::kReadsIntRs1) != 0;
+    }
     /** @return true if rs2 names an integer source register. */
-    bool readsIntRs2() const;
+    constexpr bool
+    readsIntRs2() const
+    {
+        return (flags() & detail::kReadsIntRs2) != 0;
+    }
     /** @return true if rs1 names an FP source register. */
-    bool readsFpRs1() const;
+    constexpr bool
+    readsFpRs1() const
+    {
+        return (flags() & detail::kReadsFpRs1) != 0;
+    }
     /** @return true if rs2 names an FP source register. */
-    bool readsFpRs2() const;
+    constexpr bool
+    readsFpRs2() const
+    {
+        return (flags() & detail::kReadsFpRs2) != 0;
+    }
 
     /** @return true for loads and stores. */
     bool
@@ -124,15 +223,47 @@ struct Instruction
 
     /** @return a human-readable disassembly string. */
     std::string disassemble() const;
+
+  private:
+    /** @return the operand-use flag bits for this opcode. */
+    constexpr uint8_t
+    flags() const
+    {
+        return detail::kOpcodeInfo[static_cast<size_t>(op)].flags;
+    }
 };
 
 /** @return the mnemonic for @p op (e.g. "add"). */
 const char *opcodeName(Opcode op);
 
+namespace detail {
+
+/** Execution latency per InstClass, in declaration order. */
+constexpr int kClassLatency[] = {
+    1,  // IntAlu
+    3,  // IntMult
+    20, // IntDiv
+    2,  // FpAdd
+    4,  // FpMul
+    12, // FpDiv
+    1,  // Load (address generation; hit latency is the cache model's)
+    1,  // Store (address generation)
+    1,  // Branch
+    1,  // Jump
+    1,  // Nop
+    1,  // Halt
+};
+
+} // namespace detail
+
 /** @return the execution latency in cycles of class @p c (hit latency
  *  for memory ops is owned by the cache model, so Load/Store return the
  *  address-generation latency here). */
-int instClassLatency(InstClass c);
+constexpr int
+instClassLatency(InstClass c)
+{
+    return detail::kClassLatency[static_cast<size_t>(c)];
+}
 
 } // namespace hs
 

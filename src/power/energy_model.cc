@@ -107,9 +107,21 @@ EnergyModel::windowPower(const ActivityCounters &counters,
                          Cycles window_cycles,
                          Cycles active_cycles) const
 {
+    std::vector<Watts> power;
+    windowPowerInto(counters, snapshot, window_cycles, active_cycles,
+                    power);
+    return power;
+}
+
+void
+EnergyModel::windowPowerInto(const ActivityCounters &counters,
+                             ActivityCounters::Snapshot &snapshot,
+                             Cycles window_cycles, Cycles active_cycles,
+                             std::vector<Watts> &out) const
+{
     if (window_cycles == 0)
         fatal("EnergyModel::windowPower: zero-length window");
-    std::vector<Watts> power(numBlocks, 0.0);
+    out.resize(static_cast<size_t>(numBlocks));
     double window_seconds =
         static_cast<double>(window_cycles) / params_.frequencyHz;
     double active_frac = static_cast<double>(active_cycles) /
@@ -119,13 +131,12 @@ EnergyModel::windowPower(const ActivityCounters &counters,
         for (ThreadId t = 0; t < counters.numThreads(); ++t)
             accesses += snapshot.delta(t, blockFromIndex(b));
         size_t i = static_cast<size_t>(b);
-        power[i] = static_cast<double>(accesses) *
-                       params_.accessEnergy[i] / window_seconds +
-                   params_.leakage[i] +
-                   params_.clockPower[i] * active_frac;
+        out[i] = static_cast<double>(accesses) *
+                     params_.accessEnergy[i] / window_seconds +
+                 params_.leakage[i] +
+                 params_.clockPower[i] * active_frac;
     }
     snapshot.take();
-    return power;
 }
 
 std::vector<Watts>

@@ -70,6 +70,16 @@ class EnergyModel
                                    Cycles active_cycles) const;
 
     /**
+     * Allocation-free variant of windowPower() for the simulation hot
+     * path: writes the per-block power into @p out (resized to
+     * numBlocks). Identical arithmetic to windowPower().
+     */
+    void windowPowerInto(const ActivityCounters &counters,
+                         ActivityCounters::Snapshot &snapshot,
+                         Cycles window_cycles, Cycles active_cycles,
+                         std::vector<Watts> &out) const;
+
+    /**
      * Block power for a hypothetical steady activity level, used to
      * initialise the thermal model before simulation.
      * @param accesses_per_cycle per-block access rate

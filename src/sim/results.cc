@@ -40,6 +40,25 @@ RunResult::sedationFraction(size_t thread) const
     return fraction(t.sedationCycles, cycles);
 }
 
+bool
+RunResult::operator==(const RunResult &o) const
+{
+    // hostSeconds / simCyclesPerHostSec intentionally omitted: wall
+    // time is a property of the host, not of the simulated quantum.
+    return cycles == o.cycles && activeCycles == o.activeCycles &&
+           threads == o.threads && emergencies == o.emergencies &&
+           emergenciesPerBlock == o.emergenciesPerBlock &&
+           peakTemp == o.peakTemp &&
+           peakTempOverall == o.peakTempOverall &&
+           hottestBlock == o.hottestBlock &&
+           stopAndGoTriggers == o.stopAndGoTriggers &&
+           coolingStallCycles == o.coolingStallCycles &&
+           sedationEvents == o.sedationEvents &&
+           descheduledThreads == o.descheduledThreads &&
+           avgTotalPowerW == o.avgTotalPowerW &&
+           tempTrace == o.tempTrace;
+}
+
 void
 TablePrinter::header(const std::vector<std::string> &columns)
 {
@@ -136,6 +155,9 @@ writeResultJson(std::ostream &os, const RunResult &r, int indent)
     os << in1 << "\"cooling_stall_cycles\": " << r.coolingStallCycles
        << ",\n";
     os << in1 << "\"avg_power_W\": " << jnum(r.avgTotalPowerW) << ",\n";
+    os << in1 << "\"host_seconds\": " << jnum(r.hostSeconds) << ",\n";
+    os << in1 << "\"sim_cycles_per_host_sec\": "
+       << jnum(r.simCyclesPerHostSec) << ",\n";
 
     os << in1 << "\"threads\": [\n";
     for (size_t t = 0; t < r.threads.size(); ++t) {
@@ -192,7 +214,8 @@ resultCsvHeader()
     return "thread,program,committed,ipc,normal_cycles,cooling_cycles,"
            "sedation_cycles,intreg_per_cycle,l1d_miss_rate,"
            "l2_miss_rate,bpred_accuracy,fp_per_inst,cycles,"
-           "emergencies,peak_temp_K,hottest_block,avg_power_W";
+           "emergencies,peak_temp_K,hottest_block,avg_power_W,"
+           "host_seconds,sim_cycles_per_host_sec";
 }
 
 void
@@ -209,7 +232,9 @@ writeResultCsv(std::ostream &os, const RunResult &r,
            << jnum(tr.bpredAccuracy) << "," << jnum(tr.fpPerInst) << ","
            << r.cycles << "," << r.emergencies << ","
            << jnum(r.peakTempOverall) << "," << blockName(r.hottestBlock)
-           << "," << jnum(r.avgTotalPowerW) << "\n";
+           << "," << jnum(r.avgTotalPowerW) << ","
+           << jnum(r.hostSeconds) << ","
+           << jnum(r.simCyclesPerHostSec) << "\n";
     }
 }
 

@@ -69,13 +69,28 @@ struct RunResult
     double avgTotalPowerW = 0.0;
     std::vector<TempSample> tempTrace;
 
+    /**
+     * Simulation throughput: host wall-clock seconds spent inside
+     * Simulator::run() and simulated cycles per host second. These are
+     * measurements of the machine, not of the simulated system — they
+     * vary run to run and are therefore excluded from operator==.
+     */
+    double hostSeconds = 0.0;
+    double simCyclesPerHostSec = 0.0;
+
     /** Fraction helpers for the Figure 6 breakdown. */
     double normalFraction(size_t thread) const;
     double coolingFraction(size_t thread) const;
     double sedationFraction(size_t thread) const;
 
-    /** Field-for-field (bit-identical doubles) comparison. */
-    bool operator==(const RunResult &) const = default;
+    /**
+     * Field-for-field (bit-identical doubles) comparison of the
+     * simulated outcome. The host-throughput fields (hostSeconds,
+     * simCyclesPerHostSec) are deliberately NOT compared: two runs of
+     * the same spec are "the same result" regardless of how fast the
+     * host executed them.
+     */
+    bool operator==(const RunResult &o) const;
 };
 
 /** Degradation of @p measured relative to @p base, in percent. */

@@ -1,6 +1,7 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <ostream>
 
 #include "common/log.hh"
@@ -235,31 +236,33 @@ Simulator::sampleSensors()
     Cycles active_delta = active - lastActiveCycles_;
     lastActiveCycles_ = active;
 
-    std::vector<Watts> power = energy_->windowPower(
-        pipeline_->activity(), *powerSnapshot_, config_.sensorInterval,
-        active_delta);
+    // Both sample buffers are members: this runs every 20 K cycles and
+    // must not churn the heap.
+    energy_->windowPowerInto(pipeline_->activity(), *powerSnapshot_,
+                             config_.sensorInterval, active_delta,
+                             powerBuf_);
     double dt = static_cast<double>(config_.sensorInterval) /
                 config_.energy.frequencyHz;
-    thermal_->step(power, dt);
-    energyAccumJ_ += EnergyModel::total(power) * dt;
+    thermal_->step(powerBuf_, dt);
+    energyAccumJ_ += EnergyModel::total(powerBuf_) * dt;
 
-    std::vector<Kelvin> temps(static_cast<size_t>(numBlocks));
+    tempsBuf_.resize(static_cast<size_t>(numBlocks));
     for (int b = 0; b < numBlocks; ++b)
-        temps[static_cast<size_t>(b)] =
+        tempsBuf_[static_cast<size_t>(b)] =
             thermal_->blockTemp(blockFromIndex(b));
 
     // Emergencies are physical: counted on the true temperatures.
-    countEmergencies(temps);
+    countEmergencies(tempsBuf_);
 
     if (config_.sensorNoiseK > 0.0) {
         // Policies observe imperfect sensors (deterministic stream).
-        for (Kelvin &t : temps)
+        for (Kelvin &t : tempsBuf_)
             t += (sensorNoise_.nextDouble() * 2.0 - 1.0) *
                  config_.sensorNoiseK;
     }
 
     for (auto &policy : policies_)
-        policy->atSensorSample(now, temps, *this);
+        policy->atSensorSample(now, tempsBuf_, *this);
 
     if (config_.recordTempTrace &&
         now - lastTraceAt_ >= config_.tempTraceInterval) {
@@ -283,35 +286,67 @@ Simulator::run()
     const Cycles sensor = config_.sensorInterval;
     const Cycles monitor = config_.monitorInterval;
 
+    // Countdowns to the next monitor/sensor boundary replace the two
+    // divisions the old loop paid every cycle. They track the same
+    // absolute boundaries: toMonitor/toSensor are the cycles left until
+    // the next multiple of the respective interval.
+    Cycles toMonitor = monitor;
+    Cycles toSensor = sensor;
+
+    auto wall_start = std::chrono::steady_clock::now();
     while (pipeline_->cycle() < quantum) {
         if (pipeline_->globalStalled()) {
             // Nothing can change until a policy releases the pipeline
-            // at a sensor boundary: fast-forward to it.
+            // at a sensor boundary: fast-forward to it. (Stalls begin
+            // at sensor samples, so toSensor is the full distance to
+            // the next boundary.) Monitor samples are skipped while
+            // stalled, as before; re-anchor that countdown to the
+            // landing cycle.
             Cycles now = pipeline_->cycle();
-            Cycles next = ((now / sensor) + 1) * sensor;
-            pipeline_->advanceStalled(std::min(next, quantum) - now);
+            Cycles delta = std::min(toSensor, quantum - now);
+            pipeline_->advanceStalled(delta);
+            toSensor -= delta;
+            Cycles gone = delta % monitor;
+            toMonitor = gone < toMonitor ? toMonitor - gone
+                                         : toMonitor - gone + monitor;
+            if (toSensor == 0) {
+                toSensor = sensor;
+                sampleSensors();
+            }
         } else {
             pipeline_->tick();
+            if (--toMonitor == 0) {
+                toMonitor = monitor;
+                for (auto &policy : policies_)
+                    policy->atMonitorSample(pipeline_->cycle(),
+                                            pipeline_->activity());
+            }
+            if (--toSensor == 0) {
+                toSensor = sensor;
+                sampleSensors();
+            }
         }
-        Cycles c = pipeline_->cycle();
-        if (c % monitor == 0 && !pipeline_->globalStalled()) {
-            for (auto &policy : policies_)
-                policy->atMonitorSample(c, pipeline_->activity());
-        }
-        if (c % sensor == 0)
-            sampleSensors();
         if (pipeline_->allHalted())
             break;
     }
-    return collectResults();
+    double host_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    return collectResults(host_seconds);
 }
 
 RunResult
-Simulator::collectResults() const
+Simulator::collectResults(double host_seconds) const
 {
     RunResult result;
     result.cycles = pipeline_->cycle();
     result.activeCycles = pipeline_->activeCycles();
+    result.hostSeconds = host_seconds;
+    result.simCyclesPerHostSec =
+        host_seconds > 0.0
+            ? static_cast<double>(result.cycles) / host_seconds
+            : 0.0;
 
     const Cache &l1d = pipeline_->mem().l1d();
     double l1d_missrate = l1d.missRate();

@@ -128,7 +128,7 @@ class Simulator : public DtmControl
   private:
     void sampleSensors();
     void countEmergencies(const std::vector<Kelvin> &temps);
-    RunResult collectResults() const;
+    RunResult collectResults(double host_seconds) const;
 
     SimConfig config_;
     std::vector<std::unique_ptr<Program>> programs_;
@@ -152,6 +152,8 @@ class Simulator : public DtmControl
     Rng sensorNoise_{0xbadcafe5};
     std::vector<TempSample> tempTrace_;
     Cycles lastTraceAt_ = 0;
+    std::vector<Watts> powerBuf_;  ///< reused per sensor sample
+    std::vector<Kelvin> tempsBuf_; ///< reused per sensor sample
 };
 
 } // namespace hs

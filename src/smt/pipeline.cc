@@ -12,6 +12,31 @@ namespace {
 /** Raw (thread-local) data addresses are confined to a 4 GB segment. */
 constexpr Addr dataSegMask = 0xFFFFFFFFull;
 
+/**
+ * Functional-unit pool per InstClass (declaration order). The int ALU
+ * pool also executes branches, jumps, nops and halts; integer divide
+ * shares the multiplier; FP divide shares the FP multiplier; loads and
+ * stores contend for the memory ports.
+ */
+constexpr int kFuPool[] = {
+    0, // IntAlu
+    1, // IntMult
+    1, // IntDiv
+    2, // FpAdd
+    3, // FpMul
+    3, // FpDiv
+    4, // Load
+    4, // Store
+    0, // Branch
+    0, // Jump
+    0, // Nop
+    0, // Halt
+};
+
+/// Pool index of the memory ports (the only pool whose entries can
+/// defer without consuming their FU).
+constexpr int kMemPool = 4;
+
 } // namespace
 
 Pipeline::Pipeline(const SmtParams &params)
@@ -30,6 +55,21 @@ Pipeline::Pipeline(const SmtParams &params)
     freeSlots_.reserve(static_cast<size_t>(pool));
     for (int i = pool - 1; i >= 0; --i)
         freeSlots_.push_back(static_cast<uint16_t>(i));
+
+    // Preallocate every per-cycle working set so steady-state ticks
+    // never touch the heap.
+    // A ready list can briefly hold a stale entry on top of every live
+    // ready instruction, plus an unconsumed prefix up to the trim
+    // threshold, so give each one generous headroom.
+    for (ReadyList &rl : ready_)
+        rl.v.reserve(2 * static_cast<size_t>(pool) + 256);
+    issued_.reserve(static_cast<size_t>(pool));
+    scratch_.reserve(static_cast<size_t>(pool));
+    fetchOrder_.reserve(static_cast<size_t>(params.numThreads));
+    for (ThreadContext &tc : threads_) {
+        tc.rob.reserve(static_cast<size_t>(params.ruuEntries));
+        tc.lsq.reserve(static_cast<size_t>(params.lsqEntries));
+    }
 }
 
 void
@@ -362,7 +402,7 @@ Pipeline::wakeDependents(DynInst &inst)
         if (consumer.srcPending == 0 &&
             consumer.stage == InstStage::Waiting) {
             consumer.stage = InstStage::Ready;
-            readyQueue_.push_back(dh);
+            enqueueReady(dh, consumer);
         }
     }
     inst.dependents.clear();
@@ -371,83 +411,99 @@ Pipeline::wakeDependents(DynInst &inst)
 // --- issue --------------------------------------------------------------
 
 void
+Pipeline::enqueueReady(const InstHandle &h, const DynInst &inst)
+{
+    ReadyList &rl =
+        ready_[kFuPool[static_cast<size_t>(inst.si->instClass())]];
+    const ReadyList::Ent ent{inst.seq, h};
+    // Wakeups arrive in completion order, not program order, so an
+    // entry may belong in the middle of the list; the common case
+    // (youngest so far) is a plain append.
+    if (rl.v.empty() || rl.v.back().seq < ent.seq) {
+        rl.v.push_back(ent);
+        return;
+    }
+    auto pos = std::upper_bound(
+        rl.v.begin() + static_cast<std::ptrdiff_t>(rl.head), rl.v.end(),
+        ent.seq,
+        [](InstSeqNum s, const ReadyList::Ent &e) { return s < e.seq; });
+    rl.v.insert(pos, ent);
+}
+
+void
 Pipeline::issueStage()
 {
-    // Compact + order the ready queue (oldest first).
-    std::vector<InstHandle> &candidates = scratch_;
-    candidates.clear();
-    for (const InstHandle &h : readyQueue_) {
-        if (valid(h) && slots_[h.slot].stage == InstStage::Ready)
-            candidates.push_back(h);
-    }
-    std::sort(candidates.begin(), candidates.end(),
-              [this](const InstHandle &a, const InstHandle &b) {
-                  return slots_[a.slot].seq < slots_[b.slot].seq;
-              });
-
+    // Oldest-first issue over the per-pool ready lists: each pick takes
+    // the smallest seq among the pool fronts that still have FU budget.
+    // Seq numbers are unique (one pipeline-wide counter) and nothing
+    // enqueues during this stage, so the picks are exactly the prefix a
+    // full sort of all ready instructions would issue — but only the
+    // entries actually considered this cycle are touched, never the
+    // whole backlog.
     int issue_left = params_.issueWidth;
-    int alu_left = params_.intAlus;
-    int mult_left = params_.intMults;
-    int fpadd_left = params_.fpAdds;
-    int fpmul_left = params_.fpMuls;
-    int ports_left = params_.memPorts;
+    int budget[kNumFuPools] = {params_.intAlus, params_.intMults,
+                               params_.fpAdds, params_.fpMuls,
+                               params_.memPorts};
 
-    std::vector<InstHandle> &leftover = scratch2_;
-    leftover.clear();
+    // Memory ops that fail to issue (unknown older store address) stay
+    // for the next cycle but must not be retried this cycle; the
+    // cursor marks the already-tried prefix of the mem list.
+    ReadyList &mem = ready_[kMemPool];
+    size_t memCursor = mem.head;
 
-    for (const InstHandle &h : candidates) {
-        if (!valid(h) || slots_[h.slot].stage != InstStage::Ready)
-            continue; // squashed by an L2-miss squash earlier this cycle
+    while (issue_left > 0) {
+        // Find the oldest ready instruction among the eligible pools,
+        // discarding squashed entries as they surface.
+        int best = -1;
+        InstSeqNum best_seq = 0;
+        for (int p = 0; p < kNumFuPools; ++p) {
+            if (budget[p] == 0)
+                continue;
+            ReadyList &rl = ready_[p];
+            size_t pos = p == kMemPool ? memCursor : rl.head;
+            while (pos < rl.v.size()) {
+                const InstHandle &h = rl.v[pos].h;
+                if (valid(h) && slots_[h.slot].stage == InstStage::Ready)
+                    break;
+                // Squashed (possibly by an L2-miss squash earlier this
+                // very stage): drop the entry.
+                if (p == kMemPool)
+                    rl.v.erase(rl.v.begin() +
+                               static_cast<std::ptrdiff_t>(pos));
+                else
+                    pos = ++rl.head;
+            }
+            if (pos >= rl.v.size())
+                continue;
+            if (best < 0 || rl.v[pos].seq < best_seq) {
+                best = p;
+                best_seq = rl.v[pos].seq;
+            }
+        }
+        if (best < 0)
+            break; // nothing issuable is left
+
+        ReadyList &rl = ready_[best];
+        const size_t pos = best == kMemPool ? memCursor : rl.head;
+        const InstHandle h = rl.v[pos].h;
         DynInst &inst = slots_[h.slot];
-        if (issue_left == 0) {
-            leftover.push_back(h);
-            continue;
-        }
         InstClass cls = inst.si->instClass();
-        int *fu = nullptr;
-        switch (cls) {
-          case InstClass::IntAlu:
-          case InstClass::Branch:
-          case InstClass::Jump:
-          case InstClass::Nop:
-          case InstClass::Halt:
-            fu = &alu_left;
-            break;
-          case InstClass::IntMult:
-          case InstClass::IntDiv:
-            fu = &mult_left;
-            break;
-          case InstClass::FpAdd:
-            fu = &fpadd_left;
-            break;
-          case InstClass::FpMul:
-          case InstClass::FpDiv:
-            fu = &fpmul_left;
-            break;
-          case InstClass::Load:
-          case InstClass::Store:
-            fu = &ports_left;
-            break;
-        }
-        if (fu == nullptr || *fu == 0) {
-            leftover.push_back(h);
-            continue;
-        }
-
         ThreadContext &tc = thread(inst.tid);
-        if (cls == InstClass::Load || cls == InstClass::Store) {
+        if (best == kMemPool) {
             if (!tryIssueMemOp(inst, tc)) {
-                leftover.push_back(h); // deferred; no port consumed
+                ++memCursor; // deferred; no port consumed
                 continue;
             }
+            rl.v.erase(rl.v.begin() + static_cast<std::ptrdiff_t>(pos));
         } else {
             executeFunctional(inst, tc);
             inst.completeCycle =
                 cycle_ + static_cast<Cycles>(instClassLatency(cls));
+            ++rl.head;
         }
         inst.stage = InstStage::Issued;
         issued_.push_back(h);
-        --*fu;
+        --budget[best];
         --issue_left;
 
         // Issue power: window read, register reads, FU activity.
@@ -482,7 +538,20 @@ Pipeline::issueStage()
             break;
         }
     }
-    readyQueue_.swap(leftover);
+
+    // Trim the consumed prefixes lazily so the per-entry cost of the
+    // head cursor stays amortised O(1) and emptied lists reset to
+    // offset zero (erase/clear never touch the heap).
+    for (ReadyList &rl : ready_) {
+        if (rl.head == rl.v.size()) {
+            rl.v.clear();
+            rl.head = 0;
+        } else if (rl.head >= 256) {
+            rl.v.erase(rl.v.begin(),
+                       rl.v.begin() + static_cast<std::ptrdiff_t>(rl.head));
+            rl.head = 0;
+        }
+    }
 }
 
 void
@@ -580,10 +649,11 @@ Pipeline::tryIssueMemOp(DynInst &inst, ThreadContext &tc)
         InstHandle self{static_cast<uint16_t>(&inst - slots_.data()),
                         inst.gen};
         const DynInst *fwd = nullptr;
-        for (auto it = tc.lsq.rbegin(); it != tc.lsq.rend(); ++it) {
-            if (*it == self || get(*it).seq > inst.seq)
+        for (size_t i = tc.lsq.size(); i-- > 0;) {
+            const InstHandle &h = tc.lsq[i];
+            if (h == self || get(h).seq > inst.seq)
                 continue;
-            const DynInst &older = get(*it);
+            const DynInst &older = get(h);
             if (older.si->instClass() != InstClass::Store)
                 continue;
             if (!older.addrValid)
@@ -701,9 +771,11 @@ Pipeline::squashFrom(ThreadContext &tc, InstSeqNum younger_than)
 void
 Pipeline::fetchStage()
 {
-    // ICOUNT: order runnable threads by instructions in flight.
-    std::vector<ThreadId> order;
-    order.reserve(static_cast<size_t>(params_.numThreads));
+    // ICOUNT: order runnable threads by instructions in flight. The
+    // arbitration list is a reused member: rebuilding a vector here
+    // was a per-cycle allocation.
+    std::vector<ThreadId> &order = fetchOrder_;
+    order.clear();
     for (int t = 0; t < params_.numThreads; ++t) {
         ThreadId tid = static_cast<ThreadId>(
             (static_cast<uint64_t>(t) + icountRotor_) %
@@ -720,12 +792,22 @@ Pipeline::fetchStage()
         order.push_back(tid);
     }
     if (params_.fetchPolicy == FetchPolicy::Icount) {
-        std::stable_sort(
-            order.begin(), order.end(),
-            [this](ThreadId a, ThreadId b) {
-                return threads_[static_cast<size_t>(a)].rob.size() <
-                       threads_[static_cast<size_t>(b)].rob.size();
-            });
+        // Stable insertion sort: identical ordering to the previous
+        // std::stable_sort, but allocation-free (stable_sort grabs a
+        // temporary buffer) and faster for <= 8 contexts.
+        for (size_t i = 1; i < order.size(); ++i) {
+            ThreadId v = order[i];
+            size_t vsz = threads_[static_cast<size_t>(v)].rob.size();
+            size_t j = i;
+            while (j > 0 &&
+                   vsz <
+                       threads_[static_cast<size_t>(order[j - 1])]
+                           .rob.size()) {
+                order[j] = order[j - 1];
+                --j;
+            }
+            order[j] = v;
+        }
     }
     // RoundRobin: keep the rotor order built above.
     ++icountRotor_;
@@ -862,7 +944,7 @@ Pipeline::dispatchInst(ThreadContext &tc, const Instruction &si,
 
     if (inst.srcPending == 0) {
         inst.stage = InstStage::Ready;
-        readyQueue_.push_back(h);
+        enqueueReady(h, inst);
     }
     return true;
 }

@@ -22,6 +22,7 @@
 #ifndef HS_SMT_PIPELINE_HH
 #define HS_SMT_PIPELINE_HH
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -152,18 +153,49 @@ class Pipeline
     void executeFunctional(DynInst &inst, ThreadContext &tc);
     bool tryIssueMemOp(DynInst &inst, ThreadContext &tc);
     void wakeDependents(DynInst &inst);
+    void enqueueReady(const InstHandle &h, const DynInst &inst);
     void squashFrom(ThreadContext &tc, InstSeqNum younger_than);
     void commitInst(DynInst &inst, ThreadContext &tc);
     void recordStallAccounting();
 
+    /// Number of functional-unit pools instructions issue to (int ALU,
+    /// int multiplier, FP adder, FP multiplier, memory ports).
+    static constexpr int kNumFuPools = 5;
+
+    /**
+     * Ready list of one functional-unit pool.
+     *
+     * Entries are (seq, handle) pairs in ascending seq order, so the
+     * oldest ready instruction of the pool is always at the front and
+     * the issue stage only ever touches the entries it considers this
+     * cycle — never the whole backlog. The seq is copied at enqueue
+     * time: reading it back through the handle would break the
+     * ordering when a squashed entry's slot is reused (the slot's seq
+     * changes while the stale entry still sits in the list).
+     *
+     * Consumed/dead entries advance @ref head instead of erasing the
+     * prefix every cycle; the prefix is trimmed only when it grows
+     * past a threshold, keeping amortised cost O(1) per entry.
+     */
+    struct ReadyList
+    {
+        struct Ent
+        {
+            InstSeqNum seq;
+            InstHandle h;
+        };
+        std::vector<Ent> v;
+        size_t head = 0;
+    };
+
+    std::array<ReadyList, kNumFuPools> ready_;
     SmtParams params_;
     std::vector<ThreadContext> threads_;
     std::vector<DynInst> slots_;
     std::vector<uint16_t> freeSlots_;
-    std::vector<InstHandle> readyQueue_;
     std::vector<InstHandle> issued_;   ///< awaiting completion
     std::vector<InstHandle> scratch_;  ///< per-cycle reusable buffer
-    std::vector<InstHandle> scratch2_; ///< per-cycle reusable buffer
+    std::vector<ThreadId> fetchOrder_; ///< reused fetch arbitration list
 
     std::unique_ptr<MemoryHierarchy> mem_;
     std::unique_ptr<BranchPredictor> bpred_;

@@ -8,8 +8,8 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 
+#include "common/ring_buffer.hh"
 #include "common/types.hh"
 #include "isa/program.hh"
 #include "mem/memory.hh"
@@ -85,9 +85,11 @@ class ThreadContext
     std::array<double, numFpRegs> fpRegs{};
     SparseMemory memory;
 
-    // Pipeline bookkeeping.
-    std::deque<InstHandle> rob;  ///< program order, oldest at front
-    std::deque<InstHandle> lsq;  ///< memory ops in program order
+    // Pipeline bookkeeping. Fixed rings sized by the pipeline at
+    // construction (bounded by the shared RUU/LSQ): no heap traffic on
+    // the per-cycle path, unlike a std::deque's chunk churn.
+    RingBuffer<InstHandle> rob;  ///< program order, oldest at front
+    RingBuffer<InstHandle> lsq;  ///< memory ops in program order
     Cycles fetchStallUntil = 0;  ///< I-miss / redirect / L2-squash hold
     bool sedated = false;        ///< DTM stopped fetch for this thread
     int fetchEvery = 1;          ///< DTM throttle: fetch every k-th cycle

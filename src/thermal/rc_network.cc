@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/log.hh"
 
@@ -14,8 +15,11 @@ RcNetwork::RcNetwork(int num_nodes)
       bathG_(static_cast<size_t>(num_nodes), 0.0),
       bathT_(static_cast<size_t>(num_nodes), 0.0),
       cap_(static_cast<size_t>(num_nodes), 1.0),
+      temps_(static_cast<size_t>(num_nodes), 300.0),
       diagG_(static_cast<size_t>(num_nodes), 0.0),
-      temps_(static_cast<size_t>(num_nodes), 300.0)
+      k1_(static_cast<size_t>(num_nodes)),
+      k2_(static_cast<size_t>(num_nodes)),
+      mid_(static_cast<size_t>(num_nodes))
 {
     if (num_nodes < 1)
         fatal("RcNetwork needs at least one node");
@@ -29,6 +33,15 @@ RcNetwork::checkNode(int node) const
 }
 
 void
+RcNetwork::invalidateCache()
+{
+    topoDirty_ = true;
+    tauDirty_ = true;
+    luValid_ = false;
+    cachedDt_ = -1.0;
+}
+
+void
 RcNetwork::addConductance(int a, int b, double g)
 {
     checkNode(a);
@@ -39,7 +52,7 @@ RcNetwork::addConductance(int a, int b, double g)
         fatal("RcNetwork: negative conductance");
     gAt(a, b) += g;
     gAt(b, a) += g;
-    refreshDiag();
+    invalidateCache();
 }
 
 void
@@ -48,9 +61,24 @@ RcNetwork::addBathConductance(int node, double g, Kelvin bath_temp)
     checkNode(node);
     if (g < 0)
         fatal("RcNetwork: negative bath conductance");
-    bathG_[static_cast<size_t>(node)] += g;
-    bathT_[static_cast<size_t>(node)] = bath_temp;
-    refreshDiag();
+    size_t i = static_cast<size_t>(node);
+    double g0 = bathG_[i];
+    if (g0 == 0.0 || bath_temp == bathT_[i]) {
+        // First bath on this node adopts the temperature exactly (no
+        // rounding through the weighted average); equal temperatures
+        // only accumulate conductance.
+        bathT_[i] = bath_temp;
+    } else if (g == 0.0) {
+        // Zero conductance to a different bath carries no heat; keep
+        // the existing temperature.
+    } else {
+        // Two baths at different temperatures through parallel
+        // conductances are equivalent to one bath at the
+        // conductance-weighted mean.
+        bathT_[i] = (g0 * bathT_[i] + g * bath_temp) / (g0 + g);
+    }
+    bathG_[i] = g0 + g;
+    invalidateCache();
 }
 
 void
@@ -60,6 +88,7 @@ RcNetwork::setCapacitance(int node, double c)
     if (c <= 0)
         fatal("RcNetwork: capacitance must be positive");
     cap_[static_cast<size_t>(node)] = c;
+    invalidateCache();
 }
 
 void
@@ -69,6 +98,7 @@ RcNetwork::scaleCapacitances(double factor)
         fatal("RcNetwork: capacitance scale must be positive");
     for (double &c : cap_)
         c *= factor;
+    invalidateCache();
 }
 
 Kelvin
@@ -100,19 +130,45 @@ RcNetwork::setTemps(const std::vector<Kelvin> &t)
 }
 
 void
-RcNetwork::refreshDiag()
+RcNetwork::ensureTopology() const
 {
+    if (!topoDirty_)
+        return;
+
+    // Diagonal row sums (ascending j, matching the dense reference).
     for (int i = 0; i < numNodes_; ++i) {
         double sum = bathG_[static_cast<size_t>(i)];
         for (int j = 0; j < numNodes_; ++j)
             sum += gAt(i, j);
         diagG_[static_cast<size_t>(i)] = sum;
     }
+
+    // CSR adjacency over the nonzero entries, preserving j order so the
+    // sparse accumulation visits neighbours exactly as the dense scan
+    // did (bit-identical floating-point summation).
+    csrStart_.assign(static_cast<size_t>(numNodes_) + 1, 0);
+    csrNode_.clear();
+    csrG_.clear();
+    for (int i = 0; i < numNodes_; ++i) {
+        for (int j = 0; j < numNodes_; ++j) {
+            double g = gAt(i, j);
+            if (g != 0.0) {
+                csrNode_.push_back(j);
+                csrG_.push_back(g);
+            }
+        }
+        csrStart_[static_cast<size_t>(i) + 1] =
+            static_cast<int>(csrNode_.size());
+    }
+
+    topoDirty_ = false;
+    tauDirty_ = true;
 }
 
 double
 RcNetwork::minTimeConstant() const
 {
+    ensureTopology();
     double tau = std::numeric_limits<double>::infinity();
     for (int i = 0; i < numNodes_; ++i) {
         double g = diagG_[static_cast<size_t>(i)];
@@ -123,6 +179,45 @@ RcNetwork::minTimeConstant() const
 }
 
 void
+RcNetwork::ensureSubsteps(double dt) const
+{
+    if (tauDirty_) {
+        cachedTau_ = minTimeConstant();
+        tauDirty_ = false;
+        cachedDt_ = -1.0;
+    }
+    if (dt == cachedDt_)
+        return;
+    // Explicit integration is stable for dt < C_i/G_ii; sub-step with
+    // a 0.1 safety factor (RK2 keeps the discretisation error ~h^2).
+    int substeps = 1;
+    if (std::isfinite(cachedTau_) && cachedTau_ > 0)
+        substeps = std::max(1, static_cast<int>(
+                                   std::ceil(dt / (0.1 * cachedTau_))));
+    cachedSubsteps_ = substeps;
+    cachedDt_ = dt;
+}
+
+void
+RcNetwork::derivative(const std::vector<Watts> &power,
+                      const std::vector<Kelvin> &t,
+                      std::vector<double> &d) const
+{
+    const int *nbr = csrNode_.data();
+    const double *cond = csrG_.data();
+    for (int i = 0; i < numNodes_; ++i) {
+        size_t si = static_cast<size_t>(i);
+        double ti = t[si];
+        double flow = power[si] + bathG_[si] * (bathT_[si] - ti);
+        int end = csrStart_[si + 1];
+        for (int k = csrStart_[si]; k < end; ++k) {
+            flow += cond[k] * (t[static_cast<size_t>(nbr[k])] - ti);
+        }
+        d[si] = flow / cap_[si];
+    }
+}
+
+void
 RcNetwork::step(const std::vector<Watts> &power, double dt)
 {
     if (power.size() != static_cast<size_t>(numNodes_))
@@ -130,77 +225,54 @@ RcNetwork::step(const std::vector<Watts> &power, double dt)
     if (dt <= 0)
         return;
 
-    // Explicit integration is stable for dt < C_i/G_ii; sub-step with
-    // a 0.1 safety factor (RK2 keeps the discretisation error ~h^2).
-    double tau = minTimeConstant();
-    int substeps = 1;
-    if (std::isfinite(tau) && tau > 0)
-        substeps = std::max(1, static_cast<int>(std::ceil(dt /
-                                                          (0.1 * tau))));
+    ensureTopology();
+    ensureSubsteps(dt);
+    int substeps = cachedSubsteps_;
     double h = dt / substeps;
 
     // Midpoint (RK2) integration: evaluate the derivative at a half
     // step to cancel the first-order error of plain forward Euler.
-    auto derivative = [&](const std::vector<Kelvin> &t,
-                          std::vector<double> &d) {
-        for (int i = 0; i < numNodes_; ++i) {
-            size_t si = static_cast<size_t>(i);
-            double flow = power[si] + bathG_[si] * (bathT_[si] - t[si]);
-            for (int j = 0; j < numNodes_; ++j) {
-                double g = gAt(i, j);
-                if (g != 0.0)
-                    flow += g * (t[static_cast<size_t>(j)] - t[si]);
-            }
-            d[si] = flow / cap_[si];
-        }
-    };
-
-    std::vector<double> k1(static_cast<size_t>(numNodes_));
-    std::vector<double> k2(static_cast<size_t>(numNodes_));
-    std::vector<Kelvin> mid(static_cast<size_t>(numNodes_));
     for (int s = 0; s < substeps; ++s) {
-        derivative(temps_, k1);
+        derivative(power, temps_, k1_);
         for (int i = 0; i < numNodes_; ++i) {
             size_t si = static_cast<size_t>(i);
-            mid[si] = temps_[si] + 0.5 * h * k1[si];
+            mid_[si] = temps_[si] + 0.5 * h * k1_[si];
         }
-        derivative(mid, k2);
+        derivative(power, mid_, k2_);
         for (int i = 0; i < numNodes_; ++i) {
             size_t si = static_cast<size_t>(i);
-            temps_[si] += h * k2[si];
+            temps_[si] += h * k2_[si];
         }
     }
 }
 
-std::vector<Kelvin>
-RcNetwork::solveSteadyState(const std::vector<Watts> &power) const
+void
+RcNetwork::factorize() const
 {
-    if (power.size() != static_cast<size_t>(numNodes_))
-        fatal("RcNetwork::solveSteadyState: power vector size mismatch");
-
-    // Build A*T = b with A = diag(G_ii) - offdiag(g_ij),
-    // b = P + bathG * bathT.
+    // Build A = diag(G_ii) - offdiag(g_ij) and eliminate with partial
+    // pivoting, exactly as the pre-caching dense solver did, but record
+    // the pivot row and the elimination multipliers per column so the
+    // right-hand-side pass can be replayed later in the same order
+    // (same arithmetic sequence => bit-identical temperatures).
     int n = numNodes_;
-    std::vector<double> a(static_cast<size_t>(n) * static_cast<size_t>(n));
-    std::vector<double> b(static_cast<size_t>(n));
+    size_t sn = static_cast<size_t>(n);
+    lu_.assign(sn * sn, 0.0);
+    luFactor_.assign(sn * sn, 0.0);
+    luPivot_.assign(sn, 0);
     for (int i = 0; i < n; ++i) {
         size_t si = static_cast<size_t>(i);
         for (int j = 0; j < n; ++j)
-            a[si * static_cast<size_t>(n) + static_cast<size_t>(j)] =
+            lu_[si * sn + static_cast<size_t>(j)] =
                 (i == j) ? diagG_[si] : -gAt(i, j);
-        b[si] = power[si] + bathG_[si] * bathT_[si];
     }
 
-    // Gaussian elimination with partial pivoting.
     for (int col = 0; col < n; ++col) {
+        size_t scol = static_cast<size_t>(col);
         int pivot = col;
-        double best = std::abs(a[static_cast<size_t>(col) *
-                                 static_cast<size_t>(n) +
-                                 static_cast<size_t>(col)]);
+        double best = std::abs(lu_[scol * sn + scol]);
         for (int row = col + 1; row < n; ++row) {
-            double v = std::abs(a[static_cast<size_t>(row) *
-                                  static_cast<size_t>(n) +
-                                  static_cast<size_t>(col)]);
+            double v =
+                std::abs(lu_[static_cast<size_t>(row) * sn + scol]);
             if (v > best) {
                 best = v;
                 pivot = row;
@@ -209,44 +281,69 @@ RcNetwork::solveSteadyState(const std::vector<Watts> &power) const
         if (best < 1e-15)
             fatal("RcNetwork: singular network (is any node connected "
                   "to the ambient bath?)");
+        luPivot_[scol] = pivot;
         if (pivot != col) {
             for (int j = 0; j < n; ++j)
-                std::swap(a[static_cast<size_t>(col) *
-                            static_cast<size_t>(n) +
-                            static_cast<size_t>(j)],
-                          a[static_cast<size_t>(pivot) *
-                            static_cast<size_t>(n) +
-                            static_cast<size_t>(j)]);
-            std::swap(b[static_cast<size_t>(col)],
-                      b[static_cast<size_t>(pivot)]);
+                std::swap(lu_[scol * sn + static_cast<size_t>(j)],
+                          lu_[static_cast<size_t>(pivot) * sn +
+                              static_cast<size_t>(j)]);
         }
-        double diag = a[static_cast<size_t>(col) *
-                        static_cast<size_t>(n) + static_cast<size_t>(col)];
+        double diag = lu_[scol * sn + scol];
         for (int row = col + 1; row < n; ++row) {
-            double factor = a[static_cast<size_t>(row) *
-                              static_cast<size_t>(n) +
-                              static_cast<size_t>(col)] / diag;
+            size_t srow = static_cast<size_t>(row);
+            double factor = lu_[srow * sn + scol] / diag;
+            luFactor_[srow * sn + scol] = factor;
             if (factor == 0.0)
                 continue;
             for (int j = col; j < n; ++j)
-                a[static_cast<size_t>(row) * static_cast<size_t>(n) +
-                  static_cast<size_t>(j)] -=
-                    factor * a[static_cast<size_t>(col) *
-                               static_cast<size_t>(n) +
-                               static_cast<size_t>(j)];
-            b[static_cast<size_t>(row)] -=
-                factor * b[static_cast<size_t>(col)];
+                lu_[srow * sn + static_cast<size_t>(j)] -=
+                    factor * lu_[scol * sn + static_cast<size_t>(j)];
         }
     }
-    std::vector<Kelvin> t(static_cast<size_t>(n));
+    luValid_ = true;
+}
+
+std::vector<Kelvin>
+RcNetwork::solveSteadyState(const std::vector<Watts> &power) const
+{
+    if (power.size() != static_cast<size_t>(numNodes_))
+        fatal("RcNetwork::solveSteadyState: power vector size mismatch");
+
+    ensureTopology();
+    if (!luValid_)
+        factorize();
+
+    int n = numNodes_;
+    size_t sn = static_cast<size_t>(n);
+
+    // b = P + bathG * bathT, then replay the recorded row swaps and
+    // elimination multipliers in factorisation order.
+    std::vector<double> b(sn);
+    for (int i = 0; i < n; ++i) {
+        size_t si = static_cast<size_t>(i);
+        b[si] = power[si] + bathG_[si] * bathT_[si];
+    }
+    for (int col = 0; col < n; ++col) {
+        size_t scol = static_cast<size_t>(col);
+        int pivot = luPivot_[scol];
+        if (pivot != col)
+            std::swap(b[scol], b[static_cast<size_t>(pivot)]);
+        for (int row = col + 1; row < n; ++row) {
+            double factor = luFactor_[static_cast<size_t>(row) * sn + scol];
+            if (factor == 0.0)
+                continue;
+            b[static_cast<size_t>(row)] -= factor * b[scol];
+        }
+    }
+
+    std::vector<Kelvin> t(sn);
     for (int row = n - 1; row >= 0; --row) {
-        double sum = b[static_cast<size_t>(row)];
+        size_t srow = static_cast<size_t>(row);
+        double sum = b[srow];
         for (int j = row + 1; j < n; ++j)
-            sum -= a[static_cast<size_t>(row) * static_cast<size_t>(n) +
-                     static_cast<size_t>(j)] * t[static_cast<size_t>(j)];
-        t[static_cast<size_t>(row)] =
-            sum / a[static_cast<size_t>(row) * static_cast<size_t>(n) +
-                    static_cast<size_t>(row)];
+            sum -= lu_[srow * sn + static_cast<size_t>(j)] *
+                   t[static_cast<size_t>(j)];
+        t[srow] = sum / lu_[srow * sn + srow];
     }
     return t;
 }

@@ -1,12 +1,31 @@
 /**
  * @file
- * Generic dense thermal RC network solver.
+ * Generic thermal RC network solver with sparse hot-path kernels.
  *
  * Nodes carry a thermal capacitance and pairwise conductances; any node
  * may also be tied to a fixed-temperature bath (the ambient) through a
- * conductance. Supports transient integration (forward Euler with
+ * conductance. Supports transient integration (midpoint RK2 with
  * automatic sub-stepping for stability) and direct steady-state solves
- * (Gaussian elimination — the networks here have ~20 nodes).
+ * (LU with partial pivoting — the networks here have ~20 nodes).
+ *
+ * Topology is entered into a dense symmetric matrix (simple and
+ * order-independent for construction), but the per-step kernels run on
+ * derived state that is rebuilt lazily after any topology edit:
+ *
+ *  - a CSR-style adjacency (neighbour indices + conductances in
+ *    ascending-j order, so floating-point summation order — and
+ *    therefore every temperature — is bit-identical to a dense
+ *    `if (g != 0)` row scan),
+ *  - the diagonal row sums (previously refreshed O(n^2) on every
+ *    conductance insert, making floorplan construction O(n^3)),
+ *  - the stiffest time constant and the RK2 substep count for the last
+ *    step size,
+ *  - the LU factorisation used by solveSteadyState(), so repeated
+ *    solves (warm-up init plus sensitivity sweeps) only pay for the
+ *    pivot replay and back-substitution.
+ *
+ * step() performs no heap allocation once the derived state exists; the
+ * RK2 scratch vectors are members sized at construction.
  */
 
 #ifndef HS_THERMAL_RC_NETWORK_HH
@@ -19,7 +38,7 @@
 
 namespace hs {
 
-/** Dense RC thermal network. */
+/** RC thermal network (dense construction, sparse simulation). */
 class RcNetwork
 {
   public:
@@ -28,7 +47,12 @@ class RcNetwork
     /** Add conductance @p g (W/K) between nodes @p a and @p b. */
     void addConductance(int a, int b, double g);
 
-    /** Tie @p node to a fixed bath at @p bath_temp through @p g. */
+    /**
+     * Tie @p node to a fixed bath at @p bath_temp through @p g.
+     * Repeated calls on one node accumulate conductance; a different
+     * bath temperature combines conductance-weighted with the previous
+     * one (the first call on a node adopts its temperature exactly).
+     */
     void addBathConductance(int node, double g, Kelvin bath_temp);
 
     /** Set the capacitance (J/K) of @p node. */
@@ -46,12 +70,14 @@ class RcNetwork
 
     /**
      * Advance the network by @p dt seconds with @p power watts injected
-     * per node. Internally sub-steps to keep forward Euler stable.
+     * per node. Internally sub-steps to keep the explicit integrator
+     * stable. Allocation-free in steady state (same topology, same dt).
      */
     void step(const std::vector<Watts> &power, double dt);
 
     /**
      * Directly solve for the steady-state temperatures under @p power.
+     * The factorisation is cached until the topology changes.
      * @throws via fatal() if the network is singular (no bath anywhere).
      */
     std::vector<Kelvin>
@@ -66,8 +92,28 @@ class RcNetwork
     std::vector<double> bathG_;   ///< per-node conductance to its bath
     std::vector<Kelvin> bathT_;   ///< per-node bath temperature
     std::vector<double> cap_;     ///< per-node capacitance
-    std::vector<double> diagG_;   ///< cached row sums incl. bath
     std::vector<Kelvin> temps_;
+
+    // --- derived state, rebuilt lazily after topology edits ---------
+    mutable bool topoDirty_ = true; ///< diag/CSR stale
+    mutable bool tauDirty_ = true;  ///< substep cache stale (cap or topo)
+    mutable std::vector<double> diagG_;  ///< row sums incl. bath
+    mutable std::vector<int> csrStart_;  ///< CSR row offsets (n + 1)
+    mutable std::vector<int> csrNode_;   ///< neighbour indices, j asc.
+    mutable std::vector<double> csrG_;   ///< matching conductances
+    mutable double cachedTau_ = 0.0;
+    mutable double cachedDt_ = -1.0;     ///< dt the substep count is for
+    mutable int cachedSubsteps_ = 1;
+
+    // Cached LU factorisation of A = diag(G_ii) - offdiag(g_ij).
+    mutable bool luValid_ = false;
+    mutable std::vector<double> lu_;     ///< eliminated matrix (U on top)
+    mutable std::vector<double> luFactor_; ///< multipliers per (row,col)
+    mutable std::vector<int> luPivot_;   ///< pivot row chosen per column
+
+    // RK2 scratch (sized at construction; reused every step).
+    std::vector<double> k1_, k2_;
+    std::vector<Kelvin> mid_;
 
     double &gAt(int a, int b) { return g_[static_cast<size_t>(a) *
                                           static_cast<size_t>(numNodes_) +
@@ -77,7 +123,20 @@ class RcNetwork
         return g_[static_cast<size_t>(a) *
                   static_cast<size_t>(numNodes_) + static_cast<size_t>(b)];
     }
-    void refreshDiag();
+
+    /** Mark every derived cache stale (single choke point for all
+     *  topology/capacitance mutators). */
+    void invalidateCache();
+    /** Rebuild diag + CSR if stale. */
+    void ensureTopology() const;
+    /** Rebuild the cached time constant / substep count if stale. */
+    void ensureSubsteps(double dt) const;
+    /** Factorise A with partial pivoting into lu_/luFactor_/luPivot_. */
+    void factorize() const;
+    /** Sparse derivative: d = (P + G*(t_bath - t) + sum g (t_j - t_i))/C. */
+    void derivative(const std::vector<Watts> &power,
+                    const std::vector<Kelvin> &t,
+                    std::vector<double> &d) const;
     void checkNode(int node) const;
 };
 

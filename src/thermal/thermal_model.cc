@@ -84,7 +84,16 @@ ThermalModel::step(const std::vector<Watts> &block_power, double dt)
         // (steady) temperature.
         return;
     }
-    net_->step(padPower(block_power), dt);
+    if (block_power.size() != static_cast<size_t>(numBlocks))
+        fatal("ThermalModel: expected %d block powers, got %zu",
+              numBlocks, block_power.size());
+    // Hot path: reuse the padded buffer instead of allocating one per
+    // sensor interval (spreader and sink nodes inject no power).
+    padBuf_.resize(static_cast<size_t>(numBlocks) + 2);
+    std::copy(block_power.begin(), block_power.end(), padBuf_.begin());
+    padBuf_[static_cast<size_t>(numBlocks)] = 0.0;
+    padBuf_[static_cast<size_t>(numBlocks) + 1] = 0.0;
+    net_->step(padBuf_, dt);
 }
 
 std::vector<Kelvin>

@@ -96,6 +96,7 @@ class ThermalModel
     std::unique_ptr<RcNetwork> net_;
     int spreaderNode_;
     int sinkNode_;
+    std::vector<Watts> padBuf_; ///< reused padded power (hot path)
 };
 
 } // namespace hs

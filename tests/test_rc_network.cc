@@ -169,6 +169,178 @@ TEST(RcNetwork, MinTimeConstant)
     EXPECT_NEAR(net.minTimeConstant(), 0.5, 1e-12);
 }
 
+TEST(RcNetwork, BathConductanceAccumulatesAtSameTemperature)
+{
+    // Two baths at the same temperature behave as one with the summed
+    // conductance.
+    RcNetwork split(1);
+    split.setCapacitance(0, 1.0);
+    split.addBathConductance(0, 0.3, 300.0);
+    split.addBathConductance(0, 0.2, 300.0);
+
+    RcNetwork merged(1);
+    merged.setCapacitance(0, 1.0);
+    merged.addBathConductance(0, 0.5, 300.0);
+
+    std::vector<Kelvin> a = split.solveSteadyState({5.0});
+    std::vector<Kelvin> b = merged.solveSteadyState({5.0});
+    EXPECT_EQ(a[0], b[0]);
+    EXPECT_NEAR(a[0], 310.0, 1e-9);
+}
+
+TEST(RcNetwork, SecondBathAtDifferentTempCombinesWeighted)
+{
+    // g1=1 @ 350 K plus g2=3 @ 310 K must behave as g=4 @ 320 K —
+    // NOT as g=4 @ 310 K, which the old last-writer-wins code produced.
+    RcNetwork net(1);
+    net.setCapacitance(0, 1.0);
+    net.addBathConductance(0, 1.0, 350.0);
+    net.addBathConductance(0, 3.0, 310.0);
+
+    // With zero power the node floats to the effective bath temp.
+    std::vector<Kelvin> t = net.solveSteadyState({0.0});
+    EXPECT_NEAR(t[0], 320.0, 1e-9);
+
+    // And with power it matches the equivalent single-bath network.
+    RcNetwork merged(1);
+    merged.setCapacitance(0, 1.0);
+    merged.addBathConductance(0, 4.0, 320.0);
+    EXPECT_NEAR(net.solveSteadyState({8.0})[0],
+                merged.solveSteadyState({8.0})[0], 1e-9);
+}
+
+TEST(RcNetwork, ZeroConductanceBathKeepsExistingTemperature)
+{
+    // A zero conductance carries no heat; tying it to an arbitrary
+    // temperature must not disturb the node.
+    RcNetwork net(1);
+    net.setCapacitance(0, 1.0);
+    net.addBathConductance(0, 0.5, 300.0);
+    net.addBathConductance(0, 0.0, 999.0);
+    std::vector<Kelvin> t = net.solveSteadyState({5.0});
+    EXPECT_NEAR(t[0], 310.0, 1e-9);
+}
+
+TEST(RcNetwork, CapacitanceEditAfterStepRefreshesSubstepCount)
+{
+    // Step once (priming the cached substep count), then make the
+    // network 100x stiffer and step again. The result must be
+    // bit-identical to a fresh network with the final capacitance
+    // started from the intermediate temperatures — i.e. the cached
+    // substep count must not be reused across the mutation.
+    auto topo = [](double cap0) {
+        RcNetwork net(2);
+        net.setCapacitance(0, cap0);
+        net.setCapacitance(1, 1.0);
+        net.addConductance(0, 1, 1.0);
+        net.addBathConductance(1, 0.5, 300.0);
+        net.setAllTemps(305.0);
+        return net;
+    };
+    std::vector<Watts> p{3.0, 0.0};
+
+    RcNetwork mutated = topo(0.5);
+    mutated.step(p, 0.1);
+
+    RcNetwork fresh = topo(0.005);
+    fresh.setTemp(0, mutated.temp(0));
+    fresh.setTemp(1, mutated.temp(1));
+
+    mutated.setCapacitance(0, 0.005);
+    mutated.step(p, 0.1);
+    fresh.step(p, 0.1);
+
+    EXPECT_EQ(mutated.temp(0), fresh.temp(0));
+    EXPECT_EQ(mutated.temp(1), fresh.temp(1));
+}
+
+TEST(RcNetwork, ScaleCapacitancesAfterStepRefreshesSubstepCount)
+{
+    auto topo = [] {
+        RcNetwork net(2);
+        net.setCapacitance(0, 0.4);
+        net.setCapacitance(1, 2.0);
+        net.addConductance(0, 1, 1.5);
+        net.addBathConductance(1, 0.5, 300.0);
+        net.setAllTemps(302.0);
+        return net;
+    };
+    std::vector<Watts> p{2.0, 0.0};
+
+    RcNetwork mutated = topo();
+    mutated.step(p, 0.1);
+
+    RcNetwork fresh = topo();
+    fresh.scaleCapacitances(0.01);
+    fresh.setTemp(0, mutated.temp(0));
+    fresh.setTemp(1, mutated.temp(1));
+
+    mutated.scaleCapacitances(0.01);
+    mutated.step(p, 0.1);
+    fresh.step(p, 0.1);
+
+    EXPECT_EQ(mutated.temp(0), fresh.temp(0));
+    EXPECT_EQ(mutated.temp(1), fresh.temp(1));
+}
+
+TEST(RcNetwork, InvalidMutationAfterStepIsFatal)
+{
+    // Mutators keep their guard rails after the hot path has been
+    // primed.
+    RcNetwork net(2);
+    net.setCapacitance(0, 1.0);
+    net.setCapacitance(1, 1.0);
+    net.addConductance(0, 1, 1.0);
+    net.addBathConductance(1, 0.5, 300.0);
+    net.step({1.0, 0.0}, 0.1);
+    EXPECT_DEATH(net.setCapacitance(0, 0.0), "positive");
+    EXPECT_DEATH(net.addConductance(0, 1, -1.0), "negative");
+    EXPECT_DEATH(net.addBathConductance(0, -1.0, 300.0), "negative");
+}
+
+TEST(RcNetwork, RepeatedSteadyStateSolvesAreBitIdentical)
+{
+    // The second solve reuses the cached factorisation; it must give
+    // exactly the first solve's answer, and a different power vector
+    // through the cached LU must match a cold solve on an identical
+    // network.
+    auto topo = [] {
+        RcNetwork net(3);
+        for (int i = 0; i < 3; ++i)
+            net.setCapacitance(i, 0.1);
+        net.addConductance(0, 1, 2.0);
+        net.addConductance(1, 2, 3.0);
+        net.addBathConductance(2, 1.0, 300.0);
+        return net;
+    };
+    RcNetwork warm = topo();
+    std::vector<Watts> p1{4.0, 1.0, 0.0};
+    std::vector<Kelvin> first = warm.solveSteadyState(p1);
+    std::vector<Kelvin> second = warm.solveSteadyState(p1);
+    EXPECT_EQ(first, second);
+
+    std::vector<Watts> p2{0.5, 2.5, 1.0};
+    RcNetwork cold = topo();
+    EXPECT_EQ(warm.solveSteadyState(p2), cold.solveSteadyState(p2));
+}
+
+TEST(RcNetwork, TopologyEditAfterSolveRefactorises)
+{
+    RcNetwork net(2);
+    net.setCapacitance(0, 1.0);
+    net.setCapacitance(1, 1.0);
+    net.addConductance(0, 1, 1.0);
+    net.addBathConductance(1, 1.0, 300.0);
+    std::vector<Watts> p{2.0, 0.0};
+    (void)net.solveSteadyState(p); // populate the LU cache
+
+    net.addConductance(0, 1, 1.0); // now 2 W/K between the nodes
+    std::vector<Kelvin> t = net.solveSteadyState(p);
+    // T1 = 302, T0 = 302 + 2/2 = 303.
+    EXPECT_NEAR(t[0], 303.0, 1e-9);
+    EXPECT_NEAR(t[1], 302.0, 1e-9);
+}
+
 class RcStepSweep : public ::testing::TestWithParam<double>
 {
 };

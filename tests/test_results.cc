@@ -53,6 +53,56 @@ TEST(Results, OutOfRangeThreadThrows)
     EXPECT_THROW(r.normalFraction(5), std::out_of_range);
 }
 
+TEST(Results, EqualityIgnoresHostThroughputFields)
+{
+    // Wall-clock throughput describes the host, not the simulated
+    // quantum: two runs of the same spec compare equal regardless of
+    // how fast the machine executed them.
+    RunResult a = sampleResult();
+    RunResult b = sampleResult();
+    a.hostSeconds = 1.5;
+    a.simCyclesPerHostSec = 666.0;
+    b.hostSeconds = 99.0;
+    b.simCyclesPerHostSec = 10.1;
+    EXPECT_EQ(a, b);
+
+    b.emergencies = 1; // simulated outcome still compares
+    EXPECT_FALSE(a == b);
+}
+
+TEST(Results, JsonIncludesThroughputFields)
+{
+    RunResult r = sampleResult();
+    r.hostSeconds = 0.25;
+    r.simCyclesPerHostSec = 4000.0;
+    std::ostringstream os;
+    writeResultJson(os, r);
+    EXPECT_NE(os.str().find("\"host_seconds\": 0.25"), std::string::npos);
+    EXPECT_NE(os.str().find("\"sim_cycles_per_host_sec\": 4000"),
+              std::string::npos);
+}
+
+TEST(Results, CsvAppendsThroughputColumns)
+{
+    // New columns go at the END so pre-existing consumers keep their
+    // column indices.
+    std::string header = resultCsvHeader();
+    EXPECT_EQ(header.rfind("avg_power_W,host_seconds,"
+                           "sim_cycles_per_host_sec"),
+              header.size() -
+                  std::string("avg_power_W,host_seconds,"
+                              "sim_cycles_per_host_sec")
+                      .size());
+
+    RunResult r = sampleResult();
+    r.hostSeconds = 0.5;
+    r.simCyclesPerHostSec = 2000.0;
+    std::ostringstream os;
+    writeResultCsv(os, r);
+    std::string line = os.str().substr(0, os.str().find('\n'));
+    EXPECT_NE(line.find(",0.5,2000"), std::string::npos);
+}
+
 TEST(TablePrinterTest, AlignsColumns)
 {
     std::ostringstream os;

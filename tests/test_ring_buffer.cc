@@ -1,0 +1,109 @@
+/** @file Unit tests for the fixed-capacity ring buffer backing the
+ *  per-thread ROB and LSQ. */
+
+#include <gtest/gtest.h>
+
+#include "common/ring_buffer.hh"
+
+namespace hs {
+namespace {
+
+TEST(RingBuffer, StartsEmpty)
+{
+    RingBuffer<int> rb;
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.size(), 0u);
+    EXPECT_EQ(rb.capacity(), 0u);
+}
+
+TEST(RingBuffer, ReserveRoundsUpToPowerOfTwo)
+{
+    RingBuffer<int> rb;
+    rb.reserve(3);
+    EXPECT_EQ(rb.capacity(), 4u);
+    rb.reserve(32);
+    EXPECT_EQ(rb.capacity(), 32u);
+    rb.reserve(33);
+    EXPECT_EQ(rb.capacity(), 64u);
+    rb.reserve(1);
+    EXPECT_EQ(rb.capacity(), 1u);
+}
+
+TEST(RingBuffer, FifoOrder)
+{
+    RingBuffer<int> rb;
+    rb.reserve(8);
+    for (int i = 0; i < 5; ++i)
+        rb.push_back(i);
+    EXPECT_EQ(rb.size(), 5u);
+    EXPECT_EQ(rb.front(), 0);
+    EXPECT_EQ(rb.back(), 4);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(rb[static_cast<size_t>(i)], i);
+    rb.pop_front();
+    EXPECT_EQ(rb.front(), 1);
+    rb.pop_back();
+    EXPECT_EQ(rb.back(), 3);
+    EXPECT_EQ(rb.size(), 3u);
+}
+
+TEST(RingBuffer, WrapsAroundCapacity)
+{
+    // Push/pop far more elements than the capacity: indices must stay
+    // consistent across many wraps.
+    RingBuffer<int> rb;
+    rb.reserve(4);
+    int next_in = 0, next_out = 0;
+    for (int round = 0; round < 100; ++round) {
+        while (rb.size() < rb.capacity())
+            rb.push_back(next_in++);
+        EXPECT_EQ(rb.front(), next_out);
+        EXPECT_EQ(rb.back(), next_in - 1);
+        for (size_t i = 0; i < rb.size(); ++i)
+            EXPECT_EQ(rb[i], next_out + static_cast<int>(i));
+        rb.pop_front();
+        ++next_out;
+        rb.pop_front();
+        ++next_out;
+    }
+}
+
+TEST(RingBuffer, ClearKeepsCapacity)
+{
+    RingBuffer<int> rb;
+    rb.reserve(4);
+    rb.push_back(1);
+    rb.push_back(2);
+    rb.clear();
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.capacity(), 4u);
+    rb.push_back(7);
+    EXPECT_EQ(rb.front(), 7);
+    EXPECT_EQ(rb.back(), 7);
+}
+
+TEST(RingBuffer, OverflowPanics)
+{
+    RingBuffer<int> rb;
+    rb.reserve(2);
+    rb.push_back(1);
+    rb.push_back(2);
+    EXPECT_DEATH(rb.push_back(3), "overflow");
+}
+
+TEST(RingBuffer, PushWithoutReservePanics)
+{
+    RingBuffer<int> rb;
+    EXPECT_DEATH(rb.push_back(1), "overflow");
+}
+
+TEST(RingBuffer, PopEmptyPanics)
+{
+    RingBuffer<int> rb;
+    rb.reserve(2);
+    EXPECT_DEATH(rb.pop_front(), "empty");
+    EXPECT_DEATH(rb.pop_back(), "empty");
+}
+
+} // namespace
+} // namespace hs

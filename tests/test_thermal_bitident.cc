@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Bit-identity of the sparse/cached RcNetwork kernels against the
+ * pre-optimisation dense implementation.
+ *
+ * DenseRc below is a line-for-line copy of the reference solver as it
+ * stood before the CSR adjacency, lazy diagonal, cached substep count
+ * and cached LU factorisation were introduced: eager O(n^2) diagonal
+ * refresh on every insert, dense `if (g != 0)` row scans in the RK2
+ * derivative, and a from-scratch Gaussian elimination per steady-state
+ * solve. The optimised RcNetwork must reproduce its trajectories and
+ * solves BIT-identically (EXPECT_EQ on doubles, no tolerance): the
+ * optimisations reorder work, never arithmetic.
+ *
+ * Topologies, capacitances, powers and step sizes are randomised with
+ * fixed hs::Rng seeds so the comparison covers shapes beyond the EV6
+ * floorplan while staying reproducible.
+ */
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "thermal/rc_network.hh"
+
+namespace hs {
+namespace {
+
+/** The pre-optimisation dense reference (see file comment). */
+class DenseRc
+{
+  public:
+    explicit DenseRc(int n)
+        : n_(n),
+          g_(static_cast<size_t>(n) * static_cast<size_t>(n), 0.0),
+          bathG_(static_cast<size_t>(n), 0.0),
+          bathT_(static_cast<size_t>(n), 0.0),
+          cap_(static_cast<size_t>(n), 1.0),
+          diagG_(static_cast<size_t>(n), 0.0),
+          temps_(static_cast<size_t>(n), 300.0)
+    {
+    }
+
+    void
+    addConductance(int a, int b, double g)
+    {
+        gAt(a, b) += g;
+        gAt(b, a) += g;
+        refreshDiag();
+    }
+
+    void
+    addBathConductance(int node, double g, Kelvin bath_temp)
+    {
+        bathG_[static_cast<size_t>(node)] += g;
+        bathT_[static_cast<size_t>(node)] = bath_temp;
+        refreshDiag();
+    }
+
+    void setCapacitance(int node, double c)
+    {
+        cap_[static_cast<size_t>(node)] = c;
+    }
+
+    void setTemp(int node, Kelvin t)
+    {
+        temps_[static_cast<size_t>(node)] = t;
+    }
+
+    void
+    scaleCapacitances(double factor)
+    {
+        for (double &c : cap_)
+            c *= factor;
+    }
+
+    Kelvin temp(int node) const
+    {
+        return temps_[static_cast<size_t>(node)];
+    }
+
+    double
+    minTimeConstant() const
+    {
+        double tau = std::numeric_limits<double>::infinity();
+        for (int i = 0; i < n_; ++i) {
+            double g = diagG_[static_cast<size_t>(i)];
+            if (g > 0)
+                tau = std::min(tau, cap_[static_cast<size_t>(i)] / g);
+        }
+        return tau;
+    }
+
+    void
+    step(const std::vector<Watts> &power, double dt)
+    {
+        if (dt <= 0)
+            return;
+        double tau = minTimeConstant();
+        int substeps = 1;
+        if (std::isfinite(tau) && tau > 0)
+            substeps = std::max(
+                1, static_cast<int>(std::ceil(dt / (0.1 * tau))));
+        double h = dt / substeps;
+
+        auto derivative = [&](const std::vector<Kelvin> &t,
+                              std::vector<double> &d) {
+            for (int i = 0; i < n_; ++i) {
+                size_t si = static_cast<size_t>(i);
+                double flow =
+                    power[si] + bathG_[si] * (bathT_[si] - t[si]);
+                for (int j = 0; j < n_; ++j) {
+                    double g = gAt(i, j);
+                    if (g != 0.0)
+                        flow += g * (t[static_cast<size_t>(j)] - t[si]);
+                }
+                d[si] = flow / cap_[si];
+            }
+        };
+
+        std::vector<double> k1(static_cast<size_t>(n_));
+        std::vector<double> k2(static_cast<size_t>(n_));
+        std::vector<Kelvin> mid(static_cast<size_t>(n_));
+        for (int s = 0; s < substeps; ++s) {
+            derivative(temps_, k1);
+            for (int i = 0; i < n_; ++i) {
+                size_t si = static_cast<size_t>(i);
+                mid[si] = temps_[si] + 0.5 * h * k1[si];
+            }
+            derivative(mid, k2);
+            for (int i = 0; i < n_; ++i) {
+                size_t si = static_cast<size_t>(i);
+                temps_[si] += h * k2[si];
+            }
+        }
+    }
+
+    std::vector<Kelvin>
+    solveSteadyState(const std::vector<Watts> &power) const
+    {
+        int n = n_;
+        std::vector<double> a(static_cast<size_t>(n) *
+                              static_cast<size_t>(n));
+        std::vector<double> b(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            size_t si = static_cast<size_t>(i);
+            for (int j = 0; j < n; ++j)
+                a[si * static_cast<size_t>(n) +
+                  static_cast<size_t>(j)] =
+                    (i == j) ? diagG_[si] : -gAt(i, j);
+            b[si] = power[si] + bathG_[si] * bathT_[si];
+        }
+        auto at = [&](int r, int c) -> double & {
+            return a[static_cast<size_t>(r) * static_cast<size_t>(n) +
+                     static_cast<size_t>(c)];
+        };
+        for (int col = 0; col < n; ++col) {
+            int pivot = col;
+            double best = std::abs(at(col, col));
+            for (int row = col + 1; row < n; ++row) {
+                double v = std::abs(at(row, col));
+                if (v > best) {
+                    best = v;
+                    pivot = row;
+                }
+            }
+            if (pivot != col) {
+                for (int j = 0; j < n; ++j)
+                    std::swap(at(col, j), at(pivot, j));
+                std::swap(b[static_cast<size_t>(col)],
+                          b[static_cast<size_t>(pivot)]);
+            }
+            double diag = at(col, col);
+            for (int row = col + 1; row < n; ++row) {
+                double factor = at(row, col) / diag;
+                if (factor == 0.0)
+                    continue;
+                for (int j = col; j < n; ++j)
+                    at(row, j) -= factor * at(col, j);
+                b[static_cast<size_t>(row)] -=
+                    factor * b[static_cast<size_t>(col)];
+            }
+        }
+        std::vector<Kelvin> t(static_cast<size_t>(n));
+        for (int row = n - 1; row >= 0; --row) {
+            double sum = b[static_cast<size_t>(row)];
+            for (int j = row + 1; j < n; ++j)
+                sum -= at(row, j) * t[static_cast<size_t>(j)];
+            t[static_cast<size_t>(row)] = sum / at(row, row);
+        }
+        return t;
+    }
+
+  private:
+    void
+    refreshDiag()
+    {
+        for (int i = 0; i < n_; ++i) {
+            double sum = bathG_[static_cast<size_t>(i)];
+            for (int j = 0; j < n_; ++j)
+                sum += gAt(i, j);
+            diagG_[static_cast<size_t>(i)] = sum;
+        }
+    }
+
+    double &gAt(int a, int b)
+    {
+        return g_[static_cast<size_t>(a) * static_cast<size_t>(n_) +
+                  static_cast<size_t>(b)];
+    }
+    double gAt(int a, int b) const
+    {
+        return g_[static_cast<size_t>(a) * static_cast<size_t>(n_) +
+                  static_cast<size_t>(b)];
+    }
+
+    int n_;
+    std::vector<double> g_, bathG_, bathT_, cap_, diagG_;
+    std::vector<Kelvin> temps_;
+};
+
+/** A random connected-ish topology built identically on both solvers.
+ *  Baths are added at most once per node (the reference has the
+ *  last-writer-wins bath-temperature bug the optimised network fixes;
+ *  single baths keep the two semantically equal). */
+struct TopoPair
+{
+    RcNetwork opt;
+    DenseRc ref;
+    std::vector<Watts> power;
+
+    explicit TopoPair(int n) : opt(n), ref(n), power(static_cast<size_t>(n))
+    {
+    }
+};
+
+TopoPair
+randomTopology(uint64_t seed, int n)
+{
+    Rng rng(seed);
+    TopoPair tp(n);
+
+    for (int i = 0; i < n; ++i) {
+        double c = 0.01 + rng.nextDouble() * 2.0;
+        tp.opt.setCapacitance(i, c);
+        tp.ref.setCapacitance(i, c);
+    }
+    // A chain guarantees connectivity; extra random edges add fill-in.
+    for (int i = 0; i + 1 < n; ++i) {
+        double g = 0.1 + rng.nextDouble() * 5.0;
+        tp.opt.addConductance(i, i + 1, g);
+        tp.ref.addConductance(i, i + 1, g);
+    }
+    for (int i = 0; i < n; ++i) {
+        for (int j = i + 2; j < n; ++j) {
+            if (rng.nextDouble() < 0.3) {
+                double g = 0.05 + rng.nextDouble() * 2.0;
+                tp.opt.addConductance(i, j, g);
+                tp.ref.addConductance(i, j, g);
+            }
+        }
+    }
+    // At least one bath (node 0), more at random.
+    for (int i = 0; i < n; ++i) {
+        if (i == 0 || rng.nextDouble() < 0.25) {
+            double g = 0.2 + rng.nextDouble() * 1.5;
+            Kelvin t = 290.0 + rng.nextDouble() * 30.0;
+            tp.opt.addBathConductance(i, g, t);
+            tp.ref.addBathConductance(i, g, t);
+        }
+    }
+    for (int i = 0; i < n; ++i) {
+        Kelvin t0 = 295.0 + rng.nextDouble() * 40.0;
+        tp.opt.setTemp(i, t0);
+        tp.ref.setTemp(i, t0);
+        tp.power[static_cast<size_t>(i)] = rng.nextDouble() * 8.0;
+    }
+    return tp;
+}
+
+class ThermalBitIdent : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ThermalBitIdent, StepTrajectoriesAreBitIdentical)
+{
+    uint64_t seed = GetParam();
+    Rng rng(seed ^ 0x5afe);
+    int n = 2 + static_cast<int>(rng.nextBounded(23));
+    TopoPair tp = randomTopology(seed, n);
+
+    for (int s = 0; s < 40; ++s) {
+        double dt = 0.001 + rng.nextDouble() * 0.5;
+        tp.opt.step(tp.power, dt);
+        tp.ref.step(tp.power, dt);
+        for (int i = 0; i < n; ++i) {
+            // Bitwise: any tolerance here would hide a reordered sum.
+            ASSERT_EQ(tp.opt.temp(i), tp.ref.temp(i))
+                << "seed=" << seed << " step=" << s << " node=" << i;
+        }
+    }
+}
+
+TEST_P(ThermalBitIdent, SteadyStateSolvesAreBitIdentical)
+{
+    uint64_t seed = GetParam();
+    Rng rng(seed ^ 0xdead);
+    int n = 2 + static_cast<int>(rng.nextBounded(23));
+    TopoPair tp = randomTopology(seed, n);
+
+    // Repeated solves exercise the cached factorisation (first solve
+    // factorises, later ones only replay pivots + back-substitute).
+    for (int round = 0; round < 3; ++round) {
+        std::vector<Kelvin> a = tp.opt.solveSteadyState(tp.power);
+        std::vector<Kelvin> b = tp.ref.solveSteadyState(tp.power);
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i) {
+            ASSERT_EQ(a[i], b[i])
+                << "seed=" << seed << " round=" << round
+                << " node=" << i;
+        }
+        // New power vector: the cached LU must give the same answer the
+        // reference recomputes from scratch.
+        for (Watts &p : tp.power)
+            p = rng.nextDouble() * 10.0;
+    }
+}
+
+TEST_P(ThermalBitIdent, MutationAfterUseStaysBitIdentical)
+{
+    // Interleave solves/steps with topology and capacitance edits: the
+    // lazy caches must always be invalidated back to dense behaviour.
+    uint64_t seed = GetParam();
+    Rng rng(seed ^ 0xfeed);
+    int n = 3 + static_cast<int>(rng.nextBounded(20));
+    TopoPair tp = randomTopology(seed, n);
+
+    for (int round = 0; round < 5; ++round) {
+        tp.opt.step(tp.power, 0.05);
+        tp.ref.step(tp.power, 0.05);
+
+        switch (rng.nextBounded(3)) {
+          case 0: {
+            int a = static_cast<int>(rng.nextBounded(
+                static_cast<uint64_t>(n)));
+            int b = (a + 1 + static_cast<int>(rng.nextBounded(
+                                 static_cast<uint64_t>(n - 1)))) % n;
+            double g = 0.1 + rng.nextDouble();
+            tp.opt.addConductance(a, b, g);
+            tp.ref.addConductance(a, b, g);
+            break;
+          }
+          case 1: {
+            int node = static_cast<int>(rng.nextBounded(
+                static_cast<uint64_t>(n)));
+            double c = 0.02 + rng.nextDouble();
+            tp.opt.setCapacitance(node, c);
+            tp.ref.setCapacitance(node, c);
+            break;
+          }
+          default: {
+            double f = 0.5 + rng.nextDouble();
+            tp.opt.scaleCapacitances(f);
+            tp.ref.scaleCapacitances(f);
+            break;
+          }
+        }
+
+        tp.opt.step(tp.power, 0.02);
+        tp.ref.step(tp.power, 0.02);
+        for (int i = 0; i < n; ++i)
+            ASSERT_EQ(tp.opt.temp(i), tp.ref.temp(i))
+                << "seed=" << seed << " round=" << round
+                << " node=" << i;
+
+        std::vector<Kelvin> a = tp.opt.solveSteadyState(tp.power);
+        std::vector<Kelvin> b = tp.ref.solveSteadyState(tp.power);
+        for (size_t i = 0; i < a.size(); ++i)
+            ASSERT_EQ(a[i], b[i])
+                << "seed=" << seed << " round=" << round
+                << " node=" << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThermalBitIdent,
+                         ::testing::Values(1u, 2u, 3u, 17u, 42u, 1234u,
+                                           0xabcdefu, 99991u));
+
+} // namespace
+} // namespace hs
