@@ -12,6 +12,15 @@
  *  - stalled: malicious variant 1 under stop-and-go. The pipeline
  *             spends most of the quantum globally stalled, so this
  *             measures the advanceStalled() fast-forward path.
+ *  - matrix_cold / matrix_prefix: a six-cell sedation threshold sweep
+ *             (the Section 5.6 figure shape) run once with prefix
+ *             sharing disabled and once with it enabled. The cells
+ *             differ only in thresholds, so the engine simulates the
+ *             shared warm-up once and forks the rest from a snapshot;
+ *             both rows are checked cell-for-cell bit-identical before
+ *             anything is reported. mcps here is *effective*
+ *             throughput (simulated cycles delivered per host second),
+ *             which is exactly what prefix sharing improves.
  *
  * Output ends with one machine-parsable line per row:
  *
@@ -23,9 +32,12 @@
  * must not enter the byte-compared results/ tables.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
+#include "common/log.hh"
+#include "sim/result_store.hh"
 #include "sim/runner.hh"
 
 int
@@ -73,6 +85,51 @@ main()
                 "+RC step each sensor sample, stalled = "
                 "advanceStalled fast-forward under stop-and-go.\n\n");
 
+    // --- prefix-sharing macro-benchmark --------------------------------
+
+    std::vector<RunSpec> sweep;
+    for (double upper : {355.5, 356.0, 356.5, 357.0, 357.5, 358.0}) {
+        ExperimentOptions o = base;
+        o.sink = SinkType::Realistic;
+        o.dtm = DtmMode::SelectiveSedation;
+        o.upperThreshold = upper;
+        o.lowerThreshold = upper - 1.0;
+        char label[32];
+        std::snprintf(label, sizeof(label), "sed%.1f", upper);
+        sweep.push_back(specPairSpec("gcc", "mesa", o).withLabel(label));
+    }
+
+    auto timeSweep = [&sweep](bool prefix_on,
+                              std::vector<RunResult> &out) -> double {
+        ResultStore store; // private: both passes simulate every cell
+        ParallelRunner runner(envJobs(), &store);
+        runner.setPrefixSharing(prefix_on);
+        auto t0 = std::chrono::steady_clock::now();
+        out = runner.run(sweep);
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+
+    std::vector<RunResult> cold_r, warm_r;
+    double cold_s = timeSweep(false, cold_r);
+    double warm_s = timeSweep(true, warm_r);
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        if (!(cold_r[i] == warm_r[i]))
+            fatal("bench_hotpath: prefix-shared result for cell %s "
+                  "differs from its cold run",
+                  sweep[i].label.c_str());
+    }
+
+    unsigned long long sweep_cycles = 0;
+    for (const RunResult &r : cold_r)
+        sweep_cycles += r.cycles;
+    double speedup = warm_s > 0.0 ? cold_s / warm_s : 0.0;
+    std::printf("six-cell sedation threshold sweep, identical results "
+                "both ways:\n");
+    std::printf("  cold   %.3f s, prefix-shared %.3f s -> %.2fx\n\n",
+                cold_s, warm_s, speedup);
+
     for (size_t i = 0; i < specs.size(); ++i) {
         const RunResult &r = results[i];
         double mcps = r.hostSeconds > 0.0
@@ -85,5 +142,18 @@ main()
                     static_cast<unsigned long long>(r.cycles),
                     r.hostSeconds, mcps);
     }
+    std::printf("[hotpath] label=matrix_cold cycles=%llu host_s=%.4f "
+                "mcps=%.3f\n",
+                sweep_cycles, cold_s,
+                cold_s > 0.0
+                    ? static_cast<double>(sweep_cycles) / cold_s / 1e6
+                    : 0.0);
+    std::printf("[hotpath] label=matrix_prefix cycles=%llu host_s=%.4f "
+                "mcps=%.3f\n",
+                sweep_cycles, warm_s,
+                warm_s > 0.0
+                    ? static_cast<double>(sweep_cycles) / warm_s / 1e6
+                    : 0.0);
+    std::printf("[hotpath] label=matrix_speedup x=%.3f\n", speedup);
     return 0;
 }

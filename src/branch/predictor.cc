@@ -1,6 +1,7 @@
 #include "branch/predictor.hh"
 
 #include "common/log.hh"
+#include "common/state_buffer.hh"
 
 namespace hs {
 
@@ -166,6 +167,41 @@ BranchPredictor::restoreHistory(ThreadId tid, uint32_t history, bool taken)
     uint32_t mask = (uint32_t{1} << params_.historyBits) - 1;
     history_[static_cast<size_t>(tid)] =
         ((history << 1) | (taken ? 1u : 0u)) & mask;
+}
+
+void
+BranchPredictor::saveState(StateWriter &w) const
+{
+    w.putTag(stateTag("BPRD"));
+    w.putVec(bimodal_);
+    w.putVec(gshare_);
+    w.putVec(chooser_);
+    w.putVec(history_);
+    w.putVec(btb_);
+    w.put<uint64_t>(btbClock_);
+    w.put<uint64_t>(lookups_);
+    w.put<uint64_t>(mispredicts_);
+}
+
+void
+BranchPredictor::restoreState(StateReader &r)
+{
+    r.expectTag(stateTag("BPRD"), "BranchPredictor");
+    size_t bimodal = bimodal_.size(), gshare = gshare_.size();
+    size_t chooser = chooser_.size(), history = history_.size();
+    size_t btb = btb_.size();
+    r.getVec(bimodal_);
+    r.getVec(gshare_);
+    r.getVec(chooser_);
+    r.getVec(history_);
+    r.getVec(btb_);
+    if (bimodal_.size() != bimodal || gshare_.size() != gshare ||
+        chooser_.size() != chooser || history_.size() != history ||
+        btb_.size() != btb)
+        fatal("BranchPredictor::restoreState: geometry mismatch");
+    btbClock_ = r.get<uint64_t>();
+    lookups_ = r.get<uint64_t>();
+    mispredicts_ = r.get<uint64_t>();
 }
 
 } // namespace hs

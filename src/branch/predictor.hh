@@ -16,6 +16,9 @@
 
 namespace hs {
 
+class StateReader;
+class StateWriter;
+
 /** Predictor geometry. */
 struct BranchPredictorParams
 {
@@ -80,6 +83,14 @@ class BranchPredictor
         lookups_ = 0;
         mispredicts_ = 0;
     }
+
+    /** Serialise tables, per-thread histories, BTB and statistics
+     *  (snapshot support). */
+    void saveState(StateWriter &w) const;
+
+    /** Restore state captured by saveState(); the geometry must
+     *  match. */
+    void restoreState(StateReader &r);
 
   private:
     struct BtbEntry

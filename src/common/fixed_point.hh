@@ -65,6 +65,9 @@ class FixedEwma
     /** @return the raw fixed-point accumulator (for exact comparisons). */
     int64_t raw() const { return acc_; }
 
+    /** Restore a raw accumulator captured by raw() (snapshot support). */
+    void setRaw(int64_t raw) { acc_ = raw; }
+
     /** @return the configured shift (log2 of 1/x). */
     int shift() const { return shift_; }
 

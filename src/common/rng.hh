@@ -10,6 +10,7 @@
 #ifndef HS_COMMON_RNG_HH
 #define HS_COMMON_RNG_HH
 
+#include <array>
 #include <cstdint>
 
 namespace hs {
@@ -35,6 +36,20 @@ class Rng
 
     /** @return true with probability @p p (clamped to [0,1]). */
     bool chance(double p);
+
+    /** The full generator state (snapshot support). */
+    std::array<uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+
+    /** Restore a state captured by state(); the next draw continues the
+     *  captured stream exactly. */
+    void
+    setState(const std::array<uint64_t, 4> &s)
+    {
+        s_[0] = s[0];
+        s_[1] = s[1];
+        s_[2] = s[2];
+        s_[3] = s[3];
+    }
 
   private:
     uint64_t s_[4];

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Flat binary state serialisation for simulator snapshots.
+ *
+ * StateWriter appends trivially-copyable values to one contiguous byte
+ * buffer; StateReader consumes them in the same order. The format is a
+ * plain concatenation — no framing beyond explicit section tags and the
+ * length prefixes of variable-size containers — because snapshots live
+ * and die inside a single process (prefix-sharing across an experiment
+ * matrix) and never cross machines or versions.
+ *
+ * Every component that participates in snapshotting exposes a
+ * saveState(StateWriter&) / restoreState(StateReader&) pair that writes
+ * and reads the exact same field sequence. Section tags (putTag /
+ * expectTag) bracket each component so a save/restore mismatch fails
+ * loudly at the component boundary instead of silently misaligning
+ * everything downstream.
+ */
+
+#ifndef HS_COMMON_STATE_BUFFER_HH
+#define HS_COMMON_STATE_BUFFER_HH
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace hs {
+
+/** Build a four-byte section tag from a string literal like "PIPE". */
+constexpr uint32_t
+stateTag(const char (&s)[5])
+{
+    return static_cast<uint32_t>(static_cast<unsigned char>(s[0])) |
+           static_cast<uint32_t>(static_cast<unsigned char>(s[1])) << 8 |
+           static_cast<uint32_t>(static_cast<unsigned char>(s[2])) << 16 |
+           static_cast<uint32_t>(static_cast<unsigned char>(s[3])) << 24;
+}
+
+/** Appends POD state to a caller-owned byte buffer. */
+class StateWriter
+{
+  public:
+    explicit StateWriter(std::vector<uint8_t> &out) : out_(out) {}
+
+    template <typename T>
+    void
+    put(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "StateWriter::put needs a trivially copyable type");
+        putBytes(&v, sizeof(T));
+    }
+
+    void
+    putBytes(const void *p, size_t n)
+    {
+        const uint8_t *b = static_cast<const uint8_t *>(p);
+        out_.insert(out_.end(), b, b + n);
+    }
+
+    /** Length-prefixed vector of trivially copyable elements. */
+    template <typename T>
+    void
+    putVec(const std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "StateWriter::putVec needs trivially copyable "
+                      "elements");
+        put<uint64_t>(v.size());
+        if (!v.empty())
+            putBytes(v.data(), v.size() * sizeof(T));
+    }
+
+    /** Section marker; the reader checks it with expectTag(). */
+    void putTag(uint32_t tag) { put<uint32_t>(tag); }
+
+    size_t bytesWritten() const { return out_.size(); }
+
+  private:
+    std::vector<uint8_t> &out_;
+};
+
+/** Consumes state written by StateWriter, in the same order. */
+class StateReader
+{
+  public:
+    StateReader(const uint8_t *data, size_t size)
+        : p_(data), end_(data + size)
+    {
+    }
+
+    explicit StateReader(const std::vector<uint8_t> &buf)
+        : StateReader(buf.data(), buf.size())
+    {
+    }
+
+    template <typename T>
+    T
+    get()
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "StateReader::get needs a trivially copyable type");
+        T v;
+        getBytes(&v, sizeof(T));
+        return v;
+    }
+
+    void
+    getBytes(void *p, size_t n)
+    {
+        if (remaining() < n)
+            fatal("StateReader: truncated snapshot (need %zu bytes, "
+                  "%zu left)",
+                  n, remaining());
+        std::memcpy(p, p_, n);
+        p_ += n;
+    }
+
+    template <typename T>
+    void
+    getVec(std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "StateReader::getVec needs trivially copyable "
+                      "elements");
+        uint64_t n = get<uint64_t>();
+        if (remaining() < n * sizeof(T))
+            fatal("StateReader: truncated vector (%llu elements "
+                  "claimed, %zu bytes left)",
+                  static_cast<unsigned long long>(n), remaining());
+        v.resize(static_cast<size_t>(n));
+        if (n)
+            getBytes(v.data(), static_cast<size_t>(n) * sizeof(T));
+    }
+
+    /** Read and discard a length-prefixed vector of T. */
+    template <typename T>
+    void
+    skipVec()
+    {
+        uint64_t n = get<uint64_t>();
+        if (remaining() < n * sizeof(T))
+            fatal("StateReader: truncated vector while skipping");
+        p_ += n * sizeof(T);
+    }
+
+    void
+    expectTag(uint32_t tag, const char *what)
+    {
+        uint32_t got = get<uint32_t>();
+        if (got != tag)
+            fatal("StateReader: bad section tag for %s (snapshot layout "
+                  "mismatch: got 0x%08x, want 0x%08x)",
+                  what, got, tag);
+    }
+
+    size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+    bool done() const { return p_ == end_; }
+
+  private:
+    const uint8_t *p_;
+    const uint8_t *end_;
+};
+
+} // namespace hs
+
+#endif // HS_COMMON_STATE_BUFFER_HH

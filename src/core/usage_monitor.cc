@@ -1,6 +1,7 @@
 #include "core/usage_monitor.hh"
 
 #include "common/log.hh"
+#include "common/state_buffer.hh"
 
 namespace hs {
 
@@ -91,6 +92,73 @@ UsageMonitor::reset()
     snapshot_.reset();
     boundTo_ = nullptr;
     samples_ = 0;
+}
+
+void
+UsageMonitor::saveState(StateWriter &w) const
+{
+    w.putTag(stateTag("UMON"));
+    w.put<int32_t>(numThreads_);
+    w.put<int32_t>(shift_);
+    w.put<uint64_t>(samples_);
+    std::vector<int64_t> raw(ewma_.size());
+    for (size_t i = 0; i < ewma_.size(); ++i)
+        raw[i] = ewma_[i].raw();
+    w.putVec(raw);
+    w.putVec(flatSum_);
+    w.putVec(flatWindows_);
+    w.put<uint8_t>(snapshot_ ? 1 : 0);
+    if (snapshot_)
+        snapshot_->saveState(w);
+}
+
+void
+UsageMonitor::restoreState(StateReader &r,
+                           const ActivityCounters &activity)
+{
+    r.expectTag(stateTag("UMON"), "UsageMonitor");
+    int32_t threads = r.get<int32_t>();
+    int32_t shift = r.get<int32_t>();
+    if (threads != numThreads_ || shift != shift_)
+        fatal("UsageMonitor::restoreState: snapshot shape "
+              "(%d threads, shift %d) does not match (%d, %d)",
+              threads, shift, numThreads_, shift_);
+    samples_ = r.get<uint64_t>();
+    std::vector<int64_t> raw;
+    r.getVec(raw);
+    if (raw.size() != ewma_.size())
+        fatal("UsageMonitor::restoreState: EWMA cell count mismatch");
+    for (size_t i = 0; i < ewma_.size(); ++i)
+        ewma_[i].setRaw(raw[i]);
+    r.getVec(flatSum_);
+    r.getVec(flatWindows_);
+    if (flatSum_.size() != ewma_.size() ||
+        flatWindows_.size() != static_cast<size_t>(numThreads_))
+        fatal("UsageMonitor::restoreState: flat-average shape mismatch");
+    bool bound = r.get<uint8_t>() != 0;
+    if (bound) {
+        boundTo_ = &activity;
+        snapshot_ =
+            std::make_unique<ActivityCounters::Snapshot>(activity);
+        snapshot_->restoreState(r);
+    } else {
+        boundTo_ = nullptr;
+        snapshot_.reset();
+    }
+}
+
+void
+UsageMonitor::skipState(StateReader &r)
+{
+    r.expectTag(stateTag("UMON"), "UsageMonitor");
+    (void)r.get<int32_t>();
+    (void)r.get<int32_t>();
+    (void)r.get<uint64_t>();
+    r.skipVec<int64_t>();
+    r.skipVec<uint64_t>();
+    r.skipVec<uint64_t>();
+    if (r.get<uint8_t>() != 0)
+        r.skipVec<std::array<uint64_t, numBlocks>>();
 }
 
 } // namespace hs

@@ -27,6 +27,9 @@
 
 namespace hs {
 
+class StateReader;
+class StateWriter;
+
 /** The selective-sedation usage monitor. */
 class UsageMonitor
 {
@@ -65,6 +68,21 @@ class UsageMonitor
 
     /** Reset all averages and the window snapshot. */
     void reset();
+
+    /** Serialise EWMAs, flat averages and the window snapshot
+     *  (snapshot support). */
+    void saveState(StateWriter &w) const;
+
+    /**
+     * Restore state captured by saveState(), rebinding the window
+     * snapshot to @p activity (the restoring simulator's own counters,
+     * which carry the same restored values the saved owner had).
+     */
+    void restoreState(StateReader &r, const ActivityCounters &activity);
+
+    /** Consume a saveState() record without applying it (a snapshot
+     *  carries monitor state the restoring config does not use). */
+    static void skipState(StateReader &r);
 
   private:
     size_t cell(ThreadId tid, Block b) const

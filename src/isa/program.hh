@@ -51,6 +51,11 @@ class Program
 
     uint64_t size() const { return instrs_.size(); }
     bool empty() const { return instrs_.empty(); }
+
+    /** @return true if @p pc indexes a real instruction — fetch(pc)
+     *  would succeed. Snapshot restore uses this to validate program
+     *  counters before rebinding in-flight instruction pointers. */
+    bool validPc(uint64_t pc) const { return pc < instrs_.size(); }
     const std::string &name() const { return name_; }
     void setName(std::string name) { name_ = std::move(name); }
 

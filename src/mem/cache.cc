@@ -1,6 +1,7 @@
 #include "mem/cache.hh"
 
 #include "common/log.hh"
+#include "common/state_buffer.hh"
 
 namespace hs {
 
@@ -171,6 +172,34 @@ Cache::invalidate(Addr addr)
         }
     }
     return false;
+}
+
+void
+Cache::saveState(StateWriter &w) const
+{
+    w.putTag(stateTag("CACH"));
+    w.put<uint64_t>(lruClock_);
+    w.put<uint32_t>(lfsr_);
+    w.put<uint64_t>(hits_);
+    w.put<uint64_t>(misses_);
+    w.put<uint64_t>(writebacks_);
+    w.putVec(lines_);
+}
+
+void
+Cache::restoreState(StateReader &r)
+{
+    r.expectTag(stateTag("CACH"), "Cache");
+    size_t expect = lines_.size();
+    lruClock_ = r.get<uint64_t>();
+    lfsr_ = r.get<uint32_t>();
+    hits_ = r.get<uint64_t>();
+    misses_ = r.get<uint64_t>();
+    writebacks_ = r.get<uint64_t>();
+    r.getVec(lines_);
+    if (lines_.size() != expect)
+        fatal("Cache '%s': snapshot has %zu lines, geometry has %zu",
+              params_.name.c_str(), lines_.size(), expect);
 }
 
 } // namespace hs

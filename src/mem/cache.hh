@@ -16,6 +16,9 @@
 
 namespace hs {
 
+class StateReader;
+class StateWriter;
+
 /** Victim-selection policy. */
 enum class ReplacementPolicy {
     Lru,    ///< least recently used (default)
@@ -90,6 +93,14 @@ class Cache
     {
         hits_ = misses_ = writebacks_ = 0;
     }
+
+    /** Serialise tags, LRU/LFSR state and statistics (snapshot
+     *  support). */
+    void saveState(StateWriter &w) const;
+
+    /** Restore state captured by saveState(); the geometry must
+     *  match. */
+    void restoreState(StateReader &r);
 
   private:
     struct Line

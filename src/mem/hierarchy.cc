@@ -1,5 +1,7 @@
 #include "mem/hierarchy.hh"
 
+#include "common/state_buffer.hh"
+
 namespace hs {
 
 MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params)
@@ -61,6 +63,26 @@ MemoryHierarchy::resetStats()
     l1d_->resetStats();
     l2_->resetStats();
     memWritebacks_ = 0;
+}
+
+void
+MemoryHierarchy::saveState(StateWriter &w) const
+{
+    w.putTag(stateTag("MHIE"));
+    l1i_->saveState(w);
+    l1d_->saveState(w);
+    l2_->saveState(w);
+    w.put<uint64_t>(memWritebacks_);
+}
+
+void
+MemoryHierarchy::restoreState(StateReader &r)
+{
+    r.expectTag(stateTag("MHIE"), "MemoryHierarchy");
+    l1i_->restoreState(r);
+    l1d_->restoreState(r);
+    l2_->restoreState(r);
+    memWritebacks_ = r.get<uint64_t>();
 }
 
 } // namespace hs

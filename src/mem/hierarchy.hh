@@ -17,6 +17,9 @@
 
 namespace hs {
 
+class StateReader;
+class StateWriter;
+
 /** Parameters for the full hierarchy. */
 struct HierarchyParams
 {
@@ -67,6 +70,14 @@ class MemoryHierarchy
     uint64_t memWritebacks() const { return memWritebacks_; }
 
     void resetStats();
+
+    /** Serialise all three cache levels plus the writeback counter
+     *  (snapshot support). */
+    void saveState(StateWriter &w) const;
+
+    /** Restore state captured by saveState() on a same-geometry
+     *  hierarchy. */
+    void restoreState(StateReader &r);
 
   private:
     MemAccessResult accessThrough(Cache &l1, Addr addr, bool is_write);

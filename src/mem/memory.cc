@@ -1,6 +1,10 @@
 #include "mem/memory.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
+
+#include "common/state_buffer.hh"
 
 namespace hs {
 
@@ -53,6 +57,37 @@ void
 SparseMemory::write8(Addr addr, uint8_t value)
 {
     touchPage(addr)[addr % pageBytes] = value;
+}
+
+void
+SparseMemory::saveState(StateWriter &w) const
+{
+    w.putTag(stateTag("SMEM"));
+    std::vector<Addr> keys;
+    keys.reserve(pages_.size());
+    for (const auto &[key, page] : pages_)
+        keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    w.put<uint64_t>(keys.size());
+    for (Addr key : keys) {
+        w.put<Addr>(key);
+        w.putBytes(pages_.at(key)->data(), pageBytes);
+    }
+}
+
+void
+SparseMemory::restoreState(StateReader &r)
+{
+    r.expectTag(stateTag("SMEM"), "SparseMemory");
+    uint64_t n = r.get<uint64_t>();
+    pages_.clear();
+    pages_.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) {
+        Addr key = r.get<Addr>();
+        auto page = std::make_unique<Page>();
+        r.getBytes(page->data(), pageBytes);
+        pages_.emplace(key, std::move(page));
+    }
 }
 
 } // namespace hs

@@ -1,6 +1,7 @@
 #include "power/activity.hh"
 
 #include "common/log.hh"
+#include "common/state_buffer.hh"
 
 namespace hs {
 
@@ -29,6 +30,28 @@ ActivityCounters::reset()
         row.fill(0);
 }
 
+void
+ActivityCounters::saveState(StateWriter &w) const
+{
+    w.putTag(stateTag("ACTV"));
+    w.put<int32_t>(numThreads_);
+    w.putVec(counts_);
+}
+
+void
+ActivityCounters::restoreState(StateReader &r)
+{
+    r.expectTag(stateTag("ACTV"), "ActivityCounters");
+    int32_t threads = r.get<int32_t>();
+    if (threads != numThreads_)
+        fatal("ActivityCounters::restoreState: snapshot has %d threads, "
+              "this instance has %d",
+              threads, numThreads_);
+    r.getVec(counts_);
+    if (counts_.size() != static_cast<size_t>(numThreads_))
+        fatal("ActivityCounters::restoreState: corrupt row count");
+}
+
 ActivityCounters::Snapshot::Snapshot(const ActivityCounters &owner)
     : owner_(owner), last_(owner.counts_.size())
 {
@@ -48,6 +71,22 @@ void
 ActivityCounters::Snapshot::take()
 {
     last_ = owner_.counts_;
+}
+
+void
+ActivityCounters::Snapshot::saveState(StateWriter &w) const
+{
+    w.putVec(last_);
+}
+
+void
+ActivityCounters::Snapshot::restoreState(StateReader &r)
+{
+    r.getVec(last_);
+    if (last_.size() != owner_.counts_.size())
+        fatal("ActivityCounters::Snapshot::restoreState: baseline shape "
+              "does not match the owner (%zu vs %zu rows)",
+              last_.size(), owner_.counts_.size());
 }
 
 } // namespace hs

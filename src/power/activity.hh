@@ -24,6 +24,9 @@
 
 namespace hs {
 
+class StateReader;
+class StateWriter;
+
 /** Cumulative access counters, indexed [thread][block]. */
 class ActivityCounters
 {
@@ -54,6 +57,13 @@ class ActivityCounters
     /** Zero all counters. */
     void reset();
 
+    /** Serialise every counter cell (snapshot support). */
+    void saveState(StateWriter &w) const;
+
+    /** Restore counters captured by saveState(); the thread count must
+     *  match this instance's. */
+    void restoreState(StateReader &r);
+
     /**
      * A consumer-owned snapshot for windowed differencing.
      * delta() returns per-cell increments since the previous call and
@@ -69,6 +79,13 @@ class ActivityCounters
 
         /** Advance the snapshot to the counters' current state. */
         void take();
+
+        /** Serialise the differencing baseline (snapshot support). */
+        void saveState(StateWriter &w) const;
+
+        /** Restore a baseline captured by saveState() against a
+         *  same-shaped owner. */
+        void restoreState(StateReader &r);
 
       private:
         const ActivityCounters &owner_;

@@ -59,20 +59,36 @@ sinkName(SinkType s)
 std::string
 RunSpec::canonicalKey() const
 {
+    return buildKey(true);
+}
+
+std::string
+RunSpec::divergenceKey() const
+{
+    return buildKey(false);
+}
+
+std::string
+RunSpec::buildKey(bool with_policy) const
+{
     std::string key;
     key.reserve(160);
     key += "ts=";
     appendNum(key, opts.timeScale);
     key += ";sink=";
     key += sinkName(opts.sink);
-    key += ";dtm=";
-    key += dtmModeName(opts.dtm);
+    if (with_policy) {
+        key += ";dtm=";
+        key += dtmModeName(opts.dtm);
+    }
     key += ";conv=";
     appendNum(key, opts.convectionR);
-    key += ";upper=";
-    appendNum(key, opts.upperThreshold);
-    key += ";lower=";
-    appendNum(key, opts.lowerThreshold);
+    if (with_policy) {
+        key += ";upper=";
+        appendNum(key, opts.upperThreshold);
+        key += ";lower=";
+        appendNum(key, opts.lowerThreshold);
+    }
     key += ";usage=";
     key += opts.sedationUsageThreshold ? '1' : '0';
     key += ";trace=";
@@ -83,8 +99,10 @@ RunSpec::canonicalKey() const
     appendNum(key, dieShrink);
     key += ";noise=";
     appendNum(key, sensorNoiseK);
-    key += ";desched=";
-    key += std::to_string(descheduleAfter);
+    if (with_policy) {
+        key += ";desched=";
+        key += std::to_string(descheduleAfter);
+    }
     for (const WorkloadSpec &w : workloads) {
         key += '|';
         switch (w.kind) {

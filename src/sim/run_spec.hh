@@ -74,6 +74,16 @@ struct RunSpec
      */
     std::string canonicalKey() const;
 
+    /**
+     * canonicalKey() minus the policy-only fields (DTM mode, trigger
+     * thresholds, deschedule knob). Two specs with equal divergence
+     * keys simulate bit-identically up to the first sensor sample at
+     * which any of their policies could act, so the experiment engine
+     * can run that shared prefix once and fork each cell from a
+     * snapshot of it.
+     */
+    std::string divergenceKey() const;
+
     /** FNV-1a 64-bit hash of canonicalKey(). */
     uint64_t hash() const;
 
@@ -83,6 +93,11 @@ struct RunSpec
     RunSpec withLabel(std::string l) const;
     RunSpec withDtm(DtmMode mode) const;
     RunSpec withSink(SinkType sink) const;
+
+  private:
+    /** Shared body of canonicalKey() / divergenceKey(): the policy
+     *  fields are emitted only when @p with_policy is set. */
+    std::string buildKey(bool with_policy) const;
 };
 
 /** Spec for @p name running alone. */

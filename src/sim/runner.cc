@@ -1,13 +1,17 @@
 #include "sim/runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <ostream>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/log.hh"
 #include "isa/assembler.hh"
@@ -38,10 +42,9 @@ buildWorkload(const WorkloadSpec &w, const ExperimentOptions &opts)
     panic("buildWorkload: bad WorkloadSpec kind");
 }
 
-} // namespace
-
-std::unique_ptr<Simulator>
-makeSimulator(const RunSpec &spec)
+/** Full SimConfig of @p spec (shared by cold and prefix simulators). */
+SimConfig
+runConfig(const RunSpec &spec)
 {
     if (spec.workloads.empty())
         fatal("RunSpec '%s' has no workloads", spec.label.c_str());
@@ -57,49 +60,70 @@ makeSimulator(const RunSpec &spec)
         cfg.smt.numThreads = spec.numThreads;
     if (static_cast<int>(spec.workloads.size()) > cfg.smt.numThreads)
         cfg.smt.numThreads = static_cast<int>(spec.workloads.size());
+    return cfg;
+}
 
-    auto sim = std::make_unique<Simulator>(cfg);
+void
+bindWorkloads(Simulator &sim, const RunSpec &spec)
+{
     for (size_t t = 0; t < spec.workloads.size(); ++t)
-        sim->setWorkload(static_cast<ThreadId>(t),
-                         buildWorkload(spec.workloads[t], spec.opts));
-    return sim;
+        sim.setWorkload(static_cast<ThreadId>(t),
+                        buildWorkload(spec.workloads[t], spec.opts));
 }
 
-RunResult
-executeRunSpec(const RunSpec &spec)
+/**
+ * Lowest observed temperature at which @p cfg 's DTM stack could do
+ * anything at a sensor sample. Below it every policy is a pure
+ * observer (they are all strict no-ops while disengaged and under
+ * their trigger), so two cells differing only in policy fields evolve
+ * bit-identically. -infinity means the cell can act on usage alone
+ * (the sedation ablation) and must always run cold; +infinity means
+ * the cell never acts (DtmMode::None, e.g. ideal-sink runs).
+ */
+double
+minActingTemp(const SimConfig &cfg)
 {
-    return makeSimulator(spec)->run();
-}
-
-ParallelRunner::ParallelRunner(int jobs, ResultStore *store)
-    : jobs_(jobs), store_(store)
-{
-    if (jobs_ <= 0) {
-        unsigned hw = std::thread::hardware_concurrency();
-        jobs_ = hw ? static_cast<int>(hw) : 1;
+    double inf = std::numeric_limits<double>::infinity();
+    switch (cfg.dtm) {
+      case DtmMode::None:
+        return inf;
+      case DtmMode::StopAndGo:
+        return cfg.stopAndGo.triggerTemp;
+      case DtmMode::SelectiveSedation:
+        if (cfg.sedation.useUsageThreshold)
+            return -inf;
+        return std::min(cfg.sedation.upperThreshold,
+                        cfg.stopAndGo.triggerTemp);
+      case DtmMode::DvfsThrottle:
+        return std::min(cfg.dvfs.triggerTemp,
+                        cfg.stopAndGo.triggerTemp);
+      case DtmMode::FetchGating:
+        return std::min(cfg.fetchGating.triggerTemp,
+                        cfg.stopAndGo.triggerTemp);
     }
+    return -inf;
 }
 
-std::vector<RunResult>
-ParallelRunner::run(const std::vector<RunSpec> &specs)
+/// Sensor samples between prefix snapshots: rarely enough to keep the
+/// save cost negligible, often enough that the fork point trails the
+/// divergence sample closely.
+constexpr Cycles kPrefixStrideSamples = 4;
+
+/**
+ * Run @p fn(0 .. n-1) on up to @p workers threads, capturing the first
+ * exception and rethrowing it after the pool drains.
+ */
+template <typename Fn>
+void
+poolFor(int workers, size_t n, Fn &&fn)
 {
-    std::vector<RunResult> results(specs.size());
-    if (specs.empty())
-        return results;
-
-    auto runOne = [&](size_t i) {
-        const RunSpec &spec = specs[i];
-        results[i] = store_
-                         ? store_->getOrCompute(
-                               spec, [&spec] { return executeRunSpec(spec); })
-                         : executeRunSpec(spec);
-    };
-
-    int workers = std::min<int>(jobs_, static_cast<int>(specs.size()));
+    if (n == 0)
+        return;
+    workers = std::min<int>(workers, static_cast<int>(n));
     if (workers <= 1) {
-        for (size_t i = 0; i < specs.size(); ++i)
-            runOne(i);
-        return results;
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
     }
 
     std::atomic<size_t> next{0};
@@ -108,10 +132,10 @@ ParallelRunner::run(const std::vector<RunSpec> &specs)
     auto worker = [&] {
         for (;;) {
             size_t i = next.fetch_add(1);
-            if (i >= specs.size())
+            if (i >= n)
                 return;
             try {
-                runOne(i);
+                fn(i);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(errorMu);
                 if (!error)
@@ -128,6 +152,157 @@ ParallelRunner::run(const std::vector<RunSpec> &specs)
         t.join();
     if (error)
         std::rethrow_exception(error);
+}
+
+} // namespace
+
+std::unique_ptr<Simulator>
+makeSimulator(const RunSpec &spec)
+{
+    auto sim = std::make_unique<Simulator>(runConfig(spec));
+    bindWorkloads(*sim, spec);
+    return sim;
+}
+
+std::unique_ptr<Simulator>
+makePrefixSimulator(const RunSpec &spec)
+{
+    SimConfig cfg = runConfig(spec);
+    // Neutralise every trigger: the prefix must be the history all
+    // group members share, i.e. the run as it unfolds while no policy
+    // has acted yet. Selective sedation is kept (with unreachable
+    // thresholds) because its usage monitor updates unconditionally
+    // below the trigger and forked sedation cells inherit its state.
+    cfg.dtm = DtmMode::SelectiveSedation;
+    cfg.sedation.useUsageThreshold = false;
+    cfg.sedation.upperThreshold = 1e9;
+    cfg.sedation.lowerThreshold = 1e9 - 1.0;
+    cfg.stopAndGo.triggerTemp = 1e9;
+    cfg.descheduleRepeatOffenders = false;
+
+    auto sim = std::make_unique<Simulator>(cfg);
+    bindWorkloads(*sim, spec);
+    return sim;
+}
+
+RunResult
+executeRunSpec(const RunSpec &spec)
+{
+    return makeSimulator(spec)->run();
+}
+
+RunResult
+executeFromSnapshot(const RunSpec &spec, const SimSnapshot &snap)
+{
+    auto sim = makeSimulator(spec);
+    sim->restore(snap);
+    return sim->run();
+}
+
+ParallelRunner::ParallelRunner(int jobs, ResultStore *store)
+    : jobs_(jobs), store_(store), prefixSharing_(envPrefixSharing(true))
+{
+    if (jobs_ <= 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        jobs_ = hw ? static_cast<int>(hw) : 1;
+    }
+}
+
+PrefixShareStats
+ParallelRunner::prefixStats() const
+{
+    PrefixShareStats s;
+    s.groups = prefixGroups_.load();
+    s.forkedRuns = forkedRuns_.load();
+    s.prefixCycles = prefixCycles_.load();
+    s.savedCycles = savedCycles_.load();
+    return s;
+}
+
+std::vector<std::shared_ptr<const SimSnapshot>>
+ParallelRunner::buildPrefixes(const std::vector<RunSpec> &specs)
+{
+    std::vector<std::shared_ptr<const SimSnapshot>> snaps(specs.size());
+
+    struct Group
+    {
+        std::vector<size_t> members;
+        double divergeTemp = std::numeric_limits<double>::infinity();
+    };
+    std::unordered_map<std::string, size_t> index;
+    std::vector<Group> groups; // insertion order: deterministic jobs
+
+    for (size_t i = 0; i < specs.size(); ++i) {
+        double act = minActingTemp(runConfig(specs[i]));
+        if (act == -std::numeric_limits<double>::infinity())
+            continue; // can act on usage alone: must run cold
+        auto [it, fresh] =
+            index.emplace(specs[i].divergenceKey(), groups.size());
+        if (fresh)
+            groups.emplace_back();
+        Group &g = groups[it->second];
+        g.members.push_back(i);
+        g.divergeTemp = std::min(g.divergeTemp, act);
+    }
+
+    // A prefix only pays for itself when at least two distinct,
+    // not-yet-cached cells will fork from it.
+    std::vector<size_t> jobs;
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+        std::unordered_set<std::string> fresh_keys;
+        for (size_t i : groups[gi].members) {
+            if (store_ && store_->contains(specs[i]))
+                continue;
+            fresh_keys.insert(specs[i].canonicalKey());
+        }
+        if (fresh_keys.size() >= 2)
+            jobs.push_back(gi);
+    }
+
+    poolFor(jobs_, jobs.size(), [&](size_t j) {
+        const Group &g = groups[jobs[j]];
+        const RunSpec &rep = specs[g.members.front()];
+        auto snap = std::make_shared<SimSnapshot>();
+        Cycles fork = makePrefixSimulator(rep)->runPrefix(
+            g.divergeTemp, kPrefixStrideSamples, *snap);
+        if (fork == 0)
+            return; // diverged before the first snapshot: all cold
+        prefixGroups_.fetch_add(1);
+        prefixCycles_.fetch_add(fork);
+        for (size_t i : g.members)
+            snaps[i] = snap;
+    });
+
+    return snaps;
+}
+
+std::vector<RunResult>
+ParallelRunner::run(const std::vector<RunSpec> &specs)
+{
+    std::vector<RunResult> results(specs.size());
+    if (specs.empty())
+        return results;
+
+    std::vector<std::shared_ptr<const SimSnapshot>> snaps(specs.size());
+    if (prefixSharing_)
+        snaps = buildPrefixes(specs);
+
+    auto runOne = [&](size_t i) {
+        const RunSpec &spec = specs[i];
+        const SimSnapshot *snap = snaps[i].get();
+        auto compute = [&spec, snap, this]() -> RunResult {
+            if (snap) {
+                forkedRuns_.fetch_add(1);
+                savedCycles_.fetch_add(snap->cycle);
+                return executeFromSnapshot(spec, *snap);
+            }
+            return executeRunSpec(spec);
+        };
+        results[i] =
+            store_ ? store_->getOrCompute(spec, compute) : compute();
+    };
+
+    poolFor(jobs_, specs.size(), runOne);
     return results;
 }
 
@@ -144,6 +319,19 @@ envJobs(int default_jobs)
     return static_cast<int>(v);
 }
 
+bool
+envPrefixSharing(bool default_on)
+{
+    const char *env = std::getenv("HS_PREFIX");
+    if (!env || !*env)
+        return default_on;
+    char *end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v < 0)
+        fatal("HS_PREFIX must be a non-negative integer, got '%s'", env);
+    return v != 0;
+}
+
 std::vector<RunResult>
 runMatrix(const std::vector<RunSpec> &specs)
 {
@@ -157,12 +345,17 @@ runMatrix(const std::vector<RunSpec> &specs)
                       std::chrono::steady_clock::now() - t0)
                       .count();
 
+    PrefixShareStats ps = runner.prefixStats();
     std::fprintf(stderr,
                  "[engine] %zu runs (%llu cached) on %d workers in "
-                 "%.1f s\n",
+                 "%.1f s | prefix: %llu groups, %llu forks, %.1f "
+                 "Mcycles shared\n",
                  specs.size(),
                  static_cast<unsigned long long>(store.hits() - hits0),
-                 runner.jobs(), secs);
+                 runner.jobs(), secs,
+                 static_cast<unsigned long long>(ps.groups),
+                 static_cast<unsigned long long>(ps.forkedRuns),
+                 static_cast<double>(ps.savedCycles) / 1e6);
     return results;
 }
 

@@ -8,19 +8,32 @@
  * bit-identical results to serial execution, returned in submission
  * order regardless of the worker count.
  *
+ * Cells that differ only in DTM policy fields (mode, thresholds, the
+ * deschedule knob) simulate bit-identically until the first sensor
+ * sample at which any of their policies could act. The engine groups
+ * such cells by RunSpec::divergenceKey(), simulates that shared warm-up
+ * prefix once with neutralised thresholds, snapshots it, and forks each
+ * cell from the snapshot — the forked run is bit-identical to a cold
+ * one (enforced by tests), just cheaper.
+ *
  * Environment knobs:
  *  - HS_JOBS: worker count for runMatrix() (default: all hardware
  *    threads; must be a positive integer).
+ *  - HS_PREFIX: 0 disables prefix sharing (default: on; must be a
+ *    non-negative integer).
  */
 
 #ifndef HS_SIM_RUNNER_HH
 #define HS_SIM_RUNNER_HH
 
+#include <atomic>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <vector>
 
 #include "sim/run_spec.hh"
+#include "sim/snapshot.hh"
 
 namespace hs {
 
@@ -32,6 +45,29 @@ std::unique_ptr<Simulator> makeSimulator(const RunSpec &spec);
 
 /** Execute one spec serially (no cache). */
 RunResult executeRunSpec(const RunSpec &spec);
+
+/**
+ * Build the simulator that runs a divergence group's shared prefix:
+ * @p spec 's configuration with every DTM trigger neutralised (so the
+ * prefix itself never acts) but the sedation usage monitor kept
+ * running, since it is the one piece of policy state that evolves
+ * below the trigger and forked sedation cells inherit it from the
+ * snapshot.
+ */
+std::unique_ptr<Simulator> makePrefixSimulator(const RunSpec &spec);
+
+/** Execute @p spec from @p snap instead of from cycle 0. */
+RunResult executeFromSnapshot(const RunSpec &spec,
+                              const SimSnapshot &snap);
+
+/** Prefix-sharing counters accumulated by a ParallelRunner. */
+struct PrefixShareStats
+{
+    uint64_t groups = 0;      ///< divergence groups that forked
+    uint64_t forkedRuns = 0;  ///< cells restored from a snapshot
+    uint64_t prefixCycles = 0;///< cycles simulated by shared prefixes
+    uint64_t savedCycles = 0; ///< cycles forked cells did not re-run
+};
 
 /** Thread-pool executor for RunSpec matrices. */
 class ParallelRunner
@@ -51,13 +87,36 @@ class ParallelRunner
 
     int jobs() const { return jobs_; }
 
+    /** Toggle prefix sharing (construction default: HS_PREFIX). */
+    void setPrefixSharing(bool on) { prefixSharing_ = on; }
+    bool prefixSharing() const { return prefixSharing_; }
+
+    /** Cumulative prefix-sharing counters across run() calls. */
+    PrefixShareStats prefixStats() const;
+
   private:
+    /**
+     * Phase one of run(): group specs by divergence key, simulate each
+     * eligible group's shared prefix in parallel, and return one
+     * snapshot pointer per spec (null = simulate cold).
+     */
+    std::vector<std::shared_ptr<const SimSnapshot>>
+    buildPrefixes(const std::vector<RunSpec> &specs);
+
     int jobs_;
     ResultStore *store_;
+    bool prefixSharing_;
+    std::atomic<uint64_t> prefixGroups_{0};
+    std::atomic<uint64_t> forkedRuns_{0};
+    std::atomic<uint64_t> prefixCycles_{0};
+    std::atomic<uint64_t> savedCycles_{0};
 };
 
 /** @return the HS_JOBS override, or @p default_jobs (0 = all cores). */
 int envJobs(int default_jobs = 0);
+
+/** @return false iff HS_PREFIX is set to 0 (else @p default_on). */
+bool envPrefixSharing(bool default_on = true);
 
 /**
  * Bench-harness convenience: run @p specs with HS_JOBS workers and the

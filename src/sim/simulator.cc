@@ -6,6 +6,7 @@
 
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "common/state_buffer.hh"
 #include "common/stats.hh"
 #include "thermal/floorplan.hh"
 
@@ -231,6 +232,8 @@ Simulator::countEmergencies(const std::vector<Kelvin> &temps)
 void
 Simulator::sampleSensors()
 {
+    auto prof_start = profiling_ ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
     Cycles now = pipeline_->cycle();
     Cycles active = pipeline_->activeCycles();
     Cycles active_delta = active - lastActiveCycles_;
@@ -261,6 +264,11 @@ Simulator::sampleSensors()
                  config_.sensorNoiseK;
     }
 
+    // What the policies are about to see, for runPrefix()'s divergence
+    // test: the observed (noised) maximum, not the physical one.
+    lastObservedMax_ = *std::max_element(tempsBuf_.begin(),
+                                         tempsBuf_.end());
+
     for (auto &policy : policies_)
         policy->atSensorSample(now, tempsBuf_, *this);
 
@@ -273,14 +281,25 @@ Simulator::sampleSensors()
             now, thermal_->blockTemp(Block::IntReg), hottest,
             thermal_->sinkTemp()});
     }
+
+    ++profile_.sensorSamples;
+    if (profiling_)
+        profile_.thermalSeconds +=
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - prof_start)
+                .count();
 }
 
 RunResult
 Simulator::run()
 {
-    // Establish normal-operation temperatures (HotSpot warm start).
-    thermal_->initSteadyState(
-        energy_->steadyPower(config_.nominalAccessRates));
+    // Establish normal-operation temperatures (HotSpot warm start) —
+    // unless this simulator resumed from a snapshot, whose restored
+    // RC-network temperatures already embed the warm start plus the
+    // shared prefix's heating.
+    if (!resumedFromSnapshot_)
+        thermal_->initSteadyState(
+            energy_->steadyPower(config_.nominalAccessRates));
 
     const Cycles quantum = config_.quantumCycles;
     const Cycles sensor = config_.sensorInterval;
@@ -289,9 +308,13 @@ Simulator::run()
     // Countdowns to the next monitor/sensor boundary replace the two
     // divisions the old loop paid every cycle. They track the same
     // absolute boundaries: toMonitor/toSensor are the cycles left until
-    // the next multiple of the respective interval.
+    // the next multiple of the respective interval. A resumed run
+    // starts at a sensor boundary, where both countdowns are full.
     Cycles toMonitor = monitor;
     Cycles toSensor = sensor;
+
+    const Cycles start_cycle = pipeline_->cycle();
+    uint64_t stalled_cycles = 0;
 
     auto wall_start = std::chrono::steady_clock::now();
     while (pipeline_->cycle() < quantum) {
@@ -304,7 +327,17 @@ Simulator::run()
             // landing cycle.
             Cycles now = pipeline_->cycle();
             Cycles delta = std::min(toSensor, quantum - now);
-            pipeline_->advanceStalled(delta);
+            if (profiling_) {
+                auto t0 = std::chrono::steady_clock::now();
+                pipeline_->advanceStalled(delta);
+                profile_.stallSeconds +=
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+            } else {
+                pipeline_->advanceStalled(delta);
+            }
+            stalled_cycles += delta;
             toSensor -= delta;
             Cycles gone = delta % monitor;
             toMonitor = gone < toMonitor ? toMonitor - gone
@@ -333,7 +366,240 @@ Simulator::run()
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)
             .count();
+
+    profile_.totalSeconds += host_seconds;
+    profile_.stalledCycles += stalled_cycles;
+    profile_.tickedCycles +=
+        (pipeline_->cycle() - start_cycle) - stalled_cycles;
+    // Whatever the loop did not spend sampling sensors or
+    // fast-forwarding stalls was cycle-by-cycle execution.
+    profile_.tickSeconds = profile_.totalSeconds -
+                           profile_.thermalSeconds -
+                           profile_.stallSeconds;
+
     return collectResults(host_seconds);
+}
+
+// --- snapshots -----------------------------------------------------------
+
+void
+Simulator::save(SimSnapshot &snap) const
+{
+    auto t0 = std::chrono::steady_clock::now();
+    Cycles now = pipeline_->cycle();
+    if (now % config_.sensorInterval != 0)
+        fatal("Simulator::save: cycle %llu is not a sensor boundary "
+              "(interval %llu)",
+              static_cast<unsigned long long>(now),
+              static_cast<unsigned long long>(config_.sensorInterval));
+    if (pipeline_->globalStalled())
+        fatal("Simulator::save: cannot snapshot a stalled pipeline");
+    if (pipeline_->allHalted())
+        fatal("Simulator::save: cannot snapshot a halted machine (a "
+              "restored run would re-test the halt one cycle later)");
+
+    snap.clear();
+    StateWriter w(snap.bytes);
+    w.putTag(stateTag("HSS1"));
+
+    // Echo the configuration fields a forked cell must share with the
+    // prefix, so restoring into an incompatible cell fails loudly.
+    // DTM policy parameters are deliberately absent: cells differ
+    // there by design, and policy state below the trigger is inert.
+    w.put<int32_t>(config_.smt.numThreads);
+    w.put<Cycles>(config_.quantumCycles);
+    w.put<Cycles>(config_.sensorInterval);
+    w.put<Cycles>(config_.monitorInterval);
+    w.put<double>(config_.emergencyTemp);
+    w.put<double>(config_.sensorNoiseK);
+    w.put<uint8_t>(config_.recordTempTrace ? 1 : 0);
+    w.put<double>(config_.thermal.timeScale);
+    w.put<double>(config_.thermal.convectionR);
+    w.put<uint8_t>(config_.thermal.idealSink ? 1 : 0);
+    w.put<double>(config_.thermal.dieShrink);
+
+    pipeline_->saveState(w);
+    thermal_->saveState(w);
+
+    w.putTag(stateTag("SIMS"));
+    w.put<Cycles>(lastActiveCycles_);
+    w.put<uint64_t>(emergencies_);
+    for (uint64_t e : emergenciesPerBlock_)
+        w.put<uint64_t>(e);
+    for (bool b : aboveEmergency_)
+        w.put<uint8_t>(b ? 1 : 0);
+    for (Kelvin t : peakTemp_)
+        w.put<double>(t);
+    w.put<double>(energyAccumJ_);
+    for (uint64_t s : sensorNoise_.state())
+        w.put<uint64_t>(s);
+    w.putVec(tempTrace_);
+    w.put<Cycles>(lastTraceAt_);
+    powerSnapshot_->saveState(w);
+    w.putVec(descheduled_);
+
+    // Sedation usage monitor: the one piece of policy state that
+    // evolves unconditionally below the trigger, so forked sedation
+    // cells need the prefix's copy transplanted.
+    w.put<uint8_t>(sedation_ ? 1 : 0);
+    if (sedation_)
+        sedation_->monitor().saveState(w);
+
+    snap.cycle = now;
+    ++profile_.snapshotOps;
+    if (profiling_)
+        profile_.snapshotSeconds +=
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+}
+
+void
+Simulator::restore(const SimSnapshot &snap)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    if (snap.empty())
+        fatal("Simulator::restore: empty snapshot");
+    if (pipeline_->cycle() != 0)
+        fatal("Simulator::restore: only a freshly constructed "
+              "simulator can restore (this one is at cycle %llu)",
+              static_cast<unsigned long long>(pipeline_->cycle()));
+
+    StateReader r(snap.bytes);
+    r.expectTag(stateTag("HSS1"), "SimSnapshot header");
+
+    int32_t threads = r.get<int32_t>();
+    Cycles quantum = r.get<Cycles>();
+    Cycles sensor = r.get<Cycles>();
+    Cycles monitor = r.get<Cycles>();
+    double emergency = r.get<double>();
+    double noise = r.get<double>();
+    bool trace = r.get<uint8_t>() != 0;
+    double time_scale = r.get<double>();
+    double conv_r = r.get<double>();
+    bool ideal = r.get<uint8_t>() != 0;
+    double shrink = r.get<double>();
+    if (threads != config_.smt.numThreads ||
+        quantum != config_.quantumCycles ||
+        sensor != config_.sensorInterval ||
+        monitor != config_.monitorInterval ||
+        emergency != config_.emergencyTemp ||
+        noise != config_.sensorNoiseK ||
+        trace != config_.recordTempTrace ||
+        time_scale != config_.thermal.timeScale ||
+        conv_r != config_.thermal.convectionR ||
+        ideal != config_.thermal.idealSink ||
+        shrink != config_.thermal.dieShrink)
+        fatal("Simulator::restore: snapshot comes from an incompatible "
+              "configuration (prefix-invariant fields differ)");
+
+    pipeline_->restoreState(r);
+    thermal_->restoreState(r);
+
+    r.expectTag(stateTag("SIMS"), "Simulator accounting");
+    lastActiveCycles_ = r.get<Cycles>();
+    emergencies_ = r.get<uint64_t>();
+    for (uint64_t &e : emergenciesPerBlock_)
+        e = r.get<uint64_t>();
+    for (size_t i = 0; i < aboveEmergency_.size(); ++i)
+        aboveEmergency_[i] = r.get<uint8_t>() != 0;
+    for (Kelvin &t : peakTemp_)
+        t = r.get<double>();
+    energyAccumJ_ = r.get<double>();
+    std::array<uint64_t, 4> rng_state;
+    for (uint64_t &s : rng_state)
+        s = r.get<uint64_t>();
+    sensorNoise_.setState(rng_state);
+    r.getVec(tempTrace_);
+    lastTraceAt_ = r.get<Cycles>();
+    powerSnapshot_->restoreState(r);
+    r.getVec(descheduled_);
+
+    bool has_monitor = r.get<uint8_t>() != 0;
+    if (has_monitor) {
+        if (sedation_)
+            sedation_->monitor().restoreState(r, pipeline_->activity());
+        else
+            UsageMonitor::skipState(r);
+    } else if (sedation_) {
+        fatal("Simulator::restore: this configuration needs "
+              "usage-monitor state the snapshot does not carry");
+    }
+    if (!r.done())
+        fatal("Simulator::restore: %zu trailing bytes (snapshot layout "
+              "mismatch)",
+              r.remaining());
+
+    resumedFromSnapshot_ = true;
+    ++profile_.snapshotOps;
+    if (profiling_)
+        profile_.snapshotSeconds +=
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+}
+
+Cycles
+Simulator::runPrefix(Kelvin diverge_temp, Cycles stride_samples,
+                     SimSnapshot &out)
+{
+    if (pipeline_->cycle() != 0)
+        fatal("Simulator::runPrefix: needs a freshly constructed "
+              "simulator");
+    if (stride_samples == 0)
+        stride_samples = 1;
+
+    thermal_->initSteadyState(
+        energy_->steadyPower(config_.nominalAccessRates));
+
+    const Cycles quantum = config_.quantumCycles;
+    const Cycles sensor = config_.sensorInterval;
+    const Cycles monitor = config_.monitorInterval;
+    Cycles toMonitor = monitor;
+    Cycles toSensor = sensor;
+    Cycles fork_cycle = 0;
+    Cycles samples_since_save = 0;
+
+    // Mirrors run()'s cycle loop exactly (tick, monitor sample, sensor
+    // sample, halt test, in that order) so the prefix's history is the
+    // same history every cold group member would have produced.
+    while (pipeline_->cycle() < quantum) {
+        if (pipeline_->globalStalled())
+            fatal("Simulator::runPrefix: the pipeline stalled — the "
+                  "prefix simulator's DTM thresholds were not "
+                  "neutralised");
+        pipeline_->tick();
+        if (--toMonitor == 0) {
+            toMonitor = monitor;
+            for (auto &policy : policies_)
+                policy->atMonitorSample(pipeline_->cycle(),
+                                        pipeline_->activity());
+        }
+        if (--toSensor == 0) {
+            toSensor = sensor;
+            sampleSensors();
+            // Past this boundary some group member's policy could have
+            // observed an actionable temperature; the last snapshot
+            // already taken stays the fork point.
+            if (lastObservedMax_ >= diverge_temp)
+                break;
+            // Never hand out a snapshot at or beyond a halt: a cold
+            // run breaks here, while a restored run would tick once
+            // more before re-testing the halt.
+            if (pipeline_->allHalted())
+                break;
+            ++samples_since_save;
+            bool last_boundary = quantum - pipeline_->cycle() < sensor;
+            if (samples_since_save >= stride_samples || last_boundary) {
+                save(out);
+                fork_cycle = pipeline_->cycle();
+                samples_since_save = 0;
+            }
+        } else if (pipeline_->allHalted()) {
+            break;
+        }
+    }
+    return fork_cycle;
 }
 
 RunResult

@@ -26,10 +26,30 @@
 #include "common/rng.hh"
 #include "power/energy_model.hh"
 #include "sim/results.hh"
+#include "sim/snapshot.hh"
 #include "smt/pipeline.hh"
 #include "thermal/thermal_model.hh"
 
 namespace hs {
+
+/**
+ * Wall-clock and cycle attribution across the simulator's cost
+ * centres, filled when profiling is enabled (hs_run --profile).
+ * tickSeconds is derived at the end of each run() as the loop time not
+ * spent in thermal samples or stalled fast-forwarding.
+ */
+struct SimProfile
+{
+    uint64_t tickedCycles = 0;   ///< cycles executed via tick()
+    uint64_t stalledCycles = 0;  ///< cycles skipped via advanceStalled()
+    uint64_t sensorSamples = 0;  ///< thermal/DTM sample points
+    uint64_t snapshotOps = 0;    ///< save() + restore() calls
+    double totalSeconds = 0.0;   ///< run() wall time
+    double tickSeconds = 0.0;    ///< cycle-by-cycle execution
+    double thermalSeconds = 0.0; ///< sampleSensors() (power + RC step)
+    double stallSeconds = 0.0;   ///< stalled fast-forward bookkeeping
+    double snapshotSeconds = 0.0;///< save() + restore() wall time
+};
 
 /** Which DTM configuration supervises the run. */
 enum class DtmMode {
@@ -94,6 +114,44 @@ class Simulator : public DtmControl
     /** Run one OS quantum and return the results. */
     RunResult run();
 
+    /**
+     * Serialise the complete simulator state into @p snap. Only legal
+     * at a sensor boundary with the pipeline neither stalled nor fully
+     * halted: those are the only points at which a restored run() can
+     * re-enter its loop bit-identically (countdowns restart full, and
+     * a halted machine would be re-tested one cycle late).
+     */
+    void save(SimSnapshot &snap) const;
+
+    /**
+     * Resume from @p snap. Only legal on a freshly constructed
+     * simulator whose configuration matches the snapshot's
+     * prefix-invariant fields and whose workloads are already bound
+     * (program text is not serialised). The next run() continues from
+     * the snapshot cycle and produces results bit-identical to a cold
+     * run of the same configuration.
+     */
+    void restore(const SimSnapshot &snap);
+
+    /**
+     * Run the shared warm-up prefix of an experiment group: execute
+     * like run(), but snapshot into @p out every @p stride_samples
+     * sensor samples, stopping (without saving) as soon as the
+     * observed hottest temperature reaches @p diverge_temp — from that
+     * sample on, some group member's DTM policy could act, so the
+     * members' futures are no longer provably identical — or the
+     * machine halts. The caller must have neutralised this simulator's
+     * own DTM thresholds so the prefix itself never acts.
+     *
+     * @return the cycle of the last snapshot taken (0 = none).
+     */
+    Cycles runPrefix(Kelvin diverge_temp, Cycles stride_samples,
+                     SimSnapshot &out);
+
+    /** Enable cost-centre accounting (see SimProfile). */
+    void setProfiling(bool on) { profiling_ = on; }
+    const SimProfile &profile() const { return profile_; }
+
     // Component access (examples / tests).
     Pipeline &pipeline() { return *pipeline_; }
     ThermalModel &thermal() { return *thermal_; }
@@ -154,6 +212,14 @@ class Simulator : public DtmControl
     Cycles lastTraceAt_ = 0;
     std::vector<Watts> powerBuf_;  ///< reused per sensor sample
     std::vector<Kelvin> tempsBuf_; ///< reused per sensor sample
+
+    /** Hottest temperature as the policies observed it (after sensor
+     *  noise) at the most recent sample; runPrefix()'s divergence
+     *  test must see exactly what a cell's policy would see. */
+    Kelvin lastObservedMax_ = 0.0;
+    bool resumedFromSnapshot_ = false;
+    bool profiling_ = false;
+    mutable SimProfile profile_; ///< save() is const but accounts here
 };
 
 } // namespace hs

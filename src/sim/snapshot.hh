@@ -1,0 +1,44 @@
+/**
+ * @file
+ * A full-fidelity simulator checkpoint.
+ *
+ * One contiguous POD byte stream captures everything a run's future
+ * depends on: the pipeline slot pool and thread contexts, caches,
+ * branch predictor, activity counters, RC-network temperatures,
+ * accounting, RNG streams and (when present) the sedation usage
+ * monitor. Simulator::save() fills it at a sensor boundary and
+ * Simulator::restore() resumes a freshly constructed simulator from it
+ * bit-identically, which is what lets the experiment engine simulate a
+ * shared warm-up prefix once and fork every matrix cell from it.
+ */
+
+#ifndef HS_SIM_SNAPSHOT_HH
+#define HS_SIM_SNAPSHOT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hs {
+
+/** Serialized simulator state, produced by Simulator::save(). */
+struct SimSnapshot
+{
+    std::vector<uint8_t> bytes; ///< contiguous POD state stream
+    Cycles cycle = 0;           ///< cycle the snapshot was taken at
+
+    bool empty() const { return bytes.empty(); }
+    size_t sizeBytes() const { return bytes.size(); }
+
+    void
+    clear()
+    {
+        bytes.clear();
+        cycle = 0;
+    }
+};
+
+} // namespace hs
+
+#endif // HS_SIM_SNAPSHOT_HH

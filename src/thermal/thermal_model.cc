@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/state_buffer.hh"
 
 namespace hs {
 
@@ -141,6 +142,23 @@ double
 ThermalModel::minTimeConstant() const
 {
     return net_->minTimeConstant();
+}
+
+void
+ThermalModel::saveState(StateWriter &w) const
+{
+    w.putTag(stateTag("THRM"));
+    w.putVec(net_->temps());
+}
+
+void
+ThermalModel::restoreState(StateReader &r)
+{
+    r.expectTag(stateTag("THRM"), "ThermalModel");
+    std::vector<Kelvin> temps;
+    r.getVec(temps);
+    // setTemps fatals on a node-count mismatch.
+    net_->setTemps(temps);
 }
 
 } // namespace hs

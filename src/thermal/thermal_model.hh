@@ -28,6 +28,9 @@
 
 namespace hs {
 
+class StateReader;
+class StateWriter;
+
 /** Package and material parameters. */
 struct ThermalParams
 {
@@ -86,6 +89,15 @@ class ThermalModel
 
     /** The stiffest time constant of the network, seconds. */
     double minTimeConstant() const;
+
+    /** Serialise node temperatures — the only dynamic state; topology
+     *  and derived caches are rebuilt from the config (snapshot
+     *  support). */
+    void saveState(StateWriter &w) const;
+
+    /** Restore temperatures captured by saveState() on a same-topology
+     *  model. */
+    void restoreState(StateReader &r);
 
   private:
     std::vector<Watts> padPower(const std::vector<Watts> &block_power)

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Boundary-condition tests for the stalled-pipeline fast-forward path:
+ * zero-length stalls, stalls whose release lands exactly on a sensor
+ * boundary, and stalls clipped by the end of the quantum. The
+ * fast-forward must be indistinguishable from ticking the stalled
+ * pipeline cycle by cycle — same cycle count, same per-thread cooling
+ * accounting, same number of sensor samples.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "sim/simulator.hh"
+#include "smt/pipeline.hh"
+#include "workload/generator.hh"
+#include "workload/malicious.hh"
+
+namespace hs {
+namespace {
+
+// --- pipeline level ----------------------------------------------------
+
+TEST(Pipeline, AdvanceStalledZeroIsANoOp)
+{
+    Program a = assemble("top:\naddi r1, r1, 1\njmp top\n");
+    SmtParams params;
+    params.numThreads = 1;
+    Pipeline pipe(params);
+    pipe.setThreadProgram(0, &a);
+    for (int i = 0; i < 100; ++i)
+        pipe.tick();
+    pipe.setGlobalStall(true);
+
+    Cycles c0 = pipe.cycle();
+    uint64_t cool0 = pipe.thread(0).coolingCycles;
+    pipe.advanceStalled(0);
+    EXPECT_EQ(pipe.cycle(), c0);
+    EXPECT_EQ(pipe.thread(0).coolingCycles, cool0);
+
+    // And the very next non-empty advance behaves normally.
+    pipe.advanceStalled(1);
+    EXPECT_EQ(pipe.cycle(), c0 + 1);
+    EXPECT_EQ(pipe.thread(0).coolingCycles, cool0 + 1);
+}
+
+TEST(Pipeline, AdvanceStalledSkipsInactiveThreads)
+{
+    Program loop = assemble("top:\naddi r1, r1, 1\njmp top\n");
+    Program halt = assemble("halt\n");
+    SmtParams params;
+    params.numThreads = 2;
+    Pipeline pipe(params);
+    pipe.setThreadProgram(0, &loop);
+    pipe.setThreadProgram(1, &halt);
+    for (int i = 0; i < 1000; ++i)
+        pipe.tick();
+    ASSERT_EQ(pipe.thread(1).state, ThreadState::Halted);
+
+    pipe.setGlobalStall(true);
+    uint64_t cool0 = pipe.thread(0).coolingCycles;
+    uint64_t cool1 = pipe.thread(1).coolingCycles;
+    pipe.advanceStalled(500);
+    EXPECT_EQ(pipe.thread(0).coolingCycles, cool0 + 500);
+    EXPECT_EQ(pipe.thread(1).coolingCycles, cool1);
+}
+
+TEST(PipelineDeathTest, AdvanceStalledRequiresAStall)
+{
+    Program a = assemble("top:\naddi r1, r1, 1\njmp top\n");
+    SmtParams params;
+    params.numThreads = 1;
+    Pipeline pipe(params);
+    pipe.setThreadProgram(0, &a);
+    EXPECT_DEATH(pipe.advanceStalled(5), "advanceStalled");
+}
+
+// --- simulator level ---------------------------------------------------
+
+/**
+ * Stop-and-go with a trigger below ambient: the policy engages at the
+ * very first sensor sample (cycle 20 K) and, since the die can never
+ * cool below ambient, never releases. Every subsequent cycle is one
+ * long stall the run-loop fast-forwards sensor interval by sensor
+ * interval.
+ */
+SimConfig
+permanentStallConfig(Cycles quantum)
+{
+    SimConfig cfg;
+    cfg.quantumCycles = quantum;
+    cfg.thermal.timeScale = 1000.0;
+    cfg.dtm = DtmMode::StopAndGo;
+    cfg.stopAndGo.triggerTemp = 300.0;
+    cfg.stopAndGo.resumeTemp = 290.0;
+    cfg.sedation.recheckCycles = 100000;
+    cfg.sedation.ewmaShift = 6;
+    return cfg;
+}
+
+TEST(Simulator, StallEndingExactlyOnASensorBoundary)
+{
+    // 240 K cycles = 12 sensor intervals: the stall's end coincides
+    // with the final sensor boundary AND the quantum end.
+    Simulator sim(permanentStallConfig(240000));
+    sim.setProfiling(true);
+    sim.setWorkload(0, synthesizeSpec("gzip"));
+    RunResult r = sim.run();
+
+    EXPECT_EQ(r.cycles, 240000u);
+    EXPECT_EQ(r.stopAndGoTriggers, 1u);
+    const ThreadResult &t = r.threads[0];
+    EXPECT_EQ(t.normalCycles, 20000u);
+    EXPECT_EQ(t.coolingCycles, 220000u);
+    EXPECT_EQ(t.sedationCycles, 0u);
+    EXPECT_EQ(t.normalCycles + t.coolingCycles, r.cycles);
+
+    const SimProfile &p = sim.profile();
+    EXPECT_EQ(p.stalledCycles, 220000u);
+    EXPECT_EQ(p.tickedCycles, 20000u);
+    // One sample per boundary, stalled or not: 240 K / 20 K.
+    EXPECT_EQ(p.sensorSamples, 12u);
+}
+
+TEST(Simulator, StallSpanningTheQuantumEnd)
+{
+    // 250 K cycles is NOT a multiple of the 20 K sensor interval: the
+    // last boundary is 240 K and the final fast-forward must clip at
+    // the quantum end instead of overshooting to 260 K.
+    Simulator sim(permanentStallConfig(250000));
+    sim.setProfiling(true);
+    sim.setWorkload(0, synthesizeSpec("gzip"));
+    RunResult r = sim.run();
+
+    EXPECT_EQ(r.cycles, 250000u);
+    const ThreadResult &t = r.threads[0];
+    EXPECT_EQ(t.normalCycles, 20000u);
+    EXPECT_EQ(t.coolingCycles, 230000u);
+    EXPECT_EQ(t.normalCycles + t.coolingCycles, r.cycles);
+
+    const SimProfile &p = sim.profile();
+    EXPECT_EQ(p.stalledCycles, 230000u);
+    EXPECT_EQ(p.tickedCycles, 20000u);
+    // Boundaries at 20 K..240 K sampled; no sample at the (unaligned)
+    // quantum end.
+    EXPECT_EQ(p.sensorSamples, 12u);
+}
+
+TEST(Simulator, IntermittentStallAccountingStaysClosed)
+{
+    // A realistic on/off stop-and-go pattern (an attack workload at a
+    // reachable trigger): whatever mix of stalls and releases occurs,
+    // the per-thread accounting must tile the quantum exactly.
+    SimConfig cfg;
+    cfg.quantumCycles = 500000;
+    cfg.thermal.timeScale = 1000.0;
+    cfg.dtm = DtmMode::StopAndGo;
+    cfg.sedation.recheckCycles = 100000;
+    cfg.sedation.ewmaShift = 6;
+    Simulator sim(cfg);
+    sim.setProfiling(true);
+    sim.setWorkload(0, makeVariant(1, MaliciousParams{}.scaled(1000.0)));
+    RunResult r = sim.run();
+
+    EXPECT_GT(r.stopAndGoTriggers, 1u);
+    const ThreadResult &t = r.threads[0];
+    EXPECT_GT(t.coolingCycles, 0u);
+    EXPECT_EQ(t.normalCycles + t.coolingCycles + t.sedationCycles,
+              r.cycles);
+
+    const SimProfile &p = sim.profile();
+    EXPECT_EQ(p.stalledCycles, t.coolingCycles);
+    EXPECT_EQ(p.stalledCycles + p.tickedCycles, r.cycles);
+    // Stalls begin and end on sensor boundaries, so the stalled total
+    // is a whole number of sensor intervals (the quantum is aligned,
+    // so no clipped tail is possible here).
+    EXPECT_EQ(p.stalledCycles % cfg.sensorInterval, 0u);
+}
+
+} // namespace
+} // namespace hs

@@ -30,6 +30,8 @@
  *   --deschedule N       OS extension: deschedule after N reports
  *   --trace FILE         write temperature trace CSV (single run only)
  *   --stats              dump full statistics (single run only)
+ *   --profile            print per-cost-centre cycle/time shares
+ *                        (single run only)
  *   --list               list available SPEC profiles and exit
  */
 
@@ -64,7 +66,7 @@ usage(const char *argv0)
                  "       [--scale S] [--conv R] [--upper K] "
                  "[--lower K] [--noise K]\n"
                  "       [--deschedule N] [--trace FILE] [--stats] "
-                 "[--list]\n",
+                 "[--profile] [--list]\n",
                  argv0);
     std::exit(2);
 }
@@ -134,6 +136,52 @@ printRun(const RunSpec &spec, const RunResult &r)
         std::printf("OS descheduled repeat offender: thread %d\n", t);
 }
 
+/** Cost-centre table for --profile (fed by Simulator::profile()). */
+void
+printProfile(const SimProfile &p)
+{
+    uint64_t cycles = p.tickedCycles + p.stalledCycles;
+    auto cycle_share = [&](uint64_t c) {
+        return cycles ? 100.0 * static_cast<double>(c) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    };
+    auto time_share = [&](double s) {
+        return p.totalSeconds > 0 ? 100.0 * s / p.totalSeconds : 0.0;
+    };
+    std::printf("\nprofile: %.3f s wall for %llu cycles\n",
+                p.totalSeconds,
+                static_cast<unsigned long long>(cycles));
+    TablePrinter table(std::cout);
+    table.header({"cost centre", "events", "cycles", "cyc%", "seconds",
+                  "time%"});
+    table.row({"tick",
+               TablePrinter::num(static_cast<double>(p.tickedCycles), 0),
+               TablePrinter::num(static_cast<double>(p.tickedCycles), 0),
+               TablePrinter::num(cycle_share(p.tickedCycles), 1),
+               TablePrinter::num(p.tickSeconds, 3),
+               TablePrinter::num(time_share(p.tickSeconds), 1)});
+    table.row({"thermal",
+               TablePrinter::num(static_cast<double>(p.sensorSamples), 0),
+               "-", "-",
+               TablePrinter::num(p.thermalSeconds, 3),
+               TablePrinter::num(time_share(p.thermalSeconds), 1)});
+    table.row({"stalled",
+               TablePrinter::num(static_cast<double>(p.stalledCycles), 0),
+               TablePrinter::num(static_cast<double>(p.stalledCycles), 0),
+               TablePrinter::num(cycle_share(p.stalledCycles), 1),
+               TablePrinter::num(p.stallSeconds, 3),
+               TablePrinter::num(time_share(p.stallSeconds), 1)});
+    table.row({"snapshot",
+               TablePrinter::num(static_cast<double>(p.snapshotOps), 0),
+               "-", "-",
+               TablePrinter::num(p.snapshotSeconds, 3),
+               TablePrinter::num(time_share(p.snapshotSeconds), 1)});
+    std::printf("rows: tick = cycle-by-cycle execution, thermal = "
+                "sensor sampling + RC step,\nstalled = advanceStalled "
+                "fast-forward, snapshot = save/restore byte copies.\n");
+}
+
 /** Open @p path for writing, with "-" meaning stdout. */
 void
 withOutput(const std::string &path,
@@ -165,6 +213,7 @@ main(int argc, char **argv)
     bool each = false;
     std::string trace_path, json_path, csv_path;
     bool dump_stats = false;
+    bool profile = false;
 
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -214,6 +263,8 @@ main(int argc, char **argv)
             opts.recordTempTrace = true;
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--profile") {
+            profile = true;
         } else if (arg == "--list") {
             for (const SpecProfile &p : specSuite())
                 std::printf("%s\n", p.name.c_str());
@@ -232,8 +283,9 @@ main(int argc, char **argv)
     // solo run per workload.
     std::vector<RunSpec> specs;
     if (each) {
-        if (dump_stats || !trace_path.empty())
-            fatal("--stats/--trace apply to a single run; drop --each");
+        if (dump_stats || profile || !trace_path.empty())
+            fatal("--stats/--profile/--trace apply to a single run; "
+                  "drop --each");
         for (const WorkloadSpec &w : workloads) {
             RunSpec s;
             s.workloads.push_back(w);
@@ -254,13 +306,17 @@ main(int argc, char **argv)
     }
 
     std::vector<RunResult> results;
-    if (dump_stats) {
-        // The statistics dump needs the live simulator, so this path
-        // runs serially outside the engine.
+    if (dump_stats || profile) {
+        // The statistics/profile dumps need the live simulator, so
+        // this path runs serially outside the engine.
         std::unique_ptr<Simulator> sim = makeSimulator(specs[0]);
+        sim->setProfiling(profile);
         results.push_back(sim->run());
         printRun(specs[0], results[0]);
-        sim->dumpStats(std::cout);
+        if (dump_stats)
+            sim->dumpStats(std::cout);
+        if (profile)
+            printProfile(sim->profile());
     } else {
         ParallelRunner runner(jobs > 0 ? jobs : envJobs(0),
                               &ResultStore::global());
@@ -270,6 +326,13 @@ main(int argc, char **argv)
                 std::printf("\n");
             printRun(specs[i], results[i]);
         }
+        PrefixShareStats ps = runner.prefixStats();
+        if (ps.groups > 0)
+            std::printf("\nprefix sharing: %llu group(s), %llu forked "
+                        "run(s), %.1f Mcycles not re-simulated\n",
+                        static_cast<unsigned long long>(ps.groups),
+                        static_cast<unsigned long long>(ps.forkedRuns),
+                        static_cast<double>(ps.savedCycles) / 1e6);
     }
 
     if (!trace_path.empty()) {
