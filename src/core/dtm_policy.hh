@@ -22,6 +22,8 @@
 
 namespace hs {
 
+class Tracer;
+
 /**
  * The pipeline control points a DTM policy may exercise.
  * Implemented by the simulator, which forwards to the SMT core.
@@ -87,6 +89,13 @@ class DtmPolicy
     virtual void atSensorSample(Cycles now,
                                 const std::vector<Kelvin> &temps,
                                 DtmControl &control) = 0;
+
+    /** Attach a structured event tracer (null = tracing disabled;
+     *  emission sites branch on the pointer). */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
+  protected:
+    Tracer *tracer_ = nullptr;
 };
 
 } // namespace hs

@@ -2,23 +2,32 @@
 
 #include <algorithm>
 
+#include "trace/tracer.hh"
+
 namespace hs {
 
 void
 DvfsThrottle::atSensorSample(Cycles now, const std::vector<Kelvin> &temps,
                              DtmControl &control)
 {
-    (void)now;
     Kelvin hottest = *std::max_element(temps.begin(), temps.end());
     if (!engaged_) {
         if (hottest >= params_.triggerTemp) {
             engaged_ = true;
             ++triggers_;
+            if (tracer_)
+                tracer_->emit(now, TraceKind::DvfsTrigger, -1,
+                              traceNoBlock, hottest,
+                              static_cast<uint64_t>(
+                                  params_.slowdownFactor));
             control.throttlePipeline(params_.slowdownFactor);
         }
     } else {
         if (hottest <= params_.resumeTemp) {
             engaged_ = false;
+            if (tracer_)
+                tracer_->emit(now, TraceKind::DvfsRelease, -1,
+                              traceNoBlock, hottest, triggers_);
             control.throttlePipeline(1);
         }
     }

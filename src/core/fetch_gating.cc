@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "trace/tracer.hh"
 
 namespace hs {
 
@@ -28,17 +29,22 @@ FetchGating::atSensorSample(Cycles now,
                             const std::vector<Kelvin> &temps,
                             DtmControl &control)
 {
-    (void)now;
     Kelvin hottest = *std::max_element(temps.begin(), temps.end());
     if (!engaged_) {
         if (hottest >= params_.triggerTemp) {
             engaged_ = true;
             ++triggers_;
+            if (tracer_)
+                tracer_->emit(now, TraceKind::FetchGateTrigger, -1,
+                              traceNoBlock, hottest, triggers_);
         } else {
             return;
         }
     } else if (hottest <= params_.resumeTemp) {
         engaged_ = false;
+        if (tracer_)
+            tracer_->emit(now, TraceKind::FetchGateRelease, -1,
+                          traceNoBlock, hottest, rotor_);
         releaseAll(control);
         return;
     }

@@ -1,6 +1,7 @@
 #include "core/sedation.hh"
 
 #include "common/log.hh"
+#include "trace/tracer.hh"
 
 namespace hs {
 
@@ -29,11 +30,19 @@ void
 SelectiveSedation::atMonitorSample(Cycles now,
                                    const ActivityCounters &activity)
 {
-    (void)now;
     std::vector<bool> frozen(static_cast<size_t>(numThreads_));
     for (ThreadId t = 0; t < numThreads_; ++t)
         frozen[static_cast<size_t>(t)] = isSedated(t);
     monitor_.sample(activity, frozen);
+    if (tracer_) {
+        // One sample per thread at the register file, the block the
+        // paper's usage monitor is calibrated against (Section 4).
+        for (ThreadId t = 0; t < numThreads_; ++t)
+            tracer_->emit(now, TraceKind::MonitorSample, t,
+                          traceBlock(Block::IntReg),
+                          monitor_.weightedAvg(t, Block::IntReg),
+                          monitor_.samplesTaken());
+    }
 }
 
 int
@@ -51,6 +60,10 @@ void
 SelectiveSedation::sedate(Cycles now, Block b, ThreadId tid,
                           DtmControl &control)
 {
+    if (tracer_)
+        tracer_->emit(now, TraceKind::ThreadSedated, tid, traceBlock(b),
+                      monitor_.weightedAvg(tid, b),
+                      sedationRefs_[static_cast<size_t>(tid)] + 1);
     if (++sedationRefs_[static_cast<size_t>(tid)] == 1) {
         if (params_.throttleFactor > 1)
             control.throttleThread(tid, params_.throttleFactor);
@@ -66,10 +79,14 @@ SelectiveSedation::sedate(Cycles now, Block b, ThreadId tid,
 }
 
 void
-SelectiveSedation::releaseAll(Block b, DtmControl &control)
+SelectiveSedation::releaseAll(Cycles now, Block b, DtmControl &control)
 {
     ResourceState &st = state_[static_cast<size_t>(blockIndex(b))];
     for (ThreadId tid : st.sedatedThreads) {
+        if (tracer_)
+            tracer_->emit(now, TraceKind::ThreadReleased, tid,
+                          traceBlock(b), 0.0,
+                          sedationRefs_[static_cast<size_t>(tid)]);
         if (--sedationRefs_[static_cast<size_t>(tid)] == 0) {
             if (params_.throttleFactor > 1)
                 control.throttleThread(tid, 1);
@@ -114,6 +131,8 @@ SelectiveSedation::atSensorSample(Cycles now,
         if (!st.engaged) {
             bool trigger;
             if (params_.useUsageThreshold) {
+                // Latched crossing traces do not apply in the usage-
+                // threshold ablation; the trigger is not thermal.
                 // Ablation: absolute usage threshold (Section 3.2.1
                 // explains why this false-positives on bursty SPEC
                 // behaviour).
@@ -128,6 +147,15 @@ SelectiveSedation::atSensorSample(Cycles now,
                 }
             } else {
                 trigger = t >= params_.upperThreshold;
+                if (trigger && !st.aboveUpper) {
+                    st.aboveUpper = true;
+                    if (tracer_)
+                        tracer_->emit(now, TraceKind::SedUpperCross, -1,
+                                      traceBlock(b), t);
+                } else if (st.aboveUpper &&
+                           t <= params_.lowerThreshold) {
+                    st.aboveUpper = false;
+                }
             }
             if (trigger && sedateCulpritIfPossible(now, b, control)) {
                 st.engaged = true;
@@ -137,10 +165,19 @@ SelectiveSedation::atSensorSample(Cycles now,
             if (t <= params_.lowerThreshold) {
                 // Cooled: restore every thread sedated for this
                 // resource.
-                releaseAll(b, control);
+                st.aboveUpper = false;
+                if (tracer_)
+                    tracer_->emit(now, TraceKind::SedLowerCross, -1,
+                                  traceBlock(b), t,
+                                  st.sedatedThreads.size());
+                releaseAll(now, b, control);
             } else if (now >= st.recheckAt) {
                 // Still hot after twice the cooling time: another
                 // thread must also have a power-density problem.
+                if (tracer_)
+                    tracer_->emit(now, TraceKind::SedRecheck, -1,
+                                  traceBlock(b), t,
+                                  st.sedatedThreads.size());
                 sedateCulpritIfPossible(now, b, control);
                 st.recheckAt = now + params_.recheckCycles;
             }

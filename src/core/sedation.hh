@@ -108,13 +108,16 @@ class SelectiveSedation : public DtmPolicy
     struct ResourceState
     {
         bool engaged = false;
+        /** Latched observed crossing of the upper threshold, used only
+         *  for trace emission (reset at the lower threshold). */
+        bool aboveUpper = false;
         Cycles recheckAt = 0;
         std::vector<ThreadId> sedatedThreads;
     };
 
     int unsedatedActiveThreads(const DtmControl &control) const;
     void sedate(Cycles now, Block b, ThreadId tid, DtmControl &control);
-    void releaseAll(Block b, DtmControl &control);
+    void releaseAll(Cycles now, Block b, DtmControl &control);
     bool sedateCulpritIfPossible(Cycles now, Block b,
                                  DtmControl &control);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/tracer.hh"
+
 namespace hs {
 
 void
@@ -14,12 +16,18 @@ StopAndGo::atSensorSample(Cycles now, const std::vector<Kelvin> &temps,
             engaged_ = true;
             engagedAt_ = now;
             ++triggers_;
+            if (tracer_)
+                tracer_->emit(now, TraceKind::StopGoTrigger, -1,
+                              traceNoBlock, hottest, triggers_);
             control.stallPipeline(true);
         }
     } else {
         if (hottest <= params_.resumeTemp) {
             engaged_ = false;
             stallCycles_ += now - engagedAt_;
+            if (tracer_)
+                tracer_->emit(now, TraceKind::StopGoRelease, -1,
+                              traceNoBlock, hottest, now - engagedAt_);
             control.stallPipeline(false);
         }
     }

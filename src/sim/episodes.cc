@@ -1,6 +1,8 @@
 #include "sim/episodes.hh"
 
 #include "common/log.hh"
+#include "common/state_buffer.hh"
+#include "trace/tracer.hh"
 
 namespace hs {
 
@@ -63,6 +65,76 @@ summarizeEpisodes(const std::vector<Episode> &episodes)
     stats.meanCoolCycles = cool / static_cast<double>(stats.count);
     stats.meanDutyCycle = duty / static_cast<double>(stats.count);
     return stats;
+}
+
+OnlineEpisodeDetector::OnlineEpisodeDetector(Kelvin trigger_temp,
+                                             Kelvin resume_temp,
+                                             Tracer *tracer)
+    : trigger_(trigger_temp), resume_(resume_temp), tracer_(tracer)
+{
+    if (resume_temp >= trigger_temp)
+        fatal("OnlineEpisodeDetector: resume must be below trigger");
+}
+
+void
+OnlineEpisodeDetector::sample(Cycles cycle, Kelvin t)
+{
+    switch (phase_) {
+      case Phase::Low:
+        if (t > resume_) {
+            current_ = Episode{};
+            current_.riseStart = cycle;
+            phase_ = Phase::Rising;
+            if (tracer_)
+                tracer_->emit(cycle, TraceKind::EpisodeRiseStart, -1,
+                              traceNoBlock, t);
+        }
+        break;
+      case Phase::Rising:
+        if (t >= trigger_) {
+            current_.peakAt = cycle;
+            phase_ = Phase::Cooling;
+            if (tracer_)
+                tracer_->emit(cycle, TraceKind::EpisodePeak, -1,
+                              traceNoBlock, t,
+                              current_.heatCycles());
+        } else if (t <= resume_) {
+            phase_ = Phase::Low; // aborted rise: not an episode
+        }
+        break;
+      case Phase::Cooling:
+        if (t <= resume_) {
+            current_.fallEnd = cycle;
+            ++completed_;
+            if (tracer_)
+                tracer_->emit(cycle, TraceKind::EpisodeEnd, -1,
+                              traceNoBlock, current_.dutyCycle(),
+                              current_.heatCycles());
+            phase_ = Phase::Low;
+        }
+        break;
+    }
+}
+
+void
+OnlineEpisodeDetector::saveState(StateWriter &w) const
+{
+    w.putTag(stateTag("EPIS"));
+    w.put<uint8_t>(static_cast<uint8_t>(phase_));
+    w.put<Cycles>(current_.riseStart);
+    w.put<Cycles>(current_.peakAt);
+    w.put<uint64_t>(completed_);
+}
+
+void
+OnlineEpisodeDetector::restoreState(StateReader &r)
+{
+    r.expectTag(stateTag("EPIS"), "OnlineEpisodeDetector state");
+    phase_ = static_cast<Phase>(r.get<uint8_t>());
+    current_ = Episode{};
+    current_.riseStart = r.get<Cycles>();
+    current_.peakAt = r.get<Cycles>();
+    completed_ = r.get<uint64_t>();
 }
 
 } // namespace hs

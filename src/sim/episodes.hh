@@ -65,6 +65,44 @@ std::vector<Episode> extractEpisodes(const std::vector<TempSample> &trace,
 /** Aggregate a set of episodes. */
 EpisodeStats summarizeEpisodes(const std::vector<Episode> &episodes);
 
+class StateReader;
+class StateWriter;
+class Tracer;
+
+/**
+ * Online version of extractEpisodes(): fed one hot-spot sample at a
+ * time by the simulator, it emits EpisodeRiseStart / EpisodePeak /
+ * EpisodeEnd trace events as the phase machine advances. The phase
+ * machine is byte-for-byte the same as the offline extractor, so the
+ * event stream matches what extractEpisodes() would report on the same
+ * samples.
+ */
+class OnlineEpisodeDetector
+{
+  public:
+    OnlineEpisodeDetector(Kelvin trigger_temp, Kelvin resume_temp,
+                          Tracer *tracer);
+
+    /** Observe the hot-spot temperature at @p cycle. */
+    void sample(Cycles cycle, Kelvin t);
+
+    /** Completed episodes observed so far. */
+    uint64_t completed() const { return completed_; }
+
+    void saveState(StateWriter &w) const;
+    void restoreState(StateReader &r);
+
+  private:
+    enum class Phase : uint8_t { Low = 0, Rising = 1, Cooling = 2 };
+
+    Kelvin trigger_;
+    Kelvin resume_;
+    Tracer *tracer_;
+    Phase phase_ = Phase::Low;
+    Episode current_{};
+    uint64_t completed_ = 0;
+};
+
 } // namespace hs
 
 #endif // HS_SIM_EPISODES_HH

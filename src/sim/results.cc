@@ -56,7 +56,8 @@ RunResult::operator==(const RunResult &o) const
            sedationEvents == o.sedationEvents &&
            descheduledThreads == o.descheduledThreads &&
            avgTotalPowerW == o.avgTotalPowerW &&
-           tempTrace == o.tempTrace;
+           tempTrace == o.tempTrace && traceEvents == o.traceEvents &&
+           traceEventsDropped == o.traceEventsDropped;
 }
 
 void
@@ -204,6 +205,16 @@ writeResultJson(std::ostream &os, const RunResult &r, int indent)
                << (i + 1 < r.tempTrace.size() ? "," : "") << "\n";
         }
         os << in1 << "]";
+    }
+
+    // Event-trace summary: only present for traced runs, so untraced
+    // JSON output stays byte-identical to what it always was.
+    if (!r.traceEvents.empty() || r.traceEventsDropped) {
+        os << ",\n"
+           << in1 << "\"trace_events\": " << r.traceEvents.size()
+           << ",\n"
+           << in1 << "\"trace_events_dropped\": "
+           << r.traceEventsDropped;
     }
     os << "\n" << in0 << "}";
 }

@@ -15,6 +15,7 @@
 #include "common/blocks.hh"
 #include "common/types.hh"
 #include "core/sedation.hh"
+#include "trace/event.hh"
 
 namespace hs {
 
@@ -68,6 +69,12 @@ struct RunResult
 
     double avgTotalPowerW = 0.0;
     std::vector<TempSample> tempTrace;
+
+    /** Structured event trace (empty unless SimConfig::traceEvents).
+     *  Participates in operator==, so the bit-identity tests also pin
+     *  down the exact event sequence of prefix-shared runs. */
+    std::vector<TraceEvent> traceEvents;
+    uint64_t traceEventsDropped = 0; ///< ring-overflow losses
 
     /**
      * Simulation throughput: host wall-clock seconds spent inside

@@ -93,6 +93,8 @@ RunSpec::buildKey(bool with_policy) const
     key += opts.sedationUsageThreshold ? '1' : '0';
     key += ";trace=";
     key += opts.recordTempTrace ? '1' : '0';
+    key += ";etrace=";
+    key += traceEvents ? '1' : '0';
     key += ";nthreads=";
     key += std::to_string(numThreads);
     key += ";shrink=";
@@ -157,6 +159,14 @@ RunSpec::withSink(SinkType sink) const
 {
     RunSpec s = *this;
     s.opts.sink = sink;
+    return s;
+}
+
+RunSpec
+RunSpec::withTraceEvents(bool on) const
+{
+    RunSpec s = *this;
+    s.traceEvents = on;
     return s;
 }
 

@@ -64,6 +64,11 @@ struct RunSpec
     double sensorNoiseK = 0.0;
     int descheduleAfter = 0; ///< OS extension: deschedule after N
                              ///< sedation reports (0 = off)
+    /** Structured event tracing (SimConfig::traceEvents). Part of the
+     *  divergence key: traced and untraced cells must not share a
+     *  prefix, and a traced prefix records the events its forks
+     *  inherit. */
+    bool traceEvents = false;
 
     /** Display label for tables/JSON; NOT part of the canonical key. */
     std::string label;
@@ -93,6 +98,7 @@ struct RunSpec
     RunSpec withLabel(std::string l) const;
     RunSpec withDtm(DtmMode mode) const;
     RunSpec withSink(SinkType sink) const;
+    RunSpec withTraceEvents(bool on) const;
 
   private:
     /** Shared body of canonicalKey() / divergenceKey(): the policy

@@ -17,6 +17,7 @@
 #include "isa/assembler.hh"
 #include "sim/result_store.hh"
 #include "sim/simulator.hh"
+#include "trace/metrics.hh"
 
 namespace hs {
 
@@ -60,6 +61,7 @@ runConfig(const RunSpec &spec)
         cfg.smt.numThreads = spec.numThreads;
     if (static_cast<int>(spec.workloads.size()) > cfg.smt.numThreads)
         cfg.smt.numThreads = static_cast<int>(spec.workloads.size());
+    cfg.traceEvents = spec.traceEvents;
     return cfg;
 }
 
@@ -361,7 +363,8 @@ runMatrix(const std::vector<RunSpec> &specs)
 
 void
 writeMatrixJson(std::ostream &os, const std::vector<RunSpec> &specs,
-                const std::vector<RunResult> &results)
+                const std::vector<RunResult> &results,
+                const MetricsRegistry *metrics)
 {
     if (specs.size() != results.size())
         panic("writeMatrixJson: %zu specs vs %zu results", specs.size(),
@@ -377,7 +380,12 @@ writeMatrixJson(std::ostream &os, const std::vector<RunSpec> &specs,
         writeResultJson(os, results[i], 3);
         os << "\n    }" << (i + 1 < specs.size() ? "," : "") << "\n";
     }
-    os << "  ]\n}\n";
+    os << "  ]";
+    if (metrics) {
+        os << ",\n  \"metrics\": ";
+        metrics->writeJson(os, 1);
+    }
+    os << "\n}\n";
 }
 
 void

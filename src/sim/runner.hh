@@ -125,13 +125,18 @@ bool envPrefixSharing(bool default_on = true);
  */
 std::vector<RunResult> runMatrix(const std::vector<RunSpec> &specs);
 
+class MetricsRegistry;
+
 /**
  * Structured emission of a whole matrix: one JSON object with a
  * "runs" array pairing each spec (label, canonical key, hash) with its
- * result.
+ * result. When @p metrics is non-null its snapshot is appended as a
+ * "metrics" object (hs_run --json folds the process registry in;
+ * existing callers are unchanged).
  */
 void writeMatrixJson(std::ostream &os, const std::vector<RunSpec> &specs,
-                     const std::vector<RunResult> &results);
+                     const std::vector<RunResult> &results,
+                     const MetricsRegistry *metrics = nullptr);
 
 /** One CSV row per (run, thread), prefixed by run index and label. */
 void writeMatrixCsv(std::ostream &os, const std::vector<RunSpec> &specs,

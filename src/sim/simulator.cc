@@ -91,6 +91,11 @@ Simulator::Simulator(const SimConfig &config)
                 config_.smt.numThreads, config_.offenderPolicy);
             offenderTracker_->setOnDeschedule([this](ThreadId tid) {
                 descheduled_.push_back(tid);
+                if (tracer_)
+                    tracer_->emit(pipeline_->cycle(),
+                                  TraceKind::OsDeschedule, tid,
+                                  traceNoBlock, 0.0,
+                                  descheduled_.size());
                 pipeline_->setSedated(tid, true);
             });
         }
@@ -124,6 +129,16 @@ Simulator::Simulator(const SimConfig &config)
         policies_.push_back(std::move(sg));
         break;
       }
+    }
+
+    if (config_.traceEvents) {
+        tracer_ = std::make_unique<Tracer>(config_.traceCapacity);
+        episodes_ = std::make_unique<OnlineEpisodeDetector>(
+            config_.episodeTriggerTemp, config_.episodeResumeTemp,
+            tracer_.get());
+        pipeline_->setTracer(tracer_.get());
+        for (auto &policy : policies_)
+            policy->setTracer(tracer_.get());
     }
 
     peakTemp_.fill(0.0);
@@ -222,9 +237,18 @@ Simulator::countEmergencies(const std::vector<Kelvin> &temps)
             aboveEmergency_[i] = true;
             ++emergencies_;
             ++emergenciesPerBlock_[i];
+            if (tracer_)
+                tracer_->emit(pipeline_->cycle(),
+                              TraceKind::EmergencyUp, -1,
+                              static_cast<uint8_t>(b), t, emergencies_);
         } else if (aboveEmergency_[i] &&
                    t < config_.emergencyTemp - 0.5) {
             aboveEmergency_[i] = false;
+            if (tracer_)
+                tracer_->emit(pipeline_->cycle(),
+                              TraceKind::EmergencyDown, -1,
+                              static_cast<uint8_t>(b), t,
+                              emergenciesPerBlock_[i]);
         }
     }
 }
@@ -256,6 +280,13 @@ Simulator::sampleSensors()
 
     // Emergencies are physical: counted on the true temperatures.
     countEmergencies(tempsBuf_);
+
+    // The episode detector also observes physics, not noisy sensors:
+    // Section 3.1's heat/cool structure is a property of the chip.
+    if (episodes_)
+        episodes_->sample(
+            now,
+            tempsBuf_[static_cast<size_t>(blockIndex(Block::IntReg))]);
 
     if (config_.sensorNoiseK > 0.0) {
         // Policies observe imperfect sensors (deterministic stream).
@@ -417,6 +448,10 @@ Simulator::save(SimSnapshot &snap) const
     w.put<double>(config_.thermal.convectionR);
     w.put<uint8_t>(config_.thermal.idealSink ? 1 : 0);
     w.put<double>(config_.thermal.dieShrink);
+    w.put<uint8_t>(config_.traceEvents ? 1 : 0);
+    w.put<uint32_t>(config_.traceCapacity);
+    w.put<double>(config_.episodeTriggerTemp);
+    w.put<double>(config_.episodeResumeTemp);
 
     pipeline_->saveState(w);
     thermal_->saveState(w);
@@ -444,6 +479,15 @@ Simulator::save(SimSnapshot &snap) const
     w.put<uint8_t>(sedation_ ? 1 : 0);
     if (sedation_)
         sedation_->monitor().saveState(w);
+
+    // Event tracer + episode detector: traced forks must replay the
+    // prefix's event history so their final traces are bit-identical
+    // to cold runs'.
+    w.put<uint8_t>(tracer_ ? 1 : 0);
+    if (tracer_) {
+        tracer_->saveState(w);
+        episodes_->saveState(w);
+    }
 
     snap.cycle = now;
     ++profile_.snapshotOps;
@@ -479,6 +523,10 @@ Simulator::restore(const SimSnapshot &snap)
     double conv_r = r.get<double>();
     bool ideal = r.get<uint8_t>() != 0;
     double shrink = r.get<double>();
+    bool etrace = r.get<uint8_t>() != 0;
+    uint32_t trace_cap = r.get<uint32_t>();
+    double episode_trigger = r.get<double>();
+    double episode_resume = r.get<double>();
     if (threads != config_.smt.numThreads ||
         quantum != config_.quantumCycles ||
         sensor != config_.sensorInterval ||
@@ -489,7 +537,11 @@ Simulator::restore(const SimSnapshot &snap)
         time_scale != config_.thermal.timeScale ||
         conv_r != config_.thermal.convectionR ||
         ideal != config_.thermal.idealSink ||
-        shrink != config_.thermal.dieShrink)
+        shrink != config_.thermal.dieShrink ||
+        etrace != config_.traceEvents ||
+        (etrace && trace_cap != config_.traceCapacity) ||
+        episode_trigger != config_.episodeTriggerTemp ||
+        episode_resume != config_.episodeResumeTemp)
         fatal("Simulator::restore: snapshot comes from an incompatible "
               "configuration (prefix-invariant fields differ)");
 
@@ -524,6 +576,20 @@ Simulator::restore(const SimSnapshot &snap)
     } else if (sedation_) {
         fatal("Simulator::restore: this configuration needs "
               "usage-monitor state the snapshot does not carry");
+    }
+
+    bool has_tracer = r.get<uint8_t>() != 0;
+    if (has_tracer) {
+        // The config echo above guarantees tracer_ exists here.
+        tracer_->restoreState(r);
+        episodes_->restoreState(r);
+        // The shared prefix runs under a (neutralised) sedation policy
+        // and therefore records usage-monitor samples. A cold run of a
+        // cell without a sedation policy never emits those; drop them
+        // so forked and cold traces match (the trace-side twin of
+        // UsageMonitor::skipState above).
+        if (!sedation_)
+            tracer_->dropCategory(TraceCategory::Monitor);
     }
     if (!r.done())
         fatal("Simulator::restore: %zu trailing bytes (snapshot layout "
@@ -679,6 +745,10 @@ Simulator::collectResults(double host_seconds) const
                      config_.energy.frequencyHz;
     result.avgTotalPowerW = seconds > 0 ? energyAccumJ_ / seconds : 0.0;
     result.tempTrace = tempTrace_;
+    if (tracer_) {
+        tracer_->exportTo(result.traceEvents);
+        result.traceEventsDropped = tracer_->dropped();
+    }
     return result;
 }
 
@@ -834,6 +904,19 @@ Simulator::dumpStats(std::ostream &os) const
         s.add("descheduled",
               static_cast<double>(descheduled_.size()),
               "threads removed by the OS extension");
+        s.dump(os);
+    }
+    if (tracer_) {
+        StatSection s("trace");
+        s.add("events_buffered", static_cast<double>(tracer_->size()),
+              "events held in the ring");
+        s.add("events_emitted", static_cast<double>(tracer_->emitted()),
+              "events ever recorded");
+        s.add("events_dropped", static_cast<double>(tracer_->dropped()),
+              "events lost to ring overflow");
+        s.add("episodes_completed",
+              static_cast<double>(episodes_->completed()),
+              "heat/cool episodes observed");
         s.dump(os);
     }
 }

@@ -25,10 +25,12 @@
 #include "core/stop_and_go.hh"
 #include "common/rng.hh"
 #include "power/energy_model.hh"
+#include "sim/episodes.hh"
 #include "sim/results.hh"
 #include "sim/snapshot.hh"
 #include "smt/pipeline.hh"
 #include "thermal/thermal_model.hh"
+#include "trace/tracer.hh"
 
 namespace hs {
 
@@ -88,6 +90,18 @@ struct SimConfig
     double sensorNoiseK = 0.0;
     bool recordTempTrace = false;
     Cycles tempTraceInterval = 100'000;
+
+    /** Structured event tracing (src/trace): when enabled, DTM state
+     *  transitions, threshold crossings, EWMA monitor samples, fetch
+     *  gating and heat/cool episode boundaries are recorded into a
+     *  bounded in-memory ring and exported into the RunResult. Off by
+     *  default: emission sites branch on a null tracer pointer. */
+    bool traceEvents = false;
+    uint32_t traceCapacity = 1u << 16; ///< ring slots (drop-oldest)
+    /** Online episode-detector thresholds (Section 3.1 duty cycle):
+     *  mirror the stop-and-go engage/release pair by default. */
+    Kelvin episodeTriggerTemp = 358.0;
+    Kelvin episodeResumeTemp = 348.5;
 
     /**
      * Nominal per-block access rates (accesses/cycle) used to
@@ -165,6 +179,9 @@ class Simulator : public DtmControl
      *  else null. */
     OffenderTracker *offenderTracker() { return offenderTracker_.get(); }
 
+    /** The structured event tracer when traceEvents is set, else null. */
+    Tracer *tracer() { return tracer_.get(); }
+
     /** Install a user OS-report callback (chained after the internal
      *  offender tracker, if any). */
     void setOsReport(SelectiveSedation::OsReportFn fn);
@@ -200,6 +217,8 @@ class Simulator : public DtmControl
     std::unique_ptr<OffenderTracker> offenderTracker_;
     SelectiveSedation::OsReportFn userOsReport_;
     std::vector<ThreadId> descheduled_;
+    std::unique_ptr<Tracer> tracer_;
+    std::unique_ptr<OnlineEpisodeDetector> episodes_;
 
     Cycles lastActiveCycles_ = 0;
     uint64_t emergencies_ = 0;

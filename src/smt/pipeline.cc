@@ -5,6 +5,7 @@
 
 #include "common/log.hh"
 #include "common/state_buffer.hh"
+#include "trace/tracer.hh"
 
 namespace hs {
 
@@ -96,9 +97,26 @@ Pipeline::thread(ThreadId tid) const
 }
 
 void
+Pipeline::setGlobalStall(bool stalled)
+{
+    if (tracer_ && globalStall_ != stalled)
+        tracer_->emit(cycle_,
+                      stalled ? TraceKind::GlobalStallOn
+                              : TraceKind::GlobalStallOff,
+                      -1);
+    globalStall_ = stalled;
+}
+
+void
 Pipeline::setSedated(ThreadId tid, bool sedated)
 {
-    thread(tid).sedated = sedated;
+    ThreadContext &tc = thread(tid);
+    if (tracer_ && tc.sedated != sedated)
+        tracer_->emit(cycle_,
+                      sedated ? TraceKind::FetchGateClose
+                              : TraceKind::FetchGateOpen,
+                      tid);
+    tc.sedated = sedated;
 }
 
 bool
@@ -110,7 +128,13 @@ Pipeline::sedated(ThreadId tid) const
 void
 Pipeline::setThreadThrottle(ThreadId tid, int k)
 {
-    thread(tid).fetchEvery = k < 1 ? 1 : k;
+    ThreadContext &tc = thread(tid);
+    int clamped = k < 1 ? 1 : k;
+    if (tracer_ && tc.fetchEvery != clamped)
+        tracer_->emit(cycle_, TraceKind::FetchThrottleSet, tid,
+                      traceNoBlock, 0.0,
+                      static_cast<uint64_t>(clamped));
+    tc.fetchEvery = clamped;
 }
 
 uint64_t

@@ -37,6 +37,7 @@ namespace hs {
 
 class StateReader;
 class StateWriter;
+class Tracer;
 
 /** Front-end thread-selection policy. */
 enum class FetchPolicy {
@@ -95,7 +96,7 @@ class Pipeline
 
     // --- DTM control points -------------------------------------------
     /** Stop-and-go: gate the whole pipeline. */
-    void setGlobalStall(bool stalled) { globalStall_ = stalled; }
+    void setGlobalStall(bool stalled);
     bool globalStalled() const { return globalStall_; }
 
     /** Selective sedation: stop fetching from @p tid. */
@@ -109,6 +110,9 @@ class Pipeline
     /** Duty-cycle throttle for the DVFS extension policy: when set to
      *  k > 1, the pipeline only ticks internally every k-th cycle. */
     void setThrottle(int every_k) { throttle_ = every_k < 1 ? 1 : every_k; }
+
+    /** Attach a structured event tracer (null = tracing disabled). */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
 
     // --- Observation ---------------------------------------------------
     ActivityCounters &activity() { return *activity_; }
@@ -224,6 +228,7 @@ class Pipeline
     std::unique_ptr<MemoryHierarchy> mem_;
     std::unique_ptr<BranchPredictor> bpred_;
     std::unique_ptr<ActivityCounters> activity_;
+    Tracer *tracer_ = nullptr;
 
     Cycles cycle_ = 0;
     Cycles activeCycles_ = 0;

@@ -1,0 +1,87 @@
+#include "trace/event.hh"
+
+#include "common/log.hh"
+
+namespace hs {
+
+TraceCategory
+traceKindCategory(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::StopGoTrigger:
+      case TraceKind::StopGoRelease:
+      case TraceKind::SedUpperCross:
+      case TraceKind::ThreadSedated:
+      case TraceKind::SedRecheck:
+      case TraceKind::SedLowerCross:
+      case TraceKind::ThreadReleased:
+      case TraceKind::DvfsTrigger:
+      case TraceKind::DvfsRelease:
+      case TraceKind::FetchGateTrigger:
+      case TraceKind::FetchGateRelease:
+      case TraceKind::OsDeschedule:
+        return TraceCategory::Dtm;
+      case TraceKind::EmergencyUp:
+      case TraceKind::EmergencyDown:
+        return TraceCategory::Thermal;
+      case TraceKind::MonitorSample:
+        return TraceCategory::Monitor;
+      case TraceKind::FetchGateClose:
+      case TraceKind::FetchGateOpen:
+      case TraceKind::FetchThrottleSet:
+      case TraceKind::GlobalStallOn:
+      case TraceKind::GlobalStallOff:
+        return TraceCategory::Fetch;
+      case TraceKind::EpisodeRiseStart:
+      case TraceKind::EpisodePeak:
+      case TraceKind::EpisodeEnd:
+        return TraceCategory::Episode;
+    }
+    panic("traceKindCategory: bad kind %d", static_cast<int>(kind));
+}
+
+const char *
+traceKindName(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::StopGoTrigger: return "stop_go_trigger";
+      case TraceKind::StopGoRelease: return "stop_go_release";
+      case TraceKind::SedUpperCross: return "sed_upper_cross";
+      case TraceKind::ThreadSedated: return "thread_sedated";
+      case TraceKind::SedRecheck: return "sed_recheck";
+      case TraceKind::SedLowerCross: return "sed_lower_cross";
+      case TraceKind::ThreadReleased: return "thread_released";
+      case TraceKind::DvfsTrigger: return "dvfs_trigger";
+      case TraceKind::DvfsRelease: return "dvfs_release";
+      case TraceKind::FetchGateTrigger: return "fetch_gate_trigger";
+      case TraceKind::FetchGateRelease: return "fetch_gate_release";
+      case TraceKind::OsDeschedule: return "os_deschedule";
+      case TraceKind::EmergencyUp: return "emergency_up";
+      case TraceKind::EmergencyDown: return "emergency_down";
+      case TraceKind::MonitorSample: return "monitor_sample";
+      case TraceKind::FetchGateClose: return "fetch_gate_close";
+      case TraceKind::FetchGateOpen: return "fetch_gate_open";
+      case TraceKind::FetchThrottleSet: return "fetch_throttle_set";
+      case TraceKind::GlobalStallOn: return "global_stall_on";
+      case TraceKind::GlobalStallOff: return "global_stall_off";
+      case TraceKind::EpisodeRiseStart: return "episode_rise_start";
+      case TraceKind::EpisodePeak: return "episode_peak";
+      case TraceKind::EpisodeEnd: return "episode_end";
+    }
+    panic("traceKindName: bad kind %d", static_cast<int>(kind));
+}
+
+const char *
+traceCategoryName(TraceCategory cat)
+{
+    switch (cat) {
+      case TraceCategory::Dtm: return "dtm";
+      case TraceCategory::Thermal: return "thermal";
+      case TraceCategory::Monitor: return "monitor";
+      case TraceCategory::Fetch: return "fetch";
+      case TraceCategory::Episode: return "episode";
+    }
+    panic("traceCategoryName: bad category %d", static_cast<int>(cat));
+}
+
+} // namespace hs

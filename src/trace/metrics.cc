@@ -1,0 +1,124 @@
+#include "trace/metrics.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace hs {
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry instance;
+    return instance;
+}
+
+MetricsRegistry::Metric &
+MetricsRegistry::cell(const std::string &name, bool counter,
+                      const std::string &desc)
+{
+    auto [it, fresh] = metrics_.try_emplace(name);
+    Metric &m = it->second;
+    if (fresh) {
+        m.name = name;
+        m.isCounter = counter;
+    } else if (m.isCounter != counter) {
+        fatal("MetricsRegistry: '%s' is a %s, not a %s", name.c_str(),
+              m.isCounter ? "counter" : "gauge",
+              counter ? "counter" : "gauge");
+    }
+    if (!desc.empty())
+        m.desc = desc;
+    return m;
+}
+
+void
+MetricsRegistry::counterAdd(const std::string &name, uint64_t delta,
+                            const std::string &desc)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    cell(name, true, desc).count += delta;
+}
+
+void
+MetricsRegistry::gaugeSet(const std::string &name, double v,
+                          const std::string &desc)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    cell(name, false, desc).value = v;
+}
+
+void
+MetricsRegistry::gaugeMax(const std::string &name, double v,
+                          const std::string &desc)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Metric &m = cell(name, false, desc);
+    if (v > m.value)
+        m.value = v;
+}
+
+uint64_t
+MetricsRegistry::counter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = metrics_.find(name);
+    return it != metrics_.end() && it->second.isCounter
+               ? it->second.count
+               : 0;
+}
+
+double
+MetricsRegistry::gauge(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = metrics_.find(name);
+    return it != metrics_.end() && !it->second.isCounter
+               ? it->second.value
+               : 0.0;
+}
+
+std::vector<MetricsRegistry::Metric>
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Metric> out;
+    out.reserve(metrics_.size());
+    for (const auto &[name, m] : metrics_)
+        out.push_back(m);
+    return out;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics_.clear();
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os, int indent) const
+{
+    // The caller positions the opening brace (it usually follows a
+    // "key": prefix); @p indent governs the inner and closing lines.
+    const std::string in0(static_cast<size_t>(indent) * 2, ' ');
+    const std::string in1 = in0 + "  ";
+    std::vector<Metric> all = snapshot();
+    os << "{";
+    for (size_t i = 0; i < all.size(); ++i) {
+        const Metric &m = all[i];
+        os << (i ? "," : "") << "\n" << in1 << "\"" << m.name << "\": ";
+        if (m.isCounter) {
+            os << m.count;
+        } else {
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%.17g", m.value);
+            os << buf;
+        }
+    }
+    if (!all.empty())
+        os << "\n" << in0;
+    os << "}";
+}
+
+} // namespace hs

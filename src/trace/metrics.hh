@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Process-wide registry of named counters and gauges.
+ *
+ * Tools fold run outcomes and engine statistics into the registry and
+ * emit it alongside structured results (hs_run --json gains a
+ * "metrics" object). Counters accumulate unsigned totals; gauges hold
+ * the last (or an aggregated) double. The registry is thread-safe —
+ * the parallel experiment engine's workers may fold concurrently — and
+ * emission is deterministic (name-sorted).
+ */
+
+#ifndef HS_TRACE_METRICS_HH
+#define HS_TRACE_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hs {
+
+/** Named counters and gauges. */
+class MetricsRegistry
+{
+  public:
+    /** One registered metric (counter or gauge). */
+    struct Metric
+    {
+        std::string name;
+        std::string desc;
+        bool isCounter = true;
+        uint64_t count = 0;  ///< counters
+        double value = 0.0;  ///< gauges
+    };
+
+    MetricsRegistry() = default;
+
+    /** The process-wide instance tools fold into. */
+    static MetricsRegistry &global();
+
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void counterAdd(const std::string &name, uint64_t delta,
+                    const std::string &desc = "");
+
+    /** Set gauge @p name to @p v. */
+    void gaugeSet(const std::string &name, double v,
+                  const std::string &desc = "");
+
+    /** Raise gauge @p name to @p v if @p v is larger (peak tracking). */
+    void gaugeMax(const std::string &name, double v,
+                  const std::string &desc = "");
+
+    /** Current value of counter @p name (0 if absent). */
+    uint64_t counter(const std::string &name) const;
+
+    /** Current value of gauge @p name (0.0 if absent). */
+    double gauge(const std::string &name) const;
+
+    /** Name-sorted copy of every metric. */
+    std::vector<Metric> snapshot() const;
+
+    /** Drop every metric (tests). */
+    void reset();
+
+    /**
+     * Emit `{ "name": value, ... }` name-sorted, counters as integers
+     * and gauges with 17 significant digits. @p indent is the opening
+     * indentation level in two-space steps.
+     */
+    void writeJson(std::ostream &os, int indent = 0) const;
+
+  private:
+    Metric &cell(const std::string &name, bool counter,
+                 const std::string &desc);
+
+    mutable std::mutex mu_;
+    std::map<std::string, Metric> metrics_;
+};
+
+} // namespace hs
+
+#endif // HS_TRACE_METRICS_HH

@@ -1,0 +1,94 @@
+#include "trace/tracer.hh"
+
+#include "common/state_buffer.hh"
+
+namespace hs {
+
+Tracer::Tracer(size_t capacity)
+{
+    if (capacity == 0)
+        fatal("Tracer: capacity must be positive");
+    ring_.reserve(capacity);
+}
+
+void
+Tracer::exportTo(std::vector<TraceEvent> &out) const
+{
+    out.reserve(out.size() + ring_.size());
+    for (size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[i]);
+}
+
+void
+Tracer::clear()
+{
+    ring_.clear();
+    emitted_ = 0;
+    dropped_ = 0;
+}
+
+void
+Tracer::dropCategory(TraceCategory cat)
+{
+    size_t n = ring_.size();
+    size_t removed = 0;
+    for (size_t i = 0; i < n; ++i) {
+        TraceEvent e = ring_.front();
+        ring_.pop_front();
+        if (e.cat == cat)
+            ++removed;
+        else
+            ring_.push_back(e);
+    }
+    emitted_ -= removed;
+}
+
+void
+Tracer::saveState(StateWriter &w) const
+{
+    w.putTag(stateTag("TRCE"));
+    w.put<uint64_t>(static_cast<uint64_t>(ring_.capacity()));
+    w.put<uint64_t>(emitted_);
+    w.put<uint64_t>(dropped_);
+    w.put<uint64_t>(static_cast<uint64_t>(ring_.size()));
+    // Field by field: TraceEvent has padding bytes a raw byte copy
+    // would serialise nondeterministically.
+    for (size_t i = 0; i < ring_.size(); ++i) {
+        const TraceEvent &e = ring_[i];
+        w.put<Cycles>(e.cycle);
+        w.put<double>(e.value);
+        w.put<uint64_t>(e.arg);
+        w.put<int16_t>(e.thread);
+        w.put<uint8_t>(static_cast<uint8_t>(e.cat));
+        w.put<uint8_t>(static_cast<uint8_t>(e.kind));
+        w.put<uint8_t>(e.block);
+    }
+}
+
+void
+Tracer::restoreState(StateReader &r)
+{
+    r.expectTag(stateTag("TRCE"), "Tracer state");
+    uint64_t cap = r.get<uint64_t>();
+    if (cap != ring_.capacity())
+        fatal("Tracer::restoreState: snapshot capacity %llu differs "
+              "from this tracer's %zu",
+              static_cast<unsigned long long>(cap), ring_.capacity());
+    emitted_ = r.get<uint64_t>();
+    dropped_ = r.get<uint64_t>();
+    uint64_t n = r.get<uint64_t>();
+    ring_.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+        TraceEvent e;
+        e.cycle = r.get<Cycles>();
+        e.value = r.get<double>();
+        e.arg = r.get<uint64_t>();
+        e.thread = r.get<int16_t>();
+        e.cat = static_cast<TraceCategory>(r.get<uint8_t>());
+        e.kind = static_cast<TraceKind>(r.get<uint8_t>());
+        e.block = r.get<uint8_t>();
+        ring_.push_back(e);
+    }
+}
+
+} // namespace hs

@@ -1,0 +1,186 @@
+#include "trace/writers.hh"
+
+#include <cstdio>
+#include <set>
+
+namespace hs {
+
+namespace {
+
+std::string
+jnum(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+const char *
+eventBlockName(const TraceEvent &e)
+{
+    return e.block == traceNoBlock
+               ? "-"
+               : blockName(blockFromIndex(static_cast<int>(e.block)));
+}
+
+bool
+accepted(const TraceEvent &e, uint32_t mask)
+{
+    return (mask & traceCategoryBit(e.cat)) != 0;
+}
+
+/** Chrome lane for events not tied to one thread. */
+constexpr int kChipLane = 1000;
+constexpr int kEpisodeLane = 1001;
+
+int
+chromeLane(const TraceEvent &e)
+{
+    if (e.cat == TraceCategory::Episode)
+        return kEpisodeLane;
+    return e.thread >= 0 ? e.thread : kChipLane;
+}
+
+/** Duration-span begin/end pairing for the Chrome exporter. */
+struct Span
+{
+    const char *name;
+    bool begin;
+};
+
+bool
+chromeSpan(TraceKind kind, Span &out)
+{
+    switch (kind) {
+      case TraceKind::ThreadSedated: out = {"sedated", true}; return true;
+      case TraceKind::ThreadReleased: out = {"sedated", false}; return true;
+      case TraceKind::FetchGateClose: out = {"fetch_gated", true}; return true;
+      case TraceKind::FetchGateOpen: out = {"fetch_gated", false}; return true;
+      case TraceKind::GlobalStallOn: out = {"global_stall", true}; return true;
+      case TraceKind::GlobalStallOff: out = {"global_stall", false}; return true;
+      case TraceKind::StopGoTrigger: out = {"stop_and_go", true}; return true;
+      case TraceKind::StopGoRelease: out = {"stop_and_go", false}; return true;
+      case TraceKind::DvfsTrigger: out = {"dvfs_throttle", true}; return true;
+      case TraceKind::DvfsRelease: out = {"dvfs_throttle", false}; return true;
+      case TraceKind::FetchGateTrigger: out = {"fetch_gating", true}; return true;
+      case TraceKind::FetchGateRelease: out = {"fetch_gating", false}; return true;
+      case TraceKind::EpisodeRiseStart: out = {"heat_episode", true}; return true;
+      case TraceKind::EpisodeEnd: out = {"heat_episode", false}; return true;
+      default: return false;
+    }
+}
+
+} // namespace
+
+bool
+parseTraceFilter(const std::string &csv, uint32_t &mask)
+{
+    uint32_t out = 0;
+    size_t pos = 0;
+    while (pos <= csv.size()) {
+        size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        std::string name = csv.substr(pos, comma - pos);
+        bool known = false;
+        for (int c = 0; c < numTraceCategories; ++c) {
+            TraceCategory cat = static_cast<TraceCategory>(c);
+            if (name == traceCategoryName(cat)) {
+                out |= traceCategoryBit(cat);
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            return false;
+        pos = comma + 1;
+        if (comma == csv.size())
+            break;
+    }
+    if (out == 0)
+        return false;
+    mask = out;
+    return true;
+}
+
+void
+writeTraceJsonl(std::ostream &os, const std::vector<TraceEvent> &events,
+                uint32_t mask)
+{
+    for (const TraceEvent &e : events) {
+        if (!accepted(e, mask))
+            continue;
+        os << "{\"cycle\": " << e.cycle << ", \"cat\": \""
+           << traceCategoryName(e.cat) << "\", \"kind\": \""
+           << traceKindName(e.kind) << "\", \"thread\": " << e.thread
+           << ", \"block\": \"" << eventBlockName(e) << "\", \"value\": "
+           << jnum(e.value) << ", \"arg\": " << e.arg << "}\n";
+    }
+}
+
+void
+writeChromeTrace(std::ostream &os, const std::vector<TraceEvent> &events,
+                 double cycles_per_us, uint32_t mask)
+{
+    if (cycles_per_us <= 0.0)
+        cycles_per_us = 1.0;
+
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+    bool first = true;
+    auto emit = [&](const std::string &body) {
+        os << (first ? "" : ",\n") << "  {" << body << "}";
+        first = false;
+    };
+
+    // Name the synthetic lanes, and every hardware-thread lane seen.
+    std::set<int> thread_lanes;
+    for (const TraceEvent &e : events) {
+        if (accepted(e, mask) && e.thread >= 0)
+            thread_lanes.insert(e.thread);
+    }
+    auto nameLane = [&](int tid, const std::string &name) {
+        emit("\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+             "\"tid\": " + std::to_string(tid) +
+             ", \"args\": {\"name\": \"" + name + "\"}");
+    };
+    nameLane(kChipLane, "chip");
+    nameLane(kEpisodeLane, "episodes");
+    for (int t : thread_lanes)
+        nameLane(t, "thread " + std::to_string(t));
+
+    for (const TraceEvent &e : events) {
+        if (!accepted(e, mask))
+            continue;
+        char ts[48];
+        std::snprintf(ts, sizeof(ts), "%.6f",
+                      static_cast<double>(e.cycle) / cycles_per_us);
+        std::string common =
+            std::string("\"cat\": \"") + traceCategoryName(e.cat) +
+            "\", \"ts\": " + ts + ", \"pid\": 0, \"tid\": " +
+            std::to_string(chromeLane(e));
+        std::string args =
+            std::string("\"args\": {\"cycle\": ") +
+            std::to_string(e.cycle) + ", \"block\": \"" +
+            eventBlockName(e) + "\", \"value\": " + jnum(e.value) +
+            ", \"arg\": " + std::to_string(e.arg) + "}";
+
+        if (e.kind == TraceKind::MonitorSample) {
+            // EWMA samples render as per-thread counter tracks.
+            emit("\"name\": \"ewma_t" + std::to_string(e.thread) +
+                 "\", \"ph\": \"C\", " + common +
+                 ", \"args\": {\"wavg\": " + jnum(e.value) + "}");
+            continue;
+        }
+        Span span;
+        if (chromeSpan(e.kind, span)) {
+            emit(std::string("\"name\": \"") + span.name + "\", \"ph\": \"" +
+                 (span.begin ? "B" : "E") + "\", " + common + ", " + args);
+            continue;
+        }
+        emit(std::string("\"name\": \"") + traceKindName(e.kind) +
+             "\", \"ph\": \"i\", \"s\": \"g\", " + common + ", " + args);
+    }
+    os << "\n]}\n";
+}
+
+} // namespace hs

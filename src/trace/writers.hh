@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Trace sinks: JSON Lines and Chrome trace_event exporters.
+ *
+ * Both writers take the flat event vector a run exported (oldest
+ * first) plus a category mask, so --trace-filter can narrow the output
+ * without touching what was recorded. The Chrome exporter produces a
+ * `{"traceEvents": [...]}` document that chrome://tracing and Perfetto
+ * open directly: sedation and stop-and-go windows become duration
+ * spans, EWMA samples become counter tracks, everything else an
+ * instant event.
+ */
+
+#ifndef HS_TRACE_WRITERS_HH
+#define HS_TRACE_WRITERS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace hs {
+
+/** Bit for @p cat in a category mask. */
+constexpr uint32_t
+traceCategoryBit(TraceCategory cat)
+{
+    return 1u << static_cast<unsigned>(cat);
+}
+
+/** Mask accepting every category. */
+constexpr uint32_t traceAllCategories =
+    (1u << numTraceCategories) - 1;
+
+/**
+ * Parse a comma-separated category list ("dtm,thermal,...") into a
+ * mask. @return false (leaving @p mask untouched) on an unknown name
+ * or an empty list element.
+ */
+bool parseTraceFilter(const std::string &csv, uint32_t &mask);
+
+/** One JSON object per line, oldest event first. */
+void writeTraceJsonl(std::ostream &os,
+                     const std::vector<TraceEvent> &events,
+                     uint32_t mask = traceAllCategories);
+
+/**
+ * Chrome trace_event JSON. @p cycles_per_us converts cycles to the
+ * format's microsecond timestamps (4000 = the paper's 4 GHz clock).
+ */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<TraceEvent> &events,
+                      double cycles_per_us = 4000.0,
+                      uint32_t mask = traceAllCategories);
+
+} // namespace hs
+
+#endif // HS_TRACE_WRITERS_HH

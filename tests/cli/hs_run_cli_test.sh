@@ -1,0 +1,103 @@
+#!/bin/sh
+# CLI contract test for hs_run.
+#
+# The driver's argument parser is strict: unknown options, missing or
+# malformed values, and trailing garbage must all print the usage text
+# to stderr and exit 2, while well-formed invocations exit 0 and
+# produce the files they promised. ctest runs this via the hs_run_cli
+# test; it needs no fixtures beyond the built binary and the repo's
+# attacks/ directory.
+#
+# usage: hs_run_cli_test.sh <path-to-hs_run> <repo-root>
+
+set -u
+
+BIN=$1
+ROOT=$2
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# A large time scale keeps every simulated quantum tiny (25 K cycles).
+FAST="--scale 20000"
+fails=0
+
+fail()
+{
+    echo "FAIL: $1" >&2
+    fails=$((fails + 1))
+}
+
+# expect_usage DESC ARGS... : must exit 2 and print the usage text.
+expect_usage()
+{
+    desc=$1
+    shift
+    "$BIN" "$@" >"$TMP/out" 2>"$TMP/err"
+    rc=$?
+    [ "$rc" -eq 2 ] || fail "$desc: expected exit 2, got $rc"
+    grep -q "usage:" "$TMP/err" || fail "$desc: no usage text on stderr"
+}
+
+# expect_ok DESC ARGS... : must exit 0.
+expect_ok()
+{
+    desc=$1
+    shift
+    "$BIN" "$@" >"$TMP/out" 2>"$TMP/err"
+    rc=$?
+    [ "$rc" -eq 0 ] || fail "$desc: expected exit 0, got $rc"
+}
+
+# --- malformed command lines must all die through usage() --------------
+
+expect_usage "no workloads"
+expect_usage "unknown option" --frobnicate
+expect_usage "trailing garbage" --spec gcc $FAST garbage
+expect_usage "stray positional" gcc
+expect_usage "missing value" --spec gcc $FAST --jobs
+expect_usage "non-numeric scale" --spec gcc --scale banana
+expect_usage "partial numeric scale" --spec gcc --scale 400x
+expect_usage "negative scale" --spec gcc --scale -1
+expect_usage "zero jobs" --spec gcc $FAST --jobs 0
+expect_usage "variant out of range" --variant 9 $FAST
+expect_usage "non-integer variant" --variant two $FAST
+expect_usage "unknown dtm" --spec gcc $FAST --dtm nothing
+expect_usage "unknown sink" --spec gcc $FAST --sink water
+expect_usage "negative noise" --spec gcc $FAST --noise -0.5
+expect_usage "value on flag" --spec gcc $FAST --stats=yes
+expect_usage "filter without trace" --spec gcc $FAST --trace-filter dtm
+expect_usage "unknown trace category" \
+    --spec gcc $FAST --trace "$TMP/t.jsonl" --trace-filter dtm,bogus
+expect_usage "each with stats" --spec gcc --spec mcf $FAST --each --stats
+
+# --- well-formed invocations -------------------------------------------
+
+expect_ok "plain run" --spec gcc $FAST
+expect_ok "inline values" --spec=gcc --scale=20000 --dtm=sedation
+expect_ok "attack mix" --spec gcc \
+    --asm "$ROOT/attacks/figure1_hammer.s" $FAST --dtm sedation
+
+expect_ok "jsonl event trace" --spec gcc $FAST --dtm sedation \
+    --trace "$TMP/events.jsonl" --trace-filter dtm,thermal,episode
+[ -f "$TMP/events.jsonl" ] || fail "jsonl trace file missing"
+
+expect_ok "chrome event trace" --spec gcc $FAST --dtm sedation \
+    --trace "$TMP/events.json"
+grep -q '"traceEvents"' "$TMP/events.json" ||
+    fail "chrome trace lacks traceEvents"
+
+expect_ok "json with metrics" --spec gcc $FAST --json "$TMP/run.json"
+grep -q '"metrics"' "$TMP/run.json" || fail "json lacks metrics object"
+grep -q '"hs_run.sim_cycles"' "$TMP/run.json" ||
+    fail "json lacks hs_run.sim_cycles counter"
+
+expect_ok "each matrix" --spec gcc --spec mcf $FAST --each \
+    --csv "$TMP/each.csv"
+[ -s "$TMP/each.csv" ] || fail "csv output missing"
+
+if [ "$fails" -ne 0 ]; then
+    echo "$fails CLI contract check(s) failed" >&2
+    exit 1
+fi
+echo "all CLI contract checks passed"
+exit 0

@@ -26,6 +26,7 @@
 #include "sim/runner.hh"
 #include "sim/simulator.hh"
 #include "sim/snapshot.hh"
+#include "trace/event.hh"
 
 namespace {
 
@@ -269,6 +270,22 @@ familyMatrix()
         specs.push_back(s);
     }
 
+    // Structured event traces ride in the snapshot as well (the tracer
+    // ring and the online episode detector). The three cells below
+    // share one divergence group: two sedation thresholds plus a
+    // stop-and-go cell, which forces the restore path that discards the
+    // prefix's monitor-category events for policies without a monitor.
+    for (double u : {356.0, 357.0})
+        specs.push_back(
+            specPairSpec("gcc", "mesa", sedationOpts(u))
+                .withTraceEvents(true));
+    specs.push_back(pair.withDtm(DtmMode::StopAndGo).withTraceEvents(true));
+    // A traced attack cell diverges before the first stride boundary,
+    // so it must fall back to a cold (still traced) run.
+    specs.push_back(
+        withVariantSpec("gcc", 2, sedationOpts(356.0))
+            .withTraceEvents(true));
+
     // Technology-scaling knob.
     for (double u : {356.0, 357.0}) {
         RunSpec s = specPairSpec("gcc", "mesa", sedationOpts(u));
@@ -337,6 +354,51 @@ TEST(Snapshot, DisabledSharingStillMatchesCold)
     EXPECT_EQ(ps.groups, 0u);
     EXPECT_EQ(ps.forkedRuns, 0u);
     EXPECT_EQ(ps.savedCycles, 0u);
+}
+
+// --- tracer round-trip -------------------------------------------------
+
+/**
+ * Save mid-episode, restore, keep running: the concatenated trace must
+ * equal an uninterrupted run's trace event for event. At convection
+ * R = 1.2 K/W the innocent pair's register file oscillates through the
+ * episode detector's 348.5 K resume threshold, so by the time the
+ * prefix reaches the 353 K divergence temperature the detector has
+ * already seen a rise begin — its phase, the open episode's cycles,
+ * and every event in the tracer ring all have to survive the
+ * round-trip for the comparison to hold.
+ */
+TEST(Snapshot, TracerRoundTripsThroughSaveRestore)
+{
+    RunSpec spec = specPairSpec("gcc", "mesa", sedationOpts(356.0))
+                       .withTraceEvents(true);
+    spec.opts.convectionR = 1.2;
+
+    SimSnapshot snap;
+    Cycles fork =
+        makePrefixSimulator(spec)->runPrefix(353.0, /*stride=*/1, snap);
+    ASSERT_GT(fork, 0u);
+
+    RunResult cold = executeRunSpec(spec);
+    RunResult warm = executeFromSnapshot(spec, snap);
+    EXPECT_EQ(cold, warm); // operator== covers traceEvents
+
+    // The restored run's trace really is a concatenation: it contains
+    // events recorded before the fork (inherited through the snapshot)
+    // and events recorded after it.
+    ASSERT_FALSE(warm.traceEvents.empty());
+    EXPECT_LT(warm.traceEvents.front().cycle, fork);
+    EXPECT_GE(warm.traceEvents.back().cycle, fork);
+
+    // The detector saw a heat episode's rise begin before the fork;
+    // the inherited trace must carry that episode_rise_start.
+    bool rise_before_fork = false;
+    for (const TraceEvent &e : warm.traceEvents) {
+        if (e.kind == TraceKind::EpisodeRiseStart && e.cycle < fork)
+            rise_before_fork = true;
+    }
+    EXPECT_TRUE(rise_before_fork)
+        << "the 353 K prefix should fork after an episode rise began";
 }
 
 // --- HS_PREFIX environment knob ----------------------------------------

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Property tests for the fixed-point EWMA underlying the sedation
+ * usage monitor (Section 3.2.1): the shift-and-add hardware must decay
+ * monotonically to exactly zero under silence, must not overflow at
+ * saturated access rates, and must preserve the ordering of two
+ * threads' true access rates in their weighted averages.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_point.hh"
+#include "core/usage_monitor.hh"
+#include "power/activity.hh"
+
+namespace hs {
+namespace {
+
+// ---------------------------------------------------------------------
+// FixedEwma: monotone decay to exactly zero under silence.
+//
+// With acc > 0 and sample 0, the update adds (0 - acc) >> shift, and
+// arithmetic right shift of a negative value rounds toward -infinity,
+// so each step subtracts at least 1 from the accumulator. The average
+// must therefore reach *exactly* zero (not a small positive floor) in
+// finitely many steps, strictly decreasing the whole way.
+// ---------------------------------------------------------------------
+TEST(FixedEwmaProps, SilenceDecaysMonotonicallyToExactZero)
+{
+    for (int shift : {1, 4, 7, 9, 12}) {
+        FixedEwma e(shift);
+        e.update(10'000); // a hot window: 10 K accesses
+        ASSERT_GT(e.raw(), 0);
+
+        int64_t prev = e.raw();
+        int steps = 0;
+        const int kMaxSteps = 5'000'000; // far above any real decay
+        while (e.raw() != 0 && steps < kMaxSteps) {
+            e.update(0);
+            ++steps;
+            // Strictly decreasing while positive; never undershoots.
+            ASSERT_LT(e.raw(), prev) << "shift " << shift;
+            ASSERT_GE(e.raw(), 0) << "shift " << shift;
+            prev = e.raw();
+        }
+        EXPECT_EQ(e.raw(), 0) << "shift " << shift
+                              << " never reached zero";
+        EXPECT_EQ(e.value(), 0.0);
+        // Once at zero it stays at zero.
+        e.update(0);
+        EXPECT_EQ(e.raw(), 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// FixedEwma: no overflow at saturated access rates.
+//
+// The paper's monitor samples every 1 K cycles; a register file with
+// ~11 ports cannot see more than a few tens of thousands of accesses
+// per window. Feed a far larger constant (a million per window) for
+// long enough to fully converge: the fixed-point accumulator must
+// settle into [sample - 1, sample] (truncation may leave it a hair
+// under) and stay there, never wrapping negative.
+// ---------------------------------------------------------------------
+TEST(FixedEwmaProps, SaturatedRateConvergesWithoutOverflow)
+{
+    const uint64_t sample = 1'000'000;
+    for (int shift : {1, 7, 9}) {
+        FixedEwma e(shift);
+        // Convergence takes O(2^shift * bits) updates; 64 time
+        // constants is far past settled.
+        const int steps = (1 << shift) * 64;
+        for (int i = 0; i < steps; ++i) {
+            e.update(sample);
+            ASSERT_GE(e.raw(), 0) << "overflow at shift " << shift;
+        }
+        EXPECT_GE(e.value(), static_cast<double>(sample) - 1.0)
+            << "shift " << shift;
+        EXPECT_LE(e.value(), static_cast<double>(sample))
+            << "shift " << shift;
+        // Steady state is a fixed point of the update.
+        int64_t settled = e.raw();
+        e.update(sample);
+        EXPECT_EQ(e.raw(), settled);
+    }
+}
+
+// ---------------------------------------------------------------------
+// UsageMonitor: two threads with different sustained access rates must
+// order the same way in the weighted averages as in the truth. This is
+// the property sedation's culprit identification rests on: the thread
+// hammering the register file 8x/cycle must rank above a thread
+// touching it once per cycle, at the paper's x = 1/128 weight and
+// 1 K-cycle sampling.
+// ---------------------------------------------------------------------
+TEST(UsageMonitorProps, WeightedAvgOrderingMatchesAccessRateOrdering)
+{
+    const int kWindow = 1000;      // cycles per monitor sample
+    const int kHotPerCycle = 8;    // attacker: 8 IntReg accesses/cycle
+    const int kColdPerCycle = 1;   // victim: 1 access/cycle
+
+    ActivityCounters activity(2);
+    UsageMonitor monitor(2, /*ewma_shift=*/7); // x = 1/128
+    std::vector<bool> frozen{false, false};
+
+    // 4096 windows = 32 time constants at shift 7: fully converged.
+    for (int window = 0; window < 4096; ++window) {
+        activity.record(0, Block::IntReg,
+                        static_cast<uint64_t>(kHotPerCycle) * kWindow);
+        activity.record(1, Block::IntReg,
+                        static_cast<uint64_t>(kColdPerCycle) * kWindow);
+        monitor.sample(activity, frozen);
+    }
+
+    double hot = monitor.weightedAvg(0, Block::IntReg);
+    double cold = monitor.weightedAvg(1, Block::IntReg);
+    EXPECT_GT(hot, cold);
+    // Converged averages reproduce the true per-window counts.
+    EXPECT_NEAR(hot, kHotPerCycle * kWindow, 1.0);
+    EXPECT_NEAR(cold, kColdPerCycle * kWindow, 1.0);
+
+    std::vector<bool> eligible{true, true};
+    EXPECT_EQ(monitor.highestUsage(Block::IntReg, eligible), 0);
+
+    // The ordering also holds mid-transient: swap the rates and check
+    // the crossover eventually flips the ranking, but not instantly
+    // (the EWMA's memory is what defeats bursty evasion).
+    activity.record(1, Block::IntReg,
+                    static_cast<uint64_t>(kHotPerCycle) * kWindow);
+    activity.record(0, Block::IntReg,
+                    static_cast<uint64_t>(kColdPerCycle) * kWindow);
+    monitor.sample(activity, frozen);
+    EXPECT_GT(monitor.weightedAvg(0, Block::IntReg),
+              monitor.weightedAvg(1, Block::IntReg))
+        << "one contrary window must not flip a long history";
+    for (int window = 0; window < 512; ++window) {
+        activity.record(1, Block::IntReg,
+                        static_cast<uint64_t>(kHotPerCycle) * kWindow);
+        activity.record(0, Block::IntReg,
+                        static_cast<uint64_t>(kColdPerCycle) * kWindow);
+        monitor.sample(activity, frozen);
+    }
+    EXPECT_GT(monitor.weightedAvg(1, Block::IntReg),
+              monitor.weightedAvg(0, Block::IntReg))
+        << "sustained rate change must eventually reorder";
+}
+
+// Frozen (sedated) threads keep their average: inactivity while
+// sedated must not launder a culprit's history (Section 3.2.2).
+TEST(UsageMonitorProps, FrozenThreadKeepsItsAverage)
+{
+    const int kWindow = 1000;
+    ActivityCounters activity(2);
+    UsageMonitor monitor(2, 7);
+    std::vector<bool> frozen{false, false};
+
+    for (int window = 0; window < 256; ++window) {
+        activity.record(0, Block::IntReg, 8ull * kWindow);
+        monitor.sample(activity, frozen);
+    }
+    double before = monitor.weightedAvg(0, Block::IntReg);
+    ASSERT_GT(before, 0.0);
+
+    frozen[0] = true; // sedated: no accesses, no update
+    for (int window = 0; window < 256; ++window)
+        monitor.sample(activity, frozen);
+    EXPECT_EQ(monitor.weightedAvg(0, Block::IntReg), before);
+
+    frozen[0] = false; // released and silent: now it decays
+    for (int window = 0; window < 256; ++window)
+        monitor.sample(activity, frozen);
+    EXPECT_LT(monitor.weightedAvg(0, Block::IntReg), before);
+}
+
+} // namespace
+} // namespace hs

@@ -4,13 +4,14 @@
  *
  * Runs an arbitrary workload mix for one OS quantum and prints the
  * per-thread results plus (optionally) the full statistics dump, a
- * temperature-trace CSV, or a structured JSON/CSV result file. With
- * --each the workloads become independent solo runs executed by the
- * parallel experiment engine.
+ * temperature-trace CSV, a structured event trace (JSONL or Chrome
+ * trace_event JSON), or a structured JSON/CSV result file. With --each
+ * the workloads become independent solo runs executed by the parallel
+ * experiment engine.
  *
  * Usage:
  *   hs_run [options]
- * Options:
+ * Options (values as "--opt VALUE" or "--opt=VALUE"):
  *   --spec NAME          add a synthetic SPEC thread (repeatable)
  *   --variant N          add malicious variant N in {1..4} (repeatable)
  *   --asm FILE           add a thread assembled from FILE (repeatable)
@@ -18,7 +19,8 @@
  *                        (a RunSpec matrix) instead of co-scheduled
  *   --jobs N             engine worker threads (default: HS_JOBS or
  *                        all hardware threads)
- *   --json FILE          write specs + results as JSON ("-" = stdout)
+ *   --json FILE          write specs + results + metrics as JSON
+ *                        ("-" = stdout)
  *   --csv FILE           write per-thread results as CSV ("-" = stdout)
  *   --dtm MODE           none|stopgo|sedation|dvfs|fetchgate
  *                        (default stopgo)
@@ -28,11 +30,20 @@
  *   --upper K --lower K  sedation thresholds (default 356 / 355)
  *   --noise K            sensor noise amplitude (default 0)
  *   --deschedule N       OS extension: deschedule after N reports
- *   --trace FILE         write temperature trace CSV (single run only)
+ *   --trace FILE         write the structured event trace (single run
+ *                        only); *.jsonl = one JSON object per line,
+ *                        anything else = Chrome trace_event JSON
+ *                        (load in chrome://tracing or Perfetto)
+ *   --trace-filter CATS  comma list of categories to write
+ *                        (dtm,thermal,monitor,fetch,episode)
+ *   --temp-trace FILE    write temperature trace CSV (single run only)
  *   --stats              dump full statistics (single run only)
  *   --profile            print per-cost-centre cycle/time shares
  *                        (single run only)
  *   --list               list available SPEC profiles and exit
+ *
+ * Every argument must parse exactly: unknown options, missing or
+ * malformed values, and trailing garbage all exit 2 via usage().
  */
 
 #include <cstdio>
@@ -48,6 +59,8 @@
 #include "sim/result_store.hh"
 #include "sim/runner.hh"
 #include "sim/simulator.hh"
+#include "trace/metrics.hh"
+#include "trace/writers.hh"
 
 namespace {
 
@@ -65,26 +78,66 @@ usage(const char *argv0)
                  "[--sink ideal|real]\n"
                  "       [--scale S] [--conv R] [--upper K] "
                  "[--lower K] [--noise K]\n"
-                 "       [--deschedule N] [--trace FILE] [--stats] "
-                 "[--profile] [--list]\n",
+                 "       [--deschedule N] [--trace FILE] "
+                 "[--trace-filter CAT,...]\n"
+                 "       [--temp-trace FILE] [--stats] [--profile] "
+                 "[--list]\n",
                  argv0);
     std::exit(2);
 }
 
-DtmMode
-parseDtm(const std::string &s)
+/** Report a bad option value and exit through usage(). */
+[[noreturn]] void
+badValue(const char *argv0, const std::string &opt,
+         const std::string &value, const char *expected)
+{
+    std::fprintf(stderr, "%s: bad value '%s' for %s (expected %s)\n",
+                 argv0, value.c_str(), opt.c_str(), expected);
+    usage(argv0);
+}
+
+/** Strict integer parse: the whole string must be consumed. */
+long
+parseInt(const char *argv0, const std::string &opt,
+         const std::string &value)
+{
+    const char *s = value.c_str();
+    char *end = nullptr;
+    long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0')
+        badValue(argv0, opt, value, "an integer");
+    return v;
+}
+
+/** Strict floating-point parse: the whole string must be consumed. */
+double
+parseDouble(const char *argv0, const std::string &opt,
+            const std::string &value)
+{
+    const char *s = value.c_str();
+    char *end = nullptr;
+    double v = std::strtod(s, &end);
+    if (end == s || *end != '\0')
+        badValue(argv0, opt, value, "a number");
+    return v;
+}
+
+bool
+parseDtm(const std::string &s, DtmMode &out)
 {
     if (s == "none")
-        return DtmMode::None;
-    if (s == "stopgo" || s == "stop-and-go")
-        return DtmMode::StopAndGo;
-    if (s == "sedation")
-        return DtmMode::SelectiveSedation;
-    if (s == "dvfs")
-        return DtmMode::DvfsThrottle;
-    if (s == "fetchgate" || s == "fetch-gating")
-        return DtmMode::FetchGating;
-    fatal("unknown DTM mode '%s'", s.c_str());
+        out = DtmMode::None;
+    else if (s == "stopgo" || s == "stop-and-go")
+        out = DtmMode::StopAndGo;
+    else if (s == "sedation")
+        out = DtmMode::SelectiveSedation;
+    else if (s == "dvfs")
+        out = DtmMode::DvfsThrottle;
+    else if (s == "fetchgate" || s == "fetch-gating")
+        out = DtmMode::FetchGating;
+    else
+        return false;
+    return true;
 }
 
 WorkloadSpec
@@ -198,6 +251,47 @@ withOutput(const std::string &path,
     std::printf("wrote %s\n", path.c_str());
 }
 
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+}
+
+/** Fold run outcomes and engine statistics into the process registry
+ *  so --json carries a "metrics" object next to the results. */
+void
+foldMetrics(const std::vector<RunResult> &results,
+            const PrefixShareStats *engine)
+{
+    MetricsRegistry &m = MetricsRegistry::global();
+    m.counterAdd("hs_run.runs", results.size(), "simulated quanta");
+    for (const RunResult &r : results) {
+        m.counterAdd("hs_run.sim_cycles", r.cycles, "simulated cycles");
+        m.counterAdd("hs_run.emergencies", r.emergencies,
+                     "emergency-threshold crossings");
+        m.counterAdd("hs_run.stop_and_go_triggers", r.stopAndGoTriggers,
+                     "global stop-and-go engagements");
+        m.counterAdd("hs_run.sedation_events", r.sedationEvents.size(),
+                     "sedation actions");
+        m.counterAdd("hs_run.trace_events", r.traceEvents.size(),
+                     "structured trace events exported");
+        m.counterAdd("hs_run.trace_events_dropped",
+                     r.traceEventsDropped, "trace ring overflow losses");
+        m.gaugeMax("hs_run.peak_temp_k", r.peakTempOverall,
+                   "hottest block temperature seen");
+    }
+    if (engine) {
+        m.counterAdd("engine.prefix_groups", engine->groups,
+                     "prefix-sharing groups executed");
+        m.counterAdd("engine.forked_runs", engine->forkedRuns,
+                     "runs forked from a shared prefix");
+        m.counterAdd("engine.saved_cycles", engine->savedCycles,
+                     "cycles not re-simulated thanks to sharing");
+    }
+}
+
 } // namespace
 
 int
@@ -211,65 +305,125 @@ main(int argc, char **argv)
     int deschedule = 0;
     int jobs = 0;
     bool each = false;
-    std::string trace_path, json_path, csv_path;
+    std::string temp_trace_path, trace_path, trace_filter;
+    std::string json_path, csv_path;
     bool dump_stats = false;
     bool profile = false;
 
-    auto need = [&](int &i) -> const char * {
-        if (i + 1 >= argc)
-            usage(argv[0]);
-        return argv[++i];
-    };
-
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
+        // Accept both "--opt VALUE" and "--opt=VALUE".
+        std::string inline_value;
+        bool has_inline = false;
+        if (arg.size() > 2 && arg.compare(0, 2, "--") == 0) {
+            size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg = arg.substr(0, eq);
+                has_inline = true;
+            }
+        }
+        auto value = [&]() -> std::string {
+            if (has_inline)
+                return inline_value;
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n", argv[0],
+                             arg.c_str());
+                usage(argv[0]);
+            }
+            return argv[++i];
+        };
+        auto flagOnly = [&]() {
+            if (has_inline) {
+                std::fprintf(stderr, "%s: %s takes no value\n", argv[0],
+                             arg.c_str());
+                usage(argv[0]);
+            }
+        };
+
         if (arg == "--spec") {
-            workloads.push_back(WorkloadSpec::spec(need(i)));
+            workloads.push_back(WorkloadSpec::spec(value()));
         } else if (arg == "--variant") {
+            std::string v = value();
+            long n = parseInt(argv[0], arg, v);
+            if (n < 1 || n > 4)
+                badValue(argv[0], arg, v, "1..4");
             workloads.push_back(
-                WorkloadSpec::maliciousVariant(std::atoi(need(i))));
+                WorkloadSpec::maliciousVariant(static_cast<int>(n)));
         } else if (arg == "--asm") {
-            workloads.push_back(loadAsm(need(i)));
+            workloads.push_back(loadAsm(value()));
         } else if (arg == "--each") {
+            flagOnly();
             each = true;
         } else if (arg == "--jobs") {
-            jobs = std::atoi(need(i));
-            if (jobs <= 0)
-                fatal("--jobs must be a positive integer");
+            std::string v = value();
+            long n = parseInt(argv[0], arg, v);
+            if (n <= 0)
+                badValue(argv[0], arg, v, "a positive integer");
+            jobs = static_cast<int>(n);
         } else if (arg == "--json") {
-            json_path = need(i);
+            json_path = value();
         } else if (arg == "--csv") {
-            csv_path = need(i);
+            csv_path = value();
         } else if (arg == "--dtm") {
-            opts.dtm = parseDtm(need(i));
+            std::string v = value();
+            if (!parseDtm(v, opts.dtm))
+                badValue(argv[0], arg, v,
+                         "none|stopgo|sedation|dvfs|fetchgate");
         } else if (arg == "--sink") {
-            std::string s = need(i);
-            opts.sink = s == "ideal" ? SinkType::Ideal
-                                     : SinkType::Realistic;
+            std::string v = value();
+            if (v == "ideal")
+                opts.sink = SinkType::Ideal;
+            else if (v == "real")
+                opts.sink = SinkType::Realistic;
+            else
+                badValue(argv[0], arg, v, "ideal|real");
         } else if (arg == "--scale") {
-            opts.timeScale = std::atof(need(i));
+            std::string v = value();
+            opts.timeScale = parseDouble(argv[0], arg, v);
+            if (opts.timeScale <= 0)
+                badValue(argv[0], arg, v, "a positive number");
         } else if (arg == "--conv") {
-            opts.convectionR = std::atof(need(i));
+            std::string v = value();
+            opts.convectionR = parseDouble(argv[0], arg, v);
+            if (opts.convectionR <= 0)
+                badValue(argv[0], arg, v, "a positive number");
         } else if (arg == "--upper") {
-            opts.upperThreshold = std::atof(need(i));
+            opts.upperThreshold = parseDouble(argv[0], arg, value());
         } else if (arg == "--lower") {
-            opts.lowerThreshold = std::atof(need(i));
+            opts.lowerThreshold = parseDouble(argv[0], arg, value());
         } else if (arg == "--noise") {
-            noise = std::atof(need(i));
+            std::string v = value();
+            noise = parseDouble(argv[0], arg, v);
+            if (noise < 0)
+                badValue(argv[0], arg, v, "a non-negative number");
         } else if (arg == "--deschedule") {
-            deschedule = std::atoi(need(i));
+            std::string v = value();
+            long n = parseInt(argv[0], arg, v);
+            if (n < 0)
+                badValue(argv[0], arg, v, "a non-negative integer");
+            deschedule = static_cast<int>(n);
         } else if (arg == "--trace") {
-            trace_path = need(i);
+            trace_path = value();
+        } else if (arg == "--trace-filter") {
+            trace_filter = value();
+        } else if (arg == "--temp-trace") {
+            temp_trace_path = value();
             opts.recordTempTrace = true;
         } else if (arg == "--stats") {
+            flagOnly();
             dump_stats = true;
         } else if (arg == "--profile") {
+            flagOnly();
             profile = true;
         } else if (arg == "--list") {
+            flagOnly();
             for (const SpecProfile &p : specSuite())
                 std::printf("%s\n", p.name.c_str());
             return 0;
         } else {
+            std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
+                         argv[i]);
             usage(argv[0]);
         }
     }
@@ -278,14 +432,32 @@ main(int argc, char **argv)
                              "--variant 2\n");
         usage(argv[0]);
     }
+    uint32_t trace_mask = traceAllCategories;
+    if (!trace_filter.empty()) {
+        if (trace_path.empty()) {
+            std::fprintf(stderr,
+                         "%s: --trace-filter requires --trace\n",
+                         argv[0]);
+            usage(argv[0]);
+        }
+        if (!parseTraceFilter(trace_filter, trace_mask))
+            badValue(argv[0], "--trace-filter", trace_filter,
+                     "a comma list of "
+                     "dtm,thermal,monitor,fetch,episode");
+    }
 
     // Declare the run matrix: one co-scheduled mix, or (--each) one
     // solo run per workload.
     std::vector<RunSpec> specs;
     if (each) {
-        if (dump_stats || profile || !trace_path.empty())
-            fatal("--stats/--profile/--trace apply to a single run; "
-                  "drop --each");
+        if (dump_stats || profile || !temp_trace_path.empty() ||
+            !trace_path.empty()) {
+            std::fprintf(stderr,
+                         "%s: --stats/--profile/--trace/--temp-trace "
+                         "apply to a single run; drop --each\n",
+                         argv[0]);
+            usage(argv[0]);
+        }
         for (const WorkloadSpec &w : workloads) {
             RunSpec s;
             s.workloads.push_back(w);
@@ -301,11 +473,14 @@ main(int argc, char **argv)
         s.opts = opts;
         s.sensorNoiseK = noise;
         s.descheduleAfter = deschedule;
+        s.traceEvents = !trace_path.empty();
         s.label = "mix";
         specs.push_back(s);
     }
 
     std::vector<RunResult> results;
+    PrefixShareStats engine_stats;
+    bool have_engine_stats = false;
     if (dump_stats || profile) {
         // The statistics/profile dumps need the live simulator, so
         // this path runs serially outside the engine.
@@ -326,28 +501,53 @@ main(int argc, char **argv)
                 std::printf("\n");
             printRun(specs[i], results[i]);
         }
-        PrefixShareStats ps = runner.prefixStats();
-        if (ps.groups > 0)
+        engine_stats = runner.prefixStats();
+        have_engine_stats = true;
+        if (engine_stats.groups > 0)
             std::printf("\nprefix sharing: %llu group(s), %llu forked "
                         "run(s), %.1f Mcycles not re-simulated\n",
-                        static_cast<unsigned long long>(ps.groups),
-                        static_cast<unsigned long long>(ps.forkedRuns),
-                        static_cast<double>(ps.savedCycles) / 1e6);
+                        static_cast<unsigned long long>(
+                            engine_stats.groups),
+                        static_cast<unsigned long long>(
+                            engine_stats.forkedRuns),
+                        static_cast<double>(engine_stats.savedCycles) /
+                            1e6);
     }
 
-    if (!trace_path.empty()) {
+    foldMetrics(results,
+                have_engine_stats ? &engine_stats : nullptr);
+
+    if (!temp_trace_path.empty()) {
         const RunResult &r = results[0];
-        std::ofstream csv(trace_path);
+        std::ofstream csv(temp_trace_path);
         csv << "cycle,intreg_K,hottest_K,sink_K\n";
         for (const TempSample &s : r.tempTrace)
             csv << s.cycle << "," << s.intRegTemp << ","
                 << s.hottestTemp << "," << s.sinkTemp << "\n";
         std::printf("wrote %zu trace samples to %s\n",
-                    r.tempTrace.size(), trace_path.c_str());
+                    r.tempTrace.size(), temp_trace_path.c_str());
+    }
+    if (!trace_path.empty()) {
+        const RunResult &r = results[0];
+        withOutput(trace_path, [&](std::ostream &os) {
+            if (endsWith(trace_path, ".jsonl")) {
+                writeTraceJsonl(os, r.traceEvents, trace_mask);
+            } else {
+                double cycles_per_us =
+                    makeSimConfig(opts).energy.frequencyHz / 1e6;
+                writeChromeTrace(os, r.traceEvents, cycles_per_us,
+                                 trace_mask);
+            }
+        });
+        std::printf("%zu trace event(s), %llu dropped\n",
+                    r.traceEvents.size(),
+                    static_cast<unsigned long long>(
+                        r.traceEventsDropped));
     }
     if (!json_path.empty())
         withOutput(json_path, [&](std::ostream &os) {
-            writeMatrixJson(os, specs, results);
+            writeMatrixJson(os, specs, results,
+                            &MetricsRegistry::global());
         });
     if (!csv_path.empty())
         withOutput(csv_path, [&](std::ostream &os) {
