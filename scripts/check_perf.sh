@@ -106,3 +106,7 @@ if [ "$FAIL" != "0" ]; then
     exit 1
 fi
 echo "hot-path throughput within $THRESHOLD_PCT% of baseline."
+
+# Refresh the machine-readable snapshot alongside a passing gate run
+# (best effort — the gate verdict above is what matters).
+sh scripts/bench_snapshot.sh || echo "bench snapshot failed" >&2

@@ -1,0 +1,420 @@
+#include "common/json.hh"
+
+#include <cstdlib>
+
+namespace hs {
+namespace json {
+
+Value
+Value::makeBool(bool b)
+{
+    Value v;
+    v.type_ = Type::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+Value
+Value::makeNumber(double n)
+{
+    Value v;
+    v.type_ = Type::Number;
+    v.number_ = n;
+    return v;
+}
+
+Value
+Value::makeString(std::string s)
+{
+    Value v;
+    v.type_ = Type::String;
+    v.string_ = std::move(s);
+    return v;
+}
+
+Value
+Value::makeArray(std::vector<Value> items)
+{
+    Value v;
+    v.type_ = Type::Array;
+    v.array_ = std::move(items);
+    return v;
+}
+
+Value
+Value::makeObject(Members members)
+{
+    Value v;
+    v.type_ = Type::Object;
+    v.members_ = std::move(members);
+    return v;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    for (const auto &[name, value] : members_)
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+double
+Value::numberOr(const std::string &key, double fallback) const
+{
+    const Value *v = find(key);
+    return v && v->isNumber() ? v->number() : fallback;
+}
+
+std::string
+Value::stringOr(const std::string &key,
+                const std::string &fallback) const
+{
+    const Value *v = find(key);
+    return v && v->isString() ? v->str() : fallback;
+}
+
+namespace {
+
+/** Recursive-descent parser over one in-memory document. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    Value run()
+    {
+        Value v = parseValue();
+        if (failed_)
+            return Value();
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing content after document");
+            return Value();
+        }
+        return v;
+    }
+
+  private:
+    void
+    fail(const std::string &msg)
+    {
+        if (failed_)
+            return;
+        failed_ = true;
+        if (!error_)
+            return;
+        size_t line = 1, col = 1;
+        for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        *error_ = "line " + std::to_string(line) + ", column " +
+                  std::to_string(col) + ": " + msg;
+    }
+
+    bool eof() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    void
+    skipWs()
+    {
+        while (!eof()) {
+            char c = peek();
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos_;
+            else
+                break;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (eof() || peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool
+    consumeWord(const char *word)
+    {
+        size_t n = 0;
+        while (word[n])
+            ++n;
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Value
+    parseValue()
+    {
+        skipWs();
+        if (eof()) {
+            fail("unexpected end of input");
+            return Value();
+        }
+        char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return Value::makeString(parseString());
+        if (c == 't') {
+            if (!consumeWord("true"))
+                fail("expected 'true'");
+            return Value::makeBool(true);
+        }
+        if (c == 'f') {
+            if (!consumeWord("false"))
+                fail("expected 'false'");
+            return Value::makeBool(false);
+        }
+        if (c == 'n') {
+            if (!consumeWord("null"))
+                fail("expected 'null'");
+            return Value();
+        }
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return parseNumber();
+        fail(std::string("unexpected character '") + c + "'");
+        return Value();
+    }
+
+    Value
+    parseNumber()
+    {
+        // strtod accepts a superset of JSON numbers (hex, inf, nan,
+        // leading '+'); reject those up front by checking the shape.
+        size_t start = pos_;
+        if (consume('-')) {
+        }
+        if (eof() || peek() < '0' || peek() > '9') {
+            fail("malformed number");
+            return Value();
+        }
+        while (!eof() && peek() >= '0' && peek() <= '9')
+            ++pos_;
+        if (consume('.')) {
+            if (eof() || peek() < '0' || peek() > '9') {
+                fail("malformed number: digit required after '.'");
+                return Value();
+            }
+            while (!eof() && peek() >= '0' && peek() <= '9')
+                ++pos_;
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!eof() && (peek() == '+' || peek() == '-'))
+                ++pos_;
+            if (eof() || peek() < '0' || peek() > '9') {
+                fail("malformed number: digit required in exponent");
+                return Value();
+            }
+            while (!eof() && peek() >= '0' && peek() <= '9')
+                ++pos_;
+        }
+        std::string token = text_.substr(start, pos_ - start);
+        return Value::makeNumber(std::strtod(token.c_str(), nullptr));
+    }
+
+    /** Append @p cp to @p out as UTF-8. */
+    static void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool
+    parseHex4(unsigned &out)
+    {
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (eof())
+                return false;
+            char c = peek();
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= unsigned(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= unsigned(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= unsigned(c - 'A' + 10);
+            else
+                return false;
+            ++pos_;
+        }
+        out = v;
+        return true;
+    }
+
+    std::string
+    parseString()
+    {
+        std::string out;
+        if (!consume('"')) {
+            fail("expected '\"'");
+            return out;
+        }
+        while (true) {
+            if (eof()) {
+                fail("unterminated string");
+                return out;
+            }
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("raw control character in string");
+                return out;
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (eof()) {
+                fail("unterminated escape");
+                return out;
+            }
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                unsigned cp = 0;
+                if (!parseHex4(cp)) {
+                    fail("malformed \\u escape");
+                    return out;
+                }
+                // Combine a high surrogate with a following \uXXXX low
+                // surrogate; lone surrogates degrade to U+FFFD.
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    unsigned lo = 0;
+                    size_t save = pos_;
+                    if (consume('\\') && consume('u') &&
+                        parseHex4(lo) && lo >= 0xdc00 && lo <= 0xdfff) {
+                        cp = 0x10000 + ((cp - 0xd800) << 10) +
+                             (lo - 0xdc00);
+                    } else {
+                        pos_ = save;
+                        cp = 0xfffd;
+                    }
+                } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                    cp = 0xfffd;
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                fail(std::string("unknown escape '\\") + e + "'");
+                return out;
+            }
+        }
+    }
+
+    Value
+    parseArray()
+    {
+        consume('[');
+        std::vector<Value> items;
+        skipWs();
+        if (consume(']'))
+            return Value::makeArray(std::move(items));
+        while (true) {
+            items.push_back(parseValue());
+            if (failed_)
+                return Value();
+            skipWs();
+            if (consume(']'))
+                return Value::makeArray(std::move(items));
+            if (!consume(',')) {
+                fail("expected ',' or ']' in array");
+                return Value();
+            }
+        }
+    }
+
+    Value
+    parseObject()
+    {
+        consume('{');
+        Value::Members members;
+        skipWs();
+        if (consume('}'))
+            return Value::makeObject(std::move(members));
+        while (true) {
+            skipWs();
+            if (eof() || peek() != '"') {
+                fail("expected string key in object");
+                return Value();
+            }
+            std::string key = parseString();
+            if (failed_)
+                return Value();
+            skipWs();
+            if (!consume(':')) {
+                fail("expected ':' after object key");
+                return Value();
+            }
+            members.emplace_back(std::move(key), parseValue());
+            if (failed_)
+                return Value();
+            skipWs();
+            if (consume('}'))
+                return Value::makeObject(std::move(members));
+            if (!consume(',')) {
+                fail("expected ',' or '}' in object");
+                return Value();
+            }
+        }
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace
+
+Value
+parse(const std::string &text, std::string *error)
+{
+    if (error)
+        error->clear();
+    return Parser(text, error).run();
+}
+
+} // namespace json
+} // namespace hs

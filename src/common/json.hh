@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Minimal JSON document model and recursive-descent parser.
+ *
+ * Just enough JSON to read back what this repo writes (hs_run --json
+ * matrices, JSONL trace events): the full value grammar, object keys
+ * kept in insertion order, numbers as double, basic \uXXXX escapes.
+ * No writer lives here — emission stays with the hand-rolled writers
+ * in sim/results.cc and trace/writers.cc, which control formatting
+ * byte-for-byte.
+ *
+ * Errors are reported, not thrown: parse() returns a null Value and
+ * fills an error string with a line/column position.
+ */
+
+#ifndef HS_COMMON_JSON_HH
+#define HS_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hs {
+namespace json {
+
+/** One parsed JSON value; a tree of these is a document. */
+class Value
+{
+  public:
+    enum class Type : uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    /** Object member list; insertion order is preserved. */
+    using Members = std::vector<std::pair<std::string, Value>>;
+
+    Value() = default;
+
+    static Value makeNull() { return Value(); }
+    static Value makeBool(bool b);
+    static Value makeNumber(double n);
+    static Value makeString(std::string s);
+    static Value makeArray(std::vector<Value> items);
+    static Value makeObject(Members members);
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** @return the bool payload (false unless isBool()). */
+    bool boolean() const { return bool_; }
+    /** @return the numeric payload (0.0 unless isNumber()). */
+    double number() const { return number_; }
+    /** @return the string payload (empty unless isString()). */
+    const std::string &str() const { return string_; }
+    /** @return array elements (empty unless isArray()). */
+    const std::vector<Value> &array() const { return array_; }
+    /** @return object members in file order (empty unless isObject()). */
+    const Members &object() const { return members_; }
+
+    /** @return the member named @p key, or nullptr when absent or when
+     *  this value is not an object. First match wins on duplicates. */
+    const Value *find(const std::string &key) const;
+
+    /** @return member @p key's number, or @p fallback when the member
+     *  is absent or not numeric. */
+    double numberOr(const std::string &key, double fallback) const;
+    /** @return member @p key's string, or @p fallback likewise. */
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+
+  private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Value> array_;
+    Members members_;
+};
+
+/** Parse @p text as one JSON document.
+ *
+ *  Trailing whitespace is allowed; any other trailing content is an
+ *  error. On failure the returned value is Null and @p error (when
+ *  non-null) receives "line L, column C: message". */
+Value parse(const std::string &text, std::string *error);
+
+} // namespace json
+} // namespace hs
+
+#endif // HS_COMMON_JSON_HH

@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "common/state_buffer.hh"
+#include "trace/metrics.hh"
 #include "trace/tracer.hh"
 
 namespace hs {
@@ -106,6 +107,12 @@ OnlineEpisodeDetector::sample(Cycles cycle, Kelvin t)
         if (t <= resume_) {
             current_.fallEnd = cycle;
             ++completed_;
+            if (heatSink_)
+                heatSink_->observe(
+                    static_cast<double>(current_.heatCycles()));
+            if (coolSink_)
+                coolSink_->observe(
+                    static_cast<double>(current_.coolCycles()));
             if (tracer_)
                 tracer_->emit(cycle, TraceKind::EpisodeEnd, -1,
                               traceNoBlock, current_.dutyCycle(),

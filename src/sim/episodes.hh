@@ -65,6 +65,7 @@ std::vector<Episode> extractEpisodes(const std::vector<TempSample> &trace,
 /** Aggregate a set of episodes. */
 EpisodeStats summarizeEpisodes(const std::vector<Episode> &episodes);
 
+class Histogram;
 class StateReader;
 class StateWriter;
 class Tracer;
@@ -86,6 +87,19 @@ class OnlineEpisodeDetector
     /** Observe the hot-spot temperature at @p cycle. */
     void sample(Cycles cycle, Kelvin t);
 
+    /**
+     * Route every completed episode's heating / cooling durations (in
+     * cycles) into @p heat / @p cool. The sinks are owned by the
+     * caller and are not serialised — the owner reattaches them after
+     * restoreState(). Either may be null.
+     */
+    void
+    setDurationSinks(Histogram *heat, Histogram *cool)
+    {
+        heatSink_ = heat;
+        coolSink_ = cool;
+    }
+
     /** Completed episodes observed so far. */
     uint64_t completed() const { return completed_; }
 
@@ -98,6 +112,8 @@ class OnlineEpisodeDetector
     Kelvin trigger_;
     Kelvin resume_;
     Tracer *tracer_;
+    Histogram *heatSink_ = nullptr;
+    Histogram *coolSink_ = nullptr;
     Phase phase_ = Phase::Low;
     Episode current_{};
     uint64_t completed_ = 0;

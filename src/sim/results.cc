@@ -192,7 +192,25 @@ writeResultJson(std::ostream &os, const RunResult &r, int indent)
     os << in1 << "\"descheduled_threads\": [";
     for (size_t i = 0; i < r.descheduledThreads.size(); ++i)
         os << (i ? ", " : "") << r.descheduledThreads[i];
-    os << "]";
+    os << "],\n";
+
+    // Per-block peaks: hs_report's floorplan heatmap needs the whole
+    // thermal map, not just the hottest block.
+    os << in1 << "\"peak_per_block_K\": {";
+    for (int b = 0; b < numBlocks; ++b)
+        os << (b ? ", " : "") << jstr(blockName(blockFromIndex(b)))
+           << ": " << jnum(r.peakTemp[static_cast<size_t>(b)]);
+    os << "}";
+
+    if (!r.histograms.empty()) {
+        os << ",\n" << in1 << "\"histograms\": {\n";
+        for (size_t i = 0; i < r.histograms.size(); ++i) {
+            os << in2 << jstr(r.histograms[i].name) << ": ";
+            r.histograms[i].hist.writeJson(os);
+            os << (i + 1 < r.histograms.size() ? "," : "") << "\n";
+        }
+        os << in1 << "}";
+    }
 
     if (!r.tempTrace.empty()) {
         os << ",\n" << in1 << "\"temp_trace\": [\n";

@@ -16,8 +16,23 @@
 #include "common/types.hh"
 #include "core/sedation.hh"
 #include "trace/event.hh"
+#include "trace/metrics.hh"
 
 namespace hs {
+
+/**
+ * One named run-health histogram exported by a run (episode
+ * durations, sedation spans, queue occupancy, ...). Tools merge these
+ * into the process-wide MetricsRegistry per cell, in submission order.
+ */
+struct NamedHistogram
+{
+    std::string name;
+    std::string desc;
+    Histogram hist;
+
+    bool operator==(const NamedHistogram &) const = default;
+};
 
 /** Per-thread outcome of a run. */
 struct ThreadResult
@@ -84,6 +99,15 @@ struct RunResult
      */
     double hostSeconds = 0.0;
     double simCyclesPerHostSec = 0.0;
+
+    /**
+     * Run-health histograms (observability, not outcome): excluded
+     * from operator== like the host-throughput fields, so the
+     * bit-identity contract on the simulated result is untouched.
+     * Their own prefix-fork/cold identity is covered separately by
+     * tests/test_histograms.cc.
+     */
+    std::vector<NamedHistogram> histograms;
 
     /** Fraction helpers for the Figure 6 breakdown. */
     double normalFraction(size_t thread) const;

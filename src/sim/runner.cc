@@ -210,6 +210,30 @@ ParallelRunner::ParallelRunner(int jobs, ResultStore *store)
     }
 }
 
+void
+ParallelRunner::setCellObserver(CellObserver fn)
+{
+    std::lock_guard<std::mutex> lock(observerMu_);
+    observer_ = std::move(fn);
+}
+
+Histogram
+ParallelRunner::cellSecondsHistogram() const
+{
+    std::lock_guard<std::mutex> lock(observerMu_);
+    return cellSeconds_;
+}
+
+void
+ParallelRunner::notify(const CellEvent &ev)
+{
+    std::lock_guard<std::mutex> lock(observerMu_);
+    if (ev.kind == CellEvent::Kind::Finished)
+        cellSeconds_.observe(ev.hostSeconds);
+    if (observer_)
+        observer_(ev);
+}
+
 PrefixShareStats
 ParallelRunner::prefixStats() const
 {
@@ -289,19 +313,37 @@ ParallelRunner::run(const std::vector<RunSpec> &specs)
     if (prefixSharing_)
         snaps = buildPrefixes(specs);
 
+    const size_t total = specs.size();
+    for (size_t i = 0; i < total; ++i)
+        notify({CellEvent::Kind::Queued, i, total,
+                specs[i].label.c_str(), 0.0});
+
     auto runOne = [&](size_t i) {
         const RunSpec &spec = specs[i];
         const SimSnapshot *snap = snaps[i].get();
-        auto compute = [&spec, snap, this]() -> RunResult {
+        notify({CellEvent::Kind::Started, i, total, spec.label.c_str(),
+                0.0});
+        bool computed = false;
+        auto compute = [&]() -> RunResult {
+            computed = true;
             if (snap) {
                 forkedRuns_.fetch_add(1);
                 savedCycles_.fetch_add(snap->cycle);
+                notify({CellEvent::Kind::PrefixForked, i, total,
+                        spec.label.c_str(), 0.0});
                 return executeFromSnapshot(spec, *snap);
             }
             return executeRunSpec(spec);
         };
+        auto t0 = std::chrono::steady_clock::now();
         results[i] =
             store_ ? store_->getOrCompute(spec, compute) : compute();
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        notify({computed ? CellEvent::Kind::Finished
+                         : CellEvent::Kind::CacheHit,
+                i, total, spec.label.c_str(), computed ? secs : 0.0});
     };
 
     poolFor(jobs_, specs.size(), runOne);
@@ -359,6 +401,46 @@ runMatrix(const std::vector<RunSpec> &specs)
                  static_cast<unsigned long long>(ps.forkedRuns),
                  static_cast<double>(ps.savedCycles) / 1e6);
     return results;
+}
+
+void
+foldRunMetrics(MetricsRegistry &m, const std::vector<RunResult> &results,
+               const PrefixShareStats *engine,
+               const Histogram *cell_seconds)
+{
+    m.counterAdd("hs_run.runs", results.size(), "simulated quanta");
+    for (const RunResult &r : results) {
+        m.counterAdd("hs_run.sim_cycles", r.cycles, "simulated cycles");
+        m.counterAdd("hs_run.emergencies", r.emergencies,
+                     "emergency-threshold crossings");
+        m.counterAdd("hs_run.stop_and_go_triggers", r.stopAndGoTriggers,
+                     "global stop-and-go engagements");
+        m.counterAdd("hs_run.sedation_events", r.sedationEvents.size(),
+                     "sedation actions");
+        m.counterAdd("hs_run.trace_events", r.traceEvents.size(),
+                     "structured trace events exported");
+        m.counterAdd("hs_run.trace_events_dropped",
+                     r.traceEventsDropped, "trace ring overflow losses");
+        m.gaugeMax("hs_run.peak_temp_k", r.peakTempOverall,
+                   "hottest block temperature seen");
+        // Per-cell registries: each run's histograms were accumulated
+        // inside its own Simulator (no cross-talk between concurrent
+        // workers) and merge here in submission order, so the folded
+        // registry is identical across worker counts.
+        for (const NamedHistogram &h : r.histograms)
+            m.histogramMerge(h.name, h.hist, h.desc);
+    }
+    if (engine) {
+        m.counterAdd("engine.prefix_groups", engine->groups,
+                     "prefix-sharing groups executed");
+        m.counterAdd("engine.forked_runs", engine->forkedRuns,
+                     "runs forked from a shared prefix");
+        m.counterAdd("engine.saved_cycles", engine->savedCycles,
+                     "cycles not re-simulated thanks to sharing");
+    }
+    if (cell_seconds)
+        m.histogramMerge("engine.cell_host_seconds", *cell_seconds,
+                         "wall time per completed matrix cell");
 }
 
 void

@@ -28,12 +28,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "sim/run_spec.hh"
 #include "sim/snapshot.hh"
+#include "trace/metrics.hh"
 
 namespace hs {
 
@@ -69,10 +72,34 @@ struct PrefixShareStats
     uint64_t savedCycles = 0; ///< cycles forked cells did not re-run
 };
 
+/**
+ * One cell-lifecycle notification from a ParallelRunner (run health,
+ * never simulation state). Emitted entirely off the simulated path:
+ * observers cannot affect results or bit-identity.
+ */
+struct CellEvent
+{
+    enum class Kind : uint8_t {
+        Queued,       ///< spec accepted into the matrix, before work
+        Started,      ///< a worker picked the cell up
+        PrefixForked, ///< the cell resumed from a shared prefix
+        CacheHit,     ///< the ResultStore already had the result
+        Finished,     ///< the cell simulated to completion
+    };
+
+    Kind kind = Kind::Queued;
+    size_t index = 0;        ///< submission index of the cell
+    size_t total = 0;        ///< matrix size
+    const char *label = "";  ///< spec label (valid during the callback)
+    double hostSeconds = 0;  ///< Finished: wall time of the compute
+};
+
 /** Thread-pool executor for RunSpec matrices. */
 class ParallelRunner
 {
   public:
+    using CellObserver = std::function<void(const CellEvent &)>;
+
     /**
      * @param jobs worker threads; 0 = hardware concurrency.
      * @param store memoisation store, or nullptr to always simulate.
@@ -94,7 +121,24 @@ class ParallelRunner
     /** Cumulative prefix-sharing counters across run() calls. */
     PrefixShareStats prefixStats() const;
 
+    /**
+     * Install a lifecycle observer (progress bars, watchdogs). Calls
+     * are serialised under an internal mutex, so the observer may keep
+     * plain state; it runs on worker threads and must not touch the
+     * runner. Install before run(); null disables.
+     */
+    void setCellObserver(CellObserver fn);
+
+    /**
+     * Distribution of per-cell wall times (Finished cells only),
+     * accumulated across run() calls. Host measurement — never feed it
+     * into anything that must be deterministic.
+     */
+    Histogram cellSecondsHistogram() const;
+
   private:
+    void notify(const CellEvent &ev);
+
     /**
      * Phase one of run(): group specs by divergence key, simulate each
      * eligible group's shared prefix in parallel, and return one
@@ -106,6 +150,9 @@ class ParallelRunner
     int jobs_;
     ResultStore *store_;
     bool prefixSharing_;
+    CellObserver observer_;
+    mutable std::mutex observerMu_; ///< serialises notify() + histogram
+    Histogram cellSeconds_;
     std::atomic<uint64_t> prefixGroups_{0};
     std::atomic<uint64_t> forkedRuns_{0};
     std::atomic<uint64_t> prefixCycles_{0};
@@ -125,7 +172,18 @@ bool envPrefixSharing(bool default_on = true);
  */
 std::vector<RunResult> runMatrix(const std::vector<RunSpec> &specs);
 
-class MetricsRegistry;
+/**
+ * Fold run outcomes and engine statistics into @p m (hs_run --json
+ * and the metrics-identity tests share this). Results are folded in
+ * submission order, so the merged registry is byte-identical across
+ * worker counts and prefix sharing on/off — except for metrics whose
+ * name contains "host", which summarise wall-clock measurements and
+ * are inherently machine-dependent.
+ */
+void foldRunMetrics(MetricsRegistry &m,
+                    const std::vector<RunResult> &results,
+                    const PrefixShareStats *engine = nullptr,
+                    const Histogram *cell_seconds = nullptr);
 
 /**
  * Structured emission of a whole matrix: one JSON object with a

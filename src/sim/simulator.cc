@@ -133,13 +133,18 @@ Simulator::Simulator(const SimConfig &config)
 
     if (config_.traceEvents) {
         tracer_ = std::make_unique<Tracer>(config_.traceCapacity);
-        episodes_ = std::make_unique<OnlineEpisodeDetector>(
-            config_.episodeTriggerTemp, config_.episodeResumeTemp,
-            tracer_.get());
         pipeline_->setTracer(tracer_.get());
         for (auto &policy : policies_)
             policy->setTracer(tracer_.get());
     }
+
+    // The episode detector always runs (it feeds the run-health
+    // histograms); without a tracer it simply emits no events.
+    episodes_ = std::make_unique<OnlineEpisodeDetector>(
+        config_.episodeTriggerTemp, config_.episodeResumeTemp,
+        tracer_.get());
+    episodes_->setDurationSinks(&histEpisodeHeat_, &histEpisodeCool_);
+    sedStart_.assign(static_cast<size_t>(config_.smt.numThreads), 0);
 
     peakTemp_.fill(0.0);
 }
@@ -188,6 +193,16 @@ Simulator::sedateThread(ThreadId tid, bool sedated)
         for (ThreadId d : descheduled_) {
             if (d == tid)
                 return;
+        }
+    }
+    size_t i = static_cast<size_t>(tid);
+    if (i < sedStart_.size()) {
+        if (sedated && sedStart_[i] == 0) {
+            sedStart_[i] = pipeline_->cycle() + 1;
+        } else if (!sedated && sedStart_[i] != 0) {
+            histSedation_.observe(static_cast<double>(
+                pipeline_->cycle() - (sedStart_[i] - 1)));
+            sedStart_[i] = 0;
         }
     }
     pipeline_->setSedated(tid, sedated);
@@ -283,10 +298,14 @@ Simulator::sampleSensors()
 
     // The episode detector also observes physics, not noisy sensors:
     // Section 3.1's heat/cool structure is a property of the chip.
-    if (episodes_)
-        episodes_->sample(
-            now,
-            tempsBuf_[static_cast<size_t>(blockIndex(Block::IntReg))]);
+    episodes_->sample(
+        now,
+        tempsBuf_[static_cast<size_t>(blockIndex(Block::IntReg))]);
+
+    // Run-health: queue-occupancy distributions sampled with the
+    // sensors (fixed-bucket observes, allocation-free).
+    histRuu_.observe(static_cast<double>(pipeline_->ruuOccupancy()));
+    histLsq_.observe(static_cast<double>(pipeline_->lsqOccupancy()));
 
     if (config_.sensorNoiseK > 0.0) {
         // Policies observe imperfect sensors (deterministic stream).
@@ -398,6 +417,23 @@ Simulator::run()
                                       wall_start)
             .count();
 
+    // Per-thread fetch-slot shares over the whole quantum: one
+    // observation per scheduled thread, of its fraction of all
+    // I-cache fetch slots — how far the hammer starved its victims.
+    uint64_t fetch_total = 0;
+    for (ThreadId t = 0; t < config_.smt.numThreads; ++t)
+        fetch_total += pipeline_->activity().count(t, Block::Icache);
+    if (fetch_total) {
+        for (ThreadId t = 0; t < config_.smt.numThreads; ++t) {
+            if (pipeline_->thread(t).state == ThreadState::Idle)
+                continue;
+            histFetchShare_.observe(
+                static_cast<double>(
+                    pipeline_->activity().count(t, Block::Icache)) /
+                static_cast<double>(fetch_total));
+        }
+    }
+
     profile_.totalSeconds += host_seconds;
     profile_.stalledCycles += stalled_cycles;
     profile_.tickedCycles +=
@@ -480,14 +516,28 @@ Simulator::save(SimSnapshot &snap) const
     if (sedation_)
         sedation_->monitor().saveState(w);
 
-    // Event tracer + episode detector: traced forks must replay the
-    // prefix's event history so their final traces are bit-identical
-    // to cold runs'.
+    // Event tracer: traced forks must replay the prefix's event
+    // history so their final traces are bit-identical to cold runs'.
     w.put<uint8_t>(tracer_ ? 1 : 0);
-    if (tracer_) {
+    if (tracer_)
         tracer_->saveState(w);
-        episodes_->saveState(w);
-    }
+
+    // The episode detector always runs now (its phase machine feeds
+    // the run-health histograms), so its state is saved
+    // unconditionally.
+    episodes_->saveState(w);
+
+    // Run-health histograms + sedation bookkeeping: forked cells must
+    // resume with the prefix's distribution state so their exported
+    // histograms match cold runs' bit for bit.
+    w.putTag(stateTag("HMET"));
+    histEpisodeHeat_.saveState(w);
+    histEpisodeCool_.saveState(w);
+    histSedation_.saveState(w);
+    histRuu_.saveState(w);
+    histLsq_.saveState(w);
+    histFetchShare_.saveState(w);
+    w.putVec(sedStart_);
 
     snap.cycle = now;
     ++profile_.snapshotOps;
@@ -582,7 +632,6 @@ Simulator::restore(const SimSnapshot &snap)
     if (has_tracer) {
         // The config echo above guarantees tracer_ exists here.
         tracer_->restoreState(r);
-        episodes_->restoreState(r);
         // The shared prefix runs under a (neutralised) sedation policy
         // and therefore records usage-monitor samples. A cold run of a
         // cell without a sedation policy never emits those; drop them
@@ -591,6 +640,20 @@ Simulator::restore(const SimSnapshot &snap)
         if (!sedation_)
             tracer_->dropCategory(TraceCategory::Monitor);
     }
+    episodes_->restoreState(r);
+
+    r.expectTag(stateTag("HMET"), "run-health histograms");
+    histEpisodeHeat_.restoreState(r);
+    histEpisodeCool_.restoreState(r);
+    histSedation_.restoreState(r);
+    histRuu_.restoreState(r);
+    histLsq_.restoreState(r);
+    histFetchShare_.restoreState(r);
+    r.getVec(sedStart_);
+    if (sedStart_.size() != static_cast<size_t>(config_.smt.numThreads))
+        fatal("Simulator::restore: sedation bookkeeping for %zu "
+              "threads, expected %d",
+              sedStart_.size(), config_.smt.numThreads);
     if (!r.done())
         fatal("Simulator::restore: %zu trailing bytes (snapshot layout "
               "mismatch)",
@@ -749,6 +812,25 @@ Simulator::collectResults(double host_seconds) const
         tracer_->exportTo(result.traceEvents);
         result.traceEventsDropped = tracer_->dropped();
     }
+
+    result.histograms = {
+        {"sim.episode_heat_cycles",
+         "heating duration of completed heat episodes (cycles)",
+         histEpisodeHeat_},
+        {"sim.episode_cool_cycles",
+         "cooling duration of completed heat episodes (cycles)",
+         histEpisodeCool_},
+        {"sim.sedation_span_cycles",
+         "length of completed per-thread sedation spans (cycles)",
+         histSedation_},
+        {"sim.ruu_occupancy",
+         "RUU entries in use at each sensor sample", histRuu_},
+        {"sim.lsq_occupancy",
+         "LSQ entries in use at each sensor sample", histLsq_},
+        {"sim.fetch_slot_share",
+         "per-thread share of all fetch slots over the quantum",
+         histFetchShare_},
+    };
     return result;
 }
 

@@ -30,6 +30,7 @@
 #include "sim/snapshot.hh"
 #include "smt/pipeline.hh"
 #include "thermal/thermal_model.hh"
+#include "trace/metrics.hh"
 #include "trace/tracer.hh"
 
 namespace hs {
@@ -231,6 +232,21 @@ class Simulator : public DtmControl
     Cycles lastTraceAt_ = 0;
     std::vector<Watts> powerBuf_;  ///< reused per sensor sample
     std::vector<Kelvin> tempsBuf_; ///< reused per sensor sample
+
+    /** Run-health histograms: plain members (never registry lookups)
+     *  so the hot-path observes stay allocation-free; exported as
+     *  RunResult::histograms and serialised through save()/restore()
+     *  so prefix-forked cells report the same distributions as cold
+     *  runs. */
+    Histogram histEpisodeHeat_;
+    Histogram histEpisodeCool_;
+    Histogram histSedation_;
+    Histogram histRuu_;
+    Histogram histLsq_;
+    Histogram histFetchShare_;
+    /** Per-thread sedation bookkeeping: cycle+1 at which the current
+     *  sedation span began, 0 when the thread is not sedated. */
+    std::vector<Cycles> sedStart_;
 
     /** Hottest temperature as the policies observed it (after sensor
      *  noise) at the most recent sample; runPrefix()'s divergence

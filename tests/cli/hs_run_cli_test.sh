@@ -69,8 +69,30 @@ expect_usage "filter without trace" --spec gcc $FAST --trace-filter dtm
 expect_usage "unknown trace category" \
     --spec gcc $FAST --trace "$TMP/t.jsonl" --trace-filter dtm,bogus
 expect_usage "each with stats" --spec gcc --spec mcf $FAST --each --stats
+expect_usage "value on progress" --spec gcc $FAST --progress=yes
+expect_usage "progress with stats" --spec gcc $FAST --progress --stats
+expect_usage "progress with profile" --spec gcc $FAST --progress --profile
 
 # --- well-formed invocations -------------------------------------------
+
+# Progress output goes to stderr; when stderr is not a TTY (as here)
+# it must degrade to plain periodic lines: no ANSI escapes, no
+# carriage-return redraws, and a final completion summary.
+expect_ok "progress matrix" --spec gcc --spec mcf $FAST --each \
+    --jobs 2 --progress
+grep -q "\[progress\] 2/2 cells" "$TMP/err" ||
+    fail "progress: no completion line on stderr"
+grep -q "$(printf '\033')" "$TMP/err" &&
+    fail "progress: ANSI escape in non-TTY output"
+grep -q "$(printf '\r')" "$TMP/err" &&
+    fail "progress: carriage return in non-TTY output"
+
+# HS_WATCHDOG is validated strictly like every other HS_* knob.
+HS_WATCHDOG=banana "$BIN" --spec gcc $FAST --progress \
+    >"$TMP/out" 2>"$TMP/err"
+[ $? -eq 1 ] || fail "progress: bad HS_WATCHDOG not rejected"
+grep -q "HS_WATCHDOG" "$TMP/err" ||
+    fail "progress: HS_WATCHDOG error message missing"
 
 expect_ok "plain run" --spec gcc $FAST
 expect_ok "inline values" --spec=gcc --scale=20000 --dtm=sedation

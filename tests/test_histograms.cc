@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Run-health histogram tests: bucket geometry, percentile bracketing,
+ * exact merge algebra (associativity / commutativity down to the bit),
+ * registry folding, snapshot round-trips of the simulator's
+ * instrumentation, and byte-identical merged metrics across engine
+ * worker counts.
+ *
+ * Simulation-backed tests run at HS scale 2000 (250 K-cycle quanta) so
+ * the whole file stays fast.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/progress.hh"
+#include "sim/result_store.hh"
+#include "sim/runner.hh"
+#include "sim/simulator.hh"
+#include "trace/metrics.hh"
+
+namespace {
+
+using namespace hs;
+
+/** Deterministic 64-bit mixer (no global RNG in tests). */
+uint64_t
+mix(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+ExperimentOptions
+fastOpts()
+{
+    ExperimentOptions opts;
+    opts.timeScale = 2000.0;
+    return opts;
+}
+
+// --- bucket geometry ---------------------------------------------------
+
+TEST(Histogram, BucketGeometry)
+{
+    // Non-positive values share bucket 0.
+    EXPECT_EQ(Histogram::bucketFor(0.0), 0);
+    EXPECT_EQ(Histogram::bucketFor(-3.5), 0);
+
+    // Powers of two land on bucket boundaries: [2^(e-1), 2^e).
+    for (double v : {1.0, 2.0, 1024.0, 0.25, 1e-6, 3.75e8}) {
+        int b = Histogram::bucketFor(v);
+        EXPECT_GE(b, 1);
+        EXPECT_LT(b, Histogram::kBuckets);
+        EXPECT_GE(v, Histogram::bucketLo(b)) << "v=" << v;
+        EXPECT_LT(v, Histogram::bucketHi(b)) << "v=" << v;
+    }
+
+    // Extremes clamp to the edge buckets instead of overflowing.
+    EXPECT_EQ(Histogram::bucketFor(1e300), Histogram::kBuckets - 1);
+    EXPECT_EQ(Histogram::bucketFor(1e-300), 1);
+    EXPECT_TRUE(std::isinf(Histogram::bucketHi(Histogram::kBuckets - 1)));
+}
+
+TEST(Histogram, BasicMoments)
+{
+    Histogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.percentile(0.5), 0.0);
+
+    for (double v : {4.0, 1.0, 16.0, 1.0})
+        h.observe(v);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.sum(), 22.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 16.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 16.0);
+}
+
+/**
+ * Percentile bracketing: for any sample set, the estimate for p must
+ * lie inside the bucket containing the true order statistic (and
+ * always inside [min, max]).
+ */
+TEST(Histogram, PercentileWithinTrueOrderStatisticBucket)
+{
+    for (uint64_t seed : {1ull, 7ull, 42ull}) {
+        Histogram h;
+        std::vector<double> values;
+        for (int i = 0; i < 500; ++i) {
+            // Log-uniform-ish positive values across many buckets.
+            uint64_t r = mix(seed * 1000 + i);
+            double v = std::ldexp(1.0 + double(r % 1000) / 1000.0,
+                                  int(r % 30) - 10);
+            values.push_back(v);
+            h.observe(v);
+        }
+        std::sort(values.begin(), values.end());
+        for (double p : {0.1, 0.25, 0.5, 0.9, 0.99}) {
+            size_t rank = std::min(
+                values.size() - 1,
+                size_t(std::ceil(p * double(values.size()))) - 1);
+            double truth = values[rank];
+            double est = h.percentile(p);
+            EXPECT_GE(est, Histogram::bucketLo(
+                               Histogram::bucketFor(truth)))
+                << "p=" << p << " seed=" << seed;
+            EXPECT_LE(est, Histogram::bucketHi(
+                               Histogram::bucketFor(truth)))
+                << "p=" << p << " seed=" << seed;
+            EXPECT_GE(est, h.min());
+            EXPECT_LE(est, h.max());
+        }
+    }
+}
+
+// --- merge algebra -----------------------------------------------------
+
+Histogram
+fromValues(const std::vector<double> &vs)
+{
+    Histogram h;
+    for (double v : vs)
+        h.observe(v);
+    return h;
+}
+
+/**
+ * Merge is associative and commutative to the bit for integer-valued
+ * observations below 2^53 — exactly what the simulator's cycle-count
+ * and occupancy histograms record. operator== compares count, sum,
+ * min, max, and every bucket.
+ */
+TEST(Histogram, MergeAssociativeAndCommutativeBitExact)
+{
+    for (uint64_t seed : {3ull, 11ull}) {
+        std::vector<double> va, vb, vc;
+        for (int i = 0; i < 200; ++i) {
+            va.push_back(double(mix(seed + i) % 2000000));
+            vb.push_back(double(mix(seed + 1000 + i) % (1u << 20)));
+            vc.push_back(double(mix(seed + 2000 + i) % 97));
+        }
+        Histogram a = fromValues(va), b = fromValues(vb),
+                  c = fromValues(vc);
+
+        Histogram ab = a;
+        ab.merge(b);
+        Histogram ba = b;
+        ba.merge(a);
+        EXPECT_EQ(ab, ba) << "commutativity, seed=" << seed;
+
+        Histogram ab_c = ab;
+        ab_c.merge(c);
+        Histogram bc = b;
+        bc.merge(c);
+        Histogram a_bc = a;
+        a_bc.merge(bc);
+        EXPECT_EQ(ab_c, a_bc) << "associativity, seed=" << seed;
+
+        // Splitting a stream and merging the parts equals observing
+        // the whole stream.
+        std::vector<double> all = va;
+        all.insert(all.end(), vb.begin(), vb.end());
+        EXPECT_EQ(ab, fromValues(all));
+    }
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity)
+{
+    Histogram a = fromValues({1.0, 2.0, 3.0});
+    Histogram empty;
+    Histogram m = a;
+    m.merge(empty);
+    EXPECT_EQ(m, a);
+    Histogram m2 = empty;
+    m2.merge(a);
+    EXPECT_EQ(m2, a);
+}
+
+// --- registry ----------------------------------------------------------
+
+TEST(MetricsRegistry, HistogramObserveMergeAndJson)
+{
+    MetricsRegistry reg;
+    reg.histogramObserve("t.lat", 4.0, "test latency");
+    reg.histogramObserve("t.lat", 16.0);
+    Histogram extra = fromValues({1.0});
+    reg.histogramMerge("t.lat", extra);
+
+    Histogram h = reg.histogram("t.lat");
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 16.0);
+
+    std::ostringstream os;
+    reg.writeJson(os);
+    EXPECT_NE(os.str().find("\"t.lat\": {\"count\": 3"),
+              std::string::npos)
+        << os.str();
+}
+
+TEST(MetricsRegistry, MergeFromFoldsAllKinds)
+{
+    MetricsRegistry a, b;
+    a.counterAdd("c", 2);
+    a.gaugeMax("g", 5.0);
+    a.histogramObserve("h", 8.0);
+    b.counterAdd("c", 3);
+    b.gaugeMax("g", 7.0);
+    b.histogramObserve("h", 2.0);
+
+    a.mergeFrom(b);
+    EXPECT_EQ(a.counter("c"), 5u);
+    EXPECT_DOUBLE_EQ(a.gauge("g"), 7.0);
+    EXPECT_EQ(a.histogram("h").count(), 2u);
+    EXPECT_DOUBLE_EQ(a.histogram("h").min(), 2.0);
+}
+
+// --- simulator instrumentation -----------------------------------------
+
+TEST(RunHealth, SimulatorExportsNamedHistograms)
+{
+    RunSpec spec = withVariantSpec("gcc", 2, fastOpts());
+    RunResult r = executeRunSpec(spec);
+
+    auto find = [&](const std::string &name) -> const Histogram * {
+        for (const NamedHistogram &h : r.histograms)
+            if (h.name == name)
+                return &h.hist;
+        return nullptr;
+    };
+    for (const char *name :
+         {"sim.episode_heat_cycles", "sim.episode_cool_cycles",
+          "sim.sedation_span_cycles", "sim.ruu_occupancy",
+          "sim.lsq_occupancy", "sim.fetch_slot_share"})
+        EXPECT_NE(find(name), nullptr) << name;
+
+    // The attack mix heats: occupancy is sampled every sensor period
+    // and both threads got fetch slots.
+    EXPECT_GT(find("sim.ruu_occupancy")->count(), 0u);
+    EXPECT_EQ(find("sim.fetch_slot_share")->count(), 2u);
+    EXPECT_NEAR(find("sim.fetch_slot_share")->sum(), 1.0, 1e-9);
+
+    // Completed heat episodes must balance: every heating span has a
+    // cooling span.
+    const Histogram *heat = find("sim.episode_heat_cycles");
+    const Histogram *cool = find("sim.episode_cool_cycles");
+    EXPECT_EQ(heat->count(), cool->count());
+}
+
+TEST(RunHealth, SedationSpansRecordedUnderSedationDtm)
+{
+    ExperimentOptions opts = fastOpts();
+    opts.dtm = DtmMode::SelectiveSedation;
+    RunSpec spec = withVariantSpec("gcc", 2, opts);
+    RunResult r = executeRunSpec(spec);
+
+    const Histogram *sed = nullptr;
+    for (const NamedHistogram &h : r.histograms)
+        if (h.name == "sim.sedation_span_cycles")
+            sed = &h.hist;
+    ASSERT_NE(sed, nullptr);
+    ASSERT_GT(sed->count(), 0u);
+    // Span lengths are cycle counts inside one quantum.
+    EXPECT_GE(sed->min(), 1.0);
+    EXPECT_LT(sed->max(), 1e9);
+}
+
+/**
+ * Snapshot round-trip: a run forked from a mid-run prefix snapshot
+ * must reproduce the cold run's histograms exactly — the histogram
+ * state, open sedation spans, and episode-detector state all travel
+ * through save()/restore().
+ */
+TEST(RunHealth, HistogramsSurvivePrefixForkBitExact)
+{
+    // The innocent pair at convection R = 1.2 K/W climbs slowly enough
+    // for runPrefix to bank a snapshot before the 353 K divergence
+    // temperature, yet the episode detector has already seen a rise
+    // begin — so histogram and detector state genuinely travel through
+    // the snapshot (the attack mix crosses 353 K before the first
+    // snapshot point and would fork nothing).
+    ExperimentOptions opts = fastOpts();
+    opts.dtm = DtmMode::SelectiveSedation;
+    opts.convectionR = 1.2;
+    RunSpec spec = specPairSpec("gcc", "mesa", opts);
+
+    SimSnapshot snap;
+    Cycles fork =
+        makePrefixSimulator(spec)->runPrefix(353.0, /*stride=*/1, snap);
+    ASSERT_GT(fork, 0u);
+
+    RunResult cold = executeRunSpec(spec);
+    RunResult warm = executeFromSnapshot(spec, snap);
+    ASSERT_EQ(cold, warm);
+    // operator== excludes histograms; compare them explicitly.
+    ASSERT_EQ(cold.histograms.size(), warm.histograms.size());
+    for (size_t i = 0; i < cold.histograms.size(); ++i) {
+        EXPECT_EQ(cold.histograms[i].name, warm.histograms[i].name);
+        EXPECT_EQ(cold.histograms[i].hist, warm.histograms[i].hist)
+            << cold.histograms[i].name;
+    }
+}
+
+// --- engine folding ----------------------------------------------------
+
+std::vector<RunSpec>
+smallMatrix()
+{
+    ExperimentOptions opts = fastOpts();
+    std::vector<RunSpec> specs;
+    specs.push_back(soloSpec("gcc", opts));
+    specs.push_back(withVariantSpec("gcc", 2, opts));
+    specs.push_back(withVariantSpec("crafty", 3, opts));
+    specs.push_back(
+        withVariantSpec("applu", 2, opts)
+            .withDtm(DtmMode::SelectiveSedation));
+    specs.push_back(soloSpec("mcf", opts));
+    specs.push_back(specPairSpec("gcc", "mesa", opts));
+    return specs;
+}
+
+/**
+ * The cross-talk fix: per-cell histograms live in each RunResult and
+ * are folded in submission order, so the merged registry is
+ * byte-identical no matter how many workers raced to produce the
+ * results. ("host"-named metrics are machine-dependent and are only
+ * added when the caller passes cell timings — not here.)
+ */
+TEST(RunHealth, MergedMetricsIdenticalAcrossWorkerCounts)
+{
+    std::vector<RunSpec> specs = smallMatrix();
+
+    ParallelRunner serial(1);
+    std::vector<RunResult> r1 = serial.run(specs);
+    ParallelRunner wide(4);
+    std::vector<RunResult> r4 = wide.run(specs);
+
+    MetricsRegistry m1, m4;
+    foldRunMetrics(m1, r1);
+    foldRunMetrics(m4, r4);
+
+    std::ostringstream j1, j4;
+    m1.writeJson(j1);
+    m4.writeJson(j4);
+    EXPECT_EQ(j1.str(), j4.str());
+    EXPECT_NE(j1.str().find("sim.episode_heat_cycles"),
+              std::string::npos);
+}
+
+// --- lifecycle events and progress -------------------------------------
+
+TEST(RunHealth, CellObserverSeesEveryLifecycleEvent)
+{
+    std::vector<RunSpec> specs = smallMatrix();
+    ResultStore store;
+    ParallelRunner runner(2, &store);
+
+    std::vector<CellEvent::Kind> kinds;
+    size_t queued = 0, started = 0, finished = 0, cache_hits = 0;
+    runner.setCellObserver([&](const CellEvent &ev) {
+        // The callback is serialized by the runner; no locking here.
+        kinds.push_back(ev.kind);
+        EXPECT_EQ(ev.total, specs.size());
+        EXPECT_LT(ev.index, specs.size());
+        switch (ev.kind) {
+          case CellEvent::Kind::Queued: ++queued; break;
+          case CellEvent::Kind::Started: ++started; break;
+          case CellEvent::Kind::Finished:
+            EXPECT_GE(ev.hostSeconds, 0.0);
+            ++finished;
+            break;
+          case CellEvent::Kind::CacheHit: ++cache_hits; break;
+          default: break;
+        }
+    });
+
+    runner.run(specs);
+    EXPECT_EQ(queued, specs.size());
+    EXPECT_EQ(started, specs.size());
+    EXPECT_EQ(finished, specs.size());
+    EXPECT_EQ(cache_hits, 0u);
+    EXPECT_EQ(runner.cellSecondsHistogram().count(), specs.size());
+
+    // A second pass over the same matrix is served from the store.
+    queued = started = finished = cache_hits = 0;
+    runner.run(specs);
+    EXPECT_EQ(queued, specs.size());
+    EXPECT_EQ(cache_hits, specs.size());
+    EXPECT_EQ(finished, 0u);
+}
+
+TEST(RunHealth, ProgressReporterPlainModeHasNoAnsi)
+{
+    std::FILE *out = std::tmpfile();
+    ASSERT_NE(out, nullptr);
+    {
+        ProgressOptions popts;
+        popts.ansi = false;
+        popts.minPlainInterval = 0.0; // paint every event
+        popts.out = out;
+        ProgressReporter rep(2, 1, popts);
+        CellEvent ev{CellEvent::Kind::Started, 0, 2, "a", 0.0};
+        rep.onEvent(ev);
+        ev = {CellEvent::Kind::Finished, 0, 2, "a", 0.01};
+        rep.onEvent(ev);
+        ev = {CellEvent::Kind::Started, 1, 2, "b", 0.0};
+        rep.onEvent(ev);
+        ev = {CellEvent::Kind::Finished, 1, 2, "b", 0.01};
+        rep.onEvent(ev);
+        rep.finish();
+    }
+    std::rewind(out);
+    std::string text;
+    char buf[512];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), out)) > 0)
+        text.append(buf, n);
+    std::fclose(out);
+
+    EXPECT_NE(text.find("[progress] 2/2 cells"), std::string::npos)
+        << text;
+    EXPECT_EQ(text.find('\x1b'), std::string::npos) << "ANSI escape";
+    EXPECT_EQ(text.find('\r'), std::string::npos) << "carriage return";
+}
+
+TEST(RunHealth, WatchdogEnvIsStrict)
+{
+    setenv("HS_WATCHDOG", "2.5", 1);
+    EXPECT_DOUBLE_EQ(envWatchdogFactor(), 2.5);
+    setenv("HS_WATCHDOG", "0", 1);
+    EXPECT_DOUBLE_EQ(envWatchdogFactor(), 0.0);
+    unsetenv("HS_WATCHDOG");
+    EXPECT_DOUBLE_EQ(envWatchdogFactor(3.0), 3.0);
+
+    setenv("HS_WATCHDOG", "fast", 1);
+    EXPECT_EXIT(envWatchdogFactor(), testing::ExitedWithCode(1),
+                "HS_WATCHDOG");
+    setenv("HS_WATCHDOG", "-1", 1);
+    EXPECT_EXIT(envWatchdogFactor(), testing::ExitedWithCode(1),
+                "HS_WATCHDOG");
+    unsetenv("HS_WATCHDOG");
+}
+
+} // namespace

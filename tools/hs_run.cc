@@ -30,10 +30,18 @@
  *   --upper K --lower K  sedation thresholds (default 356 / 355)
  *   --noise K            sensor noise amplitude (default 0)
  *   --deschedule N       OS extension: deschedule after N reports
+ *   --progress           live engine status on stderr: completed/total
+ *                        cells, ETA from the cell-time histogram, and
+ *                        a slow-cell watchdog (HS_WATCHDOG multiple of
+ *                        the median). Single-line redraw on a TTY,
+ *                        plain periodic lines otherwise.
  *   --trace FILE         write the structured event trace (single run
  *                        only); *.jsonl = one JSON object per line,
  *                        anything else = Chrome trace_event JSON
- *                        (load in chrome://tracing or Perfetto)
+ *                        (load in chrome://tracing or Perfetto).
+ *                        Implies the temperature trace, so a single
+ *                        --trace --json run carries everything
+ *                        hs_report needs.
  *   --trace-filter CATS  comma list of categories to write
  *                        (dtm,thermal,monitor,fetch,episode)
  *   --temp-trace FILE    write temperature trace CSV (single run only)
@@ -52,10 +60,12 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "sim/progress.hh"
 #include "sim/result_store.hh"
 #include "sim/runner.hh"
 #include "sim/simulator.hh"
@@ -78,7 +88,7 @@ usage(const char *argv0)
                  "[--sink ideal|real]\n"
                  "       [--scale S] [--conv R] [--upper K] "
                  "[--lower K] [--noise K]\n"
-                 "       [--deschedule N] [--trace FILE] "
+                 "       [--deschedule N] [--progress] [--trace FILE] "
                  "[--trace-filter CAT,...]\n"
                  "       [--temp-trace FILE] [--stats] [--profile] "
                  "[--list]\n",
@@ -259,39 +269,6 @@ endsWith(const std::string &s, const std::string &suffix)
                0;
 }
 
-/** Fold run outcomes and engine statistics into the process registry
- *  so --json carries a "metrics" object next to the results. */
-void
-foldMetrics(const std::vector<RunResult> &results,
-            const PrefixShareStats *engine)
-{
-    MetricsRegistry &m = MetricsRegistry::global();
-    m.counterAdd("hs_run.runs", results.size(), "simulated quanta");
-    for (const RunResult &r : results) {
-        m.counterAdd("hs_run.sim_cycles", r.cycles, "simulated cycles");
-        m.counterAdd("hs_run.emergencies", r.emergencies,
-                     "emergency-threshold crossings");
-        m.counterAdd("hs_run.stop_and_go_triggers", r.stopAndGoTriggers,
-                     "global stop-and-go engagements");
-        m.counterAdd("hs_run.sedation_events", r.sedationEvents.size(),
-                     "sedation actions");
-        m.counterAdd("hs_run.trace_events", r.traceEvents.size(),
-                     "structured trace events exported");
-        m.counterAdd("hs_run.trace_events_dropped",
-                     r.traceEventsDropped, "trace ring overflow losses");
-        m.gaugeMax("hs_run.peak_temp_k", r.peakTempOverall,
-                   "hottest block temperature seen");
-    }
-    if (engine) {
-        m.counterAdd("engine.prefix_groups", engine->groups,
-                     "prefix-sharing groups executed");
-        m.counterAdd("engine.forked_runs", engine->forkedRuns,
-                     "runs forked from a shared prefix");
-        m.counterAdd("engine.saved_cycles", engine->savedCycles,
-                     "cycles not re-simulated thanks to sharing");
-    }
-}
-
 } // namespace
 
 int
@@ -309,6 +286,7 @@ main(int argc, char **argv)
     std::string json_path, csv_path;
     bool dump_stats = false;
     bool profile = false;
+    bool progress = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -403,8 +381,14 @@ main(int argc, char **argv)
             if (n < 0)
                 badValue(argv[0], arg, v, "a non-negative integer");
             deschedule = static_cast<int>(n);
+        } else if (arg == "--progress") {
+            flagOnly();
+            progress = true;
         } else if (arg == "--trace") {
             trace_path = value();
+            // A traced run should be enough for hs_report on its own,
+            // so it also carries the temperature time series.
+            opts.recordTempTrace = true;
         } else if (arg == "--trace-filter") {
             trace_filter = value();
         } else if (arg == "--temp-trace") {
@@ -481,7 +465,15 @@ main(int argc, char **argv)
     std::vector<RunResult> results;
     PrefixShareStats engine_stats;
     bool have_engine_stats = false;
+    Histogram cell_seconds;
     if (dump_stats || profile) {
+        if (progress) {
+            std::fprintf(stderr,
+                         "%s: --progress needs the engine; drop "
+                         "--stats/--profile\n",
+                         argv[0]);
+            usage(argv[0]);
+        }
         // The statistics/profile dumps need the live simulator, so
         // this path runs serially outside the engine.
         std::unique_ptr<Simulator> sim = makeSimulator(specs[0]);
@@ -493,9 +485,23 @@ main(int argc, char **argv)
         if (profile)
             printProfile(sim->profile());
     } else {
-        ParallelRunner runner(jobs > 0 ? jobs : envJobs(0),
-                              &ResultStore::global());
+        int engine_jobs = jobs > 0 ? jobs : envJobs(0);
+        ParallelRunner runner(engine_jobs, &ResultStore::global());
+        std::unique_ptr<ProgressReporter> reporter;
+        if (progress) {
+            ProgressOptions popts;
+            popts.ansi = streamIsTty(stderr);
+            popts.watchdogFactor = envWatchdogFactor();
+            reporter = std::make_unique<ProgressReporter>(
+                specs.size(), runner.jobs(), popts);
+            runner.setCellObserver([&](const CellEvent &ev) {
+                reporter->onEvent(ev);
+            });
+        }
         results = runner.run(specs);
+        if (reporter)
+            reporter->finish();
+        cell_seconds = runner.cellSecondsHistogram();
         for (size_t i = 0; i < specs.size(); ++i) {
             if (i)
                 std::printf("\n");
@@ -514,8 +520,9 @@ main(int argc, char **argv)
                             1e6);
     }
 
-    foldMetrics(results,
-                have_engine_stats ? &engine_stats : nullptr);
+    foldRunMetrics(MetricsRegistry::global(), results,
+                   have_engine_stats ? &engine_stats : nullptr,
+                   have_engine_stats ? &cell_seconds : nullptr);
 
     if (!temp_trace_path.empty()) {
         const RunResult &r = results[0];
