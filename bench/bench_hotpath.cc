@@ -39,6 +39,8 @@
 #include "common/log.hh"
 #include "sim/result_store.hh"
 #include "sim/runner.hh"
+#include "thermal/thermal_model.hh"
+#include "thermal/topology.hh"
 
 int
 main()
@@ -84,6 +86,52 @@ main()
     std::printf("\nrows: tick = pipeline only (ideal sink), thermal = "
                 "+RC step each sensor sample, stalled = "
                 "advanceStalled fast-forward under stop-and-go.\n\n");
+
+    // --- RC-network construction scaling -------------------------------
+    //
+    // Builds the full thermal model for growing die topologies and
+    // reports nodes/edges/wall time. The sparse adjacency makes
+    // construction O(edges); the old dense-matrix path was O(n^3) in
+    // nodes and would blow far past the (deliberately generous) bound
+    // asserted below long before 64 cores.
+
+    std::printf("=== thermal model construction (sparse adjacency) "
+                "===\n");
+    std::printf("%-12s %8s %8s %12s\n", "topology", "nodes", "edges",
+                "build ms");
+    struct BuildRow
+    {
+        int cores;
+        size_t nodes, edges;
+        double ms;
+    };
+    std::vector<BuildRow> builds;
+    for (int cores : {1, 16, 64}) {
+        TopologyParams tp;
+        tp.numCores = cores;
+        Topology topo(Floorplan::ev6(), tp);
+        auto t0 = std::chrono::steady_clock::now();
+        ThermalModel model(topo);
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        BuildRow row{cores,
+                     static_cast<size_t>(model.network().numNodes()),
+                     model.network().numEdges(), ms};
+        builds.push_back(row);
+        std::printf("%2d core(s)   %8zu %8zu %12.3f\n", row.cores,
+                    row.nodes, row.edges, row.ms);
+    }
+    // Generous absolute bound: the sparse build finishes in a few
+    // milliseconds even on slow hardware; a reintroduced dense
+    // per-insert row refresh is O(n^3) over ~1100 nodes and busts this
+    // by orders of magnitude.
+    if (builds.back().ms > 2000.0)
+        fatal("bench_hotpath: 64-core thermal model construction took "
+              "%.1f ms — the RC network build has regressed toward the "
+              "old dense O(n^3) behaviour",
+              builds.back().ms);
+    std::printf("\n");
 
     // --- prefix-sharing macro-benchmark --------------------------------
 
@@ -155,5 +203,11 @@ main()
                     ? static_cast<double>(sweep_cycles) / warm_s / 1e6
                     : 0.0);
     std::printf("[hotpath] label=matrix_speedup x=%.3f\n", speedup);
+    // No mcps= on these rows: construction cost is not a throughput
+    // and must stay out of the perf-gate baseline.
+    for (const BuildRow &b : builds)
+        std::printf("[hotpath] label=rc_build_%dcore nodes=%zu "
+                    "edges=%zu build_ms=%.3f\n",
+                    b.cores, b.nodes, b.edges, b.ms);
     return 0;
 }

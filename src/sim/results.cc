@@ -46,7 +46,8 @@ RunResult::operator==(const RunResult &o) const
     // hostSeconds / simCyclesPerHostSec intentionally omitted: wall
     // time is a property of the host, not of the simulated quantum.
     return cycles == o.cycles && activeCycles == o.activeCycles &&
-           threads == o.threads && emergencies == o.emergencies &&
+           threads == o.threads && numCores == o.numCores &&
+           cores == o.cores && emergencies == o.emergencies &&
            emergenciesPerBlock == o.emergenciesPerBlock &&
            peakTemp == o.peakTemp &&
            peakTempOverall == o.peakTempOverall &&
@@ -163,7 +164,12 @@ writeResultJson(std::ostream &os, const RunResult &r, int indent)
     os << in1 << "\"threads\": [\n";
     for (size_t t = 0; t < r.threads.size(); ++t) {
         const ThreadResult &tr = r.threads[t];
-        os << in2 << "{\"thread\": " << t << ", \"program\": "
+        os << in2 << "{\"thread\": " << t;
+        // The core axis appears only on multi-core runs, so
+        // single-core JSON keeps its historical bytes.
+        if (r.numCores > 1)
+            os << ", \"core\": " << tr.core;
+        os << ", \"program\": "
            << jstr(tr.program) << ", \"committed\": " << tr.committed
            << ", \"ipc\": " << jnum(tr.ipc)
            << ", \"normal_cycles\": " << tr.normalCycles
@@ -201,6 +207,30 @@ writeResultJson(std::ostream &os, const RunResult &r, int indent)
         os << (b ? ", " : "") << jstr(blockName(blockFromIndex(b)))
            << ": " << jnum(r.peakTemp[static_cast<size_t>(b)]);
     os << "}";
+
+    // Per-core views: present only on multi-core runs (the aggregate
+    // fields above fold the cores together).
+    if (!r.cores.empty()) {
+        os << ",\n" << in1 << "\"cores\": [\n";
+        for (size_t c = 0; c < r.cores.size(); ++c) {
+            const CoreResult &cr = r.cores[c];
+            os << in2 << "{\"core\": " << cr.core
+               << ", \"active_cycles\": " << cr.activeCycles
+               << ", \"emergencies\": " << cr.emergencies
+               << ", \"peak_temp_K\": " << jnum(cr.peakTempOverall)
+               << ", \"hottest_block\": "
+               << jstr(blockName(cr.hottestBlock))
+               << ", \"stop_and_go_triggers\": " << cr.stopAndGoTriggers
+               << ", \"cooling_stall_cycles\": " << cr.coolingStallCycles
+               << ", \"peak_per_block_K\": {";
+            for (int b = 0; b < numBlocks; ++b)
+                os << (b ? ", " : "")
+                   << jstr(blockName(blockFromIndex(b))) << ": "
+                   << jnum(cr.peakTemp[static_cast<size_t>(b)]);
+            os << "}}" << (c + 1 < r.cores.size() ? "," : "") << "\n";
+        }
+        os << in1 << "]";
+    }
 
     if (!r.histograms.empty()) {
         os << ",\n" << in1 << "\"histograms\": {\n";

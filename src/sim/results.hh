@@ -38,6 +38,7 @@ struct NamedHistogram
 struct ThreadResult
 {
     std::string program;
+    int core = 0; ///< core the context lives on (0 on single-core dies)
     uint64_t committed = 0;
     double ipc = 0.0;
     uint64_t normalCycles = 0;
@@ -50,6 +51,27 @@ struct ThreadResult
     double fpPerInst = 0.0;        ///< FP-unit accesses per committed
 
     bool operator==(const ThreadResult &) const = default;
+};
+
+/**
+ * Per-core outcome of a multi-core run. The legacy top-level RunResult
+ * fields aggregate across cores (summed counters, per-block maxima);
+ * this record keeps each core's own view. Single-core runs leave
+ * RunResult::cores empty so their outputs keep their historical bytes.
+ */
+struct CoreResult
+{
+    int core = 0;
+    Cycles activeCycles = 0;
+    uint64_t emergencies = 0;
+    std::array<uint64_t, numBlocks> emergenciesPerBlock{};
+    std::array<Kelvin, numBlocks> peakTemp{};
+    Kelvin peakTempOverall = 0;
+    Block hottestBlock = Block::IntReg;
+    uint64_t stopAndGoTriggers = 0;
+    Cycles coolingStallCycles = 0;
+
+    bool operator==(const CoreResult &) const = default;
 };
 
 /** One downsampled temperature trace point. */
@@ -69,6 +91,11 @@ struct RunResult
     Cycles cycles = 0;
     Cycles activeCycles = 0;
     std::vector<ThreadResult> threads;
+
+    /** Topology width of the run; per-core views are populated only
+     *  when more than one core shares the die. */
+    int numCores = 1;
+    std::vector<CoreResult> cores;
 
     uint64_t emergencies = 0; ///< upward crossings of the emergency temp
     std::array<uint64_t, numBlocks> emergenciesPerBlock{};

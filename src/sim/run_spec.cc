@@ -105,6 +105,18 @@ RunSpec::buildKey(bool with_policy) const
         key += ";desched=";
         key += std::to_string(descheduleAfter);
     }
+    if (numCores > 1) {
+        // Emitted only off the single-core default so every
+        // pre-topology key (and its FNV hash) is unchanged.
+        key += ";cores=";
+        key += std::to_string(numCores);
+        key += ";place=";
+        for (size_t i = 0; i < placement.size(); ++i) {
+            if (i)
+                key += ',';
+            key += std::to_string(placement[i]);
+        }
+    }
     for (const WorkloadSpec &w : workloads) {
         key += '|';
         switch (w.kind) {
@@ -167,6 +179,15 @@ RunSpec::withTraceEvents(bool on) const
 {
     RunSpec s = *this;
     s.traceEvents = on;
+    return s;
+}
+
+RunSpec
+RunSpec::withTopology(int cores, std::vector<int> place) const
+{
+    RunSpec s = *this;
+    s.numCores = cores;
+    s.placement = std::move(place);
     return s;
 }
 

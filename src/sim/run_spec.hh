@@ -70,6 +70,16 @@ struct RunSpec
      *  inherit. */
     bool traceEvents = false;
 
+    /** Die composition (docs/TOPOLOGY.md): core tiles sharing the
+     *  spreader/sink. 1 (the default) is the classic single-core die
+     *  and leaves the canonical key byte-identical to what it always
+     *  was. Part of the divergence key: dies of different shapes never
+     *  share a prefix. */
+    int numCores = 1;
+    /** Core per workload (empty = all on core 0); trajectory state
+     *  like numCores, keyed only when numCores > 1. */
+    std::vector<int> placement;
+
     /** Display label for tables/JSON; NOT part of the canonical key. */
     std::string label;
 
@@ -99,6 +109,9 @@ struct RunSpec
     RunSpec withDtm(DtmMode mode) const;
     RunSpec withSink(SinkType sink) const;
     RunSpec withTraceEvents(bool on) const;
+    /** Compose @p cores tiles on one die; @p place maps each workload
+     *  to its core (empty = all on core 0). */
+    RunSpec withTopology(int cores, std::vector<int> place = {}) const;
 
   private:
     /** Shared body of canonicalKey() / divergenceKey(): the policy

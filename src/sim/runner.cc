@@ -59,8 +59,30 @@ runConfig(const RunSpec &spec)
     }
     if (spec.numThreads > 0)
         cfg.smt.numThreads = spec.numThreads;
-    if (static_cast<int>(spec.workloads.size()) > cfg.smt.numThreads)
+    if (spec.numCores > 1) {
+        // smt.numThreads is contexts *per core*: widen to the most
+        // heavily loaded core, not the whole workload list.
+        cfg.topology.numCores = spec.numCores;
+        cfg.placement = spec.placement;
+        std::vector<int> perCore(static_cast<size_t>(spec.numCores), 0);
+        for (size_t i = 0; i < spec.workloads.size(); ++i) {
+            int c = i < spec.placement.size() ? spec.placement[i] : 0;
+            if (c < 0 || c >= spec.numCores)
+                fatal("RunSpec '%s': placement[%zu] = %d is outside "
+                      "[0, %d)",
+                      spec.label.c_str(), i, c, spec.numCores);
+            ++perCore[static_cast<size_t>(c)];
+        }
+        int widest = *std::max_element(perCore.begin(), perCore.end());
+        if (widest > cfg.smt.numThreads)
+            cfg.smt.numThreads = widest;
+        // The placement indexes the full global context space
+        // (numCores x numThreads): pad unmapped contexts onto core 0.
+        cfg.placement.resize(spec.workloads.size(), 0);
+    } else if (static_cast<int>(spec.workloads.size()) >
+               cfg.smt.numThreads) {
         cfg.smt.numThreads = static_cast<int>(spec.workloads.size());
+    }
     cfg.traceEvents = spec.traceEvents;
     return cfg;
 }

@@ -54,177 +54,370 @@ SimConfig::defaultNominalRates()
     return rates;
 }
 
+/** DtmControl adapter scoped to one core (see simulator.hh). */
+class Simulator::CoreControl : public DtmControl
+{
+  public:
+    CoreControl(Simulator &sim, int core) : sim_(sim), core_(core) {}
+
+    void
+    stallPipeline(bool stalled) override
+    {
+        sim_.coreStallPipeline(core_, stalled);
+    }
+    bool
+    pipelineStalled() const override
+    {
+        return sim_.corePipelineStalled(core_);
+    }
+    void
+    sedateThread(ThreadId tid, bool sedated) override
+    {
+        sim_.coreSedateThread(core_, tid, sedated);
+    }
+    void
+    throttleThread(ThreadId tid, int every_k) override
+    {
+        sim_.coreThrottleThread(core_, tid, every_k);
+    }
+    void
+    throttlePipeline(int every_k) override
+    {
+        sim_.coreThrottlePipeline(core_, every_k);
+    }
+    int
+    numThreads() const override
+    {
+        return sim_.config_.smt.numThreads;
+    }
+    bool
+    threadActive(ThreadId tid) const override
+    {
+        return sim_.coreThreadActive(core_, tid);
+    }
+
+  private:
+    Simulator &sim_;
+    int core_;
+};
+
+// Out of line: CoreState holds a unique_ptr to the (here complete)
+// CoreControl.
+Simulator::CoreState::CoreState() = default;
+Simulator::CoreState::CoreState(CoreState &&) noexcept = default;
+Simulator::CoreState &
+Simulator::CoreState::operator=(CoreState &&) noexcept = default;
+Simulator::CoreState::~CoreState() = default;
+
 Simulator::Simulator(const SimConfig &config)
     : config_(config),
-      programs_(static_cast<size_t>(config.smt.numThreads)),
-      pipeline_(std::make_unique<Pipeline>(config.smt)),
-      energy_(std::make_unique<EnergyModel>(config.energy)),
-      thermal_(std::make_unique<ThermalModel>(Floorplan::ev6(),
-                                              config.thermal))
+      numCores_(config.topology.numCores),
+      energy_(std::make_unique<EnergyModel>(config.energy))
 {
+    if (numCores_ < 1)
+        fatal("Simulator: topology.numCores must be at least 1");
     if (config_.sensorInterval == 0 || config_.monitorInterval == 0)
         fatal("Simulator: sampling intervals must be positive");
     if (config_.sensorInterval % config_.monitorInterval != 0)
         fatal("Simulator: sensor interval must be a multiple of the "
               "monitor interval");
 
-    powerSnapshot_ = std::make_unique<ActivityCounters::Snapshot>(
-        pipeline_->activity());
-
-    switch (config_.dtm) {
-      case DtmMode::None:
-        break;
-      case DtmMode::StopAndGo: {
-        auto sg = std::make_unique<StopAndGo>(config_.stopAndGo);
-        stopAndGo_ = sg.get();
-        policies_.push_back(std::move(sg));
-        break;
-      }
-      case DtmMode::SelectiveSedation: {
-        auto sed = std::make_unique<SelectiveSedation>(
-            config_.smt.numThreads, config_.sedation,
-            config_.monitorInterval);
-        sedation_ = sed.get();
-        policies_.push_back(std::move(sed));
-        if (config_.descheduleRepeatOffenders) {
-            offenderTracker_ = std::make_unique<OffenderTracker>(
-                config_.smt.numThreads, config_.offenderPolicy);
-            offenderTracker_->setOnDeschedule([this](ThreadId tid) {
-                descheduled_.push_back(tid);
-                if (tracer_)
-                    tracer_->emit(pipeline_->cycle(),
-                                  TraceKind::OsDeschedule, tid,
-                                  traceNoBlock, 0.0,
-                                  descheduled_.size());
-                pipeline_->setSedated(tid, true);
-            });
+    // Resolve the thread placement: global context -> (core, slot).
+    if (config_.placement.empty())
+        coreOf_.assign(static_cast<size_t>(config_.smt.numThreads), 0);
+    else
+        coreOf_ = config_.placement;
+    globalOf_.assign(static_cast<size_t>(numCores_),
+                     std::vector<ThreadId>(
+                         static_cast<size_t>(config_.smt.numThreads),
+                         invalidThreadId));
+    slotOf_.resize(coreOf_.size());
+    {
+        std::vector<int> used(static_cast<size_t>(numCores_), 0);
+        for (size_t g = 0; g < coreOf_.size(); ++g) {
+            int c = coreOf_[g];
+            if (c < 0 || c >= numCores_)
+                fatal("Simulator: placement[%zu] = %d is outside "
+                      "[0, %d)",
+                      g, c, numCores_);
+            int slot = used[static_cast<size_t>(c)]++;
+            if (slot >= config_.smt.numThreads)
+                fatal("Simulator: placement puts more than %d "
+                      "workloads on core %d",
+                      config_.smt.numThreads, c);
+            slotOf_[g] = static_cast<ThreadId>(slot);
+            globalOf_[static_cast<size_t>(c)][static_cast<size_t>(slot)] =
+                static_cast<ThreadId>(g);
         }
-        sedation_->setOsReport([this](const SedationEvent &event) {
-            if (offenderTracker_)
-                offenderTracker_->onReport(event);
-            if (userOsReport_)
-                userOsReport_(event);
-        });
-        // Stop-and-go remains underneath as the safety net
-        // (Section 3.2.2).
-        auto sg = std::make_unique<StopAndGo>(config_.stopAndGo);
-        stopAndGo_ = sg.get();
-        policies_.push_back(std::move(sg));
-        break;
-      }
-      case DtmMode::DvfsThrottle: {
-        auto dvfs = std::make_unique<DvfsThrottle>(config_.dvfs);
-        policies_.push_back(std::move(dvfs));
-        auto sg = std::make_unique<StopAndGo>(config_.stopAndGo);
-        stopAndGo_ = sg.get();
-        policies_.push_back(std::move(sg));
-        break;
-      }
-      case DtmMode::FetchGating: {
-        auto gate = std::make_unique<FetchGating>(
-            config_.smt.numThreads, config_.fetchGating);
-        policies_.push_back(std::move(gate));
-        auto sg = std::make_unique<StopAndGo>(config_.stopAndGo);
-        stopAndGo_ = sg.get();
-        policies_.push_back(std::move(sg));
-        break;
-      }
+    }
+
+    // One shared die: N tiles of the EV6 floorplan coupled across the
+    // tile seams, over one spreader/sink. A 1-core topology builds a
+    // network bit-identical to the original single-floorplan one.
+    thermal_ = std::make_unique<ThermalModel>(
+        Topology(Floorplan::ev6(), config_.topology), config_.thermal);
+
+    cores_.resize(static_cast<size_t>(numCores_));
+    for (int c = 0; c < numCores_; ++c) {
+        CoreState &core = cores_[static_cast<size_t>(c)];
+        core.programs.resize(
+            static_cast<size_t>(config_.smt.numThreads));
+        core.pipeline = std::make_unique<Pipeline>(config_.smt);
+        core.powerSnapshot =
+            std::make_unique<ActivityCounters::Snapshot>(
+                core.pipeline->activity());
+        core.control = std::make_unique<CoreControl>(*this, c);
+
+        switch (config_.dtm) {
+          case DtmMode::None:
+            break;
+          case DtmMode::StopAndGo: {
+            auto sg = std::make_unique<StopAndGo>(config_.stopAndGo);
+            core.stopAndGo = sg.get();
+            core.policies.push_back(std::move(sg));
+            break;
+          }
+          case DtmMode::SelectiveSedation: {
+            auto sed = std::make_unique<SelectiveSedation>(
+                config_.smt.numThreads, config_.sedation,
+                config_.monitorInterval);
+            core.sedation = sed.get();
+            core.policies.push_back(std::move(sed));
+            if (config_.descheduleRepeatOffenders) {
+                core.offenderTracker =
+                    std::make_unique<OffenderTracker>(
+                        config_.smt.numThreads, config_.offenderPolicy);
+                core.offenderTracker->setOnDeschedule(
+                    [this, c](ThreadId tid) {
+                        CoreState &cs = cores_[static_cast<size_t>(c)];
+                        cs.descheduled.push_back(tid);
+                        if (tracer_)
+                            tracer_->emit(cs.pipeline->cycle(),
+                                          TraceKind::OsDeschedule, tid,
+                                          traceNoBlock, 0.0,
+                                          cs.descheduled.size());
+                        cs.pipeline->setSedated(tid, true);
+                    });
+            }
+            core.sedation->setOsReport(
+                [this, c](const SedationEvent &event) {
+                    CoreState &cs = cores_[static_cast<size_t>(c)];
+                    if (cs.offenderTracker)
+                        cs.offenderTracker->onReport(event);
+                    if (userOsReport_)
+                        userOsReport_(event);
+                });
+            // Stop-and-go remains underneath as the safety net
+            // (Section 3.2.2).
+            auto sg = std::make_unique<StopAndGo>(config_.stopAndGo);
+            core.stopAndGo = sg.get();
+            core.policies.push_back(std::move(sg));
+            break;
+          }
+          case DtmMode::DvfsThrottle: {
+            auto dvfs = std::make_unique<DvfsThrottle>(config_.dvfs);
+            core.policies.push_back(std::move(dvfs));
+            auto sg = std::make_unique<StopAndGo>(config_.stopAndGo);
+            core.stopAndGo = sg.get();
+            core.policies.push_back(std::move(sg));
+            break;
+          }
+          case DtmMode::FetchGating: {
+            auto gate = std::make_unique<FetchGating>(
+                config_.smt.numThreads, config_.fetchGating);
+            core.policies.push_back(std::move(gate));
+            auto sg = std::make_unique<StopAndGo>(config_.stopAndGo);
+            core.stopAndGo = sg.get();
+            core.policies.push_back(std::move(sg));
+            break;
+          }
+        }
     }
 
     if (config_.traceEvents) {
+        // One shared ring for the whole die: cores emit in lockstep
+        // cycle order and every event is stamped with its core id, so
+        // the exported stream is deterministic and the drop-oldest
+        // budget covers the die, exactly as it covered the one core.
         tracer_ = std::make_unique<Tracer>(config_.traceCapacity);
-        pipeline_->setTracer(tracer_.get());
-        for (auto &policy : policies_)
-            policy->setTracer(tracer_.get());
+        for (CoreState &core : cores_) {
+            core.pipeline->setTracer(tracer_.get());
+            for (auto &policy : core.policies)
+                policy->setTracer(tracer_.get());
+        }
     }
 
-    // The episode detector always runs (it feeds the run-health
-    // histograms); without a tracer it simply emits no events.
-    episodes_ = std::make_unique<OnlineEpisodeDetector>(
-        config_.episodeTriggerTemp, config_.episodeResumeTemp,
-        tracer_.get());
-    episodes_->setDurationSinks(&histEpisodeHeat_, &histEpisodeCool_);
-    sedStart_.assign(static_cast<size_t>(config_.smt.numThreads), 0);
-
-    peakTemp_.fill(0.0);
+    for (CoreState &core : cores_) {
+        // The episode detector always runs (it feeds the run-health
+        // histograms); without a tracer it simply emits no events.
+        core.episodes = std::make_unique<OnlineEpisodeDetector>(
+            config_.episodeTriggerTemp, config_.episodeResumeTemp,
+            tracer_.get());
+        core.episodes->setDurationSinks(&core.histEpisodeHeat,
+                                        &core.histEpisodeCool);
+        core.sedStart.assign(
+            static_cast<size_t>(config_.smt.numThreads), 0);
+        core.peakTemp.fill(0.0);
+    }
 }
 
 Simulator::~Simulator() = default;
 
+Simulator::CoreState &
+Simulator::coreAt(int core)
+{
+    if (core < 0 || core >= numCores_)
+        fatal("Simulator: core %d out of range [0, %d)", core,
+              numCores_);
+    return cores_[static_cast<size_t>(core)];
+}
+
+const Simulator::CoreState &
+Simulator::coreAt(int core) const
+{
+    return const_cast<Simulator *>(this)->coreAt(core);
+}
+
+Pipeline &
+Simulator::pipeline(int core)
+{
+    return *coreAt(core).pipeline;
+}
+
+SelectiveSedation *
+Simulator::sedationPolicy(int core)
+{
+    return coreAt(core).sedation;
+}
+
+StopAndGo *
+Simulator::stopAndGoPolicy(int core)
+{
+    return coreAt(core).stopAndGo;
+}
+
+OffenderTracker *
+Simulator::offenderTracker(int core)
+{
+    return coreAt(core).offenderTracker.get();
+}
+
 void
 Simulator::setWorkload(ThreadId tid, Program program)
 {
-    if (tid < 0 || tid >= config_.smt.numThreads)
+    if (tid < 0 || tid >= static_cast<ThreadId>(coreOf_.size()))
         fatal("setWorkload: thread %d out of range", tid);
-    programs_[static_cast<size_t>(tid)] =
-        std::make_unique<Program>(std::move(program));
-    pipeline_->setThreadProgram(tid,
-                                programs_[static_cast<size_t>(tid)].get());
+    CoreState &core =
+        cores_[static_cast<size_t>(coreOf_[static_cast<size_t>(tid)])];
+    size_t slot = static_cast<size_t>(slotOf_[static_cast<size_t>(tid)]);
+    core.programs[slot] = std::make_unique<Program>(std::move(program));
+    core.pipeline->setThreadProgram(static_cast<ThreadId>(slot),
+                                    core.programs[slot].get());
+    core.hasWork = true;
 }
 
 // --- DtmControl ----------------------------------------------------------
 
 void
-Simulator::stallPipeline(bool stalled)
+Simulator::coreStallPipeline(int core, bool stalled)
 {
-    pipeline_->setGlobalStall(stalled);
+    cores_[static_cast<size_t>(core)].pipeline->setGlobalStall(stalled);
 }
 
 bool
-Simulator::pipelineStalled() const
+Simulator::corePipelineStalled(int core) const
 {
-    return pipeline_->globalStalled();
+    return cores_[static_cast<size_t>(core)].pipeline->globalStalled();
 }
 
 void
 Simulator::setOsReport(SelectiveSedation::OsReportFn fn)
 {
     userOsReport_ = std::move(fn);
-    if (!sedation_ && userOsReport_)
+    if (!cores_[0].sedation && userOsReport_)
         warn("setOsReport: no sedation policy; callback will not fire");
 }
 
 void
-Simulator::sedateThread(ThreadId tid, bool sedated)
+Simulator::coreSedateThread(int core, ThreadId tid, bool sedated)
 {
+    CoreState &cs = cores_[static_cast<size_t>(core)];
     // Threads the OS descheduled stay sedated no matter what the
     // hardware policy decides afterwards.
     if (!sedated) {
-        for (ThreadId d : descheduled_) {
+        for (ThreadId d : cs.descheduled) {
             if (d == tid)
                 return;
         }
     }
     size_t i = static_cast<size_t>(tid);
-    if (i < sedStart_.size()) {
-        if (sedated && sedStart_[i] == 0) {
-            sedStart_[i] = pipeline_->cycle() + 1;
-        } else if (!sedated && sedStart_[i] != 0) {
-            histSedation_.observe(static_cast<double>(
-                pipeline_->cycle() - (sedStart_[i] - 1)));
-            sedStart_[i] = 0;
+    if (i < cs.sedStart.size()) {
+        if (sedated && cs.sedStart[i] == 0) {
+            cs.sedStart[i] = cs.pipeline->cycle() + 1;
+        } else if (!sedated && cs.sedStart[i] != 0) {
+            cs.histSedation.observe(static_cast<double>(
+                cs.pipeline->cycle() - (cs.sedStart[i] - 1)));
+            cs.sedStart[i] = 0;
         }
     }
-    pipeline_->setSedated(tid, sedated);
+    cs.pipeline->setSedated(tid, sedated);
+}
+
+void
+Simulator::coreThrottleThread(int core, ThreadId tid, int every_k)
+{
+    CoreState &cs = cores_[static_cast<size_t>(core)];
+    // OS-descheduled threads stay fully sedated.
+    if (every_k <= 1) {
+        for (ThreadId d : cs.descheduled) {
+            if (d == tid)
+                return;
+        }
+    }
+    cs.pipeline->setThreadThrottle(tid, every_k);
+}
+
+void
+Simulator::coreThrottlePipeline(int core, int every_k)
+{
+    cores_[static_cast<size_t>(core)].pipeline->setThrottle(every_k);
+}
+
+bool
+Simulator::coreThreadActive(int core, ThreadId tid) const
+{
+    return cores_[static_cast<size_t>(core)].pipeline->thread(tid).state ==
+           ThreadState::Active;
+}
+
+void
+Simulator::stallPipeline(bool stalled)
+{
+    coreStallPipeline(0, stalled);
+}
+
+bool
+Simulator::pipelineStalled() const
+{
+    return corePipelineStalled(0);
+}
+
+void
+Simulator::sedateThread(ThreadId tid, bool sedated)
+{
+    coreSedateThread(0, tid, sedated);
 }
 
 void
 Simulator::throttleThread(ThreadId tid, int every_k)
 {
-    // OS-descheduled threads stay fully sedated.
-    if (every_k <= 1) {
-        for (ThreadId d : descheduled_) {
-            if (d == tid)
-                return;
-        }
-    }
-    pipeline_->setThreadThrottle(tid, every_k);
+    coreThrottleThread(0, tid, every_k);
 }
 
 void
 Simulator::throttlePipeline(int every_k)
 {
-    pipeline_->setThrottle(every_k);
+    coreThrottlePipeline(0, every_k);
 }
 
 int
@@ -236,34 +429,69 @@ Simulator::numThreads() const
 bool
 Simulator::threadActive(ThreadId tid) const
 {
-    return pipeline_->thread(tid).state == ThreadState::Active;
+    return coreThreadActive(0, tid);
 }
 
 // --- run loop ------------------------------------------------------------
 
+bool
+Simulator::allCoresHalted() const
+{
+    // A core with no bound programs never reports allHalted() (there
+    // is nothing to halt on it); the machine is done when every core
+    // that has work halted, and at least one core had work.
+    bool any = false;
+    for (const CoreState &core : cores_) {
+        if (!core.hasWork)
+            continue;
+        any = true;
+        if (!core.pipeline->allHalted())
+            return false;
+    }
+    return any;
+}
+
 void
-Simulator::countEmergencies(const std::vector<Kelvin> &temps)
+Simulator::initNominalSteadyState()
+{
+    std::vector<Watts> steady =
+        energy_->steadyPower(config_.nominalAccessRates);
+    if (numCores_ > 1) {
+        // Every tile starts the quantum at normal operation.
+        std::vector<Watts> all;
+        all.reserve(steady.size() * static_cast<size_t>(numCores_));
+        for (int c = 0; c < numCores_; ++c)
+            all.insert(all.end(), steady.begin(), steady.end());
+        thermal_->initSteadyState(all);
+    } else {
+        thermal_->initSteadyState(steady);
+    }
+}
+
+void
+Simulator::countEmergencies(CoreState &core)
 {
     for (int b = 0; b < numBlocks; ++b) {
         size_t i = static_cast<size_t>(b);
-        Kelvin t = temps[i];
-        peakTemp_[i] = std::max(peakTemp_[i], t);
-        if (!aboveEmergency_[i] && t >= config_.emergencyTemp) {
-            aboveEmergency_[i] = true;
-            ++emergencies_;
-            ++emergenciesPerBlock_[i];
+        Kelvin t = core.tempsBuf[i];
+        core.peakTemp[i] = std::max(core.peakTemp[i], t);
+        if (!core.aboveEmergency[i] && t >= config_.emergencyTemp) {
+            core.aboveEmergency[i] = true;
+            ++core.emergencies;
+            ++core.emergenciesPerBlock[i];
             if (tracer_)
-                tracer_->emit(pipeline_->cycle(),
+                tracer_->emit(core.pipeline->cycle(),
                               TraceKind::EmergencyUp, -1,
-                              static_cast<uint8_t>(b), t, emergencies_);
-        } else if (aboveEmergency_[i] &&
+                              static_cast<uint8_t>(b), t,
+                              core.emergencies);
+        } else if (core.aboveEmergency[i] &&
                    t < config_.emergencyTemp - 0.5) {
-            aboveEmergency_[i] = false;
+            core.aboveEmergency[i] = false;
             if (tracer_)
-                tracer_->emit(pipeline_->cycle(),
+                tracer_->emit(core.pipeline->cycle(),
                               TraceKind::EmergencyDown, -1,
                               static_cast<uint8_t>(b), t,
-                              emergenciesPerBlock_[i]);
+                              core.emergenciesPerBlock[i]);
         }
     }
 }
@@ -273,54 +501,81 @@ Simulator::sampleSensors()
 {
     auto prof_start = profiling_ ? std::chrono::steady_clock::now()
                                  : std::chrono::steady_clock::time_point{};
-    Cycles now = pipeline_->cycle();
-    Cycles active = pipeline_->activeCycles();
-    Cycles active_delta = active - lastActiveCycles_;
-    lastActiveCycles_ = active;
+    Cycles now = cores_[0].pipeline->cycle();
+    size_t nb = static_cast<size_t>(numBlocks);
 
-    // Both sample buffers are members: this runs every 20 K cycles and
-    // must not churn the heap.
-    energy_->windowPowerInto(pipeline_->activity(), *powerSnapshot_,
-                             config_.sensorInterval, active_delta,
-                             powerBuf_);
+    // All sample buffers are members: this runs every 20 K cycles and
+    // must not churn the heap. Per-core window powers concatenate into
+    // the shared die's power vector; the RC network steps once.
+    thermalPowerBuf_.resize(nb * static_cast<size_t>(numCores_));
+    for (int c = 0; c < numCores_; ++c) {
+        CoreState &core = cores_[static_cast<size_t>(c)];
+        Cycles active = core.pipeline->activeCycles();
+        Cycles active_delta = active - core.lastActiveCycles;
+        core.lastActiveCycles = active;
+        energy_->windowPowerInto(core.pipeline->activity(),
+                                 *core.powerSnapshot,
+                                 config_.sensorInterval, active_delta,
+                                 core.powerBuf);
+        std::copy(core.powerBuf.begin(), core.powerBuf.end(),
+                  thermalPowerBuf_.begin() +
+                      static_cast<ptrdiff_t>(static_cast<size_t>(c) * nb));
+    }
     double dt = static_cast<double>(config_.sensorInterval) /
                 config_.energy.frequencyHz;
-    thermal_->step(powerBuf_, dt);
-    energyAccumJ_ += EnergyModel::total(powerBuf_) * dt;
+    thermal_->step(thermalPowerBuf_, dt);
+    energyAccumJ_ += EnergyModel::total(thermalPowerBuf_) * dt;
 
-    tempsBuf_.resize(static_cast<size_t>(numBlocks));
-    for (int b = 0; b < numBlocks; ++b)
-        tempsBuf_[static_cast<size_t>(b)] =
-            thermal_->blockTemp(blockFromIndex(b));
+    Kelvin observed_max = 0.0;
+    for (int c = 0; c < numCores_; ++c) {
+        CoreState &core = cores_[static_cast<size_t>(c)];
+        if (tracer_)
+            tracer_->setCoreId(static_cast<uint8_t>(c));
 
-    // Emergencies are physical: counted on the true temperatures.
-    countEmergencies(tempsBuf_);
+        core.tempsBuf.resize(nb);
+        for (int b = 0; b < numBlocks; ++b)
+            core.tempsBuf[static_cast<size_t>(b)] =
+                thermal_->coreBlockTemp(c, blockFromIndex(b));
 
-    // The episode detector also observes physics, not noisy sensors:
-    // Section 3.1's heat/cool structure is a property of the chip.
-    episodes_->sample(
-        now,
-        tempsBuf_[static_cast<size_t>(blockIndex(Block::IntReg))]);
+        // Emergencies are physical: counted on the true temperatures.
+        countEmergencies(core);
 
-    // Run-health: queue-occupancy distributions sampled with the
-    // sensors (fixed-bucket observes, allocation-free).
-    histRuu_.observe(static_cast<double>(pipeline_->ruuOccupancy()));
-    histLsq_.observe(static_cast<double>(pipeline_->lsqOccupancy()));
+        // The episode detector also observes physics, not noisy
+        // sensors: Section 3.1's heat/cool structure is a property of
+        // the chip.
+        core.episodes->sample(
+            now, core.tempsBuf[static_cast<size_t>(
+                     blockIndex(Block::IntReg))]);
 
-    if (config_.sensorNoiseK > 0.0) {
-        // Policies observe imperfect sensors (deterministic stream).
-        for (Kelvin &t : tempsBuf_)
-            t += (sensorNoise_.nextDouble() * 2.0 - 1.0) *
-                 config_.sensorNoiseK;
+        // Run-health: queue-occupancy distributions sampled with the
+        // sensors (fixed-bucket observes, allocation-free).
+        core.histRuu.observe(
+            static_cast<double>(core.pipeline->ruuOccupancy()));
+        core.histLsq.observe(
+            static_cast<double>(core.pipeline->lsqOccupancy()));
+
+        if (config_.sensorNoiseK > 0.0) {
+            // Policies observe imperfect sensors (one deterministic
+            // stream for the die, drawn in core order).
+            for (Kelvin &t : core.tempsBuf)
+                t += (sensorNoise_.nextDouble() * 2.0 - 1.0) *
+                     config_.sensorNoiseK;
+        }
+
+        // What the policies are about to see, for runPrefix()'s
+        // divergence test: the observed (noised) maximum anywhere on
+        // the die, not the physical one.
+        Kelvin core_max = *std::max_element(core.tempsBuf.begin(),
+                                            core.tempsBuf.end());
+        if (c == 0 || core_max > observed_max)
+            observed_max = core_max;
+
+        for (auto &policy : core.policies)
+            policy->atSensorSample(now, core.tempsBuf, *core.control);
     }
-
-    // What the policies are about to see, for runPrefix()'s divergence
-    // test: the observed (noised) maximum, not the physical one.
-    lastObservedMax_ = *std::max_element(tempsBuf_.begin(),
-                                         tempsBuf_.end());
-
-    for (auto &policy : policies_)
-        policy->atSensorSample(now, tempsBuf_, *this);
+    lastObservedMax_ = observed_max;
+    if (tracer_)
+        tracer_->setCoreId(0);
 
     if (config_.recordTempTrace &&
         now - lastTraceAt_ >= config_.tempTraceInterval) {
@@ -348,8 +603,7 @@ Simulator::run()
     // RC-network temperatures already embed the warm start plus the
     // shared prefix's heating.
     if (!resumedFromSnapshot_)
-        thermal_->initSteadyState(
-            energy_->steadyPower(config_.nominalAccessRates));
+        initNominalSteadyState();
 
     const Cycles quantum = config_.quantumCycles;
     const Cycles sensor = config_.sensorInterval;
@@ -363,29 +617,38 @@ Simulator::run()
     Cycles toMonitor = monitor;
     Cycles toSensor = sensor;
 
-    const Cycles start_cycle = pipeline_->cycle();
+    const Cycles start_cycle = cores_[0].pipeline->cycle();
     uint64_t stalled_cycles = 0;
 
     auto wall_start = std::chrono::steady_clock::now();
-    while (pipeline_->cycle() < quantum) {
-        if (pipeline_->globalStalled()) {
-            // Nothing can change until a policy releases the pipeline
-            // at a sensor boundary: fast-forward to it. (Stalls begin
-            // at sensor samples, so toSensor is the full distance to
-            // the next boundary.) Monitor samples are skipped while
-            // stalled, as before; re-anchor that countdown to the
-            // landing cycle.
-            Cycles now = pipeline_->cycle();
+    while (cores_[0].pipeline->cycle() < quantum) {
+        bool all_stalled = true;
+        for (const CoreState &core : cores_) {
+            if (!core.pipeline->globalStalled()) {
+                all_stalled = false;
+                break;
+            }
+        }
+        if (all_stalled) {
+            // Nothing can change until a policy releases a pipeline at
+            // a sensor boundary: fast-forward every core to it.
+            // (Stalls begin at sensor samples, so toSensor is the full
+            // distance to the next boundary.) Monitor samples are
+            // skipped while stalled, as before; re-anchor that
+            // countdown to the landing cycle.
+            Cycles now = cores_[0].pipeline->cycle();
             Cycles delta = std::min(toSensor, quantum - now);
             if (profiling_) {
                 auto t0 = std::chrono::steady_clock::now();
-                pipeline_->advanceStalled(delta);
+                for (CoreState &core : cores_)
+                    core.pipeline->advanceStalled(delta);
                 profile_.stallSeconds +=
                     std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - t0)
                         .count();
             } else {
-                pipeline_->advanceStalled(delta);
+                for (CoreState &core : cores_)
+                    core.pipeline->advanceStalled(delta);
             }
             stalled_cycles += delta;
             toSensor -= delta;
@@ -397,19 +660,39 @@ Simulator::run()
                 sampleSensors();
             }
         } else {
-            pipeline_->tick();
+            // Lockstep cycle: stalled cores only account their stall
+            // (stop-and-go is per-core now), the rest execute.
+            for (size_t c = 0; c < cores_.size(); ++c) {
+                CoreState &core = cores_[c];
+                if (tracer_)
+                    tracer_->setCoreId(static_cast<uint8_t>(c));
+                if (core.pipeline->globalStalled())
+                    core.pipeline->advanceStalled(1);
+                else
+                    core.pipeline->tick();
+            }
             if (--toMonitor == 0) {
                 toMonitor = monitor;
-                for (auto &policy : policies_)
-                    policy->atMonitorSample(pipeline_->cycle(),
-                                            pipeline_->activity());
+                for (size_t c = 0; c < cores_.size(); ++c) {
+                    CoreState &core = cores_[c];
+                    if (core.pipeline->globalStalled())
+                        continue; // stalled cores skip monitor samples
+                    if (tracer_)
+                        tracer_->setCoreId(static_cast<uint8_t>(c));
+                    for (auto &policy : core.policies)
+                        policy->atMonitorSample(
+                            core.pipeline->cycle(),
+                            core.pipeline->activity());
+                }
             }
+            if (tracer_)
+                tracer_->setCoreId(0);
             if (--toSensor == 0) {
                 toSensor = sensor;
                 sampleSensors();
             }
         }
-        if (pipeline_->allHalted())
+        if (allCoresHalted())
             break;
     }
     double host_seconds =
@@ -419,25 +702,29 @@ Simulator::run()
 
     // Per-thread fetch-slot shares over the whole quantum: one
     // observation per scheduled thread, of its fraction of all
-    // I-cache fetch slots — how far the hammer starved its victims.
-    uint64_t fetch_total = 0;
-    for (ThreadId t = 0; t < config_.smt.numThreads; ++t)
-        fetch_total += pipeline_->activity().count(t, Block::Icache);
-    if (fetch_total) {
-        for (ThreadId t = 0; t < config_.smt.numThreads; ++t) {
-            if (pipeline_->thread(t).state == ThreadState::Idle)
-                continue;
-            histFetchShare_.observe(
-                static_cast<double>(
-                    pipeline_->activity().count(t, Block::Icache)) /
-                static_cast<double>(fetch_total));
+    // I-cache fetch slots on its core — how far the hammer starved its
+    // victims.
+    for (CoreState &core : cores_) {
+        uint64_t fetch_total = 0;
+        for (ThreadId t = 0; t < config_.smt.numThreads; ++t)
+            fetch_total +=
+                core.pipeline->activity().count(t, Block::Icache);
+        if (fetch_total) {
+            for (ThreadId t = 0; t < config_.smt.numThreads; ++t) {
+                if (core.pipeline->thread(t).state == ThreadState::Idle)
+                    continue;
+                core.histFetchShare.observe(
+                    static_cast<double>(core.pipeline->activity().count(
+                        t, Block::Icache)) /
+                    static_cast<double>(fetch_total));
+            }
         }
     }
 
     profile_.totalSeconds += host_seconds;
     profile_.stalledCycles += stalled_cycles;
     profile_.tickedCycles +=
-        (pipeline_->cycle() - start_cycle) - stalled_cycles;
+        (cores_[0].pipeline->cycle() - start_cycle) - stalled_cycles;
     // Whatever the loop did not spend sampling sensors or
     // fast-forwarding stalls was cycle-by-cycle execution.
     profile_.tickSeconds = profile_.totalSeconds -
@@ -453,15 +740,17 @@ void
 Simulator::save(SimSnapshot &snap) const
 {
     auto t0 = std::chrono::steady_clock::now();
-    Cycles now = pipeline_->cycle();
+    Cycles now = cores_[0].pipeline->cycle();
     if (now % config_.sensorInterval != 0)
         fatal("Simulator::save: cycle %llu is not a sensor boundary "
               "(interval %llu)",
               static_cast<unsigned long long>(now),
               static_cast<unsigned long long>(config_.sensorInterval));
-    if (pipeline_->globalStalled())
-        fatal("Simulator::save: cannot snapshot a stalled pipeline");
-    if (pipeline_->allHalted())
+    for (const CoreState &core : cores_) {
+        if (core.pipeline->globalStalled())
+            fatal("Simulator::save: cannot snapshot a stalled pipeline");
+    }
+    if (allCoresHalted())
         fatal("Simulator::save: cannot snapshot a halted machine (a "
               "restored run would re-test the halt one cycle later)");
 
@@ -488,33 +777,47 @@ Simulator::save(SimSnapshot &snap) const
     w.put<uint32_t>(config_.traceCapacity);
     w.put<double>(config_.episodeTriggerTemp);
     w.put<double>(config_.episodeResumeTemp);
+    // Topology axis: a fork must share the die composition and the
+    // thread placement (both are in the divergence key, so every
+    // member of a prefix group does).
+    w.put<int32_t>(numCores_);
+    w.put<double>(config_.topology.coreSpacing);
+    w.put<double>(config_.topology.couplingScale);
+    w.putVec(coreOf_);
 
-    pipeline_->saveState(w);
+    for (const CoreState &core : cores_)
+        core.pipeline->saveState(w);
     thermal_->saveState(w);
 
     w.putTag(stateTag("SIMS"));
-    w.put<Cycles>(lastActiveCycles_);
-    w.put<uint64_t>(emergencies_);
-    for (uint64_t e : emergenciesPerBlock_)
-        w.put<uint64_t>(e);
-    for (bool b : aboveEmergency_)
-        w.put<uint8_t>(b ? 1 : 0);
-    for (Kelvin t : peakTemp_)
-        w.put<double>(t);
+    for (const CoreState &core : cores_) {
+        w.put<Cycles>(core.lastActiveCycles);
+        w.put<uint64_t>(core.emergencies);
+        for (uint64_t e : core.emergenciesPerBlock)
+            w.put<uint64_t>(e);
+        for (bool b : core.aboveEmergency)
+            w.put<uint8_t>(b ? 1 : 0);
+        for (Kelvin t : core.peakTemp)
+            w.put<double>(t);
+    }
     w.put<double>(energyAccumJ_);
     for (uint64_t s : sensorNoise_.state())
         w.put<uint64_t>(s);
     w.putVec(tempTrace_);
     w.put<Cycles>(lastTraceAt_);
-    powerSnapshot_->saveState(w);
-    w.putVec(descheduled_);
+    for (const CoreState &core : cores_)
+        core.powerSnapshot->saveState(w);
+    for (const CoreState &core : cores_)
+        w.putVec(core.descheduled);
 
-    // Sedation usage monitor: the one piece of policy state that
+    // Sedation usage monitors: the one piece of policy state that
     // evolves unconditionally below the trigger, so forked sedation
     // cells need the prefix's copy transplanted.
-    w.put<uint8_t>(sedation_ ? 1 : 0);
-    if (sedation_)
-        sedation_->monitor().saveState(w);
+    for (const CoreState &core : cores_) {
+        w.put<uint8_t>(core.sedation ? 1 : 0);
+        if (core.sedation)
+            core.sedation->monitor().saveState(w);
+    }
 
     // Event tracer: traced forks must replay the prefix's event
     // history so their final traces are bit-identical to cold runs'.
@@ -522,22 +825,24 @@ Simulator::save(SimSnapshot &snap) const
     if (tracer_)
         tracer_->saveState(w);
 
-    // The episode detector always runs now (its phase machine feeds
-    // the run-health histograms), so its state is saved
-    // unconditionally.
-    episodes_->saveState(w);
+    // The episode detectors always run (their phase machines feed the
+    // run-health histograms), so their state is saved unconditionally.
+    for (const CoreState &core : cores_)
+        core.episodes->saveState(w);
 
     // Run-health histograms + sedation bookkeeping: forked cells must
     // resume with the prefix's distribution state so their exported
     // histograms match cold runs' bit for bit.
     w.putTag(stateTag("HMET"));
-    histEpisodeHeat_.saveState(w);
-    histEpisodeCool_.saveState(w);
-    histSedation_.saveState(w);
-    histRuu_.saveState(w);
-    histLsq_.saveState(w);
-    histFetchShare_.saveState(w);
-    w.putVec(sedStart_);
+    for (const CoreState &core : cores_) {
+        core.histEpisodeHeat.saveState(w);
+        core.histEpisodeCool.saveState(w);
+        core.histSedation.saveState(w);
+        core.histRuu.saveState(w);
+        core.histLsq.saveState(w);
+        core.histFetchShare.saveState(w);
+        w.putVec(core.sedStart);
+    }
 
     snap.cycle = now;
     ++profile_.snapshotOps;
@@ -554,10 +859,11 @@ Simulator::restore(const SimSnapshot &snap)
     auto t0 = std::chrono::steady_clock::now();
     if (snap.empty())
         fatal("Simulator::restore: empty snapshot");
-    if (pipeline_->cycle() != 0)
+    if (cores_[0].pipeline->cycle() != 0)
         fatal("Simulator::restore: only a freshly constructed "
               "simulator can restore (this one is at cycle %llu)",
-              static_cast<unsigned long long>(pipeline_->cycle()));
+              static_cast<unsigned long long>(
+                  cores_[0].pipeline->cycle()));
 
     StateReader r(snap.bytes);
     r.expectTag(stateTag("HSS1"), "SimSnapshot header");
@@ -577,6 +883,11 @@ Simulator::restore(const SimSnapshot &snap)
     uint32_t trace_cap = r.get<uint32_t>();
     double episode_trigger = r.get<double>();
     double episode_resume = r.get<double>();
+    int32_t num_cores = r.get<int32_t>();
+    double core_spacing = r.get<double>();
+    double coupling = r.get<double>();
+    std::vector<int> placement;
+    r.getVec(placement);
     if (threads != config_.smt.numThreads ||
         quantum != config_.quantumCycles ||
         sensor != config_.sensorInterval ||
@@ -591,22 +902,29 @@ Simulator::restore(const SimSnapshot &snap)
         etrace != config_.traceEvents ||
         (etrace && trace_cap != config_.traceCapacity) ||
         episode_trigger != config_.episodeTriggerTemp ||
-        episode_resume != config_.episodeResumeTemp)
+        episode_resume != config_.episodeResumeTemp ||
+        num_cores != numCores_ ||
+        core_spacing != config_.topology.coreSpacing ||
+        coupling != config_.topology.couplingScale ||
+        placement != coreOf_)
         fatal("Simulator::restore: snapshot comes from an incompatible "
               "configuration (prefix-invariant fields differ)");
 
-    pipeline_->restoreState(r);
+    for (CoreState &core : cores_)
+        core.pipeline->restoreState(r);
     thermal_->restoreState(r);
 
     r.expectTag(stateTag("SIMS"), "Simulator accounting");
-    lastActiveCycles_ = r.get<Cycles>();
-    emergencies_ = r.get<uint64_t>();
-    for (uint64_t &e : emergenciesPerBlock_)
-        e = r.get<uint64_t>();
-    for (size_t i = 0; i < aboveEmergency_.size(); ++i)
-        aboveEmergency_[i] = r.get<uint8_t>() != 0;
-    for (Kelvin &t : peakTemp_)
-        t = r.get<double>();
+    for (CoreState &core : cores_) {
+        core.lastActiveCycles = r.get<Cycles>();
+        core.emergencies = r.get<uint64_t>();
+        for (uint64_t &e : core.emergenciesPerBlock)
+            e = r.get<uint64_t>();
+        for (size_t i = 0; i < core.aboveEmergency.size(); ++i)
+            core.aboveEmergency[i] = r.get<uint8_t>() != 0;
+        for (Kelvin &t : core.peakTemp)
+            t = r.get<double>();
+    }
     energyAccumJ_ = r.get<double>();
     std::array<uint64_t, 4> rng_state;
     for (uint64_t &s : rng_state)
@@ -614,46 +932,55 @@ Simulator::restore(const SimSnapshot &snap)
     sensorNoise_.setState(rng_state);
     r.getVec(tempTrace_);
     lastTraceAt_ = r.get<Cycles>();
-    powerSnapshot_->restoreState(r);
-    r.getVec(descheduled_);
+    for (CoreState &core : cores_)
+        core.powerSnapshot->restoreState(r);
+    for (CoreState &core : cores_)
+        r.getVec(core.descheduled);
 
-    bool has_monitor = r.get<uint8_t>() != 0;
-    if (has_monitor) {
-        if (sedation_)
-            sedation_->monitor().restoreState(r, pipeline_->activity());
-        else
-            UsageMonitor::skipState(r);
-    } else if (sedation_) {
-        fatal("Simulator::restore: this configuration needs "
-              "usage-monitor state the snapshot does not carry");
+    for (CoreState &core : cores_) {
+        bool has_monitor = r.get<uint8_t>() != 0;
+        if (has_monitor) {
+            if (core.sedation)
+                core.sedation->monitor().restoreState(
+                    r, core.pipeline->activity());
+            else
+                UsageMonitor::skipState(r);
+        } else if (core.sedation) {
+            fatal("Simulator::restore: this configuration needs "
+                  "usage-monitor state the snapshot does not carry");
+        }
     }
 
     bool has_tracer = r.get<uint8_t>() != 0;
     if (has_tracer) {
         // The config echo above guarantees tracer_ exists here.
         tracer_->restoreState(r);
-        // The shared prefix runs under a (neutralised) sedation policy
+        // The shared prefix runs under (neutralised) sedation policies
         // and therefore records usage-monitor samples. A cold run of a
         // cell without a sedation policy never emits those; drop them
         // so forked and cold traces match (the trace-side twin of
         // UsageMonitor::skipState above).
-        if (!sedation_)
+        if (!cores_[0].sedation)
             tracer_->dropCategory(TraceCategory::Monitor);
     }
-    episodes_->restoreState(r);
+    for (CoreState &core : cores_)
+        core.episodes->restoreState(r);
 
     r.expectTag(stateTag("HMET"), "run-health histograms");
-    histEpisodeHeat_.restoreState(r);
-    histEpisodeCool_.restoreState(r);
-    histSedation_.restoreState(r);
-    histRuu_.restoreState(r);
-    histLsq_.restoreState(r);
-    histFetchShare_.restoreState(r);
-    r.getVec(sedStart_);
-    if (sedStart_.size() != static_cast<size_t>(config_.smt.numThreads))
-        fatal("Simulator::restore: sedation bookkeeping for %zu "
-              "threads, expected %d",
-              sedStart_.size(), config_.smt.numThreads);
+    for (CoreState &core : cores_) {
+        core.histEpisodeHeat.restoreState(r);
+        core.histEpisodeCool.restoreState(r);
+        core.histSedation.restoreState(r);
+        core.histRuu.restoreState(r);
+        core.histLsq.restoreState(r);
+        core.histFetchShare.restoreState(r);
+        r.getVec(core.sedStart);
+        if (core.sedStart.size() !=
+            static_cast<size_t>(config_.smt.numThreads))
+            fatal("Simulator::restore: sedation bookkeeping for %zu "
+                  "threads, expected %d",
+                  core.sedStart.size(), config_.smt.numThreads);
+    }
     if (!r.done())
         fatal("Simulator::restore: %zu trailing bytes (snapshot layout "
               "mismatch)",
@@ -672,14 +999,13 @@ Cycles
 Simulator::runPrefix(Kelvin diverge_temp, Cycles stride_samples,
                      SimSnapshot &out)
 {
-    if (pipeline_->cycle() != 0)
+    if (cores_[0].pipeline->cycle() != 0)
         fatal("Simulator::runPrefix: needs a freshly constructed "
               "simulator");
     if (stride_samples == 0)
         stride_samples = 1;
 
-    thermal_->initSteadyState(
-        energy_->steadyPower(config_.nominalAccessRates));
+    initNominalSteadyState();
 
     const Cycles quantum = config_.quantumCycles;
     const Cycles sensor = config_.sensorInterval;
@@ -692,18 +1018,30 @@ Simulator::runPrefix(Kelvin diverge_temp, Cycles stride_samples,
     // Mirrors run()'s cycle loop exactly (tick, monitor sample, sensor
     // sample, halt test, in that order) so the prefix's history is the
     // same history every cold group member would have produced.
-    while (pipeline_->cycle() < quantum) {
-        if (pipeline_->globalStalled())
-            fatal("Simulator::runPrefix: the pipeline stalled — the "
-                  "prefix simulator's DTM thresholds were not "
-                  "neutralised");
-        pipeline_->tick();
+    while (cores_[0].pipeline->cycle() < quantum) {
+        for (size_t c = 0; c < cores_.size(); ++c) {
+            CoreState &core = cores_[c];
+            if (core.pipeline->globalStalled())
+                fatal("Simulator::runPrefix: the pipeline stalled — "
+                      "the prefix simulator's DTM thresholds were not "
+                      "neutralised");
+            if (tracer_)
+                tracer_->setCoreId(static_cast<uint8_t>(c));
+            core.pipeline->tick();
+        }
         if (--toMonitor == 0) {
             toMonitor = monitor;
-            for (auto &policy : policies_)
-                policy->atMonitorSample(pipeline_->cycle(),
-                                        pipeline_->activity());
+            for (size_t c = 0; c < cores_.size(); ++c) {
+                CoreState &core = cores_[c];
+                if (tracer_)
+                    tracer_->setCoreId(static_cast<uint8_t>(c));
+                for (auto &policy : core.policies)
+                    policy->atMonitorSample(core.pipeline->cycle(),
+                                            core.pipeline->activity());
+            }
         }
+        if (tracer_)
+            tracer_->setCoreId(0);
         if (--toSensor == 0) {
             toSensor = sensor;
             sampleSensors();
@@ -715,16 +1053,17 @@ Simulator::runPrefix(Kelvin diverge_temp, Cycles stride_samples,
             // Never hand out a snapshot at or beyond a halt: a cold
             // run breaks here, while a restored run would tick once
             // more before re-testing the halt.
-            if (pipeline_->allHalted())
+            if (allCoresHalted())
                 break;
             ++samples_since_save;
-            bool last_boundary = quantum - pipeline_->cycle() < sensor;
+            bool last_boundary =
+                quantum - cores_[0].pipeline->cycle() < sensor;
             if (samples_since_save >= stride_samples || last_boundary) {
                 save(out);
-                fork_cycle = pipeline_->cycle();
+                fork_cycle = cores_[0].pipeline->cycle();
                 samples_since_save = 0;
             }
-        } else if (pipeline_->allHalted()) {
+        } else if (allCoresHalted()) {
             break;
         }
     }
@@ -735,30 +1074,42 @@ RunResult
 Simulator::collectResults(double host_seconds) const
 {
     RunResult result;
-    result.cycles = pipeline_->cycle();
-    result.activeCycles = pipeline_->activeCycles();
+    result.numCores = numCores_;
+    result.cycles = cores_[0].pipeline->cycle();
+    // Aggregate view: the most active core's clock (identical to the
+    // single core's on a 1-core die); per-core values sit in cores[].
+    result.activeCycles = 0;
+    for (const CoreState &core : cores_)
+        result.activeCycles = std::max(result.activeCycles,
+                                       core.pipeline->activeCycles());
     result.hostSeconds = host_seconds;
     result.simCyclesPerHostSec =
         host_seconds > 0.0
             ? static_cast<double>(result.cycles) / host_seconds
             : 0.0;
 
-    const Cache &l1d = pipeline_->mem().l1d();
-    double l1d_missrate = l1d.missRate();
-    double l2_missrate = pipeline_->mem().l2().missRate();
-    uint64_t bp_lookups = pipeline_->bpred().lookups();
-    double bp_accuracy =
-        bp_lookups ? 1.0 - static_cast<double>(
-                               pipeline_->bpred().mispredicts()) /
-                               static_cast<double>(bp_lookups)
-                   : 1.0;
-
-    for (ThreadId t = 0; t < config_.smt.numThreads; ++t) {
-        const ThreadContext &tc = pipeline_->thread(t);
+    // Threads appear in global-context order, each reported against
+    // its own core's (per-core) caches and predictor.
+    for (size_t g = 0; g < coreOf_.size(); ++g) {
+        int c = coreOf_[g];
+        const CoreState &core = cores_[static_cast<size_t>(c)];
+        ThreadId t = slotOf_[g];
+        const ThreadContext &tc = core.pipeline->thread(t);
         if (tc.state == ThreadState::Idle)
             continue;
+        const Cache &l1d = core.pipeline->mem().l1d();
+        double l1d_missrate = l1d.missRate();
+        double l2_missrate = core.pipeline->mem().l2().missRate();
+        uint64_t bp_lookups = core.pipeline->bpred().lookups();
+        double bp_accuracy =
+            bp_lookups
+                ? 1.0 - static_cast<double>(
+                            core.pipeline->bpred().mispredicts()) /
+                            static_cast<double>(bp_lookups)
+                : 1.0;
         ThreadResult tr;
         tr.program = tc.program ? tc.program->name() : "";
+        tr.core = c;
         tr.committed = tc.committedInsts;
         tr.ipc = result.cycles
                      ? static_cast<double>(tc.committedInsts) /
@@ -769,15 +1120,15 @@ Simulator::collectResults(double host_seconds) const
         tr.sedationCycles = tc.sedationCycles;
         tr.intRegAccessRate =
             result.cycles
-                ? static_cast<double>(
-                      pipeline_->activity().count(t, Block::IntReg)) /
+                ? static_cast<double>(core.pipeline->activity().count(
+                      t, Block::IntReg)) /
                       static_cast<double>(result.cycles)
                 : 0.0;
         tr.l1dMissRate = l1d_missrate;
         tr.l2MissRate = l2_missrate;
         tr.bpredAccuracy = bp_accuracy;
-        uint64_t fp = pipeline_->activity().count(t, Block::FpAdd) +
-                      pipeline_->activity().count(t, Block::FpMul);
+        uint64_t fp = core.pipeline->activity().count(t, Block::FpAdd) +
+                      core.pipeline->activity().count(t, Block::FpMul);
         tr.fpPerInst = tc.committedInsts
                            ? static_cast<double>(fp) /
                                  static_cast<double>(tc.committedInsts)
@@ -785,24 +1136,57 @@ Simulator::collectResults(double host_seconds) const
         result.threads.push_back(std::move(tr));
     }
 
-    result.emergencies = emergencies_;
-    result.emergenciesPerBlock = emergenciesPerBlock_;
-    result.peakTemp = peakTemp_;
+    // Aggregate the thermal accounting: counters sum across the die,
+    // peaks take the per-block maximum over the cores.
+    result.emergencies = 0;
+    result.emergenciesPerBlock.fill(0);
+    result.peakTemp.fill(0.0);
+    for (const CoreState &core : cores_) {
+        result.emergencies += core.emergencies;
+        for (int b = 0; b < numBlocks; ++b) {
+            size_t i = static_cast<size_t>(b);
+            result.emergenciesPerBlock[i] += core.emergenciesPerBlock[i];
+            result.peakTemp[i] =
+                std::max(result.peakTemp[i], core.peakTemp[i]);
+        }
+    }
     result.peakTempOverall = 0;
     for (int b = 0; b < numBlocks; ++b) {
-        if (peakTemp_[static_cast<size_t>(b)] > result.peakTempOverall) {
-            result.peakTempOverall = peakTemp_[static_cast<size_t>(b)];
+        if (result.peakTemp[static_cast<size_t>(b)] >
+            result.peakTempOverall) {
+            result.peakTempOverall =
+                result.peakTemp[static_cast<size_t>(b)];
             result.hottestBlock = blockFromIndex(b);
         }
     }
 
-    if (stopAndGo_) {
-        result.stopAndGoTriggers = stopAndGo_->triggers();
-        result.coolingStallCycles = stopAndGo_->stallCycles();
+    result.stopAndGoTriggers = 0;
+    result.coolingStallCycles = 0;
+    for (const CoreState &core : cores_) {
+        if (core.stopAndGo) {
+            result.stopAndGoTriggers += core.stopAndGo->triggers();
+            result.coolingStallCycles += core.stopAndGo->stallCycles();
+        }
     }
-    if (sedation_)
-        result.sedationEvents = sedation_->events();
-    result.descheduledThreads = descheduled_;
+    // Per-core policy actions merge in core order with thread ids
+    // remapped to the result's global numbering.
+    for (size_t c = 0; c < cores_.size(); ++c) {
+        const CoreState &core = cores_[c];
+        if (core.sedation) {
+            for (SedationEvent e : core.sedation->events()) {
+                if (e.thread >= 0 &&
+                    static_cast<size_t>(e.thread) < globalOf_[c].size())
+                    e.thread = globalOf_[c][static_cast<size_t>(e.thread)];
+                result.sedationEvents.push_back(e);
+            }
+        }
+        for (ThreadId d : core.descheduled) {
+            ThreadId g = d;
+            if (d >= 0 && static_cast<size_t>(d) < globalOf_[c].size())
+                g = globalOf_[c][static_cast<size_t>(d)];
+            result.descheduledThreads.push_back(g);
+        }
+    }
 
     double seconds = static_cast<double>(result.cycles) /
                      config_.energy.frequencyHz;
@@ -813,24 +1197,63 @@ Simulator::collectResults(double host_seconds) const
         result.traceEventsDropped = tracer_->dropped();
     }
 
-    result.histograms = {
-        {"sim.episode_heat_cycles",
-         "heating duration of completed heat episodes (cycles)",
-         histEpisodeHeat_},
-        {"sim.episode_cool_cycles",
-         "cooling duration of completed heat episodes (cycles)",
-         histEpisodeCool_},
-        {"sim.sedation_span_cycles",
-         "length of completed per-thread sedation spans (cycles)",
-         histSedation_},
-        {"sim.ruu_occupancy",
-         "RUU entries in use at each sensor sample", histRuu_},
-        {"sim.lsq_occupancy",
-         "LSQ entries in use at each sensor sample", histLsq_},
-        {"sim.fetch_slot_share",
-         "per-thread share of all fetch slots over the quantum",
-         histFetchShare_},
+    if (numCores_ > 1) {
+        for (size_t c = 0; c < cores_.size(); ++c) {
+            const CoreState &core = cores_[c];
+            CoreResult cr;
+            cr.core = static_cast<int>(c);
+            cr.activeCycles = core.pipeline->activeCycles();
+            cr.emergencies = core.emergencies;
+            cr.emergenciesPerBlock = core.emergenciesPerBlock;
+            cr.peakTemp = core.peakTemp;
+            cr.peakTempOverall = 0;
+            for (int b = 0; b < numBlocks; ++b) {
+                if (core.peakTemp[static_cast<size_t>(b)] >
+                    cr.peakTempOverall) {
+                    cr.peakTempOverall =
+                        core.peakTemp[static_cast<size_t>(b)];
+                    cr.hottestBlock = blockFromIndex(b);
+                }
+            }
+            if (core.stopAndGo) {
+                cr.stopAndGoTriggers = core.stopAndGo->triggers();
+                cr.coolingStallCycles = core.stopAndGo->stallCycles();
+            }
+            result.cores.push_back(cr);
+        }
+    }
+
+    // Histogram names keep their historical single-core form on a
+    // 1-core die; multi-core dies export one set per core, prefixed.
+    auto histName = [&](size_t c, const char *name) {
+        return numCores_ == 1 ? std::string(name)
+                              : strprintf("core%zu.%s", c, name);
     };
+    for (size_t c = 0; c < cores_.size(); ++c) {
+        const CoreState &core = cores_[c];
+        result.histograms.push_back(
+            {histName(c, "sim.episode_heat_cycles"),
+             "heating duration of completed heat episodes (cycles)",
+             core.histEpisodeHeat});
+        result.histograms.push_back(
+            {histName(c, "sim.episode_cool_cycles"),
+             "cooling duration of completed heat episodes (cycles)",
+             core.histEpisodeCool});
+        result.histograms.push_back(
+            {histName(c, "sim.sedation_span_cycles"),
+             "length of completed per-thread sedation spans (cycles)",
+             core.histSedation});
+        result.histograms.push_back(
+            {histName(c, "sim.ruu_occupancy"),
+             "RUU entries in use at each sensor sample", core.histRuu});
+        result.histograms.push_back(
+            {histName(c, "sim.lsq_occupancy"),
+             "LSQ entries in use at each sensor sample", core.histLsq});
+        result.histograms.push_back(
+            {histName(c, "sim.fetch_slot_share"),
+             "per-thread share of all fetch slots over the quantum",
+             core.histFetchShare});
+    }
     return result;
 }
 
@@ -863,12 +1286,23 @@ class StatSection
 void
 Simulator::dumpStats(std::ostream &os) const
 {
-    const Pipeline &pipe = *pipeline_;
+    // Per-core groups carry a "coreN." prefix only on multi-core dies,
+    // so single-core reports keep their historical bytes.
+    auto corePrefix = [&](size_t c) {
+        return numCores_ == 1 ? std::string() : strprintf("core%zu.", c);
+    };
     {
+        const Pipeline &pipe = *cores_[0].pipeline;
+        uint64_t total_emergencies = 0;
+        for (const CoreState &core : cores_)
+            total_emergencies += core.emergencies;
+        Cycles active = 0;
+        for (const CoreState &core : cores_)
+            active = std::max(active, core.pipeline->activeCycles());
         StatSection s("sim");
         s.add("cycles", static_cast<double>(pipe.cycle()),
               "simulated cycles");
-        s.add("active_cycles", static_cast<double>(pipe.activeCycles()),
+        s.add("active_cycles", static_cast<double>(active),
               "cycles the pipeline clock ran");
         s.add("avg_power_w",
               energyAccumJ_ /
@@ -876,59 +1310,65 @@ Simulator::dumpStats(std::ostream &os) const
                            static_cast<double>(pipe.cycle()) /
                                config_.energy.frequencyHz),
               "average chip power");
-        s.add("emergencies", static_cast<double>(emergencies_),
+        s.add("emergencies", static_cast<double>(total_emergencies),
               "358 K crossings");
         s.dump(os);
     }
-    for (ThreadId t = 0; t < config_.smt.numThreads; ++t) {
-        const ThreadContext &tc = pipe.thread(t);
-        if (tc.state == ThreadState::Idle)
-            continue;
-        StatSection s(strprintf("thread%d", t));
-        s.add("program", 0.0, tc.program ? tc.program->name() : "-");
-        s.add("committed", static_cast<double>(tc.committedInsts),
-              "committed instructions");
-        s.add("ipc",
-              pipe.cycle() ? static_cast<double>(tc.committedInsts) /
-                                 static_cast<double>(pipe.cycle())
-                           : 0.0,
-              "instructions per cycle");
-        s.add("loads", static_cast<double>(tc.committedLoads),
-              "committed loads");
-        s.add("stores", static_cast<double>(tc.committedStores),
-              "committed stores");
-        s.add("branches", static_cast<double>(tc.committedBranches),
-              "committed control instructions");
-        s.add("squashed", static_cast<double>(tc.squashedInsts),
-              "squashed instructions");
-        s.add("normal_cycles", static_cast<double>(tc.normalCycles),
-              "cycles in normal operation");
-        s.add("cooling_cycles", static_cast<double>(tc.coolingCycles),
-              "cycles stalled by stop-and-go");
-        s.add("sedation_cycles",
-              static_cast<double>(tc.sedationCycles),
-              "cycles sedated");
-        s.add("intreg_rate",
-              pipe.cycle()
-                  ? static_cast<double>(
-                        pipe.activity().count(t, Block::IntReg)) /
-                        static_cast<double>(pipe.cycle())
-                  : 0.0,
-              "integer register file accesses per cycle");
-        s.dump(os);
+    for (size_t c = 0; c < cores_.size(); ++c) {
+        const Pipeline &pipe = *cores_[c].pipeline;
+        for (ThreadId t = 0; t < config_.smt.numThreads; ++t) {
+            const ThreadContext &tc = pipe.thread(t);
+            if (tc.state == ThreadState::Idle)
+                continue;
+            StatSection s(
+                strprintf("%sthread%d", corePrefix(c).c_str(), t));
+            s.add("program", 0.0, tc.program ? tc.program->name() : "-");
+            s.add("committed", static_cast<double>(tc.committedInsts),
+                  "committed instructions");
+            s.add("ipc",
+                  pipe.cycle() ? static_cast<double>(tc.committedInsts) /
+                                     static_cast<double>(pipe.cycle())
+                               : 0.0,
+                  "instructions per cycle");
+            s.add("loads", static_cast<double>(tc.committedLoads),
+                  "committed loads");
+            s.add("stores", static_cast<double>(tc.committedStores),
+                  "committed stores");
+            s.add("branches",
+                  static_cast<double>(tc.committedBranches),
+                  "committed control instructions");
+            s.add("squashed", static_cast<double>(tc.squashedInsts),
+                  "squashed instructions");
+            s.add("normal_cycles", static_cast<double>(tc.normalCycles),
+                  "cycles in normal operation");
+            s.add("cooling_cycles",
+                  static_cast<double>(tc.coolingCycles),
+                  "cycles stalled by stop-and-go");
+            s.add("sedation_cycles",
+                  static_cast<double>(tc.sedationCycles),
+                  "cycles sedated");
+            s.add("intreg_rate",
+                  pipe.cycle()
+                      ? static_cast<double>(
+                            pipe.activity().count(t, Block::IntReg)) /
+                            static_cast<double>(pipe.cycle())
+                      : 0.0,
+                  "integer register file accesses per cycle");
+            s.dump(os);
+        }
     }
-    {
-        const MemoryHierarchy &mem = pipe.mem();
-        StatSection s("mem");
-        auto cache = [&](const char *name, const Cache &c) {
+    for (size_t c = 0; c < cores_.size(); ++c) {
+        const MemoryHierarchy &mem = cores_[c].pipeline->mem();
+        StatSection s(corePrefix(c) + "mem");
+        auto cache = [&](const char *name, const Cache &cch) {
             s.add(strprintf("%s.hits", name),
-                  static_cast<double>(c.hits()), "cache hits");
+                  static_cast<double>(cch.hits()), "cache hits");
             s.add(strprintf("%s.misses", name),
-                  static_cast<double>(c.misses()), "cache misses");
-            s.add(strprintf("%s.miss_rate", name), c.missRate(),
+                  static_cast<double>(cch.misses()), "cache misses");
+            s.add(strprintf("%s.miss_rate", name), cch.missRate(),
                   "miss rate");
             s.add(strprintf("%s.writebacks", name),
-                  static_cast<double>(c.writebacks()),
+                  static_cast<double>(cch.writebacks()),
                   "dirty evictions");
         };
         cache("l1i", mem.l1i());
@@ -939,9 +1379,9 @@ Simulator::dumpStats(std::ostream &os) const
               "L2 victims written to memory");
         s.dump(os);
     }
-    {
-        const BranchPredictor &bp = pipe.bpred();
-        StatSection s("bpred");
+    for (size_t c = 0; c < cores_.size(); ++c) {
+        const BranchPredictor &bp = cores_[c].pipeline->bpred();
+        StatSection s(corePrefix(c) + "bpred");
         s.add("lookups", static_cast<double>(bp.lookups()),
               "direction predictions");
         s.add("mispredicts", static_cast<double>(bp.mispredicts()),
@@ -954,41 +1394,61 @@ Simulator::dumpStats(std::ostream &os) const
               "prediction accuracy");
         s.dump(os);
     }
-    {
-        StatSection s("thermal");
+    for (size_t c = 0; c < cores_.size(); ++c) {
+        StatSection s(corePrefix(c) + "thermal");
         for (int b = 0; b < numBlocks; ++b) {
             Block block = blockFromIndex(b);
             s.add(strprintf("%s.temp_k", blockName(block)),
-                  thermal_->blockTemp(block), "current temperature");
+                  thermal_->coreBlockTemp(static_cast<int>(c), block),
+                  "current temperature");
             s.add(strprintf("%s.peak_k", blockName(block)),
-                  peakTemp_[static_cast<size_t>(b)],
+                  cores_[c].peakTemp[static_cast<size_t>(b)],
                   "peak temperature this run");
         }
-        s.add("sink_k", thermal_->sinkTemp(), "heat-sink temperature");
+        // The sink is shared by the whole die: report it once, with
+        // the last core's section (the only section on one core).
+        if (c + 1 == cores_.size())
+            s.add("sink_k", thermal_->sinkTemp(),
+                  "heat-sink temperature");
         s.dump(os);
     }
     {
+        uint64_t triggers = 0, stall_cycles = 0, sed_events = 0,
+                 desched = 0;
+        bool any_sg = false, any_sed = false;
+        for (const CoreState &core : cores_) {
+            if (core.stopAndGo) {
+                any_sg = true;
+                triggers += core.stopAndGo->triggers();
+                stall_cycles += core.stopAndGo->stallCycles();
+            }
+            if (core.sedation) {
+                any_sed = true;
+                sed_events += core.sedation->events().size();
+            }
+            desched += core.descheduled.size();
+        }
         StatSection s("dtm");
         s.add("mode", 0.0, dtmModeName(config_.dtm));
-        if (stopAndGo_) {
-            s.add("stop_and_go.triggers",
-                  static_cast<double>(stopAndGo_->triggers()),
+        if (any_sg) {
+            s.add("stop_and_go.triggers", static_cast<double>(triggers),
                   "global stalls");
             s.add("stop_and_go.stall_cycles",
-                  static_cast<double>(stopAndGo_->stallCycles()),
+                  static_cast<double>(stall_cycles),
                   "cycles stalled globally");
         }
-        if (sedation_) {
-            s.add("sedation.events",
-                  static_cast<double>(sedation_->events().size()),
+        if (any_sed) {
+            s.add("sedation.events", static_cast<double>(sed_events),
                   "sedation actions");
         }
-        s.add("descheduled",
-              static_cast<double>(descheduled_.size()),
+        s.add("descheduled", static_cast<double>(desched),
               "threads removed by the OS extension");
         s.dump(os);
     }
     if (tracer_) {
+        uint64_t episodes_done = 0;
+        for (const CoreState &core : cores_)
+            episodes_done += core.episodes->completed();
         StatSection s("trace");
         s.add("events_buffered", static_cast<double>(tracer_->size()),
               "events held in the ring");
@@ -996,8 +1456,7 @@ Simulator::dumpStats(std::ostream &os) const
               "events ever recorded");
         s.add("events_dropped", static_cast<double>(tracer_->dropped()),
               "events lost to ring overflow");
-        s.add("episodes_completed",
-              static_cast<double>(episodes_->completed()),
+        s.add("episodes_completed", static_cast<double>(episodes_done),
               "heat/cool episodes observed");
         s.dump(os);
     }

@@ -1,14 +1,21 @@
 /**
  * @file
- * Top-level simulator: SMT pipeline + Wattch-style energy model +
- * HotSpot-style thermal model + DTM policies, run for one OS quantum.
+ * Top-level simulator: N SMT cores (pipeline + Wattch-style energy
+ * model + DTM policies each) on one shared HotSpot-style thermal die,
+ * run for one OS quantum.
  *
- * The drive loop follows Section 4 of the paper: the pipeline runs
- * cycle by cycle; every monitorInterval (1 K) cycles the sedation usage
- * monitor samples the activity counters; every sensorInterval (20 K)
- * cycles the block powers for the window are computed, the thermal
- * network is stepped, temperature emergencies are counted, and the DTM
- * policies observe the sensors and act.
+ * The drive loop follows Section 4 of the paper: every core's pipeline
+ * runs cycle by cycle in lockstep; every monitorInterval (1 K) cycles
+ * each core's sedation usage monitor samples its activity counters;
+ * every sensorInterval (20 K) cycles the per-block powers of every
+ * core are computed, the shared thermal network is stepped once, each
+ * core's temperature emergencies are counted, and each core's DTM
+ * policies observe that core's sensors and act on that core alone.
+ *
+ * A 1-core configuration (the default) is exactly the original
+ * single-core simulator: same loop, same sampling order, same output
+ * bytes. The topology axis (docs/TOPOLOGY.md) only adds state when
+ * SimConfig::topology.numCores > 1.
  */
 
 #ifndef HS_SIM_SIMULATOR_HH
@@ -30,6 +37,7 @@
 #include "sim/snapshot.hh"
 #include "smt/pipeline.hh"
 #include "thermal/thermal_model.hh"
+#include "thermal/topology.hh"
 #include "trace/metrics.hh"
 #include "trace/tracer.hh"
 
@@ -69,9 +77,19 @@ const char *dtmModeName(DtmMode mode);
 /** Full configuration of one run. */
 struct SimConfig
 {
-    SmtParams smt{};
+    SmtParams smt{}; ///< per-core geometry (numThreads = contexts/core)
     EnergyParams energy = EnergyParams::defaults();
     ThermalParams thermal{};
+    /** Die composition (docs/TOPOLOGY.md): how many core tiles share
+     *  the spreader/sink, their spacing and the cross-core coupling
+     *  knob. numCores = 1 (default) is the original single-core die. */
+    TopologyParams topology{};
+    /**
+     * Core each workload (global thread id) runs on; empty places every
+     * workload on core 0. Entries must lie in [0, topology.numCores)
+     * and no core may receive more than smt.numThreads workloads.
+     */
+    std::vector<int> placement;
     Cycles quantumCycles = 500'000'000; ///< Section 4: one OS quantum
     Cycles sensorInterval = 20'000;     ///< Section 4
     Cycles monitorInterval = 1'000;     ///< Section 3.2.1
@@ -123,7 +141,13 @@ class Simulator : public DtmControl
     explicit Simulator(const SimConfig &config = {});
     ~Simulator() override;
 
-    /** Bind a copy of @p program to hardware context @p tid. */
+    /**
+     * Bind a copy of @p program to global hardware context @p tid.
+     * Global contexts map onto cores through SimConfig::placement: a
+     * workload's core is placement[tid] (core 0 when the placement is
+     * empty) and its core-local slot is the count of earlier workloads
+     * placed on the same core.
+     */
     void setWorkload(ThreadId tid, Program program);
 
     /** Run one OS quantum and return the results. */
@@ -131,20 +155,22 @@ class Simulator : public DtmControl
 
     /**
      * Serialise the complete simulator state into @p snap. Only legal
-     * at a sensor boundary with the pipeline neither stalled nor fully
-     * halted: those are the only points at which a restored run() can
-     * re-enter its loop bit-identically (countdowns restart full, and
-     * a halted machine would be re-tested one cycle late).
+     * at a sensor boundary with no core's pipeline stalled and the
+     * machine not fully halted: those are the only points at which a
+     * restored run() can re-enter its loop bit-identically (countdowns
+     * restart full, and a halted machine would be re-tested one cycle
+     * late).
      */
     void save(SimSnapshot &snap) const;
 
     /**
      * Resume from @p snap. Only legal on a freshly constructed
      * simulator whose configuration matches the snapshot's
-     * prefix-invariant fields and whose workloads are already bound
-     * (program text is not serialised). The next run() continues from
-     * the snapshot cycle and produces results bit-identical to a cold
-     * run of the same configuration.
+     * prefix-invariant fields (including topology and placement) and
+     * whose workloads are already bound (program text is not
+     * serialised). The next run() continues from the snapshot cycle
+     * and produces results bit-identical to a cold run of the same
+     * configuration.
      */
     void restore(const SimSnapshot &snap);
 
@@ -152,11 +178,11 @@ class Simulator : public DtmControl
      * Run the shared warm-up prefix of an experiment group: execute
      * like run(), but snapshot into @p out every @p stride_samples
      * sensor samples, stopping (without saving) as soon as the
-     * observed hottest temperature reaches @p diverge_temp — from that
-     * sample on, some group member's DTM policy could act, so the
-     * members' futures are no longer provably identical — or the
-     * machine halts. The caller must have neutralised this simulator's
-     * own DTM thresholds so the prefix itself never acts.
+     * observed hottest temperature of any core reaches @p diverge_temp
+     * — from that sample on, some group member's DTM policy could act,
+     * so the members' futures are no longer provably identical — or
+     * the machine halts. The caller must have neutralised this
+     * simulator's own DTM thresholds so the prefix itself never acts.
      *
      * @return the cycle of the last snapshot taken (0 = none).
      */
@@ -167,32 +193,44 @@ class Simulator : public DtmControl
     void setProfiling(bool on) { profiling_ = on; }
     const SimProfile &profile() const { return profile_; }
 
-    // Component access (examples / tests).
-    Pipeline &pipeline() { return *pipeline_; }
+    /** Number of composed cores (1 = the classic single-core die). */
+    int numCores() const { return numCores_; }
+
+    // Component access (examples / tests); core-indexed where the
+    // state became per-core, defaulting to core 0 (the single core).
+    Pipeline &pipeline(int core = 0);
     ThermalModel &thermal() { return *thermal_; }
     EnergyModel &energy() { return *energy_; }
     const SimConfig &config() const { return config_; }
-    /** The sedation policy if DtmMode::SelectiveSedation, else null. */
-    SelectiveSedation *sedationPolicy() { return sedation_; }
-    /** The stop-and-go policy (base case or safety net), else null. */
-    StopAndGo *stopAndGoPolicy() { return stopAndGo_; }
-    /** The OS offender tracker when descheduleRepeatOffenders is set,
+    /** Core @p core's sedation policy if DtmMode::SelectiveSedation,
      *  else null. */
-    OffenderTracker *offenderTracker() { return offenderTracker_.get(); }
+    SelectiveSedation *sedationPolicy(int core = 0);
+    /** Core @p core's stop-and-go policy (base case or safety net),
+     *  else null. */
+    StopAndGo *stopAndGoPolicy(int core = 0);
+    /** Core @p core's OS offender tracker when
+     *  descheduleRepeatOffenders is set, else null. */
+    OffenderTracker *offenderTracker(int core = 0);
 
-    /** The structured event tracer when traceEvents is set, else null. */
+    /** The structured event tracer when traceEvents is set, else null.
+     *  One shared ring: events carry the id of the core they happened
+     *  on (TraceEvent::core). */
     Tracer *tracer() { return tracer_.get(); }
 
-    /** Install a user OS-report callback (chained after the internal
-     *  offender tracker, if any). */
+    /** Install a user OS-report callback on every core's sedation
+     *  policy (chained after the internal offender tracker, if any).
+     *  Reported thread ids are core-local. */
     void setOsReport(SelectiveSedation::OsReportFn fn);
 
     /** Write a full statistics report (pipeline, caches, predictor,
      *  thermal, DTM) in the gem5-style `group.stat value # desc`
-     *  format. Call after run(). */
+     *  format; per-core groups are prefixed `coreN.` on multi-core
+     *  dies. Call after run(). */
     void dumpStats(std::ostream &os) const;
 
-    // DtmControl interface (used by the policies).
+    // DtmControl interface, scoped to core 0 (kept so single-core
+    // tests and tools can drive the simulator directly; each core's
+    // policies act through their own per-core control instead).
     void stallPipeline(bool stalled) override;
     bool pipelineStalled() const override;
     void sedateThread(ThreadId tid, bool sedated) override;
@@ -202,53 +240,99 @@ class Simulator : public DtmControl
     bool threadActive(ThreadId tid) const override;
 
   private:
+    /** DtmControl adapter scoped to one core: the policies of core c
+     *  observe core c's sensors and act on core c's pipeline only. */
+    class CoreControl;
+
+    /**
+     * Everything one core owns: its pipeline and bound programs, its
+     * DTM policy instances and their OS extensions, its episode
+     * detector, and its share of the run accounting (emergency
+     * counters, peaks, run-health histograms, sedation bookkeeping).
+     */
+    struct CoreState
+    {
+        std::vector<std::unique_ptr<Program>> programs;
+        std::unique_ptr<Pipeline> pipeline;
+        std::unique_ptr<ActivityCounters::Snapshot> powerSnapshot;
+        std::vector<std::unique_ptr<DtmPolicy>> policies;
+        SelectiveSedation *sedation = nullptr;
+        StopAndGo *stopAndGo = nullptr;
+        std::unique_ptr<OffenderTracker> offenderTracker;
+        std::vector<ThreadId> descheduled; ///< core-local thread ids
+        std::unique_ptr<OnlineEpisodeDetector> episodes;
+        std::unique_ptr<CoreControl> control;
+        bool hasWork = false; ///< any program bound to this core
+
+        Cycles lastActiveCycles = 0;
+        uint64_t emergencies = 0;
+        std::array<uint64_t, numBlocks> emergenciesPerBlock{};
+        std::array<bool, numBlocks> aboveEmergency{};
+        std::array<Kelvin, numBlocks> peakTemp{};
+        /** Run-health histograms: plain members (never registry
+         *  lookups) so the hot-path observes stay allocation-free;
+         *  exported as RunResult::histograms and serialised through
+         *  save()/restore() so prefix-forked cells report the same
+         *  distributions as cold runs. */
+        Histogram histEpisodeHeat;
+        Histogram histEpisodeCool;
+        Histogram histSedation;
+        Histogram histRuu;
+        Histogram histLsq;
+        Histogram histFetchShare;
+        /** Per-thread sedation bookkeeping: cycle+1 at which the
+         *  current sedation span began, 0 when not sedated. */
+        std::vector<Cycles> sedStart;
+        std::vector<Watts> powerBuf;  ///< reused per sensor sample
+        std::vector<Kelvin> tempsBuf; ///< reused per sensor sample
+
+        CoreState();
+        CoreState(CoreState &&) noexcept;
+        CoreState &operator=(CoreState &&) noexcept;
+        ~CoreState();
+    };
+
     void sampleSensors();
-    void countEmergencies(const std::vector<Kelvin> &temps);
+    void countEmergencies(CoreState &core);
     RunResult collectResults(double host_seconds) const;
+    /** @return true once every core that has work is fully halted. */
+    bool allCoresHalted() const;
+    /** Seed the whole die at its normal-operation steady state. */
+    void initNominalSteadyState();
+    CoreState &coreAt(int core);
+    const CoreState &coreAt(int core) const;
+
+    // Per-core DtmControl backends (CoreControl forwards here; the
+    // public DtmControl overrides forward to core 0).
+    void coreStallPipeline(int core, bool stalled);
+    bool corePipelineStalled(int core) const;
+    void coreSedateThread(int core, ThreadId tid, bool sedated);
+    void coreThrottleThread(int core, ThreadId tid, int every_k);
+    void coreThrottlePipeline(int core, int every_k);
+    bool coreThreadActive(int core, ThreadId tid) const;
 
     SimConfig config_;
-    std::vector<std::unique_ptr<Program>> programs_;
-    std::unique_ptr<Pipeline> pipeline_;
+    int numCores_ = 1;
+    /** Resolved placement: core / core-local slot per global thread
+     *  id, and the inverse map (invalidThreadId = no workload). */
+    std::vector<int> coreOf_;
+    std::vector<ThreadId> slotOf_;
+    std::vector<std::vector<ThreadId>> globalOf_;
+    std::vector<CoreState> cores_;
     std::unique_ptr<EnergyModel> energy_;
     std::unique_ptr<ThermalModel> thermal_;
-    std::unique_ptr<ActivityCounters::Snapshot> powerSnapshot_;
-    std::vector<std::unique_ptr<DtmPolicy>> policies_;
-    SelectiveSedation *sedation_ = nullptr;
-    StopAndGo *stopAndGo_ = nullptr;
-    std::unique_ptr<OffenderTracker> offenderTracker_;
     SelectiveSedation::OsReportFn userOsReport_;
-    std::vector<ThreadId> descheduled_;
     std::unique_ptr<Tracer> tracer_;
-    std::unique_ptr<OnlineEpisodeDetector> episodes_;
 
-    Cycles lastActiveCycles_ = 0;
-    uint64_t emergencies_ = 0;
-    std::array<uint64_t, numBlocks> emergenciesPerBlock_{};
-    std::array<bool, numBlocks> aboveEmergency_{};
-    std::array<Kelvin, numBlocks> peakTemp_{};
     double energyAccumJ_ = 0.0;
     Rng sensorNoise_{0xbadcafe5};
     std::vector<TempSample> tempTrace_;
     Cycles lastTraceAt_ = 0;
-    std::vector<Watts> powerBuf_;  ///< reused per sensor sample
-    std::vector<Kelvin> tempsBuf_; ///< reused per sensor sample
+    /** Concatenated per-core block powers fed to the shared RC
+     *  network each sensor sample (reused, never reallocated). */
+    std::vector<Watts> thermalPowerBuf_;
 
-    /** Run-health histograms: plain members (never registry lookups)
-     *  so the hot-path observes stay allocation-free; exported as
-     *  RunResult::histograms and serialised through save()/restore()
-     *  so prefix-forked cells report the same distributions as cold
-     *  runs. */
-    Histogram histEpisodeHeat_;
-    Histogram histEpisodeCool_;
-    Histogram histSedation_;
-    Histogram histRuu_;
-    Histogram histLsq_;
-    Histogram histFetchShare_;
-    /** Per-thread sedation bookkeeping: cycle+1 at which the current
-     *  sedation span began, 0 when the thread is not sedated. */
-    std::vector<Cycles> sedStart_;
-
-    /** Hottest temperature as the policies observed it (after sensor
+    /** Hottest temperature any core's policies observed (after sensor
      *  noise) at the most recent sample; runPrefix()'s divergence
      *  test must see exactly what a cell's policy would see. */
     Kelvin lastObservedMax_ = 0.0;

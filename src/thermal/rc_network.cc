@@ -10,8 +10,8 @@ namespace hs {
 
 RcNetwork::RcNetwork(int num_nodes)
     : numNodes_(num_nodes),
-      g_(static_cast<size_t>(num_nodes) * static_cast<size_t>(num_nodes),
-         0.0),
+      adjNode_(static_cast<size_t>(num_nodes)),
+      adjG_(static_cast<size_t>(num_nodes)),
       bathG_(static_cast<size_t>(num_nodes), 0.0),
       bathT_(static_cast<size_t>(num_nodes), 0.0),
       cap_(static_cast<size_t>(num_nodes), 1.0),
@@ -42,6 +42,22 @@ RcNetwork::invalidateCache()
 }
 
 void
+RcNetwork::rowAdd(int a, int b, double g)
+{
+    std::vector<int> &nodes = adjNode_[static_cast<size_t>(a)];
+    std::vector<double> &conds = adjG_[static_cast<size_t>(a)];
+    auto it = std::lower_bound(nodes.begin(), nodes.end(), b);
+    size_t pos = static_cast<size_t>(it - nodes.begin());
+    if (it != nodes.end() && *it == b) {
+        conds[pos] += g;
+    } else {
+        nodes.insert(it, b);
+        conds.insert(conds.begin() +
+                         static_cast<std::ptrdiff_t>(pos), g);
+    }
+}
+
+void
 RcNetwork::addConductance(int a, int b, double g)
 {
     checkNode(a);
@@ -50,8 +66,8 @@ RcNetwork::addConductance(int a, int b, double g)
         panic("RcNetwork: self-conductance on node %d", a);
     if (g < 0)
         fatal("RcNetwork: negative conductance");
-    gAt(a, b) += g;
-    gAt(b, a) += g;
+    rowAdd(a, b, g);
+    rowAdd(b, a, g);
     invalidateCache();
 }
 
@@ -129,36 +145,52 @@ RcNetwork::setTemps(const std::vector<Kelvin> &t)
     temps_ = t;
 }
 
+size_t
+RcNetwork::numEdges() const
+{
+    size_t entries = 0;
+    for (const std::vector<int> &row : adjNode_)
+        entries += row.size();
+    return entries / 2;
+}
+
 void
 RcNetwork::ensureTopology() const
 {
     if (!topoDirty_)
         return;
 
-    // Diagonal row sums (ascending j, matching the dense reference).
+    // Diagonal row sums over the stored entries in ascending-j order.
+    // Entries a dense scan would have visited but we never stored are
+    // exact zeros, and every partial sum here is non-negative, so
+    // skipping them leaves the result bit-identical.
     for (int i = 0; i < numNodes_; ++i) {
-        double sum = bathG_[static_cast<size_t>(i)];
-        for (int j = 0; j < numNodes_; ++j)
-            sum += gAt(i, j);
-        diagG_[static_cast<size_t>(i)] = sum;
+        size_t si = static_cast<size_t>(i);
+        double sum = bathG_[si];
+        for (double g : adjG_[si])
+            sum += g;
+        diagG_[si] = sum;
     }
 
     // CSR adjacency over the nonzero entries, preserving j order so the
-    // sparse accumulation visits neighbours exactly as the dense scan
-    // did (bit-identical floating-point summation).
+    // sparse accumulation visits neighbours exactly as a dense scan
+    // would (bit-identical floating-point summation). Stored entries
+    // can still be zero (addConductance with g == 0); filter them like
+    // the dense `if (g != 0)` did.
     csrStart_.assign(static_cast<size_t>(numNodes_) + 1, 0);
     csrNode_.clear();
     csrG_.clear();
     for (int i = 0; i < numNodes_; ++i) {
-        for (int j = 0; j < numNodes_; ++j) {
-            double g = gAt(i, j);
-            if (g != 0.0) {
-                csrNode_.push_back(j);
-                csrG_.push_back(g);
+        size_t si = static_cast<size_t>(i);
+        const std::vector<int> &nodes = adjNode_[si];
+        const std::vector<double> &conds = adjG_[si];
+        for (size_t k = 0; k < nodes.size(); ++k) {
+            if (conds[k] != 0.0) {
+                csrNode_.push_back(nodes[k]);
+                csrG_.push_back(conds[k]);
             }
         }
-        csrStart_[static_cast<size_t>(i) + 1] =
-            static_cast<int>(csrNode_.size());
+        csrStart_[si + 1] = static_cast<int>(csrNode_.size());
     }
 
     topoDirty_ = false;
@@ -250,20 +282,26 @@ void
 RcNetwork::factorize() const
 {
     // Build A = diag(G_ii) - offdiag(g_ij) and eliminate with partial
-    // pivoting, exactly as the pre-caching dense solver did, but record
-    // the pivot row and the elimination multipliers per column so the
+    // pivoting, exactly as the dense solver did, recording the pivot
+    // row and the elimination multipliers per column so the
     // right-hand-side pass can be replayed later in the same order
     // (same arithmetic sequence => bit-identical temperatures).
+    //
+    // Absent off-diagonal entries are seeded with -0.0: the dense build
+    // wrote -gAt(i,j) everywhere, negating its stored +0.0s, and the
+    // sign of a zero can propagate through the elimination arithmetic.
     int n = numNodes_;
     size_t sn = static_cast<size_t>(n);
-    lu_.assign(sn * sn, 0.0);
+    lu_.assign(sn * sn, -0.0);
     luFactor_.assign(sn * sn, 0.0);
     luPivot_.assign(sn, 0);
     for (int i = 0; i < n; ++i) {
         size_t si = static_cast<size_t>(i);
-        for (int j = 0; j < n; ++j)
-            lu_[si * sn + static_cast<size_t>(j)] =
-                (i == j) ? diagG_[si] : -gAt(i, j);
+        const std::vector<int> &nodes = adjNode_[si];
+        const std::vector<double> &conds = adjG_[si];
+        for (size_t k = 0; k < nodes.size(); ++k)
+            lu_[si * sn + static_cast<size_t>(nodes[k])] = -conds[k];
+        lu_[si * sn + si] = diagG_[si];
     }
 
     for (int col = 0; col < n; ++col) {

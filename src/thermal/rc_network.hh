@@ -6,18 +6,21 @@
  * may also be tied to a fixed-temperature bath (the ambient) through a
  * conductance. Supports transient integration (midpoint RK2 with
  * automatic sub-stepping for stability) and direct steady-state solves
- * (LU with partial pivoting — the networks here have ~20 nodes).
+ * (LU with partial pivoting).
  *
- * Topology is entered into a dense symmetric matrix (simple and
- * order-independent for construction), but the per-step kernels run on
- * derived state that is rebuilt lazily after any topology edit:
+ * Topology is entered into per-node sorted adjacency rows — an insert
+ * is O(degree), and total memory is O(nodes + edges). (Earlier versions
+ * kept a dense n x n matrix whose per-insert row-sum refresh made
+ * floorplan construction O(n^3); with N per-core subgraphs tiled into
+ * one network the dense matrix itself also became the dominant memory
+ * cost, so both are gone.) The per-step kernels run on derived state
+ * that is rebuilt lazily after any topology edit:
  *
  *  - a CSR-style adjacency (neighbour indices + conductances in
  *    ascending-j order, so floating-point summation order — and
  *    therefore every temperature — is bit-identical to a dense
  *    `if (g != 0)` row scan),
- *  - the diagonal row sums (previously refreshed O(n^2) on every
- *    conductance insert, making floorplan construction O(n^3)),
+ *  - the diagonal row sums,
  *  - the stiffest time constant and the RK2 substep count for the last
  *    step size,
  *  - the LU factorisation used by solveSteadyState(), so repeated
@@ -38,7 +41,7 @@
 
 namespace hs {
 
-/** RC thermal network (dense construction, sparse simulation). */
+/** RC thermal network (sparse construction, sparse simulation). */
 class RcNetwork
 {
   public:
@@ -68,6 +71,9 @@ class RcNetwork
     const std::vector<Kelvin> &temps() const { return temps_; }
     void setTemps(const std::vector<Kelvin> &t);
 
+    /** Number of distinct node pairs with an entered conductance. */
+    size_t numEdges() const;
+
     /**
      * Advance the network by @p dt seconds with @p power watts injected
      * per node. Internally sub-steps to keep the explicit integrator
@@ -88,7 +94,10 @@ class RcNetwork
 
   private:
     int numNodes_;
-    std::vector<double> g_;       ///< dense symmetric conductance matrix
+    /** Per-node neighbour indices, kept sorted ascending. */
+    std::vector<std::vector<int>> adjNode_;
+    /** Matching conductances, same order as adjNode_. */
+    std::vector<std::vector<double>> adjG_;
     std::vector<double> bathG_;   ///< per-node conductance to its bath
     std::vector<Kelvin> bathT_;   ///< per-node bath temperature
     std::vector<double> cap_;     ///< per-node capacitance
@@ -115,14 +124,8 @@ class RcNetwork
     std::vector<double> k1_, k2_;
     std::vector<Kelvin> mid_;
 
-    double &gAt(int a, int b) { return g_[static_cast<size_t>(a) *
-                                          static_cast<size_t>(numNodes_) +
-                                          static_cast<size_t>(b)]; }
-    double gAt(int a, int b) const
-    {
-        return g_[static_cast<size_t>(a) *
-                  static_cast<size_t>(numNodes_) + static_cast<size_t>(b)];
-    }
+    /** Accumulate @p g onto row @p a's entry for @p b (sorted insert). */
+    void rowAdd(int a, int b, double g);
 
     /** Mark every derived cache stale (single choke point for all
      *  topology/capacitance mutators). */

@@ -25,6 +25,7 @@
 #include "common/types.hh"
 #include "thermal/floorplan.hh"
 #include "thermal/rc_network.hh"
+#include "thermal/topology.hh"
 
 namespace hs {
 
@@ -62,6 +63,17 @@ class ThermalModel
                  const ThermalParams &params = {});
 
     /**
+     * Many-core construction: compose one per-block RC subgraph per
+     * core tile, cross-core lateral couplings along the tile seams,
+     * and a single shared spreader/sink package whose capacitances
+     * (and spreader-to-sink conductance) scale with the core count.
+     * With a 1-core topology this builds exactly the same network as
+     * the floorplan constructor above.
+     */
+    ThermalModel(const Topology &topology,
+                 const ThermalParams &params = {});
+
+    /**
      * Initialise node temperatures to the steady state under
      * @p block_power (watts per block). Call once before simulation so
      * normal-operation temperatures are already established (HotSpot's
@@ -78,14 +90,26 @@ class ThermalModel
     steadyTemps(const std::vector<Watts> &block_power) const;
 
     Kelvin blockTemp(Block b) const;
+    /** Temperature of @p b on core @p core. */
+    Kelvin coreBlockTemp(int core, Block b) const;
     Kelvin spreaderTemp() const;
     Kelvin sinkTemp() const;
 
-    /** Hottest block and its temperature. */
+    /** Hottest block (on any core) and its temperature. */
     std::pair<Block, Kelvin> hottest() const;
 
+    int numCores() const { return numCores_; }
+    /** Block-power entries step() expects (numCores * numBlocks). */
+    int totalBlocks() const { return numCores_ * numBlocks; }
+
     const ThermalParams &params() const { return params_; }
+    /** The underlying RC network (node layout: core-major blocks, then
+     *  spreader, then sink). */
+    const RcNetwork &network() const { return *net_; }
     const Floorplan &floorplan() const { return floorplan_; }
+    /** The tiling, when built from one (nullptr for the legacy
+     *  single-core constructor). */
+    const Topology *topology() const { return topo_.get(); }
 
     /** The stiffest time constant of the network, seconds. */
     double minTimeConstant() const;
@@ -105,6 +129,8 @@ class ThermalModel
 
     Floorplan floorplan_;
     ThermalParams params_;
+    std::unique_ptr<Topology> topo_; ///< set by the topology ctor
+    int numCores_ = 1;
     std::unique_ptr<RcNetwork> net_;
     int spreaderNode_;
     int sinkNode_;

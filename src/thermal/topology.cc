@@ -1,0 +1,112 @@
+#include "thermal/topology.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace hs {
+
+namespace {
+
+/** Length of the intersection of [a0, a1] and [b0, b1]. */
+double
+overlap(double a0, double a1, double b0, double b1)
+{
+    return std::min(a1, b1) - std::max(a0, b0);
+}
+
+// Same threshold the Floorplan uses for its own adjacency search.
+constexpr double minSharedEdge = 1e-6;
+
+} // namespace
+
+Topology::Topology(const Floorplan &tile, const TopologyParams &params)
+    : tile_(tile), params_(params)
+{
+    if (params_.numCores < 1)
+        fatal("Topology: need at least one core");
+    if (params_.coreSpacing < 0)
+        fatal("Topology: negative core spacing");
+    if (params_.couplingScale < 0)
+        fatal("Topology: negative coupling scale");
+
+    cols_ = std::max(1, static_cast<int>(std::ceil(
+                            std::sqrt(double(params_.numCores)))));
+    rows_ = (params_.numCores + cols_ - 1) / cols_;
+
+    minX_ = minY_ = std::numeric_limits<double>::infinity();
+    maxX_ = maxY_ = -std::numeric_limits<double>::infinity();
+    for (int i = 0; i < numBlocks; ++i) {
+        const Rect &r = tile_.rect(blockFromIndex(i));
+        minX_ = std::min(minX_, r.x);
+        minY_ = std::min(minY_, r.y);
+        maxX_ = std::max(maxX_, r.x + r.w);
+        maxY_ = std::max(maxY_, r.y + r.h);
+    }
+
+    computeCrossEdges();
+}
+
+double
+Topology::originX(int core) const
+{
+    return col(core) * (tileWidth() + params_.coreSpacing);
+}
+
+double
+Topology::originY(int core) const
+{
+    return row(core) * (tileHeight() + params_.coreSpacing);
+}
+
+void
+Topology::computeCrossEdges()
+{
+    int n = params_.numCores;
+    for (int c = 0; c < n; ++c) {
+        // Seam to the right-hand neighbour (same row).
+        int right = c + 1;
+        if (col(c) + 1 < cols_ && right < n && row(right) == row(c)) {
+            for (int ia = 0; ia < numBlocks; ++ia) {
+                const Rect &ra = tile_.rect(blockFromIndex(ia));
+                if (std::abs((ra.x + ra.w) - maxX_) >= minSharedEdge)
+                    continue; // not on the tile's right edge
+                for (int ib = 0; ib < numBlocks; ++ib) {
+                    const Rect &rb = tile_.rect(blockFromIndex(ib));
+                    if (std::abs(rb.x - minX_) >= minSharedEdge)
+                        continue; // not on the tile's left edge
+                    double ov = overlap(ra.y, ra.y + ra.h, rb.y,
+                                        rb.y + rb.h);
+                    if (ov > minSharedEdge)
+                        edges_.push_back({c, blockFromIndex(ia), right,
+                                          blockFromIndex(ib), ov,
+                                          false});
+                }
+            }
+        }
+        // Seam to the neighbour above (next row, same column).
+        int up = c + cols_;
+        if (up < n) {
+            for (int ia = 0; ia < numBlocks; ++ia) {
+                const Rect &ra = tile_.rect(blockFromIndex(ia));
+                if (std::abs((ra.y + ra.h) - maxY_) >= minSharedEdge)
+                    continue; // not on the tile's top edge
+                for (int ib = 0; ib < numBlocks; ++ib) {
+                    const Rect &rb = tile_.rect(blockFromIndex(ib));
+                    if (std::abs(rb.y - minY_) >= minSharedEdge)
+                        continue; // not on the tile's bottom edge
+                    double ov = overlap(ra.x, ra.x + ra.w, rb.x,
+                                        rb.x + rb.w);
+                    if (ov > minSharedEdge)
+                        edges_.push_back({c, blockFromIndex(ia), up,
+                                          blockFromIndex(ib), ov,
+                                          true});
+                }
+            }
+        }
+    }
+}
+
+} // namespace hs

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Many-core die topology: N identical core tiles on one shared die.
+ *
+ * A Topology places N copies of a per-core floorplan (the EV6 tile) on
+ * a near-square grid with a uniform inter-tile gap, and enumerates the
+ * cross-core block adjacencies: for every pair of facing tile edges,
+ * each block pair whose spans overlap along the seam contributes one
+ * lateral coupling, exactly like the intra-tile adjacencies the
+ * Floorplan computes for itself. The ThermalModel turns those into
+ * conductances with the same sheet-resistance formula it uses inside a
+ * tile, lengthened by the inter-tile gap and scaled by an explicit
+ * coupling knob, and composes all N per-core RC subgraphs onto one
+ * shared spreader/sink package.
+ *
+ * Core 0 sits at the grid's origin (bottom-left); cores fill rows
+ * left-to-right, bottom-to-top. A 1-core topology is a single tile with
+ * no cross edges — the degenerate case the byte-identity tests pin.
+ */
+
+#ifndef HS_THERMAL_TOPOLOGY_HH
+#define HS_THERMAL_TOPOLOGY_HH
+
+#include <vector>
+
+#include "common/blocks.hh"
+#include "common/types.hh"
+#include "thermal/floorplan.hh"
+
+namespace hs {
+
+/** Tiling and coupling parameters. */
+struct TopologyParams
+{
+    int numCores = 1;
+    double coreSpacing = 0.5e-3; ///< edge-to-edge tile gap, metres
+    double couplingScale = 1.0;  ///< multiplier on cross-core
+                                 ///< conductances (0 decouples cores)
+};
+
+/** One lateral coupling across a tile seam. */
+struct CrossEdge
+{
+    int coreA = 0;
+    Block blockA = Block::L2;
+    int coreB = 0;
+    Block blockB = Block::L2;
+    double sharedEdge = 0.0; ///< overlap length along the seam, metres
+    bool vertical = false;   ///< heat flows vertically (stacked tiles)
+};
+
+/** N core tiles arranged on a shared die. */
+class Topology
+{
+  public:
+    explicit Topology(const Floorplan &tile,
+                      const TopologyParams &params = {});
+
+    int numCores() const { return params_.numCores; }
+    const TopologyParams &params() const { return params_; }
+    const Floorplan &tile() const { return tile_; }
+
+    int cols() const { return cols_; }
+    int rows() const { return rows_; }
+    /** Grid column / row of @p core (row 0 at the bottom). */
+    int col(int core) const { return core % cols_; }
+    int row(int core) const { return core / cols_; }
+
+    /** Die-coordinate origin of @p core's tile, metres. */
+    double originX(int core) const;
+    double originY(int core) const;
+
+    /** Every cross-tile coupling, in deterministic core/block order. */
+    const std::vector<CrossEdge> &crossEdges() const { return edges_; }
+
+    /** Bounding-box width / height of one tile, metres. */
+    double tileWidth() const { return maxX_ - minX_; }
+    double tileHeight() const { return maxY_ - minY_; }
+
+  private:
+    Floorplan tile_;
+    TopologyParams params_;
+    int cols_ = 1;
+    int rows_ = 1;
+    double minX_ = 0.0, minY_ = 0.0, maxX_ = 0.0, maxY_ = 0.0;
+    std::vector<CrossEdge> edges_;
+
+    void computeCrossEdges();
+};
+
+} // namespace hs
+
+#endif // HS_THERMAL_TOPOLOGY_HH

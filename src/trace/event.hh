@@ -83,10 +83,11 @@ struct TraceEvent
     Cycles cycle = 0;   ///< when it happened
     double value = 0.0; ///< kind-specific payload (K, EWMA, duty, ...)
     uint64_t arg = 0;   ///< kind-specific payload (counts, factors)
-    int16_t thread = -1;///< affected thread, or -1
+    int16_t thread = -1;///< affected thread (core-local), or -1
     TraceCategory cat = TraceCategory::Dtm;
     TraceKind kind = TraceKind::StopGoTrigger;
     uint8_t block = traceNoBlock; ///< blockIndex(), or traceNoBlock
+    uint8_t core = 0;   ///< core the event happened on
 
     bool operator==(const TraceEvent &) const = default;
 };

@@ -62,6 +62,7 @@ Tracer::saveState(StateWriter &w) const
         w.put<uint8_t>(static_cast<uint8_t>(e.cat));
         w.put<uint8_t>(static_cast<uint8_t>(e.kind));
         w.put<uint8_t>(e.block);
+        w.put<uint8_t>(e.core);
     }
 }
 
@@ -87,6 +88,7 @@ Tracer::restoreState(StateReader &r)
         e.cat = static_cast<TraceCategory>(r.get<uint8_t>());
         e.kind = static_cast<TraceKind>(r.get<uint8_t>());
         e.block = r.get<uint8_t>();
+        e.core = r.get<uint8_t>();
         ring_.push_back(e);
     }
 }

@@ -39,7 +39,8 @@ class Tracer
     /** @param capacity ring size (rounded up to a power of two). */
     explicit Tracer(size_t capacity = 1 << 16);
 
-    /** Append @p e, dropping the oldest event if the ring is full. */
+    /** Append @p e stamped with this tracer's core id, dropping the
+     *  oldest event if the ring is full. */
     void
     emit(const TraceEvent &e)
     {
@@ -47,7 +48,9 @@ class Tracer
             ring_.pop_front();
             ++dropped_;
         }
-        ring_.push_back(e);
+        TraceEvent stamped = e;
+        stamped.core = coreId_;
+        ring_.push_back(stamped);
         ++emitted_;
     }
 
@@ -85,6 +88,11 @@ class Tracer
      */
     void dropCategory(TraceCategory cat);
 
+    /** Stamp every future emission with @p core (per-core tracers on a
+     *  multi-core simulator; core 0 is the single-core default). */
+    void setCoreId(uint8_t core) { coreId_ = core; }
+    uint8_t coreId() const { return coreId_; }
+
     /** Serialise the buffer and counters (snapshot support). */
     void saveState(StateWriter &w) const;
 
@@ -97,6 +105,7 @@ class Tracer
     RingBuffer<TraceEvent> ring_;
     uint64_t emitted_ = 0;
     uint64_t dropped_ = 0;
+    uint8_t coreId_ = 0;
 };
 
 } // namespace hs

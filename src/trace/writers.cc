@@ -112,8 +112,12 @@ writeTraceJsonl(std::ostream &os, const std::vector<TraceEvent> &events,
             continue;
         os << "{\"cycle\": " << e.cycle << ", \"cat\": \""
            << traceCategoryName(e.cat) << "\", \"kind\": \""
-           << traceKindName(e.kind) << "\", \"thread\": " << e.thread
-           << ", \"block\": \"" << eventBlockName(e) << "\", \"value\": "
+           << traceKindName(e.kind) << "\", \"thread\": " << e.thread;
+        // Core 0 is implicit so single-core trace files keep their
+        // historical bytes.
+        if (e.core != 0)
+            os << ", \"core\": " << static_cast<int>(e.core);
+        os << ", \"block\": \"" << eventBlockName(e) << "\", \"value\": "
            << jnum(e.value) << ", \"arg\": " << e.arg << "}\n";
     }
 }
@@ -132,21 +136,35 @@ writeChromeTrace(std::ostream &os, const std::vector<TraceEvent> &events,
         first = false;
     };
 
-    // Name the synthetic lanes, and every hardware-thread lane seen.
-    std::set<int> thread_lanes;
+    // One Chrome process per core. Name the synthetic lanes and every
+    // hardware-thread lane seen; core 0 always exists so single-core
+    // trace files keep their historical bytes.
+    std::set<int> cores{0};
+    std::set<std::pair<int, int>> thread_lanes;
     for (const TraceEvent &e : events) {
-        if (accepted(e, mask) && e.thread >= 0)
-            thread_lanes.insert(e.thread);
+        if (!accepted(e, mask))
+            continue;
+        cores.insert(e.core);
+        if (e.thread >= 0)
+            thread_lanes.insert({e.core, e.thread});
     }
-    auto nameLane = [&](int tid, const std::string &name) {
-        emit("\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
-             "\"tid\": " + std::to_string(tid) +
+    auto nameLane = [&](int pid, int tid, const std::string &name) {
+        emit("\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " +
+             std::to_string(pid) +
+             ", \"tid\": " + std::to_string(tid) +
              ", \"args\": {\"name\": \"" + name + "\"}");
     };
-    nameLane(kChipLane, "chip");
-    nameLane(kEpisodeLane, "episodes");
-    for (int t : thread_lanes)
-        nameLane(t, "thread " + std::to_string(t));
+    for (int c : cores) {
+        if (c != 0)
+            emit("\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
+                 std::to_string(c) + ", \"args\": {\"name\": \"core " +
+                 std::to_string(c) + "\"}");
+        nameLane(c, kChipLane, "chip");
+        nameLane(c, kEpisodeLane, "episodes");
+    }
+    for (const std::pair<int, int> &lane : thread_lanes)
+        nameLane(lane.first, lane.second,
+                 "thread " + std::to_string(lane.second));
 
     for (const TraceEvent &e : events) {
         if (!accepted(e, mask))
@@ -156,7 +174,8 @@ writeChromeTrace(std::ostream &os, const std::vector<TraceEvent> &events,
                       static_cast<double>(e.cycle) / cycles_per_us);
         std::string common =
             std::string("\"cat\": \"") + traceCategoryName(e.cat) +
-            "\", \"ts\": " + ts + ", \"pid\": 0, \"tid\": " +
+            "\", \"ts\": " + ts + ", \"pid\": " +
+            std::to_string(static_cast<int>(e.core)) + ", \"tid\": " +
             std::to_string(chromeLane(e));
         std::string args =
             std::string("\"args\": {\"cycle\": ") +

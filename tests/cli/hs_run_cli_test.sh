@@ -72,6 +72,22 @@ expect_usage "each with stats" --spec gcc --spec mcf $FAST --each --stats
 expect_usage "value on progress" --spec gcc $FAST --progress=yes
 expect_usage "progress with stats" --spec gcc $FAST --progress --stats
 expect_usage "progress with profile" --spec gcc $FAST --progress --profile
+expect_usage "zero cores" --spec gcc $FAST --cores 0
+expect_usage "negative cores" --spec gcc $FAST --cores -2
+expect_usage "non-integer cores" --spec gcc $FAST --cores two
+expect_usage "partial numeric cores" --spec gcc $FAST --cores 2x
+expect_usage "non-integer place" --spec gcc --variant 2 $FAST \
+    --cores 2 --place 0,x
+expect_usage "empty place entry" --spec gcc --variant 2 $FAST \
+    --cores 2 --place "0,,1"
+expect_usage "place entry out of range" --spec gcc --variant 2 $FAST \
+    --cores 2 --place 0,2
+expect_usage "negative place entry" --spec gcc --variant 2 $FAST \
+    --cores 2 --place 0,-1
+expect_usage "place length mismatch" --spec gcc --variant 2 $FAST \
+    --cores 2 --place 0
+expect_usage "place with each" --spec gcc --spec mcf $FAST --each \
+    --place 0,0
 
 # --- well-formed invocations -------------------------------------------
 
@@ -116,6 +132,34 @@ grep -q '"hs_run.sim_cycles"' "$TMP/run.json" ||
 expect_ok "each matrix" --spec gcc --spec mcf $FAST --each \
     --csv "$TMP/each.csv"
 [ -s "$TMP/each.csv" ] || fail "csv output missing"
+
+# Multi-core topology: a 2-core split run must report per-core tables
+# on stdout, tag threads and events with their core in the JSON/JSONL
+# artifacts, and stay deterministic. This one runs a longer quantum
+# (250 K cycles) than $FAST: the attacker tile needs time to produce
+# core-1 trace events on a properly-sized package.
+expect_ok "two-core split run" --spec gcc --variant 2 --scale 2000 \
+    --cores 2 --place 0,1 --json "$TMP/mc.json" \
+    --trace "$TMP/mc.jsonl"
+grep -q "core" "$TMP/out" || fail "two-core: no per-core table"
+grep -q '"cores"' "$TMP/mc.json" ||
+    fail "two-core: json lacks per-core result array"
+grep -q '"core": 1' "$TMP/mc.json" ||
+    fail "two-core: json threads lack core tags"
+grep -q '"core": 1' "$TMP/mc.jsonl" ||
+    fail "two-core: jsonl events lack core stamps"
+
+# --each runs each workload alone on the same (multi-core) die.
+expect_ok "two-core each matrix" --spec gcc --spec mcf $FAST --each \
+    --cores 2 --csv "$TMP/mc_each.csv"
+[ -s "$TMP/mc_each.csv" ] || fail "two-core each: csv missing"
+
+# Single-core artifacts must carry none of the multi-core keys.
+expect_ok "single-core json" --spec gcc $FAST --json "$TMP/sc.json"
+grep -q '"cores"' "$TMP/sc.json" &&
+    fail "single-core: json grew a cores array"
+grep -q '"core"' "$TMP/sc.json" &&
+    fail "single-core: json threads grew core tags"
 
 if [ "$fails" -ne 0 ]; then
     echo "$fails CLI contract check(s) failed" >&2

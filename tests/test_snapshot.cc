@@ -158,6 +158,11 @@ TEST(RunSpecDivergence, KeyDropsExactlyThePolicyFields)
         traj.push_back(s);
     }
     traj.push_back(specPairSpec("gcc", "mcf", sedationOpts(356.0)));
+    // Die topology is trajectory state: dies of different shapes (or
+    // placements) must never share a warm-up prefix.
+    traj.push_back(base.withTopology(2, {0, 1}));
+    traj.push_back(base.withTopology(2, {0, 0}));
+    traj.push_back(base.withTopology(4, {0, 3}));
     for (size_t i = 0; i < traj.size(); ++i)
         EXPECT_NE(traj[i].divergenceKey(), dk) << "trajectory mutant " << i;
 
@@ -308,6 +313,25 @@ familyMatrix()
         specs.push_back(s);
     }
 
+    // Multi-core dies. An innocent 2-core threshold sweep forms one
+    // divergence group (the prefix engine must warm up all tiles and
+    // the shared package, snapshot every core, and fork); the 2-core
+    // attack cell diverges early and falls back to a cold run; the
+    // traced cell carries core-stamped events through the snapshot.
+    for (double u : {356.0, 357.0})
+        specs.push_back(specPairSpec("gcc", "mesa", sedationOpts(u))
+                            .withTopology(2, {0, 1}));
+    specs.push_back(withVariantSpec("gcc", 2, sedationOpts(356.0))
+                        .withTopology(2, {0, 1}));
+    specs.push_back(specPairSpec("gcc", "mesa", sedationOpts(356.0))
+                        .withTopology(2, {0, 1})
+                        .withTraceEvents(true));
+    // Both SMT contexts of core 0 busy while core 1 idles: placement
+    // resolution with unequal per-core widths.
+    for (double u : {356.0, 357.0})
+        specs.push_back(specPairSpec("gcc", "mesa", sedationOpts(u))
+                            .withTopology(2, {0, 0}));
+
     return specs;
 }
 
@@ -399,6 +423,56 @@ TEST(Snapshot, TracerRoundTripsThroughSaveRestore)
     }
     EXPECT_TRUE(rise_before_fork)
         << "the 353 K prefix should fork after an episode rise began";
+}
+
+// --- multi-core snapshots ----------------------------------------------
+
+/**
+ * N-core save/restore round-trip, mid-episode: every core's pipeline,
+ * policy state, episode detector and histograms plus the one shared
+ * RC network and tracer ring must survive, and the forked run must be
+ * bit-identical to the cold one — including the per-core result
+ * slices and core-stamped trace events.
+ */
+TEST(Snapshot, MultiCoreRoundTripIsBitIdentical)
+{
+    RunSpec spec = specPairSpec("gcc", "mesa", sedationOpts(356.0))
+                       .withTopology(2, {0, 1})
+                       .withTraceEvents(true);
+
+    SimSnapshot snap;
+    Cycles fork = makePrefixSimulator(spec)->runPrefix(
+        spec.opts.upperThreshold, 4, snap);
+    ASSERT_GT(fork, 0u);
+    ASSERT_FALSE(snap.empty());
+
+    RunResult cold = executeRunSpec(spec);
+    RunResult warm1 = executeFromSnapshot(spec, snap);
+    RunResult warm2 = executeFromSnapshot(spec, snap);
+    EXPECT_EQ(warm1, warm2);
+    EXPECT_EQ(cold, warm1); // covers cores[], threads[].core, traces
+
+    ASSERT_EQ(warm1.numCores, 2);
+    ASSERT_EQ(warm1.cores.size(), 2u);
+}
+
+TEST(SnapshotDeathTest, MultiCoreSnapshotRefusesOtherTopologies)
+{
+    RunSpec two = specPairSpec("gcc", "mesa", sedationOpts(356.0))
+                      .withTopology(2, {0, 1});
+    SimSnapshot snap;
+    ASSERT_GT(makePrefixSimulator(two)->runPrefix(
+                  two.opts.upperThreshold, 4, snap),
+              0u);
+
+    // Same workloads, different die shape / placement: refused.
+    RunSpec one = specPairSpec("gcc", "mesa", sedationOpts(356.0));
+    EXPECT_EXIT(makeSimulator(one)->restore(snap),
+                testing::ExitedWithCode(1), "incompatible");
+    RunSpec packed = specPairSpec("gcc", "mesa", sedationOpts(356.0))
+                         .withTopology(2, {0, 0});
+    EXPECT_EXIT(makeSimulator(packed)->restore(snap),
+                testing::ExitedWithCode(1), "incompatible");
 }
 
 // --- HS_PREFIX environment knob ----------------------------------------

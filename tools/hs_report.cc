@@ -148,9 +148,18 @@ histFrom(const json::Value *v)
 struct ThreadRow
 {
     int index = 0;
+    int core = 0;
     std::string program;
     double ipc = 0;
     double normalCycles = 0, coolingCycles = 0, sedationCycles = 0;
+};
+
+/** Per-core slice of a multi-core run (the "cores" result array). */
+struct CoreView
+{
+    int core = 0;
+    double peak = 0, emergencies = 0, stopGo = 0;
+    std::vector<std::pair<std::string, double>> blockPeaks;
 };
 
 struct TempPoint
@@ -164,8 +173,10 @@ struct RunView
     std::string label;
     std::string source;
     double cycles = 0, peak = 0, emergencies = 0, stopGo = 0;
+    int numCores = 1;
     std::vector<ThreadRow> threads;
     std::vector<std::pair<std::string, double>> blockPeaks;
+    std::vector<CoreView> coreViews; ///< present only for N > 1 dies
     std::vector<TempPoint> temps;
     HistStat heat, cool, sedation;
 };
@@ -179,12 +190,17 @@ struct Span
 struct TraceView
 {
     std::string source;
-    std::vector<Span> stall;
-    std::map<int, std::vector<Span>> sedated;
-    std::map<int, std::vector<Span>> gated;
-    std::vector<Span> heating, cooling;
+    // Multi-core traces stamp events with a core id (absent = core 0);
+    // spans are keyed so each core gets its own Gantt rows.
+    std::map<int, std::vector<Span>> stall;
+    std::map<std::pair<int, int>, std::vector<Span>> sedated;
+    std::map<std::pair<int, int>, std::vector<Span>> gated;
+    std::map<int, std::vector<Span>> heating, cooling;
     std::vector<double> dutyValues;
     double maxCycle = 0;
+    int maxCore = 0;
+
+    bool multiCore() const { return maxCore > 0; }
 };
 
 void
@@ -215,6 +231,7 @@ loadMatrix(const std::string &path, std::vector<RunView> &out,
             for (const json::Value &t : threads->array()) {
                 ThreadRow tr;
                 tr.index = static_cast<int>(t.numberOr("thread", 0));
+                tr.core = static_cast<int>(t.numberOr("core", 0));
                 tr.program = t.stringOr("program", "?");
                 tr.ipc = t.numberOr("ipc", 0);
                 tr.normalCycles = t.numberOr("normal_cycles", 0);
@@ -228,6 +245,26 @@ loadMatrix(const std::string &path, std::vector<RunView> &out,
             for (const auto &[name, val] : blocks->object())
                 if (val.isNumber())
                     v.blockPeaks.emplace_back(name, val.number());
+        }
+        if (const json::Value *cores = r->find("cores");
+            cores && cores->isArray()) {
+            for (const json::Value &c : cores->array()) {
+                CoreView cv;
+                cv.core = static_cast<int>(c.numberOr("core", 0));
+                cv.peak = c.numberOr("peak_temp_K", 0);
+                cv.emergencies = c.numberOr("emergencies", 0);
+                cv.stopGo = c.numberOr("stop_and_go_triggers", 0);
+                if (const json::Value *b = c.find("peak_per_block_K");
+                    b && b->isObject()) {
+                    for (const auto &[name, val] : b->object())
+                        if (val.isNumber())
+                            cv.blockPeaks.emplace_back(name,
+                                                       val.number());
+                }
+                v.coreViews.push_back(std::move(cv));
+            }
+            v.numCores =
+                std::max<int>(1, static_cast<int>(v.coreViews.size()));
         }
         if (const json::Value *h = r->find("histograms");
             h && h->isObject()) {
@@ -264,9 +301,12 @@ loadTrace(const std::string &path, TraceView &out)
         fatal("cannot read '%s'", path.c_str());
     std::string line;
     size_t lineno = 0;
-    // Open-span bookkeeping: -1 means "not currently open".
-    double stallStart = -1, heatStart = -1, peakCycle = -1;
-    std::map<int, double> sedStart, gateStart;
+    // Open-span bookkeeping, keyed per core (and per thread where the
+    // event carries one): -1 means "not currently open".
+    std::map<int, double> stallStart;
+    struct EpisodeOpen { double heat = -1, peak = -1; };
+    std::map<int, EpisodeOpen> episode;
+    std::map<std::pair<int, int>, double> sedStart, gateStart;
     while (std::getline(in, line)) {
         ++lineno;
         if (line.empty())
@@ -279,49 +319,57 @@ loadTrace(const std::string &path, TraceView &out)
         out.maxCycle = std::max(out.maxCycle, cycle);
         std::string kind = ev.stringOr("kind", "");
         int thread = static_cast<int>(ev.numberOr("thread", -1));
+        // The writer omits "core" on core 0 to keep single-core
+        // traces byte-identical to the pre-topology format.
+        int core = static_cast<int>(ev.numberOr("core", 0));
+        out.maxCore = std::max(out.maxCore, core);
+        std::pair<int, int> slot{core, thread};
         if (kind == "global_stall_on") {
-            stallStart = cycle;
+            stallStart[core] = cycle;
         } else if (kind == "global_stall_off") {
-            if (stallStart >= 0)
-                out.stall.push_back({stallStart, cycle});
-            stallStart = -1;
+            auto it = stallStart.find(core);
+            if (it != stallStart.end()) {
+                out.stall[core].push_back({it->second, cycle});
+                stallStart.erase(it);
+            }
         } else if (kind == "thread_sedated") {
-            sedStart[thread] = cycle;
+            sedStart[slot] = cycle;
         } else if (kind == "thread_released") {
-            auto it = sedStart.find(thread);
+            auto it = sedStart.find(slot);
             if (it != sedStart.end()) {
-                out.sedated[thread].push_back({it->second, cycle});
+                out.sedated[slot].push_back({it->second, cycle});
                 sedStart.erase(it);
             }
         } else if (kind == "fetch_gate_close") {
-            gateStart[thread] = cycle;
+            gateStart[slot] = cycle;
         } else if (kind == "fetch_gate_open") {
-            auto it = gateStart.find(thread);
+            auto it = gateStart.find(slot);
             if (it != gateStart.end()) {
-                out.gated[thread].push_back({it->second, cycle});
+                out.gated[slot].push_back({it->second, cycle});
                 gateStart.erase(it);
             }
         } else if (kind == "episode_rise_start") {
-            heatStart = cycle;   // re-arming overwrites an orphan rise
-            peakCycle = -1;
+            // Re-arming overwrites an orphan rise.
+            episode[core] = {cycle, -1};
         } else if (kind == "episode_peak") {
-            peakCycle = cycle;
+            episode[core].peak = cycle;
         } else if (kind == "episode_end") {
-            if (heatStart >= 0 && peakCycle >= heatStart) {
-                out.heating.push_back({heatStart, peakCycle});
-                out.cooling.push_back({peakCycle, cycle});
+            EpisodeOpen &ep = episode[core];
+            if (ep.heat >= 0 && ep.peak >= ep.heat) {
+                out.heating[core].push_back({ep.heat, ep.peak});
+                out.cooling[core].push_back({ep.peak, cycle});
             }
             out.dutyValues.push_back(ev.numberOr("value", 0));
-            heatStart = peakCycle = -1;
+            ep = {};
         }
     }
     // Close dangling spans at the end of the trace window.
-    if (stallStart >= 0)
-        out.stall.push_back({stallStart, out.maxCycle});
-    for (auto &[t, c] : sedStart)
-        out.sedated[t].push_back({c, out.maxCycle});
-    for (auto &[t, c] : gateStart)
-        out.gated[t].push_back({c, out.maxCycle});
+    for (auto &[c, start] : stallStart)
+        out.stall[c].push_back({start, out.maxCycle});
+    for (auto &[slot, c] : sedStart)
+        out.sedated[slot].push_back({c, out.maxCycle});
+    for (auto &[slot, c] : gateStart)
+        out.gated[slot].push_back({c, out.maxCycle});
 }
 
 // ---------------------------------------------------------------------
@@ -463,9 +511,127 @@ tickStep(double span, int maxTicks)
     return mag * 10;
 }
 
+/**
+ * Multi-core dies: one heatmap tile per core, arranged on the same
+ * near-square grid Topology uses (cols = ceil(sqrt(N)), row 0 at the
+ * bottom), all tiles sharing a single color ramp so cross-core
+ * gradients — the whole point of a coupled die — are visible at a
+ * glance.
+ */
+void
+emitTiledFloorplan(std::ostream &os, const RunView &run)
+{
+    os << "<h2>Peak temperature by core tile</h2>\n";
+    os << "<p class=\"sub\">" << run.coreViews.size()
+       << " EV6-style core tiles on one die, hottest sample per block "
+          "over the quantum; one shared color ramp; run \""
+       << esc(run.label) << "\".</p>\n";
+
+    Floorplan fp = Floorplan::ev6();
+    double maxX = 0, maxY = 0;
+    for (int i = 0; i < numBlocks; ++i) {
+        const Rect &r = fp.rect(blockFromIndex(i));
+        maxX = std::max(maxX, r.x + r.w);
+        maxY = std::max(maxY, r.y + r.h);
+    }
+    double lo = 1e300, hi = -1e300;
+    for (const CoreView &cv : run.coreViews)
+        for (const auto &[name, k] : cv.blockPeaks) {
+            lo = std::min(lo, k);
+            hi = std::max(hi, k);
+        }
+    if (hi <= lo)
+        hi = lo + 1;
+
+    int n = static_cast<int>(run.coreViews.size());
+    int cols = std::max(
+        1, static_cast<int>(std::ceil(std::sqrt(double(n)))));
+    int rows = (n + cols - 1) / cols;
+
+    const double W = 440, gap = 10, labelH = 14, legendH = 44;
+    double tileW = (W - gap * (cols - 1)) / cols;
+    double tileH = tileW * maxY / maxX;
+    double rowPitch = tileH + labelH + gap;
+    double H = rows * rowPitch - gap;
+    os << fmt("<svg viewBox=\"0 0 %.0f %.0f\" width=\"%.0f\" "
+              "height=\"%.0f\" role=\"img\" "
+              "aria-label=\"tiled floorplan heatmap\">\n",
+              W, H + legendH, W, H + legendH);
+    for (int ci = 0; ci < n; ++ci) {
+        const CoreView &cv = run.coreViews[ci];
+        int col = ci % cols, row = ci / cols;
+        double ox = col * (tileW + gap);
+        // Row 0 at the bottom, like the die's own coordinates.
+        double oy = (rows - 1 - row) * rowPitch + labelH;
+        os << fmt("<text class=\"lbl2\" x=\"%.2f\" y=\"%.2f\" "
+                  "text-anchor=\"middle\">core %d · %.1f K</text>\n",
+                  ox + tileW / 2, oy - 3, cv.core, cv.peak);
+        os << fmt("<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" "
+                  "height=\"%.2f\" fill=\"none\" class=\"gridline\"/>"
+                  "\n",
+                  ox, oy, tileW, tileH);
+        for (const auto &[name, k] : cv.blockPeaks) {
+            int idx = -1;
+            for (int i = 0; i < numBlocks; ++i)
+                if (name == blockName(blockFromIndex(i)))
+                    idx = i;
+            if (idx < 0)
+                continue;
+            const Rect &r = fp.rect(blockFromIndex(idx));
+            double x = ox + r.x / maxX * tileW;
+            double w = r.w / maxX * tileW;
+            double y = oy + tileH - (r.y + r.h) / maxY * tileH;
+            double h = r.h / maxY * tileH;
+            double t = (k - lo) / (hi - lo);
+            os << fmt("<rect class=\"mark\" x=\"%.2f\" y=\"%.2f\" "
+                      "width=\"%.2f\" height=\"%.2f\" fill=\"%s\">",
+                      x + 0.5, y + 0.5, std::max(0.0, w - 1),
+                      std::max(0.0, h - 1), rampColor(t).c_str())
+               << "<title>core " << cv.core << " " << esc(name) << ": "
+               << fmt("%.2f K", k) << "</title></rect>\n";
+        }
+    }
+    // Legend: the shared ramp with its end-point values.
+    double ly = H + 16;
+    for (int i = 0; i < 60; ++i)
+        os << fmt("<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" "
+                  "height=\"10\" fill=\"%s\"/>\n",
+                  120 + i * 3.0, ly, 3.0, rampColor(i / 59.0).c_str());
+    os << fmt("<text class=\"axis\" x=\"114\" y=\"%.2f\" "
+              "text-anchor=\"end\">%.1f K</text>\n", ly + 9, lo);
+    os << fmt("<text class=\"axis\" x=\"%.2f\" y=\"%.2f\">%.1f K"
+              "</text>\n", 120 + 60 * 3.0 + 6, ly + 9, hi);
+    os << "</svg>\n";
+
+    os << "<details><summary class=\"note\">table view</summary>\n"
+          "<table><thead><tr><th>block</th>";
+    for (const CoreView &cv : run.coreViews)
+        os << "<th>core " << cv.core << " K</th>";
+    os << "</tr></thead><tbody>\n";
+    if (!run.coreViews.empty()) {
+        for (size_t b = 0; b < run.coreViews[0].blockPeaks.size();
+             ++b) {
+            os << "<tr><td>"
+               << esc(run.coreViews[0].blockPeaks[b].first) << "</td>";
+            for (const CoreView &cv : run.coreViews)
+                os << "<td>"
+                   << (b < cv.blockPeaks.size()
+                           ? fmt("%.2f", cv.blockPeaks[b].second)
+                           : std::string("—"))
+                   << "</td>";
+            os << "</tr>\n";
+        }
+    }
+    os << "</tbody></table></details>\n";
+}
+
 void
 emitFloorplan(std::ostream &os, const RunView &run)
 {
+    if (run.coreViews.size() > 1) {
+        emitTiledFloorplan(os, run);
+        return;
+    }
     os << "<h2>Peak temperature by block</h2>\n";
     if (run.blockPeaks.empty()) {
         os << "<p class=\"note\">No per-block peak temperatures in the "
@@ -664,18 +830,33 @@ emitGantt(std::ostream &os, const TraceView &tr)
         const std::vector<Span> *spans;
     };
     std::vector<Row> rows;
-    if (!tr.heating.empty()) {
-        rows.push_back({"heating", "var(--cat2)", &tr.heating});
-        rows.push_back({"cooling", "var(--cat3)", &tr.cooling});
+    // Rows group by core; single-core traces keep the unprefixed
+    // legacy row names.
+    auto rowName = [&](int core, const std::string &name) {
+        return tr.multiCore() ? fmt("c%d · %s", core, name.c_str())
+                              : name;
+    };
+    for (int core = 0; core <= tr.maxCore; ++core) {
+        if (auto it = tr.heating.find(core); it != tr.heating.end()) {
+            rows.push_back({rowName(core, "heating"), "var(--cat2)",
+                            &it->second});
+            rows.push_back({rowName(core, "cooling"), "var(--cat3)",
+                            &tr.cooling.at(core)});
+        }
+        if (auto it = tr.stall.find(core); it != tr.stall.end())
+            rows.push_back({rowName(core, "global stall"),
+                            "var(--critical)", &it->second});
+        for (const auto &[slot, spans] : tr.sedated)
+            if (slot.first == core)
+                rows.push_back({rowName(core,
+                                        fmt("sedated t%d", slot.second)),
+                                "var(--warning)", &spans});
+        for (const auto &[slot, spans] : tr.gated)
+            if (slot.first == core)
+                rows.push_back(
+                    {rowName(core, fmt("fetch gate t%d", slot.second)),
+                     "var(--serious)", &spans});
     }
-    if (!tr.stall.empty())
-        rows.push_back({"global stall", "var(--critical)", &tr.stall});
-    for (const auto &[t, spans] : tr.sedated)
-        rows.push_back({fmt("sedated t%d", t), "var(--warning)",
-                        &spans});
-    for (const auto &[t, spans] : tr.gated)
-        rows.push_back({fmt("fetch gate t%d", t), "var(--serious)",
-                        &spans});
 
     const double W = 760, rowH = 20, gap = 8, mL = 110, mB = 26;
     const double H = rows.size() * (rowH + gap) + mB + 4;
@@ -728,12 +909,15 @@ emitIpcBars(std::ostream &os, const std::vector<RunView> &runs)
     std::vector<Bar> bars;
     for (const RunView &r : runs)
         for (const ThreadRow &t : r.threads) {
+            // Multi-core runs tag each context with its core tile.
+            std::string slot =
+                r.numCores > 1
+                    ? fmt("c%d t%d", t.core, t.index)
+                    : "t" + std::to_string(t.index);
             std::string label = runs.size() > 1
-                                    ? r.label + " · t" +
-                                          std::to_string(t.index) +
-                                          " " + t.program
-                                    : "t" + std::to_string(t.index) +
-                                          " " + t.program;
+                                    ? r.label + " · " + slot + " " +
+                                          t.program
+                                    : slot + " " + t.program;
             double total = t.normalCycles + t.coolingCycles +
                            t.sedationCycles;
             bars.push_back(

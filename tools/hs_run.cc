@@ -17,6 +17,11 @@
  *   --asm FILE           add a thread assembled from FILE (repeatable)
  *   --each               run each workload as its own solo quantum
  *                        (a RunSpec matrix) instead of co-scheduled
+ *   --cores N            compose N core tiles on one shared die
+ *                        (default 1; see docs/TOPOLOGY.md)
+ *   --place a,b,...      core of each workload in listing order
+ *                        (entries in [0,cores); default: all on
+ *                        core 0; needs --cores, not with --each)
  *   --jobs N             engine worker threads (default: HS_JOBS or
  *                        all hardware threads)
  *   --json FILE          write specs + results + metrics as JSON
@@ -82,8 +87,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--spec NAME]... [--variant N]... "
                  "[--asm FILE]...\n"
-                 "       [--each] [--jobs N] [--json FILE] "
-                 "[--csv FILE]\n"
+                 "       [--each] [--cores N] [--place a,b,...] "
+                 "[--jobs N] [--json FILE] [--csv FILE]\n"
                  "       [--dtm none|stopgo|sedation|dvfs|fetchgate] "
                  "[--sink ideal|real]\n"
                  "       [--scale S] [--conv R] [--upper K] "
@@ -174,17 +179,38 @@ printRun(const RunSpec &spec, const RunResult &r)
                 r.avgTotalPowerW, r.peakTempOverall,
                 blockName(r.hottestBlock),
                 static_cast<unsigned long long>(r.emergencies));
+    if (r.numCores > 1) {
+        TablePrinter cores_table(std::cout);
+        cores_table.header({"core", "peak K", "hottest", "emergencies",
+                            "stop&go", "stall cycles"});
+        for (const CoreResult &cr : r.cores)
+            cores_table.row(
+                {std::to_string(cr.core),
+                 TablePrinter::num(cr.peakTempOverall),
+                 blockName(cr.hottestBlock),
+                 std::to_string(cr.emergencies),
+                 std::to_string(cr.stopAndGoTriggers),
+                 std::to_string(cr.coolingStallCycles)});
+        std::printf("\n");
+    }
     TablePrinter table(std::cout);
-    table.header({"thread", "program", "IPC", "IntReg/cyc", "normal%",
-                  "cooling%", "sedated%"});
+    std::vector<std::string> head{"thread", "program", "IPC",
+                                  "IntReg/cyc", "normal%", "cooling%",
+                                  "sedated%"};
+    if (r.numCores > 1)
+        head.insert(head.begin() + 1, "core");
+    table.header(head);
     for (size_t t = 0; t < r.threads.size(); ++t) {
         const ThreadResult &tr = r.threads[t];
-        table.row({std::to_string(t), tr.program,
-                   TablePrinter::num(tr.ipc),
-                   TablePrinter::num(tr.intRegAccessRate),
-                   TablePrinter::num(r.normalFraction(t) * 100, 1),
-                   TablePrinter::num(r.coolingFraction(t) * 100, 1),
-                   TablePrinter::num(r.sedationFraction(t) * 100, 1)});
+        std::vector<std::string> row{
+            std::to_string(t), tr.program, TablePrinter::num(tr.ipc),
+            TablePrinter::num(tr.intRegAccessRate),
+            TablePrinter::num(r.normalFraction(t) * 100, 1),
+            TablePrinter::num(r.coolingFraction(t) * 100, 1),
+            TablePrinter::num(r.sedationFraction(t) * 100, 1)};
+        if (r.numCores > 1)
+            row.insert(row.begin() + 1, std::to_string(tr.core));
+        table.row(row);
     }
     if (!r.sedationEvents.empty()) {
         std::printf("%zu sedation action(s); first at cycle %llu "
@@ -282,6 +308,9 @@ main(int argc, char **argv)
     int deschedule = 0;
     int jobs = 0;
     bool each = false;
+    int cores = 1;
+    std::vector<int> place;
+    bool have_place = false;
     std::string temp_trace_path, trace_path, trace_filter;
     std::string json_path, csv_path;
     bool dump_stats = false;
@@ -333,6 +362,28 @@ main(int argc, char **argv)
         } else if (arg == "--each") {
             flagOnly();
             each = true;
+        } else if (arg == "--cores") {
+            std::string v = value();
+            long n = parseInt(argv[0], arg, v);
+            if (n < 1)
+                badValue(argv[0], arg, v, "a positive integer");
+            cores = static_cast<int>(n);
+        } else if (arg == "--place") {
+            std::string v = value();
+            place.clear();
+            have_place = true;
+            size_t pos = 0;
+            while (true) {
+                size_t comma = v.find(',', pos);
+                std::string item = v.substr(
+                    pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+                long n = parseInt(argv[0], arg, item);
+                place.push_back(static_cast<int>(n));
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
         } else if (arg == "--jobs") {
             std::string v = value();
             long n = parseInt(argv[0], arg, v);
@@ -416,6 +467,31 @@ main(int argc, char **argv)
                              "--variant 2\n");
         usage(argv[0]);
     }
+    if (have_place) {
+        if (each) {
+            std::fprintf(stderr,
+                         "%s: --place maps one co-scheduled mix; drop "
+                         "--each\n",
+                         argv[0]);
+            usage(argv[0]);
+        }
+        if (place.size() != workloads.size()) {
+            std::fprintf(stderr,
+                         "%s: --place lists %zu cores for %zu "
+                         "workloads\n",
+                         argv[0], place.size(), workloads.size());
+            usage(argv[0]);
+        }
+        for (int c : place) {
+            if (c < 0 || c >= cores) {
+                std::fprintf(stderr,
+                             "%s: --place entry %d is outside [0, %d); "
+                             "raise --cores\n",
+                             argv[0], c, cores);
+                usage(argv[0]);
+            }
+        }
+    }
     uint32_t trace_mask = traceAllCategories;
     if (!trace_filter.empty()) {
         if (trace_path.empty()) {
@@ -448,6 +524,7 @@ main(int argc, char **argv)
             s.opts = opts;
             s.sensorNoiseK = noise;
             s.descheduleAfter = deschedule;
+            s.numCores = cores;
             s.label = w.name;
             specs.push_back(s);
         }
@@ -458,6 +535,8 @@ main(int argc, char **argv)
         s.sensorNoiseK = noise;
         s.descheduleAfter = deschedule;
         s.traceEvents = !trace_path.empty();
+        s.numCores = cores;
+        s.placement = place;
         s.label = "mix";
         specs.push_back(s);
     }
