@@ -12,15 +12,19 @@
  *  - stalled: malicious variant 1 under stop-and-go. The pipeline
  *             spends most of the quantum globally stalled, so this
  *             measures the advanceStalled() fast-forward path.
- *  - matrix_cold / matrix_prefix: a six-cell sedation threshold sweep
- *             (the Section 5.6 figure shape) run once with prefix
- *             sharing disabled and once with it enabled. The cells
- *             differ only in thresholds, so the engine simulates the
- *             shared warm-up once and forks the rest from a snapshot;
- *             both rows are checked cell-for-cell bit-identical before
- *             anything is reported. mcps here is *effective*
- *             throughput (simulated cycles delivered per host second),
- *             which is exactly what prefix sharing improves.
+ *  - matrix_cold / matrix_prefix / matrix_batched: a fig-5-style
+ *             policy matrix — two benign workload pairs, each swept
+ *             across every DTM mode, ten sedation thresholds and the
+ *             usage ablation (32 cells) — run with the engine solo
+ *             (prefix off), with prefix sharing, and with the
+ *             lockstep batch engine at width 16. The cells of a pair
+ *             differ only in policy fields, so batching advances each
+ *             pair's whole sweep behind a handful of scouts and
+ *             multi-RHS thermal passes; all three rows are checked
+ *             cell-for-cell bit-identical before anything is
+ *             reported. mcps here is *effective* throughput
+ *             (simulated cycles delivered per host second), which is
+ *             exactly what sharing improves.
  *
  * Output ends with one machine-parsable line per row:
  *
@@ -133,25 +137,66 @@ main()
               builds.back().ms);
     std::printf("\n");
 
-    // --- prefix-sharing macro-benchmark --------------------------------
+    // --- engine macro-benchmark: fig-5-style policy matrix --------------
+    //
+    // Two benign workload pairs, each swept across every policy lane
+    // the paper's figures use. Benign pairs never reach a trigger, so
+    // each pair's thermal lanes share one scout to the last sensor
+    // boundary and only the quantum tail is re-simulated per cell —
+    // the shape batching is built for.
 
     std::vector<RunSpec> sweep;
-    for (double upper : {355.5, 356.0, 356.5, 357.0, 357.5, 358.0}) {
+    auto addPolicyLanes = [&](const char *wa, const char *wb) {
+        char label[64];
+        auto lane = [&](const char *kind, ExperimentOptions o) {
+            std::snprintf(label, sizeof(label), "%s+%s_%s", wa, wb,
+                          kind);
+            sweep.push_back(specPairSpec(wa, wb, o).withLabel(label));
+        };
         ExperimentOptions o = base;
         o.sink = SinkType::Realistic;
-        o.dtm = DtmMode::SelectiveSedation;
-        o.upperThreshold = upper;
-        o.lowerThreshold = upper - 1.0;
-        char label[32];
-        std::snprintf(label, sizeof(label), "sed%.1f", upper);
-        sweep.push_back(specPairSpec("gcc", "mesa", o).withLabel(label));
-    }
+        o.dtm = DtmMode::None;
+        lane("none", o);
+        o.dtm = DtmMode::StopAndGo;
+        lane("stopgo", o);
+        o.dtm = DtmMode::DvfsThrottle;
+        lane("dvfs", o);
+        o.dtm = DtmMode::FetchGating;
+        lane("fetchgate", o);
+        for (double upper : {355.0, 355.25, 355.5, 355.75, 356.0,
+                             356.5, 357.0, 357.25, 357.5, 358.0}) {
+            ExperimentOptions s = base;
+            s.sink = SinkType::Realistic;
+            s.dtm = DtmMode::SelectiveSedation;
+            s.upperThreshold = upper;
+            s.lowerThreshold = upper - 1.0;
+            char kind[24];
+            std::snprintf(kind, sizeof(kind), "sed%.2f", upper);
+            lane(kind, s);
+        }
+        // The usage ablation forms its own divergence group (prefix
+        // sharing must run it cold; the batch engine lanes it).
+        for (double upper : {356.0, 357.0}) {
+            ExperimentOptions s = base;
+            s.sink = SinkType::Realistic;
+            s.dtm = DtmMode::SelectiveSedation;
+            s.upperThreshold = upper;
+            s.lowerThreshold = upper - 1.0;
+            s.sedationUsageThreshold = true;
+            char kind[24];
+            std::snprintf(kind, sizeof(kind), "usage%.0f", upper);
+            lane(kind, s);
+        }
+    };
+    addPolicyLanes("gcc", "mesa");
+    addPolicyLanes("gcc", "vortex");
 
-    auto timeSweep = [&sweep](bool prefix_on,
+    auto timeSweep = [&sweep](bool prefix_on, int batch_width,
                               std::vector<RunResult> &out) -> double {
-        ResultStore store; // private: both passes simulate every cell
+        ResultStore store; // private: every pass simulates every cell
         ParallelRunner runner(envJobs(), &store);
         runner.setPrefixSharing(prefix_on);
+        runner.setBatchWidth(batch_width);
         auto t0 = std::chrono::steady_clock::now();
         out = runner.run(sweep);
         return std::chrono::duration<double>(
@@ -159,13 +204,18 @@ main()
             .count();
     };
 
-    std::vector<RunResult> cold_r, warm_r;
-    double cold_s = timeSweep(false, cold_r);
-    double warm_s = timeSweep(true, warm_r);
+    std::vector<RunResult> cold_r, warm_r, batch_r;
+    double cold_s = timeSweep(false, 1, cold_r);
+    double warm_s = timeSweep(true, 1, warm_r);
+    double batch_s = timeSweep(false, 16, batch_r);
     for (size_t i = 0; i < sweep.size(); ++i) {
         if (!(cold_r[i] == warm_r[i]))
             fatal("bench_hotpath: prefix-shared result for cell %s "
                   "differs from its cold run",
+                  sweep[i].label.c_str());
+        if (!(cold_r[i] == batch_r[i]))
+            fatal("bench_hotpath: batched result for cell %s differs "
+                  "from its cold run",
                   sweep[i].label.c_str());
     }
 
@@ -173,10 +223,13 @@ main()
     for (const RunResult &r : cold_r)
         sweep_cycles += r.cycles;
     double speedup = warm_s > 0.0 ? cold_s / warm_s : 0.0;
-    std::printf("six-cell sedation threshold sweep, identical results "
-                "both ways:\n");
-    std::printf("  cold   %.3f s, prefix-shared %.3f s -> %.2fx\n\n",
-                cold_s, warm_s, speedup);
+    double batch_speedup = batch_s > 0.0 ? cold_s / batch_s : 0.0;
+    std::printf("%zu-cell policy matrix (2 workload pairs x 16 policy "
+                "lanes), identical results all three ways:\n",
+                sweep.size());
+    std::printf("  cold %.3f s, prefix-shared %.3f s (%.2fx), batched "
+                "w16 %.3f s (%.2fx)\n\n",
+                cold_s, warm_s, speedup, batch_s, batch_speedup);
 
     for (size_t i = 0; i < specs.size(); ++i) {
         const RunResult &r = results[i];
@@ -202,7 +255,15 @@ main()
                 warm_s > 0.0
                     ? static_cast<double>(sweep_cycles) / warm_s / 1e6
                     : 0.0);
+    std::printf("[hotpath] label=matrix_batched cycles=%llu host_s=%.4f "
+                "mcps=%.3f\n",
+                sweep_cycles, batch_s,
+                batch_s > 0.0
+                    ? static_cast<double>(sweep_cycles) / batch_s / 1e6
+                    : 0.0);
     std::printf("[hotpath] label=matrix_speedup x=%.3f\n", speedup);
+    std::printf("[hotpath] label=matrix_batch_speedup x=%.3f\n",
+                batch_speedup);
     // No mcps= on these rows: construction cost is not a throughput
     // and must stay out of the perf-gate baseline.
     for (const BuildRow &b : builds)

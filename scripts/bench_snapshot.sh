@@ -1,10 +1,11 @@
 #!/bin/sh
-# Emit results/BENCH_PR5.json: a machine-readable snapshot of the two
+# Emit results/BENCH_PR7.json: a machine-readable snapshot of the two
 # throughput surfaces this repo cares about.
 #
 #  - "hotpath_mcps": per-cost-centre throughput rows from
 #    bench_hotpath (tick / thermal / stalled / matrix_cold /
-#    matrix_prefix, Mcycles of simulated time per host second)
+#    matrix_prefix / matrix_batched, Mcycles of simulated time per
+#    host second)
 #  - "matrix": cells/sec for every experiment-engine bench that has a
 #    results/<bench>.txt transcript, parsed from the "[engine] N runs
 #    ... in S s" summary each bench prints
@@ -23,7 +24,7 @@ set -e
 cd "$(dirname "$0")/.."
 
 SCALE="${HS_SCALE:-200}"
-OUT="results/BENCH_PR5.json"
+OUT="results/BENCH_PR7.json"
 mkdir -p results
 
 if [ ! -d build ]; then

@@ -17,9 +17,10 @@
 #                    perf change) — baselines are machine-specific.
 #
 # The gate compares each labelled row (tick / thermal / stalled /
-# matrix_cold / matrix_prefix) independently so a regression can be
-# attributed to the pipeline, the thermal kernels, the stalled
-# fast-forward path, or the experiment engine's prefix sharing.
+# matrix_cold / matrix_prefix / matrix_batched) independently so a
+# regression can be attributed to the pipeline, the thermal kernels,
+# the stalled fast-forward path, or the experiment engine's prefix
+# sharing / lockstep batching.
 #
 # Registered with ctest as the opt-in "perf" label (ctest -L perf);
 # exits 77 (ctest SKIP) when no baseline exists on this machine.
@@ -72,7 +73,8 @@ if [ "${HS_PERF_REFRESH:-0}" = "1" ]; then
 fi
 
 FAIL=0
-for LABEL in tick thermal stalled matrix_cold matrix_prefix; do
+for LABEL in tick thermal stalled matrix_cold matrix_prefix \
+             matrix_batched; do
     NOW="$(printf '%s\n' "$LINES" |
         awk -v l="$LABEL" '
             { for (i = 1; i <= NF; ++i) {

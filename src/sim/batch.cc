@@ -1,0 +1,316 @@
+#include "sim/batch.hh"
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/blocks.hh"
+#include "common/log.hh"
+#include "core/sedation.hh"
+#include "core/usage_monitor.hh"
+#include "sim/result_store.hh"
+#include "sim/runner.hh"
+#include "sim/simulator.hh"
+#include "thermal/thermal_model.hh"
+
+namespace hs {
+namespace {
+
+/// Sensor samples between batch snapshots (same trailing distance as
+/// the prefix engine's kPrefixStrideSamples).
+constexpr Cycles kBatchStrideSamples = 4;
+
+/** One policy variant inside a scout: a distinct canonical key and
+ *  the spec indices that share it. */
+struct Lane
+{
+    SimConfig cfg;               ///< full config (policy thresholds)
+    std::vector<size_t> members; ///< indices into the spec matrix
+    bool peeled = false;
+    std::shared_ptr<const SimSnapshot> fork; ///< null = run cold
+};
+
+/** One lockstep scout: a neutralised simulator advancing the shared
+ *  history of up to batchWidth_ lanes. */
+struct Scout
+{
+    std::unique_ptr<Simulator> sim;
+    std::vector<Lane> lanes;
+    std::shared_ptr<const SimSnapshot> cur; ///< latest stride snapshot
+    Cycles samplesSinceSave = 0;
+    bool active = false;
+    Simulator::ScoutChunk chunk = Simulator::ScoutChunk::End;
+    std::string thermalKey; ///< cohort key for multi-RHS stepping
+};
+
+/** Scouts whose thermal networks were built from identical parameters
+ *  may share one multi-RHS pass (ThermalModel::stepBatch contract).
+ *  dt depends on sensorInterval and the clock, so key those too. */
+std::string
+thermalKeyOf(const SimConfig &cfg)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "%.17g;%.17g;%d;%.17g;%llu;%.17g",
+                  cfg.thermal.timeScale, cfg.thermal.convectionR,
+                  cfg.thermal.idealSink ? 1 : 0, cfg.thermal.dieShrink,
+                  static_cast<unsigned long long>(cfg.sensorInterval),
+                  cfg.energy.frequencyHz);
+    return buf;
+}
+
+/**
+ * Could @p cfg 's DTM stack act — or emit a trace event — at the
+ * sensor sample @p scout just finished? Policies are strict no-ops
+ * while disengaged and under their trigger, and no lane is ever
+ * engaged before it peels, so only the engage conditions matter.
+ * Conservative by construction: peeling early costs a few shared
+ * cycles, peeling late would break bit-identity.
+ */
+bool
+laneWouldAct(const SimConfig &cfg, Simulator &scout)
+{
+    Kelvin obs = scout.lastObservedMax();
+    // Every mode but None carries the stop-and-go safety net.
+    bool safety_net = obs >= cfg.stopAndGo.triggerTemp;
+    switch (cfg.dtm) {
+      case DtmMode::None:
+        return false;
+      case DtmMode::StopAndGo:
+        return safety_net;
+      case DtmMode::SelectiveSedation: {
+        if (safety_net)
+            return true;
+        // Thermal trigger; >= upper also covers the SedUpperCross
+        // trace emitted at the crossing even when no culprit can be
+        // sedated.
+        if (!cfg.sedation.useUsageThreshold)
+            return obs >= cfg.sedation.upperThreshold;
+        // Usage ablation: mirror the trigger scan against the scout's
+        // own monitor, which (below any trigger) evolved identically
+        // to the lane's. Pre-peel nothing is sedated, so the policy's
+        // !isSedated() filter is vacuous here.
+        const SelectiveSedation *sed = scout.sedationPolicy(0);
+        if (sed == nullptr)
+            fatal("BatchRunner: scout lost its sedation monitor");
+        const UsageMonitor &mon = sed->monitor();
+        int nt = scout.numThreads();
+        for (ThreadId t = 0; t < nt; ++t) {
+            if (!scout.threadActive(t))
+                continue;
+            for (int b = 0; b < numBlocks; ++b)
+                if (mon.weightedAvg(t, blockFromIndex(b)) >=
+                    cfg.sedation.usageThreshold)
+                    return true;
+        }
+        return false;
+      }
+      case DtmMode::DvfsThrottle:
+        return safety_net || obs >= cfg.dvfs.triggerTemp;
+      case DtmMode::FetchGating:
+        return safety_net || obs >= cfg.fetchGating.triggerTemp;
+    }
+    return true; // unreachable; peel (always safe) if it ever isn't
+}
+
+} // namespace
+
+BatchRunner::BatchRunner(int batch_width, ResultStore *store)
+    : batchWidth_(batch_width), store_(store)
+{
+    if (batch_width < 2)
+        fatal("BatchRunner: batch width must be >= 2, got %d",
+              batch_width);
+}
+
+std::vector<std::shared_ptr<const SimSnapshot>>
+BatchRunner::buildForkSnapshots(const std::vector<RunSpec> &specs,
+                                std::vector<char> &handled)
+{
+    std::vector<std::shared_ptr<const SimSnapshot>> snaps(specs.size());
+    handled.assign(specs.size(), 0);
+
+    // Group cells by shared history, preserving first-seen order so
+    // scout construction (and with it every fork) is deterministic.
+    struct Group
+    {
+        std::vector<size_t> members;
+    };
+    std::vector<Group> groups;
+    std::unordered_map<std::string, size_t> gindex;
+    for (size_t i = 0; i < specs.size(); ++i) {
+        auto [it, fresh] =
+            gindex.emplace(specs[i].divergenceKey(), groups.size());
+        if (fresh)
+            groups.emplace_back();
+        groups[it->second].members.push_back(i);
+    }
+
+    // Build scouts: one lane per distinct fresh canonical key, chunked
+    // into scouts of at most batchWidth_ lanes.
+    std::vector<Scout> scouts;
+    for (Group &g : groups) {
+        const RunSpec &rep = specs[g.members.front()];
+        if (rep.numCores > 1)
+            continue; // multi-core batching deferred → prefix/solo
+        std::vector<Lane> lanes;
+        std::unordered_map<std::string, size_t> lindex;
+        for (size_t i : g.members) {
+            std::string key = specs[i].canonicalKey();
+            auto it = lindex.find(key);
+            if (it == lindex.end()) {
+                if (store_ != nullptr && store_->contains(specs[i]))
+                    continue; // cached lanes need no fork snapshot
+                it = lindex.emplace(std::move(key), lanes.size()).first;
+                Lane lane;
+                lane.cfg = runSpecConfig(specs[i]);
+                lanes.push_back(std::move(lane));
+            }
+            lanes[it->second].members.push_back(i);
+        }
+        if (lanes.size() < 2)
+            continue; // a scout only pays for itself with >= 2 lanes
+        for (size_t i : g.members)
+            handled[i] = 1;
+        ++stats_.groups;
+        stats_.lanes += lanes.size();
+        for (size_t base = 0; base < lanes.size();
+             base += static_cast<size_t>(batchWidth_)) {
+            size_t end = std::min(
+                base + static_cast<size_t>(batchWidth_), lanes.size());
+            Scout s;
+            s.lanes.assign(std::make_move_iterator(lanes.begin() +
+                                                   static_cast<long>(base)),
+                           std::make_move_iterator(lanes.begin() +
+                                                   static_cast<long>(end)));
+            s.sim = makePrefixSimulator(
+                specs[s.lanes.front().members.front()]);
+            s.thermalKey = thermalKeyOf(s.lanes.front().cfg);
+            scouts.push_back(std::move(s));
+        }
+    }
+    if (scouts.empty())
+        return snaps;
+
+    // A scout is done: account its cycles and hand every lane its
+    // fork. Lanes still riding fork from the latest stride snapshot
+    // (the forced last-boundary save when the quantum ran out, the
+    // pre-halt snapshot when the machine drained). A null fork means
+    // the lane runs cold.
+    auto finish = [&](Scout &s) {
+        stats_.scoutCycles += s.sim->pipeline(0).cycle();
+        for (Lane &lane : s.lanes) {
+            if (!lane.peeled) {
+                lane.fork = s.cur;
+                ++stats_.riddenLanes;
+            }
+            if (lane.fork) {
+                stats_.savedCycles += lane.fork->cycle;
+                for (size_t i : lane.members)
+                    snaps[i] = lane.fork;
+            }
+        }
+    };
+
+    // The lockstep driver: advance every scout to its next sensor
+    // boundary, cohort same-shape thermal networks through one
+    // multi-RHS pass, then peel/save per scout.
+    for (Scout &s : scouts) {
+        s.sim->beginScout();
+        s.active = true;
+    }
+    size_t active = scouts.size();
+    ThermalBatchScratch scratch;
+    std::vector<Scout *> sampling;
+    std::vector<ThermalModel *> models;
+    std::vector<const std::vector<Watts> *> powers;
+    std::vector<size_t> cohort;
+    std::vector<char> done;
+
+    while (active > 0) {
+        sampling.clear();
+        for (Scout &s : scouts) {
+            if (!s.active)
+                continue;
+            s.chunk = s.sim->runScoutChunk();
+            if (s.chunk == Simulator::ScoutChunk::AtSensor)
+                sampling.push_back(&s);
+        }
+
+        // Multi-RHS thermal step per cohort of compatible scouts.
+        done.assign(sampling.size(), 0);
+        for (size_t i = 0; i < sampling.size(); ++i) {
+            if (done[i])
+                continue;
+            cohort.clear();
+            models.clear();
+            powers.clear();
+            for (size_t j = i; j < sampling.size(); ++j) {
+                if (done[j] ||
+                    sampling[j]->thermalKey != sampling[i]->thermalKey)
+                    continue;
+                done[j] = 1;
+                cohort.push_back(j);
+                models.push_back(&sampling[j]->sim->thermal());
+                powers.push_back(&sampling[j]->sim->pendingThermalPower());
+            }
+            ThermalModel::stepBatch(models, powers,
+                                    sampling[i]->sim->sensorDt(),
+                                    scratch);
+            ++stats_.thermalBatchSteps;
+            stats_.thermalBatchLanes += models.size();
+            for (size_t j : cohort)
+                sampling[j]->sim->finishSensorSample();
+        }
+
+        for (Scout &s : scouts) {
+            if (!s.active)
+                continue;
+            if (s.chunk != Simulator::ScoutChunk::AtSensor) {
+                finish(s);
+                s.active = false;
+                --active;
+                continue;
+            }
+            // Peel lanes whose policy could have acted at this sample
+            // — strictly before this boundary's save, so every fork
+            // precedes the lane's first possible action.
+            bool all_peeled = true;
+            for (Lane &lane : s.lanes) {
+                if (lane.peeled)
+                    continue;
+                if (laneWouldAct(lane.cfg, *s.sim)) {
+                    lane.peeled = true;
+                    lane.fork = s.cur;
+                    ++stats_.peeledLanes;
+                } else {
+                    all_peeled = false;
+                }
+            }
+            if (s.sim->machineHalted() || all_peeled) {
+                finish(s);
+                s.active = false;
+                --active;
+                continue;
+            }
+            ++s.samplesSinceSave;
+            const SimConfig &cfg = s.sim->config();
+            bool last_boundary =
+                cfg.quantumCycles - s.sim->pipeline(0).cycle() <
+                cfg.sensorInterval;
+            if (s.samplesSinceSave >= kBatchStrideSamples ||
+                last_boundary) {
+                // A fresh snapshot per save: peeled lanes keep
+                // pointers to the boundary they peeled at.
+                auto snap = std::make_shared<SimSnapshot>();
+                s.sim->save(*snap);
+                s.cur = std::move(snap);
+                s.samplesSinceSave = 0;
+            }
+        }
+    }
+    return snaps;
+}
+
+} // namespace hs

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Batched lockstep simulation (the batch engine).
+ *
+ * A divergence group (cells that differ only in DTM policy fields,
+ * RunSpec::divergenceKey()) shares one simulated history until the
+ * first sensor sample at which some member's policy could act. The
+ * prefix-sharing engine (PR 3) exploits that with a single
+ * conservative bound: one warm-up stops at the *group minimum* acting
+ * temperature, and cells that can act on usage alone never share at
+ * all.
+ *
+ * The batch engine replaces the bound with per-cell *lanes*. One
+ * neutralised scout simulator advances the shared history one sensor
+ * interval at a time (Simulator::runScoutChunk()); at every sample
+ * each lane's policy thresholds are evaluated against what the scout
+ * observed — the noised hottest temperature, and for the usage
+ * ablation the scout's own EWMA monitor, which below any trigger
+ * evolves identically in every member. A lane whose policy could act
+ * (or emit a trace event) peels out of the batch with the last stride
+ * snapshot strictly preceding that sample; lanes that never act ride
+ * to the end of the quantum and fork from the final boundary
+ * snapshot. Every lane then finishes through the existing solo path
+ * (executeFromSnapshot), so batched results are bit-identical to cold
+ * runs by construction.
+ *
+ * Scouts of *different* groups run in lockstep too: scouts whose
+ * thermal configurations match advance their RC networks through one
+ * multi-RHS CSR pass per sensor sample (ThermalModel::stepBatch) —
+ * the structure-of-arrays kernel this PR adds to src/thermal.
+ *
+ * Batching engages on matrix sweeps with at least two fresh sibling
+ * cells per group; single runs and multi-core topologies fall back to
+ * the solo / prefix paths (docs/PERFORMANCE.md).
+ */
+
+#ifndef HS_SIM_BATCH_HH
+#define HS_SIM_BATCH_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/run_spec.hh"
+#include "sim/snapshot.hh"
+
+namespace hs {
+
+class ResultStore;
+
+/** Batch-engine counters (engine summaries and benches; deliberately
+ *  absent from the metrics registry so JSON artifacts stay
+ *  byte-identical across batch widths). */
+struct BatchStats
+{
+    uint64_t groups = 0;       ///< divergence groups batch-scouted
+    uint64_t lanes = 0;        ///< policy lanes tracked across scouts
+    uint64_t peeledLanes = 0;  ///< lanes peeled at a could-act sample
+    uint64_t riddenLanes = 0;  ///< lanes that rode to quantum end/halt
+    uint64_t scoutCycles = 0;  ///< cycles simulated by batch scouts
+    uint64_t savedCycles = 0;  ///< fork cycles summed over all lanes
+    uint64_t thermalBatchSteps = 0; ///< multi-RHS kernel invocations
+    uint64_t thermalBatchLanes = 0; ///< lane-steps through the kernel
+};
+
+/**
+ * Phase one of ParallelRunner::run() when batching is enabled:
+ * lockstep-scout every eligible divergence group and hand each cell a
+ * fork snapshot (or none, meaning it must run cold).
+ */
+class BatchRunner
+{
+  public:
+    /**
+     * @param batch_width max lanes per scout (>= 2; width 1 is the
+     *        solo path and never constructs a BatchRunner)
+     * @param store memoisation store: fully cached lanes are not
+     *        tracked (their members will cache-hit anyway)
+     */
+    BatchRunner(int batch_width, ResultStore *store);
+
+    /**
+     * Scout every eligible group of @p specs. Returns one snapshot
+     * pointer per spec (null = simulate cold) and sets @p handled for
+     * every member of a group the batch phase took responsibility
+     * for, so the prefix-sharing fallback skips them.
+     */
+    std::vector<std::shared_ptr<const SimSnapshot>>
+    buildForkSnapshots(const std::vector<RunSpec> &specs,
+                       std::vector<char> &handled);
+
+    const BatchStats &stats() const { return stats_; }
+
+  private:
+    int batchWidth_;
+    ResultStore *store_;
+    BatchStats stats_;
+};
+
+} // namespace hs
+
+#endif // HS_SIM_BATCH_HH

@@ -16,11 +16,21 @@
  * cell from the snapshot — the forked run is bit-identical to a cold
  * one (enforced by tests), just cheaper.
  *
+ * With a batch width >= 2 the lockstep batch engine (sim/batch.hh)
+ * replaces the prefix pass for eligible groups: per-cell lanes peel
+ * out of a shared scout at their own trigger instead of the group
+ * minimum, and same-shape scouts advance their thermal networks
+ * through one multi-RHS CSR pass per sensor sample. The prefix engine
+ * remains the fallback for groups batching declines (multi-core
+ * topologies, singleton groups).
+ *
  * Environment knobs:
  *  - HS_JOBS: worker count for runMatrix() (default: all hardware
  *    threads; must be a positive integer).
  *  - HS_PREFIX: 0 disables prefix sharing (default: on; must be a
  *    non-negative integer).
+ *  - HS_BATCH: lockstep batch width (default 1 = solo path; must be a
+ *    positive integer; >= 2 enables batching).
  */
 
 #ifndef HS_SIM_RUNNER_HH
@@ -34,6 +44,7 @@
 #include <mutex>
 #include <vector>
 
+#include "sim/batch.hh"
 #include "sim/run_spec.hh"
 #include "sim/snapshot.hh"
 #include "trace/metrics.hh"
@@ -42,9 +53,14 @@ namespace hs {
 
 class ResultStore;
 class Simulator;
+struct SimConfig;
 
 /** Build a configured simulator with @p spec 's workloads bound. */
 std::unique_ptr<Simulator> makeSimulator(const RunSpec &spec);
+
+/** Full SimConfig of @p spec (shared by the cold, prefix and batch
+ *  simulators; callers must include sim/simulator.hh). */
+SimConfig runSpecConfig(const RunSpec &spec);
 
 /** Execute one spec serially (no cache). */
 RunResult executeRunSpec(const RunSpec &spec);
@@ -118,8 +134,18 @@ class ParallelRunner
     void setPrefixSharing(bool on) { prefixSharing_ = on; }
     bool prefixSharing() const { return prefixSharing_; }
 
+    /** Set the lockstep batch width (construction default: HS_BATCH).
+     *  1 = exactly today's solo path; >= 2 caps the lanes each batch
+     *  scout tracks. */
+    void setBatchWidth(int width);
+    int batchWidth() const { return batchWidth_; }
+
     /** Cumulative prefix-sharing counters across run() calls. */
     PrefixShareStats prefixStats() const;
+
+    /** Cumulative batch-engine counters across run() calls (all zero
+     *  while batchWidth() == 1). */
+    BatchStats batchStats() const { return batchStats_; }
 
     /**
      * Install a lifecycle observer (progress bars, watchdogs). Calls
@@ -142,14 +168,19 @@ class ParallelRunner
     /**
      * Phase one of run(): group specs by divergence key, simulate each
      * eligible group's shared prefix in parallel, and return one
-     * snapshot pointer per spec (null = simulate cold).
+     * snapshot pointer per spec (null = simulate cold). Specs flagged
+     * in @p exclude (may be null) were already handled by the batch
+     * engine and are skipped.
      */
     std::vector<std::shared_ptr<const SimSnapshot>>
-    buildPrefixes(const std::vector<RunSpec> &specs);
+    buildPrefixes(const std::vector<RunSpec> &specs,
+                  const std::vector<char> *exclude = nullptr);
 
     int jobs_;
     ResultStore *store_;
     bool prefixSharing_;
+    int batchWidth_;
+    BatchStats batchStats_; ///< mutated only inside run()'s batch phase
     CellObserver observer_;
     mutable std::mutex observerMu_; ///< serialises notify() + histogram
     Histogram cellSeconds_;
@@ -164,6 +195,10 @@ int envJobs(int default_jobs = 0);
 
 /** @return false iff HS_PREFIX is set to 0 (else @p default_on). */
 bool envPrefixSharing(bool default_on = true);
+
+/** @return the HS_BATCH override (positive integer), or
+ *  @p default_width. */
+int envBatchWidth(int default_width = 1);
 
 /**
  * Bench-harness convenience: run @p specs with HS_JOBS workers and the

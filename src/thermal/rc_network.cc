@@ -279,6 +279,71 @@ RcNetwork::step(const std::vector<Watts> &power, double dt)
 }
 
 void
+RcNetwork::derivativeBatch(const std::vector<Watts> &power,
+                           const std::vector<Kelvin> &t, size_t lanes,
+                           std::vector<double> &d) const
+{
+    // The lane loop sits between the node loop and the CSR row scan:
+    // one row's neighbour indices and conductances are reused for
+    // every lane while they are hot. Each lane's flow accumulation
+    // mirrors derivative()'s expressions term for term so the
+    // compiler contracts them identically and every lane stays
+    // bit-identical to a solo evaluation.
+    const int *nbr = csrNode_.data();
+    const double *cond = csrG_.data();
+    for (int i = 0; i < numNodes_; ++i) {
+        size_t si = static_cast<size_t>(i);
+        int begin = csrStart_[si];
+        int end = csrStart_[si + 1];
+        for (size_t l = 0; l < lanes; ++l) {
+            double ti = t[si * lanes + l];
+            double flow =
+                power[si * lanes + l] + bathG_[si] * (bathT_[si] - ti);
+            for (int k = begin; k < end; ++k) {
+                flow += cond[k] *
+                        (t[static_cast<size_t>(nbr[k]) * lanes + l] -
+                         ti);
+            }
+            d[si * lanes + l] = flow / cap_[si];
+        }
+    }
+}
+
+void
+RcNetwork::stepBatch(const std::vector<Watts> &power,
+                     std::vector<Kelvin> &temps, int lanes,
+                     double dt) const
+{
+    if (lanes < 1)
+        fatal("RcNetwork::stepBatch: need at least one lane");
+    size_t sl = static_cast<size_t>(lanes);
+    size_t want = static_cast<size_t>(numNodes_) * sl;
+    if (power.size() != want || temps.size() != want)
+        fatal("RcNetwork::stepBatch: SoA buffer size mismatch");
+    if (dt <= 0)
+        return;
+
+    ensureTopology();
+    ensureSubsteps(dt);
+    int substeps = cachedSubsteps_;
+    double h = dt / substeps;
+
+    bk1_.resize(want);
+    bk2_.resize(want);
+    bmid_.resize(want);
+
+    // Same midpoint (RK2) update as step(), over the whole SoA block.
+    for (int s = 0; s < substeps; ++s) {
+        derivativeBatch(power, temps, sl, bk1_);
+        for (size_t i = 0; i < want; ++i)
+            bmid_[i] = temps[i] + 0.5 * h * bk1_[i];
+        derivativeBatch(power, bmid_, sl, bk2_);
+        for (size_t i = 0; i < want; ++i)
+            temps[i] += h * bk2_[i];
+    }
+}
+
+void
 RcNetwork::factorize() const
 {
     // Build A = diag(G_ii) - offdiag(g_ij) and eliminate with partial

@@ -82,6 +82,25 @@ class RcNetwork
     void step(const std::vector<Watts> &power, double dt);
 
     /**
+     * Multi-RHS transient kernel: advance @p lanes independent
+     * temperature vectors through THIS network's topology and
+     * parameters in one blocked pass — each CSR row is loaded once
+     * and applied to every lane before moving on, which is where the
+     * batch speedup comes from. The caller owns the state:
+     * @p power and @p temps are structure-of-arrays buffers of
+     * numNodes()*lanes entries in node-major, lane-inner layout
+     * (entry i*lanes + l is node i of lane l). temps_ is untouched.
+     *
+     * Per-lane arithmetic (expression shapes, accumulation order,
+     * substep count) is exactly step()'s, so every lane's result is
+     * bit-identical to stepping that lane alone. Allocation-free in
+     * steady state (same topology, same dt, same lane count).
+     */
+    void stepBatch(const std::vector<Watts> &power,
+                   std::vector<Kelvin> &temps, int lanes,
+                   double dt) const;
+
+    /**
      * Directly solve for the steady-state temperatures under @p power.
      * The factorisation is cached until the topology changes.
      * @throws via fatal() if the network is singular (no bath anywhere).
@@ -124,6 +143,10 @@ class RcNetwork
     std::vector<double> k1_, k2_;
     std::vector<Kelvin> mid_;
 
+    // Multi-RHS scratch (sized on first stepBatch; reused after).
+    mutable std::vector<double> bk1_, bk2_;
+    mutable std::vector<Kelvin> bmid_;
+
     /** Accumulate @p g onto row @p a's entry for @p b (sorted insert). */
     void rowAdd(int a, int b, double g);
 
@@ -140,6 +163,10 @@ class RcNetwork
     void derivative(const std::vector<Watts> &power,
                     const std::vector<Kelvin> &t,
                     std::vector<double> &d) const;
+    /** derivative() over a node-major/lane-inner SoA block. */
+    void derivativeBatch(const std::vector<Watts> &power,
+                         const std::vector<Kelvin> &t, size_t lanes,
+                         std::vector<double> &d) const;
     void checkNode(int node) const;
 };
 

@@ -88,6 +88,11 @@ expect_usage "place length mismatch" --spec gcc --variant 2 $FAST \
     --cores 2 --place 0
 expect_usage "place with each" --spec gcc --spec mcf $FAST --each \
     --place 0,0
+expect_usage "zero batch" --spec gcc $FAST --batch 0
+expect_usage "negative batch" --spec gcc $FAST --batch -3
+expect_usage "non-integer batch" --spec gcc $FAST --batch banana
+expect_usage "partial numeric batch" --spec gcc $FAST --batch 8x
+expect_usage "missing batch value" --spec gcc $FAST --batch
 
 # --- well-formed invocations -------------------------------------------
 
@@ -109,6 +114,26 @@ HS_WATCHDOG=banana "$BIN" --spec gcc $FAST --progress \
 [ $? -eq 1 ] || fail "progress: bad HS_WATCHDOG not rejected"
 grep -q "HS_WATCHDOG" "$TMP/err" ||
     fail "progress: HS_WATCHDOG error message missing"
+
+# HS_BATCH too: garbage must die with a message naming the knob.
+HS_BATCH=banana "$BIN" --spec gcc $FAST \
+    >"$TMP/out" 2>"$TMP/err"
+[ $? -eq 1 ] || fail "batch: bad HS_BATCH not rejected"
+grep -q "HS_BATCH" "$TMP/err" ||
+    fail "batch: HS_BATCH error message missing"
+
+# Batched and solo sweeps must emit byte-identical result tables —
+# --batch changes only how the engine schedules work, never what a
+# cell computes. Only the trailing wall-clock columns (host_seconds,
+# sim_cycles_per_host_sec) may differ between the two runs.
+expect_ok "batched each matrix" --spec gcc --spec mcf $FAST --each \
+    --batch 8 --csv "$TMP/batched.csv"
+expect_ok "solo each matrix" --spec gcc --spec mcf $FAST --each \
+    --batch 1 --csv "$TMP/solo.csv"
+sed 's/,[^,]*,[^,]*$//' "$TMP/batched.csv" >"$TMP/batched.trim"
+sed 's/,[^,]*,[^,]*$//' "$TMP/solo.csv" >"$TMP/solo.trim"
+cmp -s "$TMP/batched.trim" "$TMP/solo.trim" ||
+    fail "batch: --batch 8 csv differs from --batch 1"
 
 expect_ok "plain run" --spec gcc $FAST
 expect_ok "inline values" --spec=gcc --scale=20000 --dtm=sedation

@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Lockstep batch-engine tests.
+ *
+ * The contract is the same absolute one the prefix engine carries: a
+ * cell executed through the batch engine — forked from a lane's peel
+ * snapshot or from the end-of-scout boundary — must produce a
+ * RunResult that is bit-identical (operator==, no tolerance) to the
+ * same spec simulated cold, at every batch width, worker count and
+ * prefix-sharing setting. The family matrix exercises every RunSpec
+ * family the bench harnesses build, including the cells the batch
+ * engine uniquely covers: usage-ablation lanes (prefix sharing must
+ * run those cold) and DtmMode::None lanes that ride a scout to the
+ * end of the quantum.
+ *
+ * All simulation-backed tests run at HS scale 2000 (250 K-cycle
+ * quanta) so the whole file stays fast.
+ */
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/batch.hh"
+#include "sim/result_store.hh"
+#include "sim/runner.hh"
+#include "sim/simulator.hh"
+#include "trace/metrics.hh"
+
+namespace {
+
+using namespace hs;
+
+ExperimentOptions
+fastOpts()
+{
+    ExperimentOptions opts;
+    opts.timeScale = 2000.0;
+    return opts;
+}
+
+/** Sedation options with an upper trigger of @p upper (lower = -1 K). */
+ExperimentOptions
+sedationOpts(double upper)
+{
+    ExperimentOptions opts = fastOpts();
+    opts.dtm = DtmMode::SelectiveSedation;
+    opts.upperThreshold = upper;
+    opts.lowerThreshold = upper - 1.0;
+    return opts;
+}
+
+std::vector<RunSpec>
+innocentSweep(const std::vector<double> &uppers)
+{
+    std::vector<RunSpec> specs;
+    for (double u : uppers)
+        specs.push_back(specPairSpec("gcc", "mesa", sedationOpts(u)));
+    return specs;
+}
+
+std::vector<RunResult>
+runCold(const std::vector<RunSpec> &specs)
+{
+    std::vector<RunResult> out;
+    out.reserve(specs.size());
+    for (const RunSpec &s : specs)
+        out.push_back(executeRunSpec(s));
+    return out;
+}
+
+void
+expectMatches(const std::vector<RunResult> &cold,
+              const std::vector<RunResult> &got, const char *what)
+{
+    ASSERT_EQ(cold.size(), got.size());
+    for (size_t i = 0; i < cold.size(); ++i)
+        EXPECT_EQ(cold[i], got[i]) << what << ", cell " << i;
+}
+
+/**
+ * Every family the benches build, arranged so the batch engine sees
+ * lane shapes of every kind: wide policy sweeps, lanes that peel at
+ * their first sample (attack cells), lanes that never peel (None,
+ * ideal sink), usage-ablation lanes, traced lanes, noisy sensors,
+ * die shrink, wide SMT, singleton groups (per-cell convection) and a
+ * multi-core group the batch engine must decline.
+ */
+std::vector<RunSpec>
+batchFamilyMatrix()
+{
+    std::vector<RunSpec> specs;
+
+    // Innocent pair, sedation threshold sweep: one group, four lanes.
+    for (RunSpec &s :
+         innocentSweep({355.5, 356.0, 356.5, 357.0}))
+        specs.push_back(std::move(s));
+
+    // DTM-mode family sweep: every policy in one group, including a
+    // None lane that rides to the end of the quantum.
+    RunSpec pair = specPairSpec("gcc", "mesa", sedationOpts(356.0));
+    specs.push_back(pair.withDtm(DtmMode::None));
+    specs.push_back(pair.withDtm(DtmMode::StopAndGo));
+    specs.push_back(pair.withDtm(DtmMode::DvfsThrottle));
+    specs.push_back(pair.withDtm(DtmMode::FetchGating));
+
+    // Attack cells: every lane peels before the first stride snapshot,
+    // so the whole group runs cold — still bit-identical.
+    specs.push_back(withVariantSpec("gcc", 2, sedationOpts(356.0)));
+    specs.push_back(withVariantSpec("gcc", 2, sedationOpts(357.0)));
+
+    // Ideal sink: no lane ever peels; the scout carries the group to
+    // the last boundary through the ideal-sink thermal fast path.
+    specs.push_back(
+        soloSpec("vortex", sedationOpts(356.0)).withSink(SinkType::Ideal));
+    specs.push_back(
+        soloSpec("vortex", fastOpts()).withSink(SinkType::Ideal));
+
+    // Usage-threshold ablation: prefix sharing must run these cold,
+    // but batch lanes track the scout's own monitor and peel exactly
+    // when the trigger scan would first fire.
+    for (double u : {356.0, 357.0}) {
+        RunSpec s = specPairSpec("gcc", "mesa", sedationOpts(u));
+        s.opts.sedationUsageThreshold = true;
+        specs.push_back(s);
+    }
+
+    // Noisy sensors: forked lanes must re-draw identical noise.
+    for (double u : {356.0, 357.0}) {
+        RunSpec s = specPairSpec("gcc", "mesa", sedationOpts(u));
+        s.sensorNoiseK = 0.3;
+        specs.push_back(s);
+    }
+
+    // OS deschedule extension (policy field; same group as its base).
+    for (int after : {0, 2}) {
+        RunSpec s = withVariantSpec("crafty", 3, sedationOpts(356.0));
+        s.descheduleAfter = after;
+        specs.push_back(s);
+    }
+
+    // Temperature traces ride in the fork snapshots too.
+    for (double u : {356.0, 357.0}) {
+        RunSpec s = specPairSpec("gcc", "mesa", sedationOpts(u));
+        s.opts.recordTempTrace = true;
+        specs.push_back(s);
+    }
+
+    // Structured event traces: two sedation thresholds plus a
+    // stop-and-go lane in one group, so a fork must discard the
+    // scout's monitor-category events for policies without a monitor;
+    // a traced sedation lane must also peel at its upper crossing
+    // (the SedUpperCross event) even when nothing can be sedated.
+    for (double u : {356.0, 357.0})
+        specs.push_back(specPairSpec("gcc", "mesa", sedationOpts(u))
+                            .withTraceEvents(true));
+    specs.push_back(
+        pair.withDtm(DtmMode::StopAndGo).withTraceEvents(true));
+
+    // Technology-scaling knob.
+    for (double u : {356.0, 357.0}) {
+        RunSpec s = specPairSpec("gcc", "mesa", sedationOpts(u));
+        s.dieShrink = 0.8;
+        specs.push_back(s);
+    }
+
+    // Convection singleton: its own divergence group of one lane, so
+    // the batch engine declines and the prefix fallback (when on)
+    // declines too.
+    {
+        RunSpec s = specPairSpec("gcc", "mesa", sedationOpts(356.0));
+        s.opts.convectionR = 0.6;
+        specs.push_back(s);
+    }
+
+    // Wide SMT with a mixed three-thread workload.
+    for (double u : {356.0, 357.0}) {
+        RunSpec s = specPairSpec("gcc", "mesa", sedationOpts(u));
+        s.workloads.push_back(WorkloadSpec::spec("mcf"));
+        s.numThreads = 4;
+        specs.push_back(s);
+    }
+
+    // Multi-core dies: batching is deferred, the prefix engine (when
+    // enabled) remains responsible for the group.
+    for (double u : {356.0, 357.0})
+        specs.push_back(specPairSpec("gcc", "mesa", sedationOpts(u))
+                            .withTopology(2, {0, 1}));
+
+    return specs;
+}
+
+// --- the full width x jobs x prefix cross -------------------------------
+
+TEST(Batch, EveryFamilyBitIdenticalAcrossWidthsJobsAndPrefix)
+{
+    std::vector<RunSpec> specs = batchFamilyMatrix();
+    std::vector<RunResult> cold = runCold(specs);
+
+    for (int width : {2, 8, 32}) {
+        for (int jobs : {1, 4}) {
+            for (bool prefix : {false, true}) {
+                ParallelRunner runner(jobs);
+                runner.setBatchWidth(width);
+                runner.setPrefixSharing(prefix);
+                std::string what = "width " + std::to_string(width) +
+                                   ", jobs " + std::to_string(jobs) +
+                                   (prefix ? ", prefix" : ", no prefix");
+                expectMatches(cold, runner.run(specs), what.c_str());
+
+                BatchStats bs = runner.batchStats();
+                EXPECT_GE(bs.groups, 5u) << what;
+                EXPECT_GE(bs.lanes, 2 * bs.groups) << what;
+                EXPECT_EQ(bs.peeledLanes + bs.riddenLanes, bs.lanes)
+                    << what;
+                EXPECT_GT(bs.thermalBatchSteps, 0u) << what;
+                // The multi-core group must have been declined; with
+                // prefix sharing on, the fallback picks it up (the
+                // forkedRuns counter is shared with batch forks, so
+                // discriminate on prefix groups).
+                if (prefix)
+                    EXPECT_GE(runner.prefixStats().groups, 1u) << what;
+                else
+                    EXPECT_EQ(runner.prefixStats().groups, 0u) << what;
+            }
+        }
+    }
+}
+
+TEST(Batch, WidthOneIsExactlyTheSoloPath)
+{
+    std::vector<RunSpec> specs = innocentSweep({356.0, 357.0});
+    std::vector<RunResult> cold = runCold(specs);
+
+    for (int jobs : {1, 4}) {
+        ParallelRunner runner(jobs);
+        runner.setBatchWidth(1);
+        runner.setPrefixSharing(false);
+        expectMatches(cold, runner.run(specs), "width 1");
+
+        BatchStats bs = runner.batchStats();
+        EXPECT_EQ(bs.groups, 0u);
+        EXPECT_EQ(bs.lanes, 0u);
+        EXPECT_EQ(bs.scoutCycles, 0u);
+        EXPECT_EQ(bs.thermalBatchSteps, 0u);
+    }
+}
+
+// --- what batching adds over prefix sharing -----------------------------
+
+TEST(Batch, UsageAblationLanesShareTheScout)
+{
+    // Prefix sharing must run usage-triggered cells cold; the batch
+    // engine tracks the scout's monitor and forks them like any other
+    // lane.
+    std::vector<RunSpec> specs;
+    for (double u : {356.0, 357.0, 358.0}) {
+        RunSpec s = specPairSpec("gcc", "mesa", sedationOpts(u));
+        s.opts.sedationUsageThreshold = true;
+        specs.push_back(s);
+    }
+    std::vector<RunResult> cold = runCold(specs);
+
+    ParallelRunner runner(2);
+    runner.setBatchWidth(8);
+    runner.setPrefixSharing(false);
+    expectMatches(cold, runner.run(specs), "usage lanes");
+
+    BatchStats bs = runner.batchStats();
+    EXPECT_EQ(bs.groups, 1u);
+    EXPECT_EQ(bs.lanes, 3u);
+    EXPECT_GT(bs.scoutCycles, 0u);
+}
+
+TEST(Batch, PerLanePeelForksLaterThanTheGroupMinimum)
+{
+    // The innocent pair peaks at ~340 K at this time scale, so the
+    // 339.5 K lane peels mid-quantum while the 358 K lane and the
+    // None lane ride the scout to the last boundary. The prefix
+    // engine's conservative group minimum is 339.5 K: it stops the
+    // shared warm-up there for all three cells, so per-lane peeling
+    // must strictly beat it on shared cycles.
+    std::vector<RunSpec> specs = innocentSweep({339.5, 358.0});
+    RunSpec none = specPairSpec("gcc", "mesa", sedationOpts(339.5))
+                       .withDtm(DtmMode::None);
+    specs.push_back(none);
+    std::vector<RunResult> cold = runCold(specs);
+
+    ParallelRunner prefix_only(1);
+    prefix_only.setBatchWidth(1);
+    prefix_only.setPrefixSharing(true);
+    expectMatches(cold, prefix_only.run(specs), "prefix only");
+
+    ParallelRunner batched(1);
+    batched.setBatchWidth(8);
+    batched.setPrefixSharing(false);
+    expectMatches(cold, batched.run(specs), "batched");
+
+    BatchStats bs = batched.batchStats();
+    EXPECT_EQ(bs.peeledLanes, 1u);
+    EXPECT_EQ(bs.riddenLanes, 2u);
+    EXPECT_GT(bs.savedCycles, prefix_only.prefixStats().savedCycles);
+}
+
+// --- caching ------------------------------------------------------------
+
+TEST(Batch, SecondPassIsServedByTheStoreWithoutRescouting)
+{
+    std::vector<RunSpec> specs = batchFamilyMatrix();
+    std::vector<RunResult> cold = runCold(specs);
+
+    ResultStore store;
+    ParallelRunner runner(4, &store);
+    runner.setBatchWidth(8);
+    runner.setPrefixSharing(true);
+    expectMatches(cold, runner.run(specs), "first pass");
+
+    BatchStats before = runner.batchStats();
+    EXPECT_GE(before.groups, 5u);
+    expectMatches(cold, runner.run(specs), "cached pass");
+    BatchStats after = runner.batchStats();
+    EXPECT_EQ(after.groups, before.groups);
+    EXPECT_EQ(after.lanes, before.lanes);
+    EXPECT_EQ(after.scoutCycles, before.scoutCycles);
+}
+
+// --- folded metrics -----------------------------------------------------
+
+TEST(Batch, FoldedHistogramsMatchTheSoloFold)
+{
+    std::vector<RunSpec> specs = innocentSweep({356.0, 356.5, 357.0});
+    std::vector<RunResult> cold = runCold(specs);
+
+    ParallelRunner runner(2);
+    runner.setBatchWidth(8);
+    runner.setPrefixSharing(false);
+    std::vector<RunResult> got = runner.run(specs);
+    expectMatches(cold, got, "fold");
+
+    // Batch counters stay out of the registry by design, so the fold
+    // of a batched matrix is byte-identical to the solo fold.
+    MetricsRegistry solo_m, batch_m;
+    foldRunMetrics(solo_m, cold);
+    foldRunMetrics(batch_m, got);
+    std::ostringstream solo_js, batch_js;
+    solo_m.writeJson(solo_js);
+    batch_m.writeJson(batch_js);
+    EXPECT_EQ(solo_js.str(), batch_js.str());
+}
+
+// --- the HS_BATCH environment knob --------------------------------------
+
+TEST(Batch, EnvBatchDefaultsToSolo)
+{
+    unsetenv("HS_BATCH");
+    EXPECT_EQ(envBatchWidth(), 1);
+    EXPECT_EQ(envBatchWidth(16), 16);
+    EXPECT_EQ(ParallelRunner(1).batchWidth(), 1);
+}
+
+TEST(Batch, EnvBatchSetsTheWidth)
+{
+    setenv("HS_BATCH", "4", 1);
+    EXPECT_EQ(envBatchWidth(), 4);
+    EXPECT_EQ(ParallelRunner(1).batchWidth(), 4);
+    setenv("HS_BATCH", "1", 1);
+    EXPECT_EQ(ParallelRunner(1).batchWidth(), 1);
+    unsetenv("HS_BATCH");
+}
+
+TEST(BatchDeathTest, EnvBatchRejectsGarbage)
+{
+    setenv("HS_BATCH", "fast", 1);
+    EXPECT_EXIT(envBatchWidth(), testing::ExitedWithCode(1), "HS_BATCH");
+    setenv("HS_BATCH", "0", 1);
+    EXPECT_EXIT(envBatchWidth(), testing::ExitedWithCode(1), "HS_BATCH");
+    setenv("HS_BATCH", "-2", 1);
+    EXPECT_EXIT(envBatchWidth(), testing::ExitedWithCode(1), "HS_BATCH");
+    setenv("HS_BATCH", "8x", 1);
+    EXPECT_EXIT(envBatchWidth(), testing::ExitedWithCode(1), "HS_BATCH");
+    unsetenv("HS_BATCH");
+}
+
+TEST(BatchDeathTest, SetBatchWidthRejectsNonPositive)
+{
+    ParallelRunner runner(1);
+    EXPECT_EXIT(runner.setBatchWidth(0), testing::ExitedWithCode(1),
+                "batch width");
+    EXPECT_EXIT(runner.setBatchWidth(-3), testing::ExitedWithCode(1),
+                "batch width");
+}
+
+} // namespace

@@ -24,6 +24,9 @@
  *                        core 0; needs --cores, not with --each)
  *   --jobs N             engine worker threads (default: HS_JOBS or
  *                        all hardware threads)
+ *   --batch N            lockstep batch width (default: HS_BATCH or 1;
+ *                        1 = solo path, >= 2 advances up to N sibling
+ *                        cells per scout; see docs/PERFORMANCE.md)
  *   --json FILE          write specs + results + metrics as JSON
  *                        ("-" = stdout)
  *   --csv FILE           write per-thread results as CSV ("-" = stdout)
@@ -88,7 +91,7 @@ usage(const char *argv0)
                  "usage: %s [--spec NAME]... [--variant N]... "
                  "[--asm FILE]...\n"
                  "       [--each] [--cores N] [--place a,b,...] "
-                 "[--jobs N] [--json FILE] [--csv FILE]\n"
+                 "[--jobs N] [--batch N] [--json FILE] [--csv FILE]\n"
                  "       [--dtm none|stopgo|sedation|dvfs|fetchgate] "
                  "[--sink ideal|real]\n"
                  "       [--scale S] [--conv R] [--upper K] "
@@ -307,6 +310,7 @@ main(int argc, char **argv)
     double noise = 0.0;
     int deschedule = 0;
     int jobs = 0;
+    int batch = 0; // 0 = unset: the engine falls back to HS_BATCH
     bool each = false;
     int cores = 1;
     std::vector<int> place;
@@ -390,6 +394,12 @@ main(int argc, char **argv)
             if (n <= 0)
                 badValue(argv[0], arg, v, "a positive integer");
             jobs = static_cast<int>(n);
+        } else if (arg == "--batch") {
+            std::string v = value();
+            long n = parseInt(argv[0], arg, v);
+            if (n <= 0)
+                badValue(argv[0], arg, v, "a positive integer");
+            batch = static_cast<int>(n);
         } else if (arg == "--json") {
             json_path = value();
         } else if (arg == "--csv") {
@@ -566,6 +576,8 @@ main(int argc, char **argv)
     } else {
         int engine_jobs = jobs > 0 ? jobs : envJobs(0);
         ParallelRunner runner(engine_jobs, &ResultStore::global());
+        if (batch > 0)
+            runner.setBatchWidth(batch);
         std::unique_ptr<ProgressReporter> reporter;
         if (progress) {
             ProgressOptions popts;
@@ -596,6 +608,20 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(
                             engine_stats.forkedRuns),
                         static_cast<double>(engine_stats.savedCycles) /
+                            1e6);
+        BatchStats batch_stats = runner.batchStats();
+        if (batch_stats.groups > 0)
+            std::printf("\nbatch(width %d): %llu group(s), %llu "
+                        "lane(s) (%llu peeled), %.1f Mcycles not "
+                        "re-simulated\n",
+                        runner.batchWidth(),
+                        static_cast<unsigned long long>(
+                            batch_stats.groups),
+                        static_cast<unsigned long long>(
+                            batch_stats.lanes),
+                        static_cast<unsigned long long>(
+                            batch_stats.peeledLanes),
+                        static_cast<double>(batch_stats.savedCycles) /
                             1e6);
     }
 
