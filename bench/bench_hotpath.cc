@@ -12,19 +12,26 @@
  *  - stalled: malicious variant 1 under stop-and-go. The pipeline
  *             spends most of the quantum globally stalled, so this
  *             measures the advanceStalled() fast-forward path.
- *  - matrix_cold / matrix_prefix / matrix_batched: a fig-5-style
+ *  - matrix_cold / matrix_prefix / matrix_batched / matrix_store_warm:
+ *             a fig-5-style
  *             policy matrix — two benign workload pairs, each swept
  *             across every DTM mode, ten sedation thresholds and the
  *             usage ablation (32 cells) — run with the engine solo
  *             (prefix off), with prefix sharing, and with the
- *             lockstep batch engine at width 16. The cells of a pair
- *             differ only in policy fields, so batching advances each
- *             pair's whole sweep behind a handful of scouts and
- *             multi-RHS thermal passes; all three rows are checked
- *             cell-for-cell bit-identical before anything is
- *             reported. mcps here is *effective* throughput
- *             (simulated cycles delivered per host second), which is
- *             exactly what sharing improves.
+ *             lockstep batch engine at width 16 — plus a fourth pass
+ *             that serves every cell from a warm persistent store
+ *             (sim/disk_store.hh) without simulating anything. The
+ *             cells of a pair differ only in policy fields, so
+ *             batching advances each pair's whole sweep behind a
+ *             handful of scouts and multi-RHS thermal passes; all
+ *             four rows are checked cell-for-cell bit-identical
+ *             before anything is reported. mcps here is *effective*
+ *             throughput (simulated cycles delivered per host
+ *             second), which is exactly what sharing improves.
+ *  - rc_stepbatch_w{2,8,32}: the multi-RHS thermal kernel alone at
+ *             the pinned lane widths (mups = millions of node-lane
+ *             updates per host second; no mcps field, so the rows
+ *             stay out of the perf gate's throughput baseline).
  *
  * Output ends with one machine-parsable line per row:
  *
@@ -38,9 +45,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "common/log.hh"
+#include "sim/disk_store.hh"
 #include "sim/result_store.hh"
 #include "sim/runner.hh"
 #include "thermal/thermal_model.hh"
@@ -219,17 +228,110 @@ main()
                   sweep[i].label.c_str());
     }
 
+    // The fourth way to run the matrix: a warm persistent store. Fill
+    // a scratch store with the cold results, then rerun the sweep
+    // through a fresh in-memory ResultStore reading through to disk —
+    // every cell must be a disk hit (zero simulation) and the whole
+    // pass must beat even the batched cold run, or the store tier is
+    // not paying for itself.
+    const char *store_dir = "bench_hotpath_store.tmp";
+    if (std::system("rm -rf bench_hotpath_store.tmp") != 0)
+        fatal("bench_hotpath: cannot clear %s", store_dir);
+    double store_s = 0.0;
+    {
+        DiskResultStore disk(store_dir);
+        for (size_t i = 0; i < sweep.size(); ++i)
+            if (!disk.store(sweep[i], cold_r[i]))
+                fatal("bench_hotpath: cannot fill the scratch store");
+        ResultStore store;
+        store.attachDisk(&disk);
+        ParallelRunner runner(envJobs(), &store);
+        auto t0 = std::chrono::steady_clock::now();
+        std::vector<RunResult> warm = runner.run(sweep);
+        store_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+        if (disk.hits() != sweep.size() || disk.corrupt() != 0)
+            fatal("bench_hotpath: warm store served %llu/%zu cells "
+                  "(%llu corrupt) — the rerun simulated",
+                  static_cast<unsigned long long>(disk.hits()),
+                  sweep.size(),
+                  static_cast<unsigned long long>(disk.corrupt()));
+        for (size_t i = 0; i < sweep.size(); ++i)
+            if (!(warm[i] == cold_r[i]))
+                fatal("bench_hotpath: store-served result for cell %s "
+                      "differs from its cold run",
+                      sweep[i].label.c_str());
+    }
+    if (std::system("rm -rf bench_hotpath_store.tmp") != 0)
+        warn("bench_hotpath: cannot remove %s", store_dir);
+    if (store_s >= batch_s)
+        fatal("bench_hotpath: warm store pass (%.3f s) is not faster "
+              "than the batched cold run (%.3f s)",
+              store_s, batch_s);
+
     unsigned long long sweep_cycles = 0;
     for (const RunResult &r : cold_r)
         sweep_cycles += r.cycles;
     double speedup = warm_s > 0.0 ? cold_s / warm_s : 0.0;
     double batch_speedup = batch_s > 0.0 ? cold_s / batch_s : 0.0;
+    double store_speedup = store_s > 0.0 ? cold_s / store_s : 0.0;
     std::printf("%zu-cell policy matrix (2 workload pairs x 16 policy "
-                "lanes), identical results all three ways:\n",
+                "lanes), identical results all four ways:\n",
                 sweep.size());
     std::printf("  cold %.3f s, prefix-shared %.3f s (%.2fx), batched "
-                "w16 %.3f s (%.2fx)\n\n",
-                cold_s, warm_s, speedup, batch_s, batch_speedup);
+                "w16 %.3f s (%.2fx), store-warm %.3f s (%.2fx)\n\n",
+                cold_s, warm_s, speedup, batch_s, batch_speedup,
+                store_s, store_speedup);
+
+    // --- multi-RHS thermal kernel: lane-width scaling -------------------
+    //
+    // Times RcNetwork::stepBatch on the single-core EV6 network at the
+    // lane widths the bit-identity tests pin down. The throughput unit
+    // is millions of node-lane updates per host second, so wider rows
+    // showing higher numbers is the vectorised lane-inner loop working.
+
+    struct KernelRow
+    {
+        int lanes;
+        double mups;
+    };
+    std::vector<KernelRow> kernels;
+    {
+        TopologyParams tp;
+        Topology topo(Floorplan::ev6(), tp);
+        ThermalModel model(topo);
+        const RcNetwork &net = model.network();
+        size_t nodes = static_cast<size_t>(net.numNodes());
+        double dt = net.minTimeConstant();
+        const int iters = 400;
+        for (int lanes : {2, 8, 32}) {
+            std::vector<Watts> power(nodes * lanes);
+            std::vector<Kelvin> temps(nodes * lanes);
+            for (size_t i = 0; i < nodes; ++i)
+                for (int l = 0; l < lanes; ++l) {
+                    power[i * lanes + l] = 0.5 + 0.01 * l;
+                    temps[i * lanes + l] = 300.0 + 0.25 * l;
+                }
+            auto t0 = std::chrono::steady_clock::now();
+            for (int it = 0; it < iters; ++it)
+                net.stepBatch(power, temps, lanes, dt);
+            double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+            double mups =
+                s > 0.0 ? static_cast<double>(nodes) * lanes * iters /
+                              s / 1e6
+                        : 0.0;
+            kernels.push_back(KernelRow{lanes, mups});
+        }
+    }
+    std::printf("=== multi-RHS thermal kernel (node-lane updates) "
+                "===\n");
+    for (const KernelRow &k : kernels)
+        std::printf("width %2d: %10.2f Mupdates/sec\n", k.lanes,
+                    k.mups);
+    std::printf("\n");
 
     for (size_t i = 0; i < specs.size(); ++i) {
         const RunResult &r = results[i];
@@ -261,9 +363,22 @@ main()
                 batch_s > 0.0
                     ? static_cast<double>(sweep_cycles) / batch_s / 1e6
                     : 0.0);
+    std::printf("[hotpath] label=matrix_store_warm cycles=%llu "
+                "host_s=%.4f mcps=%.3f\n",
+                sweep_cycles, store_s,
+                store_s > 0.0
+                    ? static_cast<double>(sweep_cycles) / store_s / 1e6
+                    : 0.0);
     std::printf("[hotpath] label=matrix_speedup x=%.3f\n", speedup);
     std::printf("[hotpath] label=matrix_batch_speedup x=%.3f\n",
                 batch_speedup);
+    std::printf("[hotpath] label=matrix_store_speedup x=%.3f\n",
+                store_speedup);
+    // Kernel rows report node-lane updates, not simulated cycles, so
+    // they use their own field and stay out of the mcps perf gate.
+    for (const KernelRow &k : kernels)
+        std::printf("[hotpath] label=rc_stepbatch_w%d mups=%.3f\n",
+                    k.lanes, k.mups);
     // No mcps= on these rows: construction cost is not a throughput
     // and must stay out of the perf-gate baseline.
     for (const BuildRow &b : builds)

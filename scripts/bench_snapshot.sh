@@ -1,11 +1,13 @@
 #!/bin/sh
-# Emit results/BENCH_PR7.json: a machine-readable snapshot of the two
+# Emit results/BENCH_PR8.json: a machine-readable snapshot of the
 # throughput surfaces this repo cares about.
 #
 #  - "hotpath_mcps": per-cost-centre throughput rows from
 #    bench_hotpath (tick / thermal / stalled / matrix_cold /
-#    matrix_prefix / matrix_batched, Mcycles of simulated time per
-#    host second)
+#    matrix_prefix / matrix_batched / matrix_store_warm, Mcycles of
+#    simulated time per host second)
+#  - "stepbatch_mups": the multi-RHS thermal kernel at lane widths
+#    2/8/32 (millions of node-lane updates per host second)
 #  - "matrix": cells/sec for every experiment-engine bench that has a
 #    results/<bench>.txt transcript, parsed from the "[engine] N runs
 #    ... in S s" summary each bench prints
@@ -24,7 +26,7 @@ set -e
 cd "$(dirname "$0")/.."
 
 SCALE="${HS_SCALE:-200}"
-OUT="results/BENCH_PR7.json"
+OUT="results/BENCH_PR8.json"
 mkdir -p results
 
 if [ ! -d build ]; then
@@ -33,8 +35,10 @@ fi
 cmake --build build --target bench_hotpath -j"$(nproc)" > /dev/null
 
 echo "bench_snapshot: running bench_hotpath at HS_SCALE=$SCALE..."
-HOTPATH="$(HS_SCALE=$SCALE HS_JOBS=1 ./build/bench/bench_hotpath \
-    2>/dev/null | grep '^\[hotpath\].*mcps=' || true)"
+ROWS="$(HS_SCALE=$SCALE HS_JOBS=1 ./build/bench/bench_hotpath \
+    2>/dev/null | grep '^\[hotpath\]' || true)"
+HOTPATH="$(printf '%s\n' "$ROWS" | grep 'mcps=' || true)"
+STEPBATCH="$(printf '%s\n' "$ROWS" | grep 'mups=' || true)"
 [ -n "$HOTPATH" ] || {
     echo "bench_snapshot: no [hotpath] rows in bench output" >&2
     exit 1
@@ -48,6 +52,16 @@ HOTPATH="$(HS_SCALE=$SCALE HS_JOBS=1 ./build/bench/bench_hotpath \
         { for (i = 1; i <= NF; ++i) {
               if ($i ~ /^label=/) { sub(/^label=/, "", $i); l = $i }
               if ($i ~ /^mcps=/)  { sub(/^mcps=/, "", $i);  m = $i }
+          }
+          rows[++n] = "    \"" l "\": " m }
+        END { for (i = 1; i <= n; ++i)
+                  print rows[i] (i < n ? "," : "") }'
+    echo "  },"
+    echo "  \"stepbatch_mups\": {"
+    printf '%s\n' "$STEPBATCH" | awk '
+        { for (i = 1; i <= NF; ++i) {
+              if ($i ~ /^label=/) { sub(/^label=/, "", $i); l = $i }
+              if ($i ~ /^mups=/)  { sub(/^mups=/, "", $i);  m = $i }
           }
           rows[++n] = "    \"" l "\": " m }
         END { for (i = 1; i <= n; ++i)

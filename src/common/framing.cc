@@ -1,0 +1,225 @@
+#include "common/framing.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+
+namespace hs {
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Socket
+tcpListen(uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        warn("tcpListen: socket: %s", std::strerror(errno));
+        return Socket();
+    }
+    Socket sock(fd);
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) !=
+        0) {
+        warn("tcpListen: bind port %u: %s", port, std::strerror(errno));
+        return Socket();
+    }
+    if (::listen(fd, 16) != 0) {
+        warn("tcpListen: listen: %s", std::strerror(errno));
+        return Socket();
+    }
+    return sock;
+}
+
+namespace {
+
+/** Wait for readability; true when poll() reports the fd ready. */
+bool
+waitReadable(int fd, int timeoutMs)
+{
+    pollfd pfd{fd, POLLIN, 0};
+    for (;;) {
+        int rc = ::poll(&pfd, 1, timeoutMs);
+        if (rc > 0)
+            return true;
+        if (rc == 0)
+            return false;
+        if (errno != EINTR)
+            return false;
+    }
+}
+
+} // namespace
+
+Socket
+tcpAccept(const Socket &listener, int timeoutMs)
+{
+    if (!listener.valid())
+        return Socket();
+    if (!waitReadable(listener.fd(), timeoutMs))
+        return Socket();
+    int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd < 0) {
+        warn("tcpAccept: %s", std::strerror(errno));
+        return Socket();
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Socket(fd);
+}
+
+uint16_t
+localPort(const Socket &sock)
+{
+    if (!sock.valid())
+        return 0;
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        return 0;
+    return ntohs(addr.sin_port);
+}
+
+Socket
+tcpConnect(const std::string &host, uint16_t port)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    std::string service = std::to_string(port);
+    int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+    if (rc != 0) {
+        warn("tcpConnect: resolve %s:%u: %s", host.c_str(), port,
+             ::gai_strerror(rc));
+        return Socket();
+    }
+
+    Socket sock;
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        int fd = ::socket(ai->ai_family, ai->ai_socktype,
+                          ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+            int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            sock = Socket(fd);
+            break;
+        }
+        ::close(fd);
+    }
+    ::freeaddrinfo(res);
+    if (!sock.valid())
+        warn("tcpConnect: cannot reach %s:%u: %s", host.c_str(), port,
+             std::strerror(errno));
+    return sock;
+}
+
+namespace {
+
+bool
+sendAll(int fd, const void *data, size_t n)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    while (n > 0) {
+        // MSG_NOSIGNAL: a vanished peer must yield EPIPE here, not
+        // SIGPIPE killing the whole coordinator.
+        ssize_t rc = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += rc;
+        n -= static_cast<size_t>(rc);
+    }
+    return true;
+}
+
+/** Read exactly @p n bytes, polling before each recv(). */
+RecvStatus
+recvAll(int fd, void *data, size_t n, int timeoutMs, bool atFrameStart)
+{
+    uint8_t *p = static_cast<uint8_t *>(data);
+    while (n > 0) {
+        if (!waitReadable(fd, timeoutMs))
+            return RecvStatus::Timeout;
+        ssize_t rc = ::recv(fd, p, n, 0);
+        if (rc == 0) {
+            // EOF before the first byte of a frame is an orderly
+            // goodbye; EOF mid-frame is a truncation.
+            return atFrameStart ? RecvStatus::Eof : RecvStatus::Error;
+        }
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return RecvStatus::Error;
+        }
+        atFrameStart = false;
+        p += rc;
+        n -= static_cast<size_t>(rc);
+    }
+    return RecvStatus::Ok;
+}
+
+} // namespace
+
+bool
+sendFrame(const Socket &sock, const std::vector<uint8_t> &payload)
+{
+    if (!sock.valid())
+        return false;
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    if (len != payload.size())
+        return false;
+    if (!sendAll(sock.fd(), &len, sizeof(len)))
+        return false;
+    if (!payload.empty() &&
+        !sendAll(sock.fd(), payload.data(), payload.size()))
+        return false;
+    return true;
+}
+
+RecvStatus
+recvFrame(const Socket &sock, std::vector<uint8_t> &out, int timeoutMs,
+          size_t maxBytes)
+{
+    if (!sock.valid())
+        return RecvStatus::Error;
+    uint32_t len = 0;
+    RecvStatus st =
+        recvAll(sock.fd(), &len, sizeof(len), timeoutMs, true);
+    if (st != RecvStatus::Ok)
+        return st;
+    if (len > maxBytes)
+        return RecvStatus::Error;
+    out.resize(len);
+    if (len == 0)
+        return RecvStatus::Ok;
+    return recvAll(sock.fd(), out.data(), len, timeoutMs, false);
+}
+
+} // namespace hs

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Minimal POSIX TCP transport with length-prefixed frames.
+ *
+ * The distributed runner needs exactly one wire primitive: move an
+ * opaque byte buffer from one process to another, atomically from the
+ * receiver's point of view. A frame is
+ *
+ *     uint32 length | payload bytes
+ *
+ * with the length in host order — the handshake layered on top
+ * (remote.hh) verifies a protocol magic first, so a peer with a
+ * different byte order fails the handshake instead of mis-framing.
+ *
+ * All receive paths take a timeout (poll + loop) so a hung or killed
+ * peer surfaces as a recoverable error, never a wedged coordinator.
+ * Every function reports failure by return value; none of them
+ * fatal(), because a lost worker is an expected event the runner
+ * recovers from.
+ */
+
+#ifndef HS_COMMON_FRAMING_HH
+#define HS_COMMON_FRAMING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hs {
+
+/** A connected (or listening) socket descriptor; owns the fd. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket &&o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+    Socket &
+    operator=(Socket &&o) noexcept
+    {
+        if (this != &o) {
+            close();
+            fd_ = o.fd_;
+            o.fd_ = -1;
+        }
+        return *this;
+    }
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Open a listening socket on @p port (all interfaces, SO_REUSEADDR).
+ * @return invalid Socket (after a warn()) on failure.
+ */
+Socket tcpListen(uint16_t port);
+
+/**
+ * Accept one connection on @p listener, waiting up to @p timeoutMs
+ * (negative = forever). @return invalid Socket on timeout or error.
+ */
+Socket tcpAccept(const Socket &listener, int timeoutMs);
+
+/** Port @p sock is bound to (0 on error) — lets tests listen on an
+ *  ephemeral port and discover what the kernel picked. */
+uint16_t localPort(const Socket &sock);
+
+/**
+ * Connect to @p host : @p port (numeric or resolvable name).
+ * @return invalid Socket (after a warn()) on failure.
+ */
+Socket tcpConnect(const std::string &host, uint16_t port);
+
+/**
+ * Send one length-prefixed frame. Blocks until the whole frame is
+ * written. @return false on any socket error (peer gone).
+ */
+bool sendFrame(const Socket &sock, const std::vector<uint8_t> &payload);
+
+/** Outcome of recvFrame(). */
+enum class RecvStatus {
+    Ok,       ///< a whole frame landed in @p out
+    Eof,      ///< orderly shutdown at a frame boundary
+    Timeout,  ///< nothing (or only part of a frame) within the timeout
+    Error     ///< socket error or malformed length
+};
+
+/**
+ * Receive one frame into @p out, waiting up to @p timeoutMs for each
+ * chunk (negative = forever). Frames above @p maxBytes are rejected as
+ * Error so a garbage length prefix cannot drive a giant allocation.
+ */
+RecvStatus recvFrame(const Socket &sock, std::vector<uint8_t> &out,
+                     int timeoutMs, size_t maxBytes = 1u << 30);
+
+} // namespace hs
+
+#endif // HS_COMMON_FRAMING_HH

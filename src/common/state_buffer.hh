@@ -5,9 +5,11 @@
  * StateWriter appends trivially-copyable values to one contiguous byte
  * buffer; StateReader consumes them in the same order. The format is a
  * plain concatenation — no framing beyond explicit section tags and the
- * length prefixes of variable-size containers — because snapshots live
- * and die inside a single process (prefix-sharing across an experiment
- * matrix) and never cross machines or versions.
+ * length prefixes of variable-size containers. Buffers may cross
+ * processes and machines only between builds that agree on the
+ * explicit format-version constants the higher layers exchange first
+ * (the disk result store's header, the remote protocol's config-echo
+ * handshake); within one process no versioning is needed at all.
  *
  * Every component that participates in snapshotting exposes a
  * saveState(StateWriter&) / restoreState(StateReader&) pair that writes
@@ -22,6 +24,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -72,6 +75,15 @@ class StateWriter
         put<uint64_t>(v.size());
         if (!v.empty())
             putBytes(v.data(), v.size() * sizeof(T));
+    }
+
+    /** Length-prefixed byte string. */
+    void
+    putString(const std::string &s)
+    {
+        put<uint64_t>(s.size());
+        if (!s.empty())
+            putBytes(s.data(), s.size());
     }
 
     /** Section marker; the reader checks it with expectTag(). */
@@ -134,6 +146,21 @@ class StateReader
         v.resize(static_cast<size_t>(n));
         if (n)
             getBytes(v.data(), static_cast<size_t>(n) * sizeof(T));
+    }
+
+    /** Read a length-prefixed byte string written by putString(). */
+    std::string
+    getString()
+    {
+        uint64_t n = get<uint64_t>();
+        if (remaining() < n)
+            fatal("StateReader: truncated string (%llu bytes claimed, "
+                  "%zu left)",
+                  static_cast<unsigned long long>(n), remaining());
+        std::string s(reinterpret_cast<const char *>(p_),
+                      static_cast<size_t>(n));
+        p_ += n;
+        return s;
     }
 
     /** Read and discard a length-prefixed vector of T. */

@@ -160,7 +160,7 @@ BatchRunner::buildForkSnapshots(const std::vector<RunSpec> &specs,
             std::string key = specs[i].canonicalKey();
             auto it = lindex.find(key);
             if (it == lindex.end()) {
-                if (store_ != nullptr && store_->contains(specs[i]))
+                if (store_ != nullptr && store_->available(specs[i]))
                     continue; // cached lanes need no fork snapshot
                 it = lindex.emplace(std::move(key), lanes.size()).first;
                 Lane lane;

@@ -1,0 +1,218 @@
+#include "sim/disk_store.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "sim/serialize.hh"
+
+namespace hs {
+
+namespace {
+
+constexpr uint32_t kStoreMagic = 0x31525348; // "HSR1", little-endian
+
+/** Fixed-size .hsr header; the canonical key follows it. */
+struct StoreHeader
+{
+    uint32_t magic = kStoreMagic;
+    uint32_t version = kResultFormatVersion;
+    uint64_t keyBytes = 0;
+    uint64_t payloadBytes = 0;
+    uint64_t payloadChecksum = 0;
+};
+
+/** mkdir -p for the two-level store layout; EEXIST is success. */
+bool
+ensureDir(const std::string &path)
+{
+    if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST)
+        return true;
+    return false;
+}
+
+std::string
+hashHex(const RunSpec &spec)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(spec.hash()));
+    return buf;
+}
+
+/** RAII stdio handle so every early return closes the file. */
+struct File
+{
+    std::FILE *f = nullptr;
+    explicit File(std::FILE *fp) : f(fp) {}
+    ~File()
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+} // namespace
+
+DiskResultStore::DiskResultStore(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_.empty())
+        fatal("DiskResultStore: empty store directory");
+    if (!ensureDir(dir_))
+        fatal("DiskResultStore: cannot create store directory '%s': %s",
+              dir_.c_str(), std::strerror(errno));
+}
+
+std::string
+DiskResultStore::entryPath(const RunSpec &spec) const
+{
+    std::string hex = hashHex(spec);
+    return dir_ + "/" + hex.substr(0, 2) + "/" + hex + ".hsr";
+}
+
+bool
+DiskResultStore::contains(const RunSpec &spec) const
+{
+    struct stat st;
+    return ::stat(entryPath(spec).c_str(), &st) == 0;
+}
+
+DiskResultStore::LoadStatus
+DiskResultStore::load(const RunSpec &spec, RunResult &out)
+{
+    const std::string path = entryPath(spec);
+    File file(std::fopen(path.c_str(), "rb"));
+    if (!file.f) {
+        misses_.fetch_add(1);
+        return LoadStatus::Miss;
+    }
+
+    // From here on every failure is "corrupt": an entry exists but
+    // cannot be trusted, so log and let the caller recompute. The
+    // validation order matters — magic and version gate the header
+    // layout, the config echo (canonical key) gates the addressing,
+    // and the checksum gates the payload, so nothing is parsed before
+    // the bytes that describe it have been vetted.
+    auto reject = [&](const char *why) {
+        warn("result store: dropping '%s' (%s); recomputing",
+             path.c_str(), why);
+        corrupt_.fetch_add(1);
+        return LoadStatus::Corrupt;
+    };
+
+    StoreHeader hdr;
+    if (std::fread(&hdr, sizeof(hdr), 1, file.f) != 1)
+        return reject("truncated header");
+    if (hdr.magic != kStoreMagic)
+        return reject("bad magic");
+    if (hdr.version != kResultFormatVersion)
+        return reject("result-format version mismatch");
+
+    const std::string key = spec.canonicalKey();
+    if (hdr.keyBytes != key.size())
+        return reject("stale config echo (key length)");
+    std::string storedKey(key.size(), '\0');
+    if (!key.empty() &&
+        std::fread(storedKey.data(), 1, key.size(), file.f) !=
+            key.size())
+        return reject("truncated config echo");
+    if (storedKey != key)
+        return reject("stale config echo (key mismatch)");
+
+    // 1 GiB sanity cap: no real result record comes anywhere close,
+    // and a corrupt length field must not drive a giant allocation.
+    if (hdr.payloadBytes > (1ull << 30))
+        return reject("implausible payload length");
+    std::vector<uint8_t> payload(static_cast<size_t>(hdr.payloadBytes));
+    if (!payload.empty() &&
+        std::fread(payload.data(), 1, payload.size(), file.f) !=
+            payload.size())
+        return reject("truncated payload");
+    if (std::fgetc(file.f) != EOF)
+        return reject("trailing bytes");
+    if (fnv1a64(payload.data(), payload.size()) != hdr.payloadChecksum)
+        return reject("payload checksum mismatch");
+
+    out = decodeRunResult(payload);
+    hits_.fetch_add(1);
+    return LoadStatus::Hit;
+}
+
+bool
+DiskResultStore::store(const RunSpec &spec, const RunResult &result)
+{
+    const std::string key = spec.canonicalKey();
+    const std::string path = entryPath(spec);
+    const std::string bucket = path.substr(0, path.rfind('/'));
+    if (!ensureDir(bucket)) {
+        warn("result store: cannot create '%s': %s", bucket.c_str(),
+             std::strerror(errno));
+        return false;
+    }
+
+    std::vector<uint8_t> payload = encodeRunResult(result);
+    StoreHeader hdr;
+    hdr.keyBytes = key.size();
+    hdr.payloadBytes = payload.size();
+    hdr.payloadChecksum = fnv1a64(payload.data(), payload.size());
+
+    // Write to a hidden per-process temp name in the target directory,
+    // then rename() into place: readers never observe a partial file,
+    // and two writers racing on one cell end with one of their
+    // (identical) records. The pid suffix keeps concurrent processes
+    // off each other's temp files.
+    std::string tmp =
+        bucket + "/.tmp." + std::to_string(::getpid()) + "." +
+        path.substr(path.rfind('/') + 1);
+    {
+        File file(std::fopen(tmp.c_str(), "wb"));
+        if (!file.f) {
+            warn("result store: cannot write '%s': %s", tmp.c_str(),
+                 std::strerror(errno));
+            return false;
+        }
+        bool ok =
+            std::fwrite(&hdr, sizeof(hdr), 1, file.f) == 1 &&
+            (key.empty() ||
+             std::fwrite(key.data(), 1, key.size(), file.f) ==
+                 key.size()) &&
+            (payload.empty() ||
+             std::fwrite(payload.data(), 1, payload.size(), file.f) ==
+                 payload.size()) &&
+            std::fflush(file.f) == 0;
+        if (!ok) {
+            warn("result store: short write to '%s': %s", tmp.c_str(),
+                 std::strerror(errno));
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("result store: cannot publish '%s': %s", path.c_str(),
+             std::strerror(errno));
+        std::remove(tmp.c_str());
+        return false;
+    }
+    writes_.fetch_add(1);
+    return true;
+}
+
+DiskResultStore *
+envDiskStore()
+{
+    static std::unique_ptr<DiskResultStore> store = [] {
+        const char *env = std::getenv("HS_STORE");
+        if (!env || !*env)
+            return std::unique_ptr<DiskResultStore>();
+        return std::make_unique<DiskResultStore>(env);
+    }();
+    return store.get();
+}
+
+} // namespace hs

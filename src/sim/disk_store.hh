@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Persistent, content-addressed store of finished RunResults.
+ *
+ * Every RunSpec already hashes canonically (FNV-1a over the canonical
+ * key, which covers every outcome-determining field), so a finished
+ * RunResult is a pure function of its hash: any process on any machine
+ * that computes the same hash may reuse the stored bytes. The store
+ * lays results out as
+ *
+ *     <dir>/<hh>/<hash16>.hsr
+ *
+ * where <hash16> is the 16-hex-digit spec hash and <hh> its first two
+ * digits (256-way fan-out keeps directories small on big sweeps). Each
+ * .hsr file is a self-validating record:
+ *
+ *     magic "HSR1" | format version | canonical key | payload length
+ *     | payload FNV-1a checksum | payload (serialised RunResult)
+ *
+ * The full canonical key rides along as the config echo: a lookup only
+ * hits when the stored key matches byte-for-byte, so a (vanishingly
+ * unlikely) hash collision or a stale entry written by a build whose
+ * key layout changed is recomputed instead of served wrong. Writes go
+ * through a hidden temp file in the same directory plus rename(), so
+ * concurrent writers — sibling workers, other hosts on a shared
+ * filesystem — can race on one cell and the loser simply overwrites
+ * the winner's identical bytes.
+ *
+ * Every failure path (missing file, short read, bad magic, version or
+ * key mismatch, checksum mismatch, unwritable directory) degrades to a
+ * miss: the caller logs and recomputes, never crashes, never serves a
+ * wrong result.
+ */
+
+#ifndef HS_SIM_DISK_STORE_HH
+#define HS_SIM_DISK_STORE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "sim/results.hh"
+#include "sim/run_spec.hh"
+
+namespace hs {
+
+/** On-disk result tier (see file comment for the format). */
+class DiskResultStore
+{
+  public:
+    /** Outcome of a load() probe. */
+    enum class LoadStatus {
+        Hit,     ///< stored result returned
+        Miss,    ///< no entry for this spec
+        Corrupt  ///< entry exists but failed validation (logged)
+    };
+
+    /**
+     * Open (creating if needed) the store rooted at @p dir. fatal() if
+     * the root cannot be created — a mistyped --store path should fail
+     * loudly up front, not silently degrade a whole campaign.
+     */
+    explicit DiskResultStore(std::string dir);
+
+    DiskResultStore(const DiskResultStore &) = delete;
+    DiskResultStore &operator=(const DiskResultStore &) = delete;
+
+    /** Probe the store for @p spec 's result. */
+    LoadStatus load(const RunSpec &spec, RunResult &out);
+
+    /**
+     * Persist @p result under @p spec 's hash (atomic tmp+rename).
+     * @return false (after a warn()) if the write failed; the result
+     * is still valid in memory, the campaign just loses persistence.
+     */
+    bool store(const RunSpec &spec, const RunResult &result);
+
+    /** @return true if a (not-yet-validated) entry exists on disk. */
+    bool contains(const RunSpec &spec) const;
+
+    /** Absolute or relative store root this instance serves. */
+    const std::string &dir() const { return dir_; }
+
+    /** Path an entry for @p spec lives at (tests / tooling). */
+    std::string entryPath(const RunSpec &spec) const;
+
+    uint64_t hits() const { return hits_.load(); }
+    uint64_t misses() const { return misses_.load(); }
+    /** Entries that existed but failed validation (recomputed). */
+    uint64_t corrupt() const { return corrupt_.load(); }
+    uint64_t writes() const { return writes_.load(); }
+
+  private:
+    std::string dir_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> corrupt_{0};
+    std::atomic<uint64_t> writes_{0};
+};
+
+/**
+ * Process-wide disk tier configured by the HS_STORE environment
+ * variable: the store rooted there on first call (shared by every
+ * later caller), or nullptr when HS_STORE is unset/empty.
+ */
+DiskResultStore *envDiskStore();
+
+} // namespace hs
+
+#endif // HS_SIM_DISK_STORE_HH

@@ -74,7 +74,7 @@ ProgressReporter::statusLine(char *buf, size_t n) const
     // median observed cell time. Crude on purpose — it is a progress
     // line, not a scheduler.
     char eta[32] = "";
-    if (done_ > cacheHits_ && done_ < total_) {
+    if (done_ > memHits_ + diskHits_ && done_ < total_) {
         double median = cellSeconds_.percentile(0.5);
         double left = static_cast<double>(total_ - done_) * median /
                       static_cast<double>(jobs_);
@@ -82,11 +82,14 @@ ProgressReporter::statusLine(char *buf, size_t n) const
         fmtDuration(d, sizeof(d), left);
         std::snprintf(eta, sizeof(eta), ", eta %s", d);
     }
+    // Each cache tier is named explicitly so a warm --store rerun is
+    // visibly "all disk hits" rather than folded into one hit count.
     std::snprintf(buf, n,
-                  "[progress] %zu/%zu cells (%zu running, %zu cache "
-                  "hit%s, %zu forked%s)",
-                  done_, total_, running_.size(), cacheHits_,
-                  cacheHits_ == 1 ? "" : "s", forked_, eta);
+                  "[progress] %zu/%zu cells (%zu running, %zu mem "
+                  "hit%s, %zu disk hit%s, %zu remote, %zu forked%s)",
+                  done_, total_, running_.size(), memHits_,
+                  memHits_ == 1 ? "" : "s", diskHits_,
+                  diskHits_ == 1 ? "" : "s", remote_, forked_, eta);
 }
 
 void
@@ -126,7 +129,9 @@ ProgressReporter::onEvent(const CellEvent &ev)
         ++forked_;
         break;
       case CellEvent::Kind::CacheHit:
-      case CellEvent::Kind::Finished: {
+      case CellEvent::Kind::DiskHit:
+      case CellEvent::Kind::Finished:
+      case CellEvent::Kind::RemoteFinished: {
         auto it = std::find_if(running_.begin(), running_.end(),
                                [&](const Running &r) {
                                    return r.index == ev.index;
@@ -134,10 +139,15 @@ ProgressReporter::onEvent(const CellEvent &ev)
         if (it != running_.end())
             running_.erase(it);
         ++done_;
-        if (ev.kind == CellEvent::Kind::CacheHit)
-            ++cacheHits_;
-        else
+        if (ev.kind == CellEvent::Kind::CacheHit) {
+            ++memHits_;
+        } else if (ev.kind == CellEvent::Kind::DiskHit) {
+            ++diskHits_;
+        } else {
+            if (ev.kind == CellEvent::Kind::RemoteFinished)
+                ++remote_;
             cellSeconds_.observe(ev.hostSeconds);
+        }
         break;
       }
     }
@@ -208,10 +218,11 @@ ProgressReporter::finish()
     char d[16];
     fmtDuration(d, sizeof(d), secs);
     std::fprintf(opts_.out,
-                 "%s[progress] %zu/%zu cells in %s (%zu cache hit%s, "
-                 "%zu forked%s%llu slow)\n",
-                 opts_.ansi ? "\r" : "", done_, total_, d, cacheHits_,
-                 cacheHits_ == 1 ? "" : "s", forked_,
+                 "%s[progress] %zu/%zu cells in %s (%zu mem hit%s, "
+                 "%zu disk hit%s, %zu remote, %zu forked%s%llu slow)\n",
+                 opts_.ansi ? "\r" : "", done_, total_, d, memHits_,
+                 memHits_ == 1 ? "" : "s", diskHits_,
+                 diskHits_ == 1 ? "" : "s", remote_, forked_,
                  slow_ ? ", slow cells flagged: " : ", ",
                  static_cast<unsigned long long>(slow_));
     std::fflush(opts_.out);

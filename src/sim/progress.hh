@@ -3,9 +3,11 @@
  * Live run-health display for ParallelRunner matrices.
  *
  * ProgressReporter consumes CellEvents and paints a single-line status
- * (completed/total, cache hits, prefix forks, an ETA estimated from
- * the per-cell wall-time histogram) plus a watchdog that flags cells
- * running longer than a configurable multiple of the median cell time.
+ * (completed/total, cache accounting split by tier — in-memory hits,
+ * persistent disk-store hits, cells completed by remote workers —
+ * prefix forks, an ETA estimated from the per-cell wall-time
+ * histogram) plus a watchdog that flags cells running longer than a
+ * configurable multiple of the median cell time.
  * Everything here observes host wall-clock only — it never touches the
  * simulated path, so enabling it cannot perturb results.
  *
@@ -87,8 +89,10 @@ class ProgressReporter
     std::condition_variable cv_;
     bool stopped_ = false;
     bool finished_ = false;
-    size_t done_ = 0;      ///< Finished + CacheHit
-    size_t cacheHits_ = 0;
+    size_t done_ = 0;      ///< every terminal CellEvent kind
+    size_t memHits_ = 0;   ///< served from the in-memory store
+    size_t diskHits_ = 0;  ///< served from the persistent store tier
+    size_t remote_ = 0;    ///< simulated by TCP workers
     size_t forked_ = 0;
     uint64_t slow_ = 0;
     Histogram cellSeconds_;

@@ -1,0 +1,315 @@
+#include "sim/remote.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+#include "common/state_buffer.hh"
+#include "sim/runner.hh"
+#include "sim/serialize.hh"
+
+namespace hs {
+
+bool
+parseEndpoints(const std::string &list, std::vector<Endpoint> &out)
+{
+    out.clear();
+    size_t pos = 0;
+    while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        std::string item =
+            list.substr(pos, comma == std::string::npos
+                                 ? std::string::npos
+                                 : comma - pos);
+        size_t colon = item.rfind(':');
+        if (colon == std::string::npos || colon == 0)
+            return false;
+        std::string host = item.substr(0, colon);
+        std::string port = item.substr(colon + 1);
+        char *end = nullptr;
+        long p = std::strtol(port.c_str(), &end, 10);
+        if (end == port.c_str() || *end != '\0' || p < 1 || p > 65535)
+            return false;
+        out.push_back({host, static_cast<uint16_t>(p)});
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return !out.empty();
+}
+
+std::vector<uint8_t>
+encodeHello(FrameType type)
+{
+    std::vector<uint8_t> bytes;
+    StateWriter w(bytes);
+    w.put<uint8_t>(static_cast<uint8_t>(type));
+    w.put<uint32_t>(kRemoteMagic);
+    w.put<uint32_t>(kRemoteProtocolVersion);
+    w.put<uint32_t>(kResultFormatVersion);
+    return bytes;
+}
+
+bool
+checkHello(const std::vector<uint8_t> &frame, FrameType expected,
+           std::string &why)
+{
+    if (frame.size() != 1 + 3 * sizeof(uint32_t)) {
+        why = "malformed handshake frame";
+        return false;
+    }
+    StateReader r(frame);
+    if (r.get<uint8_t>() != static_cast<uint8_t>(expected)) {
+        why = "unexpected frame type in handshake";
+        return false;
+    }
+    if (r.get<uint32_t>() != kRemoteMagic) {
+        why = "not a heat-stroke peer (bad magic)";
+        return false;
+    }
+    if (r.get<uint32_t>() != kRemoteProtocolVersion) {
+        why = "protocol version mismatch";
+        return false;
+    }
+    if (r.get<uint32_t>() != kResultFormatVersion) {
+        why = "result-format version mismatch (rebuild the peer)";
+        return false;
+    }
+    return true;
+}
+
+std::vector<uint8_t>
+encodeJob(uint64_t id, const RunSpec &spec, const SimSnapshot *snap)
+{
+    std::vector<uint8_t> bytes;
+    StateWriter w(bytes);
+    w.put<uint8_t>(static_cast<uint8_t>(FrameType::Job));
+    w.put<uint64_t>(id);
+    saveRunSpec(w, spec);
+    w.put<uint8_t>(snap ? 1 : 0);
+    if (snap) {
+        w.put<uint64_t>(snap->cycle);
+        w.putVec(snap->bytes);
+    }
+    return bytes;
+}
+
+RemoteJob
+decodeJob(const std::vector<uint8_t> &frame)
+{
+    StateReader r(frame);
+    if (r.get<uint8_t>() != static_cast<uint8_t>(FrameType::Job))
+        fatal("decodeJob: not a Job frame");
+    RemoteJob job;
+    job.id = r.get<uint64_t>();
+    job.spec = loadRunSpec(r);
+    job.hasSnapshot = r.get<uint8_t>() != 0;
+    if (job.hasSnapshot) {
+        job.snapshot.cycle = r.get<uint64_t>();
+        r.getVec(job.snapshot.bytes);
+    }
+    if (!r.done())
+        fatal("decodeJob: trailing bytes");
+    return job;
+}
+
+std::vector<uint8_t>
+encodeResult(uint64_t id, const RunResult &result)
+{
+    std::vector<uint8_t> bytes;
+    StateWriter w(bytes);
+    w.put<uint8_t>(static_cast<uint8_t>(FrameType::Result));
+    w.put<uint64_t>(id);
+    saveRunResult(w, result);
+    return bytes;
+}
+
+uint64_t
+decodeResult(const std::vector<uint8_t> &frame, RunResult &out)
+{
+    StateReader r(frame);
+    if (r.get<uint8_t>() != static_cast<uint8_t>(FrameType::Result))
+        fatal("decodeResult: not a Result frame");
+    uint64_t id = r.get<uint64_t>();
+    out = loadRunResult(r);
+    if (!r.done())
+        fatal("decodeResult: trailing bytes");
+    return id;
+}
+
+namespace {
+
+/// Handshakes should complete immediately; a peer that stalls for 10 s
+/// is not a healthy peer.
+constexpr int kHandshakeTimeoutMs = 10000;
+
+/** Serve one coordinator connection. @return true on Shutdown. */
+bool
+serveConnection(Socket &conn, uint64_t &jobsDone)
+{
+    std::vector<uint8_t> frame;
+    RecvStatus st = recvFrame(conn, frame, kHandshakeTimeoutMs);
+    std::string why;
+    if (st != RecvStatus::Ok ||
+        !checkHello(frame, FrameType::Hello, why)) {
+        warn("worker: refusing coordinator: %s",
+             st == RecvStatus::Ok ? why.c_str() : "no Hello frame");
+        return false;
+    }
+    if (!sendFrame(conn, encodeHello(FrameType::HelloAck)))
+        return false;
+    inform("worker: coordinator connected");
+
+    for (;;) {
+        // Between jobs a worker waits indefinitely: idle is normal.
+        st = recvFrame(conn, frame, -1);
+        if (st == RecvStatus::Eof) {
+            inform("worker: coordinator disconnected");
+            return false;
+        }
+        if (st != RecvStatus::Ok || frame.empty()) {
+            warn("worker: dropping broken coordinator connection");
+            return false;
+        }
+        FrameType type = static_cast<FrameType>(frame[0]);
+        if (type == FrameType::Shutdown) {
+            inform("worker: shutdown requested");
+            return true;
+        }
+        if (type != FrameType::Job) {
+            warn("worker: unexpected frame type %u; dropping "
+                 "connection",
+                 static_cast<unsigned>(frame[0]));
+            return false;
+        }
+        RemoteJob job = decodeJob(frame);
+        inform("worker: job %llu '%s'%s",
+               static_cast<unsigned long long>(job.id),
+               job.spec.label.c_str(),
+               job.hasSnapshot ? " (forking from shipped prefix)" : "");
+        RunResult result =
+            job.hasSnapshot ? executeFromSnapshot(job.spec, job.snapshot)
+                            : executeRunSpec(job.spec);
+        ++jobsDone;
+        if (!sendFrame(conn, encodeResult(job.id, result))) {
+            warn("worker: coordinator vanished before the result was "
+                 "delivered");
+            return false;
+        }
+    }
+}
+
+} // namespace
+
+uint64_t
+serveWorker(Socket &listener)
+{
+    uint64_t jobsDone = 0;
+    for (;;) {
+        Socket conn = tcpAccept(listener, -1);
+        if (!conn.valid())
+            continue;
+        if (serveConnection(conn, jobsDone))
+            return jobsDone;
+    }
+}
+
+uint64_t
+serveWorker(uint16_t port)
+{
+    Socket listener = tcpListen(port);
+    if (!listener.valid())
+        fatal("worker: cannot listen on port %u", port);
+    inform("worker: serving on port %u", port);
+    return serveWorker(listener);
+}
+
+bool
+RemoteWorker::ensureConnected()
+{
+    if (state_ == State::Connected)
+        return true;
+    if (state_ == State::Dead)
+        return false;
+    state_ = State::Dead; // until the handshake proves otherwise
+    sock_ = tcpConnect(ep_.host, ep_.port);
+    if (!sock_.valid())
+        return false;
+    if (!sendFrame(sock_, encodeHello(FrameType::Hello))) {
+        warn("worker %s: handshake send failed", ep_.str().c_str());
+        return false;
+    }
+    std::vector<uint8_t> frame;
+    RecvStatus st = recvFrame(sock_, frame, kHandshakeTimeoutMs);
+    std::string why;
+    if (st != RecvStatus::Ok ||
+        !checkHello(frame, FrameType::HelloAck, why)) {
+        warn("worker %s: handshake failed: %s", ep_.str().c_str(),
+             st == RecvStatus::Ok ? why.c_str() : "no HelloAck");
+        return false;
+    }
+    state_ = State::Connected;
+    return true;
+}
+
+bool
+RemoteWorker::runJob(uint64_t id, const RunSpec &spec,
+                     const SimSnapshot *snap, RunResult &out)
+{
+    if (!ensureConnected())
+        return false;
+    if (!sendFrame(sock_, encodeJob(id, spec, snap))) {
+        warn("worker %s lost (send failed); requeueing cell locally",
+             ep_.str().c_str());
+        state_ = State::Dead;
+        return false;
+    }
+    std::vector<uint8_t> frame;
+    RecvStatus st = recvFrame(sock_, frame, envRemoteTimeoutMs());
+    if (st != RecvStatus::Ok) {
+        warn("worker %s lost (%s); requeueing cell locally",
+             ep_.str().c_str(),
+             st == RecvStatus::Timeout ? "timed out" : "disconnected");
+        state_ = State::Dead;
+        return false;
+    }
+    if (frame.empty() ||
+        frame[0] != static_cast<uint8_t>(FrameType::Result) ||
+        decodeResult(frame, out) != id) {
+        warn("worker %s answered out of protocol; requeueing cell "
+             "locally",
+             ep_.str().c_str());
+        state_ = State::Dead;
+        return false;
+    }
+    return true;
+}
+
+void
+RemoteWorker::sendShutdown()
+{
+    if (state_ != State::Connected)
+        return;
+    std::vector<uint8_t> bytes;
+    StateWriter w(bytes);
+    w.put<uint8_t>(static_cast<uint8_t>(FrameType::Shutdown));
+    sendFrame(sock_, bytes);
+    sock_.close();
+    state_ = State::Fresh;
+}
+
+int
+envRemoteTimeoutMs(int default_ms)
+{
+    const char *env = std::getenv("HS_REMOTE_TIMEOUT_MS");
+    if (!env || !*env)
+        return default_ms;
+    char *end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v <= 0)
+        fatal("HS_REMOTE_TIMEOUT_MS must be a positive integer, got "
+              "'%s'",
+              env);
+    return static_cast<int>(v);
+}
+
+} // namespace hs

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * TCP worker sharding for the experiment engine.
+ *
+ * A worker process (`hs_run --serve PORT`) listens for a coordinator,
+ * executes the RunSpecs it is sent, and streams the finished RunResults
+ * back. The coordinator (`hs_run --workers host:port,...`) treats each
+ * connected worker as one extra lane of its thread pool: local threads
+ * and remote dispatchers pull cells from the same queue, and results
+ * fold in submission order, so the artifacts are identical to a purely
+ * local run.
+ *
+ * Wire protocol (all messages are framing.hh length-prefixed frames;
+ * the first payload byte is the FrameType):
+ *
+ *   coordinator -> worker   Hello     magic, protocol version, result
+ *                                     format version (config echo)
+ *   worker -> coordinator   HelloAck  the same triple, the worker's own
+ *   coordinator -> worker   Job       job id, RunSpec, optional warm-up
+ *                                     snapshot (so the worker forks
+ *                                     from the group's shared prefix
+ *                                     exactly like a local cell)
+ *   worker -> coordinator   Result    job id, RunResult
+ *   coordinator -> worker   Shutdown  serve loop returns
+ *
+ * Both sides validate the handshake triple before anything else: a
+ * mismatched build (different protocol or serialised-record layout)
+ * is refused up front instead of misparsing payloads. After a worker
+ * vanishes mid-job (disconnect, timeout), the coordinator marks it
+ * dead and the dispatcher computes that cell — and any further cells
+ * it pulls — locally, so no cell is ever dropped.
+ *
+ * Simulations are deterministic, so where a cell runs cannot change
+ * its result: a remote RunResult round-trips bit-for-bit through the
+ * serialiser and is indistinguishable from a local one.
+ *
+ * Environment knobs:
+ *  - HS_REMOTE_TIMEOUT_MS: per-job coordinator-side wait before a
+ *    worker is declared lost (default 600000; positive integer).
+ */
+
+#ifndef HS_SIM_REMOTE_HH
+#define HS_SIM_REMOTE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/framing.hh"
+#include "sim/results.hh"
+#include "sim/run_spec.hh"
+#include "sim/snapshot.hh"
+
+namespace hs {
+
+/** Protocol identifier ("HSRP") exchanged in the handshake. */
+constexpr uint32_t kRemoteMagic = 0x50525348;
+/** Bump on any wire-protocol change; peers must match exactly. */
+constexpr uint32_t kRemoteProtocolVersion = 1;
+
+/** First payload byte of every frame. */
+enum class FrameType : uint8_t {
+    Hello = 1,
+    HelloAck = 2,
+    Job = 3,
+    Result = 4,
+    Shutdown = 5,
+};
+
+/** One worker address. */
+struct Endpoint
+{
+    std::string host;
+    uint16_t port = 0;
+
+    std::string str() const { return host + ":" + std::to_string(port); }
+};
+
+/**
+ * Parse "host:port[,host:port]..." into @p out.
+ * @return false on any malformed entry (empty host, bad port).
+ */
+bool parseEndpoints(const std::string &list, std::vector<Endpoint> &out);
+
+/** Handshake frame: FrameType + magic + protocol + format version. */
+std::vector<uint8_t> encodeHello(FrameType type);
+
+/**
+ * Validate a Hello/HelloAck frame against this build's versions.
+ * @return false with @p why filled when the peer must be refused.
+ */
+bool checkHello(const std::vector<uint8_t> &frame, FrameType expected,
+                std::string &why);
+
+/** A job as shipped to a worker. */
+struct RemoteJob
+{
+    uint64_t id = 0;
+    RunSpec spec;
+    bool hasSnapshot = false;
+    SimSnapshot snapshot;
+};
+
+std::vector<uint8_t> encodeJob(uint64_t id, const RunSpec &spec,
+                               const SimSnapshot *snap);
+RemoteJob decodeJob(const std::vector<uint8_t> &frame);
+
+std::vector<uint8_t> encodeResult(uint64_t id, const RunResult &result);
+/** @return the job id; fills @p out. */
+uint64_t decodeResult(const std::vector<uint8_t> &frame, RunResult &out);
+
+/**
+ * Worker-side serve loop on an already-listening socket: accept a
+ * coordinator, handshake, execute Jobs until the connection closes
+ * (then re-accept) or a Shutdown frame arrives (then return).
+ * @return the number of jobs executed.
+ */
+uint64_t serveWorker(Socket &listener);
+
+/** Convenience for `hs_run --serve`: listen on @p port (fatal on bind
+ *  failure) and serve. */
+uint64_t serveWorker(uint16_t port);
+
+/**
+ * Coordinator-side handle on one worker. Used by exactly one
+ * dispatcher thread; connects lazily on the first job and stays dead
+ * after any failure (the dispatcher then computes locally).
+ */
+class RemoteWorker
+{
+  public:
+    explicit RemoteWorker(Endpoint ep) : ep_(std::move(ep)) {}
+
+    const Endpoint &endpoint() const { return ep_; }
+
+    /** @return false once the worker has been declared lost. */
+    bool alive() const { return state_ != State::Dead; }
+    /** True after at least one successful handshake. */
+    bool connected() const { return state_ == State::Connected; }
+
+    /** Connect + handshake if not yet attempted. */
+    bool ensureConnected();
+
+    /**
+     * Run @p spec on the worker (forking from @p snap when non-null).
+     * Blocks up to HS_REMOTE_TIMEOUT_MS for the result. On any failure
+     * the worker is marked dead and the caller runs the cell locally.
+     */
+    bool runJob(uint64_t id, const RunSpec &spec, const SimSnapshot *snap,
+                RunResult &out);
+
+    /** Politely stop the worker's serve loop (best effort). */
+    void sendShutdown();
+
+  private:
+    enum class State { Fresh, Connected, Dead };
+
+    Endpoint ep_;
+    Socket sock_;
+    State state_ = State::Fresh;
+};
+
+/** @return the HS_REMOTE_TIMEOUT_MS override, or @p default_ms. */
+int envRemoteTimeoutMs(int default_ms = 600000);
+
+} // namespace hs
+
+#endif // HS_SIM_REMOTE_HH

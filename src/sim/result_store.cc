@@ -1,5 +1,7 @@
 #include "sim/result_store.hh"
 
+#include "sim/disk_store.hh"
+
 namespace hs {
 
 ResultStore &
@@ -11,7 +13,8 @@ ResultStore::global()
 
 RunResult
 ResultStore::getOrCompute(const RunSpec &spec,
-                          const std::function<RunResult()> &compute)
+                          const std::function<RunResult()> &compute,
+                          Source *source)
 {
     const std::string key = spec.canonicalKey();
 
@@ -34,12 +37,33 @@ ResultStore::getOrCompute(const RunSpec &spec,
     if (!owner) {
         // Blocks only while another worker's identical run is still
         // in flight; completed cells return immediately.
+        if (source)
+            *source = Source::Memory;
         return fut.get();
+    }
+
+    // The owner consults the persistent tier before simulating; a
+    // validated disk record fills the in-memory promise exactly as a
+    // fresh computation would, so in-flight waiters are oblivious to
+    // where the bytes came from.
+    if (disk_) {
+        RunResult stored;
+        if (disk_->load(spec, stored) ==
+            DiskResultStore::LoadStatus::Hit) {
+            promise.set_value(stored);
+            if (source)
+                *source = Source::Disk;
+            return stored;
+        }
     }
 
     try {
         RunResult r = compute();
         promise.set_value(r);
+        if (disk_)
+            disk_->store(spec, r);
+        if (source)
+            *source = Source::Computed;
         return r;
     } catch (...) {
         promise.set_exception(std::current_exception());
@@ -54,6 +78,12 @@ ResultStore::contains(const RunSpec &spec) const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return cache_.count(spec.canonicalKey()) > 0;
+}
+
+bool
+ResultStore::available(const RunSpec &spec) const
+{
+    return contains(spec) || (disk_ && disk_->contains(spec));
 }
 
 void

@@ -12,6 +12,12 @@
  * and deduplicates *in-flight* computations: if two workers ask for the
  * same key simultaneously, one simulates and the other blocks on the
  * shared future instead of duplicating the work.
+ *
+ * An optional persistent tier (sim/disk_store.hh) can be attached:
+ * lookups then read through to disk before simulating, and freshly
+ * computed results write through, so a rerun of a finished campaign —
+ * in a new process, on another machine sharing the store directory —
+ * serves every cell from disk without simulating anything.
  */
 
 #ifndef HS_SIM_RESULT_STORE_HH
@@ -30,9 +36,18 @@
 
 namespace hs {
 
+class DiskResultStore;
+
 class ResultStore
 {
   public:
+    /** Where a getOrCompute() result actually came from. */
+    enum class Source : uint8_t {
+        Computed, ///< simulated by @p compute (possibly remotely)
+        Memory,   ///< served from this process's cache
+        Disk,     ///< served from the attached persistent tier
+    };
+
     ResultStore() = default;
     ResultStore(const ResultStore &) = delete;
     ResultStore &operator=(const ResultStore &) = delete;
@@ -41,15 +56,29 @@ class ResultStore
     static ResultStore &global();
 
     /**
+     * Attach (or detach with nullptr) a persistent read/write-through
+     * tier. Not owned; must outlive the lookups. Attach before any
+     * concurrent use.
+     */
+    void attachDisk(DiskResultStore *disk) { disk_ = disk; }
+    DiskResultStore *disk() const { return disk_; }
+
+    /**
      * Return the cached result for @p spec, computing it with
      * @p compute on a miss. Concurrent callers with the same key share
-     * one computation.
+     * one computation. When @p source is non-null it reports which
+     * tier satisfied the lookup (in-flight waiters see Memory).
      */
     RunResult getOrCompute(const RunSpec &spec,
-                           const std::function<RunResult()> &compute);
+                           const std::function<RunResult()> &compute,
+                           Source *source = nullptr);
 
-    /** @return true if @p spec 's result is already cached. */
+    /** @return true if @p spec 's result is already cached in memory. */
     bool contains(const RunSpec &spec) const;
+
+    /** @return true if any tier (memory or disk) already has @p spec —
+     *  i.e. asking for it will not simulate. */
+    bool available(const RunSpec &spec) const;
 
     /** Drop every cached result (tests). */
     void clear();
@@ -64,6 +93,7 @@ class ResultStore
   private:
     mutable std::mutex mu_;
     std::unordered_map<std::string, std::shared_future<RunResult>> cache_;
+    DiskResultStore *disk_ = nullptr;
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
 };

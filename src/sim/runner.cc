@@ -15,6 +15,7 @@
 
 #include "common/log.hh"
 #include "isa/assembler.hh"
+#include "sim/disk_store.hh"
 #include "sim/result_store.hh"
 #include "sim/simulator.hh"
 #include "trace/metrics.hh"
@@ -317,7 +318,7 @@ ParallelRunner::buildPrefixes(const std::vector<RunSpec> &specs,
     for (size_t gi = 0; gi < groups.size(); ++gi) {
         std::unordered_set<std::string> fresh_keys;
         for (size_t i : groups[gi].members) {
-            if (store_ && store_->contains(specs[i]))
+            if (store_ && store_->available(specs[i]))
                 continue;
             fresh_keys.insert(specs[i].canonicalKey());
         }
@@ -380,36 +381,130 @@ ParallelRunner::run(const std::vector<RunSpec> &specs)
         notify({CellEvent::Kind::Queued, i, total,
                 specs[i].label.c_str(), 0.0});
 
-    auto runOne = [&](size_t i) {
+    auto runOne = [&](size_t i, RemoteWorker *remote) {
         const RunSpec &spec = specs[i];
         const SimSnapshot *snap = snaps[i].get();
         notify({CellEvent::Kind::Started, i, total, spec.label.c_str(),
                 0.0});
-        bool computed = false;
+        bool viaRemote = false;
         auto compute = [&]() -> RunResult {
-            computed = true;
             if (snap) {
                 forkedRuns_.fetch_add(1);
                 savedCycles_.fetch_add(snap->cycle);
                 notify({CellEvent::Kind::PrefixForked, i, total,
                         spec.label.c_str(), 0.0});
-                return executeFromSnapshot(spec, *snap);
             }
+            if (remote && remote->alive()) {
+                RunResult r;
+                if (remote->runJob(i, spec, snap, r)) {
+                    viaRemote = true;
+                    remoteCells_.fetch_add(1);
+                    return r;
+                }
+                // The worker died mid-campaign: requeue this cell as
+                // local work in the dispatcher thread itself, which
+                // from here on drains the queue like any local lane.
+                lostWorkers_.fetch_add(1);
+                requeuedCells_.fetch_add(1);
+            }
+            if (snap)
+                return executeFromSnapshot(spec, *snap);
             return executeRunSpec(spec);
         };
         auto t0 = std::chrono::steady_clock::now();
-        results[i] =
-            store_ ? store_->getOrCompute(spec, compute) : compute();
+        ResultStore::Source src = ResultStore::Source::Computed;
+        results[i] = store_ ? store_->getOrCompute(spec, compute, &src)
+                            : compute();
         double secs = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
-        notify({computed ? CellEvent::Kind::Finished
-                         : CellEvent::Kind::CacheHit,
-                i, total, spec.label.c_str(), computed ? secs : 0.0});
+        CellEvent::Kind kind;
+        switch (src) {
+          case ResultStore::Source::Memory:
+            kind = CellEvent::Kind::CacheHit;
+            break;
+          case ResultStore::Source::Disk:
+            kind = CellEvent::Kind::DiskHit;
+            break;
+          case ResultStore::Source::Computed:
+          default:
+            kind = viaRemote ? CellEvent::Kind::RemoteFinished
+                             : CellEvent::Kind::Finished;
+            break;
+        }
+        bool simulated = src == ResultStore::Source::Computed;
+        notify({kind, i, total, spec.label.c_str(),
+                simulated ? secs : 0.0});
     };
 
-    poolFor(jobs_, specs.size(), runOne);
+    if (workerEndpoints_.empty()) {
+        poolFor(jobs_, specs.size(),
+                [&](size_t i) { runOne(i, nullptr); });
+        return results;
+    }
+
+    // Remote sharding: local threads and one dispatcher per connected
+    // worker drain a single shared queue. Results land at their
+    // submission index, so folding order — and therefore every
+    // artifact — is identical to the purely local run.
+    std::vector<std::unique_ptr<RemoteWorker>> remotes;
+    for (const Endpoint &ep : workerEndpoints_) {
+        auto rw = std::make_unique<RemoteWorker>(ep);
+        if (rw->ensureConnected()) {
+            remoteWorkers_.fetch_add(1);
+            remotes.push_back(std::move(rw));
+        }
+        // A worker that never handshakes gets no dispatcher: the
+        // connect failure was already warned about and the local
+        // lanes cover its share.
+    }
+
+    std::atomic<size_t> next{0};
+    std::exception_ptr error;
+    std::mutex errorMu;
+    auto drain = [&](RemoteWorker *rw) {
+        for (;;) {
+            size_t i = next.fetch_add(1);
+            if (i >= specs.size())
+                return;
+            try {
+                runOne(i, rw);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMu);
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(jobs_) + remotes.size());
+    for (int w = 0; w < jobs_; ++w)
+        pool.emplace_back(drain, nullptr);
+    for (auto &rw : remotes)
+        pool.emplace_back(drain, rw.get());
+    for (std::thread &t : pool)
+        t.join();
+    if (error)
+        std::rethrow_exception(error);
     return results;
+}
+
+void
+ParallelRunner::setWorkers(std::vector<Endpoint> endpoints)
+{
+    workerEndpoints_ = std::move(endpoints);
+}
+
+RemoteStats
+ParallelRunner::remoteStats() const
+{
+    RemoteStats s;
+    s.workers = remoteWorkers_.load();
+    s.remoteCells = remoteCells_.load();
+    s.lostWorkers = lostWorkers_.load();
+    s.requeuedCells = requeuedCells_.load();
+    return s;
 }
 
 int
@@ -455,7 +550,13 @@ std::vector<RunResult>
 runMatrix(const std::vector<RunSpec> &specs)
 {
     ResultStore &store = ResultStore::global();
+    if (DiskResultStore *disk = envDiskStore())
+        store.attachDisk(disk);
+    DiskResultStore *disk = store.disk();
     uint64_t hits0 = store.hits();
+    uint64_t dhits0 = disk ? disk->hits() : 0;
+    uint64_t dwrites0 = disk ? disk->writes() : 0;
+    uint64_t dcorrupt0 = disk ? disk->corrupt() : 0;
     ParallelRunner runner(envJobs(0), &store);
 
     auto t0 = std::chrono::steady_clock::now();
@@ -485,6 +586,19 @@ runMatrix(const std::vector<RunSpec> &specs)
                      static_cast<unsigned long long>(bs.lanes),
                      static_cast<unsigned long long>(bs.peeledLanes),
                      static_cast<double>(bs.scoutCycles) / 1e6);
+    }
+    if (disk) {
+        // Appended after every pre-existing field: bench_snapshot.sh
+        // parses this line positionally from the left.
+        std::fprintf(stderr,
+                     " | store: %llu disk hits, %llu writes, "
+                     "%llu corrupt",
+                     static_cast<unsigned long long>(disk->hits() -
+                                                     dhits0),
+                     static_cast<unsigned long long>(disk->writes() -
+                                                     dwrites0),
+                     static_cast<unsigned long long>(disk->corrupt() -
+                                                     dcorrupt0));
     }
     std::fprintf(stderr, "\n");
     return results;

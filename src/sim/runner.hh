@@ -24,6 +24,16 @@
  * remains the fallback for groups batching declines (multi-core
  * topologies, singleton groups).
  *
+ * Two further tiers extend the engine beyond one process:
+ *  - a persistent content-addressed result store (sim/disk_store.hh)
+ *    attached to the ResultStore serves finished cells across process
+ *    boundaries and reruns;
+ *  - TCP worker sharding (sim/remote.hh) adds remote dispatcher lanes
+ *    next to the local threads, with automatic local fallback when a
+ *    worker dies.
+ * Neither can change results: cells are deterministic, results always
+ * fold in submission order.
+ *
  * Environment knobs:
  *  - HS_JOBS: worker count for runMatrix() (default: all hardware
  *    threads; must be a positive integer).
@@ -31,6 +41,8 @@
  *    non-negative integer).
  *  - HS_BATCH: lockstep batch width (default 1 = solo path; must be a
  *    positive integer; >= 2 enables batching).
+ *  - HS_STORE: directory of the persistent result store runMatrix()
+ *    attaches (default: none).
  */
 
 #ifndef HS_SIM_RUNNER_HH
@@ -45,6 +57,7 @@
 #include <vector>
 
 #include "sim/batch.hh"
+#include "sim/remote.hh"
 #include "sim/run_spec.hh"
 #include "sim/snapshot.hh"
 #include "trace/metrics.hh"
@@ -79,6 +92,15 @@ std::unique_ptr<Simulator> makePrefixSimulator(const RunSpec &spec);
 RunResult executeFromSnapshot(const RunSpec &spec,
                               const SimSnapshot &snap);
 
+/** Remote-sharding counters accumulated by a ParallelRunner. */
+struct RemoteStats
+{
+    uint64_t workers = 0;     ///< endpoints that handshook successfully
+    uint64_t remoteCells = 0; ///< cells simulated by TCP workers
+    uint64_t lostWorkers = 0; ///< workers that died mid-campaign
+    uint64_t requeuedCells = 0; ///< cells recovered by local fallback
+};
+
 /** Prefix-sharing counters accumulated by a ParallelRunner. */
 struct PrefixShareStats
 {
@@ -96,11 +118,13 @@ struct PrefixShareStats
 struct CellEvent
 {
     enum class Kind : uint8_t {
-        Queued,       ///< spec accepted into the matrix, before work
-        Started,      ///< a worker picked the cell up
-        PrefixForked, ///< the cell resumed from a shared prefix
-        CacheHit,     ///< the ResultStore already had the result
-        Finished,     ///< the cell simulated to completion
+        Queued,         ///< spec accepted into the matrix, before work
+        Started,        ///< a worker picked the cell up
+        PrefixForked,   ///< the cell resumed from a shared prefix
+        CacheHit,       ///< the in-memory ResultStore had the result
+        DiskHit,        ///< the persistent store tier had the result
+        Finished,       ///< the cell simulated to completion locally
+        RemoteFinished, ///< a TCP worker simulated the cell
     };
 
     Kind kind = Kind::Queued;
@@ -139,6 +163,17 @@ class ParallelRunner
      *  scout tracks. */
     void setBatchWidth(int width);
     int batchWidth() const { return batchWidth_; }
+
+    /**
+     * Shard cells across TCP workers (hs_run --workers). Each endpoint
+     * becomes one dispatcher lane next to the local threads; a worker
+     * that fails mid-run is abandoned and its cells run locally. Set
+     * before run().
+     */
+    void setWorkers(std::vector<Endpoint> endpoints);
+
+    /** Cumulative remote-sharding counters across run() calls. */
+    RemoteStats remoteStats() const;
 
     /** Cumulative prefix-sharing counters across run() calls. */
     PrefixShareStats prefixStats() const;
@@ -181,6 +216,11 @@ class ParallelRunner
     bool prefixSharing_;
     int batchWidth_;
     BatchStats batchStats_; ///< mutated only inside run()'s batch phase
+    std::vector<Endpoint> workerEndpoints_;
+    std::atomic<uint64_t> remoteWorkers_{0};
+    std::atomic<uint64_t> remoteCells_{0};
+    std::atomic<uint64_t> lostWorkers_{0};
+    std::atomic<uint64_t> requeuedCells_{0};
     CellObserver observer_;
     mutable std::mutex observerMu_; ///< serialises notify() + histogram
     Histogram cellSeconds_;

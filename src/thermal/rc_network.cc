@@ -283,29 +283,42 @@ RcNetwork::derivativeBatch(const std::vector<Watts> &power,
                            const std::vector<Kelvin> &t, size_t lanes,
                            std::vector<double> &d) const
 {
-    // The lane loop sits between the node loop and the CSR row scan:
-    // one row's neighbour indices and conductances are reused for
-    // every lane while they are hot. Each lane's flow accumulation
-    // mirrors derivative()'s expressions term for term so the
-    // compiler contracts them identically and every lane stays
-    // bit-identical to a solo evaluation.
+    // The lane loop is innermost: lanes are adjacent in the SoA layout,
+    // so every inner loop below walks unit-stride rows the compiler
+    // auto-vectorises, and one row's neighbour indices and
+    // conductances are reused for all lanes while they are hot. The
+    // running flow accumulates in d's own row — per lane that is the
+    // exact term order of derivative() (bath term first, then
+    // neighbours in ascending CSR order, one division by the node
+    // capacitance last), so each lane remains bit-identical to a solo
+    // evaluation at any width (guarded by tests at widths 2/8/32).
+    // __restrict is honest here: d is a private scratch buffer of
+    // stepBatch, never aliasing the power or temperature blocks.
     const int *nbr = csrNode_.data();
     const double *cond = csrG_.data();
+    const double *tp = t.data();
     for (int i = 0; i < numNodes_; ++i) {
         size_t si = static_cast<size_t>(i);
-        int begin = csrStart_[si];
+        const double *__restrict trow = tp + si * lanes;
+        const double *__restrict prow = power.data() + si * lanes;
+        double *__restrict drow = d.data() + si * lanes;
+        double bg = bathG_[si];
+        double bt = bathT_[si];
+        for (size_t l = 0; l < lanes; ++l)
+            drow[l] = prow[l] + bg * (bt - trow[l]);
         int end = csrStart_[si + 1];
-        for (size_t l = 0; l < lanes; ++l) {
-            double ti = t[si * lanes + l];
-            double flow =
-                power[si * lanes + l] + bathG_[si] * (bathT_[si] - ti);
-            for (int k = begin; k < end; ++k) {
-                flow += cond[k] *
-                        (t[static_cast<size_t>(nbr[k]) * lanes + l] -
-                         ti);
-            }
-            d[si * lanes + l] = flow / cap_[si];
+        for (int k = csrStart_[si]; k < end; ++k) {
+            const double *__restrict nrow =
+                tp + static_cast<size_t>(nbr[k]) * lanes;
+            double g = cond[k];
+            for (size_t l = 0; l < lanes; ++l)
+                drow[l] += g * (nrow[l] - trow[l]);
         }
+        // Divide (not multiply by a reciprocal): same rounding as
+        // derivative().
+        double c = cap_[si];
+        for (size_t l = 0; l < lanes; ++l)
+            drow[l] = drow[l] / c;
     }
 }
 

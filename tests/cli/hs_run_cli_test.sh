@@ -93,6 +93,22 @@ expect_usage "negative batch" --spec gcc $FAST --batch -3
 expect_usage "non-integer batch" --spec gcc $FAST --batch banana
 expect_usage "partial numeric batch" --spec gcc $FAST --batch 8x
 expect_usage "missing batch value" --spec gcc $FAST --batch
+expect_usage "missing store value" --spec gcc $FAST --store
+expect_usage "empty store value" --spec gcc $FAST --store ""
+expect_usage "zero serve port" --serve 0
+expect_usage "negative serve port" --serve -1
+expect_usage "serve port out of range" --serve 65536
+expect_usage "non-integer serve port" --serve http
+expect_usage "serve with workload" --spec gcc $FAST --serve 7471
+expect_usage "serve with workers" --serve 7471 --workers 127.0.0.1:7472
+expect_usage "serve with output" --serve 7471 --json "$TMP/x.json"
+expect_usage "workers without port" --spec gcc $FAST --workers 127.0.0.1
+expect_usage "workers bad port" --spec gcc $FAST --workers host:0
+expect_usage "workers empty entry" --spec gcc $FAST --workers "a:1,,b:2"
+expect_usage "workers with stats" --spec gcc $FAST \
+    --workers 127.0.0.1:1 --stats
+expect_usage "store with profile" --spec gcc $FAST \
+    --store "$TMP/store" --profile
 
 # --- well-formed invocations -------------------------------------------
 

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Persistent result-store tests, with emphasis on the failure matrix:
+ * a truncated record, a corrupted payload, a wrong format version, and
+ * a stale config echo must each be detected, logged, and recomputed —
+ * never crash the engine, never serve a wrong result.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "sim/disk_store.hh"
+#include "sim/result_store.hh"
+#include "sim/run_spec.hh"
+#include "sim/runner.hh"
+#include "sim/serialize.hh"
+
+namespace {
+
+using namespace hs;
+
+ExperimentOptions
+fastOpts()
+{
+    ExperimentOptions opts;
+    opts.timeScale = 2000.0;
+    return opts;
+}
+
+/** Fresh store directory per test (process-unique, test-unique). */
+std::string
+freshDir(const std::string &tag)
+{
+    std::string dir = "hs_store_test_" + tag + "_" +
+                      std::to_string(::getpid());
+    std::string cmd = "rm -rf " + dir;
+    if (std::system(cmd.c_str()) != 0)
+        ADD_FAILURE() << "cannot clear " << dir;
+    return dir;
+}
+
+std::vector<char>
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+}
+
+void
+spit(const std::string &path, const std::vector<char> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good()) << path;
+}
+
+TEST(DiskStore, StoreThenLoadRoundTrips)
+{
+    DiskResultStore store(freshDir("roundtrip"));
+    RunSpec spec = soloSpec("gcc", fastOpts());
+    RunResult original = executeRunSpec(spec);
+
+    EXPECT_FALSE(store.contains(spec));
+    ASSERT_TRUE(store.store(spec, original));
+    EXPECT_TRUE(store.contains(spec));
+    EXPECT_EQ(store.writes(), 1u);
+
+    RunResult back;
+    ASSERT_EQ(store.load(spec, back), DiskResultStore::LoadStatus::Hit);
+    EXPECT_TRUE(back == original);
+    EXPECT_EQ(back.hostSeconds, original.hostSeconds);
+    EXPECT_EQ(store.hits(), 1u);
+    EXPECT_EQ(store.corrupt(), 0u);
+}
+
+TEST(DiskStore, MissOnEmptyStore)
+{
+    DiskResultStore store(freshDir("miss"));
+    RunResult out;
+    EXPECT_EQ(store.load(soloSpec("gcc", fastOpts()), out),
+              DiskResultStore::LoadStatus::Miss);
+    EXPECT_EQ(store.misses(), 1u);
+}
+
+TEST(DiskStore, EntryPathUsesHashFanout)
+{
+    DiskResultStore store(freshDir("path"));
+    RunSpec spec = soloSpec("gcc", fastOpts());
+    std::string path = store.entryPath(spec);
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(spec.hash()));
+    EXPECT_NE(path.find(std::string("/") + hex[0] + hex[1] + "/"),
+              std::string::npos);
+    EXPECT_NE(path.find(std::string(hex) + ".hsr"),
+              std::string::npos);
+}
+
+/**
+ * The corruption matrix: each mutation of a valid record must load as
+ * Corrupt (logged miss), and a read-through ResultStore must then
+ * recompute the correct result rather than crash or serve garbage.
+ */
+class DiskStoreCorruption : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = freshDir("corrupt");
+        store_ = std::make_unique<DiskResultStore>(dir_);
+        spec_ = soloSpec("gcc", fastOpts());
+        original_ = executeRunSpec(spec_);
+        ASSERT_TRUE(store_->store(spec_, original_));
+        path_ = store_->entryPath(spec_);
+        bytes_ = slurp(path_);
+        ASSERT_GT(bytes_.size(), 40u);
+    }
+
+    /** Expect Corrupt from load(), then a correct recompute through
+     *  a read-through ResultStore. */
+    void
+    expectCorruptAndRecompute()
+    {
+        RunResult out;
+        EXPECT_EQ(store_->load(spec_, out),
+                  DiskResultStore::LoadStatus::Corrupt);
+        EXPECT_GE(store_->corrupt(), 1u);
+
+        ResultStore mem;
+        mem.attachDisk(store_.get());
+        bool computed = false;
+        ResultStore::Source src = ResultStore::Source::Memory;
+        RunResult served = mem.getOrCompute(
+            spec_,
+            [&] {
+                computed = true;
+                return executeRunSpec(spec_);
+            },
+            &src);
+        EXPECT_TRUE(computed);
+        EXPECT_EQ(src, ResultStore::Source::Computed);
+        EXPECT_TRUE(served == original_);
+    }
+
+    std::string dir_, path_;
+    std::unique_ptr<DiskResultStore> store_;
+    RunSpec spec_;
+    RunResult original_;
+    std::vector<char> bytes_;
+};
+
+TEST_F(DiskStoreCorruption, TruncatedRecordIsRecomputed)
+{
+    std::vector<char> cut(bytes_.begin(),
+                          bytes_.begin() +
+                              static_cast<long>(bytes_.size() / 2));
+    spit(path_, cut);
+    expectCorruptAndRecompute();
+}
+
+TEST_F(DiskStoreCorruption, TruncatedHeaderIsRecomputed)
+{
+    spit(path_, std::vector<char>(bytes_.begin(), bytes_.begin() + 7));
+    expectCorruptAndRecompute();
+}
+
+TEST_F(DiskStoreCorruption, ChecksumMismatchIsRecomputed)
+{
+    bytes_.back() = static_cast<char>(bytes_.back() ^ 0x40);
+    spit(path_, bytes_);
+    expectCorruptAndRecompute();
+}
+
+TEST_F(DiskStoreCorruption, WrongFormatVersionIsRecomputed)
+{
+    // Header layout: magic u32 | version u32 | ... — poke the version.
+    bytes_[4] = static_cast<char>(0x7f);
+    spit(path_, bytes_);
+    expectCorruptAndRecompute();
+}
+
+TEST_F(DiskStoreCorruption, BadMagicIsRecomputed)
+{
+    bytes_[0] = 'X';
+    spit(path_, bytes_);
+    expectCorruptAndRecompute();
+}
+
+TEST_F(DiskStoreCorruption, StaleConfigEchoIsRecomputed)
+{
+    // The canonical key (config echo) starts right after the 32-byte
+    // fixed header; corrupting it models a hash collision or an entry
+    // written by a build with a different key layout.
+    bytes_[32] = static_cast<char>(bytes_[32] ^ 0x01);
+    spit(path_, bytes_);
+    expectCorruptAndRecompute();
+}
+
+TEST_F(DiskStoreCorruption, TrailingBytesAreRecomputed)
+{
+    bytes_.push_back(0x00);
+    spit(path_, bytes_);
+    expectCorruptAndRecompute();
+}
+
+TEST(DiskStoreTier, ReadThroughAndWriteThrough)
+{
+    std::string dir = freshDir("tier");
+    RunSpec spec = soloSpec("gcc", fastOpts());
+    RunResult original;
+
+    {
+        // Cold process: computes, writes through.
+        DiskResultStore disk(dir);
+        ResultStore mem;
+        mem.attachDisk(&disk);
+        ResultStore::Source src = ResultStore::Source::Memory;
+        original = mem.getOrCompute(
+            spec, [&] { return executeRunSpec(spec); }, &src);
+        EXPECT_EQ(src, ResultStore::Source::Computed);
+        EXPECT_EQ(disk.writes(), 1u);
+        EXPECT_TRUE(mem.available(spec));
+
+        // Second lookup in the same process: memory tier.
+        src = ResultStore::Source::Computed;
+        mem.getOrCompute(
+            spec,
+            [&]() -> RunResult {
+                ADD_FAILURE() << "must not simulate";
+                return RunResult();
+            },
+            &src);
+        EXPECT_EQ(src, ResultStore::Source::Memory);
+    }
+
+    {
+        // "New process": fresh memory store over the same directory.
+        DiskResultStore disk(dir);
+        ResultStore mem;
+        mem.attachDisk(&disk);
+        EXPECT_FALSE(mem.contains(spec));
+        EXPECT_TRUE(mem.available(spec));
+        ResultStore::Source src = ResultStore::Source::Computed;
+        RunResult served = mem.getOrCompute(
+            spec,
+            [&]() -> RunResult {
+                ADD_FAILURE() << "warm store must not simulate";
+                return RunResult();
+            },
+            &src);
+        EXPECT_EQ(src, ResultStore::Source::Disk);
+        EXPECT_TRUE(served == original);
+        EXPECT_EQ(served.hostSeconds, original.hostSeconds);
+        EXPECT_EQ(disk.hits(), 1u);
+        EXPECT_EQ(disk.writes(), 0u);
+    }
+}
+
+TEST(DiskStoreTier, WarmStoreServesWholeMatrixWithoutSimulating)
+{
+    std::string dir = freshDir("matrix");
+    ExperimentOptions opts = fastOpts();
+    std::vector<RunSpec> specs;
+    specs.push_back(soloSpec("gcc", opts));
+    specs.push_back(soloSpec("mesa", opts));
+    specs.push_back(
+        soloSpec("gcc", opts).withDtm(DtmMode::SelectiveSedation));
+
+    std::vector<RunResult> cold;
+    {
+        DiskResultStore disk(dir);
+        ResultStore mem;
+        mem.attachDisk(&disk);
+        ParallelRunner runner(2, &mem);
+        cold = runner.run(specs);
+        EXPECT_EQ(disk.writes(), specs.size());
+    }
+    {
+        DiskResultStore disk(dir);
+        ResultStore mem;
+        mem.attachDisk(&disk);
+        ParallelRunner runner(2, &mem);
+        size_t diskHits = 0, simulated = 0;
+        runner.setCellObserver([&](const CellEvent &ev) {
+            if (ev.kind == CellEvent::Kind::DiskHit)
+                ++diskHits;
+            if (ev.kind == CellEvent::Kind::Finished ||
+                ev.kind == CellEvent::Kind::RemoteFinished)
+                ++simulated;
+        });
+        std::vector<RunResult> warm = runner.run(specs);
+        EXPECT_EQ(simulated, 0u);
+        EXPECT_EQ(diskHits, specs.size());
+        ASSERT_EQ(warm.size(), cold.size());
+        for (size_t i = 0; i < warm.size(); ++i)
+            EXPECT_TRUE(warm[i] == cold[i]) << "cell " << i;
+    }
+}
+
+} // namespace

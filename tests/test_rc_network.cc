@@ -366,5 +366,70 @@ INSTANTIATE_TEST_SUITE_P(StepSizes, RcStepSweep,
                          ::testing::Values(0.001, 0.01, 0.05, 0.1, 0.5,
                                            1.0));
 
+class RcBatchWidth : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RcBatchWidth, StepBatchBitIdenticalToSoloStep)
+{
+    // Guard for the vectorised lane-inner multi-RHS kernel: every lane
+    // of stepBatch must reproduce a solo step() of that lane's state
+    // bit for bit (EXPECT_EQ on doubles, no tolerance), at every
+    // supported width.
+    const int n = 6;
+    size_t lanes = static_cast<size_t>(GetParam());
+    auto build = [&](RcNetwork &net) {
+        for (int i = 0; i < n; ++i)
+            net.setCapacitance(i, 0.1 + 0.03 * i);
+        net.addConductance(0, 1, 2.0);
+        net.addConductance(1, 2, 3.0);
+        net.addConductance(2, 3, 1.5);
+        net.addConductance(3, 4, 0.7);
+        net.addConductance(4, 5, 2.2);
+        net.addConductance(0, 5, 0.4);
+        net.addConductance(1, 4, 1.1);
+        net.addBathConductance(5, 1.0, 300.0);
+        net.addBathConductance(2, 0.25, 318.0);
+    };
+
+    // Distinct per-lane state so an indexing slip cannot cancel out.
+    std::vector<Kelvin> temps(static_cast<size_t>(n) * lanes);
+    std::vector<Watts> power(static_cast<size_t>(n) * lanes);
+    for (int i = 0; i < n; ++i) {
+        for (size_t l = 0; l < lanes; ++l) {
+            temps[static_cast<size_t>(i) * lanes + l] =
+                300.0 + 3.0 * i + 0.37 * static_cast<double>(l);
+            power[static_cast<size_t>(i) * lanes + l] =
+                0.5 * i + 0.11 * static_cast<double>(l);
+        }
+    }
+
+    RcNetwork batched(n);
+    build(batched);
+    std::vector<Kelvin> got = temps;
+    double dt = 0.05;
+    batched.stepBatch(power, got, static_cast<int>(lanes), dt);
+
+    for (size_t l = 0; l < lanes; ++l) {
+        RcNetwork solo(n);
+        build(solo);
+        std::vector<Watts> p(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            size_t si = static_cast<size_t>(i);
+            solo.setTemp(i, temps[si * lanes + l]);
+            p[si] = power[si * lanes + l];
+        }
+        solo.step(p, dt);
+        for (int i = 0; i < n; ++i) {
+            EXPECT_EQ(solo.temp(i),
+                      got[static_cast<size_t>(i) * lanes + l])
+                << "lane " << l << " node " << i << " width " << lanes;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RcBatchWidth,
+                         ::testing::Values(2, 8, 32));
+
 } // namespace
 } // namespace hs

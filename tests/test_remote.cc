@@ -1,0 +1,258 @@
+/**
+ * @file
+ * TCP worker-sharding tests: endpoint parsing, frame round trips,
+ * handshake refusal, an in-process coordinator/worker end-to-end run
+ * (results must match serial execution bit for bit), and the dead-
+ * worker fallback path (every cell still computed, locally).
+ */
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/framing.hh"
+#include "sim/remote.hh"
+#include "sim/result_store.hh"
+#include "sim/run_spec.hh"
+#include "sim/runner.hh"
+
+namespace {
+
+using namespace hs;
+
+ExperimentOptions
+fastOpts()
+{
+    ExperimentOptions opts;
+    opts.timeScale = 2000.0;
+    return opts;
+}
+
+std::vector<RunSpec>
+smallMatrix()
+{
+    ExperimentOptions opts = fastOpts();
+    std::vector<RunSpec> specs;
+    specs.push_back(soloSpec("gcc", opts));
+    specs.push_back(soloSpec("mesa", opts));
+    specs.push_back(
+        soloSpec("gcc", opts).withDtm(DtmMode::SelectiveSedation));
+    return specs;
+}
+
+TEST(RemoteEndpoints, ParsesSingleAndList)
+{
+    std::vector<Endpoint> eps;
+    ASSERT_TRUE(parseEndpoints("127.0.0.1:7471", eps));
+    ASSERT_EQ(eps.size(), 1u);
+    EXPECT_EQ(eps[0].host, "127.0.0.1");
+    EXPECT_EQ(eps[0].port, 7471);
+
+    eps.clear();
+    ASSERT_TRUE(parseEndpoints("a:1,b:65535", eps));
+    ASSERT_EQ(eps.size(), 2u);
+    EXPECT_EQ(eps[0].str(), "a:1");
+    EXPECT_EQ(eps[1].str(), "b:65535");
+}
+
+TEST(RemoteEndpoints, RejectsMalformedEntries)
+{
+    std::vector<Endpoint> eps;
+    EXPECT_FALSE(parseEndpoints("", eps));
+    EXPECT_FALSE(parseEndpoints("noport", eps));
+    EXPECT_FALSE(parseEndpoints(":7471", eps));
+    EXPECT_FALSE(parseEndpoints("host:", eps));
+    EXPECT_FALSE(parseEndpoints("host:0", eps));
+    EXPECT_FALSE(parseEndpoints("host:65536", eps));
+    EXPECT_FALSE(parseEndpoints("host:x", eps));
+    EXPECT_FALSE(parseEndpoints("good:1,,also:2", eps));
+}
+
+TEST(RemoteFrames, HelloValidatesAndRefuses)
+{
+    std::vector<uint8_t> hello = encodeHello(FrameType::Hello);
+    std::string why;
+    EXPECT_TRUE(checkHello(hello, FrameType::Hello, why)) << why;
+
+    // Wrong expected type (a Job where a Hello must be).
+    EXPECT_FALSE(checkHello(hello, FrameType::HelloAck, why));
+
+    // Tampered magic.
+    std::vector<uint8_t> bad = hello;
+    bad[1] ^= 0xff;
+    EXPECT_FALSE(checkHello(bad, FrameType::Hello, why));
+
+    // Tampered protocol version.
+    bad = hello;
+    bad[5] ^= 0x01;
+    EXPECT_FALSE(checkHello(bad, FrameType::Hello, why));
+    EXPECT_FALSE(why.empty());
+
+    // Truncated frame.
+    bad = std::vector<uint8_t>(hello.begin(), hello.begin() + 3);
+    EXPECT_FALSE(checkHello(bad, FrameType::Hello, why));
+}
+
+TEST(RemoteFrames, JobRoundTripWithoutSnapshot)
+{
+    RunSpec spec = soloSpec("gcc", fastOpts());
+    std::vector<uint8_t> frame = encodeJob(42, spec, nullptr);
+    ASSERT_FALSE(frame.empty());
+    EXPECT_EQ(frame[0], static_cast<uint8_t>(FrameType::Job));
+
+    RemoteJob job = decodeJob(frame);
+    EXPECT_EQ(job.id, 42u);
+    EXPECT_FALSE(job.hasSnapshot);
+    EXPECT_EQ(job.spec.canonicalKey(), spec.canonicalKey());
+    EXPECT_EQ(job.spec.hash(), spec.hash());
+}
+
+TEST(RemoteFrames, JobRoundTripCarriesSnapshot)
+{
+    RunSpec spec = soloSpec("gcc", fastOpts());
+    SimSnapshot snap;
+    snap.cycle = 1234;
+    snap.bytes = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x42};
+
+    RemoteJob job = decodeJob(encodeJob(7, spec, &snap));
+    EXPECT_EQ(job.id, 7u);
+    ASSERT_TRUE(job.hasSnapshot);
+    EXPECT_EQ(job.snapshot.cycle, snap.cycle);
+    EXPECT_EQ(job.snapshot.bytes, snap.bytes);
+}
+
+TEST(RemoteFrames, ResultRoundTripIsBitIdentical)
+{
+    RunResult original = executeRunSpec(soloSpec("gcc", fastOpts()));
+    RunResult back;
+    EXPECT_EQ(decodeResult(encodeResult(9, original), back), 9u);
+    EXPECT_TRUE(back == original);
+    EXPECT_EQ(back.hostSeconds, original.hostSeconds);
+}
+
+/** A worker serving on an ephemeral localhost port in this process. */
+class InProcessWorker
+{
+  public:
+    InProcessWorker()
+    {
+        listener_ = tcpListen(0);
+        port_ = localPort(listener_);
+        thread_ = std::thread([this] { jobs_ = serveWorker(listener_); });
+    }
+
+    ~InProcessWorker()
+    {
+        if (thread_.joinable()) {
+            stop();
+            thread_.join();
+        }
+    }
+
+    Endpoint endpoint() const { return Endpoint{"127.0.0.1", port_}; }
+    uint64_t jobsExecuted() const { return jobs_; }
+
+    /** Ask the serve loop to return, then join. */
+    void
+    stop()
+    {
+        RemoteWorker handle(endpoint());
+        ASSERT_TRUE(handle.ensureConnected());
+        handle.sendShutdown();
+    }
+
+    void
+    join()
+    {
+        thread_.join();
+    }
+
+  private:
+    Socket listener_;
+    uint16_t port_ = 0;
+    uint64_t jobs_ = 0;
+    std::thread thread_;
+};
+
+TEST(RemoteEndToEnd, WorkerMatchesSerialExecution)
+{
+    std::vector<RunSpec> specs = smallMatrix();
+    std::vector<RunResult> serial;
+    for (const RunSpec &spec : specs)
+        serial.push_back(executeRunSpec(spec));
+
+    InProcessWorker worker;
+    ResultStore store;
+    ParallelRunner runner(1, &store);
+    runner.setWorkers({worker.endpoint()});
+    std::vector<RunResult> sharded = runner.run(specs);
+
+    RemoteStats stats = runner.remoteStats();
+    EXPECT_EQ(stats.workers, 1u);
+    EXPECT_EQ(stats.lostWorkers, 0u);
+    EXPECT_EQ(stats.requeuedCells, 0u);
+    EXPECT_GT(stats.remoteCells, 0u);
+
+    ASSERT_EQ(sharded.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_TRUE(sharded[i] == serial[i]) << "cell " << i;
+    }
+
+    worker.stop();
+    worker.join();
+    EXPECT_EQ(worker.jobsExecuted() + stats.requeuedCells,
+              stats.remoteCells);
+}
+
+TEST(RemoteEndToEnd, DeadWorkerFallsBackLocally)
+{
+    // Reserve a port with a listener that never accepts a handshake,
+    // then close it: connects to the endpoint are refused, so every
+    // cell must be recovered by the dispatcher's local fallback.
+    uint16_t port;
+    {
+        Socket ghost = tcpListen(0);
+        port = localPort(ghost);
+    }
+
+    std::vector<RunSpec> specs = smallMatrix();
+    std::vector<RunResult> serial;
+    for (const RunSpec &spec : specs)
+        serial.push_back(executeRunSpec(spec));
+
+    ResultStore store;
+    ParallelRunner runner(1, &store);
+    runner.setWorkers({Endpoint{"127.0.0.1", port}});
+    std::vector<RunResult> results = runner.run(specs);
+
+    RemoteStats stats = runner.remoteStats();
+    EXPECT_EQ(stats.workers, 0u);
+    EXPECT_EQ(stats.remoteCells, 0u);
+
+    ASSERT_EQ(results.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+        EXPECT_TRUE(results[i] == serial[i]) << "cell " << i;
+}
+
+TEST(RemoteEndToEnd, TwoWorkersStillFoldInSubmissionOrder)
+{
+    std::vector<RunSpec> specs = smallMatrix();
+    std::vector<RunResult> serial;
+    for (const RunSpec &spec : specs)
+        serial.push_back(executeRunSpec(spec));
+
+    InProcessWorker w0, w1;
+    ResultStore store;
+    ParallelRunner runner(1, &store);
+    runner.setWorkers({w0.endpoint(), w1.endpoint()});
+    std::vector<RunResult> sharded = runner.run(specs);
+
+    EXPECT_EQ(runner.remoteStats().workers, 2u);
+    ASSERT_EQ(sharded.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+        EXPECT_TRUE(sharded[i] == serial[i]) << "cell " << i;
+}
+
+} // namespace

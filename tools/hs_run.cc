@@ -27,6 +27,18 @@
  *   --batch N            lockstep batch width (default: HS_BATCH or 1;
  *                        1 = solo path, >= 2 advances up to N sibling
  *                        cells per scout; see docs/PERFORMANCE.md)
+ *   --store DIR          persistent content-addressed result store:
+ *                        finished cells are written to DIR and later
+ *                        runs (any process, any machine sharing DIR)
+ *                        serve them from disk instead of simulating
+ *                        (default: HS_STORE; see docs/DISTRIBUTED.md)
+ *   --serve PORT         run as a TCP worker: listen on PORT, execute
+ *                        RunSpecs a coordinator ships, stream results
+ *                        back (no workloads on the command line)
+ *   --workers LIST       shard cells across TCP workers, e.g.
+ *                        "host:7401,host:7402"; each worker is one
+ *                        extra engine lane, with local fallback when
+ *                        a worker dies
  *   --json FILE          write specs + results + metrics as JSON
  *                        ("-" = stdout)
  *   --csv FILE           write per-thread results as CSV ("-" = stdout)
@@ -73,7 +85,9 @@
 #include <string>
 #include <vector>
 
+#include "sim/disk_store.hh"
 #include "sim/progress.hh"
+#include "sim/remote.hh"
 #include "sim/result_store.hh"
 #include "sim/runner.hh"
 #include "sim/simulator.hh"
@@ -92,6 +106,8 @@ usage(const char *argv0)
                  "[--asm FILE]...\n"
                  "       [--each] [--cores N] [--place a,b,...] "
                  "[--jobs N] [--batch N] [--json FILE] [--csv FILE]\n"
+                 "       [--store DIR] [--serve PORT] "
+                 "[--workers host:port,...]\n"
                  "       [--dtm none|stopgo|sedation|dvfs|fetchgate] "
                  "[--sink ideal|real]\n"
                  "       [--scale S] [--conv R] [--upper K] "
@@ -311,6 +327,9 @@ main(int argc, char **argv)
     int deschedule = 0;
     int jobs = 0;
     int batch = 0; // 0 = unset: the engine falls back to HS_BATCH
+    std::string store_path;
+    int serve_port = 0; // 0 = not a worker
+    std::vector<Endpoint> worker_endpoints;
     bool each = false;
     int cores = 1;
     std::vector<int> place;
@@ -400,6 +419,21 @@ main(int argc, char **argv)
             if (n <= 0)
                 badValue(argv[0], arg, v, "a positive integer");
             batch = static_cast<int>(n);
+        } else if (arg == "--store") {
+            store_path = value();
+            if (store_path.empty())
+                badValue(argv[0], arg, store_path, "a directory path");
+        } else if (arg == "--serve") {
+            std::string v = value();
+            long n = parseInt(argv[0], arg, v);
+            if (n < 1 || n > 65535)
+                badValue(argv[0], arg, v, "a port in 1..65535");
+            serve_port = static_cast<int>(n);
+        } else if (arg == "--workers") {
+            std::string v = value();
+            if (!parseEndpoints(v, worker_endpoints))
+                badValue(argv[0], arg, v,
+                         "a comma list of host:port endpoints");
         } else if (arg == "--json") {
             json_path = value();
         } else if (arg == "--csv") {
@@ -471,6 +505,23 @@ main(int argc, char **argv)
                          argv[i]);
             usage(argv[0]);
         }
+    }
+    if (serve_port > 0) {
+        // A worker is pure transport + compute: it takes its RunSpecs
+        // from the coordinator, so a command line that also declares
+        // local work is a confused command line.
+        if (!workloads.empty() || !worker_endpoints.empty() || each ||
+            dump_stats || profile || progress || !json_path.empty() ||
+            !csv_path.empty() || !trace_path.empty() ||
+            !temp_trace_path.empty()) {
+            std::fprintf(stderr,
+                         "%s: --serve runs a bare worker; drop "
+                         "workloads and output options\n",
+                         argv[0]);
+            usage(argv[0]);
+        }
+        serveWorker(static_cast<uint16_t>(serve_port));
+        return 0;
     }
     if (workloads.empty()) {
         std::fprintf(stderr, "no workloads given; try --spec gcc "
@@ -555,10 +606,18 @@ main(int argc, char **argv)
     PrefixShareStats engine_stats;
     bool have_engine_stats = false;
     Histogram cell_seconds;
+    std::unique_ptr<DiskResultStore> cli_store;
     if (dump_stats || profile) {
         if (progress) {
             std::fprintf(stderr,
                          "%s: --progress needs the engine; drop "
+                         "--stats/--profile\n",
+                         argv[0]);
+            usage(argv[0]);
+        }
+        if (!worker_endpoints.empty() || !store_path.empty()) {
+            std::fprintf(stderr,
+                         "%s: --workers/--store need the engine; drop "
                          "--stats/--profile\n",
                          argv[0]);
             usage(argv[0]);
@@ -574,10 +633,22 @@ main(int argc, char **argv)
         if (profile)
             printProfile(sim->profile());
     } else {
+        DiskResultStore *disk = nullptr;
+        if (!store_path.empty()) {
+            cli_store = std::make_unique<DiskResultStore>(store_path);
+            disk = cli_store.get();
+        } else {
+            disk = envDiskStore();
+        }
+        if (disk)
+            ResultStore::global().attachDisk(disk);
+
         int engine_jobs = jobs > 0 ? jobs : envJobs(0);
         ParallelRunner runner(engine_jobs, &ResultStore::global());
         if (batch > 0)
             runner.setBatchWidth(batch);
+        if (!worker_endpoints.empty())
+            runner.setWorkers(worker_endpoints);
         std::unique_ptr<ProgressReporter> reporter;
         if (progress) {
             ProgressOptions popts;
@@ -623,6 +694,28 @@ main(int argc, char **argv)
                             batch_stats.peeledLanes),
                         static_cast<double>(batch_stats.savedCycles) /
                             1e6);
+        if (disk)
+            std::printf("\nstore %s: %llu disk hit(s), %llu "
+                        "write(s), %llu corrupt record(s) "
+                        "recomputed\n",
+                        disk->dir().c_str(),
+                        static_cast<unsigned long long>(disk->hits()),
+                        static_cast<unsigned long long>(
+                            disk->writes()),
+                        static_cast<unsigned long long>(
+                            disk->corrupt()));
+        if (!worker_endpoints.empty()) {
+            RemoteStats rs = runner.remoteStats();
+            std::printf("\nremote: %llu/%zu worker(s) connected, "
+                        "%llu cell(s) simulated remotely, %llu "
+                        "requeued locally\n",
+                        static_cast<unsigned long long>(rs.workers),
+                        worker_endpoints.size(),
+                        static_cast<unsigned long long>(
+                            rs.remoteCells),
+                        static_cast<unsigned long long>(
+                            rs.requeuedCells));
+        }
     }
 
     foldRunMetrics(MetricsRegistry::global(), results,
