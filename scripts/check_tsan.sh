@@ -21,7 +21,10 @@ fi
 
 cmake -B "$BUILD" -S . -DHS_SANITIZE=thread >/dev/null
 cmake --build "$BUILD" -j"$(nproc)" --target hs_tests
-TSAN_OPTIONS="halt_on_error=1" \
+# Remote* exercises the coordinator/worker threads, Fault*/Chaos* the
+# fault-injection layer under concurrent firing (a small seed sweep —
+# the full 100-seed sweep belongs to the uninstrumented suite).
+HS_CHAOS_SEEDS=8 TSAN_OPTIONS="halt_on_error=1" \
     "./$BUILD/tests/hs_tests" \
-    --gtest_filter='Runner*:RunSpec*:RunnerDeathTest*:Snapshot*'
+    --gtest_filter='Runner*:RunSpec*:RunnerDeathTest*:Snapshot*:Remote*:Fault*:Chaos*:Manifest*:Campaign*'
 echo TSAN_CLEAN

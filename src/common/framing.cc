@@ -3,6 +3,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include <ctime>
+
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -10,6 +12,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/fault.hh"
 #include "common/log.hh"
 
 namespace hs {
@@ -53,20 +56,50 @@ tcpListen(uint16_t port)
 
 namespace {
 
-/** Wait for readability; true when poll() reports the fd ready. */
-bool
-waitReadable(int fd, int timeoutMs)
+/** Monotonic milliseconds, for EINTR-resumed poll deadlines. */
+int64_t
+nowMs()
 {
-    pollfd pfd{fd, POLLIN, 0};
+    timespec ts{};
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<int64_t>(ts.tv_sec) * 1000 +
+           ts.tv_nsec / 1000000;
+}
+
+/**
+ * Wait for @p events; true when poll() reports the fd ready. A signal
+ * landing mid-wait (EINTR) resumes the poll with the *remaining*
+ * timeout — it must neither surface as a spurious failure nor stretch
+ * the deadline.
+ */
+bool
+waitFor(int fd, short events, int timeoutMs)
+{
+    pollfd pfd{fd, events, 0};
+    int64_t deadline =
+        timeoutMs < 0 ? -1 : nowMs() + timeoutMs;
+    int remaining = timeoutMs;
     for (;;) {
-        int rc = ::poll(&pfd, 1, timeoutMs);
+        int rc = ::poll(&pfd, 1, remaining);
         if (rc > 0)
             return true;
         if (rc == 0)
             return false;
         if (errno != EINTR)
             return false;
+        if (deadline >= 0) {
+            int64_t left = deadline - nowMs();
+            if (left <= 0)
+                return false;
+            remaining = static_cast<int>(left);
+        }
     }
+}
+
+bool
+waitReadable(int fd, int timeoutMs)
+{
+    return waitFor(fd, POLLIN, timeoutMs);
 }
 
 } // namespace
@@ -78,7 +111,10 @@ tcpAccept(const Socket &listener, int timeoutMs)
         return Socket();
     if (!waitReadable(listener.fd(), timeoutMs))
         return Socket();
-    int fd = ::accept(listener.fd(), nullptr, nullptr);
+    int fd;
+    do {
+        fd = ::accept(listener.fd(), nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
     if (fd < 0) {
         warn("tcpAccept: %s", std::strerror(errno));
         return Socket();
@@ -101,9 +137,45 @@ localPort(const Socket &sock)
     return ntohs(addr.sin_port);
 }
 
+namespace {
+
+/**
+ * Resolve a connect() that returned EINTR: the kernel keeps dialing in
+ * the background, so the correct continuation is to wait for
+ * writability and read the outcome from SO_ERROR — calling connect()
+ * again would report EALREADY and look like a spurious failure.
+ */
+bool
+finishConnect(int fd)
+{
+    if (!waitFor(fd, POLLOUT, -1))
+        return false;
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0)
+        return false;
+    if (err != 0) {
+        errno = err;
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
 Socket
 tcpConnect(const std::string &host, uint16_t port)
 {
+    if (faultFire("connect_delay")) {
+        timespec nap{0, 50 * 1000 * 1000}; // 50 ms
+        ::nanosleep(&nap, nullptr);
+    }
+    if (faultFire("connect_fail")) {
+        warn("tcpConnect: cannot reach %s:%u: injected fault",
+             host.c_str(), port);
+        return Socket();
+    }
+
     addrinfo hints{};
     hints.ai_family = AF_UNSPEC;
     hints.ai_socktype = SOCK_STREAM;
@@ -122,7 +194,10 @@ tcpConnect(const std::string &host, uint16_t port)
                           ai->ai_protocol);
         if (fd < 0)
             continue;
-        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+        int crc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+        if (crc != 0 && errno == EINTR)
+            crc = finishConnect(fd) ? 0 : -1;
+        if (crc == 0) {
             int one = 1;
             ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
                          sizeof(one));
@@ -216,6 +291,15 @@ recvFrame(const Socket &sock, std::vector<uint8_t> &out, int timeoutMs,
         return st;
     if (len > maxBytes)
         return RecvStatus::Error;
+    if (faultFire("recv_mid_eof")) {
+        // The connection dies between the length prefix and the
+        // payload: exactly the truncation recvAll() would report, but
+        // the peer is really gone, so drain and poison the socket by
+        // shutting it down — a later retry must not resynchronise on
+        // the unread payload bytes as a fresh length prefix.
+        ::shutdown(sock.fd(), SHUT_RDWR);
+        return RecvStatus::Error;
+    }
     out.resize(len);
     if (len == 0)
         return RecvStatus::Ok;

@@ -4,11 +4,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <memory>
+#include <vector>
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "common/fault.hh"
 #include "common/log.hh"
 #include "sim/serialize.hh"
 
@@ -170,6 +174,16 @@ DiskResultStore::store(const RunSpec &spec, const RunResult &result)
     std::string tmp =
         bucket + "/.tmp." + std::to_string(::getpid()) + "." +
         path.substr(path.rfind('/') + 1);
+    // Chaos sites model the writer-side failures a shared store must
+    // absorb: a checksum that rotted (the record publishes but never
+    // validates), a write torn halfway by a crash that still reached
+    // rename() (e.g. power loss reordering), and a rename that fails
+    // outright. All of them must cost at most a recompute.
+    if (faultFire("store_checksum_flip"))
+        hdr.payloadChecksum ^= 1;
+    size_t payloadWrite = payload.size();
+    if (faultFire("store_torn_write"))
+        payloadWrite = payload.size() / 2;
     {
         File file(std::fopen(tmp.c_str(), "wb"));
         if (!file.f) {
@@ -182,9 +196,9 @@ DiskResultStore::store(const RunSpec &spec, const RunResult &result)
             (key.empty() ||
              std::fwrite(key.data(), 1, key.size(), file.f) ==
                  key.size()) &&
-            (payload.empty() ||
-             std::fwrite(payload.data(), 1, payload.size(), file.f) ==
-                 payload.size()) &&
+            (payloadWrite == 0 ||
+             std::fwrite(payload.data(), 1, payloadWrite, file.f) ==
+                 payloadWrite) &&
             std::fflush(file.f) == 0;
         if (!ok) {
             warn("result store: short write to '%s': %s", tmp.c_str(),
@@ -193,6 +207,12 @@ DiskResultStore::store(const RunSpec &spec, const RunResult &result)
             return false;
         }
     }
+    if (faultFire("store_rename_fail")) {
+        warn("result store: cannot publish '%s': injected fault",
+             path.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         warn("result store: cannot publish '%s': %s", path.c_str(),
              std::strerror(errno));
@@ -200,7 +220,189 @@ DiskResultStore::store(const RunSpec &spec, const RunResult &result)
         return false;
     }
     writes_.fetch_add(1);
+    if (faultFire("store_crash")) {
+        // A chaos-killed coordinator: the record just published is
+        // durable, everything after this write is lost. The manifest
+        // resume path must pick the campaign up from this exact gap.
+        warn("result store: injected crash after publishing '%s'",
+             path.c_str());
+        std::_Exit(9);
+    }
     return true;
+}
+
+bool
+validateRecordFile(const std::string &path, std::string &why)
+{
+    File file(std::fopen(path.c_str(), "rb"));
+    if (!file.f) {
+        why = std::string("unreadable: ") + std::strerror(errno);
+        return false;
+    }
+    StoreHeader hdr;
+    if (std::fread(&hdr, sizeof(hdr), 1, file.f) != 1) {
+        why = "truncated header";
+        return false;
+    }
+    if (hdr.magic != kStoreMagic) {
+        why = "bad magic";
+        return false;
+    }
+    if (hdr.version != kResultFormatVersion) {
+        why = "result-format version mismatch";
+        return false;
+    }
+    // Same sanity caps as load(): a corrupt length field must not
+    // drive a giant allocation during a GC sweep either.
+    if (hdr.keyBytes > (1ull << 20)) {
+        why = "implausible key length";
+        return false;
+    }
+    if (hdr.payloadBytes > (1ull << 30)) {
+        why = "implausible payload length";
+        return false;
+    }
+    std::vector<uint8_t> key(static_cast<size_t>(hdr.keyBytes));
+    if (!key.empty() &&
+        std::fread(key.data(), 1, key.size(), file.f) != key.size()) {
+        why = "truncated config echo";
+        return false;
+    }
+    std::vector<uint8_t> payload(static_cast<size_t>(hdr.payloadBytes));
+    if (!payload.empty() &&
+        std::fread(payload.data(), 1, payload.size(), file.f) !=
+            payload.size()) {
+        why = "truncated payload";
+        return false;
+    }
+    if (std::fgetc(file.f) != EOF) {
+        why = "trailing bytes";
+        return false;
+    }
+    if (fnv1a64(payload.data(), payload.size()) !=
+        hdr.payloadChecksum) {
+        why = "payload checksum mismatch";
+        return false;
+    }
+    return true;
+}
+
+namespace {
+
+/** True when @p name is exactly two hex digits (a bucket directory). */
+bool
+isBucketName(const char *name)
+{
+    auto hex = [](char c) {
+        return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    };
+    return name[0] != '\0' && name[1] != '\0' && name[2] == '\0' &&
+           hex(name[0]) && hex(name[1]);
+}
+
+/**
+ * True for names prune may consider: visible `*.hsr` records. Hidden
+ * temp files from interrupted writers start with '.' and stay out.
+ */
+bool
+isRecordName(const char *name)
+{
+    if (name[0] == '.')
+        return false;
+    size_t n = std::strlen(name);
+    return n > 4 && std::strcmp(name + n - 4, ".hsr") == 0;
+}
+
+/** RAII DIR handle. */
+struct Dir
+{
+    DIR *d = nullptr;
+    explicit Dir(DIR *dp) : d(dp) {}
+    ~Dir()
+    {
+        if (d)
+            ::closedir(d);
+    }
+};
+
+} // namespace
+
+PruneStats
+pruneStore(const std::string &dir, const PruneOptions &opts)
+{
+    struct stat st;
+    if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode))
+        fatal("prune: '%s' is not a store directory", dir.c_str());
+    Dir root(::opendir(dir.c_str()));
+    if (!root.d)
+        fatal("prune: cannot open '%s': %s", dir.c_str(),
+              std::strerror(errno));
+
+    PruneStats stats;
+    const std::time_t now = std::time(nullptr);
+    while (dirent *de = ::readdir(root.d)) {
+        if (std::strcmp(de->d_name, ".") == 0 ||
+            std::strcmp(de->d_name, "..") == 0)
+            continue;
+        std::string sub = dir + "/" + de->d_name;
+        struct stat sst;
+        // Only the two-hex-digit bucket directories belong to the
+        // store layout; manifests and user strays at the root are
+        // never prune's business.
+        if (!isBucketName(de->d_name) ||
+            ::lstat(sub.c_str(), &sst) != 0 || !S_ISDIR(sst.st_mode)) {
+            ++stats.skipped;
+            continue;
+        }
+        Dir bucket(::opendir(sub.c_str()));
+        if (!bucket.d) {
+            ++stats.skipped;
+            continue;
+        }
+        while (dirent *fe = ::readdir(bucket.d)) {
+            if (std::strcmp(fe->d_name, ".") == 0 ||
+                std::strcmp(fe->d_name, "..") == 0)
+                continue;
+            std::string path = sub + "/" + fe->d_name;
+            struct stat fst;
+            if (!isRecordName(fe->d_name) ||
+                ::lstat(path.c_str(), &fst) != 0 ||
+                !S_ISREG(fst.st_mode)) {
+                ++stats.skipped;
+                continue;
+            }
+            ++stats.scanned;
+
+            bool corrupt = false;
+            std::string why;
+            if (opts.sweepCorrupt && !validateRecordFile(path, why)) {
+                corrupt = true;
+                warn("prune: '%s' is corrupt (%s)", path.c_str(),
+                     why.c_str());
+            }
+            // Strict '>' keeps a record sitting exactly on the
+            // retention boundary.
+            bool tooOld =
+                opts.olderThanDays >= 0.0 &&
+                std::difftime(now, fst.st_mtime) >
+                    opts.olderThanDays * 86400.0;
+            if (!corrupt && !tooOld) {
+                ++stats.kept;
+                continue;
+            }
+            if (!opts.dryRun && std::remove(path.c_str()) != 0) {
+                warn("prune: cannot delete '%s': %s", path.c_str(),
+                     std::strerror(errno));
+                ++stats.kept;
+                continue;
+            }
+            ++stats.pruned;
+            if (corrupt)
+                ++stats.corrupt;
+            stats.bytesFreed += static_cast<uint64_t>(fst.st_size);
+        }
+    }
+    return stats;
 }
 
 DiskResultStore *

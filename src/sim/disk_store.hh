@@ -105,6 +105,49 @@ class DiskResultStore
  */
 DiskResultStore *envDiskStore();
 
+/**
+ * Structural validation of one .hsr record file — everything load()
+ * checks except the config echo, which needs the requesting spec
+ * (magic, version, internal lengths vs. file size, trailing bytes,
+ * payload checksum). @return false with @p why filled when the
+ * record could not have been produced by a completed store() call.
+ */
+bool validateRecordFile(const std::string &path, std::string &why);
+
+/** What pruneStore() may delete and how loudly. */
+struct PruneOptions
+{
+    /** Delete records whose mtime is more than this many days old.
+     *  Negative disables the age rule (corrupt sweep only). */
+    double olderThanDays = -1.0;
+    /** Report what would be deleted without touching anything. */
+    bool dryRun = false;
+    /** Also delete records that fail validateRecordFile() — they can
+     *  only ever cost a recompute — regardless of age. */
+    bool sweepCorrupt = false;
+};
+
+/** Outcome of one pruneStore() sweep. */
+struct PruneStats
+{
+    uint64_t scanned = 0;    ///< .hsr records examined
+    uint64_t pruned = 0;     ///< records deleted (dry run: would be)
+    uint64_t corrupt = 0;    ///< of those, dropped by the corrupt sweep
+    uint64_t kept = 0;       ///< records retained
+    uint64_t skipped = 0;    ///< non-.hsr entries refused (never deleted)
+    uint64_t bytesFreed = 0; ///< total size of pruned records
+};
+
+/**
+ * Garbage-collect the store rooted at @p dir (the `hs_store prune`
+ * subcommand). Only regular `*.hsr` files inside the two-hex-digit
+ * bucket directories are ever candidates: manifests, temp files from
+ * interrupted writers, and anything else a user may have put in the
+ * tree are counted as skipped and refused. fatal() if @p dir is not
+ * an existing store root.
+ */
+PruneStats pruneStore(const std::string &dir, const PruneOptions &opts);
+
 } // namespace hs
 
 #endif // HS_SIM_DISK_STORE_HH

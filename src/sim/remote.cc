@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "common/fault.hh"
 #include "common/log.hh"
 #include "common/state_buffer.hh"
 #include "sim/runner.hh"
@@ -142,6 +143,16 @@ namespace {
 /// is not a healthy peer.
 constexpr int kHandshakeTimeoutMs = 10000;
 
+/** The handshake frame, with a byte flipped when chaos asks for it. */
+std::vector<uint8_t>
+helloFrame(FrameType type)
+{
+    std::vector<uint8_t> frame = encodeHello(type);
+    if (faultFire("handshake_garbage"))
+        frame[1] ^= 0xff; // first magic byte: the peer must refuse
+    return frame;
+}
+
 /** Serve one coordinator connection. @return true on Shutdown. */
 bool
 serveConnection(Socket &conn, uint64_t &jobsDone)
@@ -155,7 +166,7 @@ serveConnection(Socket &conn, uint64_t &jobsDone)
              st == RecvStatus::Ok ? why.c_str() : "no Hello frame");
         return false;
     }
-    if (!sendFrame(conn, encodeHello(FrameType::HelloAck)))
+    if (!sendFrame(conn, helloFrame(FrameType::HelloAck)))
         return false;
     inform("worker: coordinator connected");
 
@@ -186,6 +197,14 @@ serveConnection(Socket &conn, uint64_t &jobsDone)
                static_cast<unsigned long long>(job.id),
                job.spec.label.c_str(),
                job.hasSnapshot ? " (forking from shipped prefix)" : "");
+        if (faultFire("worker_crash")) {
+            // The whole point of this site is that the process is
+            // gone before the Result frame exists: the coordinator
+            // must requeue the cell, not wait on it.
+            warn("worker: injected crash before job %llu completes",
+                 static_cast<unsigned long long>(job.id));
+            std::_Exit(3);
+        }
         RunResult result =
             job.hasSnapshot ? executeFromSnapshot(job.spec, job.snapshot)
                             : executeRunSpec(job.spec);
@@ -234,7 +253,7 @@ RemoteWorker::ensureConnected()
     sock_ = tcpConnect(ep_.host, ep_.port);
     if (!sock_.valid())
         return false;
-    if (!sendFrame(sock_, encodeHello(FrameType::Hello))) {
+    if (!sendFrame(sock_, helloFrame(FrameType::Hello))) {
         warn("worker %s: handshake send failed", ep_.str().c_str());
         return false;
     }

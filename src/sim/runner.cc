@@ -13,9 +13,11 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/fault.hh"
 #include "common/log.hh"
 #include "isa/assembler.hh"
 #include "sim/disk_store.hh"
+#include "sim/manifest.hh"
 #include "sim/result_store.hh"
 #include "sim/simulator.hh"
 #include "trace/metrics.hh"
@@ -384,6 +386,12 @@ ParallelRunner::run(const std::vector<RunSpec> &specs)
     auto runOne = [&](size_t i, RemoteWorker *remote) {
         const RunSpec &spec = specs[i];
         const SimSnapshot *snap = snaps[i].get();
+        if (faultFire("dispatch_delay")) {
+            // Stall this lane so chaos runs exercise every possible
+            // completion interleaving; submission-order folding must
+            // make the artifacts identical regardless.
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
         notify({CellEvent::Kind::Started, i, total, spec.label.c_str(),
                 0.0});
         bool viaRemote = false;
@@ -553,6 +561,20 @@ runMatrix(const std::vector<RunSpec> &specs)
     if (DiskResultStore *disk = envDiskStore())
         store.attachDisk(disk);
     DiskResultStore *disk = store.disk();
+    if (disk) {
+        // Persist the campaign's identity before any cell simulates:
+        // a coordinator killed mid-sweep can be restarted with the
+        // same command line and pick up exactly the missing cells.
+        CampaignResume resume = prepareCampaign(*disk, specs);
+        if (resume.resumed)
+            std::fprintf(stderr,
+                         "[campaign] resuming: %llu of %llu cells "
+                         "already stored\n",
+                         static_cast<unsigned long long>(
+                             resume.storedCells),
+                         static_cast<unsigned long long>(
+                             resume.totalCells));
+    }
     uint64_t hits0 = store.hits();
     uint64_t dhits0 = disk ? disk->hits() : 0;
     uint64_t dwrites0 = disk ? disk->writes() : 0;

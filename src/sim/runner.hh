@@ -42,7 +42,13 @@
  *  - HS_BATCH: lockstep batch width (default 1 = solo path; must be a
  *    positive integer; >= 2 enables batching).
  *  - HS_STORE: directory of the persistent result store runMatrix()
- *    attaches (default: none).
+ *    attaches (default: none). With a store attached, runMatrix()
+ *    also maintains `<store>/manifest.hsm` (sim/manifest.hh): an
+ *    interrupted campaign restarted with the same command line
+ *    resumes, simulating only the cells the store is missing.
+ *  - HS_FAULTS: seeded deterministic fault-injection plan for chaos
+ *    testing (grammar and site list in common/fault.hh; default:
+ *    none, which compiles down to one null check per site).
  */
 
 #ifndef HS_SIM_RUNNER_HH

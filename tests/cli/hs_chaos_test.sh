@@ -1,0 +1,175 @@
+#!/bin/sh
+# Chaos contract test for the distributed experiment service.
+#
+# Establishes a fault-free solo baseline, then replays several seeded
+# HS_FAULTS schedules against a coordinator with two localhost workers
+# and a shared store: the workers crash mid-job, frames truncate,
+# handshakes arrive garbled, connects fail or stall, store writes tear,
+# lose their rename or flip their checksum, and dispatch lanes stall.
+# Every schedule must still produce JSON and CSV artifacts identical to
+# the fault-free run (host-throughput fields stripped), and a fault-free
+# warm rerun over each surviving store must too — recomputing whatever
+# chaos corrupted, serving nothing wrong.
+#
+# The deterministic seeds make any failure replayable by exporting the
+# printed HS_FAULTS value. Set HS_CHAOS_LOG_DIR to keep the per-schedule
+# logs (the CI chaos-smoke job uploads them on failure).
+#
+# usage: hs_chaos_test.sh <path-to-hs_run>
+
+set -u
+
+BIN=$1
+TMP=$(mktemp -d)
+W1=
+W2=
+cleanup()
+{
+    [ -n "$W1" ] && kill "$W1" 2>/dev/null
+    [ -n "$W2" ] && kill "$W2" 2>/dev/null
+    if [ -n "${HS_CHAOS_LOG_DIR:-}" ]; then
+        mkdir -p "$HS_CHAOS_LOG_DIR"
+        cp "$TMP"/*.err "$TMP"/*.log "$HS_CHAOS_LOG_DIR"/ 2>/dev/null
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+MATRIX="--spec gcc --spec mcf --spec mesa --spec vpr --each \
+        --scale 20000"
+fails=0
+
+fail()
+{
+    echo "FAIL: $1" >&2
+    fails=$((fails + 1))
+}
+
+# Strip the machine-dependent fields (host_seconds and
+# sim_cycles_per_host_sec) before comparing artifacts.
+norm_csv()
+{
+    sed 's/,[^,]*,[^,]*$//' "$1"
+}
+
+norm_json()
+{
+    python3 - "$1" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for run in doc["runs"]:
+    run["result"].pop("host_seconds", None)
+    run["result"].pop("sim_cycles_per_host_sec", None)
+doc.pop("metrics", None)
+print(json.dumps(doc, sort_keys=True))
+EOF
+}
+
+wait_port()
+{
+    python3 - "$1" <<'EOF'
+import socket, sys, time
+port = int(sys.argv[1])
+for _ in range(200):
+    try:
+        socket.create_connection(("127.0.0.1", port), 1).close()
+        sys.exit(0)
+    except OSError:
+        time.sleep(0.05)
+sys.exit(1)
+EOF
+}
+
+# run DESC OUT-PREFIX ARGS... : run the matrix, keep json/csv/stderr.
+run()
+{
+    desc=$1
+    out=$2
+    shift 2
+    # shellcheck disable=SC2086
+    "$BIN" $MATRIX --json "$TMP/$out.json" --csv "$TMP/$out.csv" "$@" \
+        >"$TMP/$out.out" 2>"$TMP/$out.err"
+    [ $? -eq 0 ] || fail "$desc: non-zero exit"
+    norm_csv "$TMP/$out.csv" >"$TMP/$out.csv.norm"
+    norm_json "$TMP/$out.json" >"$TMP/$out.json.norm" ||
+        fail "$desc: unparsable json"
+}
+
+same()
+{
+    cmp -s "$TMP/$2.csv.norm" "$TMP/$3.csv.norm" ||
+        fail "$1: csv differs"
+    cmp -s "$TMP/$2.json.norm" "$TMP/$3.json.norm" ||
+        fail "$1: json runs differ"
+}
+
+# --- fault-free baseline -----------------------------------------------
+
+run "baseline" solo --jobs 1
+
+# --- seeded chaos schedules --------------------------------------------
+
+P1=$((22000 + $$ % 18000))
+P2=$((P1 + 1))
+
+# Workers crash mid-job and drop frames; the coordinator additionally
+# fights failed/stalled connects, garbled handshakes, torn/unpublished/
+# corrupted store writes and stalled dispatch lanes.
+WORKER_FAULTS="worker_crash@0.25,recv_mid_eof@0.15"
+COORD_FAULTS="recv_mid_eof@0.2,connect_fail@0.2,connect_delay@0.4,\
+handshake_garbage@0.2,store_torn_write@0.25,store_rename_fail@0.25,\
+store_checksum_flip@0.25,dispatch_delay@0.4"
+
+SEEDS="11 23 37 58 71"
+for seed in $SEEDS; do
+    STORE="$TMP/store_$seed"
+    rm -rf "$STORE"
+
+    HS_FAULTS="$seed:$WORKER_FAULTS" "$BIN" --serve "$P1" \
+        >"$TMP/w1_$seed.log" 2>&1 &
+    W1=$!
+    HS_FAULTS="$seed:$WORKER_FAULTS" "$BIN" --serve "$P2" \
+        >"$TMP/w2_$seed.log" 2>&1 &
+    W2=$!
+    wait_port "$P1" || fail "seed $seed: worker 1 never came up"
+    wait_port "$P2" || fail "seed $seed: worker 2 never came up"
+
+    # export/unset (not an inline prefix): an env assignment before a
+    # shell *function* call leaks into the calling shell in dash.
+    echo "chaos seed $seed: HS_FAULTS=$seed:$COORD_FAULTS"
+    export HS_FAULTS="$seed:$COORD_FAULTS"
+    run "chaos seed $seed" "chaos_$seed" --jobs 2 \
+        --workers "127.0.0.1:$P1,127.0.0.1:$P2" --store "$STORE"
+    unset HS_FAULTS
+    same "chaos seed $seed vs baseline" solo "chaos_$seed"
+
+    # Fault-free warm rerun over whatever store the chaos run left:
+    # disk hits or recomputes, never a wrong artifact.
+    run "warm seed $seed" "warm_$seed" --jobs 1 --store "$STORE"
+    same "warm seed $seed vs baseline" solo "warm_$seed"
+
+    kill "$W1" "$W2" 2>/dev/null
+    wait "$W1" "$W2" 2>/dev/null
+    W1=
+    W2=
+done
+
+# The schedules must actually inject: a silently inert fault layer
+# would pass every identity check without testing anything.
+cat "$TMP"/chaos_*.err "$TMP"/w1_*.log "$TMP"/w2_*.log \
+    >"$TMP/all_chaos.log" 2>/dev/null
+grep -q "fault injection: '.*' firing" "$TMP/all_chaos.log" ||
+    fail "no fault ever fired across the chaos schedules"
+grep -q "fault injection armed" "$TMP/all_chaos.log" ||
+    fail "HS_FAULTS never armed"
+
+if [ "$fails" -ne 0 ]; then
+    echo "$fails chaos contract check(s) failed" >&2
+    for f in "$TMP"/*.err "$TMP"/*.log; do
+        echo "--- $f"
+        cat "$f"
+    done >&2
+    exit 1
+fi
+echo "all chaos contract checks passed"
+exit 0

@@ -30,7 +30,9 @@
  *   --store DIR          persistent content-addressed result store:
  *                        finished cells are written to DIR and later
  *                        runs (any process, any machine sharing DIR)
- *                        serve them from disk instead of simulating
+ *                        serve them from disk instead of simulating;
+ *                        a campaign manifest (DIR/manifest.hsm) makes
+ *                        interrupted sweeps resumable
  *                        (default: HS_STORE; see docs/DISTRIBUTED.md)
  *   --serve PORT         run as a TCP worker: listen on PORT, execute
  *                        RunSpecs a coordinator ships, stream results
@@ -86,6 +88,7 @@
 #include <vector>
 
 #include "sim/disk_store.hh"
+#include "sim/manifest.hh"
 #include "sim/progress.hh"
 #include "sim/remote.hh"
 #include "sim/result_store.hh"
@@ -640,8 +643,21 @@ main(int argc, char **argv)
         } else {
             disk = envDiskStore();
         }
-        if (disk)
+        if (disk) {
             ResultStore::global().attachDisk(disk);
+            // Campaign manifest: persist the matrix identity before
+            // any cell simulates, so an interrupted sweep restarted
+            // with the same command line resumes the missing cells.
+            CampaignResume resume = prepareCampaign(*disk, specs);
+            if (resume.resumed)
+                std::fprintf(stderr,
+                             "[campaign] resuming: %llu of %llu cells "
+                             "already stored\n",
+                             static_cast<unsigned long long>(
+                                 resume.storedCells),
+                             static_cast<unsigned long long>(
+                                 resume.totalCells));
+        }
 
         int engine_jobs = jobs > 0 ? jobs : envJobs(0);
         ParallelRunner runner(engine_jobs, &ResultStore::global());
