@@ -177,6 +177,10 @@ FaultPlan::fire(const std::string &site)
         warn("fault injection: '%s' firing (call %llu, seed %llu)",
              site.c_str(), static_cast<unsigned long long>(call),
              static_cast<unsigned long long>(seed_));
+        logEvent("fault", "fire", LogSeverity::Warn,
+                 {LogField::text("site", site),
+                  LogField::num("call", call),
+                  LogField::num("seed", seed_)});
     }
     return hit;
 }
@@ -248,6 +252,8 @@ faultPlan()
                     fatal("HS_FAULTS: %s (got '%s')", why.c_str(), env);
                 warn("fault injection armed: %s",
                      g_owned->str().c_str());
+                logEvent("fault", "armed", LogSeverity::Warn,
+                         {LogField::text("plan", g_owned->str())});
                 g_plan.store(g_owned.get(), std::memory_order_release);
             }
             g_resolved.store(true, std::memory_order_release);

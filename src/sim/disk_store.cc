@@ -106,6 +106,9 @@ DiskResultStore::load(const RunSpec &spec, RunResult &out)
     auto reject = [&](const char *why) {
         warn("result store: dropping '%s' (%s); recomputing",
              path.c_str(), why);
+        logEvent("store", "record_corrupt", LogSeverity::Warn,
+                 {LogField::text("path", path),
+                  LogField::text("why", why)});
         corrupt_.fetch_add(1);
         return LoadStatus::Corrupt;
     };
@@ -216,6 +219,8 @@ DiskResultStore::store(const RunSpec &spec, const RunResult &result)
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         warn("result store: cannot publish '%s': %s", path.c_str(),
              std::strerror(errno));
+        logEvent("store", "publish_failed", LogSeverity::Warn,
+                 {LogField::text("path", path)});
         std::remove(tmp.c_str());
         return false;
     }

@@ -92,6 +92,8 @@ saveManifest(const std::string &path, const CampaignManifest &m)
         if (!file.f) {
             warn("manifest: cannot write '%s': %s", tmp.c_str(),
                  std::strerror(errno));
+            logEvent("manifest", "write_failed", LogSeverity::Warn,
+                     {LogField::text("path", tmp)});
             return false;
         }
         bool ok =
@@ -111,6 +113,8 @@ saveManifest(const std::string &path, const CampaignManifest &m)
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         warn("manifest: cannot publish '%s': %s", path.c_str(),
              std::strerror(errno));
+        logEvent("manifest", "publish_failed", LogSeverity::Warn,
+                 {LogField::text("path", path)});
         std::remove(tmp.c_str());
         return false;
     }
@@ -126,6 +130,9 @@ loadManifest(const std::string &path, CampaignManifest &out)
 
     auto reject = [&](const char *why) {
         warn("manifest: ignoring '%s' (%s)", path.c_str(), why);
+        logEvent("manifest", "manifest_corrupt", LogSeverity::Warn,
+                 {LogField::text("path", path),
+                  LogField::text("why", why)});
         return ManifestStatus::Corrupt;
     };
 
@@ -195,6 +202,10 @@ prepareCampaign(DiskResultStore &store,
             warn("manifest: store '%s' last served a different "
                  "campaign (%zu cells); starting this one",
                  store.dir().c_str(), prev.cells.size());
+            logEvent("manifest", "campaign_switch", LogSeverity::Warn,
+                     {LogField::text("store", store.dir()),
+                      LogField::num("prev_cells",
+                                    (uint64_t)prev.cells.size())});
         }
         break;
       case ManifestStatus::Corrupt:

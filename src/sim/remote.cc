@@ -1,12 +1,21 @@
 #include "sim/remote.hh"
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 
 #include "common/fault.hh"
 #include "common/log.hh"
 #include "common/state_buffer.hh"
 #include "sim/runner.hh"
 #include "sim/serialize.hh"
+#include "sim/simulator.hh"
 
 namespace hs {
 
@@ -38,8 +47,23 @@ parseEndpoints(const std::string &list, std::vector<Endpoint> &out)
     return !out.empty();
 }
 
+uint32_t
+localCaps()
+{
+    uint32_t caps = kCapSnapshotCache;
+    if (envTelemetry())
+        caps |= kCapTelemetry;
+    return caps;
+}
+
 std::vector<uint8_t>
 encodeHello(FrameType type)
+{
+    return encodeHello(type, localCaps());
+}
+
+std::vector<uint8_t>
+encodeHello(FrameType type, uint32_t caps)
 {
     std::vector<uint8_t> bytes;
     StateWriter w(bytes);
@@ -47,14 +71,15 @@ encodeHello(FrameType type)
     w.put<uint32_t>(kRemoteMagic);
     w.put<uint32_t>(kRemoteProtocolVersion);
     w.put<uint32_t>(kResultFormatVersion);
+    w.put<uint32_t>(caps);
     return bytes;
 }
 
 bool
 checkHello(const std::vector<uint8_t> &frame, FrameType expected,
-           std::string &why)
+           std::string &why, uint32_t *peer_caps)
 {
-    if (frame.size() != 1 + 3 * sizeof(uint32_t)) {
+    if (frame.size() != 1 + 4 * sizeof(uint32_t)) {
         why = "malformed handshake frame";
         return false;
     }
@@ -75,6 +100,9 @@ checkHello(const std::vector<uint8_t> &frame, FrameType expected,
         why = "result-format version mismatch (rebuild the peer)";
         return false;
     }
+    uint32_t caps = r.get<uint32_t>();
+    if (peer_caps)
+        *peer_caps = caps;
     return true;
 }
 
@@ -86,11 +114,26 @@ encodeJob(uint64_t id, const RunSpec &spec, const SimSnapshot *snap)
     w.put<uint8_t>(static_cast<uint8_t>(FrameType::Job));
     w.put<uint64_t>(id);
     saveRunSpec(w, spec);
-    w.put<uint8_t>(snap ? 1 : 0);
+    w.put<uint8_t>(static_cast<uint8_t>(
+        snap ? RemoteJob::SnapMode::Inline : RemoteJob::SnapMode::None));
     if (snap) {
+        w.put<uint64_t>(fnv1a64(snap->bytes.data(), snap->bytes.size()));
         w.put<uint64_t>(snap->cycle);
         w.putVec(snap->bytes);
     }
+    return bytes;
+}
+
+std::vector<uint8_t>
+encodeJobRef(uint64_t id, const RunSpec &spec, uint64_t snapshot_hash)
+{
+    std::vector<uint8_t> bytes;
+    StateWriter w(bytes);
+    w.put<uint8_t>(static_cast<uint8_t>(FrameType::Job));
+    w.put<uint64_t>(id);
+    saveRunSpec(w, spec);
+    w.put<uint8_t>(static_cast<uint8_t>(RemoteJob::SnapMode::Reference));
+    w.put<uint64_t>(snapshot_hash);
     return bytes;
 }
 
@@ -103,8 +146,14 @@ decodeJob(const std::vector<uint8_t> &frame)
     RemoteJob job;
     job.id = r.get<uint64_t>();
     job.spec = loadRunSpec(r);
-    job.hasSnapshot = r.get<uint8_t>() != 0;
-    if (job.hasSnapshot) {
+    uint8_t mode = r.get<uint8_t>();
+    if (mode > static_cast<uint8_t>(RemoteJob::SnapMode::Reference))
+        fatal("decodeJob: bad snapshot mode %u",
+              static_cast<unsigned>(mode));
+    job.snapMode = static_cast<RemoteJob::SnapMode>(mode);
+    if (job.snapMode != RemoteJob::SnapMode::None)
+        job.snapshotHash = r.get<uint64_t>();
+    if (job.snapMode == RemoteJob::SnapMode::Inline) {
         job.snapshot.cycle = r.get<uint64_t>();
         r.getVec(job.snapshot.bytes);
     }
@@ -113,28 +162,130 @@ decodeJob(const std::vector<uint8_t> &frame)
     return job;
 }
 
+namespace {
+
+void
+saveTelemetry(StateWriter &w, const JobTelemetry &tel)
+{
+    w.put<double>(tel.simSeconds);
+    w.put<double>(tel.restoreSeconds);
+    w.put<uint64_t>(tel.snapshotBytes);
+    w.put<uint8_t>(tel.snapshotFromCache ? 1 : 0);
+    w.put<uint64_t>(tel.peakRssKb);
+    w.put<uint64_t>(tel.tickedCycles);
+    w.put<uint64_t>(tel.stalledCycles);
+    w.put<uint64_t>(tel.sensorSamples);
+    w.put<double>(tel.tickSeconds);
+    w.put<double>(tel.thermalSeconds);
+    w.put<double>(tel.stallSeconds);
+}
+
+JobTelemetry
+loadTelemetry(StateReader &r)
+{
+    JobTelemetry tel;
+    tel.simSeconds = r.get<double>();
+    tel.restoreSeconds = r.get<double>();
+    tel.snapshotBytes = r.get<uint64_t>();
+    tel.snapshotFromCache = r.get<uint8_t>() != 0;
+    tel.peakRssKb = r.get<uint64_t>();
+    tel.tickedCycles = r.get<uint64_t>();
+    tel.stalledCycles = r.get<uint64_t>();
+    tel.sensorSamples = r.get<uint64_t>();
+    tel.tickSeconds = r.get<double>();
+    tel.thermalSeconds = r.get<double>();
+    tel.stallSeconds = r.get<double>();
+    return tel;
+}
+
+} // namespace
+
 std::vector<uint8_t>
-encodeResult(uint64_t id, const RunResult &result)
+encodeResult(uint64_t id, const RunResult &result,
+             const JobTelemetry *telemetry)
 {
     std::vector<uint8_t> bytes;
     StateWriter w(bytes);
     w.put<uint8_t>(static_cast<uint8_t>(FrameType::Result));
     w.put<uint64_t>(id);
     saveRunResult(w, result);
+    w.put<uint8_t>(telemetry ? 1 : 0);
+    if (telemetry)
+        saveTelemetry(w, *telemetry);
     return bytes;
 }
 
 uint64_t
-decodeResult(const std::vector<uint8_t> &frame, RunResult &out)
+decodeResult(const std::vector<uint8_t> &frame, RunResult &out,
+             JobTelemetry *telemetry, bool *has_telemetry)
 {
     StateReader r(frame);
     if (r.get<uint8_t>() != static_cast<uint8_t>(FrameType::Result))
         fatal("decodeResult: not a Result frame");
     uint64_t id = r.get<uint64_t>();
     out = loadRunResult(r);
+    bool carried = r.get<uint8_t>() != 0;
+    if (has_telemetry)
+        *has_telemetry = carried;
+    if (carried) {
+        JobTelemetry tel = loadTelemetry(r);
+        if (telemetry)
+            *telemetry = tel;
+    }
     if (!r.done())
         fatal("decodeResult: trailing bytes");
     return id;
+}
+
+std::vector<uint8_t>
+encodeHeartbeat(const HeartbeatInfo &hb)
+{
+    std::vector<uint8_t> bytes;
+    StateWriter w(bytes);
+    w.put<uint8_t>(static_cast<uint8_t>(FrameType::Heartbeat));
+    w.put<uint64_t>(hb.jobsDone);
+    w.put<double>(hb.uptimeSeconds);
+    w.putString(hb.currentLabel);
+    return bytes;
+}
+
+HeartbeatInfo
+decodeHeartbeat(const std::vector<uint8_t> &frame)
+{
+    StateReader r(frame);
+    if (r.get<uint8_t>() != static_cast<uint8_t>(FrameType::Heartbeat))
+        fatal("decodeHeartbeat: not a Heartbeat frame");
+    HeartbeatInfo hb;
+    hb.jobsDone = r.get<uint64_t>();
+    hb.uptimeSeconds = r.get<double>();
+    hb.currentLabel = r.getString();
+    if (!r.done())
+        fatal("decodeHeartbeat: trailing bytes");
+    return hb;
+}
+
+uint64_t
+currentPeakRssKb()
+{
+#ifdef __linux__
+    std::FILE *f = std::fopen("/proc/self/status", "r");
+    if (!f)
+        return 0;
+    uint64_t kb = 0;
+    char line[256];
+    while (std::fgets(line, sizeof(line), f)) {
+        if (std::strncmp(line, "VmHWM:", 6) == 0) {
+            unsigned long long v = 0;
+            if (std::sscanf(line + 6, "%llu", &v) == 1)
+                kb = v;
+            break;
+        }
+    }
+    std::fclose(f);
+    return kb;
+#else
+    return 0;
+#endif
 }
 
 namespace {
@@ -153,6 +304,87 @@ helloFrame(FrameType type)
     return frame;
 }
 
+/**
+ * Background heartbeat pump for one worker connection: every
+ * HS_HEARTBEAT_MS it sends jobs-done / uptime / current-cell under the
+ * shared send mutex (so result frames never interleave mid-frame).
+ * Send failures are ignored — the serve loop notices a vanished
+ * coordinator on its own.
+ */
+class HeartbeatSender
+{
+  public:
+    HeartbeatSender(Socket &conn, std::mutex &sendMu, bool enabled)
+        : conn_(conn), sendMu_(sendMu),
+          t0_(std::chrono::steady_clock::now())
+    {
+        if (!enabled)
+            return;
+        int period = envHeartbeatMs();
+        thread_ = std::thread([this, period] { pump(period); });
+    }
+
+    ~HeartbeatSender()
+    {
+        if (!thread_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+    void jobStarted(const std::string &label)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        label_ = label;
+    }
+
+    void jobFinished()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        label_.clear();
+        ++jobsDone_;
+    }
+
+  private:
+    void pump(int period_ms)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        for (;;) {
+            if (cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
+                             [this] { return stop_; }))
+                return;
+            HeartbeatInfo hb;
+            hb.jobsDone = jobsDone_;
+            hb.currentLabel = label_;
+            hb.uptimeSeconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0_)
+                    .count();
+            lock.unlock();
+            std::vector<uint8_t> frame = encodeHeartbeat(hb);
+            {
+                std::lock_guard<std::mutex> sendLock(sendMu_);
+                sendFrame(conn_, frame);
+            }
+            lock.lock();
+        }
+    }
+
+    Socket &conn_;
+    std::mutex &sendMu_;
+    std::chrono::steady_clock::time_point t0_;
+    std::mutex mu_; ///< guards label_/jobsDone_/stop_
+    std::string label_;
+    uint64_t jobsDone_ = 0;
+    bool stop_ = false;
+    std::condition_variable cv_;
+    std::thread thread_;
+};
+
 /** Serve one coordinator connection. @return true on Shutdown. */
 bool
 serveConnection(Socket &conn, uint64_t &jobsDone)
@@ -160,15 +392,27 @@ serveConnection(Socket &conn, uint64_t &jobsDone)
     std::vector<uint8_t> frame;
     RecvStatus st = recvFrame(conn, frame, kHandshakeTimeoutMs);
     std::string why;
+    uint32_t peerCaps = 0;
     if (st != RecvStatus::Ok ||
-        !checkHello(frame, FrameType::Hello, why)) {
+        !checkHello(frame, FrameType::Hello, why, &peerCaps)) {
         warn("worker: refusing coordinator: %s",
              st == RecvStatus::Ok ? why.c_str() : "no Hello frame");
         return false;
     }
     if (!sendFrame(conn, helloFrame(FrameType::HelloAck)))
         return false;
+    uint32_t caps = localCaps() & peerCaps;
     inform("worker: coordinator connected");
+    logEvent("worker", "coordinator_connected",
+             {LogField::num("caps", static_cast<uint64_t>(caps))});
+
+    std::mutex sendMu;
+    HeartbeatSender heartbeat(conn, sendMu,
+                              (caps & kCapTelemetry) != 0);
+    // Warm-up snapshots this connection has already received, keyed by
+    // content hash: repeat jobs of the same divergence group arrive as
+    // references instead of re-shipping megabytes of state.
+    std::unordered_map<uint64_t, SimSnapshot> snapshotCache;
 
     for (;;) {
         // Between jobs a worker waits indefinitely: idle is normal.
@@ -193,10 +437,48 @@ serveConnection(Socket &conn, uint64_t &jobsDone)
             return false;
         }
         RemoteJob job = decodeJob(frame);
+        const SimSnapshot *snap = nullptr;
+        bool snapFromCache = false;
+        switch (job.snapMode) {
+          case RemoteJob::SnapMode::None:
+            break;
+          case RemoteJob::SnapMode::Inline:
+            if (caps & kCapSnapshotCache) {
+                snap = &(snapshotCache[job.snapshotHash] =
+                             std::move(job.snapshot));
+            } else {
+                snap = &job.snapshot;
+            }
+            break;
+          case RemoteJob::SnapMode::Reference: {
+            auto it = snapshotCache.find(job.snapshotHash);
+            if (it == snapshotCache.end()) {
+                // Protocol violation: the coordinator believes we hold
+                // a snapshot we never saw. Drop the connection so it
+                // falls back to computing locally instead of feeding
+                // us jobs we cannot run faithfully.
+                warn("worker: unknown snapshot reference %016llx; "
+                     "dropping connection",
+                     static_cast<unsigned long long>(job.snapshotHash));
+                return false;
+            }
+            snap = &it->second;
+            snapFromCache = true;
+            break;
+          }
+        }
         inform("worker: job %llu '%s'%s",
                static_cast<unsigned long long>(job.id),
                job.spec.label.c_str(),
-               job.hasSnapshot ? " (forking from shipped prefix)" : "");
+               snap ? (snapFromCache ? " (forking from cached prefix)"
+                                     : " (forking from shipped prefix)")
+                    : "");
+        logEvent("worker", "job_start",
+                 {LogField::num("job", job.id),
+                  LogField::text("label", job.spec.label),
+                  LogField::flag("snapshot", snap != nullptr),
+                  LogField::flag("snapshot_cached", snapFromCache)});
+        heartbeat.jobStarted(job.spec.label);
         if (faultFire("worker_crash")) {
             // The whole point of this site is that the process is
             // gone before the Result frame exists: the coordinator
@@ -205,11 +487,52 @@ serveConnection(Socket &conn, uint64_t &jobsDone)
                  static_cast<unsigned long long>(job.id));
             std::_Exit(3);
         }
-        RunResult result =
-            job.hasSnapshot ? executeFromSnapshot(job.spec, job.snapshot)
-                            : executeRunSpec(job.spec);
+
+        // Execute exactly like executeFromSnapshot()/executeRunSpec(),
+        // but with the simulator in hand so the telemetry block can
+        // carry the SimProfile cost centres and restore timing.
+        // setProfiling only toggles host-clock accumulation — the
+        // profile counters (and the result) are identical either way.
+        bool telem = (caps & kCapTelemetry) != 0;
+        JobTelemetry tel;
+        auto sim = makeSimulator(job.spec);
+        sim->setProfiling(telem);
+        if (snap) {
+            auto r0 = std::chrono::steady_clock::now();
+            sim->restore(*snap);
+            tel.restoreSeconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - r0)
+                    .count();
+        }
+        auto t0 = std::chrono::steady_clock::now();
+        RunResult result = sim->run();
+        tel.simSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+        if (telem) {
+            tel.snapshotBytes = snap ? snap->bytes.size() : 0;
+            tel.snapshotFromCache = snapFromCache;
+            tel.peakRssKb = currentPeakRssKb();
+            const SimProfile &p = sim->profile();
+            tel.tickedCycles = p.tickedCycles;
+            tel.stalledCycles = p.stalledCycles;
+            tel.sensorSamples = p.sensorSamples;
+            tel.tickSeconds = p.tickSeconds;
+            tel.thermalSeconds = p.thermalSeconds;
+            tel.stallSeconds = p.stallSeconds;
+        }
         ++jobsDone;
-        if (!sendFrame(conn, encodeResult(job.id, result))) {
+        heartbeat.jobFinished();
+        logEvent("worker", "job_done",
+                 {LogField::num("job", job.id),
+                  LogField::text("label", job.spec.label),
+                  LogField::num("sim_s", tel.simSeconds),
+                  LogField::num("restore_s", tel.restoreSeconds)});
+        std::vector<uint8_t> reply =
+            encodeResult(job.id, result, telem ? &tel : nullptr);
+        std::lock_guard<std::mutex> sendLock(sendMu);
+        if (!sendFrame(conn, reply)) {
             warn("worker: coordinator vanished before the result was "
                  "delivered");
             return false;
@@ -260,13 +583,19 @@ RemoteWorker::ensureConnected()
     std::vector<uint8_t> frame;
     RecvStatus st = recvFrame(sock_, frame, kHandshakeTimeoutMs);
     std::string why;
+    uint32_t peerCaps = 0;
     if (st != RecvStatus::Ok ||
-        !checkHello(frame, FrameType::HelloAck, why)) {
+        !checkHello(frame, FrameType::HelloAck, why, &peerCaps)) {
         warn("worker %s: handshake failed: %s", ep_.str().c_str(),
              st == RecvStatus::Ok ? why.c_str() : "no HelloAck");
         return false;
     }
+    caps_ = localCaps() & peerCaps;
+    shippedSnapshots_.clear();
     state_ = State::Connected;
+    logEvent("remote", "worker_connected",
+             {LogField::text("worker", ep_.str()),
+              LogField::num("caps", static_cast<uint64_t>(caps_))});
     return true;
 }
 
@@ -276,29 +605,91 @@ RemoteWorker::runJob(uint64_t id, const RunSpec &spec,
 {
     if (!ensureConnected())
         return false;
-    if (!sendFrame(sock_, encodeJob(id, spec, snap))) {
+    // Snapshot-by-reference: once a warm-up snapshot has been shipped
+    // over this connection, later siblings of the same divergence
+    // group send its content hash instead of its bytes.
+    std::vector<uint8_t> jobFrame;
+    uint64_t snapBytes = snap ? snap->bytes.size() : 0;
+    if (snap && (caps_ & kCapSnapshotCache)) {
+        uint64_t hash = fnv1a64(snap->bytes.data(), snap->bytes.size());
+        if (shippedSnapshots_.count(hash)) {
+            jobFrame = encodeJobRef(id, spec, hash);
+            telemetry_.snapshotBytesSaved += snapBytes;
+        } else {
+            jobFrame = encodeJob(id, spec, snap);
+            shippedSnapshots_.insert(hash);
+            telemetry_.snapshotBytesSent += snapBytes;
+        }
+    } else {
+        jobFrame = encodeJob(id, spec, snap);
+        telemetry_.snapshotBytesSent += snapBytes;
+    }
+    if (!sendFrame(sock_, jobFrame)) {
         warn("worker %s lost (send failed); requeueing cell locally",
              ep_.str().c_str());
         state_ = State::Dead;
         return false;
     }
     std::vector<uint8_t> frame;
-    RecvStatus st = recvFrame(sock_, frame, envRemoteTimeoutMs());
-    if (st != RecvStatus::Ok) {
-        warn("worker %s lost (%s); requeueing cell locally",
-             ep_.str().c_str(),
-             st == RecvStatus::Timeout ? "timed out" : "disconnected");
-        state_ = State::Dead;
-        return false;
+    for (;;) {
+        RecvStatus st = recvFrame(sock_, frame, envRemoteTimeoutMs());
+        if (st != RecvStatus::Ok) {
+            warn("worker %s lost (%s); requeueing cell locally",
+                 ep_.str().c_str(),
+                 st == RecvStatus::Timeout ? "timed out"
+                                           : "disconnected");
+            state_ = State::Dead;
+            return false;
+        }
+        if (!frame.empty() &&
+            frame[0] == static_cast<uint8_t>(FrameType::Heartbeat)) {
+            // Liveness, not results: fold and keep waiting. Each
+            // heartbeat restarts the job timeout — a worker that still
+            // beats is slow, not lost.
+            HeartbeatInfo hb = decodeHeartbeat(frame);
+            ++telemetry_.heartbeats;
+            logEvent("remote", "heartbeat",
+                     {LogField::text("worker", ep_.str()),
+                      LogField::num("jobs_done", hb.jobsDone),
+                      LogField::num("uptime_s", hb.uptimeSeconds),
+                      LogField::text("label", hb.currentLabel)});
+            continue;
+        }
+        break;
     }
+    JobTelemetry tel;
+    bool hasTel = false;
     if (frame.empty() ||
         frame[0] != static_cast<uint8_t>(FrameType::Result) ||
-        decodeResult(frame, out) != id) {
+        decodeResult(frame, out, &tel, &hasTel) != id) {
         warn("worker %s answered out of protocol; requeueing cell "
              "locally",
              ep_.str().c_str());
         state_ = State::Dead;
         return false;
+    }
+    ++telemetry_.jobs;
+    if (hasTel) {
+        telemetry_.simSeconds += tel.simSeconds;
+        telemetry_.restoreSeconds += tel.restoreSeconds;
+        telemetry_.peakRssKb = std::max(telemetry_.peakRssKb,
+                                        tel.peakRssKb);
+        logEvent("remote", "job_telemetry",
+                 {LogField::text("worker", ep_.str()),
+                  LogField::num("job", id),
+                  LogField::text("label", spec.label),
+                  LogField::num("sim_s", tel.simSeconds),
+                  LogField::num("restore_s", tel.restoreSeconds),
+                  LogField::num("snapshot_bytes", tel.snapshotBytes),
+                  LogField::flag("snapshot_cached",
+                                 tel.snapshotFromCache),
+                  LogField::num("rss_kb", tel.peakRssKb),
+                  LogField::num("ticked_cycles", tel.tickedCycles),
+                  LogField::num("stalled_cycles", tel.stalledCycles),
+                  LogField::num("sensor_samples", tel.sensorSamples),
+                  LogField::num("tick_s", tel.tickSeconds),
+                  LogField::num("thermal_s", tel.thermalSeconds),
+                  LogField::num("stall_s", tel.stallSeconds)});
     }
     return true;
 }
@@ -329,6 +720,33 @@ envRemoteTimeoutMs(int default_ms)
               "'%s'",
               env);
     return static_cast<int>(v);
+}
+
+int
+envHeartbeatMs(int default_ms)
+{
+    const char *env = std::getenv("HS_HEARTBEAT_MS");
+    if (!env || !*env)
+        return default_ms;
+    char *end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v <= 0)
+        fatal("HS_HEARTBEAT_MS must be a positive integer, got '%s'",
+              env);
+    return static_cast<int>(v);
+}
+
+bool
+envTelemetry(bool default_on)
+{
+    const char *env = std::getenv("HS_TELEMETRY");
+    if (!env || !*env)
+        return default_on;
+    if (std::strcmp(env, "0") == 0)
+        return false;
+    if (std::strcmp(env, "1") == 0)
+        return true;
+    fatal("HS_TELEMETRY must be 0 or 1, got '%s'", env);
 }
 
 } // namespace hs

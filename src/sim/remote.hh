@@ -14,36 +14,50 @@
  * the first payload byte is the FrameType):
  *
  *   coordinator -> worker   Hello     magic, protocol version, result
- *                                     format version (config echo)
- *   worker -> coordinator   HelloAck  the same triple, the worker's own
+ *                                     format version, capability bits
+ *   worker -> coordinator   HelloAck  the same tuple, the worker's own
  *   coordinator -> worker   Job       job id, RunSpec, optional warm-up
- *                                     snapshot (so the worker forks
- *                                     from the group's shared prefix
- *                                     exactly like a local cell)
- *   worker -> coordinator   Result    job id, RunResult
+ *                                     snapshot — inline on first use,
+ *                                     by content hash on repeats when
+ *                                     both sides negotiated the
+ *                                     snapshot-cache capability
+ *   worker -> coordinator   Result    job id, RunResult, optional
+ *                                     per-job telemetry block
+ *   worker -> coordinator   Heartbeat jobs done, uptime, current cell
+ *                                     (periodic, telemetry cap only)
  *   coordinator -> worker   Shutdown  serve loop returns
  *
- * Both sides validate the handshake triple before anything else: a
+ * Both sides validate the handshake tuple before anything else: a
  * mismatched build (different protocol or serialised-record layout)
- * is refused up front instead of misparsing payloads. After a worker
- * vanishes mid-job (disconnect, timeout), the coordinator marks it
- * dead and the dispatcher computes that cell — and any further cells
- * it pulls — locally, so no cell is ever dropped.
+ * is refused up front instead of misparsing payloads. The capability
+ * word is negotiated as the AND of both sides' bits, so either side
+ * can decline telemetry or snapshot caching unilaterally. After a
+ * worker vanishes mid-job (disconnect, timeout), the coordinator marks
+ * it dead and the dispatcher computes that cell — and any further
+ * cells it pulls — locally, so no cell is ever dropped.
  *
  * Simulations are deterministic, so where a cell runs cannot change
  * its result: a remote RunResult round-trips bit-for-bit through the
- * serialiser and is indistinguishable from a local one.
+ * serialiser and is indistinguishable from a local one. Telemetry
+ * rides in sidecar structs (JobTelemetry, WorkerTelemetry) that never
+ * touch RunResult or the canonical artifacts.
  *
  * Environment knobs:
  *  - HS_REMOTE_TIMEOUT_MS: per-job coordinator-side wait before a
  *    worker is declared lost (default 600000; positive integer).
+ *  - HS_TELEMETRY: 0 drops the telemetry capability bit on this side
+ *    (default 1; must be 0 or 1).
+ *  - HS_HEARTBEAT_MS: worker heartbeat period (default 1000; positive
+ *    integer).
  */
 
 #ifndef HS_SIM_REMOTE_HH
 #define HS_SIM_REMOTE_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/framing.hh"
@@ -55,8 +69,17 @@ namespace hs {
 
 /** Protocol identifier ("HSRP") exchanged in the handshake. */
 constexpr uint32_t kRemoteMagic = 0x50525348;
-/** Bump on any wire-protocol change; peers must match exactly. */
-constexpr uint32_t kRemoteProtocolVersion = 1;
+/** Bump on any wire-protocol change; peers must match exactly.
+ *  v2: capability word in the handshake, snapshot-by-reference jobs,
+ *  telemetry blocks on Result frames, Heartbeat frames. */
+constexpr uint32_t kRemoteProtocolVersion = 2;
+
+/** Capability bits carried in the handshake (negotiated by AND). */
+constexpr uint32_t kCapTelemetry = 1u << 0;     ///< telemetry + heartbeats
+constexpr uint32_t kCapSnapshotCache = 1u << 1; ///< snapshot-by-reference
+
+/** This build's capability word (HS_TELEMETRY=0 drops telemetry). */
+uint32_t localCaps();
 
 /** First payload byte of every frame. */
 enum class FrameType : uint8_t {
@@ -65,6 +88,7 @@ enum class FrameType : uint8_t {
     Job = 3,
     Result = 4,
     Shutdown = 5,
+    Heartbeat = 6,
 };
 
 /** One worker address. */
@@ -82,32 +106,107 @@ struct Endpoint
  */
 bool parseEndpoints(const std::string &list, std::vector<Endpoint> &out);
 
-/** Handshake frame: FrameType + magic + protocol + format version. */
+/** Handshake frame: FrameType + magic + protocol + format + caps. */
 std::vector<uint8_t> encodeHello(FrameType type);
+std::vector<uint8_t> encodeHello(FrameType type, uint32_t caps);
 
 /**
  * Validate a Hello/HelloAck frame against this build's versions.
  * @return false with @p why filled when the peer must be refused.
+ * On success @p peer_caps (may be null) receives the peer's raw
+ * capability word.
  */
 bool checkHello(const std::vector<uint8_t> &frame, FrameType expected,
-                std::string &why);
+                std::string &why, uint32_t *peer_caps = nullptr);
+
+/**
+ * Host-side execution cost of one remote job. Pure observability —
+ * every field is machine- and load-dependent, so none of this may ever
+ * feed into RunResult, the canonical artifacts, or anything compared
+ * for bit-identity.
+ */
+struct JobTelemetry
+{
+    double simSeconds = 0;       ///< wall time inside Simulator::run()
+    double restoreSeconds = 0;   ///< snapshot deserialize+restore time
+    uint64_t snapshotBytes = 0;  ///< warm-up snapshot size (0 = cold)
+    bool snapshotFromCache = false; ///< served from the worker cache
+    uint64_t peakRssKb = 0;      ///< worker process VmHWM after the job
+    // SimProfile cost-centre breakdown (counters are deterministic,
+    // the seconds are host measurements).
+    uint64_t tickedCycles = 0;
+    uint64_t stalledCycles = 0;
+    uint64_t sensorSamples = 0;
+    double tickSeconds = 0;
+    double thermalSeconds = 0;
+    double stallSeconds = 0;
+};
+
+/** One periodic worker liveness report. */
+struct HeartbeatInfo
+{
+    uint64_t jobsDone = 0;     ///< jobs completed on this connection
+    double uptimeSeconds = 0;  ///< seconds since the connection opened
+    std::string currentLabel;  ///< label of the job in flight ("" idle)
+};
+
+/**
+ * Per-worker fleet counters the coordinator folds from Result
+ * telemetry blocks and Heartbeat frames. Host-dependent, sidecar-only
+ * (reported via RemoteStats, never via artifacts).
+ */
+struct WorkerTelemetry
+{
+    std::string endpoint;
+    uint64_t jobs = 0;            ///< jobs this worker completed
+    uint64_t heartbeats = 0;      ///< heartbeat frames folded
+    double simSeconds = 0;        ///< total remote simulation wall time
+    double restoreSeconds = 0;    ///< total snapshot restore time
+    uint64_t snapshotBytesSent = 0;  ///< inline snapshot payloads
+    uint64_t snapshotBytesSaved = 0; ///< bytes elided via references
+    uint64_t peakRssKb = 0;       ///< max RSS the worker reported
+};
 
 /** A job as shipped to a worker. */
 struct RemoteJob
 {
+    /** How the warm-up snapshot travels. */
+    enum class SnapMode : uint8_t {
+        None = 0,     ///< cold cell
+        Inline = 1,   ///< full snapshot payload in this frame
+        Reference = 2 ///< content hash of a previously shipped snapshot
+    };
+
     uint64_t id = 0;
     RunSpec spec;
-    bool hasSnapshot = false;
-    SimSnapshot snapshot;
+    SnapMode snapMode = SnapMode::None;
+    uint64_t snapshotHash = 0; ///< fnv1a64 of snapshot.bytes
+    SimSnapshot snapshot;      ///< payload (Inline only)
+
+    bool hasSnapshot() const { return snapMode != SnapMode::None; }
 };
 
+/** Encode a cold or inline-snapshot job (hash computed from @p snap). */
 std::vector<uint8_t> encodeJob(uint64_t id, const RunSpec &spec,
                                const SimSnapshot *snap);
+/** Encode a snapshot-by-reference job. */
+std::vector<uint8_t> encodeJobRef(uint64_t id, const RunSpec &spec,
+                                  uint64_t snapshot_hash);
 RemoteJob decodeJob(const std::vector<uint8_t> &frame);
 
-std::vector<uint8_t> encodeResult(uint64_t id, const RunResult &result);
-/** @return the job id; fills @p out. */
-uint64_t decodeResult(const std::vector<uint8_t> &frame, RunResult &out);
+std::vector<uint8_t> encodeResult(uint64_t id, const RunResult &result,
+                                  const JobTelemetry *telemetry = nullptr);
+/**
+ * @return the job id; fills @p out. When the frame carries a telemetry
+ * block and @p telemetry is non-null it is filled and @p has_telemetry
+ * (may be null) set.
+ */
+uint64_t decodeResult(const std::vector<uint8_t> &frame, RunResult &out,
+                      JobTelemetry *telemetry = nullptr,
+                      bool *has_telemetry = nullptr);
+
+std::vector<uint8_t> encodeHeartbeat(const HeartbeatInfo &hb);
+HeartbeatInfo decodeHeartbeat(const std::vector<uint8_t> &frame);
 
 /**
  * Worker-side serve loop on an already-listening socket: accept a
@@ -129,7 +228,10 @@ uint64_t serveWorker(uint16_t port);
 class RemoteWorker
 {
   public:
-    explicit RemoteWorker(Endpoint ep) : ep_(std::move(ep)) {}
+    explicit RemoteWorker(Endpoint ep) : ep_(std::move(ep))
+    {
+        telemetry_.endpoint = ep_.str();
+    }
 
     const Endpoint &endpoint() const { return ep_; }
 
@@ -138,13 +240,18 @@ class RemoteWorker
     /** True after at least one successful handshake. */
     bool connected() const { return state_ == State::Connected; }
 
+    /** Negotiated capability word (valid once connected). */
+    uint32_t caps() const { return caps_; }
+
     /** Connect + handshake if not yet attempted. */
     bool ensureConnected();
 
     /**
      * Run @p spec on the worker (forking from @p snap when non-null).
-     * Blocks up to HS_REMOTE_TIMEOUT_MS for the result. On any failure
-     * the worker is marked dead and the caller runs the cell locally.
+     * Blocks up to HS_REMOTE_TIMEOUT_MS for the result; Heartbeat
+     * frames arriving in between are folded into telemetry() and reset
+     * the wait. On any failure the worker is marked dead and the
+     * caller runs the cell locally.
      */
     bool runJob(uint64_t id, const RunSpec &spec, const SimSnapshot *snap,
                 RunResult &out);
@@ -152,16 +259,33 @@ class RemoteWorker
     /** Politely stop the worker's serve loop (best effort). */
     void sendShutdown();
 
+    /** Fleet counters folded so far (read after the dispatcher quits;
+     *  a single dispatcher thread owns this worker). */
+    const WorkerTelemetry &telemetry() const { return telemetry_; }
+
   private:
     enum class State { Fresh, Connected, Dead };
 
     Endpoint ep_;
     Socket sock_;
     State state_ = State::Fresh;
+    uint32_t caps_ = 0;
+    WorkerTelemetry telemetry_;
+    /** Content hashes of snapshots this connection already shipped. */
+    std::unordered_set<uint64_t> shippedSnapshots_;
 };
 
 /** @return the HS_REMOTE_TIMEOUT_MS override, or @p default_ms. */
 int envRemoteTimeoutMs(int default_ms = 600000);
+
+/** @return the HS_HEARTBEAT_MS override, or @p default_ms. */
+int envHeartbeatMs(int default_ms = 1000);
+
+/** @return false iff HS_TELEMETRY=0 (default true; strict 0/1). */
+bool envTelemetry(bool default_on = true);
+
+/** @return this process's peak RSS in KiB (0 where unsupported). */
+uint64_t currentPeakRssKb();
 
 } // namespace hs
 

@@ -264,9 +264,35 @@ ParallelRunner::cellSecondsHistogram() const
     return cellSeconds_;
 }
 
+/** Structured-log event name for a cell lifecycle kind. */
+static const char *
+cellEventName(CellEvent::Kind kind)
+{
+    switch (kind) {
+      case CellEvent::Kind::Queued: return "queued";
+      case CellEvent::Kind::Started: return "started";
+      case CellEvent::Kind::PrefixForked: return "prefix_forked";
+      case CellEvent::Kind::CacheHit: return "cache_hit";
+      case CellEvent::Kind::DiskHit: return "disk_hit";
+      case CellEvent::Kind::Finished: return "finished";
+      case CellEvent::Kind::RemoteFinished: return "remote_finished";
+    }
+    return "unknown";
+}
+
 void
 ParallelRunner::notify(const CellEvent &ev)
 {
+    if (logEventActive()) {
+        logEvent("runner", cellEventName(ev.kind),
+                 {LogField::num("index",
+                                static_cast<uint64_t>(ev.index)),
+                  LogField::num("total",
+                                static_cast<uint64_t>(ev.total)),
+                  LogField::text("label", ev.label),
+                  LogField::num("lane", ev.lane),
+                  LogField::num("seconds", ev.hostSeconds)});
+    }
     std::lock_guard<std::mutex> lock(observerMu_);
     if (ev.kind == CellEvent::Kind::Finished)
         cellSeconds_.observe(ev.hostSeconds);
@@ -383,7 +409,7 @@ ParallelRunner::run(const std::vector<RunSpec> &specs)
         notify({CellEvent::Kind::Queued, i, total,
                 specs[i].label.c_str(), 0.0});
 
-    auto runOne = [&](size_t i, RemoteWorker *remote) {
+    auto runOne = [&](size_t i, RemoteWorker *remote, int lane) {
         const RunSpec &spec = specs[i];
         const SimSnapshot *snap = snaps[i].get();
         if (faultFire("dispatch_delay")) {
@@ -393,14 +419,14 @@ ParallelRunner::run(const std::vector<RunSpec> &specs)
             std::this_thread::sleep_for(std::chrono::milliseconds(20));
         }
         notify({CellEvent::Kind::Started, i, total, spec.label.c_str(),
-                0.0});
+                0.0, lane});
         bool viaRemote = false;
         auto compute = [&]() -> RunResult {
             if (snap) {
                 forkedRuns_.fetch_add(1);
                 savedCycles_.fetch_add(snap->cycle);
                 notify({CellEvent::Kind::PrefixForked, i, total,
-                        spec.label.c_str(), 0.0});
+                        spec.label.c_str(), 0.0, lane});
             }
             if (remote && remote->alive()) {
                 RunResult r;
@@ -442,19 +468,16 @@ ParallelRunner::run(const std::vector<RunSpec> &specs)
         }
         bool simulated = src == ResultStore::Source::Computed;
         notify({kind, i, total, spec.label.c_str(),
-                simulated ? secs : 0.0});
+                simulated ? secs : 0.0, lane});
     };
 
-    if (workerEndpoints_.empty()) {
-        poolFor(jobs_, specs.size(),
-                [&](size_t i) { runOne(i, nullptr); });
-        return results;
-    }
-
-    // Remote sharding: local threads and one dispatcher per connected
-    // worker drain a single shared queue. Results land at their
-    // submission index, so folding order — and therefore every
-    // artifact — is identical to the purely local run.
+    // One execution pool for both the local and the sharded case:
+    // local threads and one dispatcher per connected worker drain a
+    // single shared queue. Every lane has a stable id (0..jobs-1
+    // local, then one per remote), so the event stream can attribute
+    // cells to lanes. Results land at their submission index, so
+    // folding order — and therefore every artifact — is identical
+    // whatever the lane mix.
     std::vector<std::unique_ptr<RemoteWorker>> remotes;
     for (const Endpoint &ep : workerEndpoints_) {
         auto rw = std::make_unique<RemoteWorker>(ep);
@@ -467,16 +490,18 @@ ParallelRunner::run(const std::vector<RunSpec> &specs)
         // lanes cover its share.
     }
 
+    int localLanes =
+        std::min<int>(jobs_, static_cast<int>(specs.size()));
     std::atomic<size_t> next{0};
     std::exception_ptr error;
     std::mutex errorMu;
-    auto drain = [&](RemoteWorker *rw) {
+    auto drain = [&](RemoteWorker *rw, int lane) {
         for (;;) {
             size_t i = next.fetch_add(1);
             if (i >= specs.size())
                 return;
             try {
-                runOne(i, rw);
+                runOne(i, rw, lane);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(errorMu);
                 if (!error)
@@ -485,14 +510,25 @@ ParallelRunner::run(const std::vector<RunSpec> &specs)
         }
     };
 
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(jobs_) + remotes.size());
-    for (int w = 0; w < jobs_; ++w)
-        pool.emplace_back(drain, nullptr);
-    for (auto &rw : remotes)
-        pool.emplace_back(drain, rw.get());
-    for (std::thread &t : pool)
-        t.join();
+    if (remotes.empty() && localLanes <= 1) {
+        // Serial fast path: no threads to spawn or join.
+        drain(nullptr, 0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<size_t>(localLanes) + remotes.size());
+        for (int w = 0; w < localLanes; ++w)
+            pool.emplace_back(drain, nullptr, w);
+        for (size_t r = 0; r < remotes.size(); ++r)
+            pool.emplace_back(drain, remotes[r].get(),
+                              localLanes + static_cast<int>(r));
+        for (std::thread &t : pool)
+            t.join();
+    }
+    if (!remotes.empty()) {
+        std::lock_guard<std::mutex> lock(telemetryMu_);
+        for (const auto &rw : remotes)
+            workerTelemetry_.push_back(rw->telemetry());
+    }
     if (error)
         std::rethrow_exception(error);
     return results;
@@ -512,6 +548,10 @@ ParallelRunner::remoteStats() const
     s.remoteCells = remoteCells_.load();
     s.lostWorkers = lostWorkers_.load();
     s.requeuedCells = requeuedCells_.load();
+    {
+        std::lock_guard<std::mutex> lock(telemetryMu_);
+        s.perWorker = workerTelemetry_;
+    }
     return s;
 }
 
@@ -566,7 +606,7 @@ runMatrix(const std::vector<RunSpec> &specs)
         // a coordinator killed mid-sweep can be restarted with the
         // same command line and pick up exactly the missing cells.
         CampaignResume resume = prepareCampaign(*disk, specs);
-        if (resume.resumed)
+        if (resume.resumed) {
             std::fprintf(stderr,
                          "[campaign] resuming: %llu of %llu cells "
                          "already stored\n",
@@ -574,6 +614,10 @@ runMatrix(const std::vector<RunSpec> &specs)
                              resume.storedCells),
                          static_cast<unsigned long long>(
                              resume.totalCells));
+            logEvent("runner", "campaign_resumed",
+                     {LogField::num("stored", resume.storedCells),
+                      LogField::num("total", resume.totalCells)});
+        }
     }
     uint64_t hits0 = store.hits();
     uint64_t dhits0 = disk ? disk->hits() : 0;
@@ -623,6 +667,12 @@ runMatrix(const std::vector<RunSpec> &specs)
                                                      dcorrupt0));
     }
     std::fprintf(stderr, "\n");
+    logEvent("runner", "matrix_done",
+             {LogField::num("runs",
+                            static_cast<uint64_t>(specs.size())),
+              LogField::num("cached", store.hits() - hits0),
+              LogField::num("jobs", runner.jobs()),
+              LogField::num("seconds", secs)});
     return results;
 }
 

@@ -105,6 +105,10 @@ struct RemoteStats
     uint64_t remoteCells = 0; ///< cells simulated by TCP workers
     uint64_t lostWorkers = 0; ///< workers that died mid-campaign
     uint64_t requeuedCells = 0; ///< cells recovered by local fallback
+    /** Per-worker fleet telemetry (job counts, remote wall time,
+     *  heartbeats, snapshot bytes saved). Host-dependent sidecar data:
+     *  reported by hs_run, never folded into artifacts. */
+    std::vector<WorkerTelemetry> perWorker;
 };
 
 /** Prefix-sharing counters accumulated by a ParallelRunner. */
@@ -138,6 +142,11 @@ struct CellEvent
     size_t total = 0;        ///< matrix size
     const char *label = "";  ///< spec label (valid during the callback)
     double hostSeconds = 0;  ///< Finished: wall time of the compute
+    /** Execution lane: 0..jobs-1 are local threads, higher ids are
+     *  remote dispatcher lanes (-1: no lane, e.g. Queued). Lets the
+     *  fleet timeline attribute each cell to the worker that ran
+     *  it. */
+    int lane = -1;
 };
 
 /** Thread-pool executor for RunSpec matrices. */
@@ -230,6 +239,8 @@ class ParallelRunner
     CellObserver observer_;
     mutable std::mutex observerMu_; ///< serialises notify() + histogram
     Histogram cellSeconds_;
+    mutable std::mutex telemetryMu_; ///< guards workerTelemetry_
+    std::vector<WorkerTelemetry> workerTelemetry_;
     std::atomic<uint64_t> prefixGroups_{0};
     std::atomic<uint64_t> forkedRuns_{0};
     std::atomic<uint64_t> prefixCycles_{0};

@@ -29,7 +29,8 @@ cleanup()
     [ -n "$W2" ] && kill "$W2" 2>/dev/null
     if [ -n "${HS_CHAOS_LOG_DIR:-}" ]; then
         mkdir -p "$HS_CHAOS_LOG_DIR"
-        cp "$TMP"/*.err "$TMP"/*.log "$HS_CHAOS_LOG_DIR"/ 2>/dev/null
+        cp "$TMP"/*.err "$TMP"/*.log "$TMP"/*.jsonl \
+            "$HS_CHAOS_LOG_DIR"/ 2>/dev/null
     fi
     rm -rf "$TMP"
 }
@@ -125,10 +126,12 @@ for seed in $SEEDS; do
     STORE="$TMP/store_$seed"
     rm -rf "$STORE"
 
-    HS_FAULTS="$seed:$WORKER_FAULTS" "$BIN" --serve "$P1" \
+    HS_FAULTS="$seed:$WORKER_FAULTS" \
+        HS_LOG_JSON="$TMP/w1_$seed.jsonl" "$BIN" --serve "$P1" \
         >"$TMP/w1_$seed.log" 2>&1 &
     W1=$!
-    HS_FAULTS="$seed:$WORKER_FAULTS" "$BIN" --serve "$P2" \
+    HS_FAULTS="$seed:$WORKER_FAULTS" \
+        HS_LOG_JSON="$TMP/w2_$seed.jsonl" "$BIN" --serve "$P2" \
         >"$TMP/w2_$seed.log" 2>&1 &
     W2=$!
     wait_port "$P1" || fail "seed $seed: worker 1 never came up"
@@ -138,9 +141,10 @@ for seed in $SEEDS; do
     # shell *function* call leaks into the calling shell in dash.
     echo "chaos seed $seed: HS_FAULTS=$seed:$COORD_FAULTS"
     export HS_FAULTS="$seed:$COORD_FAULTS"
+    export HS_LOG_JSON="$TMP/chaos_$seed.jsonl"
     run "chaos seed $seed" "chaos_$seed" --jobs 2 \
         --workers "127.0.0.1:$P1,127.0.0.1:$P2" --store "$STORE"
-    unset HS_FAULTS
+    unset HS_FAULTS HS_LOG_JSON
     same "chaos seed $seed vs baseline" solo "chaos_$seed"
 
     # Fault-free warm rerun over whatever store the chaos run left:
@@ -155,12 +159,14 @@ for seed in $SEEDS; do
 done
 
 # The schedules must actually inject: a silently inert fault layer
-# would pass every identity check without testing anything.
-cat "$TMP"/chaos_*.err "$TMP"/w1_*.log "$TMP"/w2_*.log \
-    >"$TMP/all_chaos.log" 2>/dev/null
-grep -q "fault injection: '.*' firing" "$TMP/all_chaos.log" ||
+# would pass every identity check without testing anything. The
+# structured log is the ground truth here — every armed plan and every
+# fire lands in the per-process HS_LOG_JSON file as a typed event.
+cat "$TMP"/chaos_*.jsonl "$TMP"/w1_*.jsonl "$TMP"/w2_*.jsonl \
+    >"$TMP/all_chaos.jsonl" 2>/dev/null
+grep -q '"comp":"fault","event":"fire"' "$TMP/all_chaos.jsonl" ||
     fail "no fault ever fired across the chaos schedules"
-grep -q "fault injection armed" "$TMP/all_chaos.log" ||
+grep -q '"comp":"fault","event":"armed"' "$TMP/all_chaos.jsonl" ||
     fail "HS_FAULTS never armed"
 
 if [ "$fails" -ne 0 ]; then

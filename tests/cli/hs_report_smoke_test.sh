@@ -32,6 +32,12 @@ fail()
 [ -s "$TMP/run.json" ] || fail "matrix JSON missing"
 [ -s "$TMP/run.jsonl" ] || fail "JSONL trace missing"
 
+# A second run records the campaign timeline for the fleet view.
+"$RUN" --spec gcc --spec mcf --scale 20000 --each --jobs 2 \
+    --events "$TMP/fleet.jsonl" >"$TMP/fleet.out" 2>&1 ||
+    fail "hs_run events run failed"
+[ -s "$TMP/fleet.jsonl" ] || fail "campaign timeline missing"
+
 # --- argument contract -------------------------------------------------
 
 "$REPORT" >/dev/null 2>"$TMP/err"
@@ -80,6 +86,31 @@ cmp -s "$html" "$TMP/report2.html" ||
     fail "stdout mode failed"
 grep -q "<!DOCTYPE html>" "$TMP/stdout.html" ||
     fail "stdout mode did not emit HTML"
+
+# --- fleet view --------------------------------------------------------
+
+"$REPORT" --json "$TMP/run.json" --events "$TMP/fleet.jsonl" \
+    --out "$TMP/fleet.html" >/dev/null 2>&1 ||
+    fail "hs_report fleet run failed"
+grep -q "Fleet timeline" "$TMP/fleet.html" ||
+    fail "missing fleet timeline section"
+grep -q "Lane utilization" "$TMP/fleet.html" ||
+    fail "missing lane utilization table"
+grep -q "Cell sources" "$TMP/fleet.html" ||
+    fail "missing cell-source breakdown"
+
+# Events alone are enough to render a report.
+"$REPORT" --events "$TMP/fleet.jsonl" --out - >"$TMP/fleet2.html" 2>&1 ||
+    fail "events-only report failed"
+grep -q "Fleet timeline" "$TMP/fleet2.html" ||
+    fail "events-only report lacks the fleet timeline"
+
+# Fleet reports are deterministic too.
+"$REPORT" --json "$TMP/run.json" --events "$TMP/fleet.jsonl" \
+    --out "$TMP/fleet3.html" >/dev/null 2>&1 ||
+    fail "second fleet report run failed"
+cmp -s "$TMP/fleet.html" "$TMP/fleet3.html" ||
+    fail "fleet report not byte-identical across regenerations"
 
 if [ "$fails" -ne 0 ]; then
     echo "$fails report smoke check(s) failed" >&2

@@ -109,6 +109,22 @@ expect_usage "workers with stats" --spec gcc $FAST \
     --workers 127.0.0.1:1 --stats
 expect_usage "store with profile" --spec gcc $FAST \
     --store "$TMP/store" --profile
+expect_usage "missing log-json value" --spec gcc $FAST --log-json
+expect_usage "empty log-json value" --spec gcc $FAST --log-json ""
+expect_usage "missing events value" --spec gcc $FAST --events
+expect_usage "empty events value" --spec gcc $FAST --events ""
+expect_usage "zero status port" --spec gcc $FAST --status-port 0
+expect_usage "negative status port" --spec gcc $FAST --status-port -1
+expect_usage "status port out of range" --spec gcc $FAST \
+    --status-port 65536
+expect_usage "non-integer status port" --spec gcc $FAST \
+    --status-port banana
+expect_usage "serve with events" --serve 7471 --events "$TMP/e.jsonl"
+expect_usage "serve with status port" --serve 7471 --status-port 7999
+expect_usage "events with stats" --spec gcc $FAST \
+    --events "$TMP/e.jsonl" --stats
+expect_usage "status port with profile" --spec gcc $FAST \
+    --status-port 7999 --profile
 
 # --- well-formed invocations -------------------------------------------
 
@@ -137,6 +153,34 @@ HS_BATCH=banana "$BIN" --spec gcc $FAST \
 [ $? -eq 1 ] || fail "batch: bad HS_BATCH not rejected"
 grep -q "HS_BATCH" "$TMP/err" ||
     fail "batch: HS_BATCH error message missing"
+
+# The observability knobs follow the same strict-env contract.
+HS_STATUS_PORT=banana "$BIN" --spec gcc $FAST \
+    >"$TMP/out" 2>"$TMP/err"
+[ $? -eq 1 ] || fail "status: bad HS_STATUS_PORT not rejected"
+grep -q "HS_STATUS_PORT" "$TMP/err" ||
+    fail "status: HS_STATUS_PORT error message missing"
+
+HS_LOG_JSON="$TMP/no-such-dir/log.jsonl" "$BIN" --spec gcc $FAST \
+    >"$TMP/out" 2>"$TMP/err"
+[ $? -eq 1 ] || fail "log: unwritable HS_LOG_JSON not rejected"
+grep -q "HS_LOG_JSON" "$TMP/err" ||
+    fail "log: HS_LOG_JSON error message missing"
+
+# A happy-path fleet run: the timeline carries every cell lifecycle
+# event and the operational log exists alongside it.
+expect_ok "events timeline" --spec gcc --spec mcf $FAST --each \
+    --jobs 2 --events "$TMP/fleet.jsonl" --log-json "$TMP/oplog.jsonl"
+grep -q '"event":"queued"' "$TMP/fleet.jsonl" ||
+    fail "events: no queued event in timeline"
+grep -q '"event":"finished"' "$TMP/fleet.jsonl" ||
+    fail "events: no finished event in timeline"
+[ -s "$TMP/oplog.jsonl" ] || fail "log-json: operational log missing"
+
+HS_LOG_JSON="$TMP/envlog.jsonl" "$BIN" --spec gcc $FAST \
+    >"$TMP/out" 2>"$TMP/err"
+[ $? -eq 0 ] || fail "log: HS_LOG_JSON run failed"
+[ -s "$TMP/envlog.jsonl" ] || fail "log: HS_LOG_JSON produced no log"
 
 # Batched and solo sweeps must emit byte-identical result tables —
 # --batch changes only how the engine schedules work, never what a

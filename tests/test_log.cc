@@ -2,6 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
 #include "common/log.hh"
 
 namespace hs {
@@ -41,6 +50,154 @@ TEST(Log, LevelRoundTrips)
     setLogLevel(LogLevel::Verbose);
     EXPECT_EQ(logLevel(), LogLevel::Verbose);
     setLogLevel(before);
+}
+
+// ---------------------------------------------------------------------
+// Structured operational log (JSONL sink + observer tee)
+// ---------------------------------------------------------------------
+
+/** Opens a JSONL sink for one test and cleans up the file after. */
+class ScopedJsonLog
+{
+  public:
+    explicit ScopedJsonLog(const char *name)
+        : path_(std::string("/tmp/") + name + "." +
+                std::to_string(static_cast<unsigned long>(::getpid())))
+    {
+        openJsonLog(path_);
+    }
+
+    ~ScopedJsonLog()
+    {
+        closeJsonLog();
+        std::remove(path_.c_str());
+    }
+
+    /** Close the sink and parse every line as JSON. */
+    std::vector<json::Value> lines()
+    {
+        closeJsonLog();
+        std::ifstream in(path_);
+        std::vector<json::Value> out;
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty())
+                continue;
+            std::string err;
+            json::Value v = json::parse(line, &err);
+            EXPECT_EQ(err, "") << "bad JSONL line: " << line;
+            out.push_back(std::move(v));
+        }
+        return out;
+    }
+
+  private:
+    std::string path_;
+};
+
+TEST(LogEvent, InactiveByDefaultAndNoOpWhenOff)
+{
+    // No sink, no observer: the fast path must report inactive so
+    // instrumented sites stay branch-on-null cheap, and emitting
+    // while inactive must be a harmless no-op.
+    EXPECT_FALSE(logEventActive());
+    logEvent("test", "noop", {LogField::num("x", uint64_t(1))});
+}
+
+TEST(LogEvent, WritesParseableJsonl)
+{
+    ScopedJsonLog log("hs_log_basic");
+    ASSERT_TRUE(logEventActive());
+
+    logEvent("runner", "cell_finished",
+             {LogField::num("index", 3), LogField::num("seconds", 0.25),
+              LogField::text("label", "gcc/stopgo"),
+              LogField::flag("cached", true)});
+    logEvent("fault", "fire", LogSeverity::Warn,
+             {LogField::text("site", "worker_crash")});
+
+    auto lines = log.lines();
+    ASSERT_EQ(lines.size(), 2u);
+
+    const json::Value &a = lines[0];
+    EXPECT_EQ(a.stringOr("sev", ""), "info");
+    EXPECT_EQ(a.stringOr("comp", ""), "runner");
+    EXPECT_EQ(a.stringOr("event", ""), "cell_finished");
+    EXPECT_EQ(a.numberOr("index", -1), 3);
+    EXPECT_DOUBLE_EQ(a.numberOr("seconds", -1), 0.25);
+    EXPECT_EQ(a.stringOr("label", ""), "gcc/stopgo");
+    const json::Value *cached = a.find("cached");
+    ASSERT_NE(cached, nullptr);
+    EXPECT_TRUE(cached->isBool() && cached->boolean());
+
+    const json::Value &b = lines[1];
+    EXPECT_EQ(b.stringOr("sev", ""), "warn");
+    EXPECT_EQ(b.stringOr("comp", ""), "fault");
+    EXPECT_EQ(b.stringOr("site", ""), "worker_crash");
+
+    // Timestamps are monotonic and present on every line.
+    EXPECT_GE(a.numberOr("t", -1), 0.0);
+    EXPECT_GE(b.numberOr("t", -1), a.numberOr("t", -1));
+}
+
+TEST(LogEvent, EscapesHostileStrings)
+{
+    ScopedJsonLog log("hs_log_escape");
+    std::string hostile = "a\"b\\c\nd\te\x01f";
+    logEvent("test", "escape", {LogField::text("s", hostile)});
+    auto lines = log.lines();
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0].stringOr("s", ""), hostile);
+}
+
+TEST(LogEvent, ObserverSeesEveryEvent)
+{
+    int calls = 0;
+    std::string lastComp, lastEvent;
+    double lastValue = -1;
+    setLogEventObserver([&](const LogEventView &ev) {
+        ++calls;
+        lastComp = ev.component;
+        lastEvent = ev.event;
+        for (size_t i = 0; i < ev.numFields; ++i)
+            if (std::string(ev.fields[i].key) == "v")
+                lastValue = ev.fields[i].f64;
+    });
+    EXPECT_TRUE(logEventActive());
+    logEvent("remote", "heartbeat", {LogField::num("v", 7.5)});
+    logEvent("remote", "job_done");
+    setLogEventObserver(nullptr);
+    EXPECT_FALSE(logEventActive());
+
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(lastComp, "remote");
+    EXPECT_EQ(lastEvent, "job_done");
+    EXPECT_DOUBLE_EQ(lastValue, 7.5);
+    // Events after removal are dropped.
+    logEvent("remote", "late");
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(LogEvent, JsonLineIsDeterministic)
+{
+    LogField fields[] = {LogField::num("n", uint64_t(42)),
+                         LogField::text("s", "x")};
+    LogEventView v;
+    v.t = 1.5;
+    v.sev = LogSeverity::Info;
+    v.component = "c";
+    v.event = "e";
+    v.fields = fields;
+    v.numFields = 2;
+    EXPECT_EQ(v.jsonLine(),
+              "{\"t\":1.500000,\"sev\":\"info\",\"comp\":\"c\","
+              "\"event\":\"e\",\"n\":42,\"s\":\"x\"}");
+}
+
+TEST(LogEvent, UnopenablePathIsFatal)
+{
+    EXPECT_EXIT(openJsonLog("/nonexistent-dir/x/y.jsonl"),
+                ::testing::ExitedWithCode(1), "log-json");
 }
 
 } // namespace

@@ -6,6 +6,13 @@
  * worker fallback path (every cell still computed, locally).
  */
 
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -13,10 +20,13 @@
 #include <gtest/gtest.h>
 
 #include "common/framing.hh"
+#include "common/json.hh"
+#include "common/log.hh"
 #include "sim/remote.hh"
 #include "sim/result_store.hh"
 #include "sim/run_spec.hh"
 #include "sim/runner.hh"
+#include "sim/simulator.hh"
 
 namespace {
 
@@ -104,7 +114,7 @@ TEST(RemoteFrames, JobRoundTripWithoutSnapshot)
 
     RemoteJob job = decodeJob(frame);
     EXPECT_EQ(job.id, 42u);
-    EXPECT_FALSE(job.hasSnapshot);
+    EXPECT_FALSE(job.hasSnapshot());
     EXPECT_EQ(job.spec.canonicalKey(), spec.canonicalKey());
     EXPECT_EQ(job.spec.hash(), spec.hash());
 }
@@ -118,9 +128,100 @@ TEST(RemoteFrames, JobRoundTripCarriesSnapshot)
 
     RemoteJob job = decodeJob(encodeJob(7, spec, &snap));
     EXPECT_EQ(job.id, 7u);
-    ASSERT_TRUE(job.hasSnapshot);
+    ASSERT_TRUE(job.hasSnapshot());
+    EXPECT_EQ(job.snapMode, RemoteJob::SnapMode::Inline);
     EXPECT_EQ(job.snapshot.cycle, snap.cycle);
     EXPECT_EQ(job.snapshot.bytes, snap.bytes);
+}
+
+TEST(RemoteFrames, HelloCarriesCapabilityWord)
+{
+    std::string why;
+    uint32_t caps = 0;
+
+    // Explicit word round-trips untouched.
+    std::vector<uint8_t> hello =
+        encodeHello(FrameType::Hello, kCapTelemetry);
+    ASSERT_TRUE(checkHello(hello, FrameType::Hello, why, &caps)) << why;
+    EXPECT_EQ(caps, kCapTelemetry);
+
+    // The one-argument form advertises this build's word.
+    caps = 0;
+    ASSERT_TRUE(checkHello(encodeHello(FrameType::HelloAck),
+                           FrameType::HelloAck, why, &caps))
+        << why;
+    EXPECT_EQ(caps, localCaps());
+    EXPECT_TRUE(localCaps() & kCapSnapshotCache);
+}
+
+TEST(RemoteFrames, JobReferenceRoundTrip)
+{
+    RunSpec spec = soloSpec("gcc", fastOpts());
+    RemoteJob job =
+        decodeJob(encodeJobRef(11, spec, 0xfeedfacecafebeefull));
+    EXPECT_EQ(job.id, 11u);
+    ASSERT_TRUE(job.hasSnapshot());
+    EXPECT_EQ(job.snapMode, RemoteJob::SnapMode::Reference);
+    EXPECT_EQ(job.snapshotHash, 0xfeedfacecafebeefull);
+    EXPECT_TRUE(job.snapshot.bytes.empty());
+}
+
+TEST(RemoteFrames, ResultTelemetryBlockRoundTrips)
+{
+    RunResult original = executeRunSpec(soloSpec("gcc", fastOpts()));
+
+    JobTelemetry tel;
+    tel.simSeconds = 1.25;
+    tel.restoreSeconds = 0.5;
+    tel.snapshotBytes = 4096;
+    tel.snapshotFromCache = true;
+    tel.peakRssKb = 123456;
+    tel.tickedCycles = 777;
+    tel.stalledCycles = 88;
+    tel.sensorSamples = 9;
+    tel.tickSeconds = 0.75;
+    tel.thermalSeconds = 0.25;
+    tel.stallSeconds = 0.125;
+
+    RunResult back;
+    JobTelemetry tback;
+    bool has = false;
+    EXPECT_EQ(decodeResult(encodeResult(3, original, &tel), back,
+                           &tback, &has),
+              3u);
+    EXPECT_TRUE(back == original);
+    ASSERT_TRUE(has);
+    EXPECT_EQ(tback.simSeconds, tel.simSeconds);
+    EXPECT_EQ(tback.restoreSeconds, tel.restoreSeconds);
+    EXPECT_EQ(tback.snapshotBytes, tel.snapshotBytes);
+    EXPECT_EQ(tback.snapshotFromCache, tel.snapshotFromCache);
+    EXPECT_EQ(tback.peakRssKb, tel.peakRssKb);
+    EXPECT_EQ(tback.tickedCycles, tel.tickedCycles);
+    EXPECT_EQ(tback.stalledCycles, tel.stalledCycles);
+    EXPECT_EQ(tback.sensorSamples, tel.sensorSamples);
+    EXPECT_EQ(tback.tickSeconds, tel.tickSeconds);
+    EXPECT_EQ(tback.thermalSeconds, tel.thermalSeconds);
+    EXPECT_EQ(tback.stallSeconds, tel.stallSeconds);
+
+    // Telemetry stays optional: a bare Result decodes with has=false.
+    has = true;
+    EXPECT_EQ(decodeResult(encodeResult(4, original), back, &tback,
+                           &has),
+              4u);
+    EXPECT_FALSE(has);
+}
+
+TEST(RemoteFrames, HeartbeatRoundTrips)
+{
+    HeartbeatInfo hb;
+    hb.jobsDone = 17;
+    hb.uptimeSeconds = 12.5;
+    hb.currentLabel = "gcc-sweep-3";
+
+    HeartbeatInfo back = decodeHeartbeat(encodeHeartbeat(hb));
+    EXPECT_EQ(back.jobsDone, hb.jobsDone);
+    EXPECT_EQ(back.uptimeSeconds, hb.uptimeSeconds);
+    EXPECT_EQ(back.currentLabel, hb.currentLabel);
 }
 
 TEST(RemoteFrames, ResultRoundTripIsBitIdentical)
@@ -253,6 +354,189 @@ TEST(RemoteEndToEnd, TwoWorkersStillFoldInSubmissionOrder)
     ASSERT_EQ(sharded.size(), serial.size());
     for (size_t i = 0; i < serial.size(); ++i)
         EXPECT_TRUE(sharded[i] == serial[i]) << "cell " << i;
+}
+
+// --- fleet telemetry ---------------------------------------------------
+
+/** Drop the host-throughput lines from a matrix JSON artifact; those
+ *  two fields are the only machine-dependent bytes in it. */
+std::string
+stripHostLines(const std::string &json)
+{
+    std::istringstream in(json);
+    std::string out, line;
+    while (std::getline(in, line)) {
+        if (line.find("host_seconds") != std::string::npos ||
+            line.find("sim_cycles_per_host_sec") != std::string::npos)
+            continue;
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+TEST(RemoteTelemetry, SnapshotShipsOnceThenByReference)
+{
+    // A sedation pair with a real warm-up snapshot, like the prefix
+    // engine would ship for a threshold sweep.
+    ExperimentOptions opts = fastOpts();
+    opts.dtm = DtmMode::SelectiveSedation;
+    opts.upperThreshold = 356.0;
+    opts.lowerThreshold = 355.0;
+    RunSpec spec = specPairSpec("gcc", "mesa", opts);
+
+    SimSnapshot snap;
+    ASSERT_GT(makePrefixSimulator(spec)->runPrefix(
+                  spec.opts.upperThreshold, 1, snap),
+              0u);
+    ASSERT_GT(snap.sizeBytes(), 0u);
+    RunResult warm = executeFromSnapshot(spec, snap);
+
+    InProcessWorker worker;
+    RemoteWorker handle(worker.endpoint());
+    ASSERT_TRUE(handle.ensureConnected());
+    ASSERT_TRUE(handle.caps() & kCapSnapshotCache);
+
+    RunResult r1, r2;
+    ASSERT_TRUE(handle.runJob(0, spec, &snap, r1));
+    ASSERT_TRUE(handle.runJob(1, spec, &snap, r2));
+    EXPECT_TRUE(r1 == warm);
+    EXPECT_TRUE(r2 == warm);
+
+    // The first job carried the payload, the second only its hash.
+    const WorkerTelemetry &wt = handle.telemetry();
+    EXPECT_EQ(wt.jobs, 2u);
+    EXPECT_EQ(wt.snapshotBytesSent, snap.sizeBytes());
+    EXPECT_EQ(wt.snapshotBytesSaved, snap.sizeBytes());
+
+    handle.sendShutdown();
+    worker.join();
+}
+
+TEST(RemoteTelemetry, HeartbeatsFoldIntoWorkerCounters)
+{
+    setenv("HS_HEARTBEAT_MS", "1", 1);
+    {
+        InProcessWorker worker;
+        RemoteWorker handle(worker.endpoint());
+        ASSERT_TRUE(handle.ensureConnected());
+        ASSERT_TRUE(handle.caps() & kCapTelemetry);
+
+        // Give the worker time to queue a few heartbeats, then run a
+        // job: the dispatcher folds everything queued ahead of the
+        // Result frame.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        RunResult r;
+        ASSERT_TRUE(
+            handle.runJob(0, soloSpec("gcc", fastOpts()), nullptr, r));
+
+        EXPECT_GE(handle.telemetry().heartbeats, 1u);
+        EXPECT_GT(handle.telemetry().simSeconds, 0.0);
+
+        handle.sendShutdown();
+        worker.join();
+    }
+    unsetenv("HS_HEARTBEAT_MS");
+}
+
+TEST(RemoteTelemetry, TwoWorkerArtifactsIdenticalAndEventsParse)
+{
+    std::vector<RunSpec> specs = smallMatrix();
+    std::vector<RunResult> serial;
+    for (const RunSpec &spec : specs)
+        serial.push_back(executeRunSpec(spec));
+    std::ostringstream solo;
+    writeMatrixJson(solo, specs, serial);
+
+    // Capture the whole fleet's structured log (coordinator and the
+    // in-process workers share the sink).
+    std::string path = "/tmp/hs_remote_events_" +
+                       std::to_string(::getpid()) + ".jsonl";
+    openJsonLog(path);
+
+    std::vector<RunResult> sharded;
+    RemoteStats rs;
+    {
+        InProcessWorker w0, w1;
+        ResultStore store;
+        ParallelRunner runner(1, &store);
+        runner.setWorkers({w0.endpoint(), w1.endpoint()});
+        sharded = runner.run(specs);
+        rs = runner.remoteStats();
+    }
+    closeJsonLog();
+
+    // Telemetry on changed no artifact byte (host throughput aside).
+    std::ostringstream fleet;
+    writeMatrixJson(fleet, specs, sharded);
+    EXPECT_EQ(stripHostLines(solo.str()), stripHostLines(fleet.str()));
+
+    // Per-worker rollups cover every remote cell.
+    ASSERT_EQ(rs.perWorker.size(), 2u);
+    EXPECT_EQ(rs.perWorker[0].jobs + rs.perWorker[1].jobs,
+              rs.remoteCells);
+
+    // The event stream is valid JSONL and contains the expected
+    // lifecycle + telemetry records.
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::string line;
+    size_t queued = 0, finished = 0, telemetry = 0, connected = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::string err;
+        json::Value v = json::parse(line, &err);
+        ASSERT_EQ(err, "") << "bad JSONL line: " << line;
+        EXPECT_GE(v.numberOr("t", -1), 0.0);
+        std::string comp = v.stringOr("comp", "");
+        std::string event = v.stringOr("event", "");
+        EXPECT_FALSE(comp.empty());
+        EXPECT_FALSE(event.empty());
+        if (comp == "runner" && event == "queued")
+            ++queued;
+        if (comp == "runner" &&
+            (event == "finished" || event == "remote_finished"))
+            ++finished;
+        if (comp == "remote" && event == "job_telemetry")
+            ++telemetry;
+        if (comp == "remote" && event == "worker_connected")
+            ++connected;
+    }
+    EXPECT_EQ(queued, specs.size());
+    EXPECT_EQ(finished, specs.size());
+    EXPECT_EQ(telemetry, rs.remoteCells);
+    // Two engine connections, plus one short-lived connection per
+    // worker for the shutdown frame.
+    EXPECT_GE(connected, 2u);
+    std::remove(path.c_str());
+}
+
+TEST(RemoteTelemetry, TelemetryOffKeepsResultsIdentical)
+{
+    setenv("HS_TELEMETRY", "0", 1);
+    {
+        std::vector<RunSpec> specs = smallMatrix();
+        std::vector<RunResult> serial;
+        for (const RunSpec &spec : specs)
+            serial.push_back(executeRunSpec(spec));
+
+        InProcessWorker worker;
+        ResultStore store;
+        ParallelRunner runner(1, &store);
+        runner.setWorkers({worker.endpoint()});
+        std::vector<RunResult> sharded = runner.run(specs);
+
+        ASSERT_EQ(sharded.size(), serial.size());
+        for (size_t i = 0; i < serial.size(); ++i)
+            EXPECT_TRUE(sharded[i] == serial[i]) << "cell " << i;
+
+        RemoteStats rs = runner.remoteStats();
+        ASSERT_EQ(rs.perWorker.size(), 1u);
+        EXPECT_EQ(rs.perWorker[0].heartbeats, 0u);
+        EXPECT_EQ(rs.perWorker[0].simSeconds, 0.0);
+    }
+    unsetenv("HS_TELEMETRY");
 }
 
 } // namespace

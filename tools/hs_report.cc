@@ -18,12 +18,17 @@
  *  - per-thread IPC bars
  *  - the duty-cycle table (heat / (heat + cool)) per run
  *  - run-health metrics (counters, gauges, histogram summaries)
+ *  - fleet timeline (from hs_run --events): per-lane cell Gantt with
+ *    fault-fire markers, lane utilization / straggler table, cell
+ *    source breakdown and per-worker telemetry rollups
  *
  * Usage:
  *   hs_report [options]
  * Options (values as "--opt VALUE" or "--opt=VALUE"):
  *   --json FILE   matrix JSON from hs_run --json (repeatable)
  *   --trace FILE  JSONL event trace from hs_run --trace (repeatable)
+ *   --events FILE campaign timeline from hs_run --events (first file
+ *                 is rendered; see docs/OBSERVABILITY.md)
  *   --out FILE    output HTML path (default hs_report.html, "-" =
  *                 stdout)
  *   --title TEXT  report title (default "Heat Stroke run report")
@@ -57,7 +62,8 @@ using namespace hs;
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--json FILE]... [--trace FILE]...\n"
+                 "usage: %s [--json FILE]... [--trace FILE]... "
+                 "[--events FILE]...\n"
                  "       [--out FILE] [--title TEXT]\n",
                  argv0);
     std::exit(2);
@@ -202,6 +208,113 @@ struct TraceView
 
     bool multiCore() const { return maxCore > 0; }
 };
+
+// --- fleet timeline (hs_run --events) --------------------------------
+
+/** One cell's life on one execution lane, started -> resolved. */
+struct FleetCell
+{
+    int lane = -1;
+    size_t index = 0;
+    std::string label;
+    std::string outcome; ///< finished/remote_finished/cache_hit/disk_hit
+    double start = 0, end = 0;
+};
+
+/** Per-worker rollup folded from remote job_telemetry/heartbeat
+ *  events. */
+struct FleetWorker
+{
+    double jobs = 0, heartbeats = 0;
+    double simSeconds = 0, restoreSeconds = 0;
+    double snapshotBytes = 0, cachedSnapshots = 0;
+    double peakRssKb = 0;
+};
+
+/** Everything the fleet sections need from one events.jsonl. */
+struct FleetView
+{
+    std::string source;
+    std::vector<FleetCell> cells;
+    std::map<int, std::vector<const FleetCell *>> lanes;
+    std::map<std::string, FleetWorker> workers;
+    std::vector<std::pair<double, std::string>> faultFires;
+    double queued = 0, resumedStored = 0;
+    double maxT = 0;
+
+    bool loaded() const { return !source.empty(); }
+};
+
+void
+loadFleet(const std::string &path, FleetView &out)
+{
+    out.source = path;
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot read '%s'", path.c_str());
+    std::string line;
+    size_t lineno = 0;
+    // Cells in flight: submission index -> started timestamp.
+    std::map<size_t, double> open;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        std::string err;
+        json::Value ev = json::parse(line, &err);
+        if (!err.empty())
+            fatal("%s:%zu: %s", path.c_str(), lineno, err.c_str());
+        double t = ev.numberOr("t", 0);
+        out.maxT = std::max(out.maxT, t);
+        std::string comp = ev.stringOr("comp", "");
+        std::string kind = ev.stringOr("event", "");
+        if (comp == "runner") {
+            size_t index = static_cast<size_t>(ev.numberOr("index", 0));
+            if (kind == "queued") {
+                ++out.queued;
+            } else if (kind == "started") {
+                open[index] = t;
+            } else if (kind == "finished" ||
+                       kind == "remote_finished" ||
+                       kind == "cache_hit" || kind == "disk_hit") {
+                FleetCell c;
+                c.lane = static_cast<int>(ev.numberOr("lane", -1));
+                c.index = index;
+                c.label = ev.stringOr("label", "");
+                c.outcome = kind;
+                c.end = t;
+                auto it = open.find(index);
+                // Store hits resolve without a Started event when the
+                // cell never reached a lane; render them as instants.
+                c.start = it != open.end() ? it->second : t;
+                if (it != open.end())
+                    open.erase(it);
+                out.cells.push_back(std::move(c));
+            } else if (kind == "campaign_resumed") {
+                out.resumedStored = ev.numberOr("stored", 0);
+            }
+        } else if (comp == "remote") {
+            if (kind == "job_telemetry") {
+                FleetWorker &w = out.workers[ev.stringOr("worker", "?")];
+                w.jobs += 1;
+                w.simSeconds += ev.numberOr("sim_s", 0);
+                w.restoreSeconds += ev.numberOr("restore_s", 0);
+                w.snapshotBytes += ev.numberOr("snapshot_bytes", 0);
+                const json::Value *cached = ev.find("snapshot_cached");
+                if (cached && cached->isBool() && cached->boolean())
+                    w.cachedSnapshots += 1;
+                w.peakRssKb =
+                    std::max(w.peakRssKb, ev.numberOr("rss_kb", 0));
+            } else if (kind == "heartbeat") {
+                out.workers[ev.stringOr("worker", "?")].heartbeats += 1;
+            }
+        } else if (comp == "fault" && kind == "fire") {
+            out.faultFires.emplace_back(t, ev.stringOr("site", "?"));
+        }
+    }
+    for (const FleetCell &c : out.cells)
+        out.lanes[c.lane].push_back(&c);
+}
 
 void
 loadMatrix(const std::string &path, std::vector<RunView> &out,
@@ -1039,9 +1152,204 @@ emitMetricsTable(
     os << "</tbody></table>\n";
 }
 
+const char *
+outcomeColor(const std::string &outcome)
+{
+    if (outcome == "remote_finished")
+        return "var(--cat2)";
+    if (outcome == "cache_hit")
+        return "var(--cat3)";
+    if (outcome == "disk_hit")
+        return "var(--warning)";
+    return "var(--cat1)"; // finished locally
+}
+
+const char *
+outcomeName(const std::string &outcome)
+{
+    if (outcome == "remote_finished")
+        return "remote";
+    if (outcome == "cache_hit")
+        return "memory hit";
+    if (outcome == "disk_hit")
+        return "disk hit";
+    return "computed";
+}
+
+void
+emitFleetTimeline(std::ostream &os, const FleetView &fleet)
+{
+    os << "<h2>Fleet timeline</h2>\n";
+    if (fleet.cells.empty()) {
+        os << "<p class=\"note\">No cell lifecycle events in "
+           << esc(fleet.source) << ".</p>\n";
+        return;
+    }
+    os << "<p class=\"sub\">Each lane is one execution slot — local "
+          "worker threads first, then one dispatcher per TCP worker — "
+          "and each bar one matrix cell (timeline "
+       << esc(fleet.source) << ").</p>\n";
+
+    double maxT = std::max(fleet.maxT, 1e-9);
+    const double W = 760, rowH = 20, gap = 8, mL = 70, mB = 26;
+    const double H = fleet.lanes.size() * (rowH + gap) + mB + 4;
+    double plotW = W - mL - 10;
+    auto X = [&](double t) { return mL + t / maxT * plotW; };
+
+    os << fmt("<svg viewBox=\"0 0 %.0f %.0f\" width=\"%.0f\" "
+              "height=\"%.0f\" role=\"img\" "
+              "aria-label=\"fleet timeline gantt\">\n", W, H, W, H);
+    double xstep = tickStep(maxT, 8);
+    for (double t = 0; t <= maxT + 1e-9; t += xstep) {
+        os << fmt("<line class=\"gridline\" x1=\"%.2f\" y1=\"4\" "
+                  "x2=\"%.2f\" y2=\"%.2f\"/>\n",
+                  X(t), X(t), H - mB);
+        os << fmt("<text class=\"axis\" x=\"%.2f\" y=\"%.2f\" "
+                  "text-anchor=\"middle\">%.3gs</text>\n",
+                  X(t), H - 10, t);
+    }
+    double y = 4;
+    for (const auto &[lane, cells] : fleet.lanes) {
+        std::string name =
+            lane < 0 ? std::string("store") : fmt("lane %d", lane);
+        os << fmt("<text class=\"lbl2\" x=\"%.2f\" y=\"%.2f\" "
+                  "text-anchor=\"end\">%s</text>\n",
+                  mL - 8, y + rowH / 2 + 4, esc(name).c_str());
+        for (const FleetCell *c : cells) {
+            double x0 = X(c->start), x1 = X(c->end);
+            double w = std::max(2.0, x1 - x0);
+            os << fmt("<rect class=\"mark\" x=\"%.2f\" y=\"%.2f\" "
+                      "width=\"%.2f\" height=\"%.2f\" rx=\"2\" "
+                      "fill=\"%s\">",
+                      x0, y, w, rowH, outcomeColor(c->outcome))
+               << "<title>#" << c->index << " " << esc(c->label) << ": "
+               << outcomeName(c->outcome)
+               << fmt(", %.3f–%.3f s", c->start, c->end)
+               << "</title></rect>\n";
+        }
+        y += rowH + gap;
+    }
+    // Fault-fire markers cut across every lane.
+    for (const auto &[t, site] : fleet.faultFires) {
+        os << fmt("<line x1=\"%.2f\" y1=\"4\" x2=\"%.2f\" y2=\"%.2f\" "
+                  "stroke=\"var(--critical)\" stroke-width=\"2\" "
+                  "stroke-dasharray=\"2 3\"><title>fault %s at "
+                  "%.3f s</title></line>\n",
+                  X(t), X(t), H - mB, esc(site).c_str(), t);
+    }
+    os << "</svg>\n";
+    os << "<div class=\"legend\">"
+          "<span><span class=\"sw\" style=\"background:var(--cat1)\">"
+          "</span>computed</span>"
+          "<span><span class=\"sw\" style=\"background:var(--cat2)\">"
+          "</span>remote</span>"
+          "<span><span class=\"sw\" style=\"background:var(--cat3)\">"
+          "</span>memory hit</span>"
+          "<span><span class=\"sw\" style=\"background:var(--warning)\">"
+          "</span>disk hit</span>";
+    if (!fleet.faultFires.empty())
+        os << "<span><span class=\"sw\" "
+              "style=\"background:var(--critical)\"></span>fault "
+              "fired</span>";
+    os << "</div>\n";
+}
+
+void
+emitLaneTable(std::ostream &os, const FleetView &fleet)
+{
+    if (fleet.cells.empty())
+        return;
+    os << "<h2>Lane utilization</h2>\n"
+          "<p class=\"sub\">Busy share of the campaign wall clock per "
+          "lane; the straggler column names the longest cell, the "
+          "first thing to look at when one lane drags the tail.</p>\n";
+    os << "<table><thead><tr><th>lane</th><th>cells</th>"
+          "<th>busy s</th><th>busy %</th><th>longest cell</th>"
+          "<th>longest s</th></tr></thead><tbody>\n";
+    double maxT = std::max(fleet.maxT, 1e-9);
+    for (const auto &[lane, cells] : fleet.lanes) {
+        double busy = 0;
+        const FleetCell *longest = nullptr;
+        for (const FleetCell *c : cells) {
+            busy += c->end - c->start;
+            if (!longest ||
+                c->end - c->start > longest->end - longest->start)
+                longest = c;
+        }
+        std::string name =
+            lane < 0 ? std::string("store") : fmt("lane %d", lane);
+        os << "<tr><td>" << esc(name) << "</td><td>" << cells.size()
+           << "</td><td>" << fmt("%.3f", busy) << "</td><td>"
+           << fmt("%.1f", 100.0 * busy / maxT) << "</td><td>"
+           << (longest ? esc(longest->label) : std::string("—"))
+           << "</td><td>"
+           << (longest ? fmt("%.3f", longest->end - longest->start)
+                       : std::string("—"))
+           << "</td></tr>\n";
+    }
+    os << "</tbody></table>\n";
+}
+
+void
+emitFleetBreakdown(std::ostream &os, const FleetView &fleet)
+{
+    if (fleet.cells.empty())
+        return;
+    double computed = 0, remote = 0, memory = 0, disk = 0;
+    for (const FleetCell &c : fleet.cells) {
+        if (c.outcome == "finished")
+            ++computed;
+        else if (c.outcome == "remote_finished")
+            ++remote;
+        else if (c.outcome == "cache_hit")
+            ++memory;
+        else if (c.outcome == "disk_hit")
+            ++disk;
+    }
+    os << "<h2>Cell sources</h2>\n"
+          "<p class=\"sub\">Where each cell's result came from.</p>\n";
+    os << "<div class=\"tiles\">\n";
+    tile(os, fmt("%.0f", computed), "computed locally");
+    tile(os, fmt("%.0f", remote), "computed remotely");
+    tile(os, fmt("%.0f", memory), "memory hits");
+    tile(os, fmt("%.0f", disk), "disk hits");
+    if (fleet.resumedStored > 0)
+        tile(os, fmt("%.0f", fleet.resumedStored), "resumed from store");
+    if (!fleet.faultFires.empty())
+        tile(os, fmt("%zu", fleet.faultFires.size()), "fault fires");
+    os << "</div>\n";
+}
+
+void
+emitWorkerTable(std::ostream &os, const FleetView &fleet)
+{
+    if (fleet.workers.empty())
+        return;
+    os << "<h2>Worker telemetry</h2>\n"
+          "<p class=\"sub\">Per-worker rollups folded from Result "
+          "telemetry blocks and heartbeats — host measurements only, "
+          "never part of the artifacts.</p>\n";
+    os << "<table><thead><tr><th>worker</th><th>jobs</th>"
+          "<th>sim s</th><th>restore s</th><th>heartbeats</th>"
+          "<th>snapshot KiB</th><th>cached snaps</th>"
+          "<th>peak RSS MiB</th></tr></thead><tbody>\n";
+    for (const auto &[name, w] : fleet.workers) {
+        os << "<tr><td>" << esc(name) << "</td><td>"
+           << fmt("%.0f", w.jobs) << "</td><td>"
+           << fmt("%.3f", w.simSeconds) << "</td><td>"
+           << fmt("%.3f", w.restoreSeconds) << "</td><td>"
+           << fmt("%.0f", w.heartbeats) << "</td><td>"
+           << fmt("%.1f", w.snapshotBytes / 1024.0) << "</td><td>"
+           << fmt("%.0f", w.cachedSnapshots) << "</td><td>"
+           << fmt("%.1f", w.peakRssKb / 1024.0) << "</td></tr>\n";
+    }
+    os << "</tbody></table>\n";
+}
+
 void
 emitReport(std::ostream &os, const std::string &title,
            const std::vector<RunView> &runs, const TraceView &trace,
+           const FleetView &fleet,
            const std::vector<std::pair<std::string, json::Value>> &metrics)
 {
     os << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
@@ -1099,6 +1407,12 @@ emitReport(std::ostream &os, const std::string &title,
     emitGantt(os, trace);
     emitIpcBars(os, runs);
     emitDutyTable(os, runs, trace);
+    if (fleet.loaded()) {
+        emitFleetTimeline(os, fleet);
+        emitLaneTable(os, fleet);
+        emitFleetBreakdown(os, fleet);
+        emitWorkerTable(os, fleet);
+    }
     emitMetricsTable(os, metrics);
 
     os << "<p class=\"note\">Generated by hs_report from hs_run "
@@ -1111,7 +1425,7 @@ emitReport(std::ostream &os, const std::string &title,
 int
 main(int argc, char **argv)
 {
-    std::vector<std::string> json_paths, trace_paths;
+    std::vector<std::string> json_paths, trace_paths, events_paths;
     std::string out_path = "hs_report.html";
     std::string title = "Heat Stroke run report";
 
@@ -1141,6 +1455,8 @@ main(int argc, char **argv)
             json_paths.push_back(value());
         else if (arg == "--trace")
             trace_paths.push_back(value());
+        else if (arg == "--events")
+            events_paths.push_back(value());
         else if (arg == "--out")
             out_path = value();
         else if (arg == "--title")
@@ -1151,9 +1467,10 @@ main(int argc, char **argv)
             usage(argv[0]);
         }
     }
-    if (json_paths.empty() && trace_paths.empty()) {
-        std::fprintf(stderr, "%s: nothing to report; pass --json "
-                             "and/or --trace\n", argv[0]);
+    if (json_paths.empty() && trace_paths.empty() &&
+        events_paths.empty()) {
+        std::fprintf(stderr, "%s: nothing to report; pass --json, "
+                             "--trace and/or --events\n", argv[0]);
         usage(argv[0]);
     }
 
@@ -1170,15 +1487,24 @@ main(int argc, char **argv)
         if (trace.source.empty())
             trace = std::move(tv);
     }
+    FleetView fleet;
+    for (const std::string &p : events_paths) {
+        // Same first-file policy as --trace: timelines from separate
+        // campaigns have unrelated clocks, so they never merge.
+        FleetView fv;
+        loadFleet(p, fv);
+        if (fleet.source.empty())
+            fleet = std::move(fv);
+    }
 
     if (out_path == "-") {
-        emitReport(std::cout, title, runs, trace, metrics);
+        emitReport(std::cout, title, runs, trace, fleet, metrics);
         return 0;
     }
     std::ofstream out(out_path, std::ios::binary);
     if (!out)
         fatal("cannot write '%s'", out_path.c_str());
-    emitReport(out, title, runs, trace, metrics);
+    emitReport(out, title, runs, trace, fleet, metrics);
     std::printf("wrote %s\n", out_path.c_str());
     return 0;
 }

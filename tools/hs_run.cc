@@ -41,6 +41,17 @@
  *                        "host:7401,host:7402"; each worker is one
  *                        extra engine lane, with local fallback when
  *                        a worker dies
+ *   --log-json FILE      write the structured operational log (one
+ *                        JSON object per line; see
+ *                        docs/OBSERVABILITY.md) to FILE; same sink
+ *                        as HS_LOG_JSON, the flag wins
+ *   --events FILE        write the campaign timeline — runner cell
+ *                        lifecycle plus fleet telemetry events — to
+ *                        FILE for hs_report --events (default:
+ *                        <store>/events.jsonl when --store is set)
+ *   --status-port P      serve live Prometheus-style campaign
+ *                        counters over HTTP on port P while the
+ *                        engine runs (HS_STATUS_PORT; the flag wins)
  *   --json FILE          write specs + results + metrics as JSON
  *                        ("-" = stdout)
  *   --csv FILE           write per-thread results as CSV ("-" = stdout)
@@ -76,6 +87,7 @@
  * malformed values, and trailing garbage all exit 2 via usage().
  */
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -87,6 +99,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "sim/disk_store.hh"
 #include "sim/manifest.hh"
 #include "sim/progress.hh"
@@ -94,6 +107,7 @@
 #include "sim/result_store.hh"
 #include "sim/runner.hh"
 #include "sim/simulator.hh"
+#include "sim/status.hh"
 #include "trace/metrics.hh"
 #include "trace/writers.hh"
 
@@ -111,6 +125,8 @@ usage(const char *argv0)
                  "[--jobs N] [--batch N] [--json FILE] [--csv FILE]\n"
                  "       [--store DIR] [--serve PORT] "
                  "[--workers host:port,...]\n"
+                 "       [--log-json FILE] [--events FILE] "
+                 "[--status-port PORT]\n"
                  "       [--dtm none|stopgo|sedation|dvfs|fetchgate] "
                  "[--sink ideal|real]\n"
                  "       [--scale S] [--conv R] [--upper K] "
@@ -317,6 +333,81 @@ endsWith(const std::string &s, const std::string &suffix)
                0;
 }
 
+/**
+ * Live campaign counters fed by the structured-log observer and served
+ * by --status-port. Pure observability: bumped off the simulated path,
+ * read lock-free by the status thread.
+ */
+struct StatusCounters
+{
+    std::atomic<uint64_t> cellsTotal{0};
+    std::atomic<uint64_t> cellsRunning{0};
+    std::atomic<uint64_t> cellsDone{0};
+    std::atomic<uint64_t> memoryHits{0};
+    std::atomic<uint64_t> diskHits{0};
+    std::atomic<uint64_t> remoteCells{0};
+    std::atomic<uint64_t> faultFires{0};
+    std::atomic<uint64_t> heartbeats{0};
+};
+
+/** Prometheus text-format snapshot of @p c. */
+std::string
+renderStatus(const StatusCounters &c)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "hs_cells_total %llu\n"
+        "hs_cells_running %llu\n"
+        "hs_cells_done %llu\n"
+        "hs_hits_memory %llu\n"
+        "hs_hits_disk %llu\n"
+        "hs_cells_remote %llu\n"
+        "hs_fault_fires %llu\n"
+        "hs_worker_heartbeats %llu\n",
+        static_cast<unsigned long long>(c.cellsTotal.load()),
+        static_cast<unsigned long long>(c.cellsRunning.load()),
+        static_cast<unsigned long long>(c.cellsDone.load()),
+        static_cast<unsigned long long>(c.memoryHits.load()),
+        static_cast<unsigned long long>(c.diskHits.load()),
+        static_cast<unsigned long long>(c.remoteCells.load()),
+        static_cast<unsigned long long>(c.faultFires.load()),
+        static_cast<unsigned long long>(c.heartbeats.load()));
+    return buf;
+}
+
+/** Fold one structured-log event into the live counters. */
+void
+countEvent(StatusCounters &c, const LogEventView &v)
+{
+    if (std::strcmp(v.component, "runner") == 0) {
+        if (std::strcmp(v.event, "queued") == 0) {
+            c.cellsTotal.fetch_add(1);
+        } else if (std::strcmp(v.event, "started") == 0) {
+            c.cellsRunning.fetch_add(1);
+        } else if (std::strcmp(v.event, "finished") == 0) {
+            c.cellsRunning.fetch_sub(1);
+            c.cellsDone.fetch_add(1);
+        } else if (std::strcmp(v.event, "remote_finished") == 0) {
+            c.cellsRunning.fetch_sub(1);
+            c.cellsDone.fetch_add(1);
+            c.remoteCells.fetch_add(1);
+        } else if (std::strcmp(v.event, "cache_hit") == 0) {
+            c.memoryHits.fetch_add(1);
+            c.cellsDone.fetch_add(1);
+        } else if (std::strcmp(v.event, "disk_hit") == 0) {
+            c.diskHits.fetch_add(1);
+            c.cellsDone.fetch_add(1);
+        }
+    } else if (std::strcmp(v.component, "fault") == 0) {
+        if (std::strcmp(v.event, "fire") == 0)
+            c.faultFires.fetch_add(1);
+    } else if (std::strcmp(v.component, "remote") == 0) {
+        if (std::strcmp(v.event, "heartbeat") == 0)
+            c.heartbeats.fetch_add(1);
+    }
+}
+
 } // namespace
 
 int
@@ -339,6 +430,8 @@ main(int argc, char **argv)
     bool have_place = false;
     std::string temp_trace_path, trace_path, trace_filter;
     std::string json_path, csv_path;
+    std::string log_json_path, events_path;
+    int status_port = 0; // 0 = no status server (or HS_STATUS_PORT)
     bool dump_stats = false;
     bool profile = false;
     bool progress = false;
@@ -437,6 +530,20 @@ main(int argc, char **argv)
             if (!parseEndpoints(v, worker_endpoints))
                 badValue(argv[0], arg, v,
                          "a comma list of host:port endpoints");
+        } else if (arg == "--log-json") {
+            log_json_path = value();
+            if (log_json_path.empty())
+                badValue(argv[0], arg, log_json_path, "a file path");
+        } else if (arg == "--events") {
+            events_path = value();
+            if (events_path.empty())
+                badValue(argv[0], arg, events_path, "a file path");
+        } else if (arg == "--status-port") {
+            std::string v = value();
+            long n = parseInt(argv[0], arg, v);
+            if (n < 1 || n > 65535)
+                badValue(argv[0], arg, v, "a port in 1..65535");
+            status_port = static_cast<int>(n);
         } else if (arg == "--json") {
             json_path = value();
         } else if (arg == "--csv") {
@@ -512,18 +619,24 @@ main(int argc, char **argv)
     if (serve_port > 0) {
         // A worker is pure transport + compute: it takes its RunSpecs
         // from the coordinator, so a command line that also declares
-        // local work is a confused command line.
+        // local work is a confused command line. --log-json stays
+        // legal: a worker's operational log is exactly what the fleet
+        // view wants.
         if (!workloads.empty() || !worker_endpoints.empty() || each ||
             dump_stats || profile || progress || !json_path.empty() ||
             !csv_path.empty() || !trace_path.empty() ||
-            !temp_trace_path.empty()) {
+            !temp_trace_path.empty() || !events_path.empty() ||
+            status_port > 0) {
             std::fprintf(stderr,
                          "%s: --serve runs a bare worker; drop "
                          "workloads and output options\n",
                          argv[0]);
             usage(argv[0]);
         }
+        if (!log_json_path.empty())
+            openJsonLog(log_json_path);
         serveWorker(static_cast<uint16_t>(serve_port));
+        closeJsonLog();
         return 0;
     }
     if (workloads.empty()) {
@@ -605,6 +718,14 @@ main(int argc, char **argv)
         specs.push_back(s);
     }
 
+    if (!log_json_path.empty())
+        openJsonLog(log_json_path);
+
+    StatusCounters counters;
+    std::ofstream events_out;
+    std::atomic<uint64_t> events_written{0};
+    std::unique_ptr<StatusServer> status;
+
     std::vector<RunResult> results;
     PrefixShareStats engine_stats;
     bool have_engine_stats = false;
@@ -622,6 +743,13 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "%s: --workers/--store need the engine; drop "
                          "--stats/--profile\n",
+                         argv[0]);
+            usage(argv[0]);
+        }
+        if (!events_path.empty() || status_port > 0) {
+            std::fprintf(stderr,
+                         "%s: --events/--status-port need the engine; "
+                         "drop --stats/--profile\n",
                          argv[0]);
             usage(argv[0]);
         }
@@ -643,13 +771,41 @@ main(int argc, char **argv)
         } else {
             disk = envDiskStore();
         }
+
+        // Campaign timeline + live status: both are one observer tee
+        // on the structured log, installed before any engine work so
+        // every lifecycle event lands in the timeline.
+        if (events_path.empty() && disk)
+            events_path = disk->dir() + "/events.jsonl";
+        uint16_t sport = status_port > 0
+                             ? static_cast<uint16_t>(status_port)
+                             : envStatusPort();
+        if (!events_path.empty() || sport > 0) {
+            if (!events_path.empty()) {
+                events_out.open(events_path);
+                if (!events_out)
+                    fatal("cannot write '%s'", events_path.c_str());
+            }
+            setLogEventObserver([&](const LogEventView &v) {
+                if (events_out.is_open()) {
+                    events_out << v.jsonLine() << '\n';
+                    events_out.flush();
+                    events_written.fetch_add(1);
+                }
+                countEvent(counters, v);
+            });
+        }
+        if (sport > 0)
+            status = std::make_unique<StatusServer>(
+                sport, [&counters] { return renderStatus(counters); });
+
         if (disk) {
             ResultStore::global().attachDisk(disk);
             // Campaign manifest: persist the matrix identity before
             // any cell simulates, so an interrupted sweep restarted
             // with the same command line resumes the missing cells.
             CampaignResume resume = prepareCampaign(*disk, specs);
-            if (resume.resumed)
+            if (resume.resumed) {
                 std::fprintf(stderr,
                              "[campaign] resuming: %llu of %llu cells "
                              "already stored\n",
@@ -657,6 +813,10 @@ main(int argc, char **argv)
                                  resume.storedCells),
                              static_cast<unsigned long long>(
                                  resume.totalCells));
+                logEvent("runner", "campaign_resumed",
+                         {LogField::num("stored", resume.storedCells),
+                          LogField::num("total", resume.totalCells)});
+            }
         }
 
         int engine_jobs = jobs > 0 ? jobs : envJobs(0);
@@ -731,7 +891,36 @@ main(int argc, char **argv)
                             rs.remoteCells),
                         static_cast<unsigned long long>(
                             rs.requeuedCells));
+            for (const WorkerTelemetry &wt : rs.perWorker)
+                std::printf("  worker %s: %llu job(s), %.2fs sim, "
+                            "%llu heartbeat(s), %.1f KiB snapshot "
+                            "sent, %.1f KiB saved, peak rss %llu "
+                            "MiB\n",
+                            wt.endpoint.c_str(),
+                            static_cast<unsigned long long>(wt.jobs),
+                            wt.simSeconds,
+                            static_cast<unsigned long long>(
+                                wt.heartbeats),
+                            static_cast<double>(wt.snapshotBytesSent) /
+                                1024.0,
+                            static_cast<double>(
+                                wt.snapshotBytesSaved) /
+                                1024.0,
+                            static_cast<unsigned long long>(
+                                wt.peakRssKb / 1024));
         }
+    }
+
+    // Tear the observability tee down before its capture targets go
+    // out of scope; everything after this point is plain output.
+    status.reset();
+    setLogEventObserver(nullptr);
+    if (events_out.is_open()) {
+        events_out.close();
+        std::printf("wrote %llu event(s) to %s\n",
+                    static_cast<unsigned long long>(
+                        events_written.load()),
+                    events_path.c_str());
     }
 
     foldRunMetrics(MetricsRegistry::global(), results,
@@ -774,5 +963,6 @@ main(int argc, char **argv)
         withOutput(csv_path, [&](std::ostream &os) {
             writeMatrixCsv(os, specs, results);
         });
+    closeJsonLog();
     return 0;
 }
